@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses.
+ *
+ * Every bench binary reproduces one table or figure from the paper:
+ * it runs the relevant workload on the simulated cluster ("exp"), fits
+ * the Doppio model via the profiler where the figure compares against
+ * model predictions ("model"), and prints the same rows/series the
+ * paper reports.
+ */
+
+#ifndef DOPPIO_BENCH_BENCH_UTIL_H
+#define DOPPIO_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "model/profiler.h"
+#include "workloads/workload.h"
+
+namespace doppio::bench {
+
+/** One measurement/prediction point of a figure. */
+struct ExpModelRow
+{
+    std::string label;
+    double expSeconds = 0.0;
+    double modelSeconds = 0.0;
+
+    double
+    error() const
+    {
+        return relativeError(modelSeconds, expSeconds);
+    }
+};
+
+/**
+ * Fit the extended (5-run) model for a workload.
+ *
+ * Sample runs use the evaluation cluster's node count: workloads
+ * whose RDDs only fit in the larger cluster's aggregate storage
+ * memory (LR-small's 280 GB, PageRank's 420 GB generations) change
+ * I/O behaviour with N, so a model profiled at a different scale
+ * would describe a different execution plan.
+ */
+inline model::AppModel
+fitModel(const workloads::Workload &workload,
+         const cluster::ClusterConfig &base,
+         const spark::SparkConf &conf = spark::SparkConf{})
+{
+    model::Profiler::Options options;
+    options.fitGc = true;
+    options.sampleNodes = base.numSlaves;
+    options.gcNodes = base.numSlaves + 1;
+    model::Profiler profiler(workload.runner(), base, conf, options);
+    return profiler.fit(workload.name());
+}
+
+/** Fit the paper-base (4-run) model for a workload. */
+inline model::AppModel
+fitBaseModel(const workloads::Workload &workload,
+             const cluster::ClusterConfig &base,
+             const spark::SparkConf &conf = spark::SparkConf{})
+{
+    model::Profiler profiler(workload.runner(), base, conf);
+    return profiler.fit(workload.name());
+}
+
+/** Platform profile for a concrete cluster configuration. */
+inline model::PlatformProfile
+platformFor(const cluster::ClusterConfig &config)
+{
+    return model::PlatformProfile::fromNode(config.node);
+}
+
+/** Sum of predicted stage times whose name starts with @p prefix. */
+inline double
+predictPrefix(const model::AppModel &app, const std::string &prefix,
+              int numNodes, int cores,
+              const model::PlatformProfile &platform)
+{
+    double total = 0.0;
+    for (const model::StageModel &stage : app.stages) {
+        if (stage.name.rfind(prefix, 0) == 0)
+            total += model::predictStage(stage, numNodes, cores,
+                                         platform)
+                         .seconds;
+    }
+    return total;
+}
+
+/**
+ * Shared driver for Figs. 8-12: run the workload under each hybrid
+ * disk configuration on the evaluation cluster, fit the model once,
+ * and print per-phase exp vs model rows plus the HDD/SSD gap for the
+ * phase the paper highlights.
+ */
+inline void
+runPhaseFigure(const std::string &title,
+               const workloads::Workload &workload,
+               const std::vector<std::string> &phases,
+               const std::string &gapPhase,
+               const std::vector<cluster::HybridConfig> &hybrids,
+               int cores = 36)
+{
+    const cluster::ClusterConfig base =
+        cluster::ClusterConfig::evaluationCluster();
+    const model::AppModel app = fitModel(workload, base);
+
+    TablePrinter table(title);
+    table.setHeader(
+        {"config", "phase", "exp (min)", "model (min)", "error"});
+    SummaryStats error;
+    std::vector<double> gap_seconds;
+    for (const cluster::HybridConfig &hybrid : hybrids) {
+        cluster::ClusterConfig config = base;
+        config.applyHybrid(hybrid);
+        spark::SparkConf conf;
+        conf.executorCores = cores;
+        const spark::AppMetrics metrics = workload.run(config, conf);
+        const model::PlatformProfile platform = platformFor(config);
+        for (const std::string &phase : phases) {
+            const double exp_s = metrics.secondsForPrefix(phase);
+            const double model_s = predictPrefix(
+                app, phase, config.numSlaves, cores, platform);
+            const double err = relativeError(model_s, exp_s);
+            error.add(err);
+            table.addRow({hybrid.name(), phase,
+                          TablePrinter::num(exp_s / 60.0, 1),
+                          TablePrinter::num(model_s / 60.0, 1),
+                          TablePrinter::percent(err)});
+        }
+        gap_seconds.push_back(metrics.secondsForPrefix(gapPhase));
+    }
+    table.print(std::cout);
+    std::cout << "average error: "
+              << TablePrinter::percent(error.mean());
+    if (gap_seconds.size() >= 2 && gap_seconds.front() > 0.0) {
+        std::cout << "   " << gapPhase << " HDD/SSD gap: "
+                  << TablePrinter::num(
+                         gap_seconds.back() / gap_seconds.front(), 1)
+                  << "x";
+    }
+    std::cout << "\n\n";
+}
+
+/** Print exp-vs-model rows plus the average error footer. */
+inline void
+printExpModel(const std::string &title,
+              const std::vector<ExpModelRow> &rows,
+              const std::string &unit = "min")
+{
+    const double scale = unit == "min" ? 1.0 / 60.0 : 1.0;
+    TablePrinter table(title);
+    table.setHeader({"point", "exp (" + unit + ")",
+                     "model (" + unit + ")", "error"});
+    SummaryStats error;
+    for (const ExpModelRow &row : rows) {
+        table.addRow({row.label,
+                      TablePrinter::num(row.expSeconds * scale, 1),
+                      TablePrinter::num(row.modelSeconds * scale, 1),
+                      TablePrinter::percent(row.error())});
+        error.add(row.error());
+    }
+    table.print(std::cout);
+    std::cout << "average error: "
+              << TablePrinter::percent(error.mean()) << "\n\n";
+}
+
+} // namespace doppio::bench
+
+#endif // DOPPIO_BENCH_BENCH_UTIL_H

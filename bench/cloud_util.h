@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared setup for the Google Cloud case-study benches (paper §VI).
+ *
+ * The paper provisions 16-vCPU workers and profiles GATK4 with four
+ * sample runs using a 500 GB pd-ssd and a 200 GB pd-standard disk;
+ * the fitted model then drives the cost optimizer over
+ * (P, DiskTypes, DiskSize_HDFS, DiskSize_SparkLocal).
+ */
+
+#ifndef DOPPIO_BENCH_CLOUD_UTIL_H
+#define DOPPIO_BENCH_CLOUD_UTIL_H
+
+#include "bench_util.h"
+#include "cloud/optimizer.h"
+#include "workloads/gatk4.h"
+
+namespace doppio::bench {
+
+constexpr Bytes kGB = 1000ULL * 1000 * 1000;
+
+/** 16-vCPU cloud worker template (disks set per experiment). */
+inline cluster::ClusterConfig
+cloudCluster(int workers = 10)
+{
+    cluster::ClusterConfig config;
+    config.numSlaves = workers;
+    config.node.cores = 16;
+    config.node.ram = 60 * kGiB;
+    config.node.executorMemory = 45 * kGiB;
+    config.node.hdfsDisk =
+        cloud::makeCloudDiskParams(cloud::CloudDiskType::Standard,
+                                   1000 * kGB);
+    config.node.localDisk =
+        cloud::makeCloudDiskParams(cloud::CloudDiskType::Standard,
+                                   2000 * kGB);
+    return config;
+}
+
+/**
+ * Profile GATK4 on the cloud cluster per §VI-1: sample disks are a
+ * 500 GB pd-ssd and a 200 GB pd-standard.
+ */
+inline model::AppModel
+fitCloudGatk4(const workloads::Gatk4 &gatk4, int workers = 10)
+{
+    model::Profiler::Options options;
+    options.fitGc = true;
+    options.highCores = 16;
+    options.ssd =
+        cloud::makeCloudDiskParams(cloud::CloudDiskType::Ssd,
+                                   500 * kGB);
+    // The paper starts from a 200 GB standard disk; at 200 GB the
+    // 30 KB shuffle reads run at ~4 MB/s and the sample run sits in an
+    // extreme regime, so we follow the paper's re-sampling rule and
+    // use 500 GB (still comfortably I/O-bound at P=16).
+    options.hdd =
+        cloud::makeCloudDiskParams(cloud::CloudDiskType::Standard,
+                                   500 * kGB);
+    model::Profiler profiler(gatk4.runner(), cloudCluster(workers),
+                             spark::SparkConf{}, options);
+    return profiler.fit("GATK4-cloud");
+}
+
+} // namespace doppio::bench
+
+#endif // DOPPIO_BENCH_CLOUD_UTIL_H

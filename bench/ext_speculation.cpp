@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension bench: straggler mitigation via speculative execution.
+ *
+ * The paper's model assumes well-behaved tasks; production clusters
+ * see stragglers (degraded disks, noisy neighbors). This bench injects
+ * stragglers into GATK4's BR-like stage pattern and shows how
+ * speculative execution (spark.speculation) restores the model's
+ * predicted runtime — i.e. speculation is what keeps Eq. 1 valid on
+ * imperfect hardware.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "dfs/hdfs.h"
+#include "sim/simulator.h"
+#include "spark/task_engine.h"
+
+using namespace doppio;
+
+namespace {
+
+double
+runBrLikeStage(double stragglerProbability, bool speculation)
+{
+    sim::Simulator sim;
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::evaluationCluster();
+    config.stragglerProbability = stragglerProbability;
+    config.stragglerSlowdown = 8.0;
+    cluster::Cluster cluster(sim, config);
+    dfs::Hdfs hdfs(cluster);
+    spark::SparkConf conf;
+    conf.executorCores = 36;
+    conf.speculation = speculation;
+    spark::TaskEngine engine(cluster, hdfs, conf);
+
+    spark::StageSpec stage;
+    stage.name = "BR-like";
+    spark::IoPhaseSpec read;
+    read.op = storage::IoOp::ShuffleRead;
+    read.bytesPerTask = mib(27);
+    read.requestSize = kib(30);
+    read.cpuPerByte = 1.17e-8;
+    read.fanIn = 976;
+    stage.groups.push_back(spark::TaskGroupSpec{
+        "reduce", 3600, {read, spark::ComputePhaseSpec{8.5}},
+        mib(27)});
+    return engine.runStage(stage).seconds() / 60.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    TablePrinter table(
+        "BR-like stage (3600 reducers, SSD local) under stragglers");
+    table.setHeader({"straggler prob.", "no speculation (min)",
+                     "speculation (min)", "recovered"});
+    const double clean = runBrLikeStage(0.0, false);
+    for (double p : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+        const double off = runBrLikeStage(p, false);
+        const double on = runBrLikeStage(p, true);
+        const double inflation = off - clean;
+        const double recovered =
+            inflation > 0.01 ? (off - on) / inflation : 1.0;
+        table.addRow({TablePrinter::percent(p, 0),
+                      TablePrinter::num(off, 1),
+                      TablePrinter::num(on, 1),
+                      TablePrinter::percent(recovered, 0)});
+    }
+    table.print(std::cout);
+    std::cout << "\nclean baseline: " << TablePrinter::num(clean, 1)
+              << " min. At low straggler rates speculation recovers "
+                 "most of the inflation,\nkeeping the stage near the "
+                 "model's prediction; at high rates the copies\n"
+                 "themselves straggle and the benefit fades.\n";
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Extension bench: storage configurations beyond the paper.
+ *
+ * 1. Multi-disk JBOD (paper §IV-C: "our model relates to disk
+ *    bandwidth rather than disk number. Thus, it is general enough to
+ *    support the multi-disk case"): GATK4 with 1, 2, 4 HDDs behind
+ *    spark.local.dir, exp vs model.
+ * 2. NVMe local storage: with ~3 GB/s and 600k IOPS the shuffle-read
+ *    bottleneck the paper studies disappears and GATK4 becomes
+ *    compute-bound at every P — the logical endpoint of the paper's
+ *    HDD -> SSD trend.
+ * 3. Network sensitivity (paper §III-B1 cites 10 Gb/s as "not the
+ *    bottleneck"; related work moved 1 -> 10 Gb/s for 2.5x): GATK4
+ *    under 1 / 10 / 40 Gb/s NICs.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/gatk4.h"
+
+using namespace doppio;
+
+int
+main()
+{
+    const workloads::Gatk4 gatk4;
+    spark::SparkConf conf;
+    conf.executorCores = 36;
+
+    // --- 1. Multi-disk local storage ------------------------------
+    {
+        const cluster::ClusterConfig base =
+            cluster::ClusterConfig::evaluationCluster();
+        const model::AppModel app = bench::fitModel(gatk4, base);
+        TablePrinter table(
+            "GATK4 vs number of HDDs behind spark.local.dir "
+            "(10 slaves, P=36, SSD HDFS)");
+        table.setHeader(
+            {"local disks", "exp (min)", "model (min)", "error"});
+        for (int disks : {1, 2, 4}) {
+            cluster::ClusterConfig config = base;
+            config.applyHybrid(cluster::HybridConfig::config3());
+            config.node.localDiskCount = disks;
+            const double exp_s = gatk4.run(config, conf).seconds();
+            const double model_s = app.predictSeconds(
+                config.numSlaves, conf.executorCores,
+                bench::platformFor(config));
+            table.addRow({std::to_string(disks),
+                          TablePrinter::num(exp_s / 60.0, 1),
+                          TablePrinter::num(model_s / 60.0, 1),
+                          TablePrinter::percent(
+                              relativeError(model_s, exp_s))});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // --- 2. NVMe local storage ------------------------------------
+    {
+        TablePrinter table("GATK4 local-storage generations (P=36)");
+        table.setHeader({"spark.local.dir", "MD", "BR", "SF",
+                         "total (min)"});
+        struct Option
+        {
+            const char *name;
+            storage::DiskParams params;
+        };
+        for (const Option &option :
+             {Option{"HDD", storage::makeHddParams()},
+              Option{"SSD", storage::makeSsdParams()},
+              Option{"NVMe", storage::makeNvmeParams()}}) {
+            cluster::ClusterConfig config =
+                cluster::ClusterConfig::evaluationCluster();
+            config.node.localDisk = option.params;
+            const spark::AppMetrics metrics = gatk4.run(config, conf);
+            table.addRow(
+                {option.name,
+                 TablePrinter::num(
+                     metrics.secondsForPrefix("MD") / 60.0, 1),
+                 TablePrinter::num(
+                     metrics.secondsForPrefix("BR") / 60.0, 1),
+                 TablePrinter::num(
+                     metrics.secondsForPrefix("SF") / 60.0, 1),
+                 TablePrinter::num(metrics.seconds() / 60.0, 1)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // --- 3. Network sensitivity -----------------------------------
+    {
+        TablePrinter table(
+            "GATK4 vs NIC speed (2SSD, P=36; paper: 10 Gb/s is not "
+            "the bottleneck)");
+        table.setHeader({"NIC", "BR (min)", "total (min)"});
+        for (const auto &[name, gbps] :
+             {std::pair<const char *, double>{"1 Gb/s", 1.0},
+              {"10 Gb/s", 10.0},
+              {"40 Gb/s", 40.0}}) {
+            cluster::ClusterConfig config =
+                cluster::ClusterConfig::evaluationCluster();
+            config.networkBandwidth = gibps(gbps / 8.0);
+            const spark::AppMetrics metrics = gatk4.run(config, conf);
+            table.addRow(
+                {name,
+                 TablePrinter::num(
+                     metrics.secondsForPrefix("BR") / 60.0, 1),
+                 TablePrinter::num(metrics.seconds() / 60.0, 1)});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Fig. 2: runtime for different stages in GATK4 using the
+ * 500M-read-pair input on the four-node cluster (36 executor cores)
+ * under the four Table III HDD/SSD hybrid configurations.
+ *
+ * Paper shapes to check:
+ *  - HDFS HDD->SSD: no gain for MD, moderate for BR, large for SF;
+ *  - Spark-local HDD->SSD: dominant effect; BR/SF ~126 min when the
+ *    local disk is an HDD (the 334 GB / 3 nodes / 15 MB/s arithmetic
+ *    of paper III-C3);
+ *  - Spark local is far more I/O-sensitive than HDFS.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/gatk4.h"
+
+using namespace doppio;
+
+int
+main()
+{
+    const workloads::Gatk4 gatk4;
+    spark::SparkConf conf;
+    conf.executorCores = 36;
+
+    TablePrinter table(
+        "Fig. 2: GATK4 stage runtime (minutes), 4-node cluster, P=36");
+    table.setHeader(
+        {"Configuration", "MD", "BR", "SF", "total"});
+
+    const cluster::HybridConfig hybrids[] = {
+        cluster::HybridConfig::config1(),
+        cluster::HybridConfig::config2(),
+        cluster::HybridConfig::config3(),
+        cluster::HybridConfig::config4()};
+    for (const auto &hybrid : hybrids) {
+        cluster::ClusterConfig config =
+            cluster::ClusterConfig::motivationCluster();
+        config.applyHybrid(hybrid);
+        const spark::AppMetrics metrics = gatk4.run(config, conf);
+        const double md = metrics.secondsForPrefix("MD") / 60.0;
+        const double br = metrics.secondsForPrefix("BR") / 60.0;
+        const double sf = metrics.secondsForPrefix("SF") / 60.0;
+        table.addRow({hybrid.name(), TablePrinter::num(md, 1),
+                      TablePrinter::num(br, 1),
+                      TablePrinter::num(sf, 1),
+                      TablePrinter::num(md + br + sf, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "paper III-C3 arithmetic: BR(2HDD) ~ 334 GB/3/15 MB/s"
+                 " = " << TablePrinter::num(334.0 * 1024 / 3 / 15 / 60,
+                                            0)
+              << " min\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Fig. 3: GATK4 stage runtime for the 2HDD and 2SSD
+ * configurations when the per-node core count P is 12, 24, 36.
+ *
+ * Paper shapes to check: BR and SF scale with P under 2SSD but stay
+ * flat under 2HDD (I/O-limited); MD stays roughly flat in both (GC
+ * under 2SSD, shuffle-write-limited under 2HDD).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/gatk4.h"
+
+using namespace doppio;
+
+int
+main()
+{
+    const workloads::Gatk4 gatk4;
+
+    TablePrinter table(
+        "Fig. 3: GATK4 stage runtime (minutes) vs cores per node");
+    table.setHeader({"Configuration", "P", "MD", "BR", "SF"});
+
+    for (const auto &hybrid : {cluster::HybridConfig::config1(),
+                               cluster::HybridConfig::config4()}) {
+        for (int cores : {12, 24, 36}) {
+            cluster::ClusterConfig config =
+                cluster::ClusterConfig::motivationCluster();
+            config.applyHybrid(hybrid);
+            spark::SparkConf conf;
+            conf.executorCores = cores;
+            const spark::AppMetrics metrics = gatk4.run(config, conf);
+            table.addRow(
+                {hybrid.local == storage::DiskType::Ssd ? "2SSD"
+                                                        : "2HDD",
+                 std::to_string(cores),
+                 TablePrinter::num(
+                     metrics.secondsForPrefix("MD") / 60.0, 1),
+                 TablePrinter::num(
+                     metrics.secondsForPrefix("BR") / 60.0, 1),
+                 TablePrinter::num(
+                     metrics.secondsForPrefix("SF") / 60.0, 1)});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

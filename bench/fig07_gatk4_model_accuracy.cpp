@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Fig. 7: measured vs model-predicted runtime for GATK4's
+ * MD/BR/SF stages on the ten-slave evaluation cluster, P in
+ * {6, 12, 24}, under the four Table III disk configurations.
+ *
+ * Paper claim to check: average error < 6-10%.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/gatk4.h"
+
+using namespace doppio;
+
+int
+main()
+{
+    const workloads::Gatk4 gatk4;
+    const cluster::ClusterConfig base =
+        cluster::ClusterConfig::evaluationCluster();
+    const model::AppModel app = bench::fitModel(gatk4, base);
+
+    std::vector<bench::ExpModelRow> rows;
+    TablePrinter table(
+        "Fig. 7: GATK4 exp vs model (minutes), 10 slaves");
+    table.setHeader({"config", "P", "stage", "exp", "model", "error"});
+    SummaryStats error;
+
+    for (const auto &hybrid : {cluster::HybridConfig::config1(),
+                               cluster::HybridConfig::config2(),
+                               cluster::HybridConfig::config3(),
+                               cluster::HybridConfig::config4()}) {
+        cluster::ClusterConfig config = base;
+        config.applyHybrid(hybrid);
+        const model::PlatformProfile platform =
+            bench::platformFor(config);
+        for (int cores : {6, 12, 24}) {
+            spark::SparkConf conf;
+            conf.executorCores = cores;
+            const spark::AppMetrics metrics = gatk4.run(config, conf);
+            for (const auto *stage : metrics.allStages()) {
+                const double exp_s = stage->seconds();
+                const double model_s =
+                    model::predictStage(app.stage(stage->name), 10,
+                                        cores, platform)
+                        .seconds;
+                const double err = relativeError(model_s, exp_s);
+                error.add(err);
+                table.addRow({hybrid.name(), std::to_string(cores),
+                              stage->name,
+                              TablePrinter::num(exp_s / 60.0, 1),
+                              TablePrinter::num(model_s / 60.0, 1),
+                              TablePrinter::percent(err)});
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "average error: " << TablePrinter::percent(error.mean())
+              << "  (paper: < 6%)\n";
+    return 0;
+}

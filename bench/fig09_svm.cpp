@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Reproduces Fig. 9: measured vs model runtime for SVM (12M samples,
+ * 82 GB cached RDD, 10 iterations, 170 GB shuffle in the subtract
+ * phase).
+ *
+ * Paper shapes to check: average error ~8.4%; 6.2x HDD/SSD gap on the
+ * subtract phase.
+ */
+
+#include "bench_util.h"
+#include "workloads/svm.h"
+
+using namespace doppio;
+
+int
+main()
+{
+    const workloads::Svm svm;
+    bench::runPhaseFigure(
+        "Fig. 9: SVM exp vs model (paper: 6.2x subtract gap)", svm,
+        {"dataValidator", "iteration", "subtract"}, "subtract",
+        {cluster::HybridConfig::config1(),
+         cluster::HybridConfig::config3()});
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Reproduces Fig. 10: measured vs model runtime for GraphX PageRank
+ * (20M vertices, 4800 partitions, 10 iterations; the 420 GB
+ * per-generation RDD exceeds cluster storage memory and persists on
+ * Spark local).
+ *
+ * Paper shapes to check: average error ~5.2%; 2.2x HDD/SSD iteration
+ * gap.
+ */
+
+#include "bench_util.h"
+#include "workloads/pagerank.h"
+
+using namespace doppio;
+
+int
+main()
+{
+    const workloads::PageRank pagerank;
+    bench::runPhaseFigure(
+        "Fig. 10: PageRank exp vs model (paper: 2.2x iteration gap)",
+        pagerank, {"graphLoader", "iteration", "saveAsTextFile"},
+        "iteration",
+        {cluster::HybridConfig::config1(),
+         cluster::HybridConfig::config3()});
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Reproduces Fig. 11: measured vs model runtime for GraphX Triangle
+ * Count (1M vertices, 2400 partitions, 49 GB cached graph, 396 GB of
+ * shuffle in the canonicalization/count phase).
+ *
+ * Paper shapes to check: average error ~3.6%; 6.5x HDD/SSD gap on the
+ * computeTriangleCount phase.
+ */
+
+#include "bench_util.h"
+#include "workloads/triangle_count.h"
+
+using namespace doppio;
+
+int
+main()
+{
+    const workloads::TriangleCount tc;
+    bench::runPhaseFigure(
+        "Fig. 11: TriangleCount exp vs model (paper: 6.5x compute "
+        "phase gap)",
+        tc, {"graphLoader", "computeTriangleCount"},
+        "computeTriangleCount",
+        {cluster::HybridConfig::config1(),
+         cluster::HybridConfig::config3()});
+    return 0;
+}

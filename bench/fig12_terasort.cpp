@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Reproduces Fig. 12: measured vs model runtime for Terasort (10B
+ * records, 930 GB; NF reads + range-partitions + shuffle-writes, SF
+ * shuffle-reads + sorts + writes the output to HDFS).
+ *
+ * Paper shapes to check: average error ~3.9%; 2.6x HDD/SSD local gap.
+ */
+
+#include "bench_util.h"
+#include "workloads/terasort.h"
+
+using namespace doppio;
+
+int
+main()
+{
+    const workloads::Terasort terasort;
+    bench::runPhaseFigure(
+        "Fig. 12: Terasort exp vs model (paper: 2.6x local-disk gap)",
+        terasort, {"NF", "SF"}, "SF",
+        {cluster::HybridConfig::config1(),
+         cluster::HybridConfig::config3()});
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation engine itself:
+ * event-queue throughput, fluid-pipe rebalancing, disk-device request
+ * handling, and an end-to-end small stage. These guard the simulator's
+ * own performance (the figure harnesses run hundreds of cluster
+ * simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "dfs/hdfs.h"
+#include "sim/fluid_pipe.h"
+#include "sim/simulator.h"
+#include "spark/task_engine.h"
+#include "storage/disk_device.h"
+
+using namespace doppio;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int events = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        for (int i = 0; i < events; ++i)
+            sim.schedule(static_cast<Tick>((i * 7919) % 100000),
+                         [] {});
+        sim.run();
+        benchmark::DoNotOptimize(sim.firedEvents());
+    }
+    state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_FluidPipeChurn(benchmark::State &state)
+{
+    const int flows = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        sim::FluidPipe pipe(sim, 1e9, "bench");
+        for (int i = 0; i < flows; ++i) {
+            sim.schedule(static_cast<Tick>(i) * 1000, [&pipe] {
+                pipe.startFlow(1000000, [] {});
+            });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(pipe.bytesCompleted());
+    }
+    state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidPipeChurn)->Arg(64)->Arg(1024);
+
+void
+BM_DiskDeviceRequests(benchmark::State &state)
+{
+    const int requests = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        storage::DiskDevice dev(sim, storage::makeSsdParams(), "bench");
+        for (int i = 0; i < requests; ++i)
+            dev.submit(storage::IoOp::RawRead, kib(30), [] {});
+        sim.run();
+        benchmark::DoNotOptimize(
+            dev.stats().totalRequests(storage::IoKind::Read));
+    }
+    state.SetItemsProcessed(state.iterations() * requests);
+}
+BENCHMARK(BM_DiskDeviceRequests)->Arg(1000)->Arg(10000);
+
+void
+BM_StageExecution(benchmark::State &state)
+{
+    const int tasks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        cluster::ClusterConfig config =
+            cluster::ClusterConfig::motivationCluster();
+        cluster::Cluster cluster(sim, config);
+        dfs::Hdfs hdfs(cluster);
+        spark::SparkConf conf;
+        spark::TaskEngine engine(cluster, hdfs, conf);
+        spark::StageSpec stage;
+        stage.name = "bench";
+        spark::IoPhaseSpec io;
+        io.op = storage::IoOp::ShuffleRead;
+        io.bytesPerTask = mib(27);
+        io.requestSize = kib(30);
+        io.fanIn = 976;
+        stage.groups.push_back(
+            spark::TaskGroupSpec{"g", tasks, {io}, mib(27)});
+        benchmark::DoNotOptimize(engine.runStage(stage).seconds());
+    }
+    state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_StageExecution)->Arg(256)->Arg(2048);
+
+} // namespace
+
+BENCHMARK_MAIN();

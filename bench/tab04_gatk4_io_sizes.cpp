@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Table IV: I/O data size (GB) in different GATK4 stages.
+ *
+ * Paper values at 500M read pairs:
+ *   MD: HDFS read 122, shuffle write 334;
+ *   BR: HDFS read 122, shuffle read 334;
+ *   SF: HDFS read 122, shuffle read 334, HDFS write 166.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/gatk4.h"
+
+using namespace doppio;
+
+int
+main()
+{
+    const workloads::Gatk4 gatk4;
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::motivationCluster();
+    spark::SparkConf conf;
+    conf.executorCores = 36;
+    const spark::AppMetrics metrics = gatk4.run(config, conf);
+
+    TablePrinter table(
+        "Table IV: I/O data size (GB) in different GATK4 stages "
+        "(paper: MD 122/334/0/0, BR 122/0/334/0, SF 122/0/334/166)");
+    table.setHeader({"I/O (GB)", "HDFS read", "Shuffle write",
+                     "Shuffle read", "HDFS write"});
+    using storage::IoOp;
+    for (const char *stage : {"MD", "BR", "SF"}) {
+        table.addRow(
+            {stage,
+             TablePrinter::num(
+                 toGiB(metrics.bytesForPrefix(stage, IoOp::HdfsRead)),
+                 0),
+             TablePrinter::num(
+                 toGiB(metrics.bytesForPrefix(stage,
+                                              IoOp::ShuffleWrite)),
+                 0),
+             TablePrinter::num(
+                 toGiB(metrics.bytesForPrefix(stage,
+                                              IoOp::ShuffleRead)),
+                 0),
+             TablePrinter::num(
+                 toGiB(metrics.bytesForPrefix(stage, IoOp::HdfsWrite)),
+                 0)});
+    }
+    table.print(std::cout);
+    return 0;
+}

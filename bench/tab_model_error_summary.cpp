@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces the paper's §V headline: prediction error rate across
+ * the full application set (paper: GATK4 <6%, LR 5.3%, SVM 8.4%,
+ * PR 5.2%, TC 3.6%, TS 3.9% — all under 10%).
+ *
+ * For each application: fit the model from the sample runs, predict
+ * whole-application runtime at unseen (disk config, P) points on the
+ * ten-slave evaluation cluster, and compare against full simulations.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/gatk4.h"
+#include "workloads/logistic_regression.h"
+#include "workloads/pagerank.h"
+#include "workloads/svm.h"
+#include "workloads/terasort.h"
+#include "workloads/triangle_count.h"
+
+using namespace doppio;
+
+namespace {
+
+double
+appError(const workloads::Workload &workload)
+{
+    const cluster::ClusterConfig base =
+        cluster::ClusterConfig::evaluationCluster();
+    const model::AppModel app = bench::fitModel(workload, base);
+    SummaryStats error;
+    for (const auto &hybrid : {cluster::HybridConfig::config1(),
+                               cluster::HybridConfig::config3()}) {
+        cluster::ClusterConfig config = base;
+        config.applyHybrid(hybrid);
+        const model::PlatformProfile platform =
+            bench::platformFor(config);
+        for (int cores : {12, 24, 36}) {
+            spark::SparkConf conf;
+            conf.executorCores = cores;
+            const double exp_s =
+                workload.run(config, conf).seconds();
+            const double model_s =
+                app.predictSeconds(config.numSlaves, cores, platform);
+            error.add(relativeError(model_s, exp_s));
+        }
+    }
+    return error.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    TablePrinter table(
+        "Model error summary over unseen (disks, P) configurations");
+    table.setHeader({"application", "mean error", "paper"});
+
+    const workloads::Gatk4 gatk4;
+    table.addRow({"GATK4", TablePrinter::percent(appError(gatk4)),
+                  "<6%"});
+    const workloads::LogisticRegression lr_small(
+        workloads::LogisticRegression::Options::small());
+    table.addRow({"LogisticRegression (small)",
+                  TablePrinter::percent(appError(lr_small)), "5.3%"});
+    const workloads::LogisticRegression lr_large(
+        workloads::LogisticRegression::Options::large());
+    table.addRow({"LogisticRegression (large)",
+                  TablePrinter::percent(appError(lr_large)), "5.3%"});
+    const workloads::Svm svm;
+    table.addRow({"SVM", TablePrinter::percent(appError(svm)),
+                  "8.4%"});
+    const workloads::PageRank pagerank;
+    table.addRow({"PageRank", TablePrinter::percent(appError(pagerank)),
+                  "5.2%"});
+    const workloads::TriangleCount tc;
+    table.addRow({"TriangleCount", TablePrinter::percent(appError(tc)),
+                  "3.6%"});
+    const workloads::Terasort terasort;
+    table.addRow({"Terasort", TablePrinter::percent(appError(terasort)),
+                  "3.9%"});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Example: model-driven cloud provisioning (paper §VI).
+ *
+ * Profiles GATK4 on simulated Google Cloud workers, then asks the
+ * optimizer three questions a genomics lab would ask:
+ *   1. What is the cheapest configuration overall?
+ *   2. What is the cheapest configuration that finishes in 45 min?
+ *   3. How do the Spark (R1) and Cloudera (R2) recommendations fare?
+ */
+
+#include <iostream>
+
+#include "cloud/optimizer.h"
+#include "common/table_printer.h"
+#include "model/profiler.h"
+#include "workloads/gatk4.h"
+
+using namespace doppio;
+
+namespace {
+
+constexpr Bytes kGB = 1000ULL * 1000 * 1000;
+
+cluster::ClusterConfig
+cloudWorkers()
+{
+    cluster::ClusterConfig config;
+    config.numSlaves = 10;
+    config.node.cores = 16;
+    config.node.ram = 60 * kGiB;
+    config.node.executorMemory = 45 * kGiB;
+    config.node.hdfsDisk = cloud::makeCloudDiskParams(
+        cloud::CloudDiskType::Standard, 1000 * kGB);
+    config.node.localDisk = cloud::makeCloudDiskParams(
+        cloud::CloudDiskType::Standard, 2000 * kGB);
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    const workloads::Gatk4 gatk4;
+
+    // Paper §VI-1: four profiling runs with a 500 GB pd-ssd and a
+    // pd-standard sample disk, plus the different-N GC run.
+    model::Profiler::Options profile_options;
+    profile_options.fitGc = true;
+    profile_options.highCores = 16;
+    profile_options.ssd = cloud::makeCloudDiskParams(
+        cloud::CloudDiskType::Ssd, 500 * kGB);
+    profile_options.hdd = cloud::makeCloudDiskParams(
+        cloud::CloudDiskType::Standard, 500 * kGB);
+    model::Profiler profiler(gatk4.runner(), cloudWorkers(),
+                             spark::SparkConf{}, profile_options);
+    const model::AppModel app = profiler.fit("GATK4");
+
+    const cloud::GcpPricing pricing;
+    const cloud::CostOptimizer optimizer(
+        app, pricing, cloud::CostOptimizer::Options{});
+
+    TablePrinter table("Provisioning advice for one 30x whole genome");
+    table.setHeader(
+        {"question", "configuration", "runtime (min)", "cost ($)"});
+
+    const cloud::Evaluation cheapest = optimizer.optimize();
+    table.addRow({"cheapest overall", cheapest.config.describe(),
+                  TablePrinter::num(cheapest.seconds / 60.0, 1),
+                  TablePrinter::num(cheapest.cost, 2)});
+
+    // Cheapest under a 45-minute deadline: filter the same grid.
+    cloud::Evaluation deadline;
+    deadline.cost = std::numeric_limits<double>::infinity();
+    for (Bytes hdfs : cloud::CostOptimizer::defaultSizeGrid()) {
+        for (Bytes local : cloud::CostOptimizer::defaultSizeGrid()) {
+            for (auto type : {cloud::CloudDiskType::Standard,
+                              cloud::CloudDiskType::Ssd}) {
+                cloud::CloudConfig config;
+                config.workers = 10;
+                config.vcpus = 16;
+                config.hdfsSize = hdfs;
+                config.localType = type;
+                config.localSize = local;
+                const cloud::Evaluation eval =
+                    optimizer.evaluate(config);
+                if (eval.seconds <= 45.0 * 60.0 &&
+                    eval.cost < deadline.cost)
+                    deadline = eval;
+            }
+        }
+    }
+    table.addRow({"cheapest finishing in 45 min",
+                  deadline.config.describe(),
+                  TablePrinter::num(deadline.seconds / 60.0, 1),
+                  TablePrinter::num(deadline.cost, 2)});
+
+    for (const auto &[name, config] :
+         {std::pair<const char *, cloud::CloudConfig>{
+              "R1 (Spark guide)", cloud::referenceR1()},
+          {"R2 (Cloudera guide)", cloud::referenceR2()}}) {
+        const cloud::Evaluation eval = optimizer.evaluate(config);
+        table.addRow({name, eval.config.describe(),
+                      TablePrinter::num(eval.seconds / 60.0, 1),
+                      TablePrinter::num(eval.cost, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nAt the Broad Institute's 17 TB/day of new genome "
+                 "data (paper §VI), the\ncheapest-vs-R2 delta above "
+                 "compounds to millions of dollars per year.\n";
+    return 0;
+}

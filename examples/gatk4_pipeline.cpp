@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Example: the paper's motivation study (§III) on your terminal.
+ *
+ * Runs the GATK4 pipeline on the four-node motivation cluster under
+ * the four HDD/SSD hybrid configurations of Table III and prints the
+ * per-stage runtimes (Fig. 2) and I/O volumes (Table IV).
+ *
+ * Usage: gatk4_pipeline [readPairsMillions]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cluster/cluster_config.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "spark/spark_conf.h"
+#include "workloads/gatk4.h"
+
+using namespace doppio;
+
+int
+main(int argc, char **argv)
+{
+    workloads::Gatk4::Options options;
+    if (argc > 1)
+        options.readPairsMillions = std::atof(argv[1]);
+    const workloads::Gatk4 gatk4(options);
+
+    spark::SparkConf spark_conf;
+    spark_conf.executorCores = 36;
+
+    TablePrinter runtimes("GATK4 stage runtime (minutes), four-node "
+                          "cluster, P=36");
+    runtimes.setHeader({"Configuration", "MD", "BR", "SF", "total"});
+
+    const cluster::HybridConfig hybrids[] = {
+        cluster::HybridConfig::config1(), cluster::HybridConfig::config2(),
+        cluster::HybridConfig::config3(), cluster::HybridConfig::config4()};
+
+    spark::AppMetrics last;
+    for (const auto &hybrid : hybrids) {
+        cluster::ClusterConfig config =
+            cluster::ClusterConfig::motivationCluster();
+        config.applyHybrid(hybrid);
+        const spark::AppMetrics metrics = gatk4.run(config, spark_conf);
+        const double md =
+            metrics.secondsForPrefix(workloads::Gatk4::kStageMd) / 60.0;
+        const double br =
+            metrics.secondsForPrefix(workloads::Gatk4::kStageBr) / 60.0;
+        const double sf =
+            metrics.secondsForPrefix(workloads::Gatk4::kStageSf) / 60.0;
+        runtimes.addRow({hybrid.name(), TablePrinter::num(md, 1),
+                         TablePrinter::num(br, 1),
+                         TablePrinter::num(sf, 1),
+                         TablePrinter::num(md + br + sf, 1)});
+        last = metrics;
+    }
+    runtimes.print(std::cout);
+
+    TablePrinter io("\nI/O data size (GB) per stage (cf. Table IV)");
+    io.setHeader({"stage", "HDFS read", "Shuffle write", "Shuffle read",
+                  "HDFS write"});
+    for (const char *stage :
+         {workloads::Gatk4::kStageMd, workloads::Gatk4::kStageBr,
+          workloads::Gatk4::kStageSf}) {
+        io.addRow({stage,
+                   TablePrinter::num(
+                       toGiB(last.bytesForPrefix(
+                           stage, storage::IoOp::HdfsRead)), 0),
+                   TablePrinter::num(
+                       toGiB(last.bytesForPrefix(
+                           stage, storage::IoOp::ShuffleWrite)), 0),
+                   TablePrinter::num(
+                       toGiB(last.bytesForPrefix(
+                           stage, storage::IoOp::ShuffleRead)), 0),
+                   TablePrinter::num(
+                       toGiB(last.bytesForPrefix(
+                           stage, storage::IoOp::HdfsWrite)), 0)});
+    }
+    io.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Example: bottleneck analysis and what-if core scaling (paper §IV).
+ *
+ * Fits the model for GATK4, prints each stage's per-core throughput T,
+ * break point b = BW/T, lambda and turning point B = lambda*b under
+ * SSD and HDD Spark-local configurations, and sweeps the predicted
+ * runtime over core counts — showing where adding cores stops helping.
+ */
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "model/analyzer.h"
+#include "model/profiler.h"
+#include "workloads/gatk4.h"
+
+using namespace doppio;
+
+int
+main()
+{
+    const workloads::Gatk4 gatk4;
+    const cluster::ClusterConfig base =
+        cluster::ClusterConfig::evaluationCluster();
+    model::Profiler::Options options;
+    options.fitGc = true;
+    model::Profiler profiler(gatk4.runner(), base, spark::SparkConf{},
+                             options);
+    const model::AppModel app = profiler.fit("GATK4");
+
+    for (const auto &hybrid : {cluster::HybridConfig::config1(),
+                               cluster::HybridConfig::config3()}) {
+        cluster::ClusterConfig config = base;
+        config.applyHybrid(hybrid);
+        const model::PlatformProfile platform =
+            model::PlatformProfile::fromDisks(config.node.hdfsDisk,
+                                              config.node.localDisk);
+
+        TablePrinter table("Bottleneck analysis, " + hybrid.name());
+        table.setHeader({"stage", "op", "T (MB/s)", "BW (MB/s)", "b",
+                         "lambda", "B"});
+        for (const model::StageModel &stage : app.stages) {
+            const model::StageAnalysis analysis =
+                model::analyzeStage(stage, platform);
+            for (const model::OpAnalysis &op : analysis.ops) {
+                table.addRow(
+                    {stage.name, storage::ioOpName(op.op),
+                     TablePrinter::num(op.perCoreThroughput / 1e6, 1),
+                     TablePrinter::num(op.effectiveBandwidth / 1e6, 1),
+                     TablePrinter::num(op.breakPoint, 1),
+                     TablePrinter::num(op.lambda, 1),
+                     TablePrinter::num(op.turningPoint, 1)});
+            }
+        }
+        table.print(std::cout);
+
+        TablePrinter sweep("Predicted app runtime vs cores per node");
+        sweep.setHeader({"P", "minutes"});
+        for (const auto &[cores, seconds] : model::sweepAppCores(
+                 app, config.numSlaves,
+                 {1, 2, 4, 8, 12, 16, 24, 36, 48, 72}, platform)) {
+            sweep.addRow({std::to_string(cores),
+                          TablePrinter::num(seconds / 60.0, 1)});
+        }
+        sweep.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+#include "cloud/advisor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace doppio::cloud {
+
+std::vector<Evaluation>
+Advisor::evaluateAll() const
+{
+    const CostOptimizer::Options &options = optimizer_.options();
+    std::vector<Evaluation> all;
+    for (int vcpus : options.vcpuChoices) {
+        for (CloudDiskType hdfs_type : options.hdfsTypes) {
+            for (CloudDiskType local_type : options.localTypes) {
+                for (Bytes hdfs_size : options.sizeGrid) {
+                    for (Bytes local_size : options.sizeGrid) {
+                        CloudConfig config;
+                        config.workers = options.workers;
+                        config.vcpus = vcpus;
+                        config.hdfsType = hdfs_type;
+                        config.hdfsSize = hdfs_size;
+                        config.localType = local_type;
+                        config.localSize = local_size;
+                        all.push_back(optimizer_.evaluate(config));
+                    }
+                }
+            }
+        }
+    }
+    return all;
+}
+
+std::optional<Evaluation>
+Advisor::cheapestUnderDeadline(double deadlineSeconds) const
+{
+    std::optional<Evaluation> best;
+    for (const Evaluation &eval : evaluateAll()) {
+        if (eval.seconds > deadlineSeconds)
+            continue;
+        if (!best || eval.cost < best->cost)
+            best = eval;
+    }
+    return best;
+}
+
+std::optional<Evaluation>
+Advisor::fastestUnderBudget(double budgetDollars) const
+{
+    std::optional<Evaluation> best;
+    for (const Evaluation &eval : evaluateAll()) {
+        if (eval.cost > budgetDollars)
+            continue;
+        if (!best || eval.seconds < best->seconds)
+            best = eval;
+    }
+    return best;
+}
+
+std::vector<Evaluation>
+Advisor::paretoFrontier() const
+{
+    std::vector<Evaluation> all = evaluateAll();
+    std::sort(all.begin(), all.end(),
+              [](const Evaluation &a, const Evaluation &b) {
+                  if (a.seconds != b.seconds)
+                      return a.seconds < b.seconds;
+                  return a.cost < b.cost;
+              });
+    std::vector<Evaluation> frontier;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const Evaluation &eval : all) {
+        if (eval.cost < best_cost) {
+            frontier.push_back(eval);
+            best_cost = eval.cost;
+        }
+    }
+    return frontier;
+}
+
+} // namespace doppio::cloud

@@ -1,0 +1,50 @@
+#include "cloud/gcp_disk.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace doppio::cloud {
+
+const char *
+cloudDiskTypeName(CloudDiskType type)
+{
+    return type == CloudDiskType::Standard ? "pd-standard" : "pd-ssd";
+}
+
+storage::DiskParams
+makeCloudDiskParams(CloudDiskType type, Bytes size)
+{
+    if (size == 0)
+        fatal("makeCloudDiskParams: size must be positive");
+    const double gb = static_cast<double>(size) / (1000.0 * 1000.0 *
+                                                   1000.0);
+    storage::DiskParams p;
+    p.capacity = size;
+    if (type == CloudDiskType::Standard) {
+        p.model = "gcp-pd-standard";
+        p.type = storage::DiskType::Hdd;
+        p.readIops = std::min(0.75 * gb, 1500.0);
+        p.writeIops = std::min(1.5 * gb, 3000.0);
+        p.readBandwidth = std::min(mibps(0.12) * gb, mibps(180.0));
+        p.writeBandwidth = std::min(mibps(0.12) * gb, mibps(120.0));
+        // Network-attached spinning pool: several ms per request.
+        p.readLatency = msToTicks(4.0);
+        p.writeLatency = msToTicks(4.0);
+    } else {
+        p.model = "gcp-pd-ssd";
+        p.type = storage::DiskType::Ssd;
+        p.readIops = std::min(30.0 * gb, 25000.0);
+        p.writeIops = std::min(30.0 * gb, 25000.0);
+        p.readBandwidth = std::min(mibps(0.48) * gb, mibps(800.0));
+        p.writeBandwidth = std::min(mibps(0.48) * gb, mibps(400.0));
+        p.readLatency = msToTicks(0.8);
+        p.writeLatency = msToTicks(0.8);
+    }
+    // Tiny disks still admit at least one request per second.
+    p.readIops = std::max(p.readIops, 1.0);
+    p.writeIops = std::max(p.writeIops, 1.0);
+    return p;
+}
+
+} // namespace doppio::cloud

@@ -1,0 +1,135 @@
+#include "cloud/optimizer.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "storage/fio.h"
+
+namespace doppio::cloud {
+
+CostOptimizer::CostOptimizer(model::AppModel appModel, GcpPricing pricing,
+                             Options options)
+    : app_(std::move(appModel)), pricing_(pricing),
+      options_(std::move(options))
+{
+    if (options_.workers <= 0)
+        fatal("CostOptimizer: workers must be positive");
+    if (options_.sizeGrid.empty())
+        options_.sizeGrid = defaultSizeGrid();
+}
+
+std::vector<Bytes>
+CostOptimizer::defaultSizeGrid()
+{
+    // Half-octave geometric grid, 100 GB .. 8 TB (decimal GB as GCP
+    // provisions) — fine enough to land within ~25% of the continuous
+    // optimum.
+    std::vector<Bytes> grid;
+    for (double gb = 100.0; gb <= 8200.0; gb *= 2.0) {
+        grid.push_back(static_cast<Bytes>(gb * 1e9));
+        const double mid = gb * 1.5;
+        if (mid <= 8200.0)
+            grid.push_back(static_cast<Bytes>(mid * 1e9));
+    }
+    return grid;
+}
+
+const std::pair<LookupTable, LookupTable> &
+CostOptimizer::tablesFor(CloudDiskType type, Bytes size) const
+{
+    const auto key = std::make_pair(static_cast<int>(type), size);
+    auto it = tableCache_.find(key);
+    if (it == tableCache_.end()) {
+        const storage::FioProfiler profiler(
+            makeCloudDiskParams(type, size));
+        it = tableCache_
+                 .emplace(key,
+                          std::make_pair(
+                              profiler.bandwidthTable(
+                                  storage::IoKind::Read),
+                              profiler.bandwidthTable(
+                                  storage::IoKind::Write)))
+                 .first;
+    }
+    return it->second;
+}
+
+model::PlatformProfile
+CostOptimizer::profileFor(const CloudConfig &config) const
+{
+    const auto &hdfs = tablesFor(config.hdfsType, config.hdfsSize);
+    const auto &local = tablesFor(config.localType, config.localSize);
+    model::PlatformProfile profile;
+    profile.hdfsRead = hdfs.first;
+    profile.hdfsWrite = hdfs.second;
+    profile.localRead = local.first;
+    profile.localWrite = local.second;
+    return profile;
+}
+
+Evaluation
+CostOptimizer::evaluate(const CloudConfig &config) const
+{
+    Evaluation eval;
+    eval.config = config;
+    eval.seconds = app_.predictSeconds(config.workers, config.vcpus,
+                                       profileFor(config));
+    eval.cost = jobCost(config, pricing_, eval.seconds);
+    return eval;
+}
+
+Evaluation
+CostOptimizer::optimize() const
+{
+    Evaluation best;
+    best.cost = std::numeric_limits<double>::infinity();
+    for (int vcpus : options_.vcpuChoices) {
+        for (CloudDiskType hdfs_type : options_.hdfsTypes) {
+            for (CloudDiskType local_type : options_.localTypes) {
+                for (Bytes hdfs_size : options_.sizeGrid) {
+                    for (Bytes local_size : options_.sizeGrid) {
+                        CloudConfig config;
+                        config.workers = options_.workers;
+                        config.vcpus = vcpus;
+                        config.hdfsType = hdfs_type;
+                        config.hdfsSize = hdfs_size;
+                        config.localType = local_type;
+                        config.localSize = local_size;
+                        const Evaluation eval = evaluate(config);
+                        if (eval.cost < best.cost)
+                            best = eval;
+                    }
+                }
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<Evaluation>
+CostOptimizer::sweepLocalSize(CloudConfig base,
+                              const std::vector<Bytes> &sizes) const
+{
+    std::vector<Evaluation> result;
+    result.reserve(sizes.size());
+    for (Bytes size : sizes) {
+        base.localSize = size;
+        result.push_back(evaluate(base));
+    }
+    return result;
+}
+
+std::vector<Evaluation>
+CostOptimizer::sweepHdfsSize(CloudConfig base,
+                             const std::vector<Bytes> &sizes) const
+{
+    std::vector<Evaluation> result;
+    result.reserve(sizes.size());
+    for (Bytes size : sizes) {
+        base.hdfsSize = size;
+        result.push_back(evaluate(base));
+    }
+    return result;
+}
+
+} // namespace doppio::cloud

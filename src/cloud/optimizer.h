@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Model-driven cloud configuration optimizer (paper §VI).
+ *
+ * Converts configuration selection into minimizing the discrete
+ * multivariate function Cost = f(P, DiskTypes, DiskSize_HDFS,
+ * DiskSize_SparkLocal, Time), where Time comes from the fitted Doppio
+ * model evaluated against each candidate's disk profile. The search
+ * space is small and each evaluation is a closed-form model query, so
+ * we search it exhaustively over a geometric size grid (the paper uses
+ * gradient descent; both find the same optimum on this convex-ish
+ * surface, and the exhaustive sweep also yields the Fig. 13/15 cost
+ * curves).
+ */
+
+#ifndef DOPPIO_CLOUD_OPTIMIZER_H
+#define DOPPIO_CLOUD_OPTIMIZER_H
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "cloud/pricing.h"
+#include "model/stage_model.h"
+
+namespace doppio::cloud {
+
+/** Model evaluation of one candidate configuration. */
+struct Evaluation
+{
+    CloudConfig config;
+    double seconds = 0.0; //!< model-predicted runtime
+    double cost = 0.0;    //!< dollars for the job
+};
+
+/** Searches cloud configurations using a fitted application model. */
+class CostOptimizer
+{
+  public:
+    /** Search-space definition. */
+    struct Options
+    {
+        int workers = 10;
+        /** vCPU choices per worker (paper fixes 16 for predictability,
+         *  citing HCloud). */
+        std::vector<int> vcpuChoices = {16};
+        /** Disk families considered for HDFS. */
+        std::vector<CloudDiskType> hdfsTypes = {CloudDiskType::Standard};
+        /** Disk families considered for Spark local. */
+        std::vector<CloudDiskType> localTypes = {
+            CloudDiskType::Standard, CloudDiskType::Ssd};
+        /** Candidate provisioned sizes; empty = default geometric grid
+         *  100 GB .. 8 TB. */
+        std::vector<Bytes> sizeGrid;
+    };
+
+    CostOptimizer(model::AppModel appModel, GcpPricing pricing,
+                  Options options);
+
+    /** Predict runtime and cost for one configuration. */
+    Evaluation evaluate(const CloudConfig &config) const;
+
+    /** Exhaustive search; @return the cheapest configuration. */
+    Evaluation optimize() const;
+
+    /** Cost/runtime curve vs Spark-local size (Fig. 13b / 15). */
+    std::vector<Evaluation>
+    sweepLocalSize(CloudConfig base,
+                   const std::vector<Bytes> &sizes) const;
+
+    /** Cost/runtime curve vs HDFS size (Fig. 13a). */
+    std::vector<Evaluation>
+    sweepHdfsSize(CloudConfig base,
+                  const std::vector<Bytes> &sizes) const;
+
+    /** The default geometric size grid. */
+    static std::vector<Bytes> defaultSizeGrid();
+
+    const Options &options() const { return options_; }
+    const GcpPricing &pricing() const { return pricing_; }
+
+  private:
+    /** Cached effective-bandwidth tables per provisioned disk. */
+    const std::pair<LookupTable, LookupTable> &
+    tablesFor(CloudDiskType type, Bytes size) const;
+
+    model::PlatformProfile profileFor(const CloudConfig &config) const;
+
+    model::AppModel app_;
+    GcpPricing pricing_;
+    Options options_;
+    mutable std::map<std::pair<int, Bytes>,
+                     std::pair<LookupTable, LookupTable>>
+        tableCache_;
+};
+
+} // namespace doppio::cloud
+
+#endif // DOPPIO_CLOUD_OPTIMIZER_H

@@ -1,0 +1,76 @@
+#include "cloud/pricing.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace doppio::cloud {
+
+double
+GcpPricing::diskPerHour(CloudDiskType type, Bytes size) const
+{
+    const double gb = static_cast<double>(size) / (1000.0 * 1000.0 *
+                                                   1000.0);
+    const double per_month = type == CloudDiskType::Standard
+                                 ? standardGbPerMonth
+                                 : ssdGbPerMonth;
+    return gb * per_month / hoursPerMonth;
+}
+
+std::string
+CloudConfig::describe() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%d workers x %d vCPU, HDFS=%s %.0fGB, Local=%s %.0fGB",
+                  workers, vcpus, cloudDiskTypeName(hdfsType),
+                  static_cast<double>(hdfsSize) / 1e9,
+                  cloudDiskTypeName(localType),
+                  static_cast<double>(localSize) / 1e9);
+    return buf;
+}
+
+double
+fleetCostPerHour(const CloudConfig &config, const GcpPricing &pricing)
+{
+    if (config.workers <= 0 || config.vcpus <= 0)
+        fatal("fleetCostPerHour: workers and vcpus must be positive");
+    const double per_worker =
+        config.vcpus * pricing.vcpuPerHour +
+        pricing.diskPerHour(config.hdfsType, config.hdfsSize) +
+        pricing.diskPerHour(config.localType, config.localSize);
+    return config.workers * per_worker;
+}
+
+double
+jobCost(const CloudConfig &config, const GcpPricing &pricing,
+        double seconds)
+{
+    return fleetCostPerHour(config, pricing) * seconds / 3600.0;
+}
+
+CloudConfig
+referenceR1(int workers)
+{
+    CloudConfig config;
+    config.workers = workers;
+    config.vcpus = 16;
+    config.hdfsType = CloudDiskType::Standard;
+    config.localType = CloudDiskType::Standard;
+    // 8 x 1 TB per worker, split between HDFS and Spark local.
+    config.hdfsSize = 4000ULL * 1000 * 1000 * 1000;
+    config.localSize = 4000ULL * 1000 * 1000 * 1000;
+    return config;
+}
+
+CloudConfig
+referenceR2(int workers)
+{
+    CloudConfig config = referenceR1(workers);
+    // 16 x 1 TB per worker.
+    config.hdfsSize = 8000ULL * 1000 * 1000 * 1000;
+    config.localSize = 8000ULL * 1000 * 1000 * 1000;
+    return config;
+}
+
+} // namespace doppio::cloud

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Google Cloud pricing and cluster configurations (paper §VI).
+ *
+ * Cost = f(CoreNum, DiskTypes, DiskSize_HDFS, DiskSize_SparkLocal,
+ * Time): each worker is billed per vCPU-hour plus per-GB-month for its
+ * two provisioned disks (Table V). The paper's reference
+ * configurations R1 (Apache Spark hardware-provisioning guide, 1:2
+ * disk:core ratio -> 8 x 1 TB) and R2 (Cloudera, 1:1 -> 16 x 1 TB) are
+ * provided for the Fig. 13/15 comparisons.
+ */
+
+#ifndef DOPPIO_CLOUD_PRICING_H
+#define DOPPIO_CLOUD_PRICING_H
+
+#include <string>
+
+#include "cloud/gcp_disk.h"
+#include "common/units.h"
+
+namespace doppio::cloud {
+
+/** Price book (2017-era Google Cloud, Table V). */
+struct GcpPricing
+{
+    double vcpuPerHour = 0.033174;       //!< custom machine type vCPU
+    double standardGbPerMonth = 0.040;   //!< Table V row 1
+    double ssdGbPerMonth = 0.170;        //!< Table V row 2
+    double hoursPerMonth = 730.0;
+
+    /** @return $/hour for one provisioned disk. */
+    double diskPerHour(CloudDiskType type, Bytes size) const;
+};
+
+/** One candidate worker-fleet configuration. */
+struct CloudConfig
+{
+    int workers = 10;
+    int vcpus = 16; //!< per worker; executor cores P == vcpus
+    CloudDiskType hdfsType = CloudDiskType::Standard;
+    Bytes hdfsSize = 0;
+    CloudDiskType localType = CloudDiskType::Standard;
+    Bytes localSize = 0;
+
+    /** @return human-readable summary. */
+    std::string describe() const;
+};
+
+/** @return $/hour for the whole fleet under @p pricing. */
+double fleetCostPerHour(const CloudConfig &config,
+                        const GcpPricing &pricing);
+
+/** @return dollars for running @p seconds on @p config. */
+double jobCost(const CloudConfig &config, const GcpPricing &pricing,
+               double seconds);
+
+/**
+ * R1 — Apache Spark hardware-provisioning recommendation: disks:cores
+ * = 1:2, i.e. 8 x 1 TB standard disks per 16-vCPU worker (4 TB HDFS +
+ * 4 TB local).
+ */
+CloudConfig referenceR1(int workers = 10);
+
+/**
+ * R2 — Cloudera Hadoop-cluster recommendation: disks:cores = 1:1,
+ * i.e. 16 x 1 TB standard disks per 16-vCPU worker (8 TB + 8 TB).
+ */
+CloudConfig referenceR2(int workers = 10);
+
+} // namespace doppio::cloud
+
+#endif // DOPPIO_CLOUD_PRICING_H

@@ -1,0 +1,62 @@
+#include "cluster/cluster.h"
+
+#include "common/logging.h"
+
+namespace doppio::cluster {
+
+Node::Node(sim::Simulator &simulator, const NodeConfig &config, int id)
+    : config_(config), id_(id)
+{
+    if (config.hdfsDiskCount <= 0 || config.localDiskCount <= 0)
+        fatal("Node: disk counts must be positive");
+    const std::string prefix = "node" + std::to_string(id);
+    for (int d = 0; d < config.hdfsDiskCount; ++d) {
+        hdfsDisks_.push_back(std::make_unique<storage::DiskDevice>(
+            simulator, config.hdfsDisk,
+            prefix + "/hdfs" + std::to_string(d)));
+    }
+    for (int d = 0; d < config.localDiskCount; ++d) {
+        localDisks_.push_back(std::make_unique<storage::DiskDevice>(
+            simulator, config.localDisk,
+            prefix + "/local" + std::to_string(d)));
+    }
+}
+
+storage::DiskDevice &
+Node::pickHdfsDisk()
+{
+    storage::DiskDevice &disk = *hdfsDisks_[nextHdfs_];
+    nextHdfs_ = (nextHdfs_ + 1) % hdfsDisks_.size();
+    return disk;
+}
+
+storage::DiskDevice &
+Node::pickLocalDisk()
+{
+    storage::DiskDevice &disk = *localDisks_[nextLocal_];
+    nextLocal_ = (nextLocal_ + 1) % localDisks_.size();
+    return disk;
+}
+
+Cluster::Cluster(sim::Simulator &simulator, ClusterConfig config)
+    : sim_(simulator), config_(std::move(config))
+{
+    if (config_.numSlaves <= 0)
+        fatal("Cluster: need at least one slave node");
+    if (config_.node.cores <= 0)
+        fatal("Cluster: nodes need at least one core");
+    nodes_.reserve(static_cast<std::size_t>(config_.numSlaves));
+    for (int n = 0; n < config_.numSlaves; ++n)
+        nodes_.push_back(std::make_unique<Node>(sim_, config_.node, n));
+    network_ = std::make_unique<net::Network>(
+        sim_, config_.numSlaves, config_.networkBandwidth);
+}
+
+Bytes
+Cluster::totalStorageMemory() const
+{
+    return static_cast<Bytes>(config_.numSlaves) *
+           config_.node.storageMemory();
+}
+
+} // namespace doppio::cluster

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Runtime cluster: nodes with disks, wired to a network fabric.
+ *
+ * A Cluster instantiates one Node per slave, each owning two DiskDevice
+ * instances (HDFS and spark.local.dir) so I/O purposes contend exactly
+ * where they did on the paper's testbed.
+ */
+
+#ifndef DOPPIO_CLUSTER_CLUSTER_H
+#define DOPPIO_CLUSTER_CLUSTER_H
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "storage/disk_device.h"
+
+namespace doppio::cluster {
+
+/**
+ * One slave node: executor cores plus its disks. Each role (HDFS,
+ * spark.local.dir) may be backed by several identical devices (JBOD);
+ * accesses spread round-robin, as Spark/HDFS do.
+ */
+class Node
+{
+  public:
+    Node(sim::Simulator &simulator, const NodeConfig &config, int id);
+
+    int id() const { return id_; }
+    int cores() const { return config_.cores; }
+    const NodeConfig &config() const { return config_; }
+
+    /** @return device @p index backing the HDFS data directory. */
+    storage::DiskDevice &hdfsDisk(int index = 0)
+    {
+        return *hdfsDisks_[static_cast<std::size_t>(index)];
+    }
+    const storage::DiskDevice &hdfsDisk(int index = 0) const
+    {
+        return *hdfsDisks_[static_cast<std::size_t>(index)];
+    }
+
+    /** @return device @p index backing spark.local.dir. */
+    storage::DiskDevice &localDisk(int index = 0)
+    {
+        return *localDisks_[static_cast<std::size_t>(index)];
+    }
+    const storage::DiskDevice &localDisk(int index = 0) const
+    {
+        return *localDisks_[static_cast<std::size_t>(index)];
+    }
+
+    int hdfsDiskCount() const
+    {
+        return static_cast<int>(hdfsDisks_.size());
+    }
+    int localDiskCount() const
+    {
+        return static_cast<int>(localDisks_.size());
+    }
+
+    /** @return the next HDFS device in round-robin order. */
+    storage::DiskDevice &pickHdfsDisk();
+
+    /** @return the next spark.local.dir device in round-robin order. */
+    storage::DiskDevice &pickLocalDisk();
+
+  private:
+    NodeConfig config_;
+    int id_;
+    std::vector<std::unique_ptr<storage::DiskDevice>> hdfsDisks_;
+    std::vector<std::unique_ptr<storage::DiskDevice>> localDisks_;
+    std::size_t nextHdfs_ = 0;
+    std::size_t nextLocal_ = 0;
+};
+
+/** The slave fleet plus network fabric. The master node is implicit. */
+class Cluster
+{
+  public:
+    Cluster(sim::Simulator &simulator, ClusterConfig config);
+
+    sim::Simulator &simulator() { return sim_; }
+    const ClusterConfig &config() const { return config_; }
+
+    int numSlaves() const { return config_.numSlaves; }
+
+    Node &node(int id) { return *nodes_[static_cast<std::size_t>(id)]; }
+    const Node &node(int id) const
+    {
+        return *nodes_[static_cast<std::size_t>(id)];
+    }
+
+    net::Network &network() { return *network_; }
+
+    /** @return cluster-wide RDD storage memory (sum over slaves). */
+    Bytes totalStorageMemory() const;
+
+  private:
+    sim::Simulator &sim_;
+    ClusterConfig config_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::unique_ptr<net::Network> network_;
+};
+
+} // namespace doppio::cluster
+
+#endif // DOPPIO_CLUSTER_CLUSTER_H

@@ -1,0 +1,50 @@
+#include "cluster/cluster_config.h"
+
+namespace doppio::cluster {
+
+std::string
+HybridConfig::name() const
+{
+    return std::string("HDFS=") + storage::diskTypeName(hdfs) +
+           "/Local=" + storage::diskTypeName(local);
+}
+
+namespace {
+
+storage::DiskParams
+paramsFor(storage::DiskType type)
+{
+    return type == storage::DiskType::Hdd ? storage::makeHddParams()
+                                          : storage::makeSsdParams();
+}
+
+} // namespace
+
+void
+ClusterConfig::applyHybrid(const HybridConfig &hybrid)
+{
+    node.hdfsDisk = paramsFor(hybrid.hdfs);
+    node.localDisk = paramsFor(hybrid.local);
+}
+
+ClusterConfig
+ClusterConfig::motivationCluster()
+{
+    ClusterConfig config;
+    config.numSlaves = 3;
+    config.node.cores = 36;
+    config.applyHybrid(HybridConfig::config1());
+    return config;
+}
+
+ClusterConfig
+ClusterConfig::evaluationCluster()
+{
+    ClusterConfig config;
+    config.numSlaves = 10;
+    config.node.cores = 36;
+    config.applyHybrid(HybridConfig::config1());
+    return config;
+}
+
+} // namespace doppio::cluster

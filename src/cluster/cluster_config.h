@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cluster and node configuration.
+ *
+ * Mirrors the paper's Tables I-III: each slave node has a core count,
+ * RAM, a Spark executor memory budget with a storage fraction, one disk
+ * for HDFS and one for the Spark local directory (spark.local.dir), and
+ * a 10 Gb/s NIC. The four HDD/SSD hybrid configurations of Table III
+ * are provided as named factories.
+ */
+
+#ifndef DOPPIO_CLUSTER_CLUSTER_CONFIG_H
+#define DOPPIO_CLUSTER_CLUSTER_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "storage/disk_params.h"
+
+namespace doppio::cluster {
+
+/** Configuration of one slave node (Table I). */
+struct NodeConfig
+{
+    int cores = 36;                 //!< 2x Xeon E5-2699 v3
+    Bytes ram = 128 * kGiB;
+    Bytes executorMemory = 90 * kGiB; //!< SPARK_WORKER_MEMORY
+    /// Fraction of executor memory usable as RDD storage (paper assumes
+    /// "around 40% of the entire Spark executor memory").
+    double storageFraction = 0.4;
+    storage::DiskParams hdfsDisk;   //!< device backing HDFS
+    storage::DiskParams localDisk;  //!< device backing spark.local.dir
+    /**
+     * Number of devices striped behind each role (JBOD: Spark
+     * round-robins spark.local.dir across disks; HDFS stripes blocks).
+     * The paper: "our model relates to disk bandwidth rather than
+     * disk number. Thus, it is general enough to support the
+     * multi-disk case" — aggregate bandwidth scales with the count.
+     */
+    int hdfsDiskCount = 1;
+    int localDiskCount = 1;
+
+    /** @return bytes of RDD storage memory on this node. */
+    Bytes
+    storageMemory() const
+    {
+        return static_cast<Bytes>(
+            static_cast<double>(executorMemory) * storageFraction);
+    }
+};
+
+/** Table III: which device backs HDFS and Spark local. */
+struct HybridConfig
+{
+    storage::DiskType hdfs = storage::DiskType::Ssd;
+    storage::DiskType local = storage::DiskType::Ssd;
+
+    /** @return e.g. "HDFS=SSD/Local=HDD". */
+    std::string name() const;
+
+    /** Table III column 1: SSD + SSD ("2SSD"). */
+    static HybridConfig config1() { return {storage::DiskType::Ssd,
+                                            storage::DiskType::Ssd}; }
+    /** Table III column 2: HDD HDFS + SSD local. */
+    static HybridConfig config2() { return {storage::DiskType::Hdd,
+                                            storage::DiskType::Ssd}; }
+    /** Table III column 3: SSD HDFS + HDD local. */
+    static HybridConfig config3() { return {storage::DiskType::Ssd,
+                                            storage::DiskType::Hdd}; }
+    /** Table III column 4: HDD + HDD ("2HDD"). */
+    static HybridConfig config4() { return {storage::DiskType::Hdd,
+                                            storage::DiskType::Hdd}; }
+};
+
+/** Whole-cluster configuration. */
+struct ClusterConfig
+{
+    int numSlaves = 3;
+    NodeConfig node;
+    BytesPerSec networkBandwidth = gibps(10.0 / 8.0); //!< 10 Gb/s NIC
+    std::uint64_t seed = 42;  //!< root seed for all stochastic parts
+    double taskJitterSigma = 0.04; //!< lognormal task-time jitter shape
+    /**
+     * Straggler injection: each task is slowed by stragglerSlowdown
+     * with this probability (degraded disk, noisy neighbor, thermal
+     * throttling). Used to exercise speculative execution.
+     */
+    double stragglerProbability = 0.0;
+    double stragglerSlowdown = 5.0;
+
+    /** Apply a Table III hybrid disk configuration to every node. */
+    void applyHybrid(const HybridConfig &hybrid);
+
+    /**
+     * The paper's motivation cluster (§III): four nodes, one master,
+     * three slaves, 36 executor cores each.
+     */
+    static ClusterConfig motivationCluster();
+
+    /**
+     * The paper's evaluation cluster (§V): eleven nodes, one master,
+     * ten slaves.
+     */
+    static ClusterConfig evaluationCluster();
+};
+
+} // namespace doppio::cluster
+
+#endif // DOPPIO_CLUSTER_CLUSTER_CONFIG_H

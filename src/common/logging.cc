@@ -1,0 +1,85 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace doppio {
+
+namespace {
+
+std::atomic<bool> verboseFlag{false};
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0)
+        return fmt;
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+verboseEnabled()
+{
+    return verboseFlag.load(std::memory_order_relaxed);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    const std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    const std::string msg = vformat(fmt, args);
+    va_end(args);
+    throw FatalError(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    const std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseEnabled())
+        return;
+    va_list args;
+    va_start(args, fmt);
+    const std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace doppio

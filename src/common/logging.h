@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style.
+ *
+ * panic()  — internal invariant violated; aborts (simulator bug).
+ * fatal()  — unusable user configuration; throws FatalError so library
+ *            embedders (and tests) can catch it.
+ * warn()   — something works but is suspicious.
+ * inform() — normal progress messages, silenced unless verbose.
+ */
+
+#ifndef DOPPIO_COMMON_LOGGING_H
+#define DOPPIO_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace doppio {
+
+/** Exception thrown by fatal(): a user-configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Enable/disable inform() output globally (default: disabled). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verboseEnabled();
+
+/** Report an internal invariant violation and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unusable user configuration by throwing FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a progress message to stderr when verbose mode is on. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace doppio
+
+#endif // DOPPIO_COMMON_LOGGING_H

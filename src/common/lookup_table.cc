@@ -1,0 +1,60 @@
+#include "common/lookup_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace doppio {
+
+LookupTable::LookupTable(std::vector<std::pair<double, double>> points,
+                         Scale scale)
+    : points_(std::move(points)), scale_(scale)
+{
+    std::sort(points_.begin(), points_.end());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        if (scale_ == Scale::Log && points_[i].first <= 0.0)
+            fatal("LookupTable: log scale requires positive x (got %g)",
+                  points_[i].first);
+        if (i > 0 && points_[i].first == points_[i - 1].first)
+            fatal("LookupTable: duplicate x anchor %g", points_[i].first);
+    }
+}
+
+void
+LookupTable::addPoint(double x, double y)
+{
+    if (scale_ == Scale::Log && x <= 0.0)
+        fatal("LookupTable: log scale requires positive x (got %g)", x);
+    auto it = std::lower_bound(points_.begin(), points_.end(),
+                               std::make_pair(x, 0.0));
+    if (it != points_.end() && it->first == x)
+        fatal("LookupTable: duplicate x anchor %g", x);
+    points_.insert(it, {x, y});
+}
+
+double
+LookupTable::toAxis(double x) const
+{
+    return scale_ == Scale::Log ? std::log(x) : x;
+}
+
+double
+LookupTable::at(double x) const
+{
+    if (points_.empty())
+        fatal("LookupTable: query on empty table");
+    if (x <= points_.front().first)
+        return points_.front().second;
+    if (x >= points_.back().first)
+        return points_.back().second;
+    auto hi = std::lower_bound(points_.begin(), points_.end(),
+                               std::make_pair(x, 0.0));
+    auto lo = hi - 1;
+    const double x0 = toAxis(lo->first);
+    const double x1 = toAxis(hi->first);
+    const double t = (toAxis(x) - x0) / (x1 - x0);
+    return lo->second + t * (hi->second - lo->second);
+}
+
+} // namespace doppio

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Monotone-x interpolated lookup table.
+ *
+ * The Doppio model consumes one-time disk-profiling results as
+ * "effective bandwidth vs. request size" tables (paper §VI-1). Request
+ * sizes span 4 KB to 128 MB, so interpolation is done in log-x space by
+ * default, which matches how fio sweeps are plotted (Fig. 5).
+ */
+
+#ifndef DOPPIO_COMMON_LOOKUP_TABLE_H
+#define DOPPIO_COMMON_LOOKUP_TABLE_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace doppio {
+
+/**
+ * Piecewise-linear interpolation over sorted (x, y) anchor points.
+ * Queries below the first / above the last anchor clamp to the end values.
+ */
+class LookupTable
+{
+  public:
+    /** Interpolation behaviour on the x axis. */
+    enum class Scale { Linear, Log };
+
+    LookupTable() = default;
+
+    /**
+     * Build from anchor points.
+     * @param points (x, y) pairs; sorted internally; x must be positive
+     *               when Scale::Log is used and strictly increasing after
+     *               sorting (duplicate x is a configuration error).
+     * @param scale  x-axis interpolation space.
+     */
+    explicit LookupTable(std::vector<std::pair<double, double>> points,
+                         Scale scale = Scale::Log);
+
+    /** Add one anchor point (keeps the table sorted). */
+    void addPoint(double x, double y);
+
+    /** @return interpolated y at x (clamped at the ends). */
+    double at(double x) const;
+
+    /** @return number of anchor points. */
+    std::size_t size() const { return points_.size(); }
+
+    /** @return true if no anchors have been added. */
+    bool empty() const { return points_.empty(); }
+
+    /** @return the anchor points, sorted by x. */
+    const std::vector<std::pair<double, double>> &points() const
+    {
+        return points_;
+    }
+
+  private:
+    double toAxis(double x) const;
+
+    std::vector<std::pair<double, double>> points_;
+    Scale scale_ = Scale::Log;
+};
+
+} // namespace doppio
+
+#endif // DOPPIO_COMMON_LOOKUP_TABLE_H

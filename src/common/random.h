@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic random-number generation for reproducible simulations.
+ *
+ * Every stochastic component (task-time jitter, straggler injection,
+ * block placement) draws from an Rng seeded from the run configuration,
+ * so two runs with the same configuration produce identical results.
+ */
+
+#ifndef DOPPIO_COMMON_RANDOM_H
+#define DOPPIO_COMMON_RANDOM_H
+
+#include <cstdint>
+
+namespace doppio {
+
+/**
+ * A small, fast, deterministic RNG (xoshiro256**) with the distributions
+ * the simulator needs. Not cryptographic; not std::mt19937 so that results
+ * are stable across standard libraries.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via SplitMix64 state expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return uniform integer in [0, n); n must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** @return standard normal deviate (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** @return normal deviate with given mean/stddev. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * @return lognormal multiplicative jitter with E[x] = 1.
+     * @param sigma shape parameter; 0 returns exactly 1.
+     */
+    double jitter(double sigma);
+
+    /** Derive an independent child stream (e.g. per task). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace doppio
+
+#endif // DOPPIO_COMMON_RANDOM_H

@@ -1,0 +1,24 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace doppio {
+
+std::string
+formatDuration(Tick t)
+{
+    char buf[64];
+    const double s = ticksToSeconds(t);
+    if (s >= 120.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f min", s / 60.0);
+    } else if (s >= 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f s", s);
+    } else if (s >= 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f us", s * 1e6);
+    }
+    return buf;
+}
+
+} // namespace doppio

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simulated-time representation.
+ *
+ * The discrete-event core advances an integer tick clock with nanosecond
+ * resolution; 64 bits of nanoseconds cover ~584 years of simulated time,
+ * far beyond any Spark job. The analytical model layer works in double
+ * seconds; converters live here so the boundary is explicit.
+ */
+
+#ifndef DOPPIO_COMMON_SIM_TIME_H
+#define DOPPIO_COMMON_SIM_TIME_H
+
+#include <cstdint>
+#include <string>
+
+namespace doppio {
+
+/** A point (or duration) in simulated time, in nanoseconds. */
+using Tick = std::uint64_t;
+
+constexpr Tick kTicksPerUs = 1000ULL;
+constexpr Tick kTicksPerMs = 1000ULL * kTicksPerUs;
+constexpr Tick kTicksPerSec = 1000ULL * kTicksPerMs;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick kTickNever = ~0ULL;
+
+/** Convert seconds (double) to ticks, rounding to nearest. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kTicksPerSec) + 0.5);
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kTicksPerMs) + 0.5);
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs) + 0.5);
+}
+
+/** Convert ticks to double seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/** Convert ticks to double minutes (the unit most paper figures use). */
+constexpr double
+ticksToMinutes(Tick t)
+{
+    return ticksToSeconds(t) / 60.0;
+}
+
+/** Format a duration as "12.3 min" / "45.6 s" / "7.8 ms" adaptively. */
+std::string formatDuration(Tick t);
+
+} // namespace doppio
+
+#endif // DOPPIO_COMMON_SIM_TIME_H

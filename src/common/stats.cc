@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace doppio {
+
+void
+SummaryStats::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+void
+SummaryStats::addMany(double x, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    SummaryStats batch;
+    batch.count_ = n;
+    batch.sum_ = x * static_cast<double>(n);
+    batch.mean_ = x;
+    batch.m2_ = 0.0;
+    batch.min_ = x;
+    batch.max_ = x;
+    merge(batch);
+}
+
+void
+SummaryStats::merge(const SummaryStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    mean_ = (na * mean_ + nb * other.mean_) / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
+void
+SummaryStats::reset()
+{
+    *this = SummaryStats();
+}
+
+double
+SummaryStats::variance() const
+{
+    return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+SummaryStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+relativeError(double predicted, double measured)
+{
+    if (measured == 0.0)
+        return predicted == 0.0 ? 0.0
+                                : std::numeric_limits<double>::infinity();
+    return std::fabs(predicted - measured) / std::fabs(measured);
+}
+
+} // namespace doppio

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Streaming summary statistics.
+ *
+ * Used for per-stage task-time distributions, iostat-style request-size
+ * averages, and for the repeated-run error bars the paper reports
+ * ("average run time for five runs ... with positive and negative error
+ * values").
+ */
+
+#ifndef DOPPIO_COMMON_STATS_H
+#define DOPPIO_COMMON_STATS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace doppio {
+
+/**
+ * Welford-style running mean/variance plus min/max and sum.
+ * O(1) memory; suitable for millions of samples.
+ */
+class SummaryStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Add @p n identical samples of value @p x in O(1). */
+    void addMany(double x, std::uint64_t n);
+
+    /** Merge another accumulator into this one. */
+    void merge(const SummaryStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** @return number of samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return sum of samples (0 when empty). */
+    double sum() const { return sum_; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** @return smallest sample (+inf when empty). */
+    double min() const { return min_; }
+
+    /** @return largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+    /** @return population variance (0 for < 2 samples). */
+    double variance() const;
+
+    /** @return population standard deviation. */
+    double stddev() const;
+
+    /** @return max - mean, i.e. the paper's positive error bar. */
+    double plusError() const { return count_ ? max_ - mean() : 0.0; }
+
+    /** @return mean - min, i.e. the paper's negative error bar. */
+    double minusError() const { return count_ ? mean() - min_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double m2_ = 0.0;
+    double mean_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Relative-error helper: |predicted - measured| / measured.
+ * @return 0 when measured is 0 and predicted is 0; +inf when only
+ *         measured is 0.
+ */
+double relativeError(double predicted, double measured);
+
+} // namespace doppio
+
+#endif // DOPPIO_COMMON_STATS_H

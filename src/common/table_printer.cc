@@ -1,0 +1,78 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace doppio {
+
+TablePrinter::TablePrinter(std::string title)
+    : title_(std::move(title))
+{}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            os << cell;
+            if (i + 1 < widths.size())
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total >= 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+} // namespace doppio

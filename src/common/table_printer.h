@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Aligned console tables for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figure
+ * series as rows on stdout; this helper keeps the output readable and
+ * uniform across binaries.
+ */
+
+#ifndef DOPPIO_COMMON_TABLE_PRINTER_H
+#define DOPPIO_COMMON_TABLE_PRINTER_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace doppio {
+
+/**
+ * Collects string cells and prints a column-aligned table with a header
+ * rule. Numeric convenience overloads format with a fixed precision.
+ */
+class TablePrinter
+{
+  public:
+    /** @param title optional caption printed above the table. */
+    explicit TablePrinter(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a fully-formed row of string cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with @p precision decimal places. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a value as a percentage, e.g. 0.057 -> "5.7%". */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace doppio
+
+#endif // DOPPIO_COMMON_TABLE_PRINTER_H

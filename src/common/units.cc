@@ -1,0 +1,41 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace doppio {
+
+namespace {
+
+std::string
+formatScaled(double value, const char *suffix)
+{
+    static const std::array<const char *, 5> prefixes = {
+        "", "K", "M", "G", "T"
+    };
+    std::size_t idx = 0;
+    while (value >= 1024.0 && idx + 1 < prefixes.size()) {
+        value /= 1024.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f %s%s", value, prefixes[idx],
+                  suffix);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(Bytes b)
+{
+    return formatScaled(static_cast<double>(b), "B");
+}
+
+std::string
+formatBandwidth(BytesPerSec bw)
+{
+    return formatScaled(bw, "B/s");
+}
+
+} // namespace doppio

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Byte-size and bandwidth units used across Doppio.
+ *
+ * All data sizes are carried as unsigned 64-bit byte counts; bandwidths are
+ * double bytes-per-second. Helpers provide literal-style constructors
+ * (kib/mib/gib) and human-readable formatting for reports.
+ */
+
+#ifndef DOPPIO_COMMON_UNITS_H
+#define DOPPIO_COMMON_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace doppio {
+
+/** A size in bytes. */
+using Bytes = std::uint64_t;
+
+/** A bandwidth in bytes per second. */
+using BytesPerSec = double;
+
+constexpr Bytes kKiB = 1024ULL;
+constexpr Bytes kMiB = 1024ULL * kKiB;
+constexpr Bytes kGiB = 1024ULL * kMiB;
+constexpr Bytes kTiB = 1024ULL * kGiB;
+
+/** Build a byte count from KiB (binary kilobytes). */
+constexpr Bytes
+kib(double v)
+{
+    return static_cast<Bytes>(v * static_cast<double>(kKiB));
+}
+
+/** Build a byte count from MiB. */
+constexpr Bytes
+mib(double v)
+{
+    return static_cast<Bytes>(v * static_cast<double>(kMiB));
+}
+
+/** Build a byte count from GiB. */
+constexpr Bytes
+gib(double v)
+{
+    return static_cast<Bytes>(v * static_cast<double>(kGiB));
+}
+
+/** Build a byte count from TiB. */
+constexpr Bytes
+tib(double v)
+{
+    return static_cast<Bytes>(v * static_cast<double>(kTiB));
+}
+
+/** Build a bandwidth from MiB/s. */
+constexpr BytesPerSec
+mibps(double v)
+{
+    return v * static_cast<double>(kMiB);
+}
+
+/** Build a bandwidth from GiB/s. */
+constexpr BytesPerSec
+gibps(double v)
+{
+    return v * static_cast<double>(kGiB);
+}
+
+/** Convert a byte count to (double) MiB. */
+constexpr double
+toMiB(Bytes b)
+{
+    return static_cast<double>(b) / static_cast<double>(kMiB);
+}
+
+/** Convert a byte count to (double) GiB. */
+constexpr double
+toGiB(Bytes b)
+{
+    return static_cast<double>(b) / static_cast<double>(kGiB);
+}
+
+/** Convert a bandwidth to (double) MiB/s. */
+constexpr double
+toMiBps(BytesPerSec bw)
+{
+    return bw / static_cast<double>(kMiB);
+}
+
+/**
+ * Format a byte count with an adaptive unit, e.g. "334.0 GB".
+ * Uses binary units but the conventional B/KB/MB/GB/TB suffixes, matching
+ * how the paper reports sizes.
+ */
+std::string formatBytes(Bytes b);
+
+/** Format a bandwidth, e.g. "480.0 MB/s". */
+std::string formatBandwidth(BytesPerSec bw);
+
+} // namespace doppio
+
+#endif // DOPPIO_COMMON_UNITS_H

@@ -1,0 +1,139 @@
+#include "dfs/hdfs.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "storage/io_request.h"
+
+namespace doppio::dfs {
+
+Hdfs::Hdfs(cluster::Cluster &clusterRef, HdfsConfig config)
+    : cluster_(clusterRef), config_(config),
+      rng_(clusterRef.config().seed ^ 0x68646673ULL /* "hdfs" */)
+{
+    if (config_.blockSize == 0)
+        fatal("Hdfs: block size must be positive");
+    if (config_.replication < 1)
+        fatal("Hdfs: replication must be >= 1");
+}
+
+FileId
+Hdfs::addFile(const std::string &name, Bytes size)
+{
+    if (byName_.count(name))
+        fatal("Hdfs: file %s already exists", name.c_str());
+    const FileId id = static_cast<FileId>(files_.size());
+    files_.push_back(HdfsFile{name, size, config_.blockSize});
+    byName_[name] = id;
+    return id;
+}
+
+const HdfsFile &
+Hdfs::file(FileId id) const
+{
+    if (id >= files_.size())
+        fatal("Hdfs: invalid file id %u", id);
+    return files_[id];
+}
+
+const HdfsFile &
+Hdfs::fileByName(const std::string &name) const
+{
+    return files_[fileIdByName(name)];
+}
+
+FileId
+Hdfs::fileIdByName(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        fatal("Hdfs: no file named %s", name.c_str());
+    return it->second;
+}
+
+void
+Hdfs::readChunk(int node, Bytes chunk, std::function<void()> done)
+{
+    cluster_.node(node).pickHdfsDisk().submit(storage::IoOp::HdfsRead, chunk,
+                                          std::move(done));
+}
+
+void
+Hdfs::writeChunk(int node, Bytes chunk, std::function<void()> done)
+{
+    const int replicas = std::min(config_.replication,
+                                  cluster_.numSlaves());
+    physicalWritten_ += chunk * static_cast<Bytes>(replicas);
+
+    // Completion barrier across the local write and each remote
+    // replica's (network transfer + disk write) pipeline.
+    auto remaining = std::make_shared<int>(replicas);
+    auto barrier = [remaining, done = std::move(done)]() {
+        if (--*remaining == 0 && done)
+            done();
+    };
+
+    cluster_.node(node).pickHdfsDisk().submit(storage::IoOp::HdfsWrite, chunk,
+                                          barrier);
+
+    for (int r = 1; r < replicas; ++r) {
+        // Pick a distinct remote node for this replica.
+        int remote = node;
+        if (cluster_.numSlaves() > 1) {
+            remote = static_cast<int>(rng_.uniformInt(
+                static_cast<std::uint64_t>(cluster_.numSlaves() - 1)));
+            if (remote >= node)
+                ++remote;
+        }
+        cluster_.network().transfer(
+            node, remote, chunk, [this, remote, chunk, barrier]() {
+                cluster_.node(remote).pickHdfsDisk().submit(
+                    storage::IoOp::HdfsWrite, chunk, barrier);
+            });
+    }
+}
+
+void
+Hdfs::readBatch(int node, Bytes chunk, std::uint64_t count,
+                std::function<void()> done)
+{
+    cluster_.node(node).pickHdfsDisk().submitBatch(
+        storage::IoOp::HdfsRead, chunk, count, std::move(done));
+}
+
+void
+Hdfs::writeBatch(int node, Bytes chunk, std::uint64_t count,
+                 std::function<void()> done)
+{
+    const int replicas = std::min(config_.replication,
+                                  cluster_.numSlaves());
+    physicalWritten_ +=
+        chunk * count * static_cast<Bytes>(replicas);
+
+    auto remaining = std::make_shared<int>(replicas);
+    auto barrier = [remaining, done = std::move(done)]() {
+        if (--*remaining == 0 && done)
+            done();
+    };
+
+    cluster_.node(node).pickHdfsDisk().submitBatch(storage::IoOp::HdfsWrite,
+                                               chunk, count, barrier);
+
+    for (int r = 1; r < replicas; ++r) {
+        int remote = node;
+        if (cluster_.numSlaves() > 1) {
+            remote = static_cast<int>(rng_.uniformInt(
+                static_cast<std::uint64_t>(cluster_.numSlaves() - 1)));
+            if (remote >= node)
+                ++remote;
+        }
+        cluster_.network().transfer(
+            node, remote, chunk * count,
+            [this, remote, chunk, count, barrier]() {
+                cluster_.node(remote).pickHdfsDisk().submitBatch(
+                    storage::IoOp::HdfsWrite, chunk, count, barrier);
+            });
+    }
+}
+
+} // namespace doppio::dfs

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * HDFS model.
+ *
+ * Captures the aspects of HDFS that matter to the Doppio analysis:
+ * files are split into dfs.blocksize blocks (default 128 MB) which
+ * determine the partition count M of input RDDs; reads are served from
+ * a node-local replica (Spark schedules tasks for locality); writes go
+ * to the local HDFS disk plus dfs.replication - 1 remote replicas,
+ * consuming both remote disk and network bandwidth.
+ */
+
+#ifndef DOPPIO_DFS_HDFS_H
+#define DOPPIO_DFS_HDFS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/units.h"
+
+namespace doppio::dfs {
+
+/** Handle to a registered HDFS file. */
+using FileId = std::uint32_t;
+
+/** HDFS deployment configuration (Table II). */
+struct HdfsConfig
+{
+    Bytes blockSize = 128 * kMiB; //!< dfs.blocksize
+    int replication = 2;          //!< dfs.replication
+};
+
+/** Metadata for one registered file. */
+struct HdfsFile
+{
+    std::string name;
+    Bytes size = 0;
+    Bytes blockSize = 0;
+
+    /** @return number of blocks (== input partitions in Spark). */
+    int
+    numBlocks() const
+    {
+        if (size == 0)
+            return 0;
+        return static_cast<int>((size + blockSize - 1) / blockSize);
+    }
+};
+
+/** The distributed filesystem service. */
+class Hdfs
+{
+  public:
+    Hdfs(cluster::Cluster &clusterRef, HdfsConfig config = HdfsConfig{});
+
+    /** Register a pre-existing input file. @return its id. */
+    FileId addFile(const std::string &name, Bytes size);
+
+    /** @return metadata for @p id. */
+    const HdfsFile &file(FileId id) const;
+
+    /** Look up a file by name; fatal() if absent. */
+    const HdfsFile &fileByName(const std::string &name) const;
+
+    /** Look up a file id by name; fatal() if absent. */
+    FileId fileIdByName(const std::string &name) const;
+
+    const HdfsConfig &config() const { return config_; }
+
+    /**
+     * Read @p chunk bytes on @p node from its local HDFS replica;
+     * @p done fires when the disk request completes.
+     */
+    void readChunk(int node, Bytes chunk, std::function<void()> done);
+
+    /**
+     * Write @p chunk bytes from @p node: one local disk write plus
+     * replication-1 pipelined remote replicas (network + remote disk).
+     * @p done fires when all replicas are durable.
+     */
+    void writeChunk(int node, Bytes chunk, std::function<void()> done);
+
+    /**
+     * Read @p count back-to-back chunks of @p chunk bytes on @p node
+     * (aggregated; see storage::DiskDevice::submitBatch).
+     */
+    void readBatch(int node, Bytes chunk, std::uint64_t count,
+                   std::function<void()> done);
+
+    /**
+     * Write @p count back-to-back chunks of @p chunk bytes from
+     * @p node, with replication (aggregated).
+     */
+    void writeBatch(int node, Bytes chunk, std::uint64_t count,
+                    std::function<void()> done);
+
+    /** @return physical bytes written including replication. */
+    Bytes physicalBytesWritten() const { return physicalWritten_; }
+
+  private:
+    cluster::Cluster &cluster_;
+    HdfsConfig config_;
+    std::vector<HdfsFile> files_;
+    std::unordered_map<std::string, FileId> byName_;
+    Rng rng_;
+    Bytes physicalWritten_ = 0;
+};
+
+} // namespace doppio::dfs
+
+#endif // DOPPIO_DFS_HDFS_H

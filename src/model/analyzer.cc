@@ -1,0 +1,66 @@
+#include "model/analyzer.h"
+
+#include <limits>
+
+namespace doppio::model {
+
+StageAnalysis
+analyzeStage(const StageModel &stage, const PlatformProfile &platform)
+{
+    StageAnalysis analysis;
+    analysis.name = stage.name;
+    analysis.minTurningPoint = std::numeric_limits<double>::infinity();
+
+    for (const IoComponent &component : stage.io) {
+        if (component.bytes == 0 || component.requestSize <= 0.0 ||
+            component.soloPhaseSecondsPerTask <= 0.0 || stage.tasks == 0)
+            continue;
+        OpAnalysis op;
+        op.op = component.op;
+        op.perTaskBytes = static_cast<double>(component.bytes) /
+                          static_cast<double>(stage.tasks);
+        op.perCoreThroughput =
+            op.perTaskBytes / component.soloPhaseSecondsPerTask;
+        op.effectiveBandwidth =
+            platform.bandwidthFor(component.op, component.requestSize);
+        op.breakPoint = op.effectiveBandwidth / op.perCoreThroughput;
+        op.lambda = stage.tAvg > 0.0
+                        ? stage.tAvg / component.soloPhaseSecondsPerTask
+                        : 0.0;
+        op.turningPoint = op.lambda * op.breakPoint;
+        if (op.turningPoint > 0.0)
+            analysis.minTurningPoint =
+                std::min(analysis.minTurningPoint, op.turningPoint);
+        analysis.ops.push_back(op);
+    }
+    return analysis;
+}
+
+std::vector<std::pair<int, double>>
+sweepStageCores(const StageModel &stage, int numNodes,
+                const std::vector<int> &coreCounts,
+                const PlatformProfile &platform)
+{
+    std::vector<std::pair<int, double>> result;
+    result.reserve(coreCounts.size());
+    for (int cores : coreCounts) {
+        result.emplace_back(
+            cores, predictStage(stage, numNodes, cores, platform).seconds);
+    }
+    return result;
+}
+
+std::vector<std::pair<int, double>>
+sweepAppCores(const AppModel &app, int numNodes,
+              const std::vector<int> &coreCounts,
+              const PlatformProfile &platform)
+{
+    std::vector<std::pair<int, double>> result;
+    result.reserve(coreCounts.size());
+    for (int cores : coreCounts)
+        result.emplace_back(cores,
+                            app.predictSeconds(numNodes, cores, platform));
+    return result;
+}
+
+} // namespace doppio::model

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bottleneck analysis on fitted models (paper §IV-A/B).
+ *
+ * Derives the quantities the paper uses to reason about stage
+ * behavior:
+ *
+ *   T      — per-core I/O throughput with no contention (bytes/s);
+ *   b      — BW / T, the core count at which the device saturates;
+ *   lambda — t_avg / (per-task I/O time), task-to-I/O time ratio;
+ *   B      — lambda * b, the core count beyond which adding cores no
+ *            longer helps (the turning point of Fig. 6).
+ *
+ * Also provides what-if core-count sweeps used by Figs. 3/6 and the
+ * cloud optimizer.
+ */
+
+#ifndef DOPPIO_MODEL_ANALYZER_H
+#define DOPPIO_MODEL_ANALYZER_H
+
+#include <string>
+#include <vector>
+
+#include "model/platform_profile.h"
+#include "model/stage_model.h"
+
+namespace doppio::model {
+
+/** Analysis of one I/O component of a stage. */
+struct OpAnalysis
+{
+    storage::IoOp op = storage::IoOp::HdfsRead;
+    double perTaskBytes = 0.0;
+    double perCoreThroughput = 0.0; //!< T (bytes/s)
+    double effectiveBandwidth = 0.0; //!< BW at the observed RS (bytes/s)
+    double breakPoint = 0.0;        //!< b = BW / T
+    double lambda = 0.0;            //!< t_avg / per-task I/O time
+    double turningPoint = 0.0;      //!< B = lambda * b
+};
+
+/** Analysis of one stage. */
+struct StageAnalysis
+{
+    std::string name;
+    std::vector<OpAnalysis> ops;
+
+    /**
+     * Smallest turning point over all components: beyond this many
+     * cores per node, some I/O path is the bottleneck. Infinite when
+     * the stage does no I/O.
+     */
+    double minTurningPoint = 0.0;
+};
+
+/**
+ * Analyze @p stage against @p platform.
+ * Requires the model to carry solo phase times (fitted by Profiler).
+ */
+StageAnalysis analyzeStage(const StageModel &stage,
+                           const PlatformProfile &platform);
+
+/** (P, predicted seconds) pairs for a core-count sweep of one stage. */
+std::vector<std::pair<int, double>>
+sweepStageCores(const StageModel &stage, int numNodes,
+                const std::vector<int> &coreCounts,
+                const PlatformProfile &platform);
+
+/** (P, predicted seconds) pairs for a whole application. */
+std::vector<std::pair<int, double>>
+sweepAppCores(const AppModel &app, int numNodes,
+              const std::vector<int> &coreCounts,
+              const PlatformProfile &platform);
+
+} // namespace doppio::model
+
+#endif // DOPPIO_MODEL_ANALYZER_H

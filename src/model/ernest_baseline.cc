@@ -1,0 +1,144 @@
+#include "model/ernest_baseline.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "storage/disk_params.h"
+
+namespace doppio::model {
+
+namespace {
+
+std::array<double, 4>
+features(double total_cores)
+{
+    return {1.0, 1.0 / total_cores, std::log(total_cores),
+            total_cores};
+}
+
+} // namespace
+
+double
+ErnestModel::predictSeconds(int numNodes, int cores) const
+{
+    const double c = static_cast<double>(numNodes) *
+                     static_cast<double>(cores);
+    const std::array<double, 4> x = features(c);
+    double t = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        t += theta[i] * x[i];
+    return t;
+}
+
+ErnestModel
+fitErnest(const std::string &name,
+          const std::vector<ErnestSample> &samples)
+{
+    constexpr std::size_t kDim = 4;
+    if (samples.size() < kDim)
+        fatal("fitErnest: need at least %zu samples, got %zu", kDim,
+              samples.size());
+    // The features are all functions of C = N*P: the design is
+    // singular unless at least kDim distinct core counts appear.
+    std::vector<double> distinct;
+    for (const ErnestSample &sample : samples) {
+        const double c = static_cast<double>(sample.numNodes) *
+                         static_cast<double>(sample.cores);
+        bool seen = false;
+        for (double d : distinct)
+            seen = seen || std::fabs(d - c) < 1e-9;
+        if (!seen)
+            distinct.push_back(c);
+    }
+    if (distinct.size() < kDim)
+        fatal("fitErnest: training points must span at least %zu "
+              "distinct total core counts (got %zu)",
+              kDim, distinct.size());
+
+    // Normal equations: (X^T X) theta = X^T y.
+    double xtx[kDim][kDim] = {};
+    double xty[kDim] = {};
+    for (const ErnestSample &sample : samples) {
+        const double c = static_cast<double>(sample.numNodes) *
+                         static_cast<double>(sample.cores);
+        const std::array<double, 4> x = features(c);
+        for (std::size_t i = 0; i < kDim; ++i) {
+            xty[i] += x[i] * sample.seconds;
+            for (std::size_t j = 0; j < kDim; ++j)
+                xtx[i][j] += x[i] * x[j];
+        }
+    }
+
+    // Gaussian elimination with partial pivoting and a small ridge
+    // term for numerical robustness.
+    for (std::size_t i = 0; i < kDim; ++i)
+        xtx[i][i] += 1e-9;
+    std::size_t perm[kDim] = {0, 1, 2, 3};
+    for (std::size_t col = 0; col < kDim; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < kDim; ++row) {
+            if (std::fabs(xtx[row][col]) >
+                std::fabs(xtx[pivot][col]))
+                pivot = row;
+        }
+        if (pivot != col) {
+            for (std::size_t j = 0; j < kDim; ++j)
+                std::swap(xtx[col][j], xtx[pivot][j]);
+            std::swap(xty[col], xty[pivot]);
+            std::swap(perm[col], perm[pivot]);
+        }
+        if (std::fabs(xtx[col][col]) < 1e-14)
+            fatal("fitErnest: singular design matrix (training points "
+                  "must span distinct core counts)");
+        for (std::size_t row = col + 1; row < kDim; ++row) {
+            const double factor = xtx[row][col] / xtx[col][col];
+            for (std::size_t j = col; j < kDim; ++j)
+                xtx[row][j] -= factor * xtx[col][j];
+            xty[row] -= factor * xty[col];
+        }
+    }
+    ErnestModel model;
+    model.name = name;
+    for (std::size_t i = kDim; i-- > 0;) {
+        double sum = xty[i];
+        for (std::size_t j = i + 1; j < kDim; ++j)
+            sum -= xtx[i][j] * model.theta[j];
+        model.theta[i] = sum / xtx[i][i];
+    }
+    return model;
+}
+
+ErnestModel
+fitErnestFromRuns(const WorkloadRunner &runner,
+                  const cluster::ClusterConfig &baseCluster,
+                  const spark::SparkConf &baseConf,
+                  const std::string &name)
+{
+    if (!runner)
+        fatal("fitErnestFromRuns: null workload runner");
+    // Training grid spanning an 8x range of total parallelism, all on
+    // SSDs (Ernest's feature set has no storage dimension).
+    struct Point
+    {
+        int nodes;
+        int cores;
+    };
+    const std::vector<Point> grid = {
+        {3, 2}, {3, 4}, {6, 4}, {6, 8}, {10, 4}, {10, 8}};
+
+    std::vector<ErnestSample> samples;
+    for (const Point &point : grid) {
+        cluster::ClusterConfig config = baseCluster;
+        config.numSlaves = point.nodes;
+        config.node.hdfsDisk = storage::makeSsdParams();
+        config.node.localDisk = storage::makeSsdParams();
+        spark::SparkConf conf = baseConf;
+        conf.executorCores = point.cores;
+        samples.push_back(
+            {point.nodes, point.cores,
+             runner(config, conf).seconds()});
+    }
+    return fitErnest(name, samples);
+}
+
+} // namespace doppio::model

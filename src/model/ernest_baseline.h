@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ernest-like baseline performance model (Venkataraman et al.,
+ * NSDI'16), the prior work the paper positions itself against:
+ *
+ *   "Studies like Ernest [8] and [6] build analytic models to predict
+ *    the Spark performance ... However, in their models, the I/O
+ *    impact on different data request sizes is not considered; this
+ *    has a significant impact on performance, especially for the HDD
+ *    case." (paper §VII-A)
+ *
+ * Ernest fits a job-runtime model over the cluster's total parallelism
+ * C with the feature set {1, 1/C, log(C), C} by least squares on a few
+ * training runs, and has no notion of which device backs storage. The
+ * baseline is implemented faithfully so the benefit of the paper's
+ * I/O-aware terms can be quantified (bench/ablation_model_features).
+ */
+
+#ifndef DOPPIO_MODEL_ERNEST_BASELINE_H
+#define DOPPIO_MODEL_ERNEST_BASELINE_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "model/profiler.h"
+
+namespace doppio::model {
+
+/** Fitted Ernest-like model: t(C) over total cores C = N*P. */
+struct ErnestModel
+{
+    std::string name;
+    /** Coefficients for {1, 1/C, log(C), C}. */
+    std::array<double, 4> theta{};
+
+    /** @return predicted application seconds at N nodes x P cores. */
+    double predictSeconds(int numNodes, int cores) const;
+};
+
+/** One training observation. */
+struct ErnestSample
+{
+    int numNodes = 0;
+    int cores = 0;
+    double seconds = 0.0;
+};
+
+/**
+ * Fit the feature coefficients by ordinary least squares (normal
+ * equations). Requires at least four samples with distinct C.
+ */
+ErnestModel fitErnest(const std::string &name,
+                      const std::vector<ErnestSample> &samples);
+
+/**
+ * Train an Ernest-like model for a workload by running it at a spread
+ * of (N, P) training points on SSD-backed nodes — Ernest's
+ * methodology has no disk dimension, which is exactly the paper's
+ * criticism.
+ */
+ErnestModel fitErnestFromRuns(const WorkloadRunner &runner,
+                              const cluster::ClusterConfig &baseCluster,
+                              const spark::SparkConf &baseConf,
+                              const std::string &name);
+
+} // namespace doppio::model
+
+#endif // DOPPIO_MODEL_ERNEST_BASELINE_H

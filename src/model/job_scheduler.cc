@@ -1,0 +1,56 @@
+#include "model/job_scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace doppio::model {
+
+namespace {
+
+ScheduleResult
+runInOrder(const std::vector<QueuedJob> &jobs,
+           const std::vector<std::size_t> &order)
+{
+    ScheduleResult result;
+    double clock = 0.0;
+    for (std::size_t index : order) {
+        const QueuedJob &job = jobs[index];
+        result.totalWaitSeconds += clock;
+        clock += job.actualSeconds;
+        result.order.push_back(job.name);
+        result.completionSeconds.push_back(clock);
+    }
+    result.makespanSeconds = clock;
+    if (!jobs.empty()) {
+        result.meanCompletionSeconds =
+            std::accumulate(result.completionSeconds.begin(),
+                            result.completionSeconds.end(), 0.0) /
+            static_cast<double>(jobs.size());
+    }
+    return result;
+}
+
+} // namespace
+
+ScheduleResult
+scheduleFifo(const std::vector<QueuedJob> &jobs)
+{
+    std::vector<std::size_t> order(jobs.size());
+    std::iota(order.begin(), order.end(), 0);
+    return runInOrder(jobs, order);
+}
+
+ScheduleResult
+scheduleShortestPredictedFirst(const std::vector<QueuedJob> &jobs)
+{
+    std::vector<std::size_t> order(jobs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&jobs](std::size_t a, std::size_t b) {
+                         return jobs[a].predictedSeconds <
+                                jobs[b].predictedSeconds;
+                     });
+    return runInOrder(jobs, order);
+}
+
+} // namespace doppio::model

@@ -1,0 +1,86 @@
+#include "model/platform_profile.h"
+
+#include "common/logging.h"
+#include "storage/fio.h"
+
+namespace doppio::model {
+
+namespace {
+
+/** Scale a bandwidth table's values by a striping factor. */
+LookupTable
+scaleTable(const LookupTable &table, int count)
+{
+    if (count == 1)
+        return table;
+    std::vector<std::pair<double, double>> points;
+    points.reserve(table.points().size());
+    for (const auto &[x, y] : table.points())
+        points.emplace_back(x, y * static_cast<double>(count));
+    return LookupTable(std::move(points), LookupTable::Scale::Log);
+}
+
+} // namespace
+
+PlatformProfile
+PlatformProfile::fromDisks(const storage::DiskParams &hdfsDisk,
+                           const storage::DiskParams &localDisk)
+{
+    const storage::FioProfiler hdfs_profiler(hdfsDisk);
+    const storage::FioProfiler local_profiler(localDisk);
+    PlatformProfile profile;
+    profile.hdfsRead = hdfs_profiler.bandwidthTable(storage::IoKind::Read);
+    profile.hdfsWrite =
+        hdfs_profiler.bandwidthTable(storage::IoKind::Write);
+    profile.localRead =
+        local_profiler.bandwidthTable(storage::IoKind::Read);
+    profile.localWrite =
+        local_profiler.bandwidthTable(storage::IoKind::Write);
+    return profile;
+}
+
+PlatformProfile
+PlatformProfile::fromDisks(const storage::DiskParams &hdfsDisk,
+                           int hdfsCount,
+                           const storage::DiskParams &localDisk,
+                           int localCount)
+{
+    if (hdfsCount <= 0 || localCount <= 0)
+        fatal("PlatformProfile: disk counts must be positive");
+    PlatformProfile profile = fromDisks(hdfsDisk, localDisk);
+    profile.hdfsRead = scaleTable(profile.hdfsRead, hdfsCount);
+    profile.hdfsWrite = scaleTable(profile.hdfsWrite, hdfsCount);
+    profile.localRead = scaleTable(profile.localRead, localCount);
+    profile.localWrite = scaleTable(profile.localWrite, localCount);
+    return profile;
+}
+
+PlatformProfile
+PlatformProfile::fromNode(const cluster::NodeConfig &node)
+{
+    return fromDisks(node.hdfsDisk, node.hdfsDiskCount, node.localDisk,
+                     node.localDiskCount);
+}
+
+BytesPerSec
+PlatformProfile::bandwidthFor(storage::IoOp op, double requestSize) const
+{
+    switch (op) {
+      case storage::IoOp::HdfsRead:
+        return hdfsRead.at(requestSize);
+      case storage::IoOp::HdfsWrite:
+        return hdfsWrite.at(requestSize);
+      case storage::IoOp::ShuffleRead:
+      case storage::IoOp::PersistRead:
+        return localRead.at(requestSize);
+      case storage::IoOp::ShuffleWrite:
+      case storage::IoOp::PersistWrite:
+        return localWrite.at(requestSize);
+      case storage::IoOp::RawRead:
+      case storage::IoOp::RawWrite:
+        break;
+    }
+    fatal("PlatformProfile: no table for op %s", storage::ioOpName(op));
+}
+
+} // namespace doppio::model

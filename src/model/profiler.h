@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Four-sample-run model fitting (paper §VI-1).
+ *
+ * The paper derives all Equation-1 constants from four profiling runs
+ * on a small cluster:
+ *
+ *   1. P=1, SSD HDFS + SSD local  — I/O not a bottleneck; log per-stage
+ *      time, M, D, and iostat request sizes;
+ *   2. P=2, same disks            — together with run 1 yields t_avg
+ *      and delta_scale per stage;
+ *   3. P=16, HDD local + SSD HDFS — Spark-local I/O becomes the
+ *      bottleneck; yields delta for shuffle/persist terms;
+ *   4. P=16, HDD HDFS + SSD local — HDFS I/O becomes the bottleneck;
+ *      yields delta for HDFS terms.
+ *
+ * An optional fifth run fits the GC extension: task time scaling with
+ * P caused by JVM garbage collection, which the paper observes on
+ * GATK4's MD stage and leaves as future work. Identifiability note:
+ * under Eq. 1, M/(N*P) * t0 * (1 + g*(P-1)) decomposes into
+ * M/(N*P) * t0*(1-g)  +  M/N * t0*g — at a fixed node count N the GC
+ * term is indistinguishable from delta_scale, so the fifth run must
+ * vary N, not P (Options::gcNodes).
+ *
+ * The fitted AppModel then predicts unseen (N, P, disk) configurations.
+ */
+
+#ifndef DOPPIO_MODEL_PROFILER_H
+#define DOPPIO_MODEL_PROFILER_H
+
+#include <functional>
+#include <string>
+
+#include "cluster/cluster_config.h"
+#include "model/stage_model.h"
+#include "spark/metrics.h"
+#include "spark/spark_conf.h"
+
+namespace doppio::model {
+
+/**
+ * Runs the application under test on a given configuration and returns
+ * its metrics. Must be deterministic in stage structure: the same
+ * stages, in the same order, for every configuration.
+ */
+using WorkloadRunner = std::function<spark::AppMetrics(
+    const cluster::ClusterConfig &, const spark::SparkConf &)>;
+
+/** The profiling methodology. */
+class Profiler
+{
+  public:
+    /** Sample-run configuration. */
+    struct Options
+    {
+        int sampleNodes = 3;    //!< N for all sample runs
+        int lowCores = 1;       //!< P of sample run 1
+        int midCores = 2;       //!< P of sample run 2
+        int highCores = 16;     //!< P of sample runs 3 and 4
+        bool fitGc = false;     //!< enable the 5th run / GC extension
+        /** Slave count of the GC sample run; must differ from
+         *  sampleNodes (see the identifiability note above). */
+        int gcNodes = 6;
+        /** dfs.replication of the workload's HDFS (physical factor of
+         *  HDFS writes). */
+        int hdfsReplication = 2;
+        storage::DiskParams ssd;
+        storage::DiskParams hdd;
+
+        Options();
+    };
+
+    /**
+     * @param runner    the application under test.
+     * @param baseCluster cluster template (node shape, network, seed);
+     *                  the profiler overrides slave count and disks.
+     * @param baseConf  Spark configuration template; the profiler
+     *                  overrides executorCores.
+     */
+    Profiler(WorkloadRunner runner, cluster::ClusterConfig baseCluster,
+             spark::SparkConf baseConf, Options options);
+
+    /** Profile with default options. */
+    Profiler(WorkloadRunner runner, cluster::ClusterConfig baseCluster,
+             spark::SparkConf baseConf);
+
+    /** Execute the sample runs and fit the model. */
+    AppModel fit(const std::string &appName);
+
+  private:
+    spark::AppMetrics runSample(int cores,
+                                const storage::DiskParams &hdfsDisk,
+                                const storage::DiskParams &localDisk);
+
+    WorkloadRunner runner_;
+    cluster::ClusterConfig baseCluster_;
+    spark::SparkConf baseConf_;
+    Options options_;
+};
+
+} // namespace doppio::model
+
+#endif // DOPPIO_MODEL_PROFILER_H

@@ -1,0 +1,83 @@
+#include "model/report.h"
+
+#include <sstream>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+
+namespace doppio::model {
+
+void
+writeReport(std::ostream &os, const AppModel &app,
+            const PlatformProfile &platform,
+            const ReportOptions &options)
+{
+    os << "Doppio model report: " << app.name << "  (N="
+       << options.numNodes << ", P=" << options.cores << ")\n\n";
+
+    TablePrinter stages("Per-stage prediction (Equation 1)");
+    stages.setHeader({"stage", "M", "t_avg (s)", "delta (s)", "gc",
+                      "predicted", "bottleneck"});
+    double total = 0.0;
+    for (const StageModel &stage : app.stages) {
+        const StagePrediction pred = predictStage(
+            stage, options.numNodes, options.cores, platform);
+        total += pred.seconds;
+        stages.addRow({stage.name, std::to_string(stage.tasks),
+                       TablePrinter::num(stage.tAvg, 2),
+                       TablePrinter::num(stage.deltaScale, 1),
+                       TablePrinter::num(stage.gcSensitivity, 3),
+                       formatDuration(secondsToTicks(pred.seconds)),
+                       bottleneckName(pred.bottleneck)});
+    }
+    stages.print(os);
+    os << "t_app = " << formatDuration(secondsToTicks(total))
+       << "  (sum over stages, paper IV-C)\n\n";
+
+    TablePrinter io("I/O components");
+    io.setHeader({"stage", "op", "D", "RS", "BW(RS)", "delta (s)"});
+    for (const StageModel &stage : app.stages) {
+        for (const IoComponent &component : stage.io) {
+            if (component.bytes == 0)
+                continue;
+            io.addRow(
+                {stage.name, storage::ioOpName(component.op),
+                 formatBytes(component.bytes),
+                 formatBytes(
+                     static_cast<Bytes>(component.requestSize)),
+                 formatBandwidth(platform.bandwidthFor(
+                     component.op, component.requestSize)),
+                 TablePrinter::num(component.delta, 1)});
+        }
+    }
+    io.print(os);
+
+    if (!options.includeAnalysis)
+        return;
+    os << '\n';
+    TablePrinter analysis("Breakpoint analysis (paper IV-B)");
+    analysis.setHeader(
+        {"stage", "op", "T", "b = BW/T", "lambda", "B = lambda*b"});
+    for (const StageModel &stage : app.stages) {
+        const StageAnalysis a = analyzeStage(stage, platform);
+        for (const OpAnalysis &op : a.ops) {
+            analysis.addRow({stage.name, storage::ioOpName(op.op),
+                             formatBandwidth(op.perCoreThroughput),
+                             TablePrinter::num(op.breakPoint, 1),
+                             TablePrinter::num(op.lambda, 1),
+                             TablePrinter::num(op.turningPoint, 1)});
+        }
+    }
+    analysis.print(os);
+}
+
+std::string
+reportString(const AppModel &app, const PlatformProfile &platform,
+             const ReportOptions &options)
+{
+    std::ostringstream os;
+    writeReport(os, app, platform, options);
+    return os.str();
+}
+
+} // namespace doppio::model

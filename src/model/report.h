@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Human-readable model reports.
+ *
+ * Renders a fitted AppModel against a platform profile: per-stage
+ * constants, per-component effective bandwidths, regime classification
+ * and the analyzer's breakpoints — the summary a performance engineer
+ * would read after profiling an application.
+ */
+
+#ifndef DOPPIO_MODEL_REPORT_H
+#define DOPPIO_MODEL_REPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "model/analyzer.h"
+#include "model/stage_model.h"
+
+namespace doppio::model {
+
+/** Report configuration. */
+struct ReportOptions
+{
+    int numNodes = 10;
+    int cores = 36;
+    /** Include the b/lambda/B analyzer section (requires solo phase
+     *  times, i.e. a Profiler-fitted model). */
+    bool includeAnalysis = true;
+};
+
+/** Write a full report for @p app on @p platform to @p os. */
+void writeReport(std::ostream &os, const AppModel &app,
+                 const PlatformProfile &platform,
+                 const ReportOptions &options = ReportOptions{});
+
+/** @return the report as a string. */
+std::string reportString(const AppModel &app,
+                         const PlatformProfile &platform,
+                         const ReportOptions &options = ReportOptions{});
+
+} // namespace doppio::model
+
+#endif // DOPPIO_MODEL_REPORT_H

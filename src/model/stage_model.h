@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The Doppio I/O-aware analytical model (paper Equation 1).
+ *
+ * Per stage i:
+ *
+ *   t_stage = max(t_scale, t_read_limit, t_write_limit)
+ *   t_scale = M / (N * P) * t_avg + delta_scale
+ *   t_limit(op) = D_op / (N * BW_op(RS_op)) + delta_op
+ *
+ * where BW_op comes from the platform profile's effective-bandwidth
+ * lookup tables at the stage's iostat-observed average request size.
+ * We generalize the two limit terms to one per I/O operation class the
+ * stage performs (GATK4's BR stage reads both HDFS and shuffle data);
+ * the paper's formulation is the special case of one read and one
+ * write component. A further shared-actuator extension adds, per
+ * device, the SUM of the admission-limited components' times: when a
+ * stage both reads and writes the same spinning disk at small request
+ * sizes (PageRank iterations), the single actuator serves them
+ * serially and neither individual limit binds.
+ *
+ * The optional GC extension models the paper's observed MD-stage
+ * behavior (task time growing with P due to JVM garbage collection,
+ * flagged as future work in §V-A1): t_avg is scaled by
+ * (1 + gcSensitivity * (P - 1)).
+ */
+
+#ifndef DOPPIO_MODEL_STAGE_MODEL_H
+#define DOPPIO_MODEL_STAGE_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "model/platform_profile.h"
+#include "storage/io_request.h"
+
+namespace doppio::model {
+
+/** One I/O operation class a stage performs, cluster-wide. */
+struct IoComponent
+{
+    storage::IoOp op = storage::IoOp::HdfsRead;
+    Bytes bytes = 0;          //!< D: total logical bytes for this op
+    double requestSize = 0.0; //!< RS: iostat average request size
+    /**
+     * Physical amplification of logical bytes at the devices (HDFS
+     * writes are replicated dfs.replication times).
+     */
+    double physicalFactor = 1.0;
+    double delta = 0.0;       //!< linear-part constant for this term
+    /**
+     * Per-task wall time of this I/O phase measured at P=1 (no
+     * contention), including pipelined CPU. Basis for the paper's
+     * per-core throughput T and ratio lambda (see analyzer.h).
+     */
+    double soloPhaseSecondsPerTask = 0.0;
+};
+
+/** Fitted model constants for one stage. */
+struct StageModel
+{
+    std::string name;
+    int tasks = 0;           //!< M
+    double tAvg = 0.0;       //!< average single-task time (s)
+    double deltaScale = 0.0; //!< serial part of the stage
+    double gcSensitivity = 0.0; //!< optional GC extension (0 = off)
+    std::vector<IoComponent> io;
+
+    /** @return the component for @p op, or nullptr. */
+    const IoComponent *findOp(storage::IoOp op) const;
+};
+
+/** Bottleneck classification of a predicted stage time. */
+enum class Bottleneck { ComputeScale, ReadLimit, WriteLimit };
+
+/** @return printable name. */
+const char *bottleneckName(Bottleneck b);
+
+/** Result of evaluating Equation 1 for one stage. */
+struct StagePrediction
+{
+    double seconds = 0.0; //!< t_stage
+    double tScale = 0.0;  //!< the scaling term
+    double tReadLimit = 0.0;  //!< max over read components (0 if none)
+    double tWriteLimit = 0.0; //!< max over write components (0 if none)
+    Bottleneck bottleneck = Bottleneck::ComputeScale;
+    storage::IoOp limitingOp = storage::IoOp::HdfsRead;
+};
+
+/**
+ * Evaluate Equation 1.
+ * @param stage    fitted stage constants.
+ * @param numNodes N.
+ * @param cores    P.
+ * @param platform effective-bandwidth tables for the target hardware.
+ */
+StagePrediction predictStage(const StageModel &stage, int numNodes,
+                             int cores, const PlatformProfile &platform);
+
+/** A whole application: stages in execution order. */
+struct AppModel
+{
+    std::string name;
+    std::vector<StageModel> stages;
+
+    /** @return the stage named @p name; fatal() if absent. */
+    const StageModel &stage(const std::string &name) const;
+
+    /** @return t_app = sum of stage predictions (paper §IV-C). */
+    double predictSeconds(int numNodes, int cores,
+                          const PlatformProfile &platform) const;
+};
+
+} // namespace doppio::model
+
+#endif // DOPPIO_MODEL_STAGE_MODEL_H

@@ -1,0 +1,45 @@
+#include "net/network.h"
+
+#include "common/logging.h"
+
+namespace doppio::net {
+
+Network::Network(sim::Simulator &simulator, int numNodes,
+                 BytesPerSec nodeBandwidth, Tick latency)
+    : sim_(simulator), nodeBandwidth_(nodeBandwidth), latency_(latency)
+{
+    if (numNodes <= 0)
+        fatal("Network: need at least one node");
+    if (nodeBandwidth <= 0.0)
+        fatal("Network: node bandwidth must be positive");
+    ingress_.reserve(static_cast<std::size_t>(numNodes));
+    for (int n = 0; n < numNodes; ++n) {
+        ingress_.push_back(std::make_unique<sim::FluidPipe>(
+            simulator, nodeBandwidth,
+            "net/ingress" + std::to_string(n)));
+    }
+}
+
+void
+Network::transfer(int srcNode, int dstNode, Bytes bytes,
+                  std::function<void()> done)
+{
+    if (srcNode < 0 || srcNode >= numNodes() || dstNode < 0 ||
+        dstNode >= numNodes()) {
+        fatal("Network: transfer between invalid nodes %d -> %d", srcNode,
+              dstNode);
+    }
+    if (srcNode == dstNode || bytes == 0) {
+        sim_.schedule(0, std::move(done));
+        return;
+    }
+    remoteBytes_ += bytes;
+    sim_.schedule(latency_, [this, dstNode, bytes,
+                             done = std::move(done)]() mutable {
+        // Cap a single flow at the sender's NIC rate as well.
+        ingress_[static_cast<std::size_t>(dstNode)]->startFlow(
+            bytes, std::move(done), nodeBandwidth_);
+    });
+}
+
+} // namespace doppio::net

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cluster network model.
+ *
+ * The paper notes that a 10 Gb/s network "usually is not the bottleneck
+ * of Spark applications" but shuffle reads still traverse it, so we
+ * model it: each node has an ingress fluid pipe at the NIC rate, and a
+ * remote transfer is a flow through the destination's ingress pipe plus
+ * a small fixed latency. Node-local transfers bypass the NIC.
+ */
+
+#ifndef DOPPIO_NET_NETWORK_H
+#define DOPPIO_NET_NETWORK_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/units.h"
+#include "sim/fluid_pipe.h"
+#include "sim/simulator.h"
+
+namespace doppio::net {
+
+/** Per-node-ingress network fabric. */
+class Network
+{
+  public:
+    /**
+     * @param simulator     owning event loop.
+     * @param numNodes      number of attached nodes.
+     * @param nodeBandwidth per-node NIC rate in bytes/s (e.g. 10 Gb/s
+     *                      = 1.25 GB/s).
+     * @param latency       fixed per-transfer latency.
+     */
+    Network(sim::Simulator &simulator, int numNodes,
+            BytesPerSec nodeBandwidth, Tick latency = usToTicks(500.0));
+
+    /**
+     * Move @p bytes from @p srcNode to @p dstNode; @p done fires on
+     * completion. Local transfers (src == dst) complete after zero
+     * network time via an immediate event.
+     */
+    void transfer(int srcNode, int dstNode, Bytes bytes,
+                  std::function<void()> done);
+
+    /** @return total bytes delivered over the fabric (remote only). */
+    Bytes remoteBytes() const { return remoteBytes_; }
+
+    /** @return number of nodes. */
+    int numNodes() const { return static_cast<int>(ingress_.size()); }
+
+    /** @return per-node NIC bandwidth. */
+    BytesPerSec nodeBandwidth() const { return nodeBandwidth_; }
+
+  private:
+    sim::Simulator &sim_;
+    BytesPerSec nodeBandwidth_;
+    Tick latency_;
+    std::vector<std::unique_ptr<sim::FluidPipe>> ingress_;
+    Bytes remoteBytes_ = 0;
+};
+
+} // namespace doppio::net
+
+#endif // DOPPIO_NET_NETWORK_H

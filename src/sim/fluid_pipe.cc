@@ -1,0 +1,154 @@
+#include "sim/fluid_pipe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace doppio::sim {
+
+namespace {
+
+/// Completion tolerance, in bytes. Rates are doubles and completion
+/// ticks round up, so flows land at or slightly below zero.
+constexpr double kEpsilonBytes = 1e-3;
+
+} // namespace
+
+FluidPipe::FluidPipe(Simulator &simulator, BytesPerSec capacity,
+                     std::string name)
+    : sim_(simulator), capacity_(capacity), name_(std::move(name)),
+      lastUpdate_(simulator.now())
+{
+    if (capacity_ <= 0.0)
+        fatal("FluidPipe %s: capacity must be positive", name_.c_str());
+}
+
+FlowId
+FluidPipe::startFlow(Bytes bytes, std::function<void()> done,
+                     BytesPerSec rateCap)
+{
+    if (rateCap <= 0.0)
+        fatal("FluidPipe %s: flow rate cap must be positive",
+              name_.c_str());
+    advance();
+    const FlowId id = nextFlowId_++;
+    flows_.emplace(id, Flow{bytes, static_cast<double>(bytes), 0.0,
+                            rateCap, std::move(done)});
+    rebalance();
+    return id;
+}
+
+void
+FluidPipe::setCapacity(BytesPerSec capacity)
+{
+    if (capacity <= 0.0)
+        fatal("FluidPipe %s: capacity must be positive", name_.c_str());
+    advance();
+    capacity_ = capacity;
+    rebalance();
+}
+
+Tick
+FluidPipe::busyTime() const
+{
+    Tick busy = busyTime_;
+    if (!flows_.empty())
+        busy += sim_.now() - lastUpdate_;
+    return busy;
+}
+
+void
+FluidPipe::advance()
+{
+    const Tick now = sim_.now();
+    if (now == lastUpdate_)
+        return;
+    const double elapsed = ticksToSeconds(now - lastUpdate_);
+    if (!flows_.empty()) {
+        busyTime_ += now - lastUpdate_;
+        for (auto &[id, flow] : flows_)
+            flow.remaining -= flow.rate * elapsed;
+    }
+    lastUpdate_ = now;
+}
+
+void
+FluidPipe::rebalance()
+{
+    if (completionPending_) {
+        sim_.cancel(completionEvent_);
+        completionPending_ = false;
+    }
+    if (flows_.empty())
+        return;
+
+    // Progressive filling: capped flows that cannot absorb the fair
+    // share release bandwidth to the rest.
+    std::vector<Flow *> unallocated;
+    unallocated.reserve(flows_.size());
+    for (auto &[id, flow] : flows_)
+        unallocated.push_back(&flow);
+    double budget = capacity_;
+    bool changed = true;
+    while (!unallocated.empty() && changed) {
+        changed = false;
+        const double fair = budget / static_cast<double>(
+            unallocated.size());
+        for (auto it = unallocated.begin(); it != unallocated.end();) {
+            if ((*it)->cap <= fair) {
+                (*it)->rate = (*it)->cap;
+                budget -= (*it)->cap;
+                it = unallocated.erase(it);
+                changed = true;
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (!unallocated.empty()) {
+        const double fair = budget / static_cast<double>(
+            unallocated.size());
+        for (Flow *flow : unallocated)
+            flow->rate = fair;
+    }
+
+    // Next membership change: the earliest flow completion.
+    double min_dt = std::numeric_limits<double>::infinity();
+    for (auto &[id, flow] : flows_) {
+        if (flow.remaining <= kEpsilonBytes) {
+            min_dt = 0.0;
+            break;
+        }
+        min_dt = std::min(min_dt, flow.remaining / flow.rate);
+    }
+    const Tick delay = static_cast<Tick>(
+        std::ceil(min_dt * static_cast<double>(kTicksPerSec)));
+    completionEvent_ = sim_.schedule(delay, [this] { onCompletion(); });
+    completionPending_ = true;
+}
+
+void
+FluidPipe::onCompletion()
+{
+    completionPending_ = false;
+    advance();
+    std::vector<std::function<void()>> callbacks;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.remaining <= kEpsilonBytes) {
+            bytesCompleted_ += it->second.total;
+            callbacks.push_back(std::move(it->second.done));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    rebalance();
+    for (auto &cb : callbacks) {
+        if (cb)
+            cb();
+    }
+}
+
+} // namespace doppio::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fair-shared fluid bandwidth resource.
+ *
+ * Models a link (disk transfer path, NIC) as a pipe of fixed capacity
+ * shared max-min fairly among active flows. Events are generated only
+ * when flow membership changes, which keeps large shuffles cheap to
+ * simulate while capturing bandwidth contention exactly — the effect the
+ * Doppio model's BW/b terms describe.
+ */
+
+#ifndef DOPPIO_SIM_FLUID_PIPE_H
+#define DOPPIO_SIM_FLUID_PIPE_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace doppio::sim {
+
+/** Handle for an in-flight flow. */
+using FlowId = std::uint64_t;
+
+/**
+ * A shared-bandwidth pipe with max-min fair allocation and optional
+ * per-flow rate caps (progressive filling).
+ */
+class FluidPipe
+{
+  public:
+    /**
+     * @param simulator the owning event loop.
+     * @param capacity  total pipe capacity in bytes/s (> 0).
+     * @param name      for diagnostics.
+     */
+    FluidPipe(Simulator &simulator, BytesPerSec capacity, std::string name);
+
+    /**
+     * Begin transferring @p bytes; @p done fires when the last byte
+     * completes. Zero-byte flows complete on the next event at the
+     * current tick.
+     *
+     * @param rateCap optional per-flow ceiling (bytes/s), e.g. a single
+     *                disk channel or a remote sender's NIC.
+     * @return the flow id.
+     */
+    FlowId startFlow(Bytes bytes, std::function<void()> done,
+                     BytesPerSec rateCap =
+                         std::numeric_limits<double>::infinity());
+
+    /** @return number of currently active flows. */
+    std::size_t activeFlows() const { return flows_.size(); }
+
+    /** @return configured capacity in bytes/s. */
+    BytesPerSec capacity() const { return capacity_; }
+
+    /** Change capacity (affects in-flight flows from now on). */
+    void setCapacity(BytesPerSec capacity);
+
+    /** @return total bytes completed through this pipe. */
+    Bytes bytesCompleted() const { return bytesCompleted_; }
+
+    /** @return ticks during which at least one flow was active. */
+    Tick busyTime() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Flow
+    {
+        Bytes total;      //!< original flow size
+        double remaining; //!< bytes left to transfer
+        double rate;      //!< bytes/s granted at last rebalance
+        BytesPerSec cap;  //!< per-flow ceiling
+        std::function<void()> done;
+    };
+
+    /** Apply progress since lastUpdate_ at the stored per-flow rates. */
+    void advance();
+
+    /** Recompute fair-share rates and (re)schedule completion. */
+    void rebalance();
+
+    /** Completion event body: finish due flows, then rebalance. */
+    void onCompletion();
+
+    Simulator &sim_;
+    BytesPerSec capacity_;
+    std::string name_;
+    std::unordered_map<FlowId, Flow> flows_;
+    FlowId nextFlowId_ = 1;
+    Tick lastUpdate_ = 0;
+    EventId completionEvent_ = 0;
+    bool completionPending_ = false;
+    Bytes bytesCompleted_ = 0;
+    Tick busyTime_ = 0;
+};
+
+} // namespace doppio::sim
+
+#endif // DOPPIO_SIM_FLUID_PIPE_H

@@ -1,0 +1,80 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace doppio::sim {
+
+EventId
+Simulator::schedule(Tick delay, std::function<void()> fn)
+{
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId
+Simulator::scheduleAt(Tick when, std::function<void()> fn)
+{
+    if (when < now_)
+        panic("Simulator: scheduling into the past (when=%llu, now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    const EventId id = nextId_++;
+    queue_.push(Event{when, id, std::move(fn)});
+    return id;
+}
+
+void
+Simulator::cancel(EventId id)
+{
+    cancelled_.insert(id);
+}
+
+bool
+Simulator::runOneEvent()
+{
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = ev.when;
+        ++fired_;
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+Tick
+Simulator::run()
+{
+    while (runOneEvent()) {
+    }
+    return now_;
+}
+
+Tick
+Simulator::runUntil(Tick deadline)
+{
+    while (!queue_.empty()) {
+        if (queue_.top().when > deadline)
+            break;
+        runOneEvent();
+    }
+    if (now_ < deadline && queue_.empty())
+        return now_;
+    now_ = std::max(now_, std::min(deadline, now_));
+    return now_;
+}
+
+std::size_t
+Simulator::pendingEvents() const
+{
+    // Cancelled events still sit in the heap until popped.
+    return queue_.size() >= cancelled_.size()
+               ? queue_.size() - cancelled_.size()
+               : 0;
+}
+
+} // namespace doppio::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A Simulator owns a tick clock and a priority queue of events. Model
+ * components (disks, network pipes, executors, schedulers) schedule
+ * callbacks; run() drains the queue in (tick, insertion-order) order so
+ * simulations are fully deterministic.
+ */
+
+#ifndef DOPPIO_SIM_SIMULATOR_H
+#define DOPPIO_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace doppio::sim {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * The event loop. Events at equal ticks fire in scheduling order.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** @return the current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run @p delay ticks from now.
+     * @return an id usable with cancel().
+     */
+    EventId schedule(Tick delay, std::function<void()> fn);
+
+    /** Schedule @p fn at absolute tick @p when (must be >= now()). */
+    EventId scheduleAt(Tick when, std::function<void()> fn);
+
+    /** Cancel a pending event; cancelling a fired event is a no-op. */
+    void cancel(EventId id);
+
+    /** Run until the event queue is empty. @return final tick. */
+    Tick run();
+
+    /**
+     * Run until the queue is empty or @p deadline is reached (events at
+     * the deadline tick still fire). @return final tick.
+     */
+    Tick runUntil(Tick deadline);
+
+    /** Fire the next event, if any. @return false when queue was empty. */
+    bool runOneEvent();
+
+    /** @return number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const;
+
+    /** @return total number of events fired since construction. */
+    std::uint64_t firedEvents() const { return fired_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        EventId id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            // Min-heap: earlier tick first, then FIFO by id.
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        queue_;
+    std::unordered_set<EventId> cancelled_;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t fired_ = 0;
+};
+
+} // namespace doppio::sim
+
+#endif // DOPPIO_SIM_SIMULATOR_H

@@ -1,0 +1,77 @@
+#include "spark/block_manager.h"
+
+#include "common/logging.h"
+
+namespace doppio::spark {
+
+BlockManager::BlockManager(Bytes storageMemory, double expansionFactor)
+    : capacity_(storageMemory), expansionFactor_(expansionFactor)
+{
+    if (expansionFactor_ <= 0.0)
+        fatal("BlockManager: expansion factor must be positive");
+}
+
+BlockManager::Placement
+BlockManager::placementOf(const Rdd *rdd) const
+{
+    auto it = placements_.find(rdd);
+    return it == placements_.end() ? Placement::Unmaterialized
+                                   : it->second;
+}
+
+BlockManager::Placement
+BlockManager::materialize(const Rdd &rdd)
+{
+    const Placement existing = placementOf(&rdd);
+    if (existing != Placement::Unmaterialized)
+        return existing;
+    if (rdd.storageLevel == StorageLevel::None)
+        return Placement::Unmaterialized;
+
+    Placement placement = Placement::Unmaterialized;
+    if (rdd.storageLevel == StorageLevel::DiskOnly) {
+        placement = Placement::Disk;
+    } else {
+        const Bytes footprint = rdd.memoryFootprint(expansionFactor_);
+        if (memoryUsed_ + footprint <= capacity_) {
+            memoryUsed_ += footprint;
+            placement = Placement::Memory;
+        } else if (rdd.storageLevel == StorageLevel::MemoryAndDisk) {
+            placement = Placement::Disk;
+        } else {
+            // MEMORY_ONLY that does not fit: stays unmaterialized and
+            // will be recomputed on each use.
+            return Placement::Unmaterialized;
+        }
+    }
+    placements_[&rdd] = placement;
+    return placement;
+}
+
+void
+BlockManager::unpersist(const Rdd *rdd)
+{
+    auto it = placements_.find(rdd);
+    if (it == placements_.end())
+        return;
+    if (it->second == Placement::Memory) {
+        const Bytes footprint = rdd->memoryFootprint(expansionFactor_);
+        memoryUsed_ = footprint <= memoryUsed_ ? memoryUsed_ - footprint
+                                               : 0;
+    }
+    placements_.erase(it);
+}
+
+bool
+BlockManager::shuffleAvailable(const Rdd *rdd) const
+{
+    return shuffles_.count(rdd) != 0;
+}
+
+void
+BlockManager::markShuffleAvailable(const Rdd *rdd)
+{
+    shuffles_.insert(rdd);
+}
+
+} // namespace doppio::spark

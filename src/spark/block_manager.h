@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cluster-wide RDD storage accounting.
+ *
+ * Decides, when a persisted RDD is first materialized, whether it fits
+ * in the cluster's RDD storage memory (storageFraction x executor
+ * memory x slaves) or falls back to the Spark local disks — the paper's
+ * "large RDDs NOT cacheable in memory" mechanism (§III-B2). Placement
+ * is all-or-nothing, matching how the paper treats its workloads (e.g.
+ * LR's 990 GB parsedData "will be put in Spark Local").
+ *
+ * Also tracks which shuffle outputs already exist on the local disks:
+ * a later job whose lineage crosses an already-written shuffle skips
+ * the map stage and re-reads the shuffle files, exactly as Spark skips
+ * completed ShuffleMapStages (this is why GATK4's SF stage re-reads the
+ * 334 GB shuffle without re-writing it — Table IV).
+ */
+
+#ifndef DOPPIO_SPARK_BLOCK_MANAGER_H
+#define DOPPIO_SPARK_BLOCK_MANAGER_H
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/units.h"
+#include "spark/rdd.h"
+
+namespace doppio::spark {
+
+/** Tracks materialized RDDs and shuffle outputs. */
+class BlockManager
+{
+  public:
+    /** Where a materialized RDD lives. */
+    enum class Placement { Unmaterialized, Memory, Disk };
+
+    /**
+     * @param storageMemory   cluster-wide RDD cache capacity in bytes.
+     * @param expansionFactor default serialized->in-memory expansion.
+     */
+    BlockManager(Bytes storageMemory, double expansionFactor);
+
+    /** @return current placement of @p rdd. */
+    Placement placementOf(const Rdd *rdd) const;
+
+    /**
+     * Decide placement for a persisted RDD being materialized now.
+     * Memory-capable levels get Memory iff the in-memory footprint
+     * fits in the remaining capacity; MemoryAndDisk/DiskOnly fall back
+     * to Disk; MemoryOnly that does not fit stays Unmaterialized
+     * (recompute on next use). Idempotent for already-placed RDDs.
+     */
+    Placement materialize(const Rdd &rdd);
+
+    /** Drop a materialized RDD, freeing memory if it was cached. */
+    void unpersist(const Rdd *rdd);
+
+    /** @return true when @p rdd's shuffle files are on local disks. */
+    bool shuffleAvailable(const Rdd *rdd) const;
+
+    /** Record that @p rdd's map stage has written its shuffle files. */
+    void markShuffleAvailable(const Rdd *rdd);
+
+    /** @return bytes of storage memory currently in use. */
+    Bytes memoryUsed() const { return memoryUsed_; }
+
+    /** @return total storage memory capacity. */
+    Bytes capacity() const { return capacity_; }
+
+  private:
+    Bytes capacity_;
+    double expansionFactor_;
+    Bytes memoryUsed_ = 0;
+    std::unordered_map<const Rdd *, Placement> placements_;
+    std::unordered_set<const Rdd *> shuffles_;
+};
+
+} // namespace doppio::spark
+
+#endif // DOPPIO_SPARK_BLOCK_MANAGER_H

@@ -1,0 +1,224 @@
+#include "spark/dag_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace doppio::spark {
+
+DagScheduler::DagScheduler(const SparkConf &conf, const dfs::Hdfs &hdfs,
+                           BlockManager &blockManager)
+    : conf_(conf), hdfs_(hdfs), blockManager_(blockManager)
+{}
+
+IoPhaseSpec
+DagScheduler::makeIoPhase(storage::IoOp op, Bytes bytes, Bytes preferred,
+                          double cpuPerByte, int fanIn)
+{
+    IoPhaseSpec phase;
+    phase.op = op;
+    phase.bytesPerTask = bytes;
+    phase.cpuPerByte = cpuPerByte;
+    phase.fanIn = fanIn;
+    if (bytes == 0) {
+        phase.requestSize = 0;
+        return phase;
+    }
+    if (preferred == 0)
+        preferred = bytes;
+    const Bytes count = std::max<Bytes>(
+        1, (bytes + preferred - 1) / preferred);
+    phase.requestSize = std::max<Bytes>(1, bytes / count);
+    return phase;
+}
+
+DagScheduler::ChainBuild
+DagScheduler::buildChain(const RddRef &rdd, std::vector<StageSpec> &stages)
+{
+    ChainBuild build;
+    if (rdd->numPartitions <= 0)
+        fatal("DagScheduler: RDD %s has no partitions",
+              rdd->name.c_str());
+
+    switch (blockManager_.placementOf(rdd.get())) {
+      case BlockManager::Placement::Memory:
+        // Cached in memory: the stage reads it for free.
+        build.groups.push_back(TaskGroupSpec{
+            rdd->name + "(cached)", rdd->numPartitions, {},
+            rdd->bytesPerPartition()});
+        return build;
+      case BlockManager::Placement::Disk:
+        build.groups.push_back(TaskGroupSpec{
+            rdd->name + "(disk)",
+            rdd->numPartitions,
+            {makeIoPhase(storage::IoOp::PersistRead,
+                         rdd->bytesPerPartition(),
+                         conf_.diskStoreRequestSize,
+                         rdd->pipelinedCpuPerByte)},
+            rdd->bytesPerPartition()});
+        return build;
+      case BlockManager::Placement::Unmaterialized:
+        break;
+    }
+
+    if (rdd->isSource()) {
+        build.groups.push_back(TaskGroupSpec{
+            rdd->name,
+            rdd->numPartitions,
+            {makeIoPhase(storage::IoOp::HdfsRead, rdd->bytesPerPartition(),
+                         hdfs_.config().blockSize,
+                         rdd->pipelinedCpuPerByte)},
+            rdd->bytesPerPartition()});
+        build.gcSensitivity = rdd->gcSensitivity;
+        return build;
+    }
+
+    if (rdd->isShuffled()) {
+        ensureShuffle(rdd, stages);
+        const RddRef &parent = rdd->deps.front().parent;
+        const int fan_in = parent->numPartitions;
+        const Bytes per_task =
+            rdd->shuffle.bytes / static_cast<Bytes>(rdd->numPartitions);
+
+        IoPhaseSpec read;
+        read.op = storage::IoOp::ShuffleRead;
+        read.bytesPerTask = per_task;
+        read.requestSize = std::max<Bytes>(
+            1, per_task / static_cast<Bytes>(std::max(1, fan_in)));
+        read.cpuPerByte = rdd->pipelinedCpuPerByte;
+        read.fanIn = fan_in;
+
+        TaskGroupSpec group{rdd->name, rdd->numPartitions, {read},
+                            rdd->bytesPerPartition()};
+        const double compute =
+            rdd->cpuPerInputByte * static_cast<double>(per_task) +
+            rdd->cpuPerTask;
+        if (compute > 0.0)
+            group.phases.push_back(ComputePhaseSpec{compute});
+        build.groups.push_back(std::move(group));
+        build.gcSensitivity = rdd->gcSensitivity;
+        maybeMaterialize(rdd, build);
+        return build;
+    }
+
+    // Narrow dependencies: pipeline into the same stage. Each branch
+    // keeps its own per-task data volume (a union's branches can be
+    // wildly asymmetric, e.g. GATK4's 27 MB shuffle tasks next to 2 MB
+    // filter tasks), and the output size ratio rescales it.
+    Bytes parents_bytes = 0;
+    for (const Rdd::Dep &dep : rdd->deps)
+        parents_bytes += dep.parent->bytes;
+    const double size_ratio =
+        parents_bytes > 0 ? static_cast<double>(rdd->bytes) /
+                                static_cast<double>(parents_bytes)
+                          : 0.0;
+    for (const Rdd::Dep &dep : rdd->deps) {
+        ChainBuild sub = buildChain(dep.parent, stages);
+        for (TaskGroupSpec &group : sub.groups) {
+            const double compute =
+                rdd->cpuPerInputByte *
+                    static_cast<double>(group.bytesPerTask) +
+                rdd->cpuPerTask;
+            if (compute > 0.0)
+                group.phases.push_back(ComputePhaseSpec{compute});
+            group.bytesPerTask = static_cast<Bytes>(
+                static_cast<double>(group.bytesPerTask) * size_ratio);
+            build.groups.push_back(std::move(group));
+        }
+        build.gcSensitivity =
+            std::max(build.gcSensitivity, sub.gcSensitivity);
+    }
+    build.gcSensitivity =
+        std::max(build.gcSensitivity, rdd->gcSensitivity);
+    maybeMaterialize(rdd, build);
+    return build;
+}
+
+void
+DagScheduler::ensureShuffle(const RddRef &rdd,
+                            std::vector<StageSpec> &stages)
+{
+    if (blockManager_.shuffleAvailable(rdd.get()))
+        return;
+    const RddRef &parent = rdd->deps.front().parent;
+    ChainBuild parent_build = buildChain(parent, stages);
+
+    int map_tasks = 0;
+    for (const TaskGroupSpec &group : parent_build.groups)
+        map_tasks += group.count;
+    if (map_tasks != parent->numPartitions)
+        panic("DagScheduler: map task count %d != parent partitions %d "
+              "for %s",
+              map_tasks, parent->numPartitions, rdd->name.c_str());
+
+    const Bytes per_task_write =
+        rdd->shuffle.bytes / static_cast<Bytes>(map_tasks);
+    for (TaskGroupSpec &group : parent_build.groups) {
+        group.phases.push_back(
+            makeIoPhase(storage::IoOp::ShuffleWrite, per_task_write,
+                        conf_.shuffleSpillChunkCap,
+                        rdd->shuffle.mapCpuPerByte));
+    }
+
+    StageSpec stage;
+    stage.name = rdd->mapStageName();
+    stage.groups = std::move(parent_build.groups);
+    stage.gcSensitivity = parent_build.gcSensitivity;
+    stages.push_back(std::move(stage));
+    blockManager_.markShuffleAvailable(rdd.get());
+}
+
+void
+DagScheduler::maybeMaterialize(const RddRef &rdd, ChainBuild &build)
+{
+    if (rdd->storageLevel == StorageLevel::None)
+        return;
+    if (blockManager_.placementOf(rdd.get()) !=
+        BlockManager::Placement::Unmaterialized)
+        return;
+    const BlockManager::Placement placement =
+        blockManager_.materialize(*rdd);
+    if (placement != BlockManager::Placement::Disk)
+        return;
+    const Bytes per_task = rdd->bytesPerPartition();
+    for (TaskGroupSpec &group : build.groups) {
+        group.phases.push_back(
+            makeIoPhase(storage::IoOp::PersistWrite, per_task,
+                        conf_.diskStoreRequestSize, 0.0));
+    }
+}
+
+JobSpec
+DagScheduler::compile(const std::string &jobName, const RddRef &target,
+                      const ActionSpec &action)
+{
+    if (!target)
+        fatal("DagScheduler: null target RDD for job %s",
+              jobName.c_str());
+    JobSpec job;
+    job.name = jobName;
+    ChainBuild build = buildChain(target, job.stages);
+
+    if (action.kind == ActionSpec::Kind::SaveAsHadoopFile &&
+        action.outputBytes > 0) {
+        int total_tasks = 0;
+        for (const TaskGroupSpec &group : build.groups)
+            total_tasks += group.count;
+        const Bytes per_task =
+            action.outputBytes / static_cast<Bytes>(total_tasks);
+        for (TaskGroupSpec &group : build.groups) {
+            group.phases.push_back(
+                makeIoPhase(storage::IoOp::HdfsWrite, per_task,
+                            hdfs_.config().blockSize, 0.0));
+        }
+    }
+
+    StageSpec result;
+    result.name = jobName;
+    result.groups = std::move(build.groups);
+    result.gcSensitivity = build.gcSensitivity;
+    job.stages.push_back(std::move(result));
+    return job;
+}
+
+} // namespace doppio::spark

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lineage-to-stage compiler.
+ *
+ * Walks an RDD lineage from an action, splitting at shuffle boundaries
+ * into ShuffleMapStages and a result stage, exactly as Spark's
+ * DAGScheduler does. Along the way it resolves how each stage obtains
+ * its input:
+ *
+ *  - an RDD cached in memory reads for free;
+ *  - an RDD persisted on disk becomes a PersistRead phase (disk-store
+ *    request size);
+ *  - an available shuffle becomes a ShuffleRead phase whose request
+ *    size is perReducerBytes / M mappers — the paper's small-block
+ *    shuffle access pattern (§III-C2);
+ *  - anything unmaterialized is recomputed by inlining its upstream
+ *    chain into the consuming stage (Spark's lineage recomputation) —
+ *    the reason GATK4's BR and SF stages each re-read the full shuffle
+ *    and the 122 GB input (Table IV).
+ */
+
+#ifndef DOPPIO_SPARK_DAG_SCHEDULER_H
+#define DOPPIO_SPARK_DAG_SCHEDULER_H
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dfs/hdfs.h"
+#include "spark/block_manager.h"
+#include "spark/rdd.h"
+#include "spark/spark_conf.h"
+#include "spark/stage_spec.h"
+
+namespace doppio::spark {
+
+/** Terminal operation on an RDD. */
+struct ActionSpec
+{
+    enum class Kind { Count, Collect, SaveAsHadoopFile };
+
+    Kind kind = Kind::Count;
+    /** For SaveAsHadoopFile: bytes written to HDFS. */
+    Bytes outputBytes = 0;
+
+    static ActionSpec count() { return {Kind::Count, 0}; }
+    static ActionSpec collect() { return {Kind::Collect, 0}; }
+
+    static ActionSpec
+    saveAsHadoopFile(Bytes outputBytes)
+    {
+        return {Kind::SaveAsHadoopFile, outputBytes};
+    }
+};
+
+/** Compiled form of one job: its stages in execution order. */
+struct JobSpec
+{
+    std::string name;
+    std::vector<StageSpec> stages;
+};
+
+/**
+ * Compiles jobs. Mutates the BlockManager: materialization decisions
+ * (cache placements, shuffle availability) are made at compile time and
+ * persist across jobs in the same context.
+ */
+class DagScheduler
+{
+  public:
+    DagScheduler(const SparkConf &conf, const dfs::Hdfs &hdfs,
+                 BlockManager &blockManager);
+
+    /**
+     * Compile the job triggered by @p action on @p target.
+     * @param jobName names the result stage (e.g. "BR").
+     */
+    JobSpec compile(const std::string &jobName, const RddRef &target,
+                    const ActionSpec &action);
+
+  private:
+    /** Groups plus stage-level aggregates built while walking a chain. */
+    struct ChainBuild
+    {
+        std::vector<TaskGroupSpec> groups;
+        double gcSensitivity = 0.0;
+    };
+
+    /**
+     * Produce the task groups that compute @p rdd's partitions within
+     * the current stage, appending any required parent map stages to
+     * @p stages.
+     */
+    ChainBuild buildChain(const RddRef &rdd,
+                          std::vector<StageSpec> &stages);
+
+    /** Emit @p rdd's map stage if its shuffle files are absent. */
+    void ensureShuffle(const RddRef &rdd, std::vector<StageSpec> &stages);
+
+    /**
+     * If @p rdd is persisted, decide placement and append PersistWrite
+     * phases for a disk placement.
+     */
+    void maybeMaterialize(const RddRef &rdd, ChainBuild &build);
+
+    /** Split @p bytes into uniform requests of roughly @p preferred. */
+    static IoPhaseSpec makeIoPhase(storage::IoOp op, Bytes bytes,
+                                   Bytes preferred, double cpuPerByte,
+                                   int fanIn = 1);
+
+    const SparkConf &conf_;
+    const dfs::Hdfs &hdfs_;
+    BlockManager &blockManager_;
+};
+
+} // namespace doppio::spark
+
+#endif // DOPPIO_SPARK_DAG_SCHEDULER_H

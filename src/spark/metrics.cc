@@ -1,0 +1,68 @@
+#include "spark/metrics.h"
+
+namespace doppio::spark {
+
+Bytes
+StageMetrics::totalBytes(storage::IoKind kind) const
+{
+    Bytes total = 0;
+    for (storage::IoOp op : storage::kAllIoOps) {
+        if (storage::ioKind(op) == kind)
+            total += forOp(op).bytes;
+    }
+    return total;
+}
+
+double
+JobMetrics::seconds() const
+{
+    double total = 0.0;
+    for (const auto &stage : stages)
+        total += stage.seconds();
+    return total;
+}
+
+double
+AppMetrics::seconds() const
+{
+    double total = 0.0;
+    for (const auto &job : jobs)
+        total += job.seconds();
+    return total;
+}
+
+std::vector<const StageMetrics *>
+AppMetrics::allStages() const
+{
+    std::vector<const StageMetrics *> result;
+    for (const auto &job : jobs) {
+        for (const auto &stage : job.stages)
+            result.push_back(&stage);
+    }
+    return result;
+}
+
+double
+AppMetrics::secondsForPrefix(const std::string &prefix) const
+{
+    double total = 0.0;
+    for (const StageMetrics *stage : allStages()) {
+        if (stage->name.rfind(prefix, 0) == 0)
+            total += stage->seconds();
+    }
+    return total;
+}
+
+Bytes
+AppMetrics::bytesForPrefix(const std::string &prefix,
+                           storage::IoOp op) const
+{
+    Bytes total = 0;
+    for (const StageMetrics *stage : allStages()) {
+        if (stage->name.rfind(prefix, 0) == 0)
+            total += stage->forOp(op).bytes;
+    }
+    return total;
+}
+
+} // namespace doppio::spark

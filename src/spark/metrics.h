@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-stage and per-application execution metrics.
+ *
+ * These are the observables the paper's methodology extracts from a
+ * real cluster (Spark UI stage times, iostat request sizes, I/O byte
+ * counts). The model profiler consumes them; the bench harnesses print
+ * them.
+ */
+
+#ifndef DOPPIO_SPARK_METRICS_H
+#define DOPPIO_SPARK_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "storage/io_request.h"
+
+namespace doppio::spark {
+
+/** Stage-scoped accounting for one I/O operation class. */
+struct StageIoStats
+{
+    std::uint64_t requests = 0;
+    Bytes bytes = 0;
+    SummaryStats requestSize;
+    /**
+     * Wall-clock duration of each task's phase doing this operation
+     * (device time plus the pipelined per-chunk CPU). At P=1 this is
+     * the paper's per-core I/O access time, from which T and lambda
+     * derive.
+     */
+    SummaryStats phaseSeconds;
+
+    /** @return iostat-style average request size (bytes). */
+    double
+    avgRequestSize() const
+    {
+        return requests ? requestSize.mean() : 0.0;
+    }
+};
+
+/** Everything measured about one executed stage. */
+struct StageMetrics
+{
+    std::string name;
+    int numTasks = 0;
+    Tick startTick = 0;
+    Tick endTick = 0;
+    /// Wall-clock duration of each task, including queueing-free phases.
+    SummaryStats taskDuration;
+    /// Per-IoOp logical bytes/requests issued by this stage's tasks.
+    std::array<StageIoStats, storage::kNumIoOps> io;
+
+    /** @return stage duration in seconds. */
+    double
+    seconds() const
+    {
+        return ticksToSeconds(endTick - startTick);
+    }
+
+    /** @return accounting for one operation class. */
+    const StageIoStats &
+    forOp(storage::IoOp op) const
+    {
+        return io[static_cast<std::size_t>(op)];
+    }
+
+    StageIoStats &
+    forOp(storage::IoOp op)
+    {
+        return io[static_cast<std::size_t>(op)];
+    }
+
+    /** @return total bytes moved in @p kind direction by this stage. */
+    Bytes totalBytes(storage::IoKind kind) const;
+};
+
+/** Metrics for one job (action): its stages in execution order. */
+struct JobMetrics
+{
+    std::string name;
+    std::vector<StageMetrics> stages;
+
+    /** @return job duration in seconds (sum of stage durations). */
+    double seconds() const;
+};
+
+/** Metrics for a whole application run. */
+struct AppMetrics
+{
+    std::string name;
+    std::vector<JobMetrics> jobs;
+
+    /** @return application duration in seconds. */
+    double seconds() const;
+
+    /** Flatten all stages across jobs, in execution order. */
+    std::vector<const StageMetrics *> allStages() const;
+
+    /**
+     * Sum the durations of all stages whose name starts with
+     * @p prefix — the paper groups e.g. all 50 LR iteration stages
+     * into one "iteration" bar.
+     */
+    double secondsForPrefix(const std::string &prefix) const;
+
+    /** Sum of @p op bytes across all stages with name prefix. */
+    Bytes bytesForPrefix(const std::string &prefix,
+                         storage::IoOp op) const;
+};
+
+} // namespace doppio::spark
+
+#endif // DOPPIO_SPARK_METRICS_H

@@ -1,0 +1,94 @@
+#include "spark/metrics_json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace doppio::spark {
+
+namespace {
+
+/** Minimal JSON string escaping (names are ASCII identifiers here). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+writeMetricsJson(std::ostream &os, const AppMetrics &metrics)
+{
+    os << "{\"app\":\"" << escape(metrics.name) << "\",\"seconds\":"
+       << num(metrics.seconds()) << ",\"jobs\":[";
+    bool first_job = true;
+    for (const JobMetrics &job : metrics.jobs) {
+        if (!first_job)
+            os << ',';
+        first_job = false;
+        os << "{\"name\":\"" << escape(job.name) << "\",\"stages\":[";
+        bool first_stage = true;
+        for (const StageMetrics &stage : job.stages) {
+            if (!first_stage)
+                os << ',';
+            first_stage = false;
+            os << "{\"name\":\"" << escape(stage.name)
+               << "\",\"tasks\":" << stage.numTasks
+               << ",\"seconds\":" << num(stage.seconds())
+               << ",\"task_mean_seconds\":"
+               << num(stage.taskDuration.mean()) << ",\"io\":{";
+            bool first_op = true;
+            for (storage::IoOp op : storage::kAllIoOps) {
+                const StageIoStats &io = stage.forOp(op);
+                if (io.bytes == 0)
+                    continue;
+                if (!first_op)
+                    os << ',';
+                first_op = false;
+                os << '"' << storage::ioOpName(op)
+                   << "\":{\"bytes\":" << io.bytes
+                   << ",\"requests\":" << io.requests
+                   << ",\"avg_request_size\":"
+                   << num(io.avgRequestSize()) << '}';
+            }
+            os << "}}";
+        }
+        os << "]}";
+    }
+    os << "]}";
+}
+
+std::string
+metricsJson(const AppMetrics &metrics)
+{
+    std::ostringstream os;
+    writeMetricsJson(os, metrics);
+    return os.str();
+}
+
+} // namespace doppio::spark

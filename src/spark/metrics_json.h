@@ -1,0 +1,31 @@
+/**
+ * @file
+ * JSON export of application metrics, for dashboards and external
+ * analysis tooling (the role Spark's event-log JSON plays).
+ */
+
+#ifndef DOPPIO_SPARK_METRICS_JSON_H
+#define DOPPIO_SPARK_METRICS_JSON_H
+
+#include <ostream>
+#include <string>
+
+#include "spark/metrics.h"
+
+namespace doppio::spark {
+
+/**
+ * Write @p metrics as a JSON document:
+ * {"app": ..., "seconds": ..., "jobs": [{"name":..., "stages":
+ * [{"name":..., "tasks":..., "seconds":..., "io": {"hdfs_read":
+ * {"bytes":..., "requests":..., "avg_request_size":...}, ...}}]}]}
+ * Only operations with traffic are emitted.
+ */
+void writeMetricsJson(std::ostream &os, const AppMetrics &metrics);
+
+/** @return the JSON as a string. */
+std::string metricsJson(const AppMetrics &metrics);
+
+} // namespace doppio::spark
+
+#endif // DOPPIO_SPARK_METRICS_JSON_H

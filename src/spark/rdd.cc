@@ -1,0 +1,111 @@
+#include "spark/rdd.h"
+
+#include "common/logging.h"
+
+namespace doppio::spark {
+
+const char *
+storageLevelName(StorageLevel level)
+{
+    switch (level) {
+      case StorageLevel::None:
+        return "NONE";
+      case StorageLevel::MemoryOnly:
+        return "MEMORY_ONLY";
+      case StorageLevel::MemoryAndDisk:
+        return "MEMORY_AND_DISK";
+      case StorageLevel::DiskOnly:
+        return "DISK_ONLY";
+    }
+    return "unknown";
+}
+
+RddRef
+Rdd::source(std::string name, const dfs::Hdfs &hdfs, dfs::FileId file)
+{
+    const dfs::HdfsFile &meta = hdfs.file(file);
+    if (meta.size == 0)
+        fatal("Rdd %s: source file %s is empty", name.c_str(),
+              meta.name.c_str());
+    auto rdd = std::make_shared<Rdd>();
+    rdd->name = std::move(name);
+    rdd->numPartitions = meta.numBlocks();
+    rdd->bytes = meta.size;
+    rdd->sourceFile = file;
+    return rdd;
+}
+
+RddRef
+Rdd::narrow(std::string name, std::vector<RddRef> parents, Bytes outBytes)
+{
+    if (parents.empty())
+        fatal("Rdd %s: narrow transformation needs at least one parent",
+              name.c_str());
+    auto rdd = std::make_shared<Rdd>();
+    rdd->name = std::move(name);
+    rdd->bytes = outBytes;
+    int partitions = 0;
+    for (auto &parent : parents) {
+        if (!parent)
+            fatal("Rdd %s: null parent", rdd->name.c_str());
+        partitions += parent->numPartitions;
+        rdd->deps.push_back(Dep{parent, false});
+    }
+    rdd->numPartitions = partitions;
+    return rdd;
+}
+
+RddRef
+Rdd::shuffled(std::string name, RddRef parent, int numPartitions,
+              Bytes outBytes, ShuffleSpec shuffleSpec)
+{
+    if (!parent)
+        fatal("Rdd %s: null shuffle parent", name.c_str());
+    if (numPartitions <= 0)
+        fatal("Rdd %s: reduce-side partition count must be positive",
+              name.c_str());
+    if (shuffleSpec.bytes == 0)
+        fatal("Rdd %s: shuffle byte count must be positive",
+              name.c_str());
+    auto rdd = std::make_shared<Rdd>();
+    rdd->name = std::move(name);
+    rdd->numPartitions = numPartitions;
+    rdd->bytes = outBytes;
+    rdd->deps.push_back(Dep{std::move(parent), true});
+    rdd->shuffle = std::move(shuffleSpec);
+    return rdd;
+}
+
+RddRef
+Rdd::persist(StorageLevel level)
+{
+    storageLevel = level;
+    return shared_from_this();
+}
+
+Bytes
+Rdd::bytesPerPartition() const
+{
+    if (numPartitions <= 0)
+        fatal("Rdd %s: no partitions", name.c_str());
+    return bytes / static_cast<Bytes>(numPartitions);
+}
+
+Bytes
+Rdd::memoryFootprint(double expansionFactor) const
+{
+    if (memoryBytes != 0)
+        return memoryBytes;
+    return static_cast<Bytes>(static_cast<double>(bytes) *
+                              expansionFactor);
+}
+
+std::string
+Rdd::mapStageName() const
+{
+    if (!shuffle.mapStageName.empty())
+        return shuffle.mapStageName;
+    return name + ".map";
+}
+
+} // namespace doppio::spark

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * RDD lineage graph.
+ *
+ * An Rdd describes one resilient distributed dataset: its partition
+ * count, serialized and in-memory sizes, the compute cost to produce it
+ * from its inputs, its storage level, and its dependencies (narrow or
+ * shuffle). Workloads declare lineage graphs; the DAG scheduler compiles
+ * them into executable stages, splitting at shuffle boundaries exactly
+ * as Spark's DAGScheduler does.
+ *
+ * Doppio models performance, not data content, so an RDD carries sizes
+ * and cost densities rather than records.
+ */
+
+#ifndef DOPPIO_SPARK_RDD_H
+#define DOPPIO_SPARK_RDD_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dfs/hdfs.h"
+
+namespace doppio::spark {
+
+/** Where a persisted RDD may live (subset of Spark's storage levels). */
+enum class StorageLevel { None, MemoryOnly, MemoryAndDisk, DiskOnly };
+
+/** @return printable name of a storage level. */
+const char *storageLevelName(StorageLevel level);
+
+class Rdd;
+/** Shared handle to a lineage node. */
+using RddRef = std::shared_ptr<Rdd>;
+
+/** Shuffle dependency parameters (set on the shuffled child RDD). */
+struct ShuffleSpec
+{
+    /** Total bytes written by the map side == read by the reduce side. */
+    Bytes bytes = 0;
+    /** CPU pipelined with shuffle write (sort, serialize, compress). */
+    double mapCpuPerByte = 0.0;
+    /** Name for the map-side stage (defaults to "<rdd>.map"). */
+    std::string mapStageName;
+};
+
+/**
+ * One lineage node. Fields are public by design: workloads are
+ * declarative tables of sizes and cost densities; the factories enforce
+ * the structural invariants (partition-count consistency, single
+ * shuffle parent).
+ */
+class Rdd : public std::enable_shared_from_this<Rdd>
+{
+  public:
+    /** One dependency edge. */
+    struct Dep
+    {
+        RddRef parent;
+        bool shuffle = false;
+    };
+
+    std::string name;
+    int numPartitions = 0;
+    /** Serialized (on-disk / on-wire) size of the full dataset. */
+    Bytes bytes = 0;
+    /**
+     * Deserialized in-memory footprint; 0 means "derive from bytes via
+     * SparkConf::memoryExpansionFactor". GATK4's markedReads expands
+     * 122 GB -> ~870 GB (paper §III-B2).
+     */
+    Bytes memoryBytes = 0;
+
+    /** Pure CPU per input byte to produce this RDD (not pipelined). */
+    double cpuPerInputByte = 0.0;
+    /** Fixed pure CPU per task to produce this RDD. */
+    double cpuPerTask = 0.0;
+    /**
+     * CPU interleaved chunk-by-chunk whenever this RDD's bytes are read
+     * from a device (HDFS source read, shuffle read, persist read):
+     * decompression, deserialization, record parsing. This is what
+     * makes per-core I/O throughput T and the paper's lambda ratio
+     * emerge in simulation.
+     */
+    double pipelinedCpuPerByte = 0.0;
+
+    StorageLevel storageLevel = StorageLevel::None;
+    std::vector<Dep> deps;
+    /** Set for leaf RDDs backed by an HDFS file. */
+    std::optional<dfs::FileId> sourceFile;
+    /** Valid iff this RDD has a shuffle dependency. */
+    ShuffleSpec shuffle;
+    /** Stage-level GC pressure contributed by computing this RDD. */
+    double gcSensitivity = 0.0;
+
+    /** Leaf RDD over an HDFS file; partitions = HDFS blocks. */
+    static RddRef source(std::string name, const dfs::Hdfs &hdfs,
+                         dfs::FileId file);
+
+    /**
+     * Narrow transformation (map/filter/flatMap/union/zipPartitions).
+     * Partition count = sum over parents (equals the parent count for a
+     * single parent).
+     * @param outBytes serialized size of the result.
+     */
+    static RddRef narrow(std::string name, std::vector<RddRef> parents,
+                         Bytes outBytes);
+
+    /**
+     * Shuffle transformation (groupByKey/reduceByKey/repartition/
+     * sortByKey).
+     * @param numPartitions reduce-side partition count R.
+     * @param outBytes      serialized size of the result.
+     * @param shuffleSpec   bytes crossing the shuffle and map-side CPU.
+     */
+    static RddRef shuffled(std::string name, RddRef parent,
+                           int numPartitions, Bytes outBytes,
+                           ShuffleSpec shuffleSpec);
+
+    /** Set the storage level; @return this (for chaining). */
+    RddRef persist(StorageLevel level);
+
+    /** @return true for a leaf HDFS-backed RDD. */
+    bool isSource() const { return sourceFile.has_value(); }
+
+    /** @return true when this RDD has a shuffle dependency. */
+    bool isShuffled() const
+    {
+        return !deps.empty() && deps.front().shuffle;
+    }
+
+    /** @return serialized bytes per partition. */
+    Bytes bytesPerPartition() const;
+
+    /** @return in-memory footprint given the default expansion. */
+    Bytes memoryFootprint(double expansionFactor) const;
+
+    /** @return the map-side stage name for a shuffled RDD. */
+    std::string mapStageName() const;
+};
+
+} // namespace doppio::spark
+
+#endif // DOPPIO_SPARK_RDD_H

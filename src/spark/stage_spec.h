@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Executable stage description.
+ *
+ * The DAG scheduler compiles an RDD lineage into StageSpec objects; the
+ * task engine executes them. A stage holds one or more task groups
+ * (e.g. GATK4's BR stage runs shuffle-read tasks and HDFS-read filter
+ * tasks side by side); each group's tasks run the same phase sequence.
+ */
+
+#ifndef DOPPIO_SPARK_STAGE_SPEC_H
+#define DOPPIO_SPARK_STAGE_SPEC_H
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/units.h"
+#include "storage/io_request.h"
+
+namespace doppio::spark {
+
+/**
+ * One I/O phase of a task: move bytesPerTask in requestSize chunks,
+ * with cpuPerByte seconds of pipelined CPU (decompression,
+ * deserialization, sorting) interleaved per chunk.
+ *
+ * The device and path are implied by the operation:
+ *  - HdfsRead/HdfsWrite   -> the node's HDFS disk (writes replicate);
+ *  - ShuffleRead          -> mapper-side local disks across the
+ *                            cluster + network for remote portions;
+ *  - ShuffleWrite, PersistRead, PersistWrite -> the node's local disk.
+ */
+struct IoPhaseSpec
+{
+    storage::IoOp op = storage::IoOp::HdfsRead;
+    Bytes bytesPerTask = 0;
+    Bytes requestSize = 0;
+    double cpuPerByte = 0.0;
+    /**
+     * For ShuffleRead: number of upstream map outputs the chunks are
+     * scattered over (determines request size accounting upstream and
+     * the per-source-node interleaving). Ignored otherwise.
+     */
+    int fanIn = 1;
+};
+
+/** A pure-CPU phase (the non-pipelined part of the task's work). */
+struct ComputePhaseSpec
+{
+    double seconds = 0.0;
+};
+
+/** One phase of a task. */
+using PhaseSpec = std::variant<IoPhaseSpec, ComputePhaseSpec>;
+
+/** A homogeneous set of tasks within a stage. */
+struct TaskGroupSpec
+{
+    std::string name;
+    int count = 0;
+    std::vector<PhaseSpec> phases;
+    /**
+     * Compile-time bookkeeping: serialized bytes flowing through one
+     * task at the current tail of this group's chain. The DAG scheduler
+     * uses it to size per-input compute; the engine ignores it.
+     */
+    Bytes bytesPerTask = 0;
+};
+
+/** A schedulable stage. */
+struct StageSpec
+{
+    std::string name;
+    std::vector<TaskGroupSpec> groups;
+
+    /**
+     * JVM-pressure sensitivity: task compute time is scaled by
+     * (1 + gcSensitivity * (P - 1)). Reproduces the paper's observation
+     * that GATK4's MD stage stops scaling on SSDs because garbage
+     * collection grows with the executor core count (§V-A1).
+     */
+    double gcSensitivity = 0.0;
+
+    /** @return total task count M across groups. */
+    int
+    numTasks() const
+    {
+        int total = 0;
+        for (const auto &group : groups)
+            total += group.count;
+        return total;
+    }
+};
+
+} // namespace doppio::spark
+
+#endif // DOPPIO_SPARK_STAGE_SPEC_H

@@ -1,0 +1,576 @@
+#include "spark/task_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/disk_device.h"
+
+namespace doppio::spark {
+
+namespace {
+
+/** Number of uniform chunks an I/O phase is split into. */
+std::uint64_t
+chunkCount(const IoPhaseSpec &phase)
+{
+    if (phase.bytesPerTask == 0 || phase.requestSize == 0)
+        return 0;
+    return (phase.bytesPerTask + phase.requestSize - 1) /
+           phase.requestSize;
+}
+
+/**
+ * Sequential per-source-node shuffle fetch for one reducer task: the
+ * task's chunks are scattered over every mapper node's local disk; the
+ * (single-threaded) task reads one source node's batch, ships the
+ * remote portion over the network, then moves to the next source.
+ * Keeps itself alive through the pending callbacks; no reference cycle.
+ */
+struct ShuffleFetch : std::enable_shared_from_this<ShuffleFetch>
+{
+    cluster::Cluster *cluster = nullptr;
+    int readerNode = 0;
+    int taskIndex = 0;
+    Bytes chunk = 0;
+    std::uint64_t count = 0;
+    std::function<void()> done;
+    int k = 0;
+
+    void
+    next()
+    {
+        const int nodes = cluster->numSlaves();
+        if (k >= nodes) {
+            done();
+            return;
+        }
+        const std::uint64_t base = count / static_cast<std::uint64_t>(
+            nodes);
+        const std::uint64_t extra =
+            static_cast<std::uint64_t>(k) <
+                    count % static_cast<std::uint64_t>(nodes)
+                ? 1
+                : 0;
+        const std::uint64_t batch = base + extra;
+        const int idx = k++;
+        if (batch == 0) {
+            next();
+            return;
+        }
+        // Task-dependent start offset so concurrent reducers do not
+        // convoy on node 0.
+        const int src = (taskIndex + idx) % nodes;
+        auto self = shared_from_this();
+        cluster->node(src).pickLocalDisk().submitBatch(
+            storage::IoOp::ShuffleRead, chunk, batch,
+            [self, src, batch]() {
+                self->cluster->network().transfer(
+                    src, self->readerNode, self->chunk * batch,
+                    [self]() { self->next(); });
+            });
+    }
+};
+
+/**
+ * Exact per-chunk I/O loop (SparkConf::aggregateIo == false): one
+ * device request per chunk with the pipelined CPU interleaved, the
+ * ground truth that aggregated batches approximate.
+ */
+struct ChunkLoop : std::enable_shared_from_this<ChunkLoop>
+{
+    cluster::Cluster *cluster = nullptr;
+    dfs::Hdfs *hdfs = nullptr;
+    storage::IoOp op = storage::IoOp::HdfsRead;
+    int node = 0;
+    int taskIndex = 0;
+    Bytes chunk = 0;
+    std::uint64_t count = 0;
+    Tick cpuPerChunk = 0;
+    std::function<void()> done;
+    /** For write ops: called per chunk handed to the device. */
+    std::function<void()> writeIssued;
+    /** For write ops: called per chunk drained by the device. */
+    std::function<void()> writeDrained;
+    std::uint64_t i = 0;
+
+    void
+    next()
+    {
+        if (i == count) {
+            done();
+            return;
+        }
+        const std::uint64_t idx = i++;
+        auto self = shared_from_this();
+        auto then_cpu = [self]() {
+            self->cluster->simulator().schedule(
+                self->cpuPerChunk, [self]() { self->next(); });
+        };
+        switch (op) {
+          case storage::IoOp::HdfsRead:
+            hdfs->readChunk(node, chunk, std::move(then_cpu));
+            return;
+          case storage::IoOp::ShuffleRead: {
+            const int nodes = cluster->numSlaves();
+            const int src =
+                (taskIndex + static_cast<int>(idx % nodes)) % nodes;
+            cluster->node(src).pickLocalDisk().submit(
+                storage::IoOp::ShuffleRead, chunk,
+                [self, src, then_cpu = std::move(then_cpu)]() mutable {
+                    self->cluster->network().transfer(
+                        src, self->node, self->chunk,
+                        std::move(then_cpu));
+                });
+            return;
+          }
+          case storage::IoOp::PersistRead:
+          case storage::IoOp::RawRead:
+            cluster->node(node).pickLocalDisk().submit(
+                op, chunk, std::move(then_cpu));
+            return;
+          default: {
+            // Writes: serialize (CPU), hand the chunk to the device
+            // asynchronously, and continue.
+            cluster->simulator().schedule(cpuPerChunk, [self]() {
+                self->writeIssued();
+                if (self->op == storage::IoOp::HdfsWrite) {
+                    self->hdfs->writeChunk(self->node, self->chunk,
+                                           self->writeDrained);
+                } else {
+                    self->cluster->node(self->node).pickLocalDisk().submit(
+                        self->op, self->chunk, self->writeDrained);
+                }
+                self->next();
+            });
+            return;
+          }
+        }
+    }
+};
+
+} // namespace
+
+/** Shared bookkeeping for one executing stage. */
+struct TaskEngine::StageRun
+{
+    /** Per-logical-task attempt state (speculative execution). */
+    struct TaskState
+    {
+        Tick firstLaunch = 0;
+        bool launched = false;
+        bool done = false;
+        bool speculated = false;
+        /** Live attempts, so the winner can kill the loser. */
+        std::vector<std::weak_ptr<TaskRun>> attempts;
+    };
+
+    const StageSpec *spec = nullptr;
+    StageMetrics metrics;
+    /// Flattened (group, index-within-group) task list cursor.
+    std::vector<std::pair<const TaskGroupSpec *, int>> tasks;
+    std::vector<TaskState> states;
+    /// Attempts currently occupying a core, per node (for the
+    /// periodic speculation check).
+    std::vector<int> busyCores;
+    sim::EventId speculationTimer = 0;
+    bool speculationTimerArmed = false;
+    std::size_t nextTask = 0;
+    int completed = 0;
+    /**
+     * Device writes still draining. Writes are asynchronous: a task
+     * hands its serialized output to the disk (OS page cache, shuffle
+     * writer buffers, the HDFS DataStreamer pipeline) and proceeds,
+     * but the stage only completes when the devices have drained —
+     * this is the compute/write overlap the paper's pipeline
+     * execution model assumes.
+     */
+    int outstandingWrites = 0;
+    double gcFactor = 1.0;
+    Rng rng;
+};
+
+/** One in-flight task attempt. */
+struct TaskEngine::TaskRun
+{
+    const TaskGroupSpec *group = nullptr;
+    int taskIndex = 0; //!< global index within the stage
+    int node = 0;
+    Tick start = 0;
+    std::size_t phase = 0;
+    double slowdown = 1.0; //!< jitter x GC factor applied to CPU time
+    /** Set when another attempt won the race; the chain unwinds at
+     *  the next phase boundary. */
+    bool aborted = false;
+    /** Pending pure-timer event (dispatch/compute), cancellable. */
+    sim::EventId pendingEvent = 0;
+    bool hasPendingEvent = false;
+};
+
+TaskEngine::TaskEngine(cluster::Cluster &clusterRef, dfs::Hdfs &hdfs,
+                       const SparkConf &conf)
+    : cluster_(clusterRef), hdfs_(hdfs), conf_(conf),
+      rng_(clusterRef.config().seed ^ 0x7461736bULL /* "task" */)
+{}
+
+int
+TaskEngine::effectiveCores() const
+{
+    return std::min(conf_.executorCores, cluster_.config().node.cores);
+}
+
+StageMetrics
+TaskEngine::runStage(const StageSpec &spec)
+{
+    sim::Simulator &sim = cluster_.simulator();
+    auto run = std::make_shared<StageRun>();
+    run->spec = &spec;
+    run->metrics.name = spec.name;
+    run->metrics.numTasks = spec.numTasks();
+    run->metrics.startTick = sim.now();
+    run->rng = rng_.fork();
+    const int cores = effectiveCores();
+    run->gcFactor =
+        1.0 + spec.gcSensitivity * static_cast<double>(cores - 1);
+
+    for (const TaskGroupSpec &group : spec.groups) {
+        if (group.count < 0)
+            fatal("TaskEngine: negative task count in group %s",
+                  group.name.c_str());
+        for (int i = 0; i < group.count; ++i)
+            run->tasks.emplace_back(&group, i);
+    }
+    run->states.resize(run->tasks.size());
+    run->busyCores.assign(
+        static_cast<std::size_t>(cluster_.numSlaves()), 0);
+    if (conf_.speculation)
+        armSpeculationTimer(run);
+
+    // Fill executor cores round-robin across nodes (Spark's spread-out
+    // placement) so small stages do not pile onto one node's disks;
+    // the rest of the queue drains as tasks finish.
+    for (int c = 0; c < cores; ++c) {
+        for (int node = 0; node < cluster_.numSlaves(); ++node)
+            launchOnFreeCore(run, node);
+    }
+
+    sim.run();
+
+    if (run->completed != run->metrics.numTasks)
+        panic("TaskEngine: stage %s finished with %d/%d tasks",
+              spec.name.c_str(), run->completed, run->metrics.numTasks);
+    if (run->outstandingWrites != 0)
+        panic("TaskEngine: stage %s finished with %d undrained writes",
+              spec.name.c_str(), run->outstandingWrites);
+    run->metrics.endTick = sim.now();
+    return run->metrics;
+}
+
+void
+TaskEngine::launchAttempt(std::shared_ptr<StageRun> run, int node,
+                          std::size_t index)
+{
+    const auto [group, index_in_group] = run->tasks[index];
+    auto task = std::make_shared<TaskRun>();
+    task->group = group;
+    task->taskIndex = static_cast<int>(index);
+    task->node = node;
+    task->start = cluster_.simulator().now();
+    task->slowdown = run->rng.jitter(
+                         cluster_.config().taskJitterSigma) *
+                     run->gcFactor;
+    // Straggler injection (per attempt: a speculative copy on another
+    // core can escape the slow environment).
+    const double straggler_p = cluster_.config().stragglerProbability;
+    if (straggler_p > 0.0 && run->rng.uniform() < straggler_p)
+        task->slowdown *= cluster_.config().stragglerSlowdown;
+
+    StageRun::TaskState &state =
+        run->states[static_cast<std::size_t>(index)];
+    if (!state.launched) {
+        state.launched = true;
+        state.firstLaunch = task->start;
+    }
+    state.attempts.push_back(task);
+    ++run->busyCores[static_cast<std::size_t>(node)];
+
+    // Task dispatch overhead (driver round trip, task deserialization).
+    TaskRun *raw_task = task.get();
+    const sim::EventId event = cluster_.simulator().schedule(
+        secondsToTicks(conf_.taskDispatchOverheadSec),
+        [this, run = std::move(run), task = std::move(task)]() mutable {
+            runPhase(std::move(run), std::move(task));
+        });
+    raw_task->pendingEvent = event;
+    raw_task->hasPendingEvent = true;
+}
+
+void
+TaskEngine::launchOnFreeCore(std::shared_ptr<StageRun> run, int node)
+{
+    if (run->nextTask < run->tasks.size()) {
+        const std::size_t index = run->nextTask++;
+        launchAttempt(std::move(run), node, index);
+        return;
+    }
+    if (conf_.speculation)
+        speculateOnNode(std::move(run), node);
+}
+
+/**
+ * Try to launch one speculative copy of a laggard task on @p node
+ * (Spark's speculation policy, checked both when cores free up and on
+ * the periodic timer).
+ */
+void
+TaskEngine::speculateOnNode(std::shared_ptr<StageRun> run, int node)
+{
+    const int total = run->metrics.numTasks;
+    if (run->completed >= total ||
+        run->completed <
+            static_cast<int>(conf_.speculationQuantile * total))
+        return;
+    const double mean = run->metrics.taskDuration.mean();
+    if (mean <= 0.0)
+        return;
+    const Tick now = cluster_.simulator().now();
+    for (std::size_t i = 0; i < run->states.size(); ++i) {
+        StageRun::TaskState &state = run->states[i];
+        if (!state.launched || state.done || state.speculated)
+            continue;
+        const double elapsed =
+            ticksToSeconds(now - state.firstLaunch);
+        if (elapsed > conf_.speculationMultiplier * mean) {
+            state.speculated = true;
+            launchAttempt(std::move(run), node, i);
+            return;
+        }
+    }
+}
+
+/** Arm the recurring speculation check (Spark: spark.speculation
+ *  re-evaluates laggards on a timer, not only on completions). */
+void
+TaskEngine::armSpeculationTimer(std::shared_ptr<StageRun> run)
+{
+    constexpr double kCheckIntervalSec = 1.0;
+    StageRun *raw = run.get();
+    raw->speculationTimerArmed = true;
+    raw->speculationTimer = cluster_.simulator().schedule(
+        secondsToTicks(kCheckIntervalSec),
+        [this, run = std::move(run)]() mutable {
+            run->speculationTimerArmed = false;
+            if (run->completed >= run->metrics.numTasks)
+                return;
+            const int cores = effectiveCores();
+            for (int node = 0; node < cluster_.numSlaves(); ++node) {
+                while (run->busyCores[static_cast<std::size_t>(
+                           node)] < cores) {
+                    const int before = run->busyCores
+                        [static_cast<std::size_t>(node)];
+                    speculateOnNode(run, node);
+                    if (run->busyCores[static_cast<std::size_t>(
+                            node)] == before)
+                        break; // nothing launched
+                }
+            }
+            armSpeculationTimer(std::move(run));
+        });
+}
+
+void
+TaskEngine::runPhase(std::shared_ptr<StageRun> run,
+                     std::shared_ptr<TaskRun> task)
+{
+    task->hasPendingEvent = false;
+    StageRun::TaskState &state =
+        run->states[static_cast<std::size_t>(task->taskIndex)];
+
+    // A losing speculative attempt unwinds at the next phase boundary
+    // (in-flight device requests cannot be recalled).
+    if (task->aborted ||
+        (state.done && task->phase < task->group->phases.size())) {
+        const int node = task->node;
+        --run->busyCores[static_cast<std::size_t>(node)];
+        launchOnFreeCore(std::move(run), node);
+        return;
+    }
+
+    if (task->phase >= task->group->phases.size()) {
+        // Attempt complete; the first attempt of a task wins.
+        const Tick now = cluster_.simulator().now();
+        --run->busyCores[static_cast<std::size_t>(task->node)];
+        if (!state.done) {
+            state.done = true;
+            run->metrics.taskDuration.add(
+                ticksToSeconds(now - task->start));
+            if (trace_ != nullptr) {
+                trace_->add(TaskRecord{
+                    run->metrics.name, task->group->name,
+                    task->taskIndex, task->node, task->start, now});
+            }
+            ++run->completed;
+            if (run->completed == run->metrics.numTasks &&
+                run->speculationTimerArmed) {
+                cluster_.simulator().cancel(run->speculationTimer);
+                run->speculationTimerArmed = false;
+            }
+            // Kill the losing attempt outright when it is parked on a
+            // cancellable timer (dispatch or pure compute).
+            for (const std::weak_ptr<TaskRun> &weak : state.attempts) {
+                const std::shared_ptr<TaskRun> other = weak.lock();
+                if (!other || other.get() == task.get() ||
+                    other->aborted)
+                    continue;
+                other->aborted = true;
+                if (other->hasPendingEvent) {
+                    cluster_.simulator().cancel(other->pendingEvent);
+                    other->hasPendingEvent = false;
+                    --run->busyCores[static_cast<std::size_t>(
+                        other->node)];
+                    launchOnFreeCore(run, other->node);
+                }
+            }
+        }
+        launchOnFreeCore(run, task->node);
+        return;
+    }
+
+    const PhaseSpec &phase = task->group->phases[task->phase];
+    ++task->phase;
+    if (const auto *compute = std::get_if<ComputePhaseSpec>(&phase)) {
+        // Evaluate the delay before the lambda argument moves `task`
+        // (argument evaluation order is unspecified).
+        const Tick delay =
+            secondsToTicks(compute->seconds * task->slowdown);
+        TaskRun *raw_task = task.get();
+        const sim::EventId event = cluster_.simulator().schedule(
+            delay, [this, run = std::move(run),
+                    task = std::move(task)]() mutable {
+                runPhase(std::move(run), std::move(task));
+            });
+        raw_task->pendingEvent = event;
+        raw_task->hasPendingEvent = true;
+        return;
+    }
+    runIoPhase(std::move(run), std::move(task),
+               std::get<IoPhaseSpec>(phase));
+}
+
+void
+TaskEngine::runIoPhase(std::shared_ptr<StageRun> run,
+                       std::shared_ptr<TaskRun> task,
+                       const IoPhaseSpec &phase)
+{
+    const std::uint64_t count = chunkCount(phase);
+    if (count == 0) {
+        runPhase(std::move(run), std::move(task));
+        return;
+    }
+    const Bytes chunk = phase.bytesPerTask / count;
+
+    // Stage-scoped iostat-style accounting (logical requests).
+    StageIoStats &io_stats = run->metrics.forOp(phase.op);
+    io_stats.requests += count;
+    io_stats.bytes += phase.bytesPerTask;
+    io_stats.requestSize.addMany(static_cast<double>(chunk), count);
+
+    const int node = task->node;
+    const Tick phase_start = cluster_.simulator().now();
+    auto record_phase = [&io_stats, phase_start, this]() {
+        io_stats.phaseSeconds.add(ticksToSeconds(
+            cluster_.simulator().now() - phase_start));
+    };
+    if (!conf_.aggregateIo) {
+        auto loop = std::make_shared<ChunkLoop>();
+        loop->cluster = &cluster_;
+        loop->hdfs = &hdfs_;
+        loop->op = phase.op;
+        loop->node = node;
+        loop->taskIndex = task->taskIndex;
+        loop->chunk = chunk;
+        loop->count = count;
+        loop->cpuPerChunk = secondsToTicks(
+            phase.cpuPerByte * static_cast<double>(chunk) *
+            task->slowdown);
+        loop->writeIssued = [run]() { ++run->outstandingWrites; };
+        loop->writeDrained = [run]() { --run->outstandingWrites; };
+        loop->done = [this, record_phase, run = std::move(run),
+                      task = std::move(task)]() mutable {
+            record_phase();
+            runPhase(std::move(run), std::move(task));
+        };
+        loop->next();
+        return;
+    }
+
+    // Pipelined CPU of the phase (decompress/deserialize for reads,
+    // serialize/compress for writes), lumped in aggregated mode;
+    // per-task duration is identical (serial sum).
+    const double cpu_seconds = phase.cpuPerByte *
+                               static_cast<double>(phase.bytesPerTask) *
+                               task->slowdown;
+
+    if (!storage::isRead(phase.op)) {
+        // Asynchronous write: serialize (pipelined CPU), hand the
+        // whole batch to the device, and move on; the stage barrier
+        // waits for the drain.
+        ++run->outstandingWrites;
+        auto on_drain = [run]() { --run->outstandingWrites; };
+        const storage::IoOp op = phase.op;
+        cluster_.simulator().schedule(
+            secondsToTicks(cpu_seconds),
+            [this, run, task, record_phase, op, chunk, count, node,
+             on_drain]() mutable {
+                record_phase();
+                if (op == storage::IoOp::HdfsWrite) {
+                    hdfs_.writeBatch(node, chunk, count,
+                                     std::move(on_drain));
+                } else {
+                    cluster_.node(node).pickLocalDisk().submitBatch(
+                        op, chunk, count, std::move(on_drain));
+                }
+                runPhase(std::move(run), std::move(task));
+            });
+        return;
+    }
+
+    // Reads: device I/O first, then the pipelined CPU, then the next
+    // phase.
+    auto after_io = [this, run, task, cpu_seconds,
+                     record_phase]() mutable {
+        cluster_.simulator().schedule(
+            secondsToTicks(cpu_seconds),
+            [this, record_phase, run = std::move(run),
+             task = std::move(task)]() mutable {
+                record_phase();
+                runPhase(std::move(run), std::move(task));
+            });
+    };
+
+    switch (phase.op) {
+      case storage::IoOp::HdfsRead:
+        hdfs_.readBatch(node, chunk, count, std::move(after_io));
+        return;
+      case storage::IoOp::PersistRead:
+        cluster_.node(node).pickLocalDisk().submitBatch(
+            phase.op, chunk, count, std::move(after_io));
+        return;
+      case storage::IoOp::ShuffleRead: {
+        auto fetch = std::make_shared<ShuffleFetch>();
+        fetch->cluster = &cluster_;
+        fetch->readerNode = node;
+        fetch->taskIndex = task->taskIndex;
+        fetch->chunk = chunk;
+        fetch->count = count;
+        fetch->done = std::move(after_io);
+        fetch->next();
+        return;
+      }
+      default:
+        fatal("TaskEngine: unexpected aggregated read op %s",
+              storage::ioOpName(phase.op));
+    }
+}
+
+} // namespace doppio::spark

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Stage/task execution engine.
+ *
+ * Executes a StageSpec on the simulated cluster: N nodes x P executor
+ * cores pull tasks from a shared queue; each task walks its phase list,
+ * alternating device I/O (through the node disks, HDFS and the network)
+ * with CPU time. Task compute times carry deterministic lognormal
+ * jitter and the stage's GC scaling. Stages are barriers, as in Spark.
+ *
+ * I/O phases run either as exact per-chunk loops or as aggregated
+ * device batches (SparkConf::aggregateIo; see
+ * storage::DiskDevice::submitBatch for the equivalence argument).
+ */
+
+#ifndef DOPPIO_SPARK_TASK_ENGINE_H
+#define DOPPIO_SPARK_TASK_ENGINE_H
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "dfs/hdfs.h"
+#include "spark/metrics.h"
+#include "spark/spark_conf.h"
+#include "spark/stage_spec.h"
+#include "spark/task_trace.h"
+
+namespace doppio::spark {
+
+/** Runs stages to completion on a cluster. */
+class TaskEngine
+{
+  public:
+    TaskEngine(cluster::Cluster &clusterRef, dfs::Hdfs &hdfs,
+               const SparkConf &conf);
+
+    /**
+     * Execute @p spec to completion (drains the event loop) and
+     * @return its metrics. Stages must be run one at a time.
+     */
+    StageMetrics runStage(const StageSpec &spec);
+
+    /** @return executor cores per node actually used (min(P, cores)). */
+    int effectiveCores() const;
+
+    /**
+     * Attach a task-trace collector (or nullptr to detach). Not
+     * owned; must outlive subsequent runStage() calls.
+     */
+    void setTrace(TaskTrace *trace) { trace_ = trace; }
+
+  private:
+    struct StageRun;
+    struct TaskRun;
+
+    void launchAttempt(std::shared_ptr<StageRun> run, int node,
+                       std::size_t index);
+    void launchOnFreeCore(std::shared_ptr<StageRun> run, int node);
+    void speculateOnNode(std::shared_ptr<StageRun> run, int node);
+    void armSpeculationTimer(std::shared_ptr<StageRun> run);
+    void runPhase(std::shared_ptr<StageRun> run,
+                  std::shared_ptr<TaskRun> task);
+    void runIoPhase(std::shared_ptr<StageRun> run,
+                    std::shared_ptr<TaskRun> task,
+                    const IoPhaseSpec &phase);
+
+    cluster::Cluster &cluster_;
+    dfs::Hdfs &hdfs_;
+    const SparkConf &conf_;
+    Rng rng_;
+    TaskTrace *trace_ = nullptr;
+};
+
+} // namespace doppio::spark
+
+#endif // DOPPIO_SPARK_TASK_ENGINE_H

@@ -1,0 +1,50 @@
+#include "spark/task_trace.h"
+
+#include <cstdio>
+
+namespace doppio::spark {
+
+void
+TaskTrace::add(TaskRecord record)
+{
+    records_.push_back(std::move(record));
+}
+
+std::vector<const TaskRecord *>
+TaskTrace::forStage(const std::string &stageName) const
+{
+    std::vector<const TaskRecord *> result;
+    for (const TaskRecord &record : records_) {
+        if (record.stage == stageName)
+            result.push_back(&record);
+    }
+    return result;
+}
+
+std::vector<int>
+TaskTrace::tasksPerNode(int numNodes) const
+{
+    std::vector<int> counts(static_cast<std::size_t>(numNodes), 0);
+    for (const TaskRecord &record : records_) {
+        if (record.node >= 0 && record.node < numNodes)
+            ++counts[static_cast<std::size_t>(record.node)];
+    }
+    return counts;
+}
+
+void
+TaskTrace::writeCsv(std::ostream &os) const
+{
+    os << "stage,group,task,node,start_s,end_s,duration_s\n";
+    char buf[64];
+    for (const TaskRecord &record : records_) {
+        os << record.stage << ',' << record.group << ','
+           << record.taskIndex << ',' << record.node << ',';
+        std::snprintf(buf, sizeof(buf), "%.6f,%.6f,%.6f",
+                      ticksToSeconds(record.start),
+                      ticksToSeconds(record.end), record.seconds());
+        os << buf << '\n';
+    }
+}
+
+} // namespace doppio::spark

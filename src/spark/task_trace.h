@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Task-level execution traces (Spark event-log style).
+ *
+ * When a collector is attached to the task engine, every task's
+ * placement and timing is recorded; traces can be exported as CSV for
+ * external timeline/Gantt tooling, and summarized per node to check
+ * placement balance — the observable a Spark UI would give the
+ * paper's authors.
+ */
+
+#ifndef DOPPIO_SPARK_TASK_TRACE_H
+#define DOPPIO_SPARK_TASK_TRACE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace doppio::spark {
+
+/** One completed task. */
+struct TaskRecord
+{
+    std::string stage;
+    std::string group;
+    int taskIndex = 0; //!< index within the stage
+    int node = 0;
+    Tick start = 0;
+    Tick end = 0;
+
+    /** @return task duration in seconds. */
+    double
+    seconds() const
+    {
+        return ticksToSeconds(end - start);
+    }
+};
+
+/** Accumulates task records across stages. */
+class TaskTrace
+{
+  public:
+    /** Record one completed task. */
+    void add(TaskRecord record);
+
+    /** @return all records, in completion order. */
+    const std::vector<TaskRecord> &records() const { return records_; }
+
+    /** @return number of recorded tasks. */
+    std::size_t size() const { return records_.size(); }
+
+    /** Remove all records. */
+    void clear() { records_.clear(); }
+
+    /** @return records belonging to stage @p stageName. */
+    std::vector<const TaskRecord *>
+    forStage(const std::string &stageName) const;
+
+    /** @return per-node task counts (index == node id). */
+    std::vector<int> tasksPerNode(int numNodes) const;
+
+    /**
+     * Write a CSV with header
+     * "stage,group,task,node,start_s,end_s,duration_s".
+     */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    std::vector<TaskRecord> records_;
+};
+
+} // namespace doppio::spark
+
+#endif // DOPPIO_SPARK_TASK_TRACE_H

@@ -1,0 +1,99 @@
+#include "storage/disk_device.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace doppio::storage {
+
+DiskDevice::DiskDevice(sim::Simulator &simulator, DiskParams params,
+                       std::string name)
+    : sim_(simulator), params_(std::move(params)), name_(std::move(name)),
+      readPipe_(simulator, params_.readBandwidth, name_ + "/read"),
+      writePipe_(simulator, params_.writeBandwidth, name_ + "/write")
+{
+    params_.validate();
+}
+
+void
+DiskDevice::submit(IoOp op, Bytes size, std::function<void()> done)
+{
+    if (size == 0) {
+        sim_.schedule(0, std::move(done));
+        return;
+    }
+
+    const bool read = isRead(op);
+    const double iops = read ? params_.readIops : params_.writeIops;
+    const Tick admit_interval = secondsToTicks(1.0 / iops);
+    const Tick latency =
+        read ? params_.readLatency : params_.writeLatency;
+
+    // Shared admission token bucket: the arm/controller starts one
+    // request per 1/IOPS interval, regardless of direction.
+    const Tick grant = std::max(sim_.now(), nextAdmit_);
+    nextAdmit_ = grant + admit_interval;
+
+    sim::FluidPipe &pipe = read ? readPipe_ : writePipe_;
+    sim_.scheduleAt(
+        grant + latency, [this, &pipe, op, size,
+                          done = std::move(done)]() mutable {
+            pipe.startFlow(size, [this, op, size,
+                                  done = std::move(done)]() mutable {
+                stats_.record(op, size);
+                if (done)
+                    done();
+            });
+        });
+}
+
+void
+DiskDevice::submitBatch(IoOp op, Bytes size, std::uint64_t count,
+                        std::function<void()> done)
+{
+    if (size == 0 || count == 0) {
+        sim_.schedule(0, std::move(done));
+        return;
+    }
+    if (count == 1) {
+        submit(op, size, std::move(done));
+        return;
+    }
+
+    const bool read = isRead(op);
+    const double iops = read ? params_.readIops : params_.writeIops;
+    const Tick admit_interval = secondsToTicks(1.0 / iops);
+    const Tick latency =
+        read ? params_.readLatency : params_.writeLatency;
+    const BytesPerSec bw =
+        read ? params_.readBandwidth : params_.writeBandwidth;
+
+    // Reserve all admission tokens (FIFO, work conserving).
+    const Tick grant = std::max(sim_.now(), nextAdmit_);
+    nextAdmit_ = grant + admit_interval * count;
+
+    // A solo synchronous client paces itself at one request per
+    // max(admission interval, latency + transfer) seconds.
+    const double per_request = std::max(
+        ticksToSeconds(admit_interval),
+        ticksToSeconds(latency) + static_cast<double>(size) / bw);
+    const BytesPerSec solo_rate = static_cast<double>(size) / per_request;
+
+    sim::FluidPipe &pipe = read ? readPipe_ : writePipe_;
+    const Bytes total = size * count;
+    sim_.scheduleAt(
+        grant + latency, [this, &pipe, op, size, count, total, solo_rate,
+                          done = std::move(done)]() mutable {
+            pipe.startFlow(
+                total,
+                [this, op, size, count, done = std::move(done)]() mutable {
+                    stats_.recordMany(op, size, count);
+                    if (done)
+                        done();
+                },
+                solo_rate);
+        });
+}
+
+} // namespace doppio::storage

@@ -1,0 +1,52 @@
+#include "storage/disk_stats.h"
+
+namespace doppio::storage {
+
+void
+DiskStats::record(IoOp op, Bytes size)
+{
+    OpStats &s = ops_[static_cast<std::size_t>(op)];
+    ++s.requests;
+    s.bytes += size;
+    s.requestSize.add(static_cast<double>(size));
+}
+
+void
+DiskStats::recordMany(IoOp op, Bytes size, std::uint64_t count)
+{
+    OpStats &s = ops_[static_cast<std::size_t>(op)];
+    s.requests += count;
+    s.bytes += size * count;
+    s.requestSize.addMany(static_cast<double>(size), count);
+}
+
+Bytes
+DiskStats::totalBytes(IoKind kind) const
+{
+    Bytes total = 0;
+    for (IoOp op : kAllIoOps) {
+        if (ioKind(op) == kind)
+            total += forOp(op).bytes;
+    }
+    return total;
+}
+
+std::uint64_t
+DiskStats::totalRequests(IoKind kind) const
+{
+    std::uint64_t total = 0;
+    for (IoOp op : kAllIoOps) {
+        if (ioKind(op) == kind)
+            total += forOp(op).requests;
+    }
+    return total;
+}
+
+void
+DiskStats::reset()
+{
+    for (auto &op : ops_)
+        op = OpStats();
+}
+
+} // namespace doppio::storage

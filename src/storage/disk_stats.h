@@ -1,0 +1,70 @@
+/**
+ * @file
+ * iostat-style per-device, per-operation accounting.
+ *
+ * The paper's methodology uses iostat to log average request sizes per
+ * stage and look up effective bandwidths (§VI-1). DiskStats provides the
+ * same observables from the simulated device: per-IoOp request counts,
+ * bytes, and request-size averages, plus device busy time.
+ */
+
+#ifndef DOPPIO_STORAGE_DISK_STATS_H
+#define DOPPIO_STORAGE_DISK_STATS_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "storage/io_request.h"
+
+namespace doppio::storage {
+
+/** Accumulated statistics for one IoOp class. */
+struct OpStats
+{
+    std::uint64_t requests = 0;
+    Bytes bytes = 0;
+    SummaryStats requestSize;
+
+    /** @return average request size (bytes), 0 when no requests. */
+    double
+    avgRequestSize() const
+    {
+        return requests ? requestSize.mean() : 0.0;
+    }
+};
+
+/** Per-device statistics, indexed by IoOp. */
+class DiskStats
+{
+  public:
+    /** Record a completed request of @p size for @p op. */
+    void record(IoOp op, Bytes size);
+
+    /** Record @p count completed requests of identical @p size. */
+    void recordMany(IoOp op, Bytes size, std::uint64_t count);
+
+    /** @return stats for one operation class. */
+    const OpStats &forOp(IoOp op) const
+    {
+        return ops_[static_cast<std::size_t>(op)];
+    }
+
+    /** @return total bytes moved in @p kind direction. */
+    Bytes totalBytes(IoKind kind) const;
+
+    /** @return total requests in @p kind direction. */
+    std::uint64_t totalRequests(IoKind kind) const;
+
+    /** Reset all counters (used between fio measurement windows). */
+    void reset();
+
+  private:
+    std::array<OpStats, kNumIoOps> ops_;
+};
+
+} // namespace doppio::storage
+
+#endif // DOPPIO_STORAGE_DISK_STATS_H

@@ -1,0 +1,29 @@
+#include "storage/io_request.h"
+
+namespace doppio::storage {
+
+const char *
+ioOpName(IoOp op)
+{
+    switch (op) {
+      case IoOp::HdfsRead:
+        return "hdfs_read";
+      case IoOp::HdfsWrite:
+        return "hdfs_write";
+      case IoOp::ShuffleRead:
+        return "shuffle_read";
+      case IoOp::ShuffleWrite:
+        return "shuffle_write";
+      case IoOp::PersistRead:
+        return "persist_read";
+      case IoOp::PersistWrite:
+        return "persist_write";
+      case IoOp::RawRead:
+        return "raw_read";
+      case IoOp::RawWrite:
+        return "raw_write";
+    }
+    return "unknown";
+}
+
+} // namespace doppio::storage

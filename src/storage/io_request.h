@@ -1,0 +1,72 @@
+/**
+ * @file
+ * I/O request taxonomy.
+ *
+ * The paper distinguishes I/O by purpose (HDFS read/write, shuffle
+ * read/write, persist read/write) because each purpose has a distinct
+ * request-size signature, and effective bandwidth depends on request
+ * size. Disks account statistics per operation so model fitting can look
+ * up the right effective bandwidth per stage.
+ */
+
+#ifndef DOPPIO_STORAGE_IO_REQUEST_H
+#define DOPPIO_STORAGE_IO_REQUEST_H
+
+#include <array>
+#include <string>
+
+namespace doppio::storage {
+
+/** Read vs write direction. */
+enum class IoKind { Read, Write };
+
+/** Purpose of an I/O access; drives per-purpose accounting. */
+enum class IoOp {
+    HdfsRead,
+    HdfsWrite,
+    ShuffleRead,
+    ShuffleWrite,
+    PersistRead,
+    PersistWrite,
+    RawRead,  //!< microbenchmark (fio) traffic
+    RawWrite, //!< microbenchmark (fio) traffic
+};
+
+/** Number of IoOp values, for dense per-op arrays. */
+constexpr std::size_t kNumIoOps = 8;
+
+/** @return the direction of @p op. */
+constexpr IoKind
+ioKind(IoOp op)
+{
+    switch (op) {
+      case IoOp::HdfsRead:
+      case IoOp::ShuffleRead:
+      case IoOp::PersistRead:
+      case IoOp::RawRead:
+        return IoKind::Read;
+      default:
+        return IoKind::Write;
+    }
+}
+
+/** @return true when @p op is a read. */
+constexpr bool
+isRead(IoOp op)
+{
+    return ioKind(op) == IoKind::Read;
+}
+
+/** @return a short human-readable name ("shuffle_read", ...). */
+const char *ioOpName(IoOp op);
+
+/** All IoOp values, for iteration. */
+constexpr std::array<IoOp, kNumIoOps> kAllIoOps = {
+    IoOp::HdfsRead,    IoOp::HdfsWrite,   IoOp::ShuffleRead,
+    IoOp::ShuffleWrite, IoOp::PersistRead, IoOp::PersistWrite,
+    IoOp::RawRead,     IoOp::RawWrite,
+};
+
+} // namespace doppio::storage
+
+#endif // DOPPIO_STORAGE_IO_REQUEST_H

@@ -1,0 +1,152 @@
+#include "workloads/gatk4.h"
+
+namespace doppio::workloads {
+
+namespace {
+
+// Calibrated compute densities (seconds of CPU per byte), chosen so the
+// simulated per-core throughputs and lambda ratios match the paper.
+
+/// BAM parse pipelined with HDFS read: 4.0 s per 128 MiB block. With
+/// the SSD block I/O of ~0.27 s this yields a per-core HDFS-read
+/// throughput of ~30 MB/s, reproducing the paper's HDFS-read break
+/// points b = 480/30 = 16 (SSD) and b = 130/30 = 4.3 (HDD) (§V-A1).
+constexpr double kBamParseCpuPerByte = 3.0e-8;
+
+/// Keying/sorting to produce the shuffle input: ~2.1 s per 128 MiB.
+constexpr double kKeySortCpuPerByte = 1.6e-8;
+
+/// MD-stage GC pressure: compute scales by (1 + 0.35*(P-1)), making MD
+/// runtime nearly flat in P on SSDs as in Fig. 3 (the paper attributes
+/// this to garbage collection and excludes it from the base model).
+constexpr double kMdGcSensitivity = 0.35;
+
+/// Serialize/compress pipelined with the ~350 MB shuffle spill writes:
+/// ~0.5 s per spill.
+constexpr double kSpillCpuPerByte = 1.5e-9;
+
+/// Decompress/deserialize pipelined with shuffle read: 0.35 ms per
+/// 30 KB chunk. With SSD chunk I/O of ~0.15 ms the per-core shuffle
+/// read throughput T is ~60 MB/s (paper §V-A2); with HDD chunk I/O of
+/// ~2.2 ms it is ~4x lower (paper: "the shuffle read time in HDD in
+/// each core is 4x longer").
+constexpr double kShuffleDecompressCpuPerByte = 1.17e-8;
+
+/// markDuplicates proper: ~2.7 s per 27 MiB reducer partition.
+constexpr double kMarkDupCpuPerByte = 1.0e-7;
+
+/// nonPrimaryReads filter: ~1.2 s per 128 MiB block, giving the
+/// paper's lambda ~ 1.3 against the ~4.3 s HDFS read.
+constexpr double kFilterCpuPerByte = 9.0e-9;
+
+/// BaseRecalibrator covariate statistics: ~5.9 s per 27 MiB partition.
+/// Total BR task ~ 9 s vs ~0.45 s of shuffle read: lambda ~ 20 (§V-A2).
+constexpr double kBrCpuPerByte = 2.1e-7;
+
+/// SF quality rewrite: ~0.85 s per 27 MiB partition (lambda smaller
+/// than BR, so SF's HDD/SSD gap opens at lower P — §V-A2).
+constexpr double kSfCpuPerByte = 3.0e-8;
+
+/// markedReads in-memory expansion: 122 GB serialized -> ~870 GB
+/// deserialized (paper §III-B2), which is why it is never cacheable.
+constexpr double kMarkedReadsExpansion = 870.0 / 122.0;
+
+} // namespace
+
+Bytes
+Gatk4::Options::inputBytes() const
+{
+    return static_cast<Bytes>(gib(122) * readPairsMillions / 500.0);
+}
+
+Bytes
+Gatk4::Options::shuffleBytes() const
+{
+    return static_cast<Bytes>(gib(334) * readPairsMillions / 500.0);
+}
+
+Bytes
+Gatk4::Options::outputBytes() const
+{
+    return static_cast<Bytes>(gib(166) * readPairsMillions / 500.0);
+}
+
+int
+Gatk4::Options::numReducers() const
+{
+    return static_cast<int>(shuffleBytes() / reducerBytes);
+}
+
+Gatk4::Options
+Gatk4::Options::scaled(double readPairsMillions)
+{
+    Options options;
+    options.readPairsMillions = readPairsMillions;
+    options.reducerBytes = static_cast<Bytes>(
+        static_cast<double>(27 * kMiB) * readPairsMillions / 500.0);
+    return options;
+}
+
+void
+Gatk4::registerInputs(dfs::Hdfs &hdfs) const
+{
+    hdfs.addFile("genome.bam", options_.inputBytes());
+}
+
+void
+Gatk4::execute(spark::SparkContext &context) const
+{
+    using spark::ActionSpec;
+    using spark::Rdd;
+    using spark::RddRef;
+
+    const Bytes shuffle_bytes = options_.shuffleBytes();
+
+    // Fig. 1 lineage.
+    RddRef initial_reads = context.hadoopFile("genome.bam");
+    initial_reads->pipelinedCpuPerByte = kBamParseCpuPerByte;
+
+    RddRef keyed_reads =
+        Rdd::narrow("keyedReads", {initial_reads}, shuffle_bytes);
+    keyed_reads->cpuPerInputByte = kKeySortCpuPerByte;
+    keyed_reads->gcSensitivity = kMdGcSensitivity;
+
+    spark::ShuffleSpec shuffle;
+    shuffle.bytes = shuffle_bytes;
+    shuffle.mapCpuPerByte = kSpillCpuPerByte;
+    shuffle.mapStageName = kStageMd;
+    RddRef grouped_reads =
+        Rdd::shuffled("groupedReads", keyed_reads,
+                      options_.numReducers(), shuffle_bytes, shuffle);
+    grouped_reads->pipelinedCpuPerByte = kShuffleDecompressCpuPerByte;
+    grouped_reads->cpuPerInputByte = kMarkDupCpuPerByte;
+
+    RddRef non_primary =
+        Rdd::narrow("nonPrimaryReads", {initial_reads}, gib(2));
+    non_primary->cpuPerInputByte = kFilterCpuPerByte;
+
+    // The union both BR and SF act on; too large to cache (§III-B2).
+    RddRef marked_reads = Rdd::narrow(
+        "markedReads", {grouped_reads, non_primary},
+        shuffle_bytes + gib(2));
+    marked_reads->memoryBytes = static_cast<Bytes>(
+        static_cast<double>(options_.inputBytes()) *
+        kMarkedReadsExpansion);
+
+    // Job 1 (BR): builds the recalibration model. Runs the MD map
+    // stage, then the BR result stage.
+    RddRef br_table = Rdd::narrow(kStageBr, {marked_reads}, gib(1));
+    br_table->cpuPerInputByte = kBrCpuPerByte;
+    context.runJob(kStageBr, br_table, ActionSpec::collect());
+
+    // Job 2 (SF): recomputes markedReads from the existing shuffle
+    // files (the map stage is skipped, Table IV) and writes the
+    // analysis-ready BAM.
+    RddRef sf_out =
+        Rdd::narrow(kStageSf, {marked_reads}, options_.outputBytes());
+    sf_out->cpuPerInputByte = kSfCpuPerByte;
+    context.runJob(kStageSf, sf_out,
+                   ActionSpec::saveAsHadoopFile(options_.outputBytes()));
+}
+
+} // namespace doppio::workloads

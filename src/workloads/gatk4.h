@@ -1,0 +1,89 @@
+/**
+ * @file
+ * GATK4 germline pipeline (paper §II-B, Fig. 1, Table IV).
+ *
+ * Three paper-visible stages over a whole human genome:
+ *
+ *   MD — map side of the groupByKey: read the BAM from HDFS (122 GB,
+ *        973 x 128 MB tasks), key/sort reads, write 334 GB of shuffle
+ *        data in ~350 MB sorted spills. GC-heavy (§V-A1).
+ *   BR — shuffle-read the 334 GB (12k reducers x 27 MB at ~30 KB
+ *        requests), mark duplicates, build the recalibration model
+ *        (lambda ~ 20); plus a side group re-reading the BAM for
+ *        nonPrimaryReads (lambda ~ 1.3).
+ *   SF — recompute markedReads (not cacheable: 870 GB in-memory) by
+ *        re-reading the same shuffle, update qualities, write the
+ *        166 GB output BAM to HDFS.
+ *
+ * Dataset sizes are the paper's; compute densities are calibrated so
+ * the simulated per-core throughputs match the paper's reported
+ * values (T_shuffle ~ 60 MB/s on SSD, T_hdfs ~ 30 MB/s, lambda_BR ~ 20)
+ * and are documented at each constant.
+ */
+
+#ifndef DOPPIO_WORKLOADS_GATK4_H
+#define DOPPIO_WORKLOADS_GATK4_H
+
+#include "workloads/workload.h"
+
+namespace doppio::workloads {
+
+/** The Spark-based Genome Analysis ToolKit pipeline. */
+class Gatk4 : public Workload
+{
+  public:
+    /** Dataset / tuning parameters. */
+    struct Options
+    {
+        /** Input scale; 500 == the paper's HCC1954 whole genome. */
+        double readPairsMillions = 500.0;
+        /** Shuffle data read by each reducer (paper: 27 MB). */
+        Bytes reducerBytes = 27 * kMiB;
+
+        /** @return input BAM size (122 GB at 500M read pairs). */
+        Bytes inputBytes() const;
+        /** @return shuffle data size (334 GB at 500M read pairs). */
+        Bytes shuffleBytes() const;
+        /** @return output BAM size (166 GB at 500M read pairs). */
+        Bytes outputBytes() const;
+        /** @return reducer count R = shuffle / reducerBytes. */
+        int numReducers() const;
+
+        /**
+         * Scale-faithful reduction: shrinks the genome AND the
+         * per-reducer bytes together so the task counts (M, R) and
+         * the ~30 KB shuffle-read request signature stay exactly as
+         * at full scale — required when checking the paper's shapes
+         * on reduced inputs.
+         */
+        static Options scaled(double readPairsMillions);
+    };
+
+    Gatk4() = default;
+    explicit Gatk4(Options options) : options_(options) {}
+
+    std::string name() const override { return "GATK4"; }
+    const Options &options() const { return options_; }
+
+    /**
+     * Genome coverage varies wildly across regions, so GATK4 task
+     * times are far more dispersed than the synthetic benchmarks'.
+     */
+    double taskTimeVariability() const override { return 0.30; }
+
+    /** Stage-name prefixes of the three paper-visible stages. */
+    static constexpr const char *kStageMd = "MD";
+    static constexpr const char *kStageBr = "BR";
+    static constexpr const char *kStageSf = "SF";
+
+  protected:
+    void registerInputs(dfs::Hdfs &hdfs) const override;
+    void execute(spark::SparkContext &context) const override;
+
+  private:
+    Options options_;
+};
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_GATK4_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Logistic Regression from Spark MLlib via SparkBench (paper §V-B1).
+ *
+ * Two phases: dataValidator (parse the input and persist parsedData)
+ * and 50 gradient-descent iterations over parsedData. The small
+ * dataset (1,200M examples, parsedData 280 GB) fits in cluster storage
+ * memory, so iterations are pure compute and only dataValidator is
+ * disk-sensitive; the large dataset (4,000M examples, parsedData
+ * 990 GB) spills to Spark local, so every iteration re-reads it from
+ * disk at disk-store granularity — the paper's 7x HDD/SSD iteration
+ * gap (Fig. 8b).
+ */
+
+#ifndef DOPPIO_WORKLOADS_LOGISTIC_REGRESSION_H
+#define DOPPIO_WORKLOADS_LOGISTIC_REGRESSION_H
+
+#include "workloads/workload.h"
+
+namespace doppio::workloads {
+
+/** SparkBench Logistic Regression. */
+class LogisticRegression : public Workload
+{
+  public:
+    /** Dataset parameters. */
+    struct Options
+    {
+        double examplesMillions = 1200.0; //!< 1200 small / 4000 large
+        int iterations = 50;
+
+        /** @return serialized parsedData size (280 GB / ~990 GB). */
+        Bytes parsedBytes() const;
+        /** @return raw input text size on HDFS. */
+        Bytes inputBytes() const;
+
+        static Options small() { return Options{1200.0, 50}; }
+        static Options large() { return Options{4000.0, 50}; }
+    };
+
+    LogisticRegression() = default;
+    explicit LogisticRegression(Options options) : options_(options) {}
+
+    std::string name() const override { return "LogisticRegression"; }
+    const Options &options() const { return options_; }
+
+    static constexpr const char *kStageValidator = "dataValidator";
+    static constexpr const char *kStageIteration = "iteration";
+
+  protected:
+    void registerInputs(dfs::Hdfs &hdfs) const override;
+    void execute(spark::SparkContext &context) const override;
+
+  private:
+    Options options_;
+};
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_LOGISTIC_REGRESSION_H

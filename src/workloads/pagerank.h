@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PageRank from Spark GraphX (paper §V-B3).
+ *
+ * Three phases: graphLoader (read edges, shuffle-build the graph,
+ * persist the 420 GB rank/graph RDD), 10 iterations (each reads the
+ * previous generation and persists a new one), and saveAsTextFile.
+ * The 420 GB generation exceeds cluster storage memory (10 x 36 GB),
+ * so generations live on Spark local and every iteration pays
+ * disk-store-granularity reads and writes — a 2.2x HDD/SSD iteration
+ * gap once GraphX's heavy per-iteration compute is blended in
+ * (Fig. 10).
+ */
+
+#ifndef DOPPIO_WORKLOADS_PAGERANK_H
+#define DOPPIO_WORKLOADS_PAGERANK_H
+
+#include "workloads/workload.h"
+
+namespace doppio::workloads {
+
+/** GraphX PageRank. */
+class PageRank : public Workload
+{
+  public:
+    /** Dataset parameters (paper: 20M vertices, 4800 partitions). */
+    struct Options
+    {
+        int partitions = 4800;
+        int iterations = 10;
+        Bytes generationBytes = gib(420); //!< per-generation RDD
+        Bytes outputBytes = gib(50);
+    };
+
+    PageRank() = default;
+    explicit PageRank(Options options) : options_(options) {}
+
+    std::string name() const override { return "PageRank"; }
+    const Options &options() const { return options_; }
+
+    static constexpr const char *kStageLoader = "graphLoader";
+    static constexpr const char *kStageIteration = "iteration";
+    static constexpr const char *kStageSave = "saveAsTextFile";
+
+  protected:
+    void registerInputs(dfs::Hdfs &hdfs) const override;
+    void execute(spark::SparkContext &context) const override;
+
+  private:
+    Options options_;
+};
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_PAGERANK_H

@@ -1,0 +1,42 @@
+#include "workloads/registry.h"
+
+#include "common/logging.h"
+#include "workloads/gatk4.h"
+#include "workloads/logistic_regression.h"
+#include "workloads/pagerank.h"
+#include "workloads/svm.h"
+#include "workloads/terasort.h"
+#include "workloads/triangle_count.h"
+
+namespace doppio::workloads {
+
+std::vector<std::string>
+registeredWorkloads()
+{
+    return {"gatk4",    "lr-small",       "lr-large", "svm",
+            "pagerank", "triangle-count", "terasort"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "gatk4")
+        return std::make_unique<Gatk4>();
+    if (name == "lr-small")
+        return std::make_unique<LogisticRegression>(
+            LogisticRegression::Options::small());
+    if (name == "lr-large")
+        return std::make_unique<LogisticRegression>(
+            LogisticRegression::Options::large());
+    if (name == "svm")
+        return std::make_unique<Svm>();
+    if (name == "pagerank")
+        return std::make_unique<PageRank>();
+    if (name == "triangle-count")
+        return std::make_unique<TriangleCount>();
+    if (name == "terasort")
+        return std::make_unique<Terasort>();
+    fatal("makeWorkload: unknown workload '%s'", name.c_str());
+}
+
+} // namespace doppio::workloads

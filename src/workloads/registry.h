@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Workload registry: name -> factory for every application shipped
+ * with the library, so tools and examples can select workloads by
+ * string (CLI flags, config files).
+ */
+
+#ifndef DOPPIO_WORKLOADS_REGISTRY_H
+#define DOPPIO_WORKLOADS_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace doppio::workloads {
+
+/** Names of all registered workloads. */
+std::vector<std::string> registeredWorkloads();
+
+/**
+ * Instantiate a workload by name with its paper-default options.
+ * Known names: "gatk4", "lr-small", "lr-large", "svm", "pagerank",
+ * "triangle-count", "terasort". fatal() on an unknown name.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_REGISTRY_H

@@ -1,0 +1,67 @@
+#include "workloads/svm.h"
+
+namespace doppio::workloads {
+
+namespace {
+
+/// Input parse pipelined with HDFS read (~0.9 s per 128 MiB).
+constexpr double kParseCpuPerByte = 7.0e-9;
+
+/// Per-iteration kernel computation over the cached 70 MiB partition:
+/// ~1.5 s per task.
+constexpr double kIterationCpuPerByte = 2.1e-8;
+
+/// Map-side serialize pipelined with the ~142 MiB spill writes.
+constexpr double kSpillCpuPerByte = 1.0e-9;
+
+/// Reduce-side merge pipelined with the 118 KiB shuffle-read chunks;
+/// small, so the subtract phase is I/O-dominated and the HDD/SSD gap
+/// approaches the raw bandwidth ratio (paper: 6.2x).
+constexpr double kMergeCpuPerByte = 2.0e-9;
+
+} // namespace
+
+void
+Svm::registerInputs(dfs::Hdfs &hdfs) const
+{
+    // Sized so the input splits into exactly `partitions` HDFS blocks.
+    hdfs.addFile("svm_samples.txt",
+                 static_cast<Bytes>(options_.partitions) * 128 * kMiB);
+}
+
+void
+Svm::execute(spark::SparkContext &context) const
+{
+    using spark::ActionSpec;
+    using spark::Rdd;
+    using spark::RddRef;
+
+    RddRef input = context.hadoopFile("svm_samples.txt");
+    input->pipelinedCpuPerByte = kParseCpuPerByte;
+
+    RddRef parsed =
+        Rdd::narrow("parsedData", {input}, options_.cachedBytes);
+    parsed->memoryBytes = options_.cachedBytes;
+    parsed->persist(spark::StorageLevel::MemoryAndDisk);
+    context.runJob(kStageValidator, parsed, ActionSpec::count());
+
+    for (int i = 0; i < options_.iterations; ++i) {
+        RddRef step = Rdd::narrow(kStageIteration, {parsed}, mib(1));
+        step->cpuPerInputByte = kIterationCpuPerByte;
+        context.runJob(kStageIteration, step, ActionSpec::collect());
+    }
+
+    // Subtract phase: shuffle-heavy difference of prediction and label
+    // RDDs (modelled as one 170 GB shuffle over parsedData).
+    spark::ShuffleSpec shuffle;
+    shuffle.bytes = options_.shuffleBytes;
+    shuffle.mapCpuPerByte = kSpillCpuPerByte;
+    shuffle.mapStageName = std::string(kStageSubtract) + ".map";
+    RddRef subtracted =
+        Rdd::shuffled(kStageSubtract, parsed, options_.partitions,
+                      gib(1), shuffle);
+    subtracted->pipelinedCpuPerByte = kMergeCpuPerByte;
+    context.runJob(kStageSubtract, subtracted, ActionSpec::count());
+}
+
+} // namespace doppio::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Support Vector Machine via SparkBench (paper §V-B2).
+ *
+ * Three phases: dataValidator (parse, cache 82 GB in memory),
+ * 10 compute-only iterations over the cached RDD, and a subtract phase
+ * that shuffles 170 GB through Spark local — the disk-sensitive part
+ * (paper: 6.2x HDD/SSD gap on subtract, Fig. 9).
+ */
+
+#ifndef DOPPIO_WORKLOADS_SVM_H
+#define DOPPIO_WORKLOADS_SVM_H
+
+#include "workloads/workload.h"
+
+namespace doppio::workloads {
+
+/** SparkBench SVM. */
+class Svm : public Workload
+{
+  public:
+    /** Dataset parameters (paper: 12M samples, 1000 features,
+     *  1200 partitions). */
+    struct Options
+    {
+        int partitions = 1200;
+        int iterations = 10;
+        Bytes cachedBytes = gib(82);
+        Bytes shuffleBytes = gib(170);
+    };
+
+    Svm() = default;
+    explicit Svm(Options options) : options_(options) {}
+
+    std::string name() const override { return "SVM"; }
+    const Options &options() const { return options_; }
+
+    static constexpr const char *kStageValidator = "dataValidator";
+    static constexpr const char *kStageIteration = "iteration";
+    static constexpr const char *kStageSubtract = "subtract";
+
+  protected:
+    void registerInputs(dfs::Hdfs &hdfs) const override;
+    void execute(spark::SparkContext &context) const override;
+
+  private:
+    Options options_;
+};
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_SVM_H

@@ -1,0 +1,53 @@
+#include "workloads/terasort.h"
+
+namespace doppio::workloads {
+
+namespace {
+
+/// Record parse + range partitioning pipelined with HDFS read
+/// (~0.55 s per 128 MiB).
+constexpr double kPartitionCpuPerByte = 4.0e-9;
+
+/// Serialize pipelined with the ~128 MiB spill writes.
+constexpr double kSpillCpuPerByte = 1.5e-9;
+
+/// In-range sort on the reduce side: ~4 s per 1 GiB range.
+constexpr double kSortCpuPerByte = 4.0e-9;
+
+/// Merge pipelined with the ~137 KiB shuffle-read chunks.
+constexpr double kMergeCpuPerByte = 1.5e-9;
+
+} // namespace
+
+void
+Terasort::registerInputs(dfs::Hdfs &hdfs) const
+{
+    hdfs.addFile("terasort_input", options_.dataBytes);
+}
+
+void
+Terasort::execute(spark::SparkContext &context) const
+{
+    using spark::ActionSpec;
+    using spark::Rdd;
+    using spark::RddRef;
+
+    RddRef input = context.hadoopFile("terasort_input");
+    input->pipelinedCpuPerByte = kPartitionCpuPerByte;
+
+    spark::ShuffleSpec shuffle;
+    shuffle.bytes = options_.dataBytes;
+    shuffle.mapCpuPerByte = kSpillCpuPerByte;
+    shuffle.mapStageName = kStageNf;
+    RddRef sorted = Rdd::shuffled("sortedRanges", input,
+                                  options_.reducers, options_.dataBytes,
+                                  shuffle);
+    sorted->pipelinedCpuPerByte = kMergeCpuPerByte;
+    sorted->cpuPerInputByte = kSortCpuPerByte;
+
+    RddRef output = Rdd::narrow(kStageSf, {sorted}, options_.dataBytes);
+    context.runJob(kStageSf, output,
+                   ActionSpec::saveAsHadoopFile(options_.dataBytes));
+}
+
+} // namespace doppio::workloads

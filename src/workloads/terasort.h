@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Terasort (paper §V-B5).
+ *
+ * Two stages over 10 billion records (930 GB): NF (newAPIHadoopFile)
+ * reads the input from HDFS, range-partitions it and writes the
+ * shuffle; SF (saveAsNewAPIHadoopFile) reads each range's shuffle
+ * data, sorts within the range, and writes the output back to HDFS.
+ * Both HDFS and Spark local carry ~a terabyte each way, giving the
+ * paper's moderate 2.6x HDD/SSD local gap (Fig. 12).
+ */
+
+#ifndef DOPPIO_WORKLOADS_TERASORT_H
+#define DOPPIO_WORKLOADS_TERASORT_H
+
+#include "workloads/workload.h"
+
+namespace doppio::workloads {
+
+/** Spark Terasort. */
+class Terasort : public Workload
+{
+  public:
+    /** Dataset parameters (paper: 10B records, 930 GB). */
+    struct Options
+    {
+        Bytes dataBytes = gib(930);
+        /** Range partitions; 930 -> ~1 GiB per reducer. */
+        int reducers = 930;
+    };
+
+    Terasort() = default;
+    explicit Terasort(Options options) : options_(options) {}
+
+    std::string name() const override { return "Terasort"; }
+    const Options &options() const { return options_; }
+
+    static constexpr const char *kStageNf = "NF";
+    static constexpr const char *kStageSf = "SF";
+
+  protected:
+    void registerInputs(dfs::Hdfs &hdfs) const override;
+    void execute(spark::SparkContext &context) const override;
+
+  private:
+    Options options_;
+};
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_TERASORT_H

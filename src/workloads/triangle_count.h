@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Triangle Count from Spark GraphX (paper §V-B4).
+ *
+ * Two phases: graphLoader (parse and cache the 49 GB graph in memory)
+ * and computeTriangleCount, which first canonicalizes the graph via a
+ * repartition shuffle (396 GB through Spark local) and then counts
+ * triangles. The shuffle's ~69 KB read chunks make the phase strongly
+ * disk-sensitive (paper: 6.5x HDD/SSD, Fig. 11).
+ */
+
+#ifndef DOPPIO_WORKLOADS_TRIANGLE_COUNT_H
+#define DOPPIO_WORKLOADS_TRIANGLE_COUNT_H
+
+#include "workloads/workload.h"
+
+namespace doppio::workloads {
+
+/** GraphX Triangle Count. */
+class TriangleCount : public Workload
+{
+  public:
+    /** Dataset parameters (paper: 1M vertices, 2400 partitions). */
+    struct Options
+    {
+        int partitions = 2400;
+        Bytes cachedBytes = gib(49);
+        Bytes shuffleBytes = gib(396);
+    };
+
+    TriangleCount() = default;
+    explicit TriangleCount(Options options) : options_(options) {}
+
+    std::string name() const override { return "TriangleCount"; }
+    const Options &options() const { return options_; }
+
+    static constexpr const char *kStageLoader = "graphLoader";
+    static constexpr const char *kStageCompute = "computeTriangleCount";
+
+  protected:
+    void registerInputs(dfs::Hdfs &hdfs) const override;
+    void execute(spark::SparkContext &context) const override;
+
+  private:
+    Options options_;
+};
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_TRIANGLE_COUNT_H

@@ -1,0 +1,37 @@
+#include "workloads/workload.h"
+
+#include "cluster/cluster.h"
+#include "sim/simulator.h"
+
+namespace doppio::workloads {
+
+spark::AppMetrics
+Workload::run(const cluster::ClusterConfig &clusterConfig,
+              const spark::SparkConf &sparkConf,
+              spark::TaskTrace *trace) const
+{
+    sim::Simulator simulator;
+    cluster::ClusterConfig config = clusterConfig;
+    if (taskTimeVariability() >= 0.0)
+        config.taskJitterSigma = taskTimeVariability();
+    cluster::Cluster cluster(simulator, config);
+    dfs::Hdfs hdfs(cluster, hdfsConfig());
+    registerInputs(hdfs);
+    spark::SparkContext context(cluster, hdfs, sparkConf);
+    context.setTaskTrace(trace);
+    execute(context);
+    spark::AppMetrics metrics = context.metrics();
+    metrics.name = name();
+    return metrics;
+}
+
+model::WorkloadRunner
+Workload::runner() const
+{
+    return [this](const cluster::ClusterConfig &clusterConfig,
+                  const spark::SparkConf &sparkConf) {
+        return run(clusterConfig, sparkConf);
+    };
+}
+
+} // namespace doppio::workloads

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload abstraction.
+ *
+ * A Workload knows how to register its HDFS inputs, build its RDD
+ * lineage, and run its jobs on a SparkContext. run() provisions a
+ * fresh simulated cluster per invocation so measurements are
+ * independent, and adapts directly to the model profiler's
+ * WorkloadRunner callback.
+ *
+ * Workloads are declarative: dataset sizes come from the paper's
+ * evaluation section; compute densities (seconds of CPU per byte) are
+ * calibrated so the simulated per-core throughputs and lambda ratios
+ * match the values the paper reports, and are documented next to each
+ * constant.
+ */
+
+#ifndef DOPPIO_WORKLOADS_WORKLOAD_H
+#define DOPPIO_WORKLOADS_WORKLOAD_H
+
+#include <string>
+
+#include "cluster/cluster_config.h"
+#include "dfs/hdfs.h"
+#include "model/profiler.h"
+#include "spark/metrics.h"
+#include "spark/spark_conf.h"
+#include "spark/spark_context.h"
+
+namespace doppio::workloads {
+
+/** Base class for the paper's applications. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** @return short name, e.g. "GATK4". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Provision a fresh cluster with @p clusterConfig, run every job,
+     * and @return the application metrics ("exp" numbers).
+     * @param trace optional collector receiving every task's
+     *              placement and timing.
+     */
+    spark::AppMetrics run(const cluster::ClusterConfig &clusterConfig,
+                          const spark::SparkConf &sparkConf,
+                          spark::TaskTrace *trace = nullptr) const;
+
+    /** Adapter for model::Profiler. */
+    model::WorkloadRunner runner() const;
+
+    /**
+     * Lognormal sigma of this workload's task-time distribution, or a
+     * negative value to keep the cluster default. Workloads with
+     * data-dependent task costs (GATK4: genome coverage varies wildly
+     * across regions) override this; the variability also determines
+     * how well I/O bursts from different tasks interleave.
+     */
+    virtual double taskTimeVariability() const { return -1.0; }
+
+  protected:
+    /** HDFS deployment for this workload (Table II defaults). */
+    virtual dfs::HdfsConfig hdfsConfig() const { return {}; }
+
+    /** Register input files. */
+    virtual void registerInputs(dfs::Hdfs &hdfs) const = 0;
+
+    /** Build lineage and run all jobs. */
+    virtual void execute(spark::SparkContext &context) const = 0;
+};
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the constraint-based cloud advisor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cloud/advisor.h"
+
+namespace doppio::cloud {
+namespace {
+
+constexpr Bytes kGB = 1000ULL * 1000 * 1000;
+
+/** An I/O-bound single-stage app where bigger local disks help. */
+model::AppModel
+diskBoundApp()
+{
+    model::AppModel app;
+    app.name = "diskBound";
+    model::StageModel stage;
+    stage.name = "shuffle";
+    stage.tasks = 5000;
+    stage.tAvg = 2.0;
+    model::IoComponent read;
+    read.op = storage::IoOp::ShuffleRead;
+    read.bytes = static_cast<Bytes>(300) * kGB;
+    read.requestSize = 30000.0;
+    stage.io.push_back(read);
+    app.stages.push_back(stage);
+    return app;
+}
+
+CostOptimizer
+makeOptimizer()
+{
+    CostOptimizer::Options options;
+    options.sizeGrid = {200 * kGB, 500 * kGB, 1000 * kGB, 2000 * kGB};
+    return CostOptimizer(diskBoundApp(), GcpPricing{}, options);
+}
+
+TEST(Advisor, CheapestUnderDeadlineSatisfiesIt)
+{
+    const CostOptimizer optimizer = makeOptimizer();
+    const Advisor advisor(optimizer);
+    const double deadline = 30.0 * 60.0;
+    const auto result = advisor.cheapestUnderDeadline(deadline);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LE(result->seconds, deadline);
+    // Not cheaper than the unconstrained optimum.
+    EXPECT_GE(result->cost, optimizer.optimize().cost - 1e-9);
+}
+
+TEST(Advisor, TighterDeadlineCostsMore)
+{
+    const CostOptimizer optimizer = makeOptimizer();
+    const Advisor advisor(optimizer);
+    const auto loose = advisor.cheapestUnderDeadline(3600.0);
+    const auto tight = advisor.cheapestUnderDeadline(900.0);
+    ASSERT_TRUE(loose.has_value());
+    if (tight.has_value()) {
+        EXPECT_GE(tight->cost, loose->cost - 1e-9);
+    }
+}
+
+TEST(Advisor, ImpossibleDeadlineIsEmpty)
+{
+    const Advisor advisor(makeOptimizer());
+    EXPECT_FALSE(advisor.cheapestUnderDeadline(0.001).has_value());
+}
+
+TEST(Advisor, FastestUnderBudgetSatisfiesIt)
+{
+    const CostOptimizer optimizer = makeOptimizer();
+    const Advisor advisor(optimizer);
+    const double budget = optimizer.optimize().cost * 2.0;
+    const auto result = advisor.fastestUnderBudget(budget);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LE(result->cost, budget);
+}
+
+TEST(Advisor, ZeroBudgetIsEmpty)
+{
+    const Advisor advisor(makeOptimizer());
+    EXPECT_FALSE(advisor.fastestUnderBudget(0.0).has_value());
+}
+
+TEST(Advisor, ParetoFrontierIsMonotone)
+{
+    const Advisor advisor(makeOptimizer());
+    const auto frontier = advisor.paretoFrontier();
+    ASSERT_FALSE(frontier.empty());
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        // Sorted by runtime ascending; cost strictly decreasing.
+        EXPECT_GE(frontier[i].seconds, frontier[i - 1].seconds);
+        EXPECT_LT(frontier[i].cost, frontier[i - 1].cost);
+    }
+}
+
+TEST(Advisor, FrontierContainsOptimum)
+{
+    const CostOptimizer optimizer = makeOptimizer();
+    const Advisor advisor(optimizer);
+    const Evaluation best = optimizer.optimize();
+    const auto frontier = advisor.paretoFrontier();
+    // The cheapest point is the frontier's last entry.
+    EXPECT_NEAR(frontier.back().cost, best.cost, 1e-9);
+}
+
+} // namespace
+} // namespace doppio::cloud

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the bottleneck analyzer (b, lambda, B).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/analyzer.h"
+
+namespace doppio::model {
+namespace {
+
+PlatformProfile
+flatProfile(double localRead)
+{
+    PlatformProfile p;
+    p.hdfsRead = LookupTable({{1.0, 1e9}, {1e9, 1e9}});
+    p.hdfsWrite = p.hdfsRead;
+    p.localRead = LookupTable({{1.0, localRead}, {1e9, localRead}});
+    p.localWrite = p.hdfsRead;
+    return p;
+}
+
+/** The paper's BR-stage example (§V-A2): T=60 MB/s, BW=480, lambda=20. */
+StageModel
+brLikeStage()
+{
+    StageModel s;
+    s.name = "BR";
+    s.tasks = 12000;
+    s.tAvg = 9.0;
+    IoComponent read;
+    read.op = storage::IoOp::ShuffleRead;
+    read.bytes = static_cast<Bytes>(12000) * 27 * 1000 * 1000;
+    read.requestSize = 30000.0;
+    read.soloPhaseSecondsPerTask = 0.45; // 27 MB at 60 MB/s
+    s.io.push_back(read);
+    return s;
+}
+
+TEST(Analyzer, PaperBrExampleQuantities)
+{
+    const StageAnalysis a =
+        analyzeStage(brLikeStage(), flatProfile(480e6));
+    ASSERT_EQ(a.ops.size(), 1u);
+    const OpAnalysis &op = a.ops[0];
+    EXPECT_NEAR(op.perCoreThroughput, 60e6, 1e5);  // T = 60 MB/s
+    EXPECT_NEAR(op.breakPoint, 8.0, 0.1);          // b = 480/60
+    EXPECT_NEAR(op.lambda, 20.0, 0.1);             // 9 / 0.45
+    EXPECT_NEAR(op.turningPoint, 160.0, 2.0);      // B = lambda*b
+    EXPECT_NEAR(a.minTurningPoint, 160.0, 2.0);
+}
+
+TEST(Analyzer, HddShrinksTurningPoint)
+{
+    // Paper: on HDD (15 MB/s) the per-core I/O takes 4x longer;
+    // re-fitting on HDD gives lambda ~ 5 and B ~ 5.
+    StageModel s = brLikeStage();
+    s.io[0].soloPhaseSecondsPerTask = 1.8; // 27 MB at 15 MB/s
+    const StageAnalysis a = analyzeStage(s, flatProfile(15e6));
+    const OpAnalysis &op = a.ops[0];
+    EXPECT_NEAR(op.breakPoint, 1.0, 0.1);
+    EXPECT_NEAR(op.lambda, 5.0, 0.1);
+    EXPECT_NEAR(op.turningPoint, 5.0, 0.5);
+}
+
+TEST(Analyzer, StageWithoutIoHasInfiniteTurningPoint)
+{
+    StageModel s;
+    s.name = "compute";
+    s.tasks = 100;
+    s.tAvg = 1.0;
+    const StageAnalysis a = analyzeStage(s, flatProfile(1.0));
+    EXPECT_TRUE(a.ops.empty());
+    EXPECT_TRUE(std::isinf(a.minTurningPoint));
+}
+
+TEST(Analyzer, SkipsComponentsWithoutSoloTimes)
+{
+    StageModel s = brLikeStage();
+    s.io[0].soloPhaseSecondsPerTask = 0.0;
+    const StageAnalysis a = analyzeStage(s, flatProfile(480e6));
+    EXPECT_TRUE(a.ops.empty());
+}
+
+TEST(Analyzer, SweepStageCoresPlateausAtLimit)
+{
+    const PlatformProfile p = flatProfile(480e6);
+    const StageModel s = brLikeStage();
+    const auto sweep =
+        sweepStageCores(s, 10, {1, 2, 4, 8, 16, 32, 64, 128, 256}, p);
+    ASSERT_EQ(sweep.size(), 9u);
+    // Monotone non-increasing.
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_LE(sweep[i].second, sweep[i - 1].second + 1e-9);
+    // Beyond B=160 per node the read limit pins the time.
+    const double limit = 12000.0 * 27e6 / (10 * 480e6);
+    EXPECT_NEAR(sweep.back().second, limit, 1e-6);
+}
+
+TEST(Analyzer, SweepAppCoresSums)
+{
+    const PlatformProfile p = flatProfile(480e6);
+    AppModel app;
+    app.stages.push_back(brLikeStage());
+    app.stages.push_back(brLikeStage());
+    const auto stage_sweep = sweepStageCores(app.stages[0], 10, {8}, p);
+    const auto app_sweep = sweepAppCores(app, 10, {8}, p);
+    EXPECT_NEAR(app_sweep[0].second, 2.0 * stage_sweep[0].second,
+                1e-9);
+}
+
+} // namespace
+} // namespace doppio::model

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for RDD storage placement (paper §III-B2 mechanism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "spark/block_manager.h"
+
+namespace doppio::spark {
+namespace {
+
+RddRef
+makeRdd(const std::string &name, Bytes bytes, StorageLevel level,
+        Bytes memoryBytes = 0)
+{
+    auto rdd = std::make_shared<Rdd>();
+    rdd->name = name;
+    rdd->numPartitions = 10;
+    rdd->bytes = bytes;
+    rdd->memoryBytes = memoryBytes;
+    rdd->storageLevel = level;
+    return rdd;
+}
+
+TEST(BlockManager, FitsInMemory)
+{
+    BlockManager bm(gib(100), 1.0);
+    RddRef rdd = makeRdd("a", gib(50), StorageLevel::MemoryAndDisk);
+    EXPECT_EQ(bm.materialize(*rdd), BlockManager::Placement::Memory);
+    EXPECT_EQ(bm.placementOf(rdd.get()),
+              BlockManager::Placement::Memory);
+    EXPECT_EQ(bm.memoryUsed(), gib(50));
+}
+
+TEST(BlockManager, OverflowFallsToDisk)
+{
+    // The paper's LR-large case: 990 GB > 360 GB of storage memory.
+    BlockManager bm(gib(360), 1.0);
+    RddRef rdd = makeRdd("parsedData", gib(990),
+                         StorageLevel::MemoryAndDisk, gib(990));
+    EXPECT_EQ(bm.materialize(*rdd), BlockManager::Placement::Disk);
+    EXPECT_EQ(bm.memoryUsed(), 0ULL);
+}
+
+TEST(BlockManager, ExpansionFactorAppliesWhenUnset)
+{
+    // 50 GB serialized x 3.0 expansion = 150 GB > 100 GB capacity.
+    BlockManager bm(gib(100), 3.0);
+    RddRef rdd = makeRdd("a", gib(50), StorageLevel::MemoryAndDisk);
+    EXPECT_EQ(bm.materialize(*rdd), BlockManager::Placement::Disk);
+}
+
+TEST(BlockManager, MemoryOnlyOverflowStaysUnmaterialized)
+{
+    BlockManager bm(gib(10), 1.0);
+    RddRef rdd = makeRdd("a", gib(50), StorageLevel::MemoryOnly);
+    EXPECT_EQ(bm.materialize(*rdd),
+              BlockManager::Placement::Unmaterialized);
+    EXPECT_EQ(bm.placementOf(rdd.get()),
+              BlockManager::Placement::Unmaterialized);
+}
+
+TEST(BlockManager, DiskOnlyNeverUsesMemory)
+{
+    BlockManager bm(gib(100), 1.0);
+    RddRef rdd = makeRdd("a", gib(1), StorageLevel::DiskOnly);
+    EXPECT_EQ(bm.materialize(*rdd), BlockManager::Placement::Disk);
+    EXPECT_EQ(bm.memoryUsed(), 0ULL);
+}
+
+TEST(BlockManager, NoneLevelUnmaterialized)
+{
+    BlockManager bm(gib(100), 1.0);
+    RddRef rdd = makeRdd("a", gib(1), StorageLevel::None);
+    EXPECT_EQ(bm.materialize(*rdd),
+              BlockManager::Placement::Unmaterialized);
+}
+
+TEST(BlockManager, MaterializeIsIdempotent)
+{
+    BlockManager bm(gib(100), 1.0);
+    RddRef rdd = makeRdd("a", gib(40), StorageLevel::MemoryAndDisk);
+    bm.materialize(*rdd);
+    bm.materialize(*rdd);
+    EXPECT_EQ(bm.memoryUsed(), gib(40));
+}
+
+TEST(BlockManager, CapacitySharedAcrossRdds)
+{
+    BlockManager bm(gib(100), 1.0);
+    RddRef a = makeRdd("a", gib(60), StorageLevel::MemoryAndDisk);
+    RddRef b = makeRdd("b", gib(60), StorageLevel::MemoryAndDisk);
+    EXPECT_EQ(bm.materialize(*a), BlockManager::Placement::Memory);
+    EXPECT_EQ(bm.materialize(*b), BlockManager::Placement::Disk);
+}
+
+TEST(BlockManager, UnpersistFreesMemory)
+{
+    BlockManager bm(gib(100), 1.0);
+    RddRef a = makeRdd("a", gib(60), StorageLevel::MemoryAndDisk);
+    bm.materialize(*a);
+    bm.unpersist(a.get());
+    EXPECT_EQ(bm.memoryUsed(), 0ULL);
+    EXPECT_EQ(bm.placementOf(a.get()),
+              BlockManager::Placement::Unmaterialized);
+    // Now a second RDD fits again.
+    RddRef b = makeRdd("b", gib(60), StorageLevel::MemoryAndDisk);
+    EXPECT_EQ(bm.materialize(*b), BlockManager::Placement::Memory);
+}
+
+TEST(BlockManager, UnpersistDiskPlacementNoMemoryChange)
+{
+    BlockManager bm(gib(10), 1.0);
+    RddRef a = makeRdd("a", gib(60), StorageLevel::MemoryAndDisk);
+    bm.materialize(*a);
+    bm.unpersist(a.get());
+    EXPECT_EQ(bm.memoryUsed(), 0ULL);
+}
+
+TEST(BlockManager, UnpersistUnknownIsNoop)
+{
+    BlockManager bm(gib(10), 1.0);
+    RddRef a = makeRdd("a", gib(1), StorageLevel::None);
+    bm.unpersist(a.get());
+    EXPECT_EQ(bm.memoryUsed(), 0ULL);
+}
+
+TEST(BlockManager, ShuffleRegistry)
+{
+    BlockManager bm(gib(10), 1.0);
+    RddRef a = makeRdd("a", gib(1), StorageLevel::None);
+    EXPECT_FALSE(bm.shuffleAvailable(a.get()));
+    bm.markShuffleAvailable(a.get());
+    EXPECT_TRUE(bm.shuffleAvailable(a.get()));
+}
+
+TEST(BlockManager, Gatk4UnionRddNeverFits)
+{
+    // 870 GB deserialized vs 3 x 36 GB storage memory (§III-B2).
+    BlockManager bm(3 * static_cast<Bytes>(0.4 * 90) * kGiB, 3.0);
+    RddRef marked = makeRdd("markedReads", gib(336),
+                            StorageLevel::MemoryOnly, gib(870));
+    EXPECT_EQ(bm.materialize(*marked),
+              BlockManager::Placement::Unmaterialized);
+}
+
+} // namespace
+} // namespace doppio::spark

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for cluster configuration and construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/cluster_config.h"
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace doppio::cluster {
+namespace {
+
+TEST(ClusterConfig, MotivationClusterMatchesPaper)
+{
+    // §III: four nodes, one master -> three slaves, 36 cores each.
+    const ClusterConfig c = ClusterConfig::motivationCluster();
+    EXPECT_EQ(c.numSlaves, 3);
+    EXPECT_EQ(c.node.cores, 36);
+    EXPECT_EQ(c.node.ram, 128 * kGiB);
+    EXPECT_EQ(c.node.executorMemory, 90 * kGiB);
+}
+
+TEST(ClusterConfig, EvaluationClusterMatchesPaper)
+{
+    // §V: eleven nodes, one master -> ten slaves.
+    const ClusterConfig c = ClusterConfig::evaluationCluster();
+    EXPECT_EQ(c.numSlaves, 10);
+}
+
+TEST(ClusterConfig, StorageMemoryIs40PercentOfExecutor)
+{
+    const ClusterConfig c = ClusterConfig::motivationCluster();
+    EXPECT_EQ(c.node.storageMemory(), static_cast<Bytes>(0.4 * 90) *
+                                          kGiB);
+}
+
+TEST(ClusterConfig, HybridNames)
+{
+    EXPECT_EQ(HybridConfig::config1().name(), "HDFS=SSD/Local=SSD");
+    EXPECT_EQ(HybridConfig::config2().name(), "HDFS=HDD/Local=SSD");
+    EXPECT_EQ(HybridConfig::config3().name(), "HDFS=SSD/Local=HDD");
+    EXPECT_EQ(HybridConfig::config4().name(), "HDFS=HDD/Local=HDD");
+}
+
+TEST(ClusterConfig, ApplyHybridSetsDiskTypes)
+{
+    ClusterConfig c = ClusterConfig::motivationCluster();
+    c.applyHybrid(HybridConfig::config3());
+    EXPECT_EQ(c.node.hdfsDisk.type, storage::DiskType::Ssd);
+    EXPECT_EQ(c.node.localDisk.type, storage::DiskType::Hdd);
+}
+
+TEST(Cluster, ConstructsNodesAndNetwork)
+{
+    sim::Simulator sim;
+    Cluster cluster(sim, ClusterConfig::motivationCluster());
+    EXPECT_EQ(cluster.numSlaves(), 3);
+    EXPECT_EQ(cluster.network().numNodes(), 3);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(cluster.node(i).id(), i);
+        EXPECT_EQ(cluster.node(i).cores(), 36);
+    }
+}
+
+TEST(Cluster, NodesOwnSeparateDisks)
+{
+    sim::Simulator sim;
+    Cluster cluster(sim, ClusterConfig::motivationCluster());
+    EXPECT_NE(&cluster.node(0).hdfsDisk(), &cluster.node(0).localDisk());
+    EXPECT_NE(&cluster.node(0).hdfsDisk(), &cluster.node(1).hdfsDisk());
+}
+
+TEST(Cluster, TotalStorageMemoryScalesWithSlaves)
+{
+    sim::Simulator sim;
+    ClusterConfig config = ClusterConfig::evaluationCluster();
+    Cluster cluster(sim, config);
+    EXPECT_EQ(cluster.totalStorageMemory(),
+              10 * config.node.storageMemory());
+}
+
+TEST(Cluster, InvalidConfigFatal)
+{
+    sim::Simulator sim;
+    ClusterConfig bad = ClusterConfig::motivationCluster();
+    bad.numSlaves = 0;
+    EXPECT_THROW(Cluster(sim, bad), FatalError);
+    bad = ClusterConfig::motivationCluster();
+    bad.node.cores = 0;
+    EXPECT_THROW(Cluster(sim, bad), FatalError);
+}
+
+TEST(Cluster, DefaultNetworkIsTenGbps)
+{
+    const ClusterConfig c = ClusterConfig::motivationCluster();
+    EXPECT_NEAR(c.networkBandwidth, gibps(1.25), 1.0);
+}
+
+} // namespace
+} // namespace doppio::cluster

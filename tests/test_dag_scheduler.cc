@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for lineage-to-stage compilation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "dfs/hdfs.h"
+#include "sim/simulator.h"
+#include "spark/dag_scheduler.h"
+
+namespace doppio::spark {
+namespace {
+
+/** Find the first I/O phase of a given op in a group; nullptr if none. */
+const IoPhaseSpec *
+findIo(const TaskGroupSpec &group, storage::IoOp op)
+{
+    for (const PhaseSpec &phase : group.phases) {
+        if (const auto *io = std::get_if<IoPhaseSpec>(&phase)) {
+            if (io->op == op)
+                return io;
+        }
+    }
+    return nullptr;
+}
+
+/** Sum of compute-phase seconds in a group. */
+double
+computeSeconds(const TaskGroupSpec &group)
+{
+    double total = 0.0;
+    for (const PhaseSpec &phase : group.phases) {
+        if (const auto *c = std::get_if<ComputePhaseSpec>(&phase))
+            total += c->seconds;
+    }
+    return total;
+}
+
+class DagSchedulerTest : public ::testing::Test
+{
+  protected:
+    DagSchedulerTest()
+        : cluster_(sim_, cluster::ClusterConfig::motivationCluster()),
+          hdfs_(cluster_),
+          blockManager_(cluster_.totalStorageMemory(),
+                        conf_.memoryExpansionFactor),
+          dag_(conf_, hdfs_, blockManager_)
+    {
+        file_ = hdfs_.addFile("input", gib(1)); // 8 x 128 MiB blocks
+    }
+
+    sim::Simulator sim_;
+    cluster::Cluster cluster_;
+    dfs::Hdfs hdfs_;
+    SparkConf conf_;
+    BlockManager blockManager_;
+    DagScheduler dag_;
+    dfs::FileId file_ = 0;
+};
+
+TEST_F(DagSchedulerTest, SourceOnlyJobIsOneStage)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    const JobSpec job = dag_.compile("count", src, ActionSpec::count());
+    ASSERT_EQ(job.stages.size(), 1u);
+    const StageSpec &stage = job.stages[0];
+    EXPECT_EQ(stage.name, "count");
+    ASSERT_EQ(stage.groups.size(), 1u);
+    EXPECT_EQ(stage.groups[0].count, 8);
+    const IoPhaseSpec *read =
+        findIo(stage.groups[0], storage::IoOp::HdfsRead);
+    ASSERT_NE(read, nullptr);
+    EXPECT_EQ(read->bytesPerTask, gib(1) / 8);
+    EXPECT_EQ(read->requestSize, 128 * kMiB);
+}
+
+TEST_F(DagSchedulerTest, ShuffleSplitsIntoTwoStages)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    ShuffleSpec spec;
+    spec.bytes = gib(2);
+    RddRef grouped = Rdd::shuffled("grouped", src, 16, gib(2), spec);
+    const JobSpec job =
+        dag_.compile("job", grouped, ActionSpec::count());
+    ASSERT_EQ(job.stages.size(), 2u);
+
+    const StageSpec &map = job.stages[0];
+    EXPECT_EQ(map.name, "grouped.map");
+    EXPECT_EQ(map.numTasks(), 8);
+    const IoPhaseSpec *write =
+        findIo(map.groups[0], storage::IoOp::ShuffleWrite);
+    ASSERT_NE(write, nullptr);
+    EXPECT_EQ(write->bytesPerTask, gib(2) / 8);
+
+    const StageSpec &result = job.stages[1];
+    EXPECT_EQ(result.numTasks(), 16);
+    const IoPhaseSpec *read =
+        findIo(result.groups[0], storage::IoOp::ShuffleRead);
+    ASSERT_NE(read, nullptr);
+    EXPECT_EQ(read->bytesPerTask, gib(2) / 16);
+    // Request size = perReducer / M mappers (paper §III-C2).
+    EXPECT_EQ(read->requestSize, gib(2) / 16 / 8);
+    EXPECT_EQ(read->fanIn, 8);
+}
+
+TEST_F(DagSchedulerTest, ShuffleSkippedWhenFilesExist)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    ShuffleSpec spec;
+    spec.bytes = gib(2);
+    RddRef grouped = Rdd::shuffled("grouped", src, 16, gib(2), spec);
+    dag_.compile("job1", grouped, ActionSpec::count());
+    // Second job over the same shuffle: map stage must be skipped
+    // (this is GATK4's SF stage re-reading MD's shuffle, Table IV).
+    const JobSpec job2 =
+        dag_.compile("job2", grouped, ActionSpec::count());
+    ASSERT_EQ(job2.stages.size(), 1u);
+    EXPECT_NE(findIo(job2.stages[0].groups[0],
+                     storage::IoOp::ShuffleRead),
+              nullptr);
+}
+
+TEST_F(DagSchedulerTest, CachedRddReadsForFree)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    RddRef parsed = Rdd::narrow("parsed", {src}, gib(1));
+    parsed->memoryBytes = gib(1);
+    parsed->persist(StorageLevel::MemoryAndDisk);
+    dag_.compile("validate", parsed, ActionSpec::count());
+    ASSERT_EQ(blockManager_.placementOf(parsed.get()),
+              BlockManager::Placement::Memory);
+
+    RddRef iter = Rdd::narrow("iter", {parsed}, mib(1));
+    iter->cpuPerInputByte = 1e-9;
+    const JobSpec job = dag_.compile("iter", iter, ActionSpec::count());
+    ASSERT_EQ(job.stages.size(), 1u);
+    const TaskGroupSpec &group = job.stages[0].groups[0];
+    // No I/O phases at all: input is cached in memory.
+    EXPECT_EQ(findIo(group, storage::IoOp::HdfsRead), nullptr);
+    EXPECT_EQ(findIo(group, storage::IoOp::PersistRead), nullptr);
+    EXPECT_GT(computeSeconds(group), 0.0);
+}
+
+TEST_F(DagSchedulerTest, DiskPersistedRddReadsFromLocalDisk)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    RddRef parsed = Rdd::narrow("parsed", {src}, gib(1));
+    // Deserialized footprint larger than cluster storage memory.
+    parsed->memoryBytes = cluster_.totalStorageMemory() + gib(1);
+    parsed->persist(StorageLevel::MemoryAndDisk);
+    const JobSpec first =
+        dag_.compile("validate", parsed, ActionSpec::count());
+    // The materializing stage writes the partitions to Spark local.
+    const IoPhaseSpec *persist_write = findIo(
+        first.stages[0].groups[0], storage::IoOp::PersistWrite);
+    ASSERT_NE(persist_write, nullptr);
+    EXPECT_EQ(persist_write->requestSize, conf_.diskStoreRequestSize);
+
+    RddRef iter = Rdd::narrow("iter", {parsed}, mib(1));
+    const JobSpec job = dag_.compile("iter", iter, ActionSpec::count());
+    const IoPhaseSpec *persist_read = findIo(
+        job.stages[0].groups[0], storage::IoOp::PersistRead);
+    ASSERT_NE(persist_read, nullptr);
+    EXPECT_EQ(persist_read->bytesPerTask, gib(1) / 8);
+    EXPECT_EQ(persist_read->requestSize, conf_.diskStoreRequestSize);
+}
+
+TEST_F(DagSchedulerTest, UnmaterializedLineageIsRecomputed)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    RddRef derived = Rdd::narrow("derived", {src}, gib(1));
+    // No persist: every job re-reads from HDFS.
+    dag_.compile("job1", derived, ActionSpec::count());
+    const JobSpec job2 =
+        dag_.compile("job2", derived, ActionSpec::count());
+    EXPECT_NE(findIo(job2.stages[0].groups[0], storage::IoOp::HdfsRead),
+              nullptr);
+}
+
+TEST_F(DagSchedulerTest, UnionProducesPerBranchGroups)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    ShuffleSpec spec;
+    spec.bytes = gib(2);
+    RddRef grouped = Rdd::shuffled("grouped", src, 16, gib(2), spec);
+    RddRef filtered = Rdd::narrow("filtered", {src}, mib(64));
+    RddRef unioned =
+        Rdd::narrow("unioned", {grouped, filtered}, gib(2) + mib(64));
+    RddRef result = Rdd::narrow("result", {unioned}, mib(1));
+    result->cpuPerInputByte = 1.0e-6;
+    const JobSpec job =
+        dag_.compile("job", result, ActionSpec::count());
+    const StageSpec &stage = job.stages.back();
+    ASSERT_EQ(stage.groups.size(), 2u);
+    EXPECT_EQ(stage.numTasks(), 16 + 8);
+    // Per-branch compute scales with each branch's bytes per task:
+    // 128 MiB shuffle partitions vs 8 MiB filtered partitions.
+    const double shuffle_compute = computeSeconds(stage.groups[0]);
+    const double filter_compute = computeSeconds(stage.groups[1]);
+    EXPECT_GT(shuffle_compute, 10.0 * filter_compute);
+}
+
+TEST_F(DagSchedulerTest, SaveActionAppendsHdfsWrite)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    RddRef out = Rdd::narrow("out", {src}, gib(1));
+    const JobSpec job = dag_.compile(
+        "save", out, ActionSpec::saveAsHadoopFile(gib(1)));
+    const IoPhaseSpec *write =
+        findIo(job.stages[0].groups[0], storage::IoOp::HdfsWrite);
+    ASSERT_NE(write, nullptr);
+    EXPECT_EQ(write->bytesPerTask, gib(1) / 8);
+}
+
+TEST_F(DagSchedulerTest, GcSensitivityPropagatesToStage)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    RddRef keyed = Rdd::narrow("keyed", {src}, gib(1));
+    keyed->gcSensitivity = 0.35;
+    ShuffleSpec spec;
+    spec.bytes = gib(1);
+    RddRef grouped = Rdd::shuffled("grouped", keyed, 16, gib(1), spec);
+    const JobSpec job =
+        dag_.compile("job", grouped, ActionSpec::count());
+    EXPECT_DOUBLE_EQ(job.stages[0].gcSensitivity, 0.35);
+    EXPECT_DOUBLE_EQ(job.stages[1].gcSensitivity, 0.0);
+}
+
+TEST_F(DagSchedulerTest, MapStageNameOverride)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    ShuffleSpec spec;
+    spec.bytes = gib(1);
+    spec.mapStageName = "MD";
+    RddRef grouped = Rdd::shuffled("grouped", src, 16, gib(1), spec);
+    const JobSpec job =
+        dag_.compile("BR", grouped, ActionSpec::count());
+    EXPECT_EQ(job.stages[0].name, "MD");
+    EXPECT_EQ(job.stages[1].name, "BR");
+}
+
+TEST_F(DagSchedulerTest, NullTargetFatal)
+{
+    EXPECT_THROW(dag_.compile("x", nullptr, ActionSpec::count()),
+                 FatalError);
+}
+
+TEST_F(DagSchedulerTest, ShuffleWriteChunksCappedBySpillSize)
+{
+    conf_.shuffleSpillChunkCap = mib(64);
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    ShuffleSpec spec;
+    spec.bytes = gib(2); // 256 MiB per mapper > 64 MiB cap
+    RddRef grouped = Rdd::shuffled("grouped", src, 16, gib(2), spec);
+    const JobSpec job =
+        dag_.compile("job", grouped, ActionSpec::count());
+    const IoPhaseSpec *write =
+        findIo(job.stages[0].groups[0], storage::IoOp::ShuffleWrite);
+    ASSERT_NE(write, nullptr);
+    EXPECT_LE(write->requestSize, mib(64));
+}
+
+} // namespace
+} // namespace doppio::spark

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the mechanistic disk device.
+ */
+
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "storage/disk_device.h"
+
+namespace doppio::storage {
+namespace {
+
+/** A device with round numbers for exact checks. */
+DiskParams
+simpleParams()
+{
+    DiskParams p;
+    p.model = "test";
+    p.type = DiskType::Hdd;
+    p.readIops = 100.0;  // 10 ms admission interval
+    p.writeIops = 100.0;
+    p.readLatency = msToTicks(10.0);
+    p.writeLatency = msToTicks(10.0);
+    p.readBandwidth = 1000.0 * kKiB; // 1000 KiB/s
+    p.writeBandwidth = 500.0 * kKiB;
+    return p;
+}
+
+TEST(DiskDevice, SingleReadLatencyPlusTransfer)
+{
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    Tick done = 0;
+    dev.submit(IoOp::RawRead, 100 * kKiB, [&] { done = sim.now(); });
+    sim.run();
+    // 10 ms latency + 100/1000 s transfer.
+    EXPECT_NEAR(ticksToSeconds(done), 0.010 + 0.100, 1e-4);
+}
+
+TEST(DiskDevice, WriteUsesWriteParameters)
+{
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    Tick done = 0;
+    dev.submit(IoOp::RawWrite, 100 * kKiB, [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(ticksToSeconds(done), 0.010 + 0.200, 1e-4);
+}
+
+TEST(DiskDevice, ZeroByteRequestCompletesImmediately)
+{
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    bool done = false;
+    dev.submit(IoOp::RawRead, 0, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(DiskDevice, AdmissionLimitsSmallRequestThroughput)
+{
+    // Many concurrent 1 KiB readers: aggregate ~= IOPS * 1 KiB, far
+    // below the transfer bandwidth — the paper's shuffle-read regime.
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    const int workers = 16;
+    const int per_worker = 25;
+    struct Worker
+    {
+        int remaining;
+        std::function<void()> issue;
+    };
+    std::vector<std::unique_ptr<Worker>> pool;
+    for (int w = 0; w < workers; ++w) {
+        auto worker = std::make_unique<Worker>();
+        worker->remaining = per_worker;
+        Worker *raw = worker.get();
+        worker->issue = [raw, &dev] {
+            if (raw->remaining-- <= 0)
+                return;
+            dev.submit(IoOp::RawRead, kKiB, [raw] { raw->issue(); });
+        };
+        pool.push_back(std::move(worker));
+    }
+    for (auto &worker : pool)
+        worker->issue();
+    const Tick end = sim.run();
+    const double seconds = ticksToSeconds(end);
+    const double expected = workers * per_worker / 100.0; // IOPS bound
+    EXPECT_NEAR(seconds, expected, expected * 0.1);
+}
+
+TEST(DiskDevice, LargeRequestsAreBandwidthLimited)
+{
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    int done = 0;
+    for (int i = 0; i < 4; ++i)
+        dev.submit(IoOp::RawRead, 1000 * kKiB, [&] { ++done; });
+    const Tick end = sim.run();
+    EXPECT_EQ(done, 4);
+    // 4000 KiB through 1000 KiB/s.
+    EXPECT_NEAR(ticksToSeconds(end), 4.0, 0.2);
+}
+
+TEST(DiskDevice, StatsRecordPerOp)
+{
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    dev.submit(IoOp::ShuffleRead, kib(30), [] {});
+    dev.submit(IoOp::ShuffleRead, kib(30), [] {});
+    dev.submit(IoOp::PersistWrite, kib(128), [] {});
+    sim.run();
+    EXPECT_EQ(dev.stats().forOp(IoOp::ShuffleRead).requests, 2ULL);
+    EXPECT_EQ(dev.stats().forOp(IoOp::ShuffleRead).bytes, kib(60));
+    EXPECT_NEAR(dev.stats().forOp(IoOp::ShuffleRead).avgRequestSize(),
+                static_cast<double>(kib(30)), 1.0);
+    EXPECT_EQ(dev.stats().totalBytes(IoKind::Write), kib(128));
+    EXPECT_EQ(dev.stats().totalRequests(IoKind::Read), 2ULL);
+}
+
+TEST(DiskDevice, ResetStatsClears)
+{
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    dev.submit(IoOp::RawRead, kKiB, [] {});
+    sim.run();
+    dev.resetStats();
+    EXPECT_EQ(dev.stats().totalRequests(IoKind::Read), 0ULL);
+}
+
+TEST(DiskDevice, BatchSoloMatchesSequentialSubmits)
+{
+    // A batch from one synchronous client must take the same time as
+    // the per-request loop it aggregates.
+    const Bytes chunk = 10 * kKiB;
+    const std::uint64_t count = 50;
+
+    sim::Simulator sim_seq;
+    DiskDevice dev_seq(sim_seq, simpleParams(), "seq");
+    struct Loop
+    {
+        DiskDevice *dev;
+        Bytes chunk;
+        std::uint64_t left;
+        std::function<void()> issue;
+    } loop{&dev_seq, chunk, count, {}};
+    loop.issue = [&loop] {
+        if (loop.left-- == 0)
+            return;
+        loop.dev->submit(IoOp::RawRead, loop.chunk,
+                         [&loop] { loop.issue(); });
+    };
+    loop.issue();
+    const double t_seq = ticksToSeconds(sim_seq.run());
+
+    sim::Simulator sim_batch;
+    DiskDevice dev_batch(sim_batch, simpleParams(), "batch");
+    dev_batch.submitBatch(IoOp::RawRead, chunk, count, [] {});
+    const double t_batch = ticksToSeconds(sim_batch.run());
+
+    EXPECT_NEAR(t_batch, t_seq, t_seq * 0.05);
+}
+
+TEST(DiskDevice, BatchAggregateThroughputUnderContention)
+{
+    // Concurrent batches must respect the admission limit in aggregate
+    // (work conservation of the token bucket).
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    const int tasks = 8;
+    const std::uint64_t count = 50;
+    int done = 0;
+    for (int t = 0; t < tasks; ++t)
+        dev.submitBatch(IoOp::RawRead, kKiB, count, [&] { ++done; });
+    const double seconds = ticksToSeconds(sim.run());
+    EXPECT_EQ(done, tasks);
+    const double expected = tasks * count / 100.0;
+    EXPECT_NEAR(seconds, expected, expected * 0.1);
+}
+
+TEST(DiskDevice, BatchRecordsStats)
+{
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    dev.submitBatch(IoOp::ShuffleRead, kib(30), 100, [] {});
+    sim.run();
+    EXPECT_EQ(dev.stats().forOp(IoOp::ShuffleRead).requests, 100ULL);
+    EXPECT_EQ(dev.stats().forOp(IoOp::ShuffleRead).bytes, kib(3000));
+}
+
+TEST(DiskDevice, BatchZeroCountImmediate)
+{
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    bool done = false;
+    dev.submitBatch(IoOp::RawRead, kKiB, 0, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sim.now(), 0ULL);
+}
+
+TEST(DiskDevice, MixedReadWriteShareAdmission)
+{
+    // The token bucket (arm/controller) is shared between directions.
+    sim::Simulator sim;
+    DiskDevice dev(sim, simpleParams(), "d");
+    int done = 0;
+    for (int i = 0; i < 50; ++i) {
+        dev.submit(IoOp::RawRead, kKiB, [&] { ++done; });
+        dev.submit(IoOp::RawWrite, kKiB, [&] { ++done; });
+    }
+    const double seconds = ticksToSeconds(sim.run());
+    EXPECT_EQ(done, 100);
+    EXPECT_NEAR(seconds, 100 / 100.0, 0.15);
+}
+
+} // namespace
+} // namespace doppio::storage

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for disk parameter presets against the paper's anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "storage/disk_params.h"
+
+namespace doppio::storage {
+namespace {
+
+TEST(DiskParams, TypeNames)
+{
+    EXPECT_STREQ(diskTypeName(DiskType::Hdd), "HDD");
+    EXPECT_STREQ(diskTypeName(DiskType::Ssd), "SSD");
+}
+
+TEST(DiskParams, HddAnchor30K)
+{
+    // Paper Fig. 5a: ~15 MB/s at 30 KB.
+    const DiskParams hdd = makeHddParams();
+    const double bw = hdd.effectiveBandwidth(IoKind::Read, kib(30));
+    EXPECT_NEAR(toMiBps(bw), 15.0, 1.0);
+}
+
+TEST(DiskParams, SsdAnchor30K)
+{
+    // Paper Fig. 5b: ~480 MB/s at 30 KB (bandwidth-capped).
+    const DiskParams ssd = makeSsdParams();
+    const double bw = ssd.effectiveBandwidth(IoKind::Read, kib(30));
+    EXPECT_NEAR(toMiBps(bw), 480.0, 10.0);
+}
+
+TEST(DiskParams, Gap32xAt30K)
+{
+    const DiskParams hdd = makeHddParams();
+    const DiskParams ssd = makeSsdParams();
+    const double gap =
+        ssd.effectiveBandwidth(IoKind::Read, kib(30)) /
+        hdd.effectiveBandwidth(IoKind::Read, kib(30));
+    EXPECT_NEAR(gap, 32.0, 4.0);
+}
+
+TEST(DiskParams, GapAt4KAround181x)
+{
+    const DiskParams hdd = makeHddParams();
+    const DiskParams ssd = makeSsdParams();
+    const double gap = ssd.effectiveBandwidth(IoKind::Read, kib(4)) /
+                       hdd.effectiveBandwidth(IoKind::Read, kib(4));
+    EXPECT_GT(gap, 150.0);
+    EXPECT_LT(gap, 230.0);
+}
+
+TEST(DiskParams, GapAt128MAround3p7x)
+{
+    const DiskParams hdd = makeHddParams();
+    const DiskParams ssd = makeSsdParams();
+    const double gap = ssd.effectiveBandwidth(IoKind::Read, mib(128)) /
+                       hdd.effectiveBandwidth(IoKind::Read, mib(128));
+    EXPECT_NEAR(gap, 3.7, 0.4);
+}
+
+TEST(DiskParams, HddLargeChunkWriteNear100MBps)
+{
+    // Paper §V-A1: shuffle write of ~365 MB chunks sustains ~100 MB/s.
+    const DiskParams hdd = makeHddParams();
+    const double bw = hdd.effectiveBandwidth(IoKind::Write, mib(365));
+    EXPECT_NEAR(toMiBps(bw), 100.0, 5.0);
+}
+
+TEST(DiskParams, EffectiveBandwidthMonotoneInRequestSize)
+{
+    const DiskParams hdd = makeHddParams();
+    double prev = 0.0;
+    for (Bytes rs = kib(4); rs <= mib(512); rs *= 2) {
+        const double bw = hdd.effectiveBandwidth(IoKind::Read, rs);
+        EXPECT_GE(bw, prev);
+        prev = bw;
+    }
+}
+
+TEST(DiskParams, ZeroRequestSizeReturnsPeak)
+{
+    const DiskParams ssd = makeSsdParams();
+    EXPECT_DOUBLE_EQ(ssd.effectiveBandwidth(IoKind::Read, 0),
+                     ssd.readBandwidth);
+}
+
+TEST(DiskParams, ValidateRejectsNonPositive)
+{
+    DiskParams p = makeHddParams();
+    p.readIops = 0.0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = makeHddParams();
+    p.writeBandwidth = -1.0;
+    EXPECT_THROW(p.validate(), FatalError);
+    EXPECT_NO_THROW(makeSsdParams().validate());
+}
+
+TEST(DiskParams, PresetsCarryCapacity)
+{
+    EXPECT_EQ(makeHddParams().capacity, 4 * kTiB);
+    EXPECT_EQ(makeSsdParams().capacity, 240 * kGiB);
+    EXPECT_EQ(makeHddParams(kTiB).capacity, kTiB);
+}
+
+} // namespace
+} // namespace doppio::storage

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the fair-shared fluid pipe.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "sim/fluid_pipe.h"
+#include "sim/simulator.h"
+
+namespace doppio::sim {
+namespace {
+
+TEST(FluidPipe, SingleFlowDuration)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p"); // 100 B/s
+    Tick done_at = 0;
+    pipe.startFlow(200, [&] { done_at = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(ticksToSeconds(done_at), 2.0, 1e-6);
+}
+
+TEST(FluidPipe, TwoFlowsShareFairly)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p");
+    Tick a = 0, b = 0;
+    pipe.startFlow(100, [&] { a = sim.now(); });
+    pipe.startFlow(100, [&] { b = sim.now(); });
+    sim.run();
+    // Each gets 50 B/s: both finish at t=2.
+    EXPECT_NEAR(ticksToSeconds(a), 2.0, 1e-6);
+    EXPECT_NEAR(ticksToSeconds(b), 2.0, 1e-6);
+}
+
+TEST(FluidPipe, ShortFlowReleasesBandwidth)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p");
+    Tick small = 0, large = 0;
+    pipe.startFlow(50, [&] { small = sim.now(); });
+    pipe.startFlow(150, [&] { large = sim.now(); });
+    sim.run();
+    // Phase 1: both at 50 B/s until the small one finishes at t=1.
+    // Phase 2: large has 100 B/s for its remaining 100 B -> t=2.
+    EXPECT_NEAR(ticksToSeconds(small), 1.0, 1e-6);
+    EXPECT_NEAR(ticksToSeconds(large), 2.0, 1e-6);
+}
+
+TEST(FluidPipe, LateArrivalSlowsExisting)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p");
+    Tick first = 0;
+    pipe.startFlow(150, [&] { first = sim.now(); });
+    sim.schedule(secondsToTicks(1.0), [&] {
+        pipe.startFlow(1000, [] {});
+    });
+    sim.run();
+    // 100 B in the first second, then 50 B/s: finishes at t=2.
+    EXPECT_NEAR(ticksToSeconds(first), 2.0, 1e-6);
+}
+
+TEST(FluidPipe, PerFlowRateCapHonored)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p");
+    Tick done = 0;
+    pipe.startFlow(100, [&] { done = sim.now(); }, 10.0);
+    sim.run();
+    EXPECT_NEAR(ticksToSeconds(done), 10.0, 1e-6);
+}
+
+TEST(FluidPipe, ProgressiveFillingRedistributes)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p");
+    Tick capped = 0, uncapped = 0;
+    // Capped flow takes 20 B/s; the other should get the other 80.
+    pipe.startFlow(20, [&] { capped = sim.now(); }, 20.0);
+    pipe.startFlow(80, [&] { uncapped = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(ticksToSeconds(capped), 1.0, 1e-6);
+    EXPECT_NEAR(ticksToSeconds(uncapped), 1.0, 1e-6);
+}
+
+TEST(FluidPipe, ZeroByteFlowCompletesImmediately)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p");
+    bool done = false;
+    pipe.startFlow(0, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sim.now(), 0ULL);
+}
+
+TEST(FluidPipe, CompletionCallbackCanStartNewFlow)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p");
+    Tick done = 0;
+    pipe.startFlow(100, [&] {
+        pipe.startFlow(100, [&] { done = sim.now(); });
+    });
+    sim.run();
+    EXPECT_NEAR(ticksToSeconds(done), 2.0, 1e-6);
+}
+
+TEST(FluidPipe, BytesCompletedAccumulates)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p");
+    pipe.startFlow(100, [] {});
+    pipe.startFlow(50, [] {});
+    sim.run();
+    EXPECT_EQ(pipe.bytesCompleted(), 150ULL);
+}
+
+TEST(FluidPipe, BusyTimeTracksActivity)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p");
+    pipe.startFlow(100, [] {});
+    sim.run();
+    EXPECT_NEAR(ticksToSeconds(pipe.busyTime()), 1.0, 1e-6);
+    // Idle gap then another flow.
+    sim.schedule(secondsToTicks(5.0), [&] {
+        pipe.startFlow(100, [] {});
+    });
+    sim.run();
+    EXPECT_NEAR(ticksToSeconds(pipe.busyTime()), 2.0, 1e-6);
+}
+
+TEST(FluidPipe, SetCapacityAffectsInFlight)
+{
+    Simulator sim;
+    FluidPipe pipe(sim, 100.0, "p");
+    Tick done = 0;
+    pipe.startFlow(200, [&] { done = sim.now(); });
+    sim.schedule(secondsToTicks(1.0), [&] { pipe.setCapacity(50.0); });
+    sim.run();
+    // 100 B in second 1, then 100 B at 50 B/s: t=3.
+    EXPECT_NEAR(ticksToSeconds(done), 3.0, 1e-6);
+}
+
+TEST(FluidPipe, InvalidConfigIsFatal)
+{
+    Simulator sim;
+    EXPECT_THROW(FluidPipe(sim, 0.0, "bad"), FatalError);
+    FluidPipe pipe(sim, 1.0, "p");
+    EXPECT_THROW(pipe.startFlow(1, [] {}, 0.0), FatalError);
+    EXPECT_THROW(pipe.setCapacity(-1.0), FatalError);
+}
+
+TEST(FluidPipe, ConservationAcrossManyFlows)
+{
+    // Work conservation: total time to drain k flows of b bytes is
+    // k*b/capacity regardless of arrival pattern while backlogged.
+    Simulator sim;
+    FluidPipe pipe(sim, 1000.0, "p");
+    int completed = 0;
+    for (int i = 0; i < 20; ++i)
+        pipe.startFlow(500, [&] { ++completed; });
+    const Tick end = sim.run();
+    EXPECT_EQ(completed, 20);
+    EXPECT_NEAR(ticksToSeconds(end), 20 * 500 / 1000.0, 1e-3);
+}
+
+/** Fair share property over varying flow counts. */
+class FluidPipeFairness : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FluidPipeFairness, EqualFlowsFinishTogether)
+{
+    const int n = GetParam();
+    Simulator sim;
+    FluidPipe pipe(sim, 1e6, "p");
+    std::vector<Tick> done(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        pipe.startFlow(1000, [&, i] {
+            done[static_cast<std::size_t>(i)] = sim.now();
+        });
+    sim.run();
+    const double expected = n * 1000 / 1e6;
+    for (Tick t : done)
+        EXPECT_NEAR(ticksToSeconds(t), expected, expected * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FluidPipeFairness,
+                         ::testing::Values(1, 2, 3, 7, 16, 64));
+
+} // namespace
+} // namespace doppio::sim

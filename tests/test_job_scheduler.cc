@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for model-driven job scheduling (the paper's suggested
+ * scheduler application, §I).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/job_scheduler.h"
+
+namespace doppio::model {
+namespace {
+
+std::vector<QueuedJob>
+threeJobs()
+{
+    // Arrival order: long, short, medium.
+    return {{"long", 100.0, 100.0},
+            {"short", 10.0, 10.0},
+            {"medium", 40.0, 40.0}};
+}
+
+TEST(JobScheduler, FifoKeepsArrivalOrder)
+{
+    const ScheduleResult r = scheduleFifo(threeJobs());
+    EXPECT_EQ(r.order,
+              (std::vector<std::string>{"long", "short", "medium"}));
+    // Completions: 100, 110, 150.
+    EXPECT_DOUBLE_EQ(r.completionSeconds[0], 100.0);
+    EXPECT_DOUBLE_EQ(r.completionSeconds[2], 150.0);
+    EXPECT_DOUBLE_EQ(r.makespanSeconds, 150.0);
+    // Waits: 0 + 100 + 110.
+    EXPECT_DOUBLE_EQ(r.totalWaitSeconds, 210.0);
+    EXPECT_NEAR(r.meanCompletionSeconds, (100 + 110 + 150) / 3.0,
+                1e-9);
+}
+
+TEST(JobScheduler, SpfOrdersByPrediction)
+{
+    const ScheduleResult r =
+        scheduleShortestPredictedFirst(threeJobs());
+    EXPECT_EQ(r.order,
+              (std::vector<std::string>{"short", "medium", "long"}));
+    // Waits: 0 + 10 + 50 = 60 << FIFO's 210.
+    EXPECT_DOUBLE_EQ(r.totalWaitSeconds, 60.0);
+}
+
+TEST(JobScheduler, MakespanInvariantUnderOrdering)
+{
+    // Ordering cannot change total work.
+    const ScheduleResult fifo = scheduleFifo(threeJobs());
+    const ScheduleResult spf =
+        scheduleShortestPredictedFirst(threeJobs());
+    EXPECT_DOUBLE_EQ(fifo.makespanSeconds, spf.makespanSeconds);
+}
+
+TEST(JobScheduler, SpfNeverWorseThanFifoWithPerfectPredictions)
+{
+    // SPT-optimality of mean completion time.
+    std::vector<QueuedJob> jobs;
+    for (int i = 0; i < 20; ++i) {
+        const double t = static_cast<double>((i * 37) % 101 + 1);
+        jobs.push_back({"job" + std::to_string(i), t, t});
+    }
+    const ScheduleResult fifo = scheduleFifo(jobs);
+    const ScheduleResult spf = scheduleShortestPredictedFirst(jobs);
+    EXPECT_LE(spf.totalWaitSeconds, fifo.totalWaitSeconds);
+}
+
+TEST(JobScheduler, ChargesActualNotPredictedTime)
+{
+    // A mispredicted job still pays its actual runtime.
+    std::vector<QueuedJob> jobs = {{"a", 1.0, 50.0}, {"b", 2.0, 2.0}};
+    const ScheduleResult r = scheduleShortestPredictedFirst(jobs);
+    EXPECT_EQ(r.order.front(), "a"); // ordered by prediction
+    EXPECT_DOUBLE_EQ(r.completionSeconds[0], 50.0); // pays actual
+    EXPECT_DOUBLE_EQ(r.makespanSeconds, 52.0);
+}
+
+TEST(JobScheduler, StableOnEqualPredictions)
+{
+    std::vector<QueuedJob> jobs = {
+        {"a", 5.0, 5.0}, {"b", 5.0, 7.0}, {"c", 5.0, 3.0}};
+    const ScheduleResult r = scheduleShortestPredictedFirst(jobs);
+    EXPECT_EQ(r.order, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(JobScheduler, EmptyQueue)
+{
+    const ScheduleResult r = scheduleFifo({});
+    EXPECT_TRUE(r.order.empty());
+    EXPECT_DOUBLE_EQ(r.totalWaitSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(r.makespanSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(r.meanCompletionSeconds, 0.0);
+}
+
+/**
+ * Property: with noisy predictions (multiplicative error), SPF's
+ * advantage degrades but remains non-catastrophic — ordering by a
+ * within-10% prediction (the paper's error bound) keeps nearly the
+ * full benefit.
+ */
+class SpfNoise : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(SpfNoise, TenPercentErrorKeepsMostOfTheBenefit)
+{
+    const double noise = GetParam();
+    std::vector<QueuedJob> jobs;
+    for (int i = 0; i < 30; ++i) {
+        const double actual = static_cast<double>((i * 61) % 223 + 5);
+        // Deterministic +/- noise.
+        const double factor = (i % 2 == 0) ? 1.0 + noise : 1.0 - noise;
+        jobs.push_back(
+            {"job" + std::to_string(i), actual * factor, actual});
+    }
+    const double fifo = scheduleFifo(jobs).totalWaitSeconds;
+    const double spf_noisy =
+        scheduleShortestPredictedFirst(jobs).totalWaitSeconds;
+    // Perfect-information SPF for reference.
+    for (QueuedJob &job : jobs)
+        job.predictedSeconds = job.actualSeconds;
+    const double spf_oracle =
+        scheduleShortestPredictedFirst(jobs).totalWaitSeconds;
+    EXPECT_LE(spf_noisy, fifo);
+    // Within 5% of the oracle at paper-level (<=10%) error.
+    if (noise <= 0.10) {
+        EXPECT_LE(spf_noisy, spf_oracle * 1.05);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, SpfNoise,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.25));
+
+} // namespace
+} // namespace doppio::model

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for status/error reporting.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace doppio {
+namespace {
+
+TEST(Logging, FatalThrowsWithFormattedMessage)
+{
+    try {
+        fatal("bad value %d for %s", 42, "cores");
+        FAIL() << "fatal() must throw";
+    } catch (const FatalError &error) {
+        EXPECT_STREQ(error.what(), "bad value 42 for cores");
+    }
+}
+
+TEST(Logging, FatalErrorIsARuntimeError)
+{
+    // Library embedders can catch the standard hierarchy.
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(Logging, VerboseFlagRoundTrip)
+{
+    const bool before = verboseEnabled();
+    setVerbose(true);
+    EXPECT_TRUE(verboseEnabled());
+    setVerbose(false);
+    EXPECT_FALSE(verboseEnabled());
+    setVerbose(before);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(warn("value %d looks odd", 7));
+    setVerbose(true);
+    EXPECT_NO_THROW(inform("progress %s", "ok"));
+    setVerbose(false);
+    EXPECT_NO_THROW(inform("silenced"));
+}
+
+TEST(Logging, LongMessagesAreNotTruncated)
+{
+    const std::string payload(2000, 'x');
+    try {
+        fatal("%s", payload.c_str());
+        FAIL();
+    } catch (const FatalError &error) {
+        EXPECT_EQ(std::strlen(error.what()), payload.size());
+    }
+}
+
+} // namespace
+} // namespace doppio

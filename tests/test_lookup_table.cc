@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the interpolated lookup table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/lookup_table.h"
+#include "common/units.h"
+
+namespace doppio {
+namespace {
+
+TEST(LookupTable, ExactAnchors)
+{
+    LookupTable t({{1.0, 10.0}, {2.0, 20.0}, {4.0, 40.0}});
+    EXPECT_DOUBLE_EQ(t.at(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.at(2.0), 20.0);
+    EXPECT_DOUBLE_EQ(t.at(4.0), 40.0);
+}
+
+TEST(LookupTable, ClampsBelowAndAbove)
+{
+    LookupTable t({{10.0, 1.0}, {100.0, 2.0}});
+    EXPECT_DOUBLE_EQ(t.at(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(t.at(1e9), 2.0);
+}
+
+TEST(LookupTable, LogScaleMidpoint)
+{
+    // In log-x space, x=2 is the midpoint of [1, 4].
+    LookupTable t({{1.0, 0.0}, {4.0, 10.0}}, LookupTable::Scale::Log);
+    EXPECT_NEAR(t.at(2.0), 5.0, 1e-9);
+}
+
+TEST(LookupTable, LinearScaleMidpoint)
+{
+    LookupTable t({{0.0, 0.0}, {4.0, 10.0}}, LookupTable::Scale::Linear);
+    EXPECT_NEAR(t.at(2.0), 5.0, 1e-9);
+}
+
+TEST(LookupTable, UnsortedInputIsSorted)
+{
+    LookupTable t({{4.0, 40.0}, {1.0, 10.0}, {2.0, 20.0}});
+    EXPECT_DOUBLE_EQ(t.at(1.0), 10.0);
+    EXPECT_EQ(t.points().front().first, 1.0);
+    EXPECT_EQ(t.points().back().first, 4.0);
+}
+
+TEST(LookupTable, AddPointKeepsOrder)
+{
+    LookupTable t({{1.0, 1.0}, {4.0, 4.0}});
+    t.addPoint(2.0, 2.0);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.at(2.0), 2.0);
+}
+
+TEST(LookupTable, DuplicateAnchorIsFatal)
+{
+    EXPECT_THROW(LookupTable({{1.0, 1.0}, {1.0, 2.0}}), FatalError);
+    LookupTable t({{1.0, 1.0}});
+    EXPECT_THROW(t.addPoint(1.0, 3.0), FatalError);
+}
+
+TEST(LookupTable, LogScaleRejectsNonPositiveX)
+{
+    EXPECT_THROW(LookupTable({{0.0, 1.0}, {1.0, 2.0}},
+                             LookupTable::Scale::Log),
+                 FatalError);
+    LookupTable t({{1.0, 1.0}});
+    EXPECT_THROW(t.addPoint(-1.0, 3.0), FatalError);
+}
+
+TEST(LookupTable, EmptyQueryIsFatal)
+{
+    LookupTable t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_THROW(t.at(1.0), FatalError);
+}
+
+TEST(LookupTable, MonotoneDataStaysMonotone)
+{
+    // A bandwidth-vs-request-size curve: interpolation must preserve
+    // monotonicity between anchors.
+    LookupTable t({{4096.0, 2.0e6},
+                   {30720.0, 15.0e6},
+                   {1048576.0, 100.0e6},
+                   {134217728.0, 130.0e6}});
+    double prev = 0.0;
+    for (double x = 4096.0; x <= 134217728.0; x *= 1.7) {
+        const double y = t.at(x);
+        EXPECT_GE(y, prev);
+        prev = y;
+    }
+}
+
+/** Property sweep: interpolated values lie within anchor bounds. */
+class LookupTableInterpolation
+    : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(LookupTableInterpolation, WithinNeighborBounds)
+{
+    LookupTable t({{1.0, 3.0}, {10.0, 7.0}, {100.0, 5.0},
+                   {1000.0, 20.0}});
+    const double x = GetParam();
+    const double y = t.at(x);
+    EXPECT_GE(y, 3.0);
+    EXPECT_LE(y, 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LookupTableInterpolation,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0,
+                                           31.6, 100.0, 316.0, 1000.0,
+                                           5000.0));
+
+} // namespace
+} // namespace doppio

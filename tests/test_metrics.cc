@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the metrics containers (stage/job/app aggregation
+ * helpers the profiler and benches rely on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "spark/metrics.h"
+
+namespace doppio::spark {
+namespace {
+
+StageMetrics
+makeStage(const std::string &name, double seconds, Bytes shuffleRead,
+          Bytes hdfsWrite)
+{
+    StageMetrics stage;
+    stage.name = name;
+    stage.numTasks = 10;
+    stage.startTick = secondsToTicks(100.0);
+    stage.endTick = secondsToTicks(100.0 + seconds);
+    if (shuffleRead > 0) {
+        StageIoStats &io = stage.forOp(storage::IoOp::ShuffleRead);
+        io.bytes = shuffleRead;
+        io.requests = 4;
+        io.requestSize.addMany(
+            static_cast<double>(shuffleRead / 4), 4);
+    }
+    if (hdfsWrite > 0) {
+        StageIoStats &io = stage.forOp(storage::IoOp::HdfsWrite);
+        io.bytes = hdfsWrite;
+        io.requests = 2;
+    }
+    return stage;
+}
+
+TEST(Metrics, StageSecondsFromTicks)
+{
+    const StageMetrics stage = makeStage("s", 12.5, 0, 0);
+    EXPECT_DOUBLE_EQ(stage.seconds(), 12.5);
+}
+
+TEST(Metrics, StageTotalBytesByDirection)
+{
+    const StageMetrics stage = makeStage("s", 1.0, mib(64), mib(16));
+    EXPECT_EQ(stage.totalBytes(storage::IoKind::Read), mib(64));
+    EXPECT_EQ(stage.totalBytes(storage::IoKind::Write), mib(16));
+}
+
+TEST(Metrics, StageIoAvgRequestSize)
+{
+    const StageMetrics stage = makeStage("s", 1.0, mib(64), 0);
+    EXPECT_NEAR(stage.forOp(storage::IoOp::ShuffleRead)
+                    .avgRequestSize(),
+                static_cast<double>(mib(16)), 1.0);
+    // An idle op reports zero.
+    EXPECT_DOUBLE_EQ(
+        stage.forOp(storage::IoOp::PersistRead).avgRequestSize(), 0.0);
+}
+
+TEST(Metrics, JobSumsStages)
+{
+    JobMetrics job;
+    job.name = "job";
+    job.stages.push_back(makeStage("a", 5.0, 0, 0));
+    job.stages.push_back(makeStage("b", 7.0, 0, 0));
+    EXPECT_DOUBLE_EQ(job.seconds(), 12.0);
+}
+
+TEST(Metrics, AppAggregation)
+{
+    AppMetrics app;
+    app.name = "app";
+    JobMetrics first;
+    first.name = "first";
+    first.stages.push_back(makeStage("iteration", 5.0, mib(8), 0));
+    JobMetrics second;
+    second.name = "second";
+    second.stages.push_back(makeStage("iteration", 6.0, mib(8), 0));
+    second.stages.push_back(makeStage("save", 2.0, 0, mib(32)));
+    app.jobs.push_back(first);
+    app.jobs.push_back(second);
+
+    EXPECT_DOUBLE_EQ(app.seconds(), 13.0);
+    EXPECT_EQ(app.allStages().size(), 3u);
+    EXPECT_DOUBLE_EQ(app.secondsForPrefix("iteration"), 11.0);
+    EXPECT_DOUBLE_EQ(app.secondsForPrefix("save"), 2.0);
+    EXPECT_EQ(app.bytesForPrefix("iteration",
+                                 storage::IoOp::ShuffleRead),
+              mib(16));
+    EXPECT_EQ(app.bytesForPrefix("save", storage::IoOp::HdfsWrite),
+              mib(32));
+}
+
+TEST(Metrics, PrefixMatchingIsAnchoredAtStart)
+{
+    AppMetrics app;
+    JobMetrics job;
+    job.stages.push_back(makeStage("preiteration", 3.0, 0, 0));
+    job.stages.push_back(makeStage("iteration", 4.0, 0, 0));
+    app.jobs.push_back(job);
+    EXPECT_DOUBLE_EQ(app.secondsForPrefix("iteration"), 4.0);
+}
+
+TEST(Metrics, EmptyAppIsZero)
+{
+    AppMetrics app;
+    EXPECT_DOUBLE_EQ(app.seconds(), 0.0);
+    EXPECT_TRUE(app.allStages().empty());
+    EXPECT_DOUBLE_EQ(app.secondsForPrefix("x"), 0.0);
+}
+
+} // namespace
+} // namespace doppio::spark

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for JSON metrics export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "dfs/hdfs.h"
+#include "sim/simulator.h"
+#include "spark/metrics_json.h"
+#include "spark/spark_context.h"
+
+namespace doppio::spark {
+namespace {
+
+AppMetrics
+sampleRun()
+{
+    sim::Simulator sim;
+    cluster::Cluster cluster(
+        sim, cluster::ClusterConfig::motivationCluster());
+    dfs::Hdfs hdfs(cluster);
+    hdfs.addFile("input", gib(1));
+    SparkContext context(cluster, hdfs, SparkConf{});
+    RddRef input = context.hadoopFile("input");
+    context.runJob("count", input, ActionSpec::count());
+    AppMetrics metrics = context.metrics();
+    metrics.name = "sample";
+    return metrics;
+}
+
+TEST(MetricsJson, ContainsStructure)
+{
+    const std::string json = metricsJson(sampleRun());
+    EXPECT_NE(json.find("\"app\":\"sample\""), std::string::npos);
+    EXPECT_NE(json.find("\"jobs\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"count\""), std::string::npos);
+    EXPECT_NE(json.find("\"tasks\":8"), std::string::npos);
+    EXPECT_NE(json.find("\"hdfs_read\""), std::string::npos);
+}
+
+TEST(MetricsJson, OmitsIdleOps)
+{
+    const std::string json = metricsJson(sampleRun());
+    EXPECT_EQ(json.find("shuffle_write"), std::string::npos);
+    EXPECT_EQ(json.find("persist_read"), std::string::npos);
+}
+
+TEST(MetricsJson, BalancedBracesAndQuotes)
+{
+    const std::string json = metricsJson(sampleRun());
+    int braces = 0, brackets = 0, quotes = 0;
+    for (char c : json) {
+        if (c == '{')
+            ++braces;
+        if (c == '}')
+            --braces;
+        if (c == '[')
+            ++brackets;
+        if (c == ']')
+            --brackets;
+        if (c == '"')
+            ++quotes;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(MetricsJson, EscapesSpecialCharacters)
+{
+    AppMetrics metrics;
+    metrics.name = "app\"with\\quotes";
+    const std::string json = metricsJson(metrics);
+    EXPECT_NE(json.find("app\\\"with\\\\quotes"), std::string::npos);
+}
+
+TEST(MetricsJson, EmptyApp)
+{
+    AppMetrics metrics;
+    metrics.name = "empty";
+    const std::string json = metricsJson(metrics);
+    EXPECT_EQ(json, "{\"app\":\"empty\",\"seconds\":0,\"jobs\":[]}");
+}
+
+} // namespace
+} // namespace doppio::spark

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Integration test of the headline claim: the model fitted from the
+ * four sample runs predicts unseen (N, P, disk) configurations of the
+ * real workloads with low error (paper: <10% average).
+ *
+ * Uses reduced dataset scales so the suite stays fast; scale factors
+ * do not change the contention regimes being validated.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "model/profiler.h"
+#include "workloads/gatk4.h"
+#include "workloads/svm.h"
+#include "workloads/terasort.h"
+
+namespace doppio::model {
+namespace {
+
+struct Point
+{
+    cluster::HybridConfig hybrid;
+    int cores;
+};
+
+/**
+ * Fit a model from the sample runs, then compare predictions against
+ * full simulations at the evaluation cluster for each test point.
+ * @param extended use the fifth (different-N) sample run, which fits
+ *        the per-node GC/contention term; the paper-base four-run fit
+ *        leaves that term confounded with delta_scale.
+ * @return mean relative error.
+ */
+double
+meanError(const workloads::Workload &workload,
+          const std::vector<Point> &points, bool extended = true)
+{
+    cluster::ClusterConfig base =
+        cluster::ClusterConfig::evaluationCluster();
+    Profiler::Options options;
+    options.fitGc = extended;
+    Profiler profiler(workload.runner(), base, spark::SparkConf{},
+                      options);
+    const AppModel app = profiler.fit(workload.name());
+
+    SummaryStats error;
+    for (const Point &point : points) {
+        cluster::ClusterConfig config = base;
+        config.applyHybrid(point.hybrid);
+        spark::SparkConf conf;
+        conf.executorCores = point.cores;
+        const double measured =
+            workload.run(config, conf).seconds();
+        const PlatformProfile platform = PlatformProfile::fromDisks(
+            config.node.hdfsDisk, config.node.localDisk);
+        const double predicted = app.predictSeconds(
+            config.numSlaves, point.cores, platform);
+        EXPECT_GT(predicted, 0.0);
+        error.add(relativeError(predicted, measured));
+    }
+    return error.mean();
+}
+
+TEST(ModelAccuracy, Gatk4UnderTenPercentAverage)
+{
+    const workloads::Gatk4 gatk4(
+        workloads::Gatk4::Options::scaled(100.0)); // 1/5 scale
+    const std::vector<Point> points = {
+        {cluster::HybridConfig::config1(), 12},
+        {cluster::HybridConfig::config1(), 24},
+        {cluster::HybridConfig::config3(), 12},
+        {cluster::HybridConfig::config3(), 24},
+    };
+    const double error = meanError(gatk4, points);
+    EXPECT_LT(error, 0.10) << "mean relative error " << error;
+}
+
+TEST(ModelAccuracy, ExtendedFitBeatsBaseFitOnGatk4)
+{
+    // Ablation: the paper-base four-run fit confounds per-node GC and
+    // I/O-burst contention with delta_scale, which does not transfer
+    // across node counts; the different-N fifth run separates them.
+    const workloads::Gatk4 gatk4(
+        workloads::Gatk4::Options::scaled(100.0));
+    const std::vector<Point> points = {
+        {cluster::HybridConfig::config1(), 12},
+        {cluster::HybridConfig::config1(), 24},
+        {cluster::HybridConfig::config3(), 12},
+        {cluster::HybridConfig::config3(), 24},
+    };
+    const double base_error = meanError(gatk4, points, false);
+    const double extended_error = meanError(gatk4, points, true);
+    EXPECT_LT(extended_error, base_error);
+}
+
+TEST(ModelAccuracy, SvmUnderTenPercentAverage)
+{
+    workloads::Svm::Options options;
+    options.partitions = 600;
+    options.cachedBytes = gib(41);
+    options.shuffleBytes = gib(85);
+    options.iterations = 5;
+    const workloads::Svm svm(options);
+    const std::vector<Point> points = {
+        {cluster::HybridConfig::config1(), 12},
+        {cluster::HybridConfig::config3(), 24},
+    };
+    const double error = meanError(svm, points);
+    EXPECT_LT(error, 0.10) << "mean relative error " << error;
+}
+
+TEST(ModelAccuracy, TerasortUnderTenPercentAverage)
+{
+    workloads::Terasort::Options options;
+    options.dataBytes = gib(186); // 1/5 scale
+    options.reducers = 186;
+    const workloads::Terasort terasort(options);
+    const std::vector<Point> points = {
+        {cluster::HybridConfig::config1(), 12},
+        {cluster::HybridConfig::config1(), 24},
+        {cluster::HybridConfig::config3(), 12},
+        {cluster::HybridConfig::config3(), 24},
+    };
+    const double error = meanError(terasort, points);
+    EXPECT_LT(error, 0.10) << "mean relative error " << error;
+}
+
+TEST(ModelAccuracy, PredictionsTrackDiskSensitivity)
+{
+    // The model must reproduce who wins and by roughly what factor,
+    // not just absolute times: BR-like stages predicted much slower
+    // on HDD local than SSD local.
+    const workloads::Gatk4 gatk4(
+        workloads::Gatk4::Options::scaled(100.0));
+    cluster::ClusterConfig base =
+        cluster::ClusterConfig::evaluationCluster();
+    Profiler::Options options;
+    options.fitGc = true;
+    Profiler profiler(gatk4.runner(), base, spark::SparkConf{},
+                      options);
+    const AppModel app = profiler.fit("GATK4");
+
+    const PlatformProfile ssd = PlatformProfile::fromDisks(
+        storage::makeSsdParams(), storage::makeSsdParams());
+    const PlatformProfile hdd_local = PlatformProfile::fromDisks(
+        storage::makeSsdParams(), storage::makeHddParams());
+    const double t_ssd = app.predictSeconds(10, 36, ssd);
+    const double t_hdd = app.predictSeconds(10, 36, hdd_local);
+    EXPECT_GT(t_hdd / t_ssd, 3.0);
+}
+
+} // namespace
+} // namespace doppio::model

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the cluster network model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace doppio::net {
+namespace {
+
+TEST(Network, LocalTransferIsImmediate)
+{
+    sim::Simulator sim;
+    Network net(sim, 2, 1000.0);
+    Tick done = 0;
+    net.transfer(0, 0, 1000000, [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(done, 0ULL);
+    EXPECT_EQ(net.remoteBytes(), 0ULL);
+}
+
+TEST(Network, RemoteTransferLimitedByNic)
+{
+    sim::Simulator sim;
+    Network net(sim, 2, 1000.0, 0); // 1000 B/s, no latency
+    Tick done = 0;
+    net.transfer(0, 1, 2000, [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(ticksToSeconds(done), 2.0, 1e-6);
+    EXPECT_EQ(net.remoteBytes(), 2000ULL);
+}
+
+TEST(Network, FixedLatencyApplied)
+{
+    sim::Simulator sim;
+    Network net(sim, 2, 1e9, msToTicks(1.0));
+    Tick done = 0;
+    net.transfer(0, 1, 1, [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_GE(done, msToTicks(1.0));
+}
+
+TEST(Network, IngressContention)
+{
+    // Two senders into the same receiver share its NIC.
+    sim::Simulator sim;
+    Network net(sim, 3, 1000.0, 0);
+    Tick a = 0, b = 0;
+    net.transfer(0, 2, 1000, [&] { a = sim.now(); });
+    net.transfer(1, 2, 1000, [&] { b = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(ticksToSeconds(a), 2.0, 1e-6);
+    EXPECT_NEAR(ticksToSeconds(b), 2.0, 1e-6);
+}
+
+TEST(Network, SeparateReceiversDoNotContend)
+{
+    sim::Simulator sim;
+    Network net(sim, 3, 1000.0, 0);
+    Tick a = 0, b = 0;
+    net.transfer(0, 1, 1000, [&] { a = sim.now(); });
+    net.transfer(0, 2, 1000, [&] { b = sim.now(); });
+    sim.run();
+    // Receiver-side model: both proceed at full rate.
+    EXPECT_NEAR(ticksToSeconds(a), 1.0, 1e-6);
+    EXPECT_NEAR(ticksToSeconds(b), 1.0, 1e-6);
+}
+
+TEST(Network, ZeroByteTransferImmediate)
+{
+    sim::Simulator sim;
+    Network net(sim, 2, 1000.0);
+    bool done = false;
+    net.transfer(0, 1, 0, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Network, InvalidNodesFatal)
+{
+    sim::Simulator sim;
+    Network net(sim, 2, 1000.0);
+    EXPECT_THROW(net.transfer(-1, 0, 1, [] {}), FatalError);
+    EXPECT_THROW(net.transfer(0, 2, 1, [] {}), FatalError);
+}
+
+TEST(Network, InvalidConfigFatal)
+{
+    sim::Simulator sim;
+    EXPECT_THROW(Network(sim, 0, 1000.0), FatalError);
+    EXPECT_THROW(Network(sim, 2, 0.0), FatalError);
+}
+
+TEST(Network, TenGbpsIsNotTheBottleneckForShuffle)
+{
+    // Paper §III-B1: a 10 Gb/s NIC outruns even the SSD shuffle rate.
+    sim::Simulator sim;
+    Network net(sim, 2, gibps(10.0 / 8.0), 0);
+    Tick done = 0;
+    net.transfer(0, 1, gib(1), [&] { done = sim.now(); });
+    sim.run();
+    // 1 GiB at 1.25 GiB/s: 0.8 s, far below the ~2.1 s an SSD needs.
+    EXPECT_NEAR(ticksToSeconds(done), 0.8, 0.01);
+}
+
+} // namespace
+} // namespace doppio::net

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the cloud cost optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cloud/optimizer.h"
+#include "common/logging.h"
+
+namespace doppio::cloud {
+namespace {
+
+constexpr Bytes kGB = 1000ULL * 1000 * 1000;
+
+/**
+ * A hand-built app model resembling GATK4's profile: a GC-ish compute
+ * stage with a large shuffle write, and a shuffle-read-dominated
+ * stage — enough structure that disk size matters up to a knee.
+ */
+model::AppModel
+syntheticApp()
+{
+    model::AppModel app;
+    app.name = "synthetic";
+
+    model::StageModel map;
+    map.name = "map";
+    map.tasks = 976;
+    map.tAvg = 30.0;
+    model::IoComponent write;
+    write.op = storage::IoOp::ShuffleWrite;
+    write.bytes = static_cast<Bytes>(334) * kGB;
+    write.requestSize = 350e6;
+    map.io.push_back(write);
+    app.stages.push_back(map);
+
+    model::StageModel reduce;
+    reduce.name = "reduce";
+    reduce.tasks = 12000;
+    reduce.tAvg = 9.0;
+    model::IoComponent read;
+    read.op = storage::IoOp::ShuffleRead;
+    read.bytes = static_cast<Bytes>(334) * kGB;
+    read.requestSize = 30000.0;
+    reduce.io.push_back(read);
+    app.stages.push_back(reduce);
+    return app;
+}
+
+CostOptimizer
+makeOptimizer()
+{
+    return CostOptimizer(syntheticApp(), GcpPricing{},
+                         CostOptimizer::Options{});
+}
+
+TEST(Optimizer, EvaluateComputesCostFromModelTime)
+{
+    const CostOptimizer opt = makeOptimizer();
+    CloudConfig config;
+    config.workers = 10;
+    config.vcpus = 16;
+    config.hdfsSize = 1000 * kGB;
+    config.localSize = 2000 * kGB;
+    const Evaluation eval = opt.evaluate(config);
+    EXPECT_GT(eval.seconds, 0.0);
+    EXPECT_NEAR(eval.cost,
+                jobCost(config, GcpPricing{}, eval.seconds), 1e-9);
+}
+
+TEST(Optimizer, EvaluateIsDeterministic)
+{
+    const CostOptimizer opt = makeOptimizer();
+    CloudConfig config;
+    config.hdfsSize = 500 * kGB;
+    config.localSize = 500 * kGB;
+    const Evaluation a = opt.evaluate(config);
+    const Evaluation b = opt.evaluate(config);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(Optimizer, BiggerLocalDiskNeverSlower)
+{
+    const CostOptimizer opt = makeOptimizer();
+    CloudConfig base;
+    base.hdfsSize = 1000 * kGB;
+    std::vector<Bytes> sizes;
+    for (Bytes gb = 200; gb <= 3200; gb *= 2)
+        sizes.push_back(gb * kGB);
+    const auto sweep = opt.sweepLocalSize(base, sizes);
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_LE(sweep[i].seconds, sweep[i - 1].seconds * 1.001);
+}
+
+TEST(Optimizer, RuntimeFlattensBeyondIopsKnee)
+{
+    // Fig. 14: past ~2 TB the pd-standard IOPS cap is reached.
+    const CostOptimizer opt = makeOptimizer();
+    CloudConfig base;
+    base.hdfsSize = 1000 * kGB;
+    const auto sweep = opt.sweepLocalSize(
+        base, {2000 * kGB, 4000 * kGB, 8000 * kGB});
+    EXPECT_NEAR(sweep[1].seconds, sweep[0].seconds,
+                sweep[0].seconds * 0.02);
+    EXPECT_NEAR(sweep[2].seconds, sweep[0].seconds,
+                sweep[0].seconds * 0.02);
+}
+
+TEST(Optimizer, CostRisesOnceRuntimeIsFlat)
+{
+    const CostOptimizer opt = makeOptimizer();
+    CloudConfig base;
+    base.hdfsSize = 1000 * kGB;
+    const auto sweep = opt.sweepLocalSize(
+        base, {2000 * kGB, 4000 * kGB, 8000 * kGB});
+    EXPECT_LT(sweep[0].cost, sweep[1].cost);
+    EXPECT_LT(sweep[1].cost, sweep[2].cost);
+}
+
+TEST(Optimizer, OptimizeBeatsReferenceConfigs)
+{
+    const CostOptimizer opt = makeOptimizer();
+    const Evaluation best = opt.optimize();
+    const Evaluation r1 = opt.evaluate(referenceR1());
+    const Evaluation r2 = opt.evaluate(referenceR2());
+    EXPECT_LT(best.cost, r1.cost);
+    EXPECT_LT(best.cost, r2.cost);
+}
+
+TEST(Optimizer, OptimizeReturnsGridMinimum)
+{
+    CostOptimizer::Options options;
+    options.sizeGrid = {500 * kGB, 1000 * kGB, 2000 * kGB};
+    options.localTypes = {CloudDiskType::Standard};
+    const CostOptimizer opt(syntheticApp(), GcpPricing{}, options);
+    const Evaluation best = opt.optimize();
+    for (Bytes hdfs : options.sizeGrid) {
+        for (Bytes local : options.sizeGrid) {
+            CloudConfig config;
+            config.workers = options.workers;
+            config.vcpus = 16;
+            config.hdfsSize = hdfs;
+            config.localSize = local;
+            EXPECT_GE(opt.evaluate(config).cost, best.cost - 1e-9);
+        }
+    }
+}
+
+TEST(Optimizer, SweepHdfsSizeVariesOnlyHdfs)
+{
+    const CostOptimizer opt = makeOptimizer();
+    CloudConfig base;
+    base.localSize = 2000 * kGB;
+    const auto sweep =
+        opt.sweepHdfsSize(base, {500 * kGB, 1000 * kGB});
+    ASSERT_EQ(sweep.size(), 2u);
+    EXPECT_EQ(sweep[0].config.hdfsSize, 500 * kGB);
+    EXPECT_EQ(sweep[1].config.hdfsSize, 1000 * kGB);
+    EXPECT_EQ(sweep[0].config.localSize, 2000 * kGB);
+}
+
+TEST(Optimizer, DefaultGridIsGeometric)
+{
+    const auto grid = CostOptimizer::defaultSizeGrid();
+    ASSERT_GE(grid.size(), 8u);
+    // Strictly increasing, with at most half-octave steps.
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+        const double ratio = static_cast<double>(grid[i]) /
+                             static_cast<double>(grid[i - 1]);
+        EXPECT_GT(ratio, 1.0);
+        EXPECT_LE(ratio, 1.51);
+    }
+    EXPECT_EQ(grid.front(), 100 * kGB);
+    EXPECT_GE(grid.back(), 6400 * kGB);
+}
+
+TEST(Optimizer, InvalidOptionsFatal)
+{
+    CostOptimizer::Options bad;
+    bad.workers = 0;
+    EXPECT_THROW(CostOptimizer(syntheticApp(), GcpPricing{}, bad),
+                 FatalError);
+}
+
+} // namespace
+} // namespace doppio::cloud

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for platform (disk) profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "model/platform_profile.h"
+
+namespace doppio::model {
+namespace {
+
+TEST(PlatformProfile, FromDisksBuildsAllTables)
+{
+    const PlatformProfile p = PlatformProfile::fromDisks(
+        storage::makeSsdParams(), storage::makeHddParams());
+    EXPECT_FALSE(p.hdfsRead.empty());
+    EXPECT_FALSE(p.hdfsWrite.empty());
+    EXPECT_FALSE(p.localRead.empty());
+    EXPECT_FALSE(p.localWrite.empty());
+}
+
+TEST(PlatformProfile, RoutesOpsToCorrectDevice)
+{
+    // SSD on HDFS, HDD on Spark local: shuffle/persist must see HDD
+    // numbers, HDFS ops must see SSD numbers.
+    const PlatformProfile p = PlatformProfile::fromDisks(
+        storage::makeSsdParams(), storage::makeHddParams());
+    const double rs = static_cast<double>(kib(30));
+    const double shuffle =
+        p.bandwidthFor(storage::IoOp::ShuffleRead, rs);
+    const double hdfs = p.bandwidthFor(storage::IoOp::HdfsRead, rs);
+    EXPECT_NEAR(toMiBps(shuffle), 15.0, 2.0);
+    EXPECT_NEAR(toMiBps(hdfs), 480.0, 40.0);
+    EXPECT_NEAR(toMiBps(p.bandwidthFor(storage::IoOp::PersistRead, rs)),
+                15.0, 2.0);
+}
+
+TEST(PlatformProfile, WriteOpsUseWriteTables)
+{
+    const PlatformProfile p = PlatformProfile::fromDisks(
+        storage::makeHddParams(), storage::makeHddParams());
+    const double rs = static_cast<double>(mib(365));
+    EXPECT_NEAR(
+        toMiBps(p.bandwidthFor(storage::IoOp::ShuffleWrite, rs)), 100.0,
+        10.0);
+    EXPECT_NEAR(
+        toMiBps(p.bandwidthFor(storage::IoOp::PersistWrite, rs)), 100.0,
+        10.0);
+    EXPECT_NEAR(toMiBps(p.bandwidthFor(storage::IoOp::HdfsWrite, rs)),
+                100.0, 10.0);
+}
+
+TEST(PlatformProfile, RawOpsAreFatal)
+{
+    const PlatformProfile p = PlatformProfile::fromDisks(
+        storage::makeHddParams(), storage::makeHddParams());
+    EXPECT_THROW(p.bandwidthFor(storage::IoOp::RawRead, 1.0),
+                 FatalError);
+}
+
+TEST(PlatformProfile, BandwidthMonotoneInRequestSize)
+{
+    const PlatformProfile p = PlatformProfile::fromDisks(
+        storage::makeHddParams(), storage::makeHddParams());
+    double prev = 0.0;
+    for (double rs = 4096.0; rs <= 134217728.0; rs *= 2.0) {
+        const double bw =
+            p.bandwidthFor(storage::IoOp::ShuffleRead, rs);
+        EXPECT_GE(bw, prev * 0.99);
+        prev = bw;
+    }
+}
+
+} // namespace
+} // namespace doppio::model

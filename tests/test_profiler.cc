@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the four-sample-run profiler on synthetic workloads with
+ * known ground-truth constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "model/profiler.h"
+#include "workloads/workload.h"
+
+namespace doppio::model {
+namespace {
+
+/** A compute-dominated two-stage app with known task time. */
+class SyntheticCompute : public workloads::Workload
+{
+  public:
+    std::string name() const override { return "SyntheticCompute"; }
+
+  protected:
+    void
+    registerInputs(dfs::Hdfs &hdfs) const override
+    {
+        hdfs.addFile("input", 12 * 128 * kMiB);
+    }
+
+    void
+    execute(spark::SparkContext &context) const override
+    {
+        spark::RddRef input = context.hadoopFile("input");
+        // Pipelined parse keeps per-core HDFS demand low so the
+        // P=1/P=2 sample runs are contention-free, as the methodology
+        // requires (paper sanity check in §VI-1).
+        input->pipelinedCpuPerByte = 7.8e-9; // ~1.05 s per 128 MiB
+        spark::RddRef result =
+            spark::Rdd::narrow("result", {input}, mib(1));
+        result->cpuPerTask = 2.0;
+        context.runJob("compute", result, spark::ActionSpec::count());
+    }
+};
+
+/** A shuffle-heavy app whose reduce side is HDD-bound at high P. */
+class SyntheticShuffle : public workloads::Workload
+{
+  public:
+    std::string name() const override { return "SyntheticShuffle"; }
+
+  protected:
+    void
+    registerInputs(dfs::Hdfs &hdfs) const override
+    {
+        hdfs.addFile("input", 24 * 128 * kMiB);
+    }
+
+    void
+    execute(spark::SparkContext &context) const override
+    {
+        spark::RddRef input = context.hadoopFile("input");
+        input->pipelinedCpuPerByte = 7.8e-9;
+        spark::ShuffleSpec spec;
+        spec.bytes = gib(24);
+        // Enough map-side CPU that a single core does not saturate the
+        // SSD during the P=1/2 sample runs.
+        spec.mapCpuPerByte = 1.0e-8;
+        spark::RddRef grouped = spark::Rdd::shuffled(
+            "grouped", input, 480, gib(24), spec);
+        grouped->pipelinedCpuPerByte = 1.0e-8;
+        grouped->cpuPerInputByte = 2.0e-8;
+        context.runJob("reduce", grouped, spark::ActionSpec::count());
+    }
+};
+
+cluster::ClusterConfig
+baseCluster()
+{
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::motivationCluster();
+    config.taskJitterSigma = 0.0;
+    return config;
+}
+
+TEST(Profiler, RecoversTaskTimeFromTwoSsdRuns)
+{
+    const SyntheticCompute workload;
+    Profiler profiler(workload.runner(), baseCluster(),
+                      spark::SparkConf{});
+    const AppModel app = profiler.fit("synthetic");
+    ASSERT_EQ(app.stages.size(), 1u);
+    const StageModel &stage = app.stages[0];
+    EXPECT_EQ(stage.tasks, 12);
+    // Per-task time = 2.0 s compute + ~1.3 s pipelined 128 MiB SSD
+    // read/parse + dispatch. Tasks in a batch start synchronized, so
+    // their read bursts collide at P=2 and a small part of the read
+    // time lands in delta_scale instead of t_avg.
+    EXPECT_NEAR(stage.tAvg, 3.2, 0.45);
+    EXPECT_LT(stage.deltaScale, 1.5);
+}
+
+TEST(Profiler, CapturesIoComponents)
+{
+    const SyntheticShuffle workload;
+    Profiler profiler(workload.runner(), baseCluster(),
+                      spark::SparkConf{});
+    const AppModel app = profiler.fit("shuffle");
+    ASSERT_EQ(app.stages.size(), 2u);
+
+    const StageModel &map = app.stage("grouped.map");
+    const IoComponent *write = map.findOp(storage::IoOp::ShuffleWrite);
+    ASSERT_NE(write, nullptr);
+    // Per-task division rounds away at most one byte per task.
+    EXPECT_NEAR(static_cast<double>(write->bytes),
+                static_cast<double>(gib(24)), 1000.0);
+    EXPECT_DOUBLE_EQ(write->physicalFactor, 1.0);
+
+    const StageModel &reduce = app.stage("reduce");
+    const IoComponent *read = reduce.findOp(storage::IoOp::ShuffleRead);
+    ASSERT_NE(read, nullptr);
+    EXPECT_NEAR(static_cast<double>(read->bytes),
+                static_cast<double>(gib(24)), 1000.0);
+    // rs = perReducer / mappers = 24 GiB / 480 / 24 ~ 2 MiB.
+    EXPECT_NEAR(read->requestSize, static_cast<double>(gib(24)) / 480 /
+                                       24,
+                1e5);
+    EXPECT_GT(read->soloPhaseSecondsPerTask, 0.0);
+}
+
+TEST(Profiler, HdfsWriteCarriesReplicationFactor)
+{
+    class SaveApp : public workloads::Workload
+    {
+      public:
+        std::string name() const override { return "SaveApp"; }
+
+      protected:
+        void
+        registerInputs(dfs::Hdfs &hdfs) const override
+        {
+            hdfs.addFile("input", 8 * 128 * kMiB);
+        }
+
+        void
+        execute(spark::SparkContext &context) const override
+        {
+            spark::RddRef input = context.hadoopFile("input");
+            spark::RddRef out =
+                spark::Rdd::narrow("out", {input}, gib(1));
+            context.runJob("save", out,
+                           spark::ActionSpec::saveAsHadoopFile(gib(1)));
+        }
+    };
+    const SaveApp workload;
+    Profiler profiler(workload.runner(), baseCluster(),
+                      spark::SparkConf{});
+    const AppModel app = profiler.fit("save");
+    const IoComponent *write =
+        app.stage("save").findOp(storage::IoOp::HdfsWrite);
+    ASSERT_NE(write, nullptr);
+    EXPECT_DOUBLE_EQ(write->physicalFactor, 2.0);
+}
+
+TEST(Profiler, PredictsUnseenConfigurationWithinTolerance)
+{
+    // The headline claim, in miniature: fit on sample runs, predict an
+    // unseen (P, disks) point, compare against simulation.
+    const SyntheticShuffle workload;
+    cluster::ClusterConfig config = baseCluster();
+    Profiler profiler(workload.runner(), config, spark::SparkConf{});
+    const AppModel app = profiler.fit("shuffle");
+
+    // Unseen configuration: P = 8, HDD local.
+    config.applyHybrid(cluster::HybridConfig::config3());
+    spark::SparkConf conf;
+    conf.executorCores = 8;
+    const double measured = workload.run(config, conf).seconds();
+    const PlatformProfile platform = PlatformProfile::fromDisks(
+        storage::makeSsdParams(), storage::makeHddParams());
+    const double predicted = app.predictSeconds(3, 8, platform);
+    EXPECT_LT(relativeError(predicted, measured), 0.15)
+        << "predicted " << predicted << " measured " << measured;
+}
+
+TEST(Profiler, GcExtensionRecoversSensitivity)
+{
+    class GcApp : public workloads::Workload
+    {
+      public:
+        std::string name() const override { return "GcApp"; }
+
+      protected:
+        void
+        registerInputs(dfs::Hdfs &hdfs) const override
+        {
+            hdfs.addFile("input", 24 * 128 * kMiB);
+        }
+
+        void
+        execute(spark::SparkContext &context) const override
+        {
+            spark::RddRef input = context.hadoopFile("input");
+            input->pipelinedCpuPerByte = 7.8e-9;
+            spark::RddRef result =
+                spark::Rdd::narrow("result", {input}, mib(1));
+            result->cpuPerTask = 2.0;
+            result->gcSensitivity = 0.3;
+            context.runJob("compute", result,
+                           spark::ActionSpec::count());
+        }
+    };
+    const GcApp workload;
+    Profiler::Options options;
+    options.fitGc = true;
+    Profiler profiler(workload.runner(), baseCluster(),
+                      spark::SparkConf{}, options);
+    const AppModel app = profiler.fit("gc");
+    // The engine scales only compute by the GC factor while the fit
+    // attributes whole-task time; accept a band around 0.3.
+    EXPECT_GT(app.stages[0].gcSensitivity, 0.15);
+    EXPECT_LT(app.stages[0].gcSensitivity, 0.45);
+}
+
+TEST(Profiler, WithoutGcRunSensitivityStaysZero)
+{
+    const SyntheticCompute workload;
+    Profiler profiler(workload.runner(), baseCluster(),
+                      spark::SparkConf{});
+    const AppModel app = profiler.fit("synthetic");
+    EXPECT_DOUBLE_EQ(app.stages[0].gcSensitivity, 0.0);
+}
+
+TEST(Profiler, NullRunnerFatal)
+{
+    EXPECT_THROW(Profiler(nullptr, baseCluster(), spark::SparkConf{}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace doppio::model

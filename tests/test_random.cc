@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace doppio {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(5.0, 9.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, UniformIntBounded)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(10), 10ULL);
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(15);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, JitterHasUnitMean)
+{
+    // Task-time jitter must not bias stage runtimes.
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.jitter(0.1);
+    EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, JitterZeroSigmaIsExactlyOne)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(rng.jitter(0.0), 1.0);
+}
+
+TEST(Rng, JitterAlwaysPositive)
+{
+    Rng rng(21);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.jitter(0.5), 0.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(23);
+    Rng child = parent.fork();
+    // The child stream must not replay the parent's outputs.
+    Rng parent2(23);
+    parent2.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (child.next() == parent.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkDeterministic)
+{
+    Rng a(25), b(25);
+    Rng ca = a.fork(), cb = b.fork();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
+
+} // namespace
+} // namespace doppio

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the RDD lineage model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "dfs/hdfs.h"
+#include "sim/simulator.h"
+#include "spark/rdd.h"
+
+namespace doppio::spark {
+namespace {
+
+class RddTest : public ::testing::Test
+{
+  protected:
+    RddTest()
+        : cluster_(sim_, cluster::ClusterConfig::motivationCluster()),
+          hdfs_(cluster_)
+    {
+        file_ = hdfs_.addFile("input", gib(1));
+    }
+
+    sim::Simulator sim_;
+    cluster::Cluster cluster_;
+    dfs::Hdfs hdfs_;
+    dfs::FileId file_ = 0;
+};
+
+TEST_F(RddTest, SourcePartitionsEqualBlocks)
+{
+    RddRef rdd = Rdd::source("input", hdfs_, file_);
+    EXPECT_TRUE(rdd->isSource());
+    EXPECT_FALSE(rdd->isShuffled());
+    EXPECT_EQ(rdd->numPartitions, 8); // 1 GiB / 128 MiB
+    EXPECT_EQ(rdd->bytes, gib(1));
+}
+
+TEST_F(RddTest, EmptySourceFileFatal)
+{
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::motivationCluster();
+    sim::Simulator sim;
+    cluster::Cluster cluster(sim, config);
+    dfs::Hdfs hdfs(cluster);
+    const dfs::FileId empty = hdfs.addFile("empty", 0);
+    EXPECT_THROW(Rdd::source("r", hdfs, empty), FatalError);
+}
+
+TEST_F(RddTest, NarrowPreservesPartitions)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    RddRef mapped = Rdd::narrow("mapped", {src}, gib(2));
+    EXPECT_EQ(mapped->numPartitions, src->numPartitions);
+    EXPECT_EQ(mapped->deps.size(), 1u);
+    EXPECT_FALSE(mapped->deps[0].shuffle);
+}
+
+TEST_F(RddTest, UnionSumsPartitions)
+{
+    RddRef a = Rdd::source("input", hdfs_, file_);
+    RddRef b = Rdd::narrow("b", {a}, gib(1));
+    RddRef u = Rdd::narrow("u", {a, b}, gib(2));
+    EXPECT_EQ(u->numPartitions, 16);
+    EXPECT_EQ(u->deps.size(), 2u);
+}
+
+TEST_F(RddTest, NarrowRequiresParents)
+{
+    EXPECT_THROW(Rdd::narrow("x", {}, gib(1)), FatalError);
+    EXPECT_THROW(Rdd::narrow("x", {nullptr}, gib(1)), FatalError);
+}
+
+TEST_F(RddTest, ShuffledStructure)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    ShuffleSpec spec;
+    spec.bytes = gib(4);
+    RddRef grouped = Rdd::shuffled("grouped", src, 100, gib(4), spec);
+    EXPECT_TRUE(grouped->isShuffled());
+    EXPECT_EQ(grouped->numPartitions, 100);
+    EXPECT_EQ(grouped->shuffle.bytes, gib(4));
+}
+
+TEST_F(RddTest, ShuffledValidation)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    ShuffleSpec ok;
+    ok.bytes = gib(1);
+    EXPECT_THROW(Rdd::shuffled("s", nullptr, 10, gib(1), ok),
+                 FatalError);
+    EXPECT_THROW(Rdd::shuffled("s", src, 0, gib(1), ok), FatalError);
+    ShuffleSpec zero;
+    EXPECT_THROW(Rdd::shuffled("s", src, 10, gib(1), zero), FatalError);
+}
+
+TEST_F(RddTest, PersistReturnsSelf)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    RddRef same = src->persist(StorageLevel::MemoryAndDisk);
+    EXPECT_EQ(same.get(), src.get());
+    EXPECT_EQ(src->storageLevel, StorageLevel::MemoryAndDisk);
+}
+
+TEST_F(RddTest, BytesPerPartition)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    EXPECT_EQ(src->bytesPerPartition(), gib(1) / 8);
+}
+
+TEST_F(RddTest, MemoryFootprintDefaultsToExpansion)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    EXPECT_EQ(src->memoryFootprint(3.0), 3 * gib(1));
+    src->memoryBytes = gib(7);
+    EXPECT_EQ(src->memoryFootprint(3.0), gib(7));
+}
+
+TEST_F(RddTest, MapStageNameDefaultsAndOverrides)
+{
+    RddRef src = Rdd::source("input", hdfs_, file_);
+    ShuffleSpec spec;
+    spec.bytes = gib(1);
+    RddRef s1 = Rdd::shuffled("grouped", src, 4, gib(1), spec);
+    EXPECT_EQ(s1->mapStageName(), "grouped.map");
+    spec.mapStageName = "MD";
+    RddRef s2 = Rdd::shuffled("grouped2", src, 4, gib(1), spec);
+    EXPECT_EQ(s2->mapStageName(), "MD");
+}
+
+TEST(StorageLevelTest, Names)
+{
+    EXPECT_STREQ(storageLevelName(StorageLevel::None), "NONE");
+    EXPECT_STREQ(storageLevelName(StorageLevel::MemoryOnly),
+                 "MEMORY_ONLY");
+    EXPECT_STREQ(storageLevelName(StorageLevel::MemoryAndDisk),
+                 "MEMORY_AND_DISK");
+    EXPECT_STREQ(storageLevelName(StorageLevel::DiskOnly), "DISK_ONLY");
+}
+
+} // namespace
+} // namespace doppio::spark

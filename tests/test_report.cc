@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for model report rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/report.h"
+
+namespace doppio::model {
+namespace {
+
+AppModel
+sampleApp()
+{
+    AppModel app;
+    app.name = "SampleApp";
+    StageModel stage;
+    stage.name = "BR";
+    stage.tasks = 12000;
+    stage.tAvg = 9.0;
+    stage.deltaScale = 4.0;
+    IoComponent read;
+    read.op = storage::IoOp::ShuffleRead;
+    read.bytes = gib(334);
+    read.requestSize = 30000.0;
+    read.soloPhaseSecondsPerTask = 0.45;
+    stage.io.push_back(read);
+    app.stages.push_back(stage);
+    return app;
+}
+
+PlatformProfile
+profile()
+{
+    return PlatformProfile::fromDisks(storage::makeSsdParams(),
+                                      storage::makeSsdParams());
+}
+
+TEST(Report, ContainsStageTableAndTotal)
+{
+    const std::string report = reportString(sampleApp(), profile());
+    EXPECT_NE(report.find("SampleApp"), std::string::npos);
+    EXPECT_NE(report.find("BR"), std::string::npos);
+    EXPECT_NE(report.find("t_app"), std::string::npos);
+    EXPECT_NE(report.find("Equation 1"), std::string::npos);
+}
+
+TEST(Report, ContainsIoComponents)
+{
+    const std::string report = reportString(sampleApp(), profile());
+    EXPECT_NE(report.find("shuffle_read"), std::string::npos);
+    EXPECT_NE(report.find("334.0 GB"), std::string::npos);
+    EXPECT_NE(report.find("29.3 KB"), std::string::npos);
+}
+
+TEST(Report, AnalysisSectionOptional)
+{
+    ReportOptions with;
+    with.includeAnalysis = true;
+    ReportOptions without;
+    without.includeAnalysis = false;
+    const std::string a = reportString(sampleApp(), profile(), with);
+    const std::string b =
+        reportString(sampleApp(), profile(), without);
+    EXPECT_NE(a.find("Breakpoint analysis"), std::string::npos);
+    EXPECT_EQ(b.find("Breakpoint analysis"), std::string::npos);
+    EXPECT_LT(b.size(), a.size());
+}
+
+TEST(Report, ReflectsConfiguration)
+{
+    ReportOptions options;
+    options.numNodes = 7;
+    options.cores = 13;
+    const std::string report =
+        reportString(sampleApp(), profile(), options);
+    EXPECT_NE(report.find("N=7"), std::string::npos);
+    EXPECT_NE(report.find("P=13"), std::string::npos);
+}
+
+} // namespace
+} // namespace doppio::model

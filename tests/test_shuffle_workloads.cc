@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Workload tests: the shuffle-heavy applications (TriangleCount,
+ * Terasort) against the paper's §V-B observations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_config.h"
+#include "workloads/terasort.h"
+#include "workloads/triangle_count.h"
+
+namespace doppio::workloads {
+namespace {
+
+cluster::ClusterConfig
+evalCluster(const cluster::HybridConfig &hybrid)
+{
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::evaluationCluster();
+    config.applyHybrid(hybrid);
+    return config;
+}
+
+spark::SparkConf
+defaultConf()
+{
+    spark::SparkConf conf;
+    conf.executorCores = 36;
+    return conf;
+}
+
+TEST(TriangleCountTest, StructureMatchesPaper)
+{
+    TriangleCount tc;
+    const spark::AppMetrics m =
+        tc.run(evalCluster(cluster::HybridConfig::config1()),
+               defaultConf());
+    EXPECT_EQ(m.jobs.size(), 2u);
+    // 49 GB graph cached in memory: the compute job's map stage reads
+    // nothing from HDFS.
+    EXPECT_EQ(m.bytesForPrefix("computeTriangleCount",
+                               storage::IoOp::HdfsRead),
+              0ULL);
+    // 396 GB of shuffle through Spark local.
+    EXPECT_NEAR(toGiB(m.bytesForPrefix("computeTriangleCount",
+                                       storage::IoOp::ShuffleRead)),
+                396.0, 2.0);
+}
+
+TEST(TriangleCountTest, ComputePhaseGapNear6p5x)
+{
+    // Paper Fig. 11: 6.5x between HDD and SSD local.
+    TriangleCount tc;
+    const spark::AppMetrics ssd =
+        tc.run(evalCluster(cluster::HybridConfig::config1()),
+               defaultConf());
+    const spark::AppMetrics hdd =
+        tc.run(evalCluster(cluster::HybridConfig::config3()),
+               defaultConf());
+    const double gap =
+        hdd.secondsForPrefix("computeTriangleCount") /
+        ssd.secondsForPrefix("computeTriangleCount");
+    EXPECT_GT(gap, 5.0);
+    EXPECT_LT(gap, 8.5);
+}
+
+TEST(TriangleCountTest, ShuffleReadChunksAreSmall)
+{
+    TriangleCount tc;
+    const spark::AppMetrics m =
+        tc.run(evalCluster(cluster::HybridConfig::config1()),
+               defaultConf());
+    for (const spark::StageMetrics *stage : m.allStages()) {
+        const auto &read = stage->forOp(storage::IoOp::ShuffleRead);
+        if (read.bytes == 0)
+            continue;
+        // 396 GB / 2400 reducers / 2400 mappers ~ 69 KiB.
+        EXPECT_NEAR(read.avgRequestSize(), 69.0 * 1024.0, 8000.0);
+    }
+}
+
+TEST(TerasortTest, StructureMatchesPaper)
+{
+    Terasort ts;
+    const spark::AppMetrics m =
+        ts.run(evalCluster(cluster::HybridConfig::config1()),
+               defaultConf());
+    ASSERT_EQ(m.jobs.size(), 1u);
+    ASSERT_EQ(m.jobs[0].stages.size(), 2u);
+    EXPECT_EQ(m.jobs[0].stages[0].name, "NF");
+    EXPECT_EQ(m.jobs[0].stages[1].name, "SF");
+    // 930 GB in, 930 GB shuffled each way, 930 GB out.
+    using storage::IoOp;
+    EXPECT_NEAR(toGiB(m.bytesForPrefix("NF", IoOp::HdfsRead)), 930.0,
+                2.0);
+    EXPECT_NEAR(toGiB(m.bytesForPrefix("NF", IoOp::ShuffleWrite)),
+                930.0, 2.0);
+    EXPECT_NEAR(toGiB(m.bytesForPrefix("SF", IoOp::ShuffleRead)),
+                930.0, 2.0);
+    EXPECT_NEAR(toGiB(m.bytesForPrefix("SF", IoOp::HdfsWrite)), 930.0,
+                2.0);
+}
+
+TEST(TerasortTest, LocalDiskGapNear2p6x)
+{
+    // Paper Fig. 12: 2.6x between HDD and SSD local — moderated by
+    // the HDFS traffic that does not change.
+    Terasort ts;
+    const spark::AppMetrics ssd =
+        ts.run(evalCluster(cluster::HybridConfig::config1()),
+               defaultConf());
+    const spark::AppMetrics hdd =
+        ts.run(evalCluster(cluster::HybridConfig::config3()),
+               defaultConf());
+    const double gap = hdd.seconds() / ssd.seconds();
+    EXPECT_GT(gap, 2.0);
+    EXPECT_LT(gap, 3.5);
+}
+
+TEST(TerasortTest, ReducersReadRangesAtModerateChunks)
+{
+    Terasort ts;
+    const spark::AppMetrics m =
+        ts.run(evalCluster(cluster::HybridConfig::config1()),
+               defaultConf());
+    const spark::StageMetrics *sf = m.allStages()[1];
+    // 1 GiB per range / 7440 mappers ~ 134 KiB.
+    EXPECT_NEAR(sf->forOp(storage::IoOp::ShuffleRead).avgRequestSize(),
+                134.0 * 1024.0, 20000.0);
+}
+
+/**
+ * Property: across all four hybrid configurations, Terasort's
+ * end-to-end time orders consistently with disk speed (SSD-local
+ * configs never slower than their HDD-local counterparts).
+ */
+class TerasortHybridSweep
+    : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TerasortHybridSweep, CompletesAndAccountsAllBytes)
+{
+    const cluster::HybridConfig hybrids[] = {
+        cluster::HybridConfig::config1(),
+        cluster::HybridConfig::config2(),
+        cluster::HybridConfig::config3(),
+        cluster::HybridConfig::config4()};
+    Terasort::Options small;
+    small.dataBytes = gib(93);
+    small.reducers = 93;
+    Terasort ts(small);
+    const spark::AppMetrics m = ts.run(
+        evalCluster(hybrids[GetParam()]), defaultConf());
+    EXPECT_NEAR(toGiB(m.bytesForPrefix("SF",
+                                       storage::IoOp::HdfsWrite)),
+                93.0, 1.0);
+    EXPECT_GT(m.seconds(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, TerasortHybridSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+} // namespace
+} // namespace doppio::workloads

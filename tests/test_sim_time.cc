@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the simulated-time representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sim_time.h"
+
+namespace doppio {
+namespace {
+
+TEST(SimTime, TickConstants)
+{
+    EXPECT_EQ(kTicksPerUs, 1000ULL);
+    EXPECT_EQ(kTicksPerMs, 1000000ULL);
+    EXPECT_EQ(kTicksPerSec, 1000000000ULL);
+}
+
+TEST(SimTime, SecondsRoundTrip)
+{
+    EXPECT_EQ(secondsToTicks(1.0), kTicksPerSec);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kTicksPerSec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(secondsToTicks(123.456)), 123.456);
+}
+
+TEST(SimTime, SubSecondConstructors)
+{
+    EXPECT_EQ(msToTicks(2.0), 2 * kTicksPerMs);
+    EXPECT_EQ(usToTicks(80.0), 80 * kTicksPerUs);
+    EXPECT_EQ(msToTicks(0.5), 500 * kTicksPerUs);
+}
+
+TEST(SimTime, RoundsToNearest)
+{
+    EXPECT_EQ(secondsToTicks(1e-9), 1ULL);
+    EXPECT_EQ(secondsToTicks(1.4e-9), 1ULL);
+    EXPECT_EQ(secondsToTicks(1.6e-9), 2ULL);
+}
+
+TEST(SimTime, Minutes)
+{
+    EXPECT_DOUBLE_EQ(ticksToMinutes(secondsToTicks(120.0)), 2.0);
+}
+
+TEST(SimTime, LongSimulationsRepresentable)
+{
+    // A 126-minute GATK4 stage (paper §III-C3) is far below overflow.
+    const Tick t = secondsToTicks(126.0 * 60.0);
+    EXPECT_LT(t, kTickNever / 1000);
+    EXPECT_DOUBLE_EQ(ticksToMinutes(t), 126.0);
+}
+
+TEST(SimTime, FormatDurationAdaptiveUnits)
+{
+    EXPECT_EQ(formatDuration(usToTicks(5.0)), "5.00 us");
+    EXPECT_EQ(formatDuration(msToTicks(2.0)), "2.00 ms");
+    EXPECT_EQ(formatDuration(secondsToTicks(5.0)), "5.00 s");
+    EXPECT_EQ(formatDuration(secondsToTicks(300.0)), "5.0 min");
+}
+
+} // namespace
+} // namespace doppio

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace doppio::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0ULL);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30ULL);
+}
+
+TEST(Simulator, SameTickIsFifo)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(5, [&, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling)
+{
+    Simulator sim;
+    Tick fired_at = 0;
+    sim.schedule(10, [&] {
+        sim.schedule(15, [&] { fired_at = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(fired_at, 25ULL);
+}
+
+TEST(Simulator, CancelPreventsFiring)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.schedule(10, [&] { fired = true; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelOneOfMany)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule(1, [&] { ++count; });
+    const EventId id = sim.schedule(2, [&] { ++count; });
+    sim.schedule(3, [&] { ++count; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PendingEventsAccountsForCancellations)
+{
+    Simulator sim;
+    sim.schedule(1, [] {});
+    const EventId id = sim.schedule(2, [] {});
+    EXPECT_EQ(sim.pendingEvents(), 2u);
+    sim.cancel(id);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(Simulator, RunOneEvent)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule(1, [&] { ++count; });
+    sim.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(sim.runOneEvent());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(sim.runOneEvent());
+    EXPECT_FALSE(sim.runOneEvent());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule(10, [&] { ++count; });
+    sim.schedule(20, [&] { ++count; });
+    sim.schedule(30, [&] { ++count; });
+    sim.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime)
+{
+    Simulator sim;
+    Tick fired_at = 0;
+    sim.scheduleAt(100, [&] { fired_at = sim.now(); });
+    sim.run();
+    EXPECT_EQ(fired_at, 100ULL);
+}
+
+TEST(Simulator, FiredEventsCounter)
+{
+    Simulator sim;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule(static_cast<Tick>(i), [] {});
+    sim.run();
+    EXPECT_EQ(sim.firedEvents(), 5ULL);
+}
+
+TEST(Simulator, ManyEventsStressOrdering)
+{
+    Simulator sim;
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 10000; ++i) {
+        // Pseudo-random delays.
+        const Tick when = static_cast<Tick>((i * 7919) % 1000);
+        sim.scheduleAt(when, [&, when] {
+            if (when < last)
+                monotone = false;
+            last = when;
+        });
+    }
+    sim.run();
+    EXPECT_TRUE(monotone);
+}
+
+} // namespace
+} // namespace doppio::sim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * End-to-end tests for SparkContext job execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "dfs/hdfs.h"
+#include "sim/simulator.h"
+#include "spark/spark_context.h"
+
+namespace doppio::spark {
+namespace {
+
+class SparkContextTest : public ::testing::Test
+{
+  protected:
+    SparkContextTest()
+    {
+        config_ = cluster::ClusterConfig::motivationCluster();
+        config_.taskJitterSigma = 0.0;
+        cluster_ = std::make_unique<cluster::Cluster>(sim_, config_);
+        hdfs_ = std::make_unique<dfs::Hdfs>(*cluster_);
+        hdfs_->addFile("input", gib(1));
+        context_ = std::make_unique<SparkContext>(*cluster_, *hdfs_,
+                                                  SparkConf{});
+    }
+
+    sim::Simulator sim_;
+    cluster::ClusterConfig config_;
+    std::unique_ptr<cluster::Cluster> cluster_;
+    std::unique_ptr<dfs::Hdfs> hdfs_;
+    std::unique_ptr<SparkContext> context_;
+};
+
+TEST_F(SparkContextTest, RunJobRecordsMetrics)
+{
+    RddRef input = context_->hadoopFile("input");
+    const JobMetrics &job =
+        context_->runJob("count", input, ActionSpec::count());
+    EXPECT_EQ(job.name, "count");
+    ASSERT_EQ(job.stages.size(), 1u);
+    EXPECT_EQ(job.stages[0].numTasks, 8);
+    EXPECT_GT(job.seconds(), 0.0);
+    EXPECT_EQ(context_->metrics().jobs.size(), 1u);
+}
+
+TEST_F(SparkContextTest, StagesAdvanceSimulatedTime)
+{
+    RddRef input = context_->hadoopFile("input");
+    context_->runJob("a", input, ActionSpec::count());
+    const Tick after_first = sim_.now();
+    context_->runJob("b", input, ActionSpec::count());
+    EXPECT_GT(sim_.now(), after_first);
+}
+
+TEST_F(SparkContextTest, ShuffleFilesSurviveAcrossJobs)
+{
+    RddRef input = context_->hadoopFile("input");
+    ShuffleSpec spec;
+    spec.bytes = gib(2);
+    RddRef grouped = Rdd::shuffled("grouped", input, 16, gib(2), spec);
+    const JobMetrics &job1 =
+        context_->runJob("first", grouped, ActionSpec::count());
+    EXPECT_EQ(job1.stages.size(), 2u);
+    const JobMetrics &job2 =
+        context_->runJob("second", grouped, ActionSpec::count());
+    // Map stage skipped: one stage, no shuffle write.
+    ASSERT_EQ(job2.stages.size(), 1u);
+    EXPECT_EQ(job2.stages[0].forOp(storage::IoOp::ShuffleWrite).bytes,
+              0ULL);
+    EXPECT_EQ(job2.stages[0].forOp(storage::IoOp::ShuffleRead).bytes,
+              gib(2));
+}
+
+TEST_F(SparkContextTest, CachedRddSkipsHdfsOnSecondJob)
+{
+    RddRef input = context_->hadoopFile("input");
+    RddRef parsed = Rdd::narrow("parsed", {input}, gib(1));
+    parsed->memoryBytes = gib(1);
+    parsed->persist(StorageLevel::MemoryAndDisk);
+    context_->runJob("validate", parsed, ActionSpec::count());
+    const JobMetrics &job =
+        context_->runJob("iterate", parsed, ActionSpec::count());
+    EXPECT_EQ(job.stages[0].forOp(storage::IoOp::HdfsRead).bytes, 0ULL);
+}
+
+TEST_F(SparkContextTest, UnpersistForcesRecompute)
+{
+    RddRef input = context_->hadoopFile("input");
+    RddRef parsed = Rdd::narrow("parsed", {input}, gib(1));
+    parsed->memoryBytes = gib(1);
+    parsed->persist(StorageLevel::MemoryAndDisk);
+    context_->runJob("validate", parsed, ActionSpec::count());
+    context_->unpersist(parsed);
+    const JobMetrics &job =
+        context_->runJob("again", parsed, ActionSpec::count());
+    EXPECT_EQ(job.stages[0].forOp(storage::IoOp::HdfsRead).bytes,
+              gib(1));
+}
+
+TEST_F(SparkContextTest, SaveActionWritesToHdfs)
+{
+    RddRef input = context_->hadoopFile("input");
+    RddRef out = Rdd::narrow("out", {input}, gib(1));
+    context_->runJob("save", out, ActionSpec::saveAsHadoopFile(gib(1)));
+    // Replicated twice at the devices.
+    EXPECT_EQ(hdfs_->physicalBytesWritten(), 2 * gib(1));
+}
+
+TEST_F(SparkContextTest, AppMetricsPrefixHelpers)
+{
+    RddRef input = context_->hadoopFile("input");
+    RddRef iter1 = Rdd::narrow("iteration", {input}, mib(1));
+    RddRef iter2 = Rdd::narrow("iteration", {input}, mib(1));
+    context_->runJob("iteration", iter1, ActionSpec::count());
+    context_->runJob("iteration", iter2, ActionSpec::count());
+    const AppMetrics &m = context_->metrics();
+    EXPECT_EQ(m.allStages().size(), 2u);
+    EXPECT_GT(m.secondsForPrefix("iteration"), 0.0);
+    EXPECT_EQ(m.bytesForPrefix("iteration", storage::IoOp::HdfsRead),
+              2 * gib(1));
+    EXPECT_EQ(m.secondsForPrefix("nonexistent"), 0.0);
+}
+
+TEST_F(SparkContextTest, UnknownFileFatal)
+{
+    EXPECT_THROW(context_->hadoopFile("missing"), FatalError);
+}
+
+TEST_F(SparkContextTest, InvalidConfFatal)
+{
+    SparkConf bad;
+    bad.executorCores = 0;
+    EXPECT_THROW(SparkContext(*cluster_, *hdfs_, bad), FatalError);
+}
+
+} // namespace
+} // namespace doppio::spark

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for straggler injection and speculative execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "dfs/hdfs.h"
+#include "sim/simulator.h"
+#include "spark/task_engine.h"
+
+namespace doppio::spark {
+namespace {
+
+/** Run a compute-only stage and return its makespan in seconds. */
+double
+runStage(double stragglerProbability, bool speculation,
+         int tasks = 144, double taskSeconds = 10.0)
+{
+    sim::Simulator sim;
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::motivationCluster();
+    config.taskJitterSigma = 0.02;
+    config.stragglerProbability = stragglerProbability;
+    config.stragglerSlowdown = 8.0;
+    cluster::Cluster cluster(sim, config);
+    dfs::Hdfs hdfs(cluster);
+    SparkConf conf;
+    conf.executorCores = 12;
+    conf.speculation = speculation;
+    TaskEngine engine(cluster, hdfs, conf);
+    StageSpec stage;
+    stage.name = "compute";
+    stage.groups.push_back(TaskGroupSpec{
+        "g", tasks, {ComputePhaseSpec{taskSeconds}}, 0});
+    return engine.runStage(stage).seconds();
+}
+
+TEST(Speculation, NoStragglersBaseline)
+{
+    // 144 tasks / 36 cores = 4 waves of ~10 s.
+    const double seconds = runStage(0.0, false);
+    EXPECT_NEAR(seconds, 40.0, 3.0);
+}
+
+TEST(Speculation, StragglersInflateMakespan)
+{
+    // An 8x straggler in the last wave stretches the stage toward
+    // 30 + 80 seconds.
+    const double without = runStage(0.05, false);
+    EXPECT_GT(without, 55.0);
+}
+
+TEST(Speculation, SpeculationRecoversMostOfTheLoss)
+{
+    const double baseline = runStage(0.0, false);
+    const double with_stragglers = runStage(0.05, false);
+    const double with_speculation = runStage(0.05, true);
+    EXPECT_LT(with_speculation, with_stragglers);
+    // Recovers at least half of the straggler-induced inflation.
+    EXPECT_LT(with_speculation - baseline,
+              0.5 * (with_stragglers - baseline));
+}
+
+TEST(Speculation, OffByDefault)
+{
+    const SparkConf conf;
+    EXPECT_FALSE(conf.speculation);
+}
+
+TEST(Speculation, NoEffectWithoutStragglers)
+{
+    // With uniform tasks nothing exceeds the multiplier; speculation
+    // must not distort a healthy stage.
+    const double off = runStage(0.0, false);
+    const double on = runStage(0.0, true);
+    EXPECT_NEAR(on, off, off * 0.05);
+}
+
+TEST(Speculation, TaskCountIsExactDespiteExtraAttempts)
+{
+    sim::Simulator sim;
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::motivationCluster();
+    config.stragglerProbability = 0.1;
+    config.stragglerSlowdown = 10.0;
+    cluster::Cluster cluster(sim, config);
+    dfs::Hdfs hdfs(cluster);
+    SparkConf conf;
+    conf.executorCores = 12;
+    conf.speculation = true;
+    TaskEngine engine(cluster, hdfs, conf);
+    StageSpec stage;
+    stage.name = "compute";
+    stage.groups.push_back(TaskGroupSpec{
+        "g", 100, {ComputePhaseSpec{5.0}}, 0});
+    const StageMetrics metrics = engine.runStage(stage);
+    // Each logical task counted exactly once.
+    EXPECT_EQ(metrics.taskDuration.count(), 100ULL);
+}
+
+/** Sweep straggler probabilities: speculation never hurts. */
+class SpeculationSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(SpeculationSweep, NeverWorseThanNoSpeculation)
+{
+    const double p = GetParam();
+    const double off = runStage(p, false);
+    const double on = runStage(p, true);
+    EXPECT_LE(on, off * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, SpeculationSweep,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.10));
+
+} // namespace
+} // namespace doppio::spark

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for Equation 1 (the Doppio analytical model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "model/stage_model.h"
+
+namespace doppio::model {
+namespace {
+
+/** A platform with flat bandwidth tables for exact arithmetic. */
+PlatformProfile
+flatProfile(double hdfsRead, double hdfsWrite, double localRead,
+            double localWrite)
+{
+    PlatformProfile p;
+    p.hdfsRead = LookupTable({{1.0, hdfsRead}, {1e9, hdfsRead}});
+    p.hdfsWrite = LookupTable({{1.0, hdfsWrite}, {1e9, hdfsWrite}});
+    p.localRead = LookupTable({{1.0, localRead}, {1e9, localRead}});
+    p.localWrite = LookupTable({{1.0, localWrite}, {1e9, localWrite}});
+    return p;
+}
+
+StageModel
+scaleOnlyStage()
+{
+    StageModel s;
+    s.name = "compute";
+    s.tasks = 1200;
+    s.tAvg = 9.0;
+    s.deltaScale = 5.0;
+    return s;
+}
+
+TEST(StageModel, ScaleRegime)
+{
+    const PlatformProfile p = flatProfile(1e9, 1e9, 1e9, 1e9);
+    const StagePrediction pred =
+        predictStage(scaleOnlyStage(), 10, 12, p);
+    // M/(N*P)*t_avg + delta = 1200/120*9 + 5 = 95.
+    EXPECT_NEAR(pred.seconds, 95.0, 1e-9);
+    EXPECT_EQ(pred.bottleneck, Bottleneck::ComputeScale);
+}
+
+TEST(StageModel, ScalesWithCoresUntilLimit)
+{
+    const PlatformProfile p = flatProfile(1e9, 1e9, 1e9, 1e9);
+    const StageModel s = scaleOnlyStage();
+    const double t12 = predictStage(s, 10, 12, p).seconds;
+    const double t24 = predictStage(s, 10, 24, p).seconds;
+    // Parallel part halves; delta stays.
+    EXPECT_NEAR(t24 - 5.0, (t12 - 5.0) / 2.0, 1e-9);
+}
+
+TEST(StageModel, ReadLimitRegime)
+{
+    StageModel s = scaleOnlyStage();
+    IoComponent read;
+    read.op = storage::IoOp::ShuffleRead;
+    read.bytes = static_cast<Bytes>(300) * 1000 * 1000 * 1000;
+    read.requestSize = 30000.0;
+    read.delta = 2.0;
+    s.io.push_back(read);
+    // Local read bandwidth 15 MB/s (decimal): limit = 300e9/(10*15e6)
+    // + 2 = 2002 s >> scale term.
+    const PlatformProfile p = flatProfile(1e9, 1e9, 15e6, 1e9);
+    const StagePrediction pred = predictStage(s, 10, 36, p);
+    EXPECT_NEAR(pred.seconds, 2002.0, 1e-6);
+    EXPECT_EQ(pred.bottleneck, Bottleneck::ReadLimit);
+    EXPECT_EQ(pred.limitingOp, storage::IoOp::ShuffleRead);
+    EXPECT_NEAR(pred.tReadLimit, 2002.0, 1e-6);
+}
+
+TEST(StageModel, WriteLimitRegime)
+{
+    StageModel s = scaleOnlyStage();
+    IoComponent write;
+    write.op = storage::IoOp::ShuffleWrite;
+    write.bytes = static_cast<Bytes>(334) * 1000 * 1000 * 1000;
+    write.requestSize = 350e6;
+    s.io.push_back(write);
+    const PlatformProfile p = flatProfile(1e9, 1e9, 1e9, 100e6);
+    // Paper §V-A1 arithmetic: 334 GB / (3 * 100 MB/s) = 1113 s.
+    const StagePrediction pred = predictStage(s, 3, 36, p);
+    EXPECT_NEAR(pred.seconds, 334e9 / (3 * 100e6), 1e-6);
+    EXPECT_EQ(pred.bottleneck, Bottleneck::WriteLimit);
+}
+
+TEST(StageModel, MaxOverComponents)
+{
+    StageModel s = scaleOnlyStage();
+    IoComponent hdfs_read;
+    hdfs_read.op = storage::IoOp::HdfsRead;
+    hdfs_read.bytes = 100e9;
+    hdfs_read.requestSize = 128e6;
+    IoComponent shuffle_read;
+    shuffle_read.op = storage::IoOp::ShuffleRead;
+    shuffle_read.bytes = 334e9;
+    shuffle_read.requestSize = 30000.0;
+    s.io.push_back(hdfs_read);
+    s.io.push_back(shuffle_read);
+    const PlatformProfile p = flatProfile(480e6, 1e9, 15e6, 1e9);
+    const StagePrediction pred = predictStage(s, 3, 36, p);
+    // Shuffle read dominates: 334e9/(3*15e6) = 7422 s.
+    EXPECT_NEAR(pred.seconds, 7422.2, 1.0);
+    EXPECT_EQ(pred.limitingOp, storage::IoOp::ShuffleRead);
+}
+
+TEST(StageModel, PhysicalFactorAmplifiesWrites)
+{
+    StageModel s;
+    s.name = "save";
+    s.tasks = 10;
+    s.tAvg = 0.1;
+    IoComponent write;
+    write.op = storage::IoOp::HdfsWrite;
+    write.bytes = 100e9;
+    write.requestSize = 128e6;
+    write.physicalFactor = 2.0; // dfs.replication
+    s.io.push_back(write);
+    const PlatformProfile p = flatProfile(1e9, 100e6, 1e9, 1e9);
+    const StagePrediction pred = predictStage(s, 10, 16, p);
+    EXPECT_NEAR(pred.seconds, 2.0 * 100e9 / (10 * 100e6), 1e-6);
+}
+
+TEST(StageModel, GcExtensionScalesWithCores)
+{
+    const PlatformProfile p = flatProfile(1e9, 1e9, 1e9, 1e9);
+    StageModel s = scaleOnlyStage();
+    s.gcSensitivity = 1.0;
+    const double t1 = predictStage(s, 10, 1, p).seconds;
+    const double t36 = predictStage(s, 10, 36, p).seconds;
+    // With g=1 the parallel term is P-independent:
+    // M/(N*P)*t*(1+(P-1)) = M/N*t for all P.
+    EXPECT_NEAR(t1 - s.deltaScale, t36 - s.deltaScale, 1e-6);
+}
+
+TEST(StageModel, ZeroByteComponentsIgnored)
+{
+    StageModel s = scaleOnlyStage();
+    IoComponent empty;
+    empty.op = storage::IoOp::ShuffleRead;
+    empty.bytes = 0;
+    s.io.push_back(empty);
+    const PlatformProfile p = flatProfile(1.0, 1.0, 1.0, 1.0);
+    EXPECT_NEAR(predictStage(s, 10, 12, p).seconds, 95.0, 1e-9);
+}
+
+TEST(StageModel, InvalidArgsFatal)
+{
+    const PlatformProfile p = flatProfile(1.0, 1.0, 1.0, 1.0);
+    EXPECT_THROW(predictStage(scaleOnlyStage(), 0, 1, p), FatalError);
+    EXPECT_THROW(predictStage(scaleOnlyStage(), 1, 0, p), FatalError);
+}
+
+TEST(StageModel, FindOp)
+{
+    StageModel s = scaleOnlyStage();
+    IoComponent read;
+    read.op = storage::IoOp::HdfsRead;
+    read.bytes = 1;
+    s.io.push_back(read);
+    EXPECT_NE(s.findOp(storage::IoOp::HdfsRead), nullptr);
+    EXPECT_EQ(s.findOp(storage::IoOp::ShuffleRead), nullptr);
+}
+
+TEST(AppModel, SumsStages)
+{
+    const PlatformProfile p = flatProfile(1e9, 1e9, 1e9, 1e9);
+    AppModel app;
+    app.name = "app";
+    app.stages.push_back(scaleOnlyStage()); // 95 s at N=10, P=12
+    app.stages.push_back(scaleOnlyStage());
+    EXPECT_NEAR(app.predictSeconds(10, 12, p), 190.0, 1e-9);
+}
+
+TEST(AppModel, StageLookup)
+{
+    AppModel app;
+    app.stages.push_back(scaleOnlyStage());
+    EXPECT_EQ(app.stage("compute").tasks, 1200);
+    EXPECT_THROW(app.stage("nope"), FatalError);
+}
+
+TEST(Bottleneck, Names)
+{
+    EXPECT_STREQ(bottleneckName(Bottleneck::ComputeScale), "scale");
+    EXPECT_STREQ(bottleneckName(Bottleneck::ReadLimit), "read-limit");
+    EXPECT_STREQ(bottleneckName(Bottleneck::WriteLimit), "write-limit");
+}
+
+/**
+ * Property sweep: the turning point B. Below B the stage scales with
+ * P; above it the prediction is constant (Fig. 6's three phases).
+ */
+class TurningPoint : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TurningPoint, AboveBAddingCoresDoesNotHelp)
+{
+    StageModel s;
+    s.name = "s";
+    s.tasks = 10000;
+    s.tAvg = 4.0; // per-core shuffle throughput: 27e6/0.45... implied
+    IoComponent read;
+    read.op = storage::IoOp::ShuffleRead;
+    read.bytes = static_cast<Bytes>(10000) * 27 * 1000 * 1000;
+    read.requestSize = 30000.0;
+    s.io.push_back(read);
+    const PlatformProfile p = flatProfile(1e9, 1e9, 120e6, 1e9);
+    const int cores = GetParam();
+    const double t = predictStage(s, 10, cores, p).seconds;
+    const double limit = 10000.0 * 27e6 / (10 * 120e6);
+    EXPECT_GE(t, limit - 1e-9);
+    // Once the scale term falls below the limit, time is pinned at it.
+    const double scale = 10000.0 / (10.0 * cores) * 4.0;
+    if (scale < limit)
+        EXPECT_NEAR(t, limit, 1e-9);
+    else
+        EXPECT_NEAR(t, scale, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreSweep, TurningPoint,
+                         ::testing::Values(1, 2, 4, 8, 12, 18, 24, 36,
+                                           48, 96));
+
+} // namespace
+} // namespace doppio::model

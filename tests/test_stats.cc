@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for streaming summary statistics.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace doppio {
+namespace {
+
+TEST(SummaryStats, EmptyState)
+{
+    SummaryStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.plusError(), 0.0);
+    EXPECT_DOUBLE_EQ(s.minusError(), 0.0);
+}
+
+TEST(SummaryStats, BasicMoments)
+{
+    SummaryStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStats, ErrorBars)
+{
+    // The paper reports mean with +max/-min error bars over five runs.
+    SummaryStats s;
+    for (double x : {10.0, 11.0, 12.0, 13.0, 14.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.plusError(), 2.0);
+    EXPECT_DOUBLE_EQ(s.minusError(), 2.0);
+}
+
+TEST(SummaryStats, MergeMatchesSequential)
+{
+    SummaryStats all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStats, MergeWithEmpty)
+{
+    SummaryStats a, b;
+    a.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(SummaryStats, AddManyMatchesLoop)
+{
+    SummaryStats loop, bulk;
+    for (int i = 0; i < 1000; ++i)
+        loop.add(3.5);
+    bulk.addMany(3.5, 1000);
+    EXPECT_EQ(bulk.count(), loop.count());
+    EXPECT_NEAR(bulk.mean(), loop.mean(), 1e-12);
+    EXPECT_NEAR(bulk.variance(), loop.variance(), 1e-9);
+}
+
+TEST(SummaryStats, AddManyMixed)
+{
+    SummaryStats s;
+    s.addMany(10.0, 3);
+    s.add(20.0);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 12.5);
+    EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(SummaryStats, AddManyZeroIsNoop)
+{
+    SummaryStats s;
+    s.addMany(5.0, 0);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SummaryStats, Reset)
+{
+    SummaryStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RelativeError, Basics)
+{
+    EXPECT_DOUBLE_EQ(relativeError(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(0.0, 0.0), 0.0);
+    EXPECT_TRUE(std::isinf(relativeError(1.0, 0.0)));
+}
+
+} // namespace
+} // namespace doppio

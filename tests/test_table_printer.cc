@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for console table rendering.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table_printer.h"
+
+namespace doppio {
+namespace {
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t;
+    t.setHeader({"stage", "time"});
+    t.addRow({"MD", "15.0"});
+    t.addRow({"BR", "139.99"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("stage"), std::string::npos);
+    EXPECT_NE(out.find("BR"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinter, TitlePrinted)
+{
+    TablePrinter t("Fig 2");
+    t.setHeader({"a"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str().rfind("== Fig 2 ==", 0), 0u);
+}
+
+TEST(TablePrinter, NumFormatsPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(3.14159, 0), "3");
+    EXPECT_EQ(TablePrinter::num(10.0, 1), "10.0");
+}
+
+TEST(TablePrinter, PercentFormats)
+{
+    EXPECT_EQ(TablePrinter::percent(0.057), "5.7%");
+    EXPECT_EQ(TablePrinter::percent(0.5, 0), "50%");
+}
+
+TEST(TablePrinter, RaggedRowsTolerated)
+{
+    TablePrinter t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+TEST(TablePrinter, EmptyTableJustHeader)
+{
+    TablePrinter t;
+    t.setHeader({"only"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+} // namespace
+} // namespace doppio

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the task execution engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "dfs/hdfs.h"
+#include "sim/simulator.h"
+#include "spark/task_engine.h"
+
+namespace doppio::spark {
+namespace {
+
+/** Test fixture with a small deterministic cluster (no jitter). */
+class TaskEngineTest : public ::testing::Test
+{
+  protected:
+    TaskEngineTest() { config_.taskJitterSigma = 0.0; }
+
+    /** Build the runtime lazily so tests can tweak configs first. */
+    void
+    start()
+    {
+        cluster_ =
+            std::make_unique<cluster::Cluster>(sim_, config_);
+        hdfs_ = std::make_unique<dfs::Hdfs>(*cluster_);
+        engine_ = std::make_unique<TaskEngine>(*cluster_, *hdfs_, conf_);
+    }
+
+    static StageSpec
+    computeStage(int tasks, double seconds)
+    {
+        StageSpec stage;
+        stage.name = "compute";
+        stage.groups.push_back(TaskGroupSpec{
+            "g", tasks, {ComputePhaseSpec{seconds}}, 0});
+        return stage;
+    }
+
+    sim::Simulator sim_;
+    cluster::ClusterConfig config_ =
+        cluster::ClusterConfig::motivationCluster();
+    SparkConf conf_;
+    std::unique_ptr<cluster::Cluster> cluster_;
+    std::unique_ptr<dfs::Hdfs> hdfs_;
+    std::unique_ptr<TaskEngine> engine_;
+};
+
+TEST_F(TaskEngineTest, SingleComputeTaskDuration)
+{
+    conf_.executorCores = 1;
+    start();
+    const StageMetrics m = engine_->runStage(computeStage(1, 10.0));
+    EXPECT_EQ(m.numTasks, 1);
+    EXPECT_NEAR(m.seconds(), 10.0 + conf_.taskDispatchOverheadSec,
+                0.01);
+    EXPECT_NEAR(m.taskDuration.mean(), 10.0, 0.1);
+}
+
+TEST_F(TaskEngineTest, PerfectScalingWithCores)
+{
+    // M/(N*P) batches of equal tasks.
+    conf_.executorCores = 4;
+    start();
+    // 24 tasks over 3 nodes x 4 cores = 2 batches.
+    const StageMetrics m = engine_->runStage(computeStage(24, 5.0));
+    EXPECT_NEAR(m.seconds(), 2 * 5.0, 0.2);
+}
+
+TEST_F(TaskEngineTest, EffectiveCoresClampedToNodeCores)
+{
+    conf_.executorCores = 100;
+    start();
+    EXPECT_EQ(engine_->effectiveCores(), 36);
+}
+
+TEST_F(TaskEngineTest, GcSensitivityScalesCompute)
+{
+    conf_.executorCores = 11;
+    start();
+    StageSpec stage = computeStage(33, 1.0);
+    stage.gcSensitivity = 0.5; // factor 1 + 0.5*10 = 6
+    const StageMetrics m = engine_->runStage(stage);
+    EXPECT_NEAR(m.seconds(), 6.0, 0.3);
+}
+
+TEST_F(TaskEngineTest, ReadLimitedStageMatchesEquation)
+{
+    // Many tasks reading 30 KiB chunks from the local HDD: the stage
+    // must take D / (N * BW_eff) with BW_eff ~ 15 MB/s (Eq. 1).
+    config_.applyHybrid(cluster::HybridConfig::config4()); // 2HDD
+    conf_.executorCores = 36;
+    start();
+    StageSpec stage;
+    stage.name = "read";
+    IoPhaseSpec io;
+    io.op = storage::IoOp::PersistRead;
+    io.bytesPerTask = mib(27);
+    io.requestSize = kib(30);
+    stage.groups.push_back(TaskGroupSpec{"g", 300, {io}, 0});
+    const StageMetrics m = engine_->runStage(stage);
+    const double d = 300.0 * static_cast<double>(mib(27));
+    const double expected = d / (3.0 * 15.0 * 1024 * 1024);
+    EXPECT_NEAR(m.seconds(), expected, expected * 0.1);
+}
+
+TEST_F(TaskEngineTest, StageMetricsAccounting)
+{
+    conf_.executorCores = 36;
+    start();
+    StageSpec stage;
+    stage.name = "io";
+    IoPhaseSpec io;
+    io.op = storage::IoOp::ShuffleWrite;
+    io.bytesPerTask = mib(64);
+    io.requestSize = mib(16);
+    io.cpuPerByte = 1e-9; // serialization, recorded as phase time
+    stage.groups.push_back(TaskGroupSpec{"g", 10, {io}, 0});
+    const StageMetrics m = engine_->runStage(stage);
+    const StageIoStats &stats = m.forOp(storage::IoOp::ShuffleWrite);
+    EXPECT_EQ(stats.bytes, 10 * mib(64));
+    EXPECT_EQ(stats.requests, 40ULL);
+    EXPECT_NEAR(stats.avgRequestSize(),
+                static_cast<double>(mib(16)), 1.0);
+    EXPECT_EQ(m.totalBytes(storage::IoKind::Write), 10 * mib(64));
+    EXPECT_EQ(m.totalBytes(storage::IoKind::Read), 0ULL);
+    EXPECT_EQ(stats.phaseSeconds.count(), 10ULL);
+    EXPECT_GT(stats.phaseSeconds.mean(), 0.0);
+}
+
+TEST_F(TaskEngineTest, ShuffleReadSpreadsOverAllNodes)
+{
+    conf_.executorCores = 12;
+    start();
+    StageSpec stage;
+    stage.name = "shuffle";
+    IoPhaseSpec io;
+    io.op = storage::IoOp::ShuffleRead;
+    io.bytesPerTask = mib(27);
+    io.requestSize = kib(30);
+    io.fanIn = 900;
+    stage.groups.push_back(TaskGroupSpec{"g", 90, {io}, 0});
+    engine_->runStage(stage);
+    for (int n = 0; n < 3; ++n) {
+        const Bytes read = cluster_->node(n)
+                               .localDisk()
+                               .stats()
+                               .forOp(storage::IoOp::ShuffleRead)
+                               .bytes;
+        // Roughly a third each.
+        EXPECT_NEAR(static_cast<double>(read),
+                    90.0 * static_cast<double>(mib(27)) / 3.0,
+                    0.1 * 90.0 * static_cast<double>(mib(27)) / 3.0);
+    }
+    // Remote portions crossed the network: ~(N-1)/N of the data.
+    EXPECT_NEAR(static_cast<double>(cluster_->network().remoteBytes()),
+                90.0 * static_cast<double>(mib(27)) * 2.0 / 3.0,
+                0.15 * 90.0 * static_cast<double>(mib(27)));
+}
+
+TEST_F(TaskEngineTest, MultiGroupStageRunsAllTasks)
+{
+    conf_.executorCores = 36;
+    start();
+    StageSpec stage;
+    stage.name = "multi";
+    stage.groups.push_back(TaskGroupSpec{
+        "a", 20, {ComputePhaseSpec{1.0}}, 0});
+    stage.groups.push_back(TaskGroupSpec{
+        "b", 30, {ComputePhaseSpec{0.5}}, 0});
+    const StageMetrics m = engine_->runStage(stage);
+    EXPECT_EQ(m.numTasks, 50);
+    EXPECT_EQ(m.taskDuration.count(), 50ULL);
+}
+
+TEST_F(TaskEngineTest, EmptyPhaseListStillCompletes)
+{
+    conf_.executorCores = 2;
+    start();
+    StageSpec stage;
+    stage.name = "noop";
+    stage.groups.push_back(TaskGroupSpec{"g", 10, {}, 0});
+    const StageMetrics m = engine_->runStage(stage);
+    EXPECT_EQ(m.numTasks, 10);
+    // Just dispatch overhead.
+    EXPECT_LT(m.seconds(), 1.0);
+}
+
+TEST_F(TaskEngineTest, JitterPreservesMeanRuntime)
+{
+    config_.taskJitterSigma = 0.1;
+    conf_.executorCores = 36;
+    start();
+    const StageMetrics m = engine_->runStage(computeStage(360, 2.0));
+    EXPECT_NEAR(m.taskDuration.mean(), 2.0, 0.1);
+    EXPECT_GT(m.taskDuration.stddev(), 0.0);
+}
+
+/**
+ * Property: aggregated-batch mode matches the exact per-chunk
+ * simulation on stage makespan within a few percent, across operation
+ * types (the core equivalence claim of DiskDevice::submitBatch).
+ */
+class IoModeEquivalence
+    : public ::testing::TestWithParam<storage::IoOp>
+{};
+
+TEST_P(IoModeEquivalence, AggregateMatchesExact)
+{
+    const storage::IoOp op = GetParam();
+    auto run = [op](bool aggregate) {
+        sim::Simulator sim;
+        cluster::ClusterConfig config =
+            cluster::ClusterConfig::motivationCluster();
+        config.taskJitterSigma = 0.0;
+        config.applyHybrid(cluster::HybridConfig::config4());
+        cluster::Cluster cluster(sim, config);
+        dfs::Hdfs hdfs(cluster);
+        SparkConf conf;
+        conf.executorCores = 8;
+        conf.aggregateIo = aggregate;
+        TaskEngine engine(cluster, hdfs, conf);
+        StageSpec stage;
+        stage.name = "io";
+        IoPhaseSpec io;
+        io.op = op;
+        io.bytesPerTask = mib(8);
+        io.requestSize = kib(256);
+        io.cpuPerByte = 1e-9;
+        io.fanIn = 64;
+        stage.groups.push_back(TaskGroupSpec{"g", 48, {io}, 0});
+        return engine.runStage(stage).seconds();
+    };
+    const double exact = run(false);
+    const double aggregated = run(true);
+    EXPECT_NEAR(aggregated, exact, exact * 0.15)
+        << "op " << storage::ioOpName(op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, IoModeEquivalence,
+    ::testing::Values(storage::IoOp::HdfsRead, storage::IoOp::HdfsWrite,
+                      storage::IoOp::ShuffleRead,
+                      storage::IoOp::ShuffleWrite,
+                      storage::IoOp::PersistRead,
+                      storage::IoOp::PersistWrite));
+
+} // namespace
+} // namespace doppio::spark

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for byte/bandwidth units and formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace doppio {
+namespace {
+
+TEST(Units, BinaryConstants)
+{
+    EXPECT_EQ(kKiB, 1024ULL);
+    EXPECT_EQ(kMiB, 1024ULL * 1024);
+    EXPECT_EQ(kGiB, 1024ULL * 1024 * 1024);
+    EXPECT_EQ(kTiB, 1024ULL * 1024 * 1024 * 1024);
+}
+
+TEST(Units, Constructors)
+{
+    EXPECT_EQ(kib(4), 4096ULL);
+    EXPECT_EQ(mib(1), kMiB);
+    EXPECT_EQ(gib(2), 2 * kGiB);
+    EXPECT_EQ(tib(1), kTiB);
+    EXPECT_EQ(kib(0.5), 512ULL);
+}
+
+TEST(Units, BandwidthConstructors)
+{
+    EXPECT_DOUBLE_EQ(mibps(480.0), 480.0 * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(gibps(1.25), 1.25 * 1024 * 1024 * 1024);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toMiB(kMiB), 1.0);
+    EXPECT_DOUBLE_EQ(toGiB(gib(334)), 334.0);
+    EXPECT_DOUBLE_EQ(toMiBps(mibps(15.0)), 15.0);
+    EXPECT_NEAR(toGiB(kMiB), 1.0 / 1024.0, 1e-12);
+}
+
+TEST(Units, FormatBytesPicksUnit)
+{
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatBytes(kib(30)), "30.0 KB");
+    EXPECT_EQ(formatBytes(mib(27)), "27.0 MB");
+    EXPECT_EQ(formatBytes(gib(334)), "334.0 GB");
+    EXPECT_EQ(formatBytes(tib(4)), "4.0 TB");
+}
+
+TEST(Units, FormatBytesRoundsToOneDecimal)
+{
+    EXPECT_EQ(formatBytes(kib(1.5)), "1.5 KB");
+    EXPECT_EQ(formatBytes(1536 * kMiB), "1.5 GB");
+}
+
+TEST(Units, FormatBandwidth)
+{
+    EXPECT_EQ(formatBandwidth(mibps(480.0)), "480.0 MB/s");
+    EXPECT_EQ(formatBandwidth(mibps(15.0)), "15.0 MB/s");
+}
+
+TEST(Units, RoundTripLargeSizes)
+{
+    // The paper's dataset sizes survive conversion.
+    const Bytes shuffle = gib(334);
+    EXPECT_DOUBLE_EQ(toGiB(shuffle), 334.0);
+    const Bytes genome20eb = tib(1024) * 20000; // ~20 EB projection
+    EXPECT_GT(genome20eb, shuffle);
+}
+
+} // namespace
+} // namespace doppio

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * doppio — command-line front end to the library.
+ *
+ *   doppio list
+ *       List the bundled workloads.
+ *   doppio run <workload> [--nodes N] [--cores P] [--hdfs T]
+ *              [--local T] [--local-disks K] [--speculate]
+ *              [--trace FILE]
+ *       Simulate a workload and print per-stage metrics.
+ *   doppio profile <workload> [--nodes N] [--cores P] [--hdfs T]
+ *              [--local T]
+ *       Fit the I/O-aware model (extended five-run methodology) and
+ *       print the model report for the given platform.
+ *   doppio fio [--disk T]
+ *       Print the effective-bandwidth sweep for a device.
+ *   doppio optimize [--workers N]
+ *       Profile GATK4 on simulated cloud workers and print the
+ *       cheapest configurations plus the cost/runtime Pareto front.
+ *
+ * Disk types T: hdd, ssd, nvme.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cloud/advisor.h"
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "model/profiler.h"
+#include "model/report.h"
+#include "spark/task_trace.h"
+#include "storage/fio.h"
+#include "workloads/gatk4.h"
+#include "workloads/registry.h"
+
+using namespace doppio;
+
+namespace {
+
+/** Minimal flag parser: --name value and boolean --name. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i)
+            tokens_.emplace_back(argv[i]);
+    }
+
+    std::string
+    value(const std::string &flag, const std::string &fallback) const
+    {
+        for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+            if (tokens_[i] == flag)
+                return tokens_[i + 1];
+        }
+        return fallback;
+    }
+
+    int
+    intValue(const std::string &flag, int fallback) const
+    {
+        const std::string v = value(flag, "");
+        return v.empty() ? fallback : std::atoi(v.c_str());
+    }
+
+    bool
+    has(const std::string &flag) const
+    {
+        for (const std::string &token : tokens_) {
+            if (token == flag)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::vector<std::string> tokens_;
+};
+
+storage::DiskParams
+diskByName(const std::string &name)
+{
+    if (name == "hdd")
+        return storage::makeHddParams();
+    if (name == "ssd")
+        return storage::makeSsdParams();
+    if (name == "nvme")
+        return storage::makeNvmeParams();
+    fatal("unknown disk type '%s' (hdd|ssd|nvme)", name.c_str());
+}
+
+cluster::ClusterConfig
+clusterFromArgs(const Args &args)
+{
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::evaluationCluster();
+    config.numSlaves = args.intValue("--nodes", config.numSlaves);
+    config.node.hdfsDisk = diskByName(args.value("--hdfs", "ssd"));
+    config.node.localDisk = diskByName(args.value("--local", "ssd"));
+    config.node.localDiskCount = args.intValue("--local-disks", 1);
+    return config;
+}
+
+int
+cmdList()
+{
+    for (const std::string &name : workloads::registeredWorkloads())
+        std::cout << name << "\n";
+    return 0;
+}
+
+int
+cmdRun(const std::string &name, const Args &args)
+{
+    const auto workload = workloads::makeWorkload(name);
+    const cluster::ClusterConfig config = clusterFromArgs(args);
+    spark::SparkConf conf;
+    conf.executorCores = args.intValue("--cores", 36);
+    conf.speculation = args.has("--speculate");
+
+    spark::TaskTrace trace;
+    const std::string trace_path = args.value("--trace", "");
+    const spark::AppMetrics metrics = workload->run(
+        config, conf, trace_path.empty() ? nullptr : &trace);
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out)
+            fatal("cannot open trace file '%s'", trace_path.c_str());
+        trace.writeCsv(out);
+        std::cout << "wrote " << trace.size() << " task records to "
+                  << trace_path << "\n";
+    }
+
+    TablePrinter table(workload->name() + " on " +
+                       std::to_string(config.numSlaves) + " slaves, P=" +
+                       std::to_string(conf.executorCores));
+    table.setHeader({"stage", "tasks", "duration", "read", "write"});
+    for (const spark::StageMetrics *stage : metrics.allStages()) {
+        table.addRow(
+            {stage->name, std::to_string(stage->numTasks),
+             formatDuration(stage->endTick - stage->startTick),
+             formatBytes(stage->totalBytes(storage::IoKind::Read)),
+             formatBytes(stage->totalBytes(storage::IoKind::Write))});
+    }
+    table.print(std::cout);
+    std::cout << "total: "
+              << formatDuration(secondsToTicks(metrics.seconds()))
+              << "\n";
+    return 0;
+}
+
+int
+cmdProfile(const std::string &name, const Args &args)
+{
+    const auto workload = workloads::makeWorkload(name);
+    const cluster::ClusterConfig config = clusterFromArgs(args);
+    model::Profiler::Options options;
+    options.fitGc = true;
+    options.sampleNodes = config.numSlaves;
+    options.gcNodes = config.numSlaves + 1;
+    model::Profiler profiler(workload->runner(), config,
+                             spark::SparkConf{}, options);
+    const model::AppModel app = profiler.fit(workload->name());
+
+    model::ReportOptions report;
+    report.numNodes = config.numSlaves;
+    report.cores = args.intValue("--cores", 36);
+    model::writeReport(std::cout, app,
+                       model::PlatformProfile::fromNode(config.node),
+                       report);
+    return 0;
+}
+
+int
+cmdFio(const Args &args)
+{
+    const storage::DiskParams params =
+        diskByName(args.value("--disk", "hdd"));
+    const storage::FioProfiler profiler(params);
+    TablePrinter table("Effective bandwidth, " + params.model);
+    table.setHeader({"request size", "read", "write", "read IOPS"});
+    for (Bytes rs : storage::FioProfiler::defaultSweepSizes()) {
+        const auto read = profiler.measure(storage::IoKind::Read, rs);
+        const auto write = profiler.measure(storage::IoKind::Write, rs);
+        table.addRow({formatBytes(rs), formatBandwidth(read.bandwidth),
+                      formatBandwidth(write.bandwidth),
+                      TablePrinter::num(read.iops, 0)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdOptimize(const Args &args)
+{
+    const workloads::Gatk4 gatk4;
+    const int workers = args.intValue("--workers", 10);
+    constexpr Bytes kGB = 1000ULL * 1000 * 1000;
+
+    cluster::ClusterConfig config;
+    config.numSlaves = workers;
+    config.node.cores = 16;
+    config.node.hdfsDisk = cloud::makeCloudDiskParams(
+        cloud::CloudDiskType::Standard, 1000 * kGB);
+    config.node.localDisk = cloud::makeCloudDiskParams(
+        cloud::CloudDiskType::Standard, 2000 * kGB);
+
+    model::Profiler::Options options;
+    options.fitGc = true;
+    options.highCores = 16;
+    options.ssd =
+        cloud::makeCloudDiskParams(cloud::CloudDiskType::Ssd,
+                                   500 * kGB);
+    options.hdd = cloud::makeCloudDiskParams(
+        cloud::CloudDiskType::Standard, 500 * kGB);
+    model::Profiler profiler(gatk4.runner(), config,
+                             spark::SparkConf{}, options);
+    const model::AppModel app = profiler.fit("GATK4");
+
+    cloud::CostOptimizer::Options search;
+    search.workers = workers;
+    const cloud::CostOptimizer optimizer(app, cloud::GcpPricing{},
+                                         search);
+    const cloud::Advisor advisor(optimizer);
+
+    const cloud::Evaluation best = optimizer.optimize();
+    std::cout << "cheapest: " << best.config.describe() << "  $"
+              << TablePrinter::num(best.cost, 2) << " in "
+              << TablePrinter::num(best.seconds / 60.0, 1) << " min\n\n";
+
+    TablePrinter table("Runtime/cost Pareto frontier");
+    table.setHeader({"configuration", "runtime (min)", "cost ($)"});
+    for (const cloud::Evaluation &eval : advisor.paretoFrontier()) {
+        table.addRow({eval.config.describe(),
+                      TablePrinter::num(eval.seconds / 60.0, 1),
+                      TablePrinter::num(eval.cost, 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: doppio <command> [options]\n"
+           "  list                          list bundled workloads\n"
+           "  run <workload> [options]      simulate and print stages\n"
+           "  profile <workload> [options]  fit and report the model\n"
+           "  fio [--disk hdd|ssd|nvme]     bandwidth sweep\n"
+           "  optimize [--workers N]        cloud cost optimization\n"
+           "options: --nodes N --cores P --hdfs T --local T\n"
+           "         --local-disks K --speculate\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "list")
+            return cmdList();
+        if (command == "fio")
+            return cmdFio(Args(argc, argv, 2));
+        if (command == "optimize")
+            return cmdOptimize(Args(argc, argv, 2));
+        if ((command == "run" || command == "profile") && argc >= 3)
+            return command == "run"
+                       ? cmdRun(argv[2], Args(argc, argv, 3))
+                       : cmdProfile(argv[2], Args(argc, argv, 3));
+    } catch (const FatalError &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
