@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_storage_future.dir/ext_storage_future.cpp.o"
+  "CMakeFiles/ext_storage_future.dir/ext_storage_future.cpp.o.d"
+  "ext_storage_future"
+  "ext_storage_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_storage_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_gatk4_stage_runtime.dir/fig02_gatk4_stage_runtime.cpp.o"
+  "CMakeFiles/fig02_gatk4_stage_runtime.dir/fig02_gatk4_stage_runtime.cpp.o.d"
+  "fig02_gatk4_stage_runtime"
+  "fig02_gatk4_stage_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_gatk4_stage_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_gatk4_stage_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_gatk4_core_scaling.dir/fig03_gatk4_core_scaling.cpp.o"
+  "CMakeFiles/fig03_gatk4_core_scaling.dir/fig03_gatk4_core_scaling.cpp.o.d"
+  "fig03_gatk4_core_scaling"
+  "fig03_gatk4_core_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_gatk4_core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_effective_bandwidth.dir/fig05_effective_bandwidth.cpp.o"
+  "CMakeFiles/fig05_effective_bandwidth.dir/fig05_effective_bandwidth.cpp.o.d"
+  "fig05_effective_bandwidth"
+  "fig05_effective_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_effective_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_execution_phases.dir/fig06_execution_phases.cpp.o"
+  "CMakeFiles/fig06_execution_phases.dir/fig06_execution_phases.cpp.o.d"
+  "fig06_execution_phases"
+  "fig06_execution_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_execution_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

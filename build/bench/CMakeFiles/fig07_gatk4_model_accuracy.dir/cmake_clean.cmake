@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_gatk4_model_accuracy.dir/fig07_gatk4_model_accuracy.cpp.o"
+  "CMakeFiles/fig07_gatk4_model_accuracy.dir/fig07_gatk4_model_accuracy.cpp.o.d"
+  "fig07_gatk4_model_accuracy"
+  "fig07_gatk4_model_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_gatk4_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_logistic_regression.dir/fig08_logistic_regression.cpp.o"
+  "CMakeFiles/fig08_logistic_regression.dir/fig08_logistic_regression.cpp.o.d"
+  "fig08_logistic_regression"
+  "fig08_logistic_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_logistic_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_svm.dir/fig09_svm.cpp.o"
+  "CMakeFiles/fig09_svm.dir/fig09_svm.cpp.o.d"
+  "fig09_svm"
+  "fig09_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pagerank.dir/fig10_pagerank.cpp.o"
+  "CMakeFiles/fig10_pagerank.dir/fig10_pagerank.cpp.o.d"
+  "fig10_pagerank"
+  "fig10_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

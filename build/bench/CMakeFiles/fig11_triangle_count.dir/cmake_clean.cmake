@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_triangle_count.dir/fig11_triangle_count.cpp.o"
+  "CMakeFiles/fig11_triangle_count.dir/fig11_triangle_count.cpp.o.d"
+  "fig11_triangle_count"
+  "fig11_triangle_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_triangle_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

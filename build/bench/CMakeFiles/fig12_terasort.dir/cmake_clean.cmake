@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_terasort.dir/fig12_terasort.cpp.o"
+  "CMakeFiles/fig12_terasort.dir/fig12_terasort.cpp.o.d"
+  "fig12_terasort"
+  "fig12_terasort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_terasort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cost_hdd.dir/fig13_cost_hdd.cpp.o"
+  "CMakeFiles/fig13_cost_hdd.dir/fig13_cost_hdd.cpp.o.d"
+  "fig13_cost_hdd"
+  "fig13_cost_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cost_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

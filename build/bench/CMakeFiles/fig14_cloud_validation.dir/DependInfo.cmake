@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_cloud_validation.cpp" "bench/CMakeFiles/fig14_cloud_validation.dir/fig14_cloud_validation.cpp.o" "gcc" "bench/CMakeFiles/fig14_cloud_validation.dir/fig14_cloud_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/doppio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/doppio_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/doppio_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/doppio_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/doppio_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/doppio_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/doppio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/doppio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/doppio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/doppio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cloud_validation.dir/fig14_cloud_validation.cpp.o"
+  "CMakeFiles/fig14_cloud_validation.dir/fig14_cloud_validation.cpp.o.d"
+  "fig14_cloud_validation"
+  "fig14_cloud_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cloud_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_cloud_validation.
+# This may be replaced when dependencies are built.

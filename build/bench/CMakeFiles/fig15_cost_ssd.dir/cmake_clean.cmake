@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cost_ssd.dir/fig15_cost_ssd.cpp.o"
+  "CMakeFiles/fig15_cost_ssd.dir/fig15_cost_ssd.cpp.o.d"
+  "fig15_cost_ssd"
+  "fig15_cost_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cost_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab04_gatk4_io_sizes.
+# This may be replaced when dependencies are built.

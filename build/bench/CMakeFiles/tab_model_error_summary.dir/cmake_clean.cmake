@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_model_error_summary.dir/tab_model_error_summary.cpp.o"
+  "CMakeFiles/tab_model_error_summary.dir/tab_model_error_summary.cpp.o.d"
+  "tab_model_error_summary"
+  "tab_model_error_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_model_error_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gatk4_pipeline.dir/gatk4_pipeline.cpp.o"
+  "CMakeFiles/gatk4_pipeline.dir/gatk4_pipeline.cpp.o.d"
+  "gatk4_pipeline"
+  "gatk4_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gatk4_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_scaling.dir/whatif_scaling.cpp.o"
+  "CMakeFiles/whatif_scaling.dir/whatif_scaling.cpp.o.d"
+  "whatif_scaling"
+  "whatif_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_cloud.dir/advisor.cc.o"
+  "CMakeFiles/doppio_cloud.dir/advisor.cc.o.d"
+  "CMakeFiles/doppio_cloud.dir/gcp_disk.cc.o"
+  "CMakeFiles/doppio_cloud.dir/gcp_disk.cc.o.d"
+  "CMakeFiles/doppio_cloud.dir/optimizer.cc.o"
+  "CMakeFiles/doppio_cloud.dir/optimizer.cc.o.d"
+  "CMakeFiles/doppio_cloud.dir/pricing.cc.o"
+  "CMakeFiles/doppio_cloud.dir/pricing.cc.o.d"
+  "libdoppio_cloud.a"
+  "libdoppio_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_cluster.dir/cluster.cc.o"
+  "CMakeFiles/doppio_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/doppio_cluster.dir/cluster_config.cc.o"
+  "CMakeFiles/doppio_cluster.dir/cluster_config.cc.o.d"
+  "libdoppio_cluster.a"
+  "libdoppio_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

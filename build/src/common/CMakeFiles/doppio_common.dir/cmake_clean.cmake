@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_common.dir/logging.cc.o"
+  "CMakeFiles/doppio_common.dir/logging.cc.o.d"
+  "CMakeFiles/doppio_common.dir/lookup_table.cc.o"
+  "CMakeFiles/doppio_common.dir/lookup_table.cc.o.d"
+  "CMakeFiles/doppio_common.dir/random.cc.o"
+  "CMakeFiles/doppio_common.dir/random.cc.o.d"
+  "CMakeFiles/doppio_common.dir/sim_time.cc.o"
+  "CMakeFiles/doppio_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/doppio_common.dir/stats.cc.o"
+  "CMakeFiles/doppio_common.dir/stats.cc.o.d"
+  "CMakeFiles/doppio_common.dir/table_printer.cc.o"
+  "CMakeFiles/doppio_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/doppio_common.dir/units.cc.o"
+  "CMakeFiles/doppio_common.dir/units.cc.o.d"
+  "libdoppio_common.a"
+  "libdoppio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

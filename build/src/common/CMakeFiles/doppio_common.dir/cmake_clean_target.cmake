@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdoppio_common.a"
+)

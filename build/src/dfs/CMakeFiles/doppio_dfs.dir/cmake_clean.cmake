@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_dfs.dir/hdfs.cc.o"
+  "CMakeFiles/doppio_dfs.dir/hdfs.cc.o.d"
+  "libdoppio_dfs.a"
+  "libdoppio_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/analyzer.cc" "src/model/CMakeFiles/doppio_model.dir/analyzer.cc.o" "gcc" "src/model/CMakeFiles/doppio_model.dir/analyzer.cc.o.d"
+  "/root/repo/src/model/ernest_baseline.cc" "src/model/CMakeFiles/doppio_model.dir/ernest_baseline.cc.o" "gcc" "src/model/CMakeFiles/doppio_model.dir/ernest_baseline.cc.o.d"
+  "/root/repo/src/model/job_scheduler.cc" "src/model/CMakeFiles/doppio_model.dir/job_scheduler.cc.o" "gcc" "src/model/CMakeFiles/doppio_model.dir/job_scheduler.cc.o.d"
+  "/root/repo/src/model/platform_profile.cc" "src/model/CMakeFiles/doppio_model.dir/platform_profile.cc.o" "gcc" "src/model/CMakeFiles/doppio_model.dir/platform_profile.cc.o.d"
+  "/root/repo/src/model/profiler.cc" "src/model/CMakeFiles/doppio_model.dir/profiler.cc.o" "gcc" "src/model/CMakeFiles/doppio_model.dir/profiler.cc.o.d"
+  "/root/repo/src/model/report.cc" "src/model/CMakeFiles/doppio_model.dir/report.cc.o" "gcc" "src/model/CMakeFiles/doppio_model.dir/report.cc.o.d"
+  "/root/repo/src/model/stage_model.cc" "src/model/CMakeFiles/doppio_model.dir/stage_model.cc.o" "gcc" "src/model/CMakeFiles/doppio_model.dir/stage_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/doppio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/doppio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/doppio_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/doppio_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/doppio_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/doppio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/doppio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_model.dir/analyzer.cc.o"
+  "CMakeFiles/doppio_model.dir/analyzer.cc.o.d"
+  "CMakeFiles/doppio_model.dir/ernest_baseline.cc.o"
+  "CMakeFiles/doppio_model.dir/ernest_baseline.cc.o.d"
+  "CMakeFiles/doppio_model.dir/job_scheduler.cc.o"
+  "CMakeFiles/doppio_model.dir/job_scheduler.cc.o.d"
+  "CMakeFiles/doppio_model.dir/platform_profile.cc.o"
+  "CMakeFiles/doppio_model.dir/platform_profile.cc.o.d"
+  "CMakeFiles/doppio_model.dir/profiler.cc.o"
+  "CMakeFiles/doppio_model.dir/profiler.cc.o.d"
+  "CMakeFiles/doppio_model.dir/report.cc.o"
+  "CMakeFiles/doppio_model.dir/report.cc.o.d"
+  "CMakeFiles/doppio_model.dir/stage_model.cc.o"
+  "CMakeFiles/doppio_model.dir/stage_model.cc.o.d"
+  "libdoppio_model.a"
+  "libdoppio_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

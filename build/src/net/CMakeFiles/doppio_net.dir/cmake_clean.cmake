@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_net.dir/network.cc.o"
+  "CMakeFiles/doppio_net.dir/network.cc.o.d"
+  "libdoppio_net.a"
+  "libdoppio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

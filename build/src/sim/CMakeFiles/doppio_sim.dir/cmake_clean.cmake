@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_sim.dir/fluid_pipe.cc.o"
+  "CMakeFiles/doppio_sim.dir/fluid_pipe.cc.o.d"
+  "CMakeFiles/doppio_sim.dir/simulator.cc.o"
+  "CMakeFiles/doppio_sim.dir/simulator.cc.o.d"
+  "libdoppio_sim.a"
+  "libdoppio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdoppio_sim.a"
+)

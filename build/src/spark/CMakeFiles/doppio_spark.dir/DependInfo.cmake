@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spark/block_manager.cc" "src/spark/CMakeFiles/doppio_spark.dir/block_manager.cc.o" "gcc" "src/spark/CMakeFiles/doppio_spark.dir/block_manager.cc.o.d"
+  "/root/repo/src/spark/dag_scheduler.cc" "src/spark/CMakeFiles/doppio_spark.dir/dag_scheduler.cc.o" "gcc" "src/spark/CMakeFiles/doppio_spark.dir/dag_scheduler.cc.o.d"
+  "/root/repo/src/spark/metrics.cc" "src/spark/CMakeFiles/doppio_spark.dir/metrics.cc.o" "gcc" "src/spark/CMakeFiles/doppio_spark.dir/metrics.cc.o.d"
+  "/root/repo/src/spark/metrics_json.cc" "src/spark/CMakeFiles/doppio_spark.dir/metrics_json.cc.o" "gcc" "src/spark/CMakeFiles/doppio_spark.dir/metrics_json.cc.o.d"
+  "/root/repo/src/spark/rdd.cc" "src/spark/CMakeFiles/doppio_spark.dir/rdd.cc.o" "gcc" "src/spark/CMakeFiles/doppio_spark.dir/rdd.cc.o.d"
+  "/root/repo/src/spark/spark_context.cc" "src/spark/CMakeFiles/doppio_spark.dir/spark_context.cc.o" "gcc" "src/spark/CMakeFiles/doppio_spark.dir/spark_context.cc.o.d"
+  "/root/repo/src/spark/task_engine.cc" "src/spark/CMakeFiles/doppio_spark.dir/task_engine.cc.o" "gcc" "src/spark/CMakeFiles/doppio_spark.dir/task_engine.cc.o.d"
+  "/root/repo/src/spark/task_trace.cc" "src/spark/CMakeFiles/doppio_spark.dir/task_trace.cc.o" "gcc" "src/spark/CMakeFiles/doppio_spark.dir/task_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/doppio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/doppio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/doppio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/doppio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/doppio_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/doppio_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_spark.dir/block_manager.cc.o"
+  "CMakeFiles/doppio_spark.dir/block_manager.cc.o.d"
+  "CMakeFiles/doppio_spark.dir/dag_scheduler.cc.o"
+  "CMakeFiles/doppio_spark.dir/dag_scheduler.cc.o.d"
+  "CMakeFiles/doppio_spark.dir/metrics.cc.o"
+  "CMakeFiles/doppio_spark.dir/metrics.cc.o.d"
+  "CMakeFiles/doppio_spark.dir/metrics_json.cc.o"
+  "CMakeFiles/doppio_spark.dir/metrics_json.cc.o.d"
+  "CMakeFiles/doppio_spark.dir/rdd.cc.o"
+  "CMakeFiles/doppio_spark.dir/rdd.cc.o.d"
+  "CMakeFiles/doppio_spark.dir/spark_context.cc.o"
+  "CMakeFiles/doppio_spark.dir/spark_context.cc.o.d"
+  "CMakeFiles/doppio_spark.dir/task_engine.cc.o"
+  "CMakeFiles/doppio_spark.dir/task_engine.cc.o.d"
+  "CMakeFiles/doppio_spark.dir/task_trace.cc.o"
+  "CMakeFiles/doppio_spark.dir/task_trace.cc.o.d"
+  "libdoppio_spark.a"
+  "libdoppio_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_device.cc" "src/storage/CMakeFiles/doppio_storage.dir/disk_device.cc.o" "gcc" "src/storage/CMakeFiles/doppio_storage.dir/disk_device.cc.o.d"
+  "/root/repo/src/storage/disk_params.cc" "src/storage/CMakeFiles/doppio_storage.dir/disk_params.cc.o" "gcc" "src/storage/CMakeFiles/doppio_storage.dir/disk_params.cc.o.d"
+  "/root/repo/src/storage/disk_stats.cc" "src/storage/CMakeFiles/doppio_storage.dir/disk_stats.cc.o" "gcc" "src/storage/CMakeFiles/doppio_storage.dir/disk_stats.cc.o.d"
+  "/root/repo/src/storage/fio.cc" "src/storage/CMakeFiles/doppio_storage.dir/fio.cc.o" "gcc" "src/storage/CMakeFiles/doppio_storage.dir/fio.cc.o.d"
+  "/root/repo/src/storage/io_request.cc" "src/storage/CMakeFiles/doppio_storage.dir/io_request.cc.o" "gcc" "src/storage/CMakeFiles/doppio_storage.dir/io_request.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/doppio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/doppio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

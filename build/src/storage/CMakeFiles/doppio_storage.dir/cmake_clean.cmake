@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_storage.dir/disk_device.cc.o"
+  "CMakeFiles/doppio_storage.dir/disk_device.cc.o.d"
+  "CMakeFiles/doppio_storage.dir/disk_params.cc.o"
+  "CMakeFiles/doppio_storage.dir/disk_params.cc.o.d"
+  "CMakeFiles/doppio_storage.dir/disk_stats.cc.o"
+  "CMakeFiles/doppio_storage.dir/disk_stats.cc.o.d"
+  "CMakeFiles/doppio_storage.dir/fio.cc.o"
+  "CMakeFiles/doppio_storage.dir/fio.cc.o.d"
+  "CMakeFiles/doppio_storage.dir/io_request.cc.o"
+  "CMakeFiles/doppio_storage.dir/io_request.cc.o.d"
+  "libdoppio_storage.a"
+  "libdoppio_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

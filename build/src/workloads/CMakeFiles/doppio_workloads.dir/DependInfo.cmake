@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gatk4.cc" "src/workloads/CMakeFiles/doppio_workloads.dir/gatk4.cc.o" "gcc" "src/workloads/CMakeFiles/doppio_workloads.dir/gatk4.cc.o.d"
+  "/root/repo/src/workloads/logistic_regression.cc" "src/workloads/CMakeFiles/doppio_workloads.dir/logistic_regression.cc.o" "gcc" "src/workloads/CMakeFiles/doppio_workloads.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/workloads/CMakeFiles/doppio_workloads.dir/pagerank.cc.o" "gcc" "src/workloads/CMakeFiles/doppio_workloads.dir/pagerank.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/doppio_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/doppio_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/svm.cc" "src/workloads/CMakeFiles/doppio_workloads.dir/svm.cc.o" "gcc" "src/workloads/CMakeFiles/doppio_workloads.dir/svm.cc.o.d"
+  "/root/repo/src/workloads/terasort.cc" "src/workloads/CMakeFiles/doppio_workloads.dir/terasort.cc.o" "gcc" "src/workloads/CMakeFiles/doppio_workloads.dir/terasort.cc.o.d"
+  "/root/repo/src/workloads/triangle_count.cc" "src/workloads/CMakeFiles/doppio_workloads.dir/triangle_count.cc.o" "gcc" "src/workloads/CMakeFiles/doppio_workloads.dir/triangle_count.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/doppio_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/doppio_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/doppio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/doppio_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/doppio_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/doppio_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/doppio_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/doppio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/doppio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/doppio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

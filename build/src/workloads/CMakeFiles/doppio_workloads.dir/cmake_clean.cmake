@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_workloads.dir/gatk4.cc.o"
+  "CMakeFiles/doppio_workloads.dir/gatk4.cc.o.d"
+  "CMakeFiles/doppio_workloads.dir/logistic_regression.cc.o"
+  "CMakeFiles/doppio_workloads.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/doppio_workloads.dir/pagerank.cc.o"
+  "CMakeFiles/doppio_workloads.dir/pagerank.cc.o.d"
+  "CMakeFiles/doppio_workloads.dir/registry.cc.o"
+  "CMakeFiles/doppio_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/doppio_workloads.dir/svm.cc.o"
+  "CMakeFiles/doppio_workloads.dir/svm.cc.o.d"
+  "CMakeFiles/doppio_workloads.dir/terasort.cc.o"
+  "CMakeFiles/doppio_workloads.dir/terasort.cc.o.d"
+  "CMakeFiles/doppio_workloads.dir/triangle_count.cc.o"
+  "CMakeFiles/doppio_workloads.dir/triangle_count.cc.o.d"
+  "CMakeFiles/doppio_workloads.dir/workload.cc.o"
+  "CMakeFiles/doppio_workloads.dir/workload.cc.o.d"
+  "libdoppio_workloads.a"
+  "libdoppio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_scheduler.dir/test_dag_scheduler.cc.o"
+  "CMakeFiles/test_dag_scheduler.dir/test_dag_scheduler.cc.o.d"
+  "test_dag_scheduler"
+  "test_dag_scheduler.pdb"
+  "test_dag_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_params.dir/test_disk_params.cc.o"
+  "CMakeFiles/test_disk_params.dir/test_disk_params.cc.o.d"
+  "test_disk_params"
+  "test_disk_params.pdb"
+  "test_disk_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

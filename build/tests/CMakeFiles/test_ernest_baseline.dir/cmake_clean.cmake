@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ernest_baseline.dir/test_ernest_baseline.cc.o"
+  "CMakeFiles/test_ernest_baseline.dir/test_ernest_baseline.cc.o.d"
+  "test_ernest_baseline"
+  "test_ernest_baseline.pdb"
+  "test_ernest_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ernest_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fio.dir/test_fio.cc.o"
+  "CMakeFiles/test_fio.dir/test_fio.cc.o.d"
+  "test_fio"
+  "test_fio.pdb"
+  "test_fio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluid_pipe.dir/test_fluid_pipe.cc.o"
+  "CMakeFiles/test_fluid_pipe.dir/test_fluid_pipe.cc.o.d"
+  "test_fluid_pipe"
+  "test_fluid_pipe.pdb"
+  "test_fluid_pipe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluid_pipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gatk4.dir/test_gatk4.cc.o"
+  "CMakeFiles/test_gatk4.dir/test_gatk4.cc.o.d"
+  "test_gatk4"
+  "test_gatk4.pdb"
+  "test_gatk4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gatk4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcp_disk.dir/test_gcp_disk.cc.o"
+  "CMakeFiles/test_gcp_disk.dir/test_gcp_disk.cc.o.d"
+  "test_gcp_disk"
+  "test_gcp_disk.pdb"
+  "test_gcp_disk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcp_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

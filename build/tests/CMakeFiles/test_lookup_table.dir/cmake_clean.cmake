@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lookup_table.dir/test_lookup_table.cc.o"
+  "CMakeFiles/test_lookup_table.dir/test_lookup_table.cc.o.d"
+  "test_lookup_table"
+  "test_lookup_table.pdb"
+  "test_lookup_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lookup_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

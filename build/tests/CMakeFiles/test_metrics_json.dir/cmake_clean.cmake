@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_json.dir/test_metrics_json.cc.o"
+  "CMakeFiles/test_metrics_json.dir/test_metrics_json.cc.o.d"
+  "test_metrics_json"
+  "test_metrics_json.pdb"
+  "test_metrics_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

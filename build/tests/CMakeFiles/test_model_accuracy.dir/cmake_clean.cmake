@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_accuracy.dir/test_model_accuracy.cc.o"
+  "CMakeFiles/test_model_accuracy.dir/test_model_accuracy.cc.o.d"
+  "test_model_accuracy"
+  "test_model_accuracy.pdb"
+  "test_model_accuracy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

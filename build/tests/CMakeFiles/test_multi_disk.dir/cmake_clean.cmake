@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_disk.dir/test_multi_disk.cc.o"
+  "CMakeFiles/test_multi_disk.dir/test_multi_disk.cc.o.d"
+  "test_multi_disk"
+  "test_multi_disk.pdb"
+  "test_multi_disk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

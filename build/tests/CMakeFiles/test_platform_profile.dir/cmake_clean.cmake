@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_profile.dir/test_platform_profile.cc.o"
+  "CMakeFiles/test_platform_profile.dir/test_platform_profile.cc.o.d"
+  "test_platform_profile"
+  "test_platform_profile.pdb"
+  "test_platform_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shuffle_workloads.dir/test_shuffle_workloads.cc.o"
+  "CMakeFiles/test_shuffle_workloads.dir/test_shuffle_workloads.cc.o.d"
+  "test_shuffle_workloads"
+  "test_shuffle_workloads.pdb"
+  "test_shuffle_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shuffle_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

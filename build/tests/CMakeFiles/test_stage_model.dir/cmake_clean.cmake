@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stage_model.dir/test_stage_model.cc.o"
+  "CMakeFiles/test_stage_model.dir/test_stage_model.cc.o.d"
+  "test_stage_model"
+  "test_stage_model.pdb"
+  "test_stage_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stage_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_engine.dir/test_task_engine.cc.o"
+  "CMakeFiles/test_task_engine.dir/test_task_engine.cc.o.d"
+  "test_task_engine"
+  "test_task_engine.pdb"
+  "test_task_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_trace.dir/test_task_trace.cc.o"
+  "CMakeFiles/test_task_trace.dir/test_task_trace.cc.o.d"
+  "test_task_trace"
+  "test_task_trace.pdb"
+  "test_task_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

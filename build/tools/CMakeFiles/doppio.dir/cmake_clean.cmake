@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio.dir/doppio_cli.cpp.o"
+  "CMakeFiles/doppio.dir/doppio_cli.cpp.o.d"
+  "doppio"
+  "doppio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
