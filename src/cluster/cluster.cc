@@ -20,6 +20,69 @@ Node::Node(sim::Simulator &simulator, const NodeConfig &config, int id)
             simulator, config.localDisk,
             prefix + "/local" + std::to_string(d)));
     }
+    if (config.pageCache.enabled) {
+        oscache::PageCacheConfig cache_config = config.pageCache;
+        if (cache_config.capacity == 0) {
+            // Auto: the memory the OS has left beside the executor
+            // heap (paper testbed: 128 GB - 90 GB).
+            if (config.ram <= config.executorMemory)
+                fatal("Node: page cache enabled but executor memory "
+                      "leaves no free RAM");
+            cache_config.capacity = config.ram - config.executorMemory;
+        }
+        pageCache_ = std::make_unique<oscache::PageCache>(
+            simulator, cache_config,
+            [this]() -> storage::DiskDevice & { return pickHdfsDisk(); },
+            [this]() -> storage::DiskDevice & { return pickLocalDisk(); },
+            prefix + "/pagecache");
+    }
+}
+
+void
+Node::readThrough(oscache::Role role, storage::IoOp op,
+                  std::uint64_t stream, Bytes offset, Bytes chunk,
+                  std::uint64_t count, std::function<void()> done)
+{
+    if (pageCache_ == nullptr || stream == oscache::kAnonymousStream) {
+        storage::DiskDevice &disk = role == oscache::Role::Hdfs
+                                        ? pickHdfsDisk()
+                                        : pickLocalDisk();
+        if (count == 1)
+            disk.submit(op, chunk, std::move(done));
+        else
+            disk.submitBatch(op, chunk, count, std::move(done));
+        return;
+    }
+    pageCache_->read(role, op, stream, offset, chunk, count,
+                     std::move(done));
+}
+
+void
+Node::writeThrough(oscache::Role role, storage::IoOp op,
+                   std::uint64_t stream, Bytes offset, Bytes chunk,
+                   std::uint64_t count, std::function<void()> done)
+{
+    if (pageCache_ == nullptr || stream == oscache::kAnonymousStream) {
+        storage::DiskDevice &disk = role == oscache::Role::Hdfs
+                                        ? pickHdfsDisk()
+                                        : pickLocalDisk();
+        if (count == 1)
+            disk.submit(op, chunk, std::move(done));
+        else
+            disk.submitBatch(op, chunk, count, std::move(done));
+        return;
+    }
+    pageCache_->write(role, op, stream, offset, chunk, count,
+                      std::move(done));
+}
+
+void
+Node::reset()
+{
+    nextHdfs_ = 0;
+    nextLocal_ = 0;
+    if (pageCache_)
+        pageCache_->reset();
 }
 
 storage::DiskDevice &
@@ -57,6 +120,24 @@ Cluster::totalStorageMemory() const
 {
     return static_cast<Bytes>(config_.numSlaves) *
            config_.node.storageMemory();
+}
+
+oscache::PageCacheStats
+Cluster::pageCacheTotals() const
+{
+    oscache::PageCacheStats totals;
+    for (const auto &node : nodes_) {
+        if (node->pageCache() != nullptr)
+            totals += node->pageCache()->stats();
+    }
+    return totals;
+}
+
+void
+Cluster::reset()
+{
+    for (auto &node : nodes_)
+        node->reset();
 }
 
 } // namespace doppio::cluster

@@ -15,6 +15,7 @@
 
 #include "cluster/cluster_config.h"
 #include "net/network.h"
+#include "oscache/page_cache.h"
 #include "sim/simulator.h"
 #include "storage/disk_device.h"
 
@@ -69,11 +70,42 @@ class Node
     /** @return the next spark.local.dir device in round-robin order. */
     storage::DiskDevice &pickLocalDisk();
 
+    /** @return the node's page cache, or nullptr when disabled. */
+    oscache::PageCache *pageCache() { return pageCache_.get(); }
+    const oscache::PageCache *pageCache() const
+    {
+        return pageCache_.get();
+    }
+
+    /**
+     * Read @p count chunks of @p chunk bytes from the @p role device
+     * set, through the page cache when it is enabled and the traffic
+     * carries a cache identity (@p stream != kAnonymousStream).
+     * Otherwise the request goes straight to the round-robin device —
+     * bit-for-bit the pre-page-cache behaviour.
+     */
+    void readThrough(oscache::Role role, storage::IoOp op,
+                     std::uint64_t stream, Bytes offset, Bytes chunk,
+                     std::uint64_t count, std::function<void()> done);
+
+    /** Write-side counterpart of readThrough(). */
+    void writeThrough(oscache::Role role, storage::IoOp op,
+                      std::uint64_t stream, Bytes offset, Bytes chunk,
+                      std::uint64_t count, std::function<void()> done);
+
+    /**
+     * Reset mutable runtime state — the round-robin picker cursors and
+     * the page-cache contents/statistics — so back-to-back simulations
+     * in one process start from identical state.
+     */
+    void reset();
+
   private:
     NodeConfig config_;
     int id_;
     std::vector<std::unique_ptr<storage::DiskDevice>> hdfsDisks_;
     std::vector<std::unique_ptr<storage::DiskDevice>> localDisks_;
+    std::unique_ptr<oscache::PageCache> pageCache_;
     std::size_t nextHdfs_ = 0;
     std::size_t nextLocal_ = 0;
 };
@@ -99,6 +131,18 @@ class Cluster
 
     /** @return cluster-wide RDD storage memory (sum over slaves). */
     Bytes totalStorageMemory() const;
+
+    /** @return true when the nodes run the page-cache model. */
+    bool pageCacheEnabled() const
+    {
+        return config_.node.pageCache.enabled;
+    }
+
+    /** @return page-cache counters summed over all nodes. */
+    oscache::PageCacheStats pageCacheTotals() const;
+
+    /** Reset every node's runtime state (see Node::reset()). */
+    void reset();
 
   private:
     sim::Simulator &sim_;

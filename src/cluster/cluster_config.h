@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/units.h"
+#include "oscache/page_cache.h"
 #include "storage/disk_params.h"
 
 namespace doppio::cluster {
@@ -40,6 +41,15 @@ struct NodeConfig
      */
     int hdfsDiskCount = 1;
     int localDiskCount = 1;
+    /**
+     * OS page-cache model fronting both device sets (disabled by
+     * default so calibrated runs match the drop_caches methodology the
+     * paper profiles under; the CLI enables it unless
+     * --no-page-cache). capacity == 0 resolves to ram -
+     * executorMemory, the memory the OS actually had left on the
+     * testbed.
+     */
+    oscache::PageCacheConfig pageCache;
 
     /** @return bytes of RDD storage memory on this node. */
     Bytes

@@ -54,16 +54,69 @@ Hdfs::fileIdByName(const std::string &name) const
 void
 Hdfs::readChunk(int node, Bytes chunk, std::function<void()> done)
 {
-    cluster_.node(node).pickHdfsDisk().submit(storage::IoOp::HdfsRead, chunk,
-                                          std::move(done));
+    readChunk(node, oscache::kAnonymousStream, 0, chunk,
+              std::move(done));
+}
+
+void
+Hdfs::readChunk(int node, std::uint64_t stream, Bytes offset,
+                Bytes chunk, std::function<void()> done)
+{
+    cluster_.node(node).readThrough(oscache::Role::Hdfs,
+                                    storage::IoOp::HdfsRead, stream,
+                                    offset, chunk, 1, std::move(done));
 }
 
 void
 Hdfs::writeChunk(int node, Bytes chunk, std::function<void()> done)
 {
+    writeChunk(node, oscache::kAnonymousStream, 0, chunk,
+               std::move(done));
+}
+
+void
+Hdfs::writeChunk(int node, std::uint64_t stream, Bytes offset,
+                 Bytes chunk, std::function<void()> done)
+{
+    writeBatch(node, stream, offset, chunk, 1, std::move(done));
+}
+
+void
+Hdfs::readBatch(int node, Bytes chunk, std::uint64_t count,
+                std::function<void()> done)
+{
+    readBatch(node, oscache::kAnonymousStream, 0, chunk, count,
+              std::move(done));
+}
+
+void
+Hdfs::readBatch(int node, std::uint64_t stream, Bytes offset,
+                Bytes chunk, std::uint64_t count,
+                std::function<void()> done)
+{
+    cluster_.node(node).readThrough(oscache::Role::Hdfs,
+                                    storage::IoOp::HdfsRead, stream,
+                                    offset, chunk, count,
+                                    std::move(done));
+}
+
+void
+Hdfs::writeBatch(int node, Bytes chunk, std::uint64_t count,
+                 std::function<void()> done)
+{
+    writeBatch(node, oscache::kAnonymousStream, 0, chunk, count,
+               std::move(done));
+}
+
+void
+Hdfs::writeBatch(int node, std::uint64_t stream, Bytes offset,
+                 Bytes chunk, std::uint64_t count,
+                 std::function<void()> done)
+{
     const int replicas = std::min(config_.replication,
                                   cluster_.numSlaves());
-    physicalWritten_ += chunk * static_cast<Bytes>(replicas);
+    physicalWritten_ +=
+        chunk * count * static_cast<Bytes>(replicas);
 
     // Completion barrier across the local write and each remote
     // replica's (network transfer + disk write) pipeline.
@@ -73,8 +126,9 @@ Hdfs::writeChunk(int node, Bytes chunk, std::function<void()> done)
             done();
     };
 
-    cluster_.node(node).pickHdfsDisk().submit(storage::IoOp::HdfsWrite, chunk,
-                                          barrier);
+    cluster_.node(node).writeThrough(oscache::Role::Hdfs,
+                                     storage::IoOp::HdfsWrite, stream,
+                                     offset, chunk, count, barrier);
 
     for (int r = 1; r < replicas; ++r) {
         // Pick a distinct remote node for this replica.
@@ -86,52 +140,13 @@ Hdfs::writeChunk(int node, Bytes chunk, std::function<void()> done)
                 ++remote;
         }
         cluster_.network().transfer(
-            node, remote, chunk, [this, remote, chunk, barrier]() {
-                cluster_.node(remote).pickHdfsDisk().submit(
-                    storage::IoOp::HdfsWrite, chunk, barrier);
-            });
-    }
-}
-
-void
-Hdfs::readBatch(int node, Bytes chunk, std::uint64_t count,
-                std::function<void()> done)
-{
-    cluster_.node(node).pickHdfsDisk().submitBatch(
-        storage::IoOp::HdfsRead, chunk, count, std::move(done));
-}
-
-void
-Hdfs::writeBatch(int node, Bytes chunk, std::uint64_t count,
-                 std::function<void()> done)
-{
-    const int replicas = std::min(config_.replication,
-                                  cluster_.numSlaves());
-    physicalWritten_ +=
-        chunk * count * static_cast<Bytes>(replicas);
-
-    auto remaining = std::make_shared<int>(replicas);
-    auto barrier = [remaining, done = std::move(done)]() {
-        if (--*remaining == 0 && done)
-            done();
-    };
-
-    cluster_.node(node).pickHdfsDisk().submitBatch(storage::IoOp::HdfsWrite,
-                                               chunk, count, barrier);
-
-    for (int r = 1; r < replicas; ++r) {
-        int remote = node;
-        if (cluster_.numSlaves() > 1) {
-            remote = static_cast<int>(rng_.uniformInt(
-                static_cast<std::uint64_t>(cluster_.numSlaves() - 1)));
-            if (remote >= node)
-                ++remote;
-        }
-        cluster_.network().transfer(
             node, remote, chunk * count,
-            [this, remote, chunk, count, barrier]() {
-                cluster_.node(remote).pickHdfsDisk().submitBatch(
-                    storage::IoOp::HdfsWrite, chunk, count, barrier);
+            [this, remote, stream, offset, chunk, count, barrier]() {
+                // The replica lands at the same stream offsets in the
+                // remote node's own cache space.
+                cluster_.node(remote).writeThrough(
+                    oscache::Role::Hdfs, storage::IoOp::HdfsWrite,
+                    stream, offset, chunk, count, barrier);
             });
     }
 }

@@ -74,16 +74,30 @@ class Hdfs
 
     /**
      * Read @p chunk bytes on @p node from its local HDFS replica;
-     * @p done fires when the disk request completes.
+     * @p done fires when the disk request completes. Anonymous
+     * traffic: goes straight to the device, bypassing any page cache.
      */
     void readChunk(int node, Bytes chunk, std::function<void()> done);
 
     /**
+     * Cache-addressed variant: the chunk lives at @p offset of
+     * @p stream (see oscache::PageCache) and is served through the
+     * node's page cache when one is enabled.
+     */
+    void readChunk(int node, std::uint64_t stream, Bytes offset,
+                   Bytes chunk, std::function<void()> done);
+
+    /**
      * Write @p chunk bytes from @p node: one local disk write plus
      * replication-1 pipelined remote replicas (network + remote disk).
-     * @p done fires when all replicas are durable.
+     * @p done fires when all replicas are durable (anonymous traffic).
      */
     void writeChunk(int node, Bytes chunk, std::function<void()> done);
+
+    /** Cache-addressed variant of writeChunk(); every replica goes
+     *  through its own node's page cache. */
+    void writeChunk(int node, std::uint64_t stream, Bytes offset,
+                    Bytes chunk, std::function<void()> done);
 
     /**
      * Read @p count back-to-back chunks of @p chunk bytes on @p node
@@ -92,11 +106,21 @@ class Hdfs
     void readBatch(int node, Bytes chunk, std::uint64_t count,
                    std::function<void()> done);
 
+    /** Cache-addressed variant of readBatch(). */
+    void readBatch(int node, std::uint64_t stream, Bytes offset,
+                   Bytes chunk, std::uint64_t count,
+                   std::function<void()> done);
+
     /**
      * Write @p count back-to-back chunks of @p chunk bytes from
      * @p node, with replication (aggregated).
      */
     void writeBatch(int node, Bytes chunk, std::uint64_t count,
+                    std::function<void()> done);
+
+    /** Cache-addressed variant of writeBatch(). */
+    void writeBatch(int node, std::uint64_t stream, Bytes offset,
+                    Bytes chunk, std::uint64_t count,
                     std::function<void()> done);
 
     /** @return physical bytes written including replication. */

@@ -80,4 +80,34 @@ reportString(const AppModel &app, const PlatformProfile &platform,
     return os.str();
 }
 
+void
+writePageCacheReport(std::ostream &os,
+                     const oscache::PageCacheStats &stats,
+                     Bytes capacity)
+{
+    TablePrinter table("OS page cache (cluster totals)");
+    table.setHeader({"counter", "value"});
+    table.addRow({"reads", std::to_string(stats.reads)});
+    table.addRow({"read bytes", formatBytes(stats.readBytes)});
+    table.addRow({"hit bytes", formatBytes(stats.hitBytes)});
+    table.addRow({"miss bytes", formatBytes(stats.missBytes)});
+    table.addRow({"hit ratio", TablePrinter::percent(stats.hitRatio())});
+    table.addRow({"read-ahead bytes",
+                  formatBytes(stats.readAheadBytes)});
+    table.addRow({"writes", std::to_string(stats.writes)});
+    table.addRow({"write bytes", formatBytes(stats.writeBytes)});
+    table.addRow({"absorbed bytes", formatBytes(stats.absorbedBytes)});
+    table.addRow({"write-around bytes",
+                  formatBytes(stats.writeAroundBytes)});
+    table.addRow({"flushed bytes", formatBytes(stats.flushedBytes)});
+    table.addRow(
+        {"flush requests", std::to_string(stats.flushRequests)});
+    table.addRow(
+        {"throttled writes", std::to_string(stats.throttledWrites)});
+    table.addRow({"evicted bytes", formatBytes(stats.evictedBytes)});
+    if (capacity > 0)
+        table.addRow({"capacity per node", formatBytes(capacity)});
+    table.print(os);
+}
+
 } // namespace doppio::model

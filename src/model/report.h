@@ -16,6 +16,7 @@
 
 #include "model/analyzer.h"
 #include "model/stage_model.h"
+#include "oscache/page_cache.h"
 
 namespace doppio::model {
 
@@ -38,6 +39,16 @@ void writeReport(std::ostream &os, const AppModel &app,
 std::string reportString(const AppModel &app,
                          const PlatformProfile &platform,
                          const ReportOptions &options = ReportOptions{});
+
+/**
+ * Write the OS page-cache counter table for one simulated run:
+ * hit/miss traffic, write absorption vs writeback, and throttling —
+ * the observables that separate effective from device I/O. @p capacity
+ * is the per-node cache size (0 to omit the line).
+ */
+void writePageCacheReport(std::ostream &os,
+                          const oscache::PageCacheStats &stats,
+                          Bytes capacity = 0);
 
 } // namespace doppio::model
 

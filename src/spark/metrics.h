@@ -19,6 +19,7 @@
 #include "common/sim_time.h"
 #include "common/stats.h"
 #include "common/units.h"
+#include "oscache/page_cache.h"
 #include "storage/io_request.h"
 
 namespace doppio::spark {
@@ -96,6 +97,14 @@ struct AppMetrics
 {
     std::string name;
     std::vector<JobMetrics> jobs;
+    /**
+     * Cluster-wide OS page-cache counters (summed over nodes), present
+     * only when the run modeled the page cache; the JSON writer omits
+     * the block entirely otherwise, keeping cache-off output identical
+     * to pre-page-cache builds.
+     */
+    bool pageCachePresent = false;
+    oscache::PageCacheStats pageCache;
 
     /** @return application duration in seconds. */
     double seconds() const;

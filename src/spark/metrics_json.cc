@@ -80,7 +80,26 @@ writeMetricsJson(std::ostream &os, const AppMetrics &metrics)
         }
         os << "]}";
     }
-    os << "]}";
+    os << "]";
+    if (metrics.pageCachePresent) {
+        const oscache::PageCacheStats &pc = metrics.pageCache;
+        os << ",\"page_cache\":{\"reads\":" << pc.reads
+           << ",\"read_full_hits\":" << pc.readFullHits
+           << ",\"writes\":" << pc.writes
+           << ",\"throttled_writes\":" << pc.throttledWrites
+           << ",\"flush_requests\":" << pc.flushRequests
+           << ",\"read_bytes\":" << pc.readBytes
+           << ",\"hit_bytes\":" << pc.hitBytes
+           << ",\"miss_bytes\":" << pc.missBytes
+           << ",\"readahead_bytes\":" << pc.readAheadBytes
+           << ",\"write_bytes\":" << pc.writeBytes
+           << ",\"absorbed_bytes\":" << pc.absorbedBytes
+           << ",\"write_around_bytes\":" << pc.writeAroundBytes
+           << ",\"flushed_bytes\":" << pc.flushedBytes
+           << ",\"evicted_bytes\":" << pc.evictedBytes
+           << ",\"hit_ratio\":" << num(pc.hitRatio()) << '}';
+    }
+    os << '}';
 }
 
 std::string

@@ -11,6 +11,7 @@
 #ifndef DOPPIO_SPARK_STAGE_SPEC_H
 #define DOPPIO_SPARK_STAGE_SPEC_H
 
+#include <cstdint>
 #include <string>
 #include <variant>
 #include <vector>
@@ -43,6 +44,14 @@ struct IoPhaseSpec
      * the per-source-node interleaving). Ignored otherwise.
      */
     int fanIn = 1;
+    /**
+     * Page-cache stream identity (see oscache::PageCache). 0 lets the
+     * task engine derive one from the phase shape so that re-reads of
+     * the same logical data (iterative jobs, persist-read after
+     * persist-write) hit the cache; set it explicitly to tie phases
+     * together across stages or to force distinct working sets.
+     */
+    std::uint64_t cacheStream = 0;
 };
 
 /** A pure-CPU phase (the non-pipelined part of the task's work). */

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "oscache/page_cache.h"
 #include "storage/disk_device.h"
 
 namespace doppio::spark {
@@ -21,6 +22,49 @@ chunkCount(const IoPhaseSpec &phase)
 }
 
 /**
+ * Derive a page-cache stream identity for a phase. Read and write ops
+ * of the same purpose map to the same family, so a write followed by a
+ * read of the same per-task byte count lands on the same stream — that
+ * is exactly the re-read pattern (persist, iterative HDFS input) the
+ * page cache turns into hits. Never returns kAnonymousStream.
+ */
+std::uint64_t
+cacheStreamFor(const IoPhaseSpec &phase)
+{
+    if (phase.cacheStream != 0)
+        return phase.cacheStream;
+    std::uint64_t family = 0;
+    switch (phase.op) {
+      case storage::IoOp::HdfsRead:
+      case storage::IoOp::HdfsWrite:
+        family = 1;
+        break;
+      case storage::IoOp::ShuffleRead:
+      case storage::IoOp::ShuffleWrite:
+        family = 2;
+        break;
+      case storage::IoOp::PersistRead:
+      case storage::IoOp::PersistWrite:
+        family = 3;
+        break;
+      default:
+        family = 4;
+        break;
+    }
+    // FNV-1a over (family, bytesPerTask).
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    auto mix = [&hash](std::uint64_t value) {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (value >> (i * 8)) & 0xffULL;
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    mix(family);
+    mix(phase.bytesPerTask);
+    return hash == oscache::kAnonymousStream ? 1 : hash;
+}
+
+/**
  * Sequential per-source-node shuffle fetch for one reducer task: the
  * task's chunks are scattered over every mapper node's local disk; the
  * (single-threaded) task reads one source node's batch, ships the
@@ -34,6 +78,8 @@ struct ShuffleFetch : std::enable_shared_from_this<ShuffleFetch>
     int taskIndex = 0;
     Bytes chunk = 0;
     std::uint64_t count = 0;
+    std::uint64_t stream = oscache::kAnonymousStream;
+    Bytes offset = 0; //!< cursor within the reducer's stream range
     std::function<void()> done;
     int k = 0;
 
@@ -61,10 +107,12 @@ struct ShuffleFetch : std::enable_shared_from_this<ShuffleFetch>
         // Task-dependent start offset so concurrent reducers do not
         // convoy on node 0.
         const int src = (taskIndex + idx) % nodes;
+        const Bytes batch_offset = offset;
+        offset += chunk * batch;
         auto self = shared_from_this();
-        cluster->node(src).pickLocalDisk().submitBatch(
-            storage::IoOp::ShuffleRead, chunk, batch,
-            [self, src, batch]() {
+        cluster->node(src).readThrough(
+            oscache::Role::Local, storage::IoOp::ShuffleRead, stream,
+            batch_offset, chunk, batch, [self, src, batch]() {
                 self->cluster->network().transfer(
                     src, self->readerNode, self->chunk * batch,
                     [self]() { self->next(); });
@@ -86,6 +134,8 @@ struct ChunkLoop : std::enable_shared_from_this<ChunkLoop>
     int taskIndex = 0;
     Bytes chunk = 0;
     std::uint64_t count = 0;
+    std::uint64_t stream = oscache::kAnonymousStream;
+    Bytes baseOffset = 0;
     Tick cpuPerChunk = 0;
     std::function<void()> done;
     /** For write ops: called per chunk handed to the device. */
@@ -102,6 +152,7 @@ struct ChunkLoop : std::enable_shared_from_this<ChunkLoop>
             return;
         }
         const std::uint64_t idx = i++;
+        const Bytes offset = baseOffset + idx * chunk;
         auto self = shared_from_this();
         auto then_cpu = [self]() {
             self->cluster->simulator().schedule(
@@ -109,14 +160,16 @@ struct ChunkLoop : std::enable_shared_from_this<ChunkLoop>
         };
         switch (op) {
           case storage::IoOp::HdfsRead:
-            hdfs->readChunk(node, chunk, std::move(then_cpu));
+            hdfs->readChunk(node, stream, offset, chunk,
+                            std::move(then_cpu));
             return;
           case storage::IoOp::ShuffleRead: {
             const int nodes = cluster->numSlaves();
             const int src =
                 (taskIndex + static_cast<int>(idx % nodes)) % nodes;
-            cluster->node(src).pickLocalDisk().submit(
-                storage::IoOp::ShuffleRead, chunk,
+            cluster->node(src).readThrough(
+                oscache::Role::Local, storage::IoOp::ShuffleRead,
+                stream, offset, chunk, 1,
                 [self, src, then_cpu = std::move(then_cpu)]() mutable {
                     self->cluster->network().transfer(
                         src, self->node, self->chunk,
@@ -126,20 +179,23 @@ struct ChunkLoop : std::enable_shared_from_this<ChunkLoop>
           }
           case storage::IoOp::PersistRead:
           case storage::IoOp::RawRead:
-            cluster->node(node).pickLocalDisk().submit(
-                op, chunk, std::move(then_cpu));
+            cluster->node(node).readThrough(oscache::Role::Local, op,
+                                            stream, offset, chunk, 1,
+                                            std::move(then_cpu));
             return;
           default: {
             // Writes: serialize (CPU), hand the chunk to the device
             // asynchronously, and continue.
-            cluster->simulator().schedule(cpuPerChunk, [self]() {
+            cluster->simulator().schedule(cpuPerChunk, [self, offset]() {
                 self->writeIssued();
                 if (self->op == storage::IoOp::HdfsWrite) {
-                    self->hdfs->writeChunk(self->node, self->chunk,
+                    self->hdfs->writeChunk(self->node, self->stream,
+                                           offset, self->chunk,
                                            self->writeDrained);
                 } else {
-                    self->cluster->node(self->node).pickLocalDisk().submit(
-                        self->op, self->chunk, self->writeDrained);
+                    self->cluster->node(self->node).writeThrough(
+                        oscache::Role::Local, self->op, self->stream,
+                        offset, self->chunk, 1, self->writeDrained);
                 }
                 self->next();
             });
@@ -476,6 +532,12 @@ TaskEngine::runIoPhase(std::shared_ptr<StageRun> run,
     io_stats.requestSize.addMany(static_cast<double>(chunk), count);
 
     const int node = task->node;
+    // Cache identity: offsets are laid out per logical task so a
+    // re-read of the same stream (second iteration, persist-read after
+    // persist-write) touches the same byte ranges and hits.
+    const std::uint64_t stream = cacheStreamFor(phase);
+    const Bytes base_offset =
+        static_cast<Bytes>(task->taskIndex) * phase.bytesPerTask;
     const Tick phase_start = cluster_.simulator().now();
     auto record_phase = [&io_stats, phase_start, this]() {
         io_stats.phaseSeconds.add(ticksToSeconds(
@@ -490,6 +552,8 @@ TaskEngine::runIoPhase(std::shared_ptr<StageRun> run,
         loop->taskIndex = task->taskIndex;
         loop->chunk = chunk;
         loop->count = count;
+        loop->stream = stream;
+        loop->baseOffset = base_offset;
         loop->cpuPerChunk = secondsToTicks(
             phase.cpuPerByte * static_cast<double>(chunk) *
             task->slowdown);
@@ -521,14 +585,15 @@ TaskEngine::runIoPhase(std::shared_ptr<StageRun> run,
         cluster_.simulator().schedule(
             secondsToTicks(cpu_seconds),
             [this, run, task, record_phase, op, chunk, count, node,
-             on_drain]() mutable {
+             stream, base_offset, on_drain]() mutable {
                 record_phase();
                 if (op == storage::IoOp::HdfsWrite) {
-                    hdfs_.writeBatch(node, chunk, count,
-                                     std::move(on_drain));
+                    hdfs_.writeBatch(node, stream, base_offset, chunk,
+                                     count, std::move(on_drain));
                 } else {
-                    cluster_.node(node).pickLocalDisk().submitBatch(
-                        op, chunk, count, std::move(on_drain));
+                    cluster_.node(node).writeThrough(
+                        oscache::Role::Local, op, stream, base_offset,
+                        chunk, count, std::move(on_drain));
                 }
                 runPhase(std::move(run), std::move(task));
             });
@@ -550,11 +615,13 @@ TaskEngine::runIoPhase(std::shared_ptr<StageRun> run,
 
     switch (phase.op) {
       case storage::IoOp::HdfsRead:
-        hdfs_.readBatch(node, chunk, count, std::move(after_io));
+        hdfs_.readBatch(node, stream, base_offset, chunk, count,
+                        std::move(after_io));
         return;
       case storage::IoOp::PersistRead:
-        cluster_.node(node).pickLocalDisk().submitBatch(
-            phase.op, chunk, count, std::move(after_io));
+        cluster_.node(node).readThrough(
+            oscache::Role::Local, phase.op, stream, base_offset, chunk,
+            count, std::move(after_io));
         return;
       case storage::IoOp::ShuffleRead: {
         auto fetch = std::make_shared<ShuffleFetch>();
@@ -563,6 +630,8 @@ TaskEngine::runIoPhase(std::shared_ptr<StageRun> run,
         fetch->taskIndex = task->taskIndex;
         fetch->chunk = chunk;
         fetch->count = count;
+        fetch->stream = stream;
+        fetch->offset = base_offset;
         fetch->done = std::move(after_io);
         fetch->next();
         return;

@@ -22,6 +22,10 @@ Workload::run(const cluster::ClusterConfig &clusterConfig,
     execute(context);
     spark::AppMetrics metrics = context.metrics();
     metrics.name = name();
+    if (cluster.pageCacheEnabled()) {
+        metrics.pageCachePresent = true;
+        metrics.pageCache = cluster.pageCacheTotals();
+    }
     return metrics;
 }
 

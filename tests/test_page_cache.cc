@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Unit tests for the OS page-cache model and its cluster wiring.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "oscache/page_cache.h"
+#include "sim/simulator.h"
+#include "spark/metrics_json.h"
+#include "storage/disk_device.h"
+#include "workloads/registry.h"
+#include "workloads/terasort.h"
+
+namespace doppio::oscache {
+namespace {
+
+/** The disk-device test fixture's round numbers. */
+storage::DiskParams
+simpleParams()
+{
+    storage::DiskParams p;
+    p.model = "test";
+    p.type = storage::DiskType::Hdd;
+    p.readIops = 100.0; // 10 ms admission interval
+    p.writeIops = 100.0;
+    p.readLatency = msToTicks(10.0);
+    p.writeLatency = msToTicks(10.0);
+    p.readBandwidth = 1000.0 * kKiB; // 1000 KiB/s
+    p.writeBandwidth = 500.0 * kKiB;
+    return p;
+}
+
+/** Cache of 1000 KiB fronting one slow device, very fast memory. */
+struct Fixture
+{
+    sim::Simulator sim;
+    storage::DiskDevice disk{sim, simpleParams(), "d"};
+    PageCacheConfig config;
+    std::unique_ptr<PageCache> cache;
+
+    explicit Fixture(Bytes capacity = 1000 * kKiB, Bytes readAhead = 0)
+    {
+        config.enabled = true;
+        config.capacity = capacity;
+        // Memory 1000x faster than the device: hit/absorb times are
+        // negligible against device times in every assertion below.
+        config.memoryBandwidth = 1000.0 * 1000.0 * kKiB;
+        config.readAhead = readAhead;
+        config.flushChunk = 100 * kKiB;
+        auto pick = [this]() -> storage::DiskDevice & { return disk; };
+        cache = std::make_unique<PageCache>(sim, config, pick, pick,
+                                            "test/pagecache");
+    }
+};
+
+TEST(PageCacheConfig, ValidateRejectsNonsense)
+{
+    PageCacheConfig config;
+    config.capacity = 0;
+    EXPECT_THROW(config.validate(), FatalError);
+    config.capacity = kMiB;
+    config.dirtyRatio = 0.05; // below background
+    EXPECT_THROW(config.validate(), FatalError);
+    config.dirtyRatio = 0.20;
+    config.flushChunk = 0;
+    EXPECT_THROW(config.validate(), FatalError);
+}
+
+TEST(PageCache, ColdReadCostsDeviceTime)
+{
+    Fixture f;
+    Tick done = 0;
+    f.cache->read(Role::Hdfs, storage::IoOp::HdfsRead, 1, 0, 100 * kKiB,
+                  1, [&] { done = f.sim.now(); });
+    f.sim.run();
+    // 10 ms latency + 100/1000 s transfer, memcpy negligible.
+    EXPECT_NEAR(ticksToSeconds(done), 0.010 + 0.100, 2e-3);
+    EXPECT_EQ(f.cache->stats().missBytes, 100 * kKiB);
+    EXPECT_EQ(f.cache->stats().hitBytes, 0ULL);
+}
+
+TEST(PageCache, WarmReadRunsAtMemorySpeed)
+{
+    Fixture f;
+    Tick cold = 0;
+    f.cache->read(Role::Hdfs, storage::IoOp::HdfsRead, 1, 0, 100 * kKiB,
+                  1, [&] { cold = f.sim.now(); });
+    f.sim.run();
+    const Tick warm_start = f.sim.now();
+    Tick warm_end = 0;
+    f.cache->read(Role::Hdfs, storage::IoOp::HdfsRead, 1, 0, 100 * kKiB,
+                  1, [&] { warm_end = f.sim.now(); });
+    f.sim.run();
+    const double cold_s = ticksToSeconds(cold);
+    const double warm_s = ticksToSeconds(warm_end - warm_start);
+    EXPECT_GT(warm_s, 0.0); // memory copy is charged, not free
+    EXPECT_GT(cold_s / warm_s, 100.0);
+    EXPECT_EQ(f.cache->stats().readFullHits, 1ULL);
+    EXPECT_EQ(f.cache->stats().hitBytes, 100 * kKiB);
+}
+
+TEST(PageCache, HitsAreServedPerStream)
+{
+    Fixture f;
+    f.cache->read(Role::Hdfs, storage::IoOp::HdfsRead, 1, 0, 100 * kKiB,
+                  1, [] {});
+    f.sim.run();
+    // Same offsets, different stream: cold.
+    f.cache->read(Role::Hdfs, storage::IoOp::HdfsRead, 2, 0, 100 * kKiB,
+                  1, [] {});
+    f.sim.run();
+    EXPECT_EQ(f.cache->stats().readFullHits, 0ULL);
+    EXPECT_EQ(f.cache->stats().missBytes, 200 * kKiB);
+}
+
+TEST(PageCache, SequentialReadAheadTurnsNextReadIntoHit)
+{
+    Fixture f(1000 * kKiB, /*readAhead=*/100 * kKiB);
+    // Three back-to-back sequential chunks: the second read detects the
+    // sequential pattern and prefetches the third's range.
+    for (int i = 0; i < 3; ++i) {
+        f.cache->read(Role::Hdfs, storage::IoOp::HdfsRead, 1,
+                      static_cast<Bytes>(i) * 100 * kKiB, 100 * kKiB, 1,
+                      [] {});
+        f.sim.run();
+    }
+    EXPECT_EQ(f.cache->stats().readAheadBytes, 100 * kKiB);
+    EXPECT_EQ(f.cache->stats().readFullHits, 1ULL);
+    EXPECT_EQ(f.cache->stats().missBytes, 200 * kKiB);
+}
+
+TEST(PageCache, SmallWritesBelowBackgroundNeverTouchTheDevice)
+{
+    Fixture f; // background = 100 KiB, limit = 200 KiB
+    Tick last = 0;
+    for (int i = 0; i < 10; ++i) {
+        f.cache->write(Role::Local, storage::IoOp::ShuffleWrite, 1,
+                       static_cast<Bytes>(i) * 5 * kKiB, 5 * kKiB, 1,
+                       [&] { last = f.sim.now(); });
+    }
+    f.sim.run();
+    EXPECT_EQ(f.disk.stats().totalBytes(storage::IoKind::Write), 0ULL);
+    EXPECT_EQ(f.cache->stats().absorbedBytes, 50 * kKiB);
+    EXPECT_EQ(f.cache->stats().flushedBytes, 0ULL);
+    EXPECT_EQ(f.cache->dirtyBytes(), 50 * kKiB);
+    // All ten writes completed at memory speed.
+    EXPECT_LT(ticksToSeconds(last), 0.001);
+}
+
+TEST(PageCache, BackgroundWritebackDrainsAboveThreshold)
+{
+    Fixture f;
+    Tick writer_done = 0;
+    f.cache->write(Role::Local, storage::IoOp::ShuffleWrite, 1, 0,
+                   150 * kKiB, 1, [&] { writer_done = f.sim.now(); });
+    f.sim.run();
+    // The writer itself completed at memory speed...
+    EXPECT_LT(ticksToSeconds(writer_done), 0.001);
+    // ...while the flusher drained dirty bytes down to the background
+    // threshold through the device.
+    EXPECT_LE(f.cache->dirtyBytes(), 100 * kKiB);
+    EXPECT_GE(f.cache->stats().flushedBytes, 50 * kKiB);
+    EXPECT_EQ(f.disk.stats().totalBytes(storage::IoKind::Write),
+              f.cache->stats().flushedBytes);
+}
+
+TEST(PageCache, WritersThrottleAtTheDirtyLimit)
+{
+    Fixture f; // limit = 200 KiB
+    Tick last = 0;
+    int completed = 0;
+    for (int i = 0; i < 5; ++i) {
+        f.cache->write(Role::Local, storage::IoOp::ShuffleWrite, 1,
+                       static_cast<Bytes>(i) * 60 * kKiB, 60 * kKiB, 1,
+                       [&] {
+                           ++completed;
+                           last = f.sim.now();
+                       });
+    }
+    f.sim.run();
+    EXPECT_EQ(completed, 5);
+    EXPECT_EQ(f.cache->stats().throttledWrites, 2ULL);
+    EXPECT_EQ(f.cache->stats().absorbedBytes, 180 * kKiB);
+    // The throttled writers waited on device-speed writeback: far
+    // slower than the memory-speed absorption path.
+    EXPECT_GT(ticksToSeconds(last), 0.050);
+}
+
+TEST(PageCache, OversizeWriteGoesAroundTheCache)
+{
+    Fixture f; // limit = 200 KiB
+    f.cache->write(Role::Local, storage::IoOp::ShuffleWrite, 1, 0,
+                   300 * kKiB, 1, [] {});
+    f.sim.run();
+    EXPECT_EQ(f.cache->stats().writeAroundBytes, 300 * kKiB);
+    EXPECT_EQ(f.cache->dirtyBytes(), 0ULL);
+    EXPECT_EQ(f.disk.stats().totalBytes(storage::IoKind::Write),
+              300 * kKiB);
+}
+
+TEST(PageCache, LruEvictsTheColdestStream)
+{
+    Fixture f(250 * kKiB);
+    auto read = [&f](std::uint64_t stream) {
+        f.cache->read(Role::Hdfs, storage::IoOp::HdfsRead, stream, 0,
+                      100 * kKiB, 1, [] {});
+        f.sim.run();
+    };
+    read(1);       // A
+    read(2);       // B
+    read(1);       // touch A -> B is now the LRU victim
+    read(3);       // C: evicts B, not A
+    EXPECT_EQ(f.cache->stats().evictedBytes, 100 * kKiB);
+    const std::uint64_t hits_before = f.cache->stats().readFullHits;
+    read(1); // A still resident
+    EXPECT_EQ(f.cache->stats().readFullHits, hits_before + 1);
+    read(2); // B was evicted
+    EXPECT_EQ(f.cache->stats().readFullHits, hits_before + 1);
+}
+
+TEST(PageCache, DirtyDataIsReadableBeforeWriteback)
+{
+    Fixture f;
+    f.cache->write(Role::Local, storage::IoOp::ShuffleWrite, 1, 0,
+                   50 * kKiB, 1, [] {});
+    f.sim.run();
+    Tick start = f.sim.now();
+    Tick end = 0;
+    f.cache->read(Role::Local, storage::IoOp::ShuffleRead, 1, 0,
+                  50 * kKiB, 1, [&] { end = f.sim.now(); });
+    f.sim.run();
+    EXPECT_EQ(f.cache->stats().readFullHits, 1ULL);
+    EXPECT_LT(ticksToSeconds(end - start), 0.001);
+    EXPECT_EQ(f.disk.stats().totalBytes(storage::IoKind::Read), 0ULL);
+}
+
+TEST(PageCache, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        Fixture f;
+        for (int i = 0; i < 8; ++i) {
+            f.cache->write(Role::Local, storage::IoOp::ShuffleWrite, 1,
+                           static_cast<Bytes>(i) * 40 * kKiB, 40 * kKiB,
+                           1, [] {});
+            f.cache->read(Role::Hdfs, storage::IoOp::HdfsRead, 2,
+                          static_cast<Bytes>(i) * 100 * kKiB,
+                          100 * kKiB, 1, [] {});
+        }
+        const Tick end = f.sim.run();
+        return std::make_tuple(end, f.cache->stats().flushedBytes,
+                               f.cache->stats().throttledWrites,
+                               f.cache->stats().evictedBytes);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(PageCache, ResetDropsContentsAndStats)
+{
+    Fixture f;
+    f.cache->read(Role::Hdfs, storage::IoOp::HdfsRead, 1, 0, 100 * kKiB,
+                  1, [] {});
+    f.sim.run();
+    f.cache->reset();
+    EXPECT_EQ(f.cache->cachedBytes(), 0ULL);
+    EXPECT_EQ(f.cache->stats().reads, 0ULL);
+    // The re-read is cold again: drop_caches semantics.
+    f.cache->read(Role::Hdfs, storage::IoOp::HdfsRead, 1, 0, 100 * kKiB,
+                  1, [] {});
+    f.sim.run();
+    EXPECT_EQ(f.cache->stats().readFullHits, 0ULL);
+}
+
+/** NodeConfig wired for the cache with the fixture's device params. */
+cluster::NodeConfig
+cachedNodeConfig()
+{
+    cluster::NodeConfig config;
+    config.hdfsDisk = simpleParams();
+    config.localDisk = simpleParams();
+    config.pageCache.enabled = true;
+    config.pageCache.capacity = 1000 * kKiB;
+    config.pageCache.memoryBandwidth = 1000.0 * 1000.0 * kKiB;
+    config.pageCache.readAhead = 0;
+    config.pageCache.flushChunk = 100 * kKiB;
+    return config;
+}
+
+TEST(NodeCache, AutoCapacityIsRamMinusExecutorHeap)
+{
+    sim::Simulator sim;
+    cluster::NodeConfig config = cachedNodeConfig();
+    config.pageCache.capacity = 0; // auto
+    cluster::Node node(sim, config, 0);
+    ASSERT_NE(node.pageCache(), nullptr);
+    EXPECT_EQ(node.pageCache()->capacity(),
+              config.ram - config.executorMemory);
+}
+
+TEST(NodeCache, AnonymousStreamBypassesTheCache)
+{
+    sim::Simulator sim;
+    cluster::Node node(sim, cachedNodeConfig(), 0);
+    node.readThrough(Role::Hdfs, storage::IoOp::HdfsRead,
+                     kAnonymousStream, 0, 100 * kKiB, 1, [] {});
+    sim.run();
+    EXPECT_EQ(node.pageCache()->stats().reads, 0ULL);
+    EXPECT_EQ(node.hdfsDisk().stats().totalBytes(storage::IoKind::Read),
+              100 * kKiB);
+}
+
+TEST(NodeCache, PassThroughMatchesDirectDeviceTiming)
+{
+    // With the cache disabled, readThrough with any stream identity
+    // must cost exactly what the direct device call costs.
+    sim::Simulator sim_node;
+    cluster::NodeConfig config;
+    config.hdfsDisk = simpleParams();
+    config.localDisk = simpleParams();
+    cluster::Node node(sim_node, config, 0);
+    EXPECT_EQ(node.pageCache(), nullptr);
+    node.readThrough(Role::Local, storage::IoOp::PersistRead, 7, 0,
+                     10 * kKiB, 5, [] {});
+    const Tick via_node = sim_node.run();
+
+    sim::Simulator sim_direct;
+    storage::DiskDevice disk(sim_direct, simpleParams(), "d");
+    disk.submitBatch(storage::IoOp::PersistRead, 10 * kKiB, 5, [] {});
+    const Tick direct = sim_direct.run();
+
+    EXPECT_EQ(via_node, direct);
+}
+
+TEST(NodeCache, ResetRestartsRoundRobinAndCache)
+{
+    sim::Simulator sim;
+    cluster::NodeConfig config = cachedNodeConfig();
+    config.hdfsDiskCount = 2;
+    config.localDiskCount = 3;
+    cluster::Node node(sim, config, 0);
+
+    EXPECT_EQ(&node.pickHdfsDisk(), &node.hdfsDisk(0));
+    EXPECT_EQ(&node.pickLocalDisk(), &node.localDisk(0));
+    EXPECT_EQ(&node.pickLocalDisk(), &node.localDisk(1));
+    node.readThrough(Role::Hdfs, storage::IoOp::HdfsRead, 1, 0,
+                     100 * kKiB, 1, [] {});
+    sim.run();
+
+    node.reset();
+    // Pickers start over from device 0 and the cache is cold again.
+    EXPECT_EQ(&node.pickHdfsDisk(), &node.hdfsDisk(0));
+    EXPECT_EQ(&node.pickLocalDisk(), &node.localDisk(0));
+    EXPECT_EQ(node.pageCache()->cachedBytes(), 0ULL);
+    EXPECT_EQ(node.pageCache()->stats().reads, 0ULL);
+}
+
+TEST(ClusterCache, TotalsSumOverNodes)
+{
+    sim::Simulator sim;
+    cluster::ClusterConfig config;
+    config.numSlaves = 2;
+    config.node = cachedNodeConfig();
+    cluster::Cluster cluster(sim, config);
+    EXPECT_TRUE(cluster.pageCacheEnabled());
+    cluster.node(0).readThrough(Role::Hdfs, storage::IoOp::HdfsRead, 1,
+                                0, 100 * kKiB, 1, [] {});
+    cluster.node(1).readThrough(Role::Hdfs, storage::IoOp::HdfsRead, 1,
+                                0, 100 * kKiB, 1, [] {});
+    sim.run();
+    EXPECT_EQ(cluster.pageCacheTotals().reads, 2ULL);
+    cluster.reset();
+    EXPECT_EQ(cluster.pageCacheTotals().reads, 0ULL);
+}
+
+/** A deliberately small Terasort for end-to-end runs. */
+workloads::Terasort
+tinyTerasort()
+{
+    workloads::Terasort::Options options;
+    options.dataBytes = gib(8);
+    options.reducers = 8;
+    return workloads::Terasort(options);
+}
+
+TEST(WorkloadCache, MetricsJsonOmitsPageCacheWhenDisabled)
+{
+    const cluster::ClusterConfig config =
+        cluster::ClusterConfig::motivationCluster();
+    const spark::AppMetrics metrics =
+        tinyTerasort().run(config, spark::SparkConf{});
+    EXPECT_FALSE(metrics.pageCachePresent);
+    EXPECT_EQ(spark::metricsJson(metrics).find("page_cache"),
+              std::string::npos);
+}
+
+TEST(WorkloadCache, MetricsJsonReportsPageCacheWhenEnabled)
+{
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::motivationCluster();
+    config.node.pageCache.enabled = true;
+    const spark::AppMetrics metrics =
+        tinyTerasort().run(config, spark::SparkConf{});
+    EXPECT_TRUE(metrics.pageCachePresent);
+    EXPECT_GT(metrics.pageCache.reads, 0ULL);
+    const std::string json = spark::metricsJson(metrics);
+    EXPECT_NE(json.find("\"page_cache\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"hit_ratio\":"), std::string::npos);
+}
+
+TEST(WorkloadCache, DisabledConfigMatchesDefaultBitForBit)
+{
+    // pageCache.enabled = false must be indistinguishable from a
+    // config that never heard of the page cache.
+    const cluster::ClusterConfig default_config =
+        cluster::ClusterConfig::motivationCluster();
+    cluster::ClusterConfig off_config = default_config;
+    off_config.node.pageCache.enabled = false;
+    const std::string a = spark::metricsJson(
+        tinyTerasort().run(default_config, spark::SparkConf{}));
+    const std::string b = spark::metricsJson(
+        tinyTerasort().run(off_config, spark::SparkConf{}));
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace doppio::oscache

@@ -6,8 +6,10 @@
  *       List the bundled workloads.
  *   doppio run <workload> [--nodes N] [--cores P] [--hdfs T]
  *              [--local T] [--local-disks K] [--speculate]
- *              [--trace FILE]
- *       Simulate a workload and print per-stage metrics.
+ *              [--trace FILE] [--no-page-cache] [--cache-capacity MIB]
+ *              [--cache-dirty-ratio F] [--cache-readahead KIB]
+ *       Simulate a workload and print per-stage metrics. The OS page
+ *       cache is modeled unless --no-page-cache is given.
  *   doppio profile <workload> [--nodes N] [--cores P] [--hdfs T]
  *              [--local T]
  *       Fit the I/O-aware model (extended five-run methodology) and
@@ -21,6 +23,7 @@
  * Disk types T: hdd, ssd, nvme.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -68,6 +71,13 @@ class Args
         return v.empty() ? fallback : std::atoi(v.c_str());
     }
 
+    double
+    doubleValue(const std::string &flag, double fallback) const
+    {
+        const std::string v = value(flag, "");
+        return v.empty() ? fallback : std::atof(v.c_str());
+    }
+
     bool
     has(const std::string &flag) const
     {
@@ -103,6 +113,22 @@ clusterFromArgs(const Args &args)
     config.node.hdfsDisk = diskByName(args.value("--hdfs", "ssd"));
     config.node.localDisk = diskByName(args.value("--local", "ssd"));
     config.node.localDiskCount = args.intValue("--local-disks", 1);
+    // The CLI models the OS page cache by default (real clusters run
+    // with it warm); --no-page-cache reproduces the library default,
+    // i.e. the paper's drop_caches profiling conditions.
+    config.node.pageCache.enabled = !args.has("--no-page-cache");
+    config.node.pageCache.capacity =
+        static_cast<Bytes>(args.intValue("--cache-capacity", 0)) * kMiB;
+    config.node.pageCache.dirtyRatio = args.doubleValue(
+        "--cache-dirty-ratio", config.node.pageCache.dirtyRatio);
+    config.node.pageCache.dirtyBackgroundRatio =
+        std::min(config.node.pageCache.dirtyBackgroundRatio,
+                 config.node.pageCache.dirtyRatio / 2.0);
+    config.node.pageCache.readAhead =
+        static_cast<Bytes>(args.intValue(
+            "--cache-readahead",
+            static_cast<int>(config.node.pageCache.readAhead / kKiB))) *
+        kKiB;
     return config;
 }
 
@@ -151,6 +177,15 @@ cmdRun(const std::string &name, const Args &args)
     std::cout << "total: "
               << formatDuration(secondsToTicks(metrics.seconds()))
               << "\n";
+    if (metrics.pageCachePresent) {
+        std::cout << "\n";
+        Bytes capacity = config.node.pageCache.capacity;
+        if (capacity == 0 &&
+            config.node.ram > config.node.executorMemory)
+            capacity = config.node.ram - config.node.executorMemory;
+        model::writePageCacheReport(std::cout, metrics.pageCache,
+                                    capacity);
+    }
     return 0;
 }
 
@@ -255,7 +290,15 @@ usage()
            "  fio [--disk hdd|ssd|nvme]     bandwidth sweep\n"
            "  optimize [--workers N]        cloud cost optimization\n"
            "options: --nodes N --cores P --hdfs T --local T\n"
-           "         --local-disks K --speculate\n";
+           "         --local-disks K --speculate\n"
+           "         --no-page-cache            direct I/O "
+           "(drop_caches conditions)\n"
+           "         --cache-capacity MIB       page cache per node "
+           "(0 = RAM - heap)\n"
+           "         --cache-dirty-ratio F      writer-throttle "
+           "fraction (default 0.2)\n"
+           "         --cache-readahead KIB      sequential read-ahead "
+           "window\n";
     return 2;
 }
 
