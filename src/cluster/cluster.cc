@@ -77,6 +77,23 @@ Node::writeThrough(oscache::Role role, storage::IoOp op,
 }
 
 void
+Node::setDegradedFactor(double factor)
+{
+    for (auto &disk : hdfsDisks_)
+        disk->setDegradedFactor(factor);
+    for (auto &disk : localDisks_)
+        disk->setDegradedFactor(factor);
+}
+
+Bytes
+Node::dropPageCacheForFailure()
+{
+    if (!pageCache_)
+        return 0;
+    return pageCache_->dropForFailure();
+}
+
+void
 Node::reset()
 {
     nextHdfs_ = 0;
@@ -113,6 +130,45 @@ Cluster::Cluster(sim::Simulator &simulator, ClusterConfig config)
         nodes_.push_back(std::make_unique<Node>(sim_, config_.node, n));
     network_ = std::make_unique<net::Network>(
         sim_, config_.numSlaves, config_.networkBandwidth);
+    alive_.assign(static_cast<std::size_t>(config_.numSlaves), true);
+    aliveCount_ = config_.numSlaves;
+}
+
+std::vector<int>
+Cluster::aliveNodes() const
+{
+    std::vector<int> nodes;
+    nodes.reserve(static_cast<std::size_t>(aliveCount_));
+    for (int n = 0; n < config_.numSlaves; ++n) {
+        if (alive_[static_cast<std::size_t>(n)])
+            nodes.push_back(n);
+    }
+    return nodes;
+}
+
+void
+Cluster::setNodeAlive(int id, bool alive)
+{
+    if (id < 0 || id >= config_.numSlaves)
+        fatal("Cluster: setNodeAlive on invalid node %d", id);
+    if (alive_[static_cast<std::size_t>(id)] == alive)
+        return;
+    if (!alive && aliveCount_ <= 1)
+        fatal("Cluster: cannot kill node %d, it is the last one alive",
+              id);
+    alive_[static_cast<std::size_t>(id)] = alive;
+    aliveCount_ += alive ? 1 : -1;
+    if (!alive)
+        lostDirtyBytes_ += nodes_[static_cast<std::size_t>(id)]
+                               ->dropPageCacheForFailure();
+    for (const LivenessObserver &observer : observers_)
+        observer(id, alive);
+}
+
+void
+Cluster::addLivenessObserver(LivenessObserver observer)
+{
+    observers_.push_back(std::move(observer));
 }
 
 Bytes
@@ -138,6 +194,9 @@ Cluster::reset()
 {
     for (auto &node : nodes_)
         node->reset();
+    alive_.assign(static_cast<std::size_t>(config_.numSlaves), true);
+    aliveCount_ = config_.numSlaves;
+    lostDirtyBytes_ = 0;
 }
 
 } // namespace doppio::cluster

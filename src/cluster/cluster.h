@@ -94,6 +94,22 @@ class Node
                       std::uint64_t count, std::function<void()> done);
 
     /**
+     * Scale the service time of every device on this node by
+     * @p factor (>= 1; 1 restores full speed) — the fault injector's
+     * degraded-device mode (failing controller, thermal throttling).
+     */
+    void setDegradedFactor(double factor);
+
+    /**
+     * Node-failure cache loss: discard the page cache's contents,
+     * including dirty extents that were never written back.
+     * @return the dirty bytes lost. Safe while I/O is in flight
+     * (in-flight callbacks find an empty cache). No-op without a
+     * page cache.
+     */
+    Bytes dropPageCacheForFailure();
+
+    /**
      * Reset mutable runtime state — the round-robin picker cursors and
      * the page-cache contents/statistics — so back-to-back simulations
      * in one process start from identical state.
@@ -129,6 +145,36 @@ class Cluster
 
     net::Network &network() { return *network_; }
 
+    /** Observer of node liveness transitions (fault injection). */
+    using LivenessObserver = std::function<void(int node, bool alive)>;
+
+    /** @return true when node @p id is up (always true by default). */
+    bool nodeAlive(int id) const
+    {
+        return alive_[static_cast<std::size_t>(id)];
+    }
+
+    /** @return number of nodes currently up. */
+    int aliveCount() const { return aliveCount_; }
+
+    /** @return ids of the nodes currently up, ascending. */
+    std::vector<int> aliveNodes() const;
+
+    /**
+     * Kill (@p alive false) or rejoin (@p alive true) a node. A kill
+     * drops the node's page cache (dirty extents are counted as lost
+     * writes); a rejoined node comes back empty. Observers are
+     * notified after the state change, in registration order. No-op
+     * when the state does not change.
+     */
+    void setNodeAlive(int id, bool alive);
+
+    /** Register a liveness observer (never unregistered). */
+    void addLivenessObserver(LivenessObserver observer);
+
+    /** @return dirty page-cache bytes lost to node kills so far. */
+    Bytes lostDirtyBytes() const { return lostDirtyBytes_; }
+
     /** @return cluster-wide RDD storage memory (sum over slaves). */
     Bytes totalStorageMemory() const;
 
@@ -149,6 +195,10 @@ class Cluster
     ClusterConfig config_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<net::Network> network_;
+    std::vector<bool> alive_;
+    int aliveCount_ = 0;
+    std::vector<LivenessObserver> observers_;
+    Bytes lostDirtyBytes_ = 0;
 };
 
 } // namespace doppio::cluster

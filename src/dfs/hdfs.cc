@@ -1,8 +1,10 @@
 #include "dfs/hdfs.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/logging.h"
+#include "faults/fault_injector.h"
 #include "storage/io_request.h"
 
 namespace doppio::dfs {
@@ -62,9 +64,7 @@ void
 Hdfs::readChunk(int node, std::uint64_t stream, Bytes offset,
                 Bytes chunk, std::function<void()> done)
 {
-    cluster_.node(node).readThrough(oscache::Role::Hdfs,
-                                    storage::IoOp::HdfsRead, stream,
-                                    offset, chunk, 1, std::move(done));
+    readBatch(node, stream, offset, chunk, 1, std::move(done));
 }
 
 void
@@ -94,6 +94,23 @@ Hdfs::readBatch(int node, std::uint64_t stream, Bytes offset,
                 Bytes chunk, std::uint64_t count,
                 std::function<void()> done)
 {
+    if (injector_ != nullptr && cluster_.aliveCount() > 1 &&
+        injector_->drawHdfsReadError(lostReplicaFraction())) {
+        // Local replica unreadable (I/O error or lost with a dead
+        // node): fail over to a surviving replica — remote disk read
+        // plus a network hop back to the consumer.
+        ++readFailovers_;
+        const int remote = pickAliveRemote(node);
+        const Bytes total = chunk * count;
+        cluster_.node(remote).readThrough(
+            oscache::Role::Hdfs, storage::IoOp::HdfsRead, stream,
+            offset, chunk, count,
+            [this, remote, node, total, done = std::move(done)]() mutable {
+                cluster_.network().transfer(remote, node, total,
+                                            std::move(done));
+            });
+        return;
+    }
     cluster_.node(node).readThrough(oscache::Role::Hdfs,
                                     storage::IoOp::HdfsRead, stream,
                                     offset, chunk, count,
@@ -113,8 +130,12 @@ Hdfs::writeBatch(int node, std::uint64_t stream, Bytes offset,
                  Bytes chunk, std::uint64_t count,
                  std::function<void()> done)
 {
+    // With nodes down, replication degrades to the survivors (a real
+    // pipeline writes the replicas it can and the NameNode catches up
+    // later); while everything is up this equals the configured
+    // min(replication, numSlaves).
     const int replicas = std::min(config_.replication,
-                                  cluster_.numSlaves());
+                                  cluster_.aliveCount());
     physicalWritten_ +=
         chunk * count * static_cast<Bytes>(replicas);
 
@@ -139,6 +160,13 @@ Hdfs::writeBatch(int node, std::uint64_t stream, Bytes offset,
             if (remote >= node)
                 ++remote;
         }
+        // Dead targets are skipped by advancing deterministically to
+        // the next alive node — no extra randomness, so placement is
+        // unchanged while every node is up.
+        if (!cluster_.nodeAlive(remote))
+            remote = pickAliveRemote(remote);
+        if (remote == node)
+            remote = pickAliveRemote(node);
         cluster_.network().transfer(
             node, remote, chunk * count,
             [this, remote, stream, offset, chunk, count, barrier]() {
@@ -149,6 +177,131 @@ Hdfs::writeBatch(int node, std::uint64_t stream, Bytes offset,
                     stream, offset, chunk, count, barrier);
             });
     }
+}
+
+void
+Hdfs::setFaultInjector(faults::FaultInjector *injector)
+{
+    injector_ = injector;
+    if (injector_ == nullptr || observerRegistered_)
+        return;
+    observerRegistered_ = true;
+    cluster_.addLivenessObserver([this](int node, bool alive) {
+        if (!alive && injector_ != nullptr)
+            onNodeDeath(node);
+    });
+}
+
+double
+Hdfs::lostReplicaFraction() const
+{
+    if (underReplicated_.empty())
+        return 0.0;
+    const int replicas = std::min(config_.replication,
+                                  cluster_.numSlaves());
+    return static_cast<double>(underReplicated_.size()) /
+           (static_cast<double>(cluster_.numSlaves()) *
+            static_cast<double>(replicas));
+}
+
+int
+Hdfs::pickAliveRemote(int node) const
+{
+    for (int k = 1; k < cluster_.numSlaves(); ++k) {
+        const int candidate = (node + k) % cluster_.numSlaves();
+        if (cluster_.nodeAlive(candidate))
+            return candidate;
+    }
+    fatal("Hdfs: no alive remote node besides %d", node);
+}
+
+void
+Hdfs::onNodeDeath(int node)
+{
+    if (underReplicated_.count(node))
+        return;
+    underReplicated_.insert(node);
+    startReReplication(node);
+}
+
+void
+Hdfs::startReReplication(int deadNode)
+{
+    // The dead node held roughly 1/numSlaves of the cluster's
+    // physical bytes (registered inputs at full replication plus
+    // everything written through this service). That share must be
+    // copied onto the survivors to restore the replication factor.
+    Bytes logical = 0;
+    for (const HdfsFile &f : files_)
+        logical += f.size;
+    const int replicas = std::min(config_.replication,
+                                  cluster_.numSlaves());
+    const Bytes physical =
+        logical * static_cast<Bytes>(replicas) + physicalWritten_;
+    const Bytes share =
+        physical / static_cast<Bytes>(cluster_.numSlaves());
+    if (share == 0) {
+        underReplicated_.erase(deadNode);
+        return;
+    }
+    auto state = std::make_shared<ReReplication>();
+    state->deadNode = deadNode;
+    state->chunk = std::min(config_.blockSize, share);
+    state->totalChunks = (share + state->chunk - 1) / state->chunk;
+    state->startTick = cluster_.simulator().now();
+    // One copy pipeline per surviving node, like the NameNode fanning
+    // replication work across the fleet.
+    const std::uint64_t workers =
+        std::min<std::uint64_t>(state->totalChunks,
+                                static_cast<std::uint64_t>(
+                                    cluster_.aliveCount()));
+    for (std::uint64_t w = 0; w < workers; ++w)
+        reReplicateNext(state);
+}
+
+void
+Hdfs::reReplicateNext(const std::shared_ptr<ReReplication> &state)
+{
+    if (state->nextChunk >= state->totalChunks)
+        return;
+    const std::uint64_t i = state->nextChunk++;
+    const std::vector<int> alive = cluster_.aliveNodes();
+    const int src = alive[i % alive.size()];
+    const int dst = alive.size() > 1 ? alive[(i + 1) % alive.size()]
+                                     : src;
+    auto finishChunk = [this, state]() {
+        ++state->completed;
+        if (state->completed < state->totalChunks) {
+            reReplicateNext(state);
+            return;
+        }
+        underReplicated_.erase(state->deadNode);
+        reReplicatedBytes_ += state->chunk * state->totalChunks;
+        reReplicationTicks_ +=
+            cluster_.simulator().now() - state->startTick;
+    };
+    const Bytes chunk = state->chunk;
+    // Anonymous traffic: recovery copies stream past the page caches,
+    // like the DataNode's block files do.
+    auto writeCopy = [this, dst, chunk,
+                      finishChunk = std::move(finishChunk)]() mutable {
+        cluster_.node(dst).writeThrough(
+            oscache::Role::Hdfs, storage::IoOp::HdfsWrite,
+            oscache::kAnonymousStream, 0, chunk, 1,
+            std::move(finishChunk));
+    };
+    cluster_.node(src).readThrough(
+        oscache::Role::Hdfs, storage::IoOp::HdfsRead,
+        oscache::kAnonymousStream, 0, chunk, 1,
+        [this, src, dst, chunk,
+         writeCopy = std::move(writeCopy)]() mutable {
+            if (src == dst) {
+                writeCopy();
+                return;
+            }
+            cluster_.network().transfer(src, dst, chunk,
+                                        std::move(writeCopy));
+        });
 }
 
 } // namespace doppio::dfs

@@ -15,13 +15,20 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "common/random.h"
+#include "common/sim_time.h"
 #include "common/units.h"
+
+namespace doppio::faults {
+class FaultInjector;
+}
 
 namespace doppio::dfs {
 
@@ -126,13 +133,69 @@ class Hdfs
     /** @return physical bytes written including replication. */
     Bytes physicalBytesWritten() const { return physicalWritten_; }
 
+    /**
+     * Attach the run's fault injector. Registers a cluster liveness
+     * observer: a node death marks the node's block share
+     * under-replicated and starts background re-replication (reads on
+     * surviving replicas, network copy, write on a new holder). While
+     * any node is under-replicated, reads fail over to a surviving
+     * replica with probability equal to the lost-replica fraction —
+     * the locality loss a real NameNode imposes on rescheduled tasks.
+     * Passing nullptr detaches (draws stop; observers stay registered
+     * but become no-ops).
+     */
+    void setFaultInjector(faults::FaultInjector *injector);
+
+    /** @return reads that failed over to a remote replica. */
+    std::uint64_t readFailovers() const { return readFailovers_; }
+
+    /** @return bytes copied by background re-replication. */
+    Bytes reReplicatedBytes() const { return reReplicatedBytes_; }
+
+    /** @return wall-clock seconds spent re-replicating (summed per
+     *          dead node; concurrent recoveries may overlap). */
+    double reReplicationSeconds() const
+    {
+        return ticksToSeconds(reReplicationTicks_);
+    }
+
   private:
+    /** Progress of one dead node's background re-replication. */
+    struct ReReplication
+    {
+        int deadNode = -1;
+        Bytes chunk = 0;
+        std::uint64_t totalChunks = 0;
+        std::uint64_t nextChunk = 0;
+        std::uint64_t completed = 0;
+        Tick startTick = 0;
+    };
+
+    /** Fraction of reads whose preferred replica died and has not
+     *  been re-replicated yet. */
+    double lostReplicaFraction() const;
+
+    /** First alive node after @p node in ring order; fatal if the
+     *  whole cluster is down. */
+    int pickAliveRemote(int node) const;
+
+    void onNodeDeath(int node);
+    void startReReplication(int deadNode);
+    void reReplicateNext(const std::shared_ptr<ReReplication> &state);
+
     cluster::Cluster &cluster_;
     HdfsConfig config_;
     std::vector<HdfsFile> files_;
     std::unordered_map<std::string, FileId> byName_;
     Rng rng_;
     Bytes physicalWritten_ = 0;
+    faults::FaultInjector *injector_ = nullptr;
+    bool observerRegistered_ = false;
+    /// Dead nodes whose block share is not fully re-replicated yet.
+    std::set<int> underReplicated_;
+    std::uint64_t readFailovers_ = 0;
+    Bytes reReplicatedBytes_ = 0;
+    Tick reReplicationTicks_ = 0;
 };
 
 } // namespace doppio::dfs

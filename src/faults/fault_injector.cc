@@ -1,0 +1,78 @@
+#include "faults/fault_injector.h"
+
+#include "common/logging.h"
+#include "common/sim_time.h"
+
+namespace doppio::faults {
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      rng_(seed ^ 0x666c7473ULL /* "flts" */)
+{
+    spec_.validate();
+}
+
+bool
+FaultInjector::drawTaskFailure()
+{
+    if (spec_.taskFailureRate <= 0.0)
+        return false;
+    return rng_.uniform() < spec_.taskFailureRate;
+}
+
+std::uint64_t
+FaultInjector::drawFailurePhase(std::uint64_t numPhases)
+{
+    return rng_.uniformInt(numPhases + 1);
+}
+
+bool
+FaultInjector::drawHdfsReadError(double extraProbability)
+{
+    const double p = spec_.diskReadErrorRate + extraProbability;
+    if (p <= 0.0)
+        return false;
+    return rng_.uniform() < p;
+}
+
+bool
+FaultInjector::drawFetchFailure()
+{
+    if (spec_.shuffleFetchFailureRate <= 0.0)
+        return false;
+    return rng_.uniform() < spec_.shuffleFetchFailureRate;
+}
+
+void
+FaultInjector::arm(cluster::Cluster &cluster)
+{
+    if (armed_)
+        fatal("FaultInjector: arm() called twice");
+    armed_ = true;
+    for (const NodeEvent &event : spec_.schedule.events()) {
+        if (event.node >= cluster.numSlaves())
+            fatal("FaultInjector: %s event targets node %d but the "
+                  "cluster has %d slaves",
+                  nodeEventKindName(event.kind), event.node,
+                  cluster.numSlaves());
+        cluster::Cluster *target = &cluster;
+        const NodeEvent scheduled = event;
+        cluster.simulator().scheduleAt(
+            secondsToTicks(event.atSeconds), [target, scheduled]() {
+                switch (scheduled.kind) {
+                  case NodeEvent::Kind::Kill:
+                    target->setNodeAlive(scheduled.node, false);
+                    break;
+                  case NodeEvent::Kind::Rejoin:
+                    target->setNodeAlive(scheduled.node, true);
+                    break;
+                  case NodeEvent::Kind::Degrade:
+                    target->node(scheduled.node)
+                        .setDegradedFactor(scheduled.factor);
+                    break;
+                }
+            });
+    }
+}
+
+} // namespace doppio::faults

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Runtime fault injection.
+ *
+ * A FaultInjector turns a FaultSpec into concrete failures against one
+ * simulated cluster. It owns a dedicated RNG stream (forked from the
+ * cluster seed) so that fault draws never perturb the jitter/placement
+ * streams of the fault-free simulation: a run with all rates at zero
+ * consumes no randomness and is bit-for-bit identical to a run with no
+ * injector at all. Scheduled node events are armed once as simulator
+ * events; liveness changes propagate through
+ * cluster::Cluster::setNodeAlive so every subscriber (task engine,
+ * HDFS, page caches) observes the same deterministic order.
+ */
+
+#ifndef DOPPIO_FAULTS_FAULT_INJECTOR_H
+#define DOPPIO_FAULTS_FAULT_INJECTOR_H
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "faults/fault_spec.h"
+
+namespace doppio::faults {
+
+/** Seeded source of runtime failures for one simulation. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param spec validated fault description.
+     * @param seed root seed (use the cluster seed for reproducible
+     *             coupling to the run configuration).
+     */
+    FaultInjector(FaultSpec spec, std::uint64_t seed);
+
+    const FaultSpec &spec() const { return spec_; }
+
+    /** @return true when the spec contains any fault source. */
+    bool active() const { return spec_.any(); }
+
+    /**
+     * Draw one per-attempt task crash. Consumes randomness only when
+     * the task failure rate is positive.
+     */
+    bool drawTaskFailure();
+
+    /**
+     * For a crashing attempt with @p numPhases phases: the phase
+     * boundary at which it dies, in [0, numPhases] (numPhases = just
+     * before completing, maximal wasted work).
+     */
+    std::uint64_t drawFailurePhase(std::uint64_t numPhases);
+
+    /**
+     * Draw one HDFS local-read failure with probability
+     * diskReadErrorRate + @p extraProbability (the caller adds the
+     * lost-replica fraction while re-replication is in flight).
+     * Consumes randomness only when the total is positive.
+     */
+    bool drawHdfsReadError(double extraProbability);
+
+    /** Draw one spontaneous shuffle-fetch failure. */
+    bool drawFetchFailure();
+
+    /**
+     * Schedule every FaultSchedule event against @p cluster's
+     * simulator: kills and rejoins call Cluster::setNodeAlive (which
+     * notifies liveness observers); degrade events scale the node's
+     * device service times. Call exactly once, before the run starts.
+     */
+    void arm(cluster::Cluster &cluster);
+
+  private:
+    FaultSpec spec_;
+    Rng rng_;
+    bool armed_ = false;
+};
+
+} // namespace doppio::faults
+
+#endif // DOPPIO_FAULTS_FAULT_INJECTOR_H

@@ -1,0 +1,178 @@
+#include "faults/fault_spec.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace doppio::faults {
+
+const char *
+nodeEventKindName(NodeEvent::Kind kind)
+{
+    switch (kind) {
+      case NodeEvent::Kind::Kill:
+        return "kill";
+      case NodeEvent::Kind::Rejoin:
+        return "rejoin";
+      case NodeEvent::Kind::Degrade:
+        return "degrade";
+    }
+    return "?";
+}
+
+FaultSchedule::FaultSchedule(std::vector<NodeEvent> events)
+    : events_(std::move(events))
+{
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const NodeEvent &a, const NodeEvent &b) {
+                         return a.atSeconds < b.atSeconds;
+                     });
+}
+
+void
+FaultSchedule::add(NodeEvent event)
+{
+    auto it = std::upper_bound(
+        events_.begin(), events_.end(), event,
+        [](const NodeEvent &a, const NodeEvent &b) {
+            return a.atSeconds < b.atSeconds;
+        });
+    events_.insert(it, event);
+}
+
+bool
+FaultSpec::any() const
+{
+    return taskFailureRate > 0.0 || diskReadErrorRate > 0.0 ||
+           shuffleFetchFailureRate > 0.0 || !schedule.empty();
+}
+
+void
+FaultSpec::validate() const
+{
+    auto check_rate = [](double rate, const char *name) {
+        if (rate < 0.0 || rate >= 1.0)
+            fatal("FaultSpec: %s must be in [0, 1), got %g", name, rate);
+    };
+    check_rate(taskFailureRate, "task-fail-rate");
+    check_rate(diskReadErrorRate, "disk-error-rate");
+    check_rate(shuffleFetchFailureRate, "fetch-fail-rate");
+    for (const NodeEvent &event : schedule.events()) {
+        if (event.node < 0)
+            fatal("FaultSpec: negative node id %d in %s event",
+                  event.node, nodeEventKindName(event.kind));
+        if (event.atSeconds < 0.0)
+            fatal("FaultSpec: negative time %g in %s event",
+                  event.atSeconds, nodeEventKindName(event.kind));
+        if (event.kind == NodeEvent::Kind::Degrade && event.factor < 1.0)
+            fatal("FaultSpec: degrade factor must be >= 1, got %g",
+                  event.factor);
+    }
+}
+
+namespace {
+
+double
+parseDouble(const std::string &token, const std::string &source,
+            int line)
+{
+    char *end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0')
+        fatal("FaultSpec %s:%d: expected a number, got '%s'",
+              source.c_str(), line, token.c_str());
+    return value;
+}
+
+/** Split "id@t" into a node event skeleton. */
+NodeEvent
+parseNodeAt(const std::string &token, NodeEvent::Kind kind,
+            const std::string &source, int line)
+{
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos)
+        fatal("FaultSpec %s:%d: expected <node>@<seconds>, got '%s'",
+              source.c_str(), line, token.c_str());
+    NodeEvent event;
+    event.kind = kind;
+    event.node = static_cast<int>(
+        parseDouble(token.substr(0, at), source, line));
+    event.atSeconds = parseDouble(token.substr(at + 1), source, line);
+    return event;
+}
+
+} // namespace
+
+FaultSpec
+FaultSpec::parse(const std::string &text, const std::string &source)
+{
+    FaultSpec spec;
+    // Statements are separated by newlines or semicolons.
+    std::string normalized = text;
+    std::replace(normalized.begin(), normalized.end(), ';', '\n');
+    std::istringstream lines(normalized);
+    std::string raw_line;
+    int line_no = 0;
+    while (std::getline(lines, raw_line)) {
+        ++line_no;
+        const std::size_t hash = raw_line.find('#');
+        if (hash != std::string::npos)
+            raw_line.erase(hash);
+        std::istringstream words(raw_line);
+        std::string key;
+        if (!(words >> key))
+            continue;
+        std::string arg;
+        if (!(words >> arg))
+            fatal("FaultSpec %s:%d: '%s' needs an argument",
+                  source.c_str(), line_no, key.c_str());
+        if (key == "task-fail-rate") {
+            spec.taskFailureRate = parseDouble(arg, source, line_no);
+        } else if (key == "disk-error-rate") {
+            spec.diskReadErrorRate = parseDouble(arg, source, line_no);
+        } else if (key == "fetch-fail-rate") {
+            spec.shuffleFetchFailureRate =
+                parseDouble(arg, source, line_no);
+        } else if (key == "kill") {
+            spec.schedule.add(parseNodeAt(arg, NodeEvent::Kind::Kill,
+                                          source, line_no));
+        } else if (key == "rejoin") {
+            spec.schedule.add(parseNodeAt(arg, NodeEvent::Kind::Rejoin,
+                                          source, line_no));
+        } else if (key == "degrade") {
+            NodeEvent event = parseNodeAt(arg, NodeEvent::Kind::Degrade,
+                                          source, line_no);
+            std::string factor;
+            if (!(words >> factor))
+                fatal("FaultSpec %s:%d: degrade needs a factor",
+                      source.c_str(), line_no);
+            event.factor = parseDouble(factor, source, line_no);
+            spec.schedule.add(event);
+        } else {
+            fatal("FaultSpec %s:%d: unknown directive '%s'",
+                  source.c_str(), line_no, key.c_str());
+        }
+        std::string extra;
+        if (words >> extra)
+            fatal("FaultSpec %s:%d: trailing '%s' after %s",
+                  source.c_str(), line_no, extra.c_str(), key.c_str());
+    }
+    spec.validate();
+    return spec;
+}
+
+FaultSpec
+FaultSpec::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("FaultSpec: cannot open '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), path);
+}
+
+} // namespace doppio::faults

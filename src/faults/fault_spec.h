@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Declarative fault specification.
+ *
+ * A FaultSpec describes every failure a simulation should experience:
+ * seeded per-attempt task crash probability, transient HDFS read
+ * errors (forcing replica failover), shuffle-fetch failure, and a
+ * FaultSchedule of node-scoped events (whole-node loss, rejoin,
+ * degraded-device mode) pinned to simulated times. Specs are plain
+ * data and parse from a small text format, so a fault scenario is
+ * reproducible across runs and shareable as a file:
+ *
+ *   task-fail-rate 0.02      # per task attempt
+ *   disk-error-rate 0.001    # per HDFS read batch (transient)
+ *   fetch-fail-rate 0.0005   # per shuffle source batch
+ *   kill 2@120               # node 2 dies at t=120 s
+ *   rejoin 2@600             # ...and comes back empty at t=600 s
+ *   degrade 1@60 4.0         # node 1's devices slow down 4x at t=60 s
+ *
+ * '#' starts a comment; ';' separates statements on one line (for
+ * inline command-line use).
+ */
+
+#ifndef DOPPIO_FAULTS_FAULT_SPEC_H
+#define DOPPIO_FAULTS_FAULT_SPEC_H
+
+#include <string>
+#include <vector>
+
+namespace doppio::faults {
+
+/** One scheduled node-scoped fault event. */
+struct NodeEvent
+{
+    enum class Kind { Kill, Rejoin, Degrade };
+
+    Kind kind = Kind::Kill;
+    int node = 0;
+    double atSeconds = 0.0;
+    /** Degrade only: device service-time multiplier (>= 1). */
+    double factor = 1.0;
+};
+
+/** @return "kill" / "rejoin" / "degrade". */
+const char *nodeEventKindName(NodeEvent::Kind kind);
+
+/**
+ * The deterministic timeline of scheduled node events, ordered by
+ * (time, declaration order). Probabilistic faults live in FaultSpec;
+ * the schedule holds only the pinned ones.
+ */
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+    explicit FaultSchedule(std::vector<NodeEvent> events);
+
+    const std::vector<NodeEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    void add(NodeEvent event);
+
+  private:
+    std::vector<NodeEvent> events_;
+};
+
+/** Everything that can go wrong in one run. */
+struct FaultSpec
+{
+    /** Per-attempt probability that a task crashes mid-flight. */
+    double taskFailureRate = 0.0;
+
+    /**
+     * Per-HDFS-read probability of a transient local-replica error;
+     * the read fails over to a surviving remote replica (disk there
+     * plus a network hop).
+     */
+    double diskReadErrorRate = 0.0;
+
+    /**
+     * Per-source-batch probability that a shuffle fetch fails even
+     * though the serving node is alive (socket reset, corrupt block).
+     * Triggers the same stage-reattempt path as node loss.
+     */
+    double shuffleFetchFailureRate = 0.0;
+
+    /** Scheduled node loss / rejoin / degradation. */
+    FaultSchedule schedule;
+
+    /** @return true when any fault source is active. */
+    bool any() const;
+
+    /** fatal() on out-of-range rates or malformed events. */
+    void validate() const;
+
+    /**
+     * Parse the text format described in the file header. fatal() on
+     * syntax errors. @p source names the input in error messages.
+     */
+    static FaultSpec parse(const std::string &text,
+                           const std::string &source = "<inline>");
+
+    /** Parse a fault-spec file; fatal() if unreadable. */
+    static FaultSpec parseFile(const std::string &path);
+};
+
+} // namespace doppio::faults
+
+#endif // DOPPIO_FAULTS_FAULT_SPEC_H

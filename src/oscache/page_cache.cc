@@ -132,6 +132,25 @@ PageCache::reset()
 }
 
 Bytes
+PageCache::dropForFailure()
+{
+    const Bytes lost = dirtyBytes_;
+    streams_.clear();
+    lru_.clear();
+    dirtyList_.clear();
+    nextOffset_.clear();
+    cachedBytes_ = 0;
+    dirtyBytes_ = 0;
+    std::deque<Waiter> parked;
+    parked.swap(waiters_);
+    for (Waiter &waiter : parked) {
+        if (waiter.done)
+            sim_.schedule(0, std::move(waiter.done));
+    }
+    return lost;
+}
+
+Bytes
 PageCache::residentBytes(StreamKey key, Bytes start, Bytes end)
 {
     auto stream_it = streams_.find(key);

@@ -200,6 +200,17 @@ class PageCache
      */
     void reset();
 
+    /**
+     * Node-failure loss: discard every cached extent, including dirty
+     * ones that were never written back (lost writes). Unlike
+     * reset(), this is safe while I/O through the cache is in flight:
+     * parked writers complete immediately (their data is lost either
+     * way) and an in-flight writeback callback finds an empty dirty
+     * list. Statistics survive — they feed the run's report.
+     * @return the dirty bytes lost.
+     */
+    Bytes dropForFailure();
+
   private:
     /** Key of one cached stream: role in the top bit, stream below. */
     using StreamKey = std::uint64_t;

@@ -90,6 +90,8 @@ DagScheduler::buildChain(const RddRef &rdd, std::vector<StageSpec> &stages)
 
         TaskGroupSpec group{rdd->name, rdd->numPartitions, {read},
                             rdd->bytesPerPartition()};
+        if (build.shuffleSource.empty())
+            build.shuffleSource = rdd->mapStageName();
         const double compute =
             rdd->cpuPerInputByte * static_cast<double>(per_task) +
             rdd->cpuPerTask;
@@ -114,6 +116,8 @@ DagScheduler::buildChain(const RddRef &rdd, std::vector<StageSpec> &stages)
                           : 0.0;
     for (const Rdd::Dep &dep : rdd->deps) {
         ChainBuild sub = buildChain(dep.parent, stages);
+        if (build.shuffleSource.empty())
+            build.shuffleSource = sub.shuffleSource;
         for (TaskGroupSpec &group : sub.groups) {
             const double compute =
                 rdd->cpuPerInputByte *
@@ -164,6 +168,7 @@ DagScheduler::ensureShuffle(const RddRef &rdd,
     stage.name = rdd->mapStageName();
     stage.groups = std::move(parent_build.groups);
     stage.gcSensitivity = parent_build.gcSensitivity;
+    stage.shuffleSource = parent_build.shuffleSource;
     stages.push_back(std::move(stage));
     blockManager_.markShuffleAvailable(rdd.get());
 }
@@ -217,6 +222,7 @@ DagScheduler::compile(const std::string &jobName, const RddRef &target,
     result.name = jobName;
     result.groups = std::move(build.groups);
     result.gcSensitivity = build.gcSensitivity;
+    result.shuffleSource = build.shuffleSource;
     job.stages.push_back(std::move(result));
     return job;
 }

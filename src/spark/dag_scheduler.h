@@ -84,6 +84,8 @@ class DagScheduler
     {
         std::vector<TaskGroupSpec> groups;
         double gcSensitivity = 0.0;
+        /** Map stage feeding the chain's shuffle read, if any. */
+        std::string shuffleSource;
     };
 
     /**

@@ -2,6 +2,48 @@
 
 namespace doppio::spark {
 
+bool
+FaultMetrics::any() const
+{
+    return taskFailures != 0 || taskRetries != 0 || lostAttempts != 0 ||
+           fetchFailures != 0 || stageReattempts != 0 ||
+           hdfsFailovers != 0 || wastedTaskSeconds != 0.0 ||
+           recoverySeconds != 0.0 || reReplicatedBytes != 0 ||
+           lostDirtyBytes != 0;
+}
+
+FaultMetrics &
+FaultMetrics::operator+=(const FaultMetrics &other)
+{
+    taskAttempts += other.taskAttempts;
+    taskFailures += other.taskFailures;
+    taskRetries += other.taskRetries;
+    lostAttempts += other.lostAttempts;
+    fetchFailures += other.fetchFailures;
+    stageReattempts += other.stageReattempts;
+    hdfsFailovers += other.hdfsFailovers;
+    wastedTaskSeconds += other.wastedTaskSeconds;
+    recoverySeconds += other.recoverySeconds;
+    reReplicatedBytes += other.reReplicatedBytes;
+    lostDirtyBytes += other.lostDirtyBytes;
+    return *this;
+}
+
+void
+StageMetrics::foldIn(const StageMetrics &rerun)
+{
+    taskDuration.merge(rerun.taskDuration);
+    for (std::size_t i = 0; i < io.size(); ++i) {
+        io[i].requests += rerun.io[i].requests;
+        io[i].bytes += rerun.io[i].bytes;
+        io[i].requestSize.merge(rerun.io[i].requestSize);
+        io[i].phaseSeconds.merge(rerun.io[i].phaseSeconds);
+    }
+    faults += rerun.faults;
+    endTick = rerun.endTick;
+    fetchFailedSource = rerun.fetchFailedSource;
+}
+
 Bytes
 StageMetrics::totalBytes(storage::IoKind kind) const
 {

@@ -46,6 +46,32 @@ struct StageIoStats
     }
 };
 
+/**
+ * Failure/recovery accounting (fault-injection runs). All counters
+ * stay zero in a fault-free run, and any() stays false even when
+ * taskAttempts is counted, so fault-free JSON output is unchanged.
+ */
+struct FaultMetrics
+{
+    std::uint64_t taskAttempts = 0; //!< attempts launched (incl. clean)
+    std::uint64_t taskFailures = 0; //!< attempts that crashed
+    std::uint64_t taskRetries = 0;  //!< failed tasks re-queued
+    std::uint64_t lostAttempts = 0; //!< attempts killed by node loss
+    std::uint64_t fetchFailures = 0;   //!< shuffle fetches that failed
+    std::uint64_t stageReattempts = 0; //!< stages rerun after fetch loss
+    std::uint64_t hdfsFailovers = 0;   //!< reads served by a remote replica
+    double wastedTaskSeconds = 0.0; //!< work discarded by crashes/kills
+    double recoverySeconds = 0.0;   //!< wall-clock of recovery reruns
+    Bytes reReplicatedBytes = 0;    //!< HDFS re-replication traffic
+    Bytes lostDirtyBytes = 0;       //!< dirty page-cache bytes lost
+
+    /** @return true when any failure was observed (taskAttempts alone
+     *          does not count — it grows in healthy runs too). */
+    bool any() const;
+
+    FaultMetrics &operator+=(const FaultMetrics &other);
+};
+
 /** Everything measured about one executed stage. */
 struct StageMetrics
 {
@@ -57,6 +83,25 @@ struct StageMetrics
     SummaryStats taskDuration;
     /// Per-IoOp logical bytes/requests issued by this stage's tasks.
     std::array<StageIoStats, storage::kNumIoOps> io;
+    /// Failure/recovery counters of this stage (all-zero when healthy).
+    FaultMetrics faults;
+    /**
+     * Set (>= 0) when the stage aborted on a shuffle-fetch failure
+     * against this source node: the stage did NOT complete and the
+     * scheduler must recompute the lost map outputs and rerun. -1
+     * means the stage ran to completion.
+     */
+    int fetchFailedSource = -1;
+
+    /**
+     * Fold a rerun's metrics into this (failed) stage attempt: I/O and
+     * task-duration accounting accumulate, the window extends to the
+     * rerun's end, fault counters add up, and the rerun's completion
+     * state (fetchFailedSource) replaces this one's. Keeps one merged
+     * entry per logical stage so JobMetrics::seconds() — the sum of
+     * stage durations — never double-counts recovered time.
+     */
+    void foldIn(const StageMetrics &rerun);
 
     /** @return stage duration in seconds. */
     double
@@ -105,6 +150,14 @@ struct AppMetrics
      */
     bool pageCachePresent = false;
     oscache::PageCacheStats pageCache;
+    /**
+     * Application-wide fault/recovery totals, present only when the
+     * run had a fault injector attached; the JSON writer omits the
+     * block otherwise, keeping fault-free output bit-for-bit identical
+     * to pre-fault builds.
+     */
+    bool faultsPresent = false;
+    FaultMetrics faults;
 
     /** @return application duration in seconds. */
     double seconds() const;

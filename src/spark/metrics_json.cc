@@ -76,7 +76,23 @@ writeMetricsJson(std::ostream &os, const AppMetrics &metrics)
                    << ",\"avg_request_size\":"
                    << num(io.avgRequestSize()) << '}';
             }
-            os << "}}";
+            os << "}";
+            // Per-stage fault block only when a failure was observed,
+            // keeping fault-free output identical to older builds.
+            if (stage.faults.any()) {
+                const FaultMetrics &f = stage.faults;
+                os << ",\"faults\":{\"task_attempts\":" << f.taskAttempts
+                   << ",\"task_failures\":" << f.taskFailures
+                   << ",\"task_retries\":" << f.taskRetries
+                   << ",\"lost_attempts\":" << f.lostAttempts
+                   << ",\"fetch_failures\":" << f.fetchFailures
+                   << ",\"stage_reattempts\":" << f.stageReattempts
+                   << ",\"wasted_task_seconds\":"
+                   << num(f.wastedTaskSeconds)
+                   << ",\"recovery_seconds\":" << num(f.recoverySeconds)
+                   << '}';
+            }
+            os << "}";
         }
         os << "]}";
     }
@@ -98,6 +114,20 @@ writeMetricsJson(std::ostream &os, const AppMetrics &metrics)
            << ",\"flushed_bytes\":" << pc.flushedBytes
            << ",\"evicted_bytes\":" << pc.evictedBytes
            << ",\"hit_ratio\":" << num(pc.hitRatio()) << '}';
+    }
+    if (metrics.faultsPresent) {
+        const FaultMetrics &f = metrics.faults;
+        os << ",\"faults\":{\"task_attempts\":" << f.taskAttempts
+           << ",\"task_failures\":" << f.taskFailures
+           << ",\"task_retries\":" << f.taskRetries
+           << ",\"lost_attempts\":" << f.lostAttempts
+           << ",\"fetch_failures\":" << f.fetchFailures
+           << ",\"stage_reattempts\":" << f.stageReattempts
+           << ",\"hdfs_failovers\":" << f.hdfsFailovers
+           << ",\"wasted_task_seconds\":" << num(f.wastedTaskSeconds)
+           << ",\"recovery_seconds\":" << num(f.recoverySeconds)
+           << ",\"re_replicated_bytes\":" << f.reReplicatedBytes
+           << ",\"lost_dirty_bytes\":" << f.lostDirtyBytes << '}';
     }
     os << '}';
 }

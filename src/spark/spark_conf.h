@@ -74,6 +74,22 @@ struct SparkConf
     bool speculation = false;
     double speculationMultiplier = 1.5;
     double speculationQuantile = 0.75;
+
+    /**
+     * Fault tolerance (spark.task.maxFailures): a logical task may
+     * crash this many times before the whole application is failed.
+     * Each crash re-queues the task; the node it crashed on is
+     * blacklisted for its retries while other nodes are alive.
+     */
+    int taskMaxFailures = 4;
+
+    /**
+     * Maximum attempts for one stage (spark.stage.maxConsecutiveAttempts
+     * analogue): a shuffle-fetch failure aborts the stage, regenerates
+     * the lost map outputs, and reruns the lost work; more than this
+     * many attempts fails the application.
+     */
+    int stageMaxAttempts = 4;
 };
 
 } // namespace doppio::spark

@@ -1,8 +1,50 @@
 #include "spark/spark_context.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "faults/fault_injector.h"
 
 namespace doppio::spark {
+
+namespace {
+
+/**
+ * Recovery map stage: only the dead node's share of the producer's
+ * map outputs must be recomputed (roughly count / numSlaves tasks per
+ * group; at least one per non-empty group).
+ */
+StageSpec
+recoverySpec(const StageSpec &producer, int numSlaves)
+{
+    StageSpec spec = producer;
+    spec.name = producer.name + ".recovery";
+    for (TaskGroupSpec &group : spec.groups) {
+        if (group.count > 0)
+            group.count = std::max(1, group.count / numSlaves);
+    }
+    return spec;
+}
+
+/**
+ * Rerun of a fetch-failed stage: the tasks that already completed in
+ * earlier attempts are subtracted front-to-back from the flattened
+ * group order (the order the engine launches in).
+ */
+StageSpec
+remainderSpec(const StageSpec &stage, std::uint64_t completed)
+{
+    StageSpec spec = stage;
+    for (TaskGroupSpec &group : spec.groups) {
+        const std::uint64_t take = std::min(
+            completed, static_cast<std::uint64_t>(group.count));
+        group.count -= static_cast<int>(take);
+        completed -= take;
+    }
+    return spec;
+}
+
+} // namespace
 
 SparkContext::SparkContext(cluster::Cluster &clusterRef, dfs::Hdfs &hdfs,
                            SparkConf conf)
@@ -22,6 +64,14 @@ SparkContext::hadoopFile(const std::string &fileName)
     return Rdd::source(fileName, hdfs_, hdfs_.fileIdByName(fileName));
 }
 
+void
+SparkContext::setFaultInjector(faults::FaultInjector *injector)
+{
+    injector_ = injector;
+    engine_.setFaultInjector(injector);
+    hdfs_.setFaultInjector(injector);
+}
+
 const JobMetrics &
 SparkContext::runJob(const std::string &jobName, const RddRef &target,
                      const ActionSpec &action)
@@ -32,7 +82,7 @@ SparkContext::runJob(const std::string &jobName, const RddRef &target,
     inform("job %s: %zu stage(s)", spec.name.c_str(),
            spec.stages.size());
     for (const StageSpec &stage : spec.stages) {
-        StageMetrics metrics = engine_.runStage(stage);
+        StageMetrics metrics = runStageWithRecovery(stage, 0);
         inform("  stage %-24s M=%-6d %s", metrics.name.c_str(),
                metrics.numTasks, formatDuration(metrics.endTick -
                                                 metrics.startTick)
@@ -41,6 +91,59 @@ SparkContext::runJob(const std::string &jobName, const RddRef &target,
     }
     metrics_.jobs.push_back(std::move(job));
     return metrics_.jobs.back();
+}
+
+StageMetrics
+SparkContext::runStageWithRecovery(const StageSpec &stage, int depth)
+{
+    // Remember shuffle producers so a downstream fetch failure can
+    // recompute the lost map outputs from lineage.
+    if (injector_ != nullptr && stage.writesShuffle())
+        shuffleProducers_.emplace(stage.name, stage);
+
+    StageMetrics merged = engine_.runStage(stage);
+    if (merged.fetchFailedSource < 0)
+        return merged;
+
+    if (depth > 8)
+        fatal("SparkContext: fetch-failure recovery recursion too deep "
+              "at stage %s",
+              stage.name.c_str());
+    /// Completed tasks of THIS stage across attempts (recovery map
+    /// stages folded into `merged` must not count here).
+    std::uint64_t completed = merged.taskDuration.count();
+    int attempts = 1;
+    while (merged.fetchFailedSource >= 0) {
+        if (attempts >= conf_.stageMaxAttempts)
+            fatal("SparkContext: stage %s failed %d attempts "
+                  "(stageMaxAttempts), aborting the application",
+                  stage.name.c_str(), attempts);
+        ++attempts;
+        inform("  stage %-24s fetch failure from node %d, attempt %d",
+               stage.name.c_str(), merged.fetchFailedSource, attempts);
+
+        auto producer = shuffleProducers_.find(stage.shuffleSource);
+        if (producer == shuffleProducers_.end())
+            fatal("SparkContext: stage %s hit a fetch failure but its "
+                  "shuffle producer '%s' is unknown",
+                  stage.name.c_str(), stage.shuffleSource.c_str());
+        // Regenerate the lost map outputs (they land on alive nodes),
+        // then rerun the partitions this stage has not finished yet.
+        const StageMetrics recovery = runStageWithRecovery(
+            recoverySpec(producer->second, cluster_.numSlaves()),
+            depth + 1);
+        merged.faults.recoverySeconds += recovery.seconds();
+        merged.foldIn(recovery);
+        merged.fetchFailedSource = -1; // recovery completed
+
+        const StageMetrics rerun =
+            engine_.runStage(remainderSpec(stage, completed));
+        completed += rerun.taskDuration.count();
+        merged.faults.recoverySeconds += rerun.seconds();
+        ++merged.faults.stageReattempts;
+        merged.foldIn(rerun);
+    }
+    return merged;
 }
 
 void

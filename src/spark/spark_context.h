@@ -13,6 +13,7 @@
 #define DOPPIO_SPARK_SPARK_CONTEXT_H
 
 #include <string>
+#include <unordered_map>
 
 #include "cluster/cluster.h"
 #include "dfs/hdfs.h"
@@ -59,6 +60,17 @@ class SparkContext
      */
     void setTaskTrace(TaskTrace *trace) { engine_.setTrace(trace); }
 
+    /**
+     * Attach the run's fault injector (nullptr detaches): wires the
+     * task engine (crash draws, node-loss handling, fetch-failure
+     * detection) and HDFS (read failover, re-replication), and enables
+     * stage-level recovery in runJob — a stage aborted by a
+     * FetchFailure recomputes the lost map outputs from lineage and
+     * reruns the lost partitions, up to SparkConf::stageMaxAttempts.
+     * Not owned; must outlive subsequent runJob() calls.
+     */
+    void setFaultInjector(faults::FaultInjector *injector);
+
     const SparkConf &conf() const { return conf_; }
     cluster::Cluster &clusterRef() { return cluster_; }
     dfs::Hdfs &hdfs() { return hdfs_; }
@@ -70,6 +82,14 @@ class SparkContext
     AppMetrics &metrics() { return metrics_; }
 
   private:
+    /**
+     * Run one stage, recovering from fetch failures: rerun the shuffle
+     * producer's lost share, then the failed stage's remaining tasks,
+     * folding everything into one merged StageMetrics entry so job
+     * durations (sum of stage windows) never double-count.
+     */
+    StageMetrics runStageWithRecovery(const StageSpec &stage, int depth);
+
     cluster::Cluster &cluster_;
     dfs::Hdfs &hdfs_;
     SparkConf conf_;
@@ -77,6 +97,9 @@ class SparkContext
     DagScheduler dag_;
     TaskEngine engine_;
     AppMetrics metrics_;
+    faults::FaultInjector *injector_ = nullptr;
+    /// Specs of executed shuffle map stages, for lineage recomputation.
+    std::unordered_map<std::string, StageSpec> shuffleProducers_;
 };
 
 } // namespace doppio::spark

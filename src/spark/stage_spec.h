@@ -84,6 +84,31 @@ struct StageSpec
     std::vector<TaskGroupSpec> groups;
 
     /**
+     * Name of the map stage that produced this stage's shuffle input
+     * (empty when the stage reads no shuffle). The scheduler uses it
+     * to recompute lost map outputs after a fetch failure. A stage
+     * reading several shuffles records the first; the recovery model
+     * regenerates that lineage only.
+     */
+    std::string shuffleSource;
+
+    /** @return true when some group writes shuffle output (i.e. this
+     *          is a shuffle map stage). */
+    bool
+    writesShuffle() const
+    {
+        for (const auto &group : groups) {
+            for (const auto &phase : group.phases) {
+                const auto *io = std::get_if<IoPhaseSpec>(&phase);
+                if (io != nullptr &&
+                    io->op == storage::IoOp::ShuffleWrite)
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    /**
      * JVM-pressure sensitivity: task compute time is scaled by
      * (1 + gcSensitivity * (P - 1)). Reproduces the paper's observation
      * that GATK4's MD stage stops scaling on SSDs because garbage

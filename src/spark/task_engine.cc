@@ -1,9 +1,12 @@
 #include "spark/task_engine.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "common/logging.h"
+#include "faults/fault_injector.h"
 #include "oscache/page_cache.h"
 #include "storage/disk_device.h"
 
@@ -80,13 +83,18 @@ struct ShuffleFetch : std::enable_shared_from_this<ShuffleFetch>
     std::uint64_t count = 0;
     std::uint64_t stream = oscache::kAnonymousStream;
     Bytes offset = 0; //!< cursor within the reducer's stream range
+    /// Nodes holding map outputs (all slaves in a healthy run).
+    std::vector<int> sources;
+    faults::FaultInjector *injector = nullptr;
     std::function<void()> done;
+    /// Invoked instead of done when a source is unreachable.
+    std::function<void(int)> fetchFailed;
     int k = 0;
 
     void
     next()
     {
-        const int nodes = cluster->numSlaves();
+        const int nodes = static_cast<int>(sources.size());
         if (k >= nodes) {
             done();
             return;
@@ -106,7 +114,16 @@ struct ShuffleFetch : std::enable_shared_from_this<ShuffleFetch>
         }
         // Task-dependent start offset so concurrent reducers do not
         // convoy on node 0.
-        const int src = (taskIndex + idx) % nodes;
+        const int src = sources[static_cast<std::size_t>(
+            (taskIndex + idx) % nodes)];
+        // A dead source lost its map outputs; a spontaneous fetch
+        // failure models the timeout/corruption path. Either way the
+        // reducer reports a FetchFailure and the stage aborts.
+        if (!cluster->nodeAlive(src) ||
+            (injector != nullptr && injector->drawFetchFailure())) {
+            fetchFailed(src);
+            return;
+        }
         const Bytes batch_offset = offset;
         offset += chunk * batch;
         auto self = shared_from_this();
@@ -137,7 +154,12 @@ struct ChunkLoop : std::enable_shared_from_this<ChunkLoop>
     std::uint64_t stream = oscache::kAnonymousStream;
     Bytes baseOffset = 0;
     Tick cpuPerChunk = 0;
+    /// For ShuffleRead: nodes holding map outputs.
+    std::vector<int> sources;
+    faults::FaultInjector *injector = nullptr;
     std::function<void()> done;
+    /// For ShuffleRead: invoked instead of done on an unreachable source.
+    std::function<void(int)> fetchFailed;
     /** For write ops: called per chunk handed to the device. */
     std::function<void()> writeIssued;
     /** For write ops: called per chunk drained by the device. */
@@ -164,9 +186,17 @@ struct ChunkLoop : std::enable_shared_from_this<ChunkLoop>
                             std::move(then_cpu));
             return;
           case storage::IoOp::ShuffleRead: {
-            const int nodes = cluster->numSlaves();
-            const int src =
-                (taskIndex + static_cast<int>(idx % nodes)) % nodes;
+            const int nodes = static_cast<int>(sources.size());
+            const int src = sources[static_cast<std::size_t>(
+                (taskIndex + static_cast<int>(idx %
+                                              static_cast<std::uint64_t>(
+                                                  nodes))) %
+                nodes)];
+            if (!cluster->nodeAlive(src) ||
+                (injector != nullptr && injector->drawFetchFailure())) {
+                fetchFailed(src);
+                return;
+            }
             cluster->node(src).readThrough(
                 oscache::Role::Local, storage::IoOp::ShuffleRead,
                 stream, offset, chunk, 1,
@@ -217,8 +247,19 @@ struct TaskEngine::StageRun
         bool launched = false;
         bool done = false;
         bool speculated = false;
+        /** Crashes charged against spark.task.maxFailures (node loss
+         *  is not charged, matching executor-loss semantics). */
+        int failures = 0;
+        /** Waiting in StageRun::retries (at most one queue entry). */
+        bool retryQueued = false;
+        /** Nodes this task crashed on; retries avoid them while an
+         *  alive alternative exists. */
+        std::vector<int> blacklist;
         /** Live attempts, so the winner can kill the loser. */
         std::vector<std::weak_ptr<TaskRun>> attempts;
+
+        /** @return true while some attempt may still complete. */
+        bool hasLiveAttempt() const;
     };
 
     const StageSpec *spec = nullptr;
@@ -244,6 +285,14 @@ struct TaskEngine::StageRun
     int outstandingWrites = 0;
     double gcFactor = 1.0;
     Rng rng;
+    /// Nodes holding this stage's shuffle inputs (alive set at start).
+    std::vector<int> shuffleSources;
+    /// Failed tasks waiting for a core (retried before fresh tasks).
+    std::deque<std::size_t> retries;
+    /// Source node of the first fetch failure; >= 0 aborts the stage.
+    int fetchFailedSource = -1;
+    /// Set on stage abort: free cores stop pulling work.
+    bool abortLaunches = false;
 };
 
 /** One in-flight task attempt. */
@@ -261,13 +310,45 @@ struct TaskEngine::TaskRun
     /** Pending pure-timer event (dispatch/compute), cancellable. */
     sim::EventId pendingEvent = 0;
     bool hasPendingEvent = false;
+    /** Injected crash: the attempt dies when it reaches this phase
+     *  boundary (SIZE_MAX = healthy). */
+    std::size_t failAtPhase = SIZE_MAX;
 };
+
+bool
+TaskEngine::StageRun::TaskState::hasLiveAttempt() const
+{
+    for (const std::weak_ptr<TaskRun> &weak : attempts) {
+        const std::shared_ptr<TaskRun> attempt = weak.lock();
+        if (attempt && !attempt->aborted)
+            return true;
+    }
+    return false;
+}
 
 TaskEngine::TaskEngine(cluster::Cluster &clusterRef, dfs::Hdfs &hdfs,
                        const SparkConf &conf)
     : cluster_(clusterRef), hdfs_(hdfs), conf_(conf),
       rng_(clusterRef.config().seed ^ 0x7461736bULL /* "task" */)
 {}
+
+void
+TaskEngine::setFaultInjector(faults::FaultInjector *injector)
+{
+    injector_ = injector;
+    if (injector_ == nullptr || observerRegistered_)
+        return;
+    observerRegistered_ = true;
+    cluster_.addLivenessObserver([this](int node, bool alive) {
+        const std::shared_ptr<StageRun> run = activeRun_.lock();
+        if (!run || injector_ == nullptr)
+            return;
+        if (alive)
+            kickFreeCores(run); // rejoined node starts pulling work
+        else
+            onNodeDeath(run, node);
+    });
+}
 
 int
 TaskEngine::effectiveCores() const
@@ -296,9 +377,19 @@ TaskEngine::runStage(const StageSpec &spec)
         for (int i = 0; i < group.count; ++i)
             run->tasks.emplace_back(&group, i);
     }
+    // An empty stage (all groups zero tasks) is complete as soon as it
+    // starts: return valid empty metrics without arming the
+    // speculation timer, which would otherwise tick once and advance
+    // the clock for no work.
+    if (run->tasks.empty()) {
+        run->metrics.endTick = sim.now();
+        return run->metrics;
+    }
     run->states.resize(run->tasks.size());
     run->busyCores.assign(
         static_cast<std::size_t>(cluster_.numSlaves()), 0);
+    run->shuffleSources = cluster_.aliveNodes();
+    activeRun_ = run;
     if (conf_.speculation)
         armSpeculationTimer(run);
 
@@ -310,8 +401,37 @@ TaskEngine::runStage(const StageSpec &spec)
             launchOnFreeCore(run, node);
     }
 
-    sim.run();
+    if (injector_ == nullptr) {
+        sim.run();
+    } else {
+        // Under fault injection, stop at stage completion instead of
+        // draining the queue: armed node events with later ticks must
+        // fire during whichever stage is actually running then (so a
+        // mid-shuffle kill hits in-flight fetches), and background
+        // repair such as HDFS re-replication overlaps the following
+        // stages instead of serializing before them. Leftover events
+        // (aborted attempts unwinding, write drains) fire harmlessly
+        // in a later stage's loop or in the final drain.
+        while (!(run->fetchFailedSource >= 0 ||
+                 (run->completed == run->metrics.numTasks &&
+                  run->outstandingWrites == 0)) &&
+               sim.runOneEvent()) {
+        }
+    }
 
+    activeRun_.reset();
+    if (run->speculationTimerArmed)
+        panic("TaskEngine: stage %s finished with its speculation "
+              "timer still armed",
+              spec.name.c_str());
+    if (run->fetchFailedSource >= 0) {
+        // Aborted on a FetchFailure: hand the partial metrics to the
+        // scheduler, which recomputes the lost map outputs and reruns
+        // the remainder (see SparkContext::runJob).
+        run->metrics.fetchFailedSource = run->fetchFailedSource;
+        run->metrics.endTick = sim.now();
+        return run->metrics;
+    }
     if (run->completed != run->metrics.numTasks)
         panic("TaskEngine: stage %s finished with %d/%d tasks",
               spec.name.c_str(), run->completed, run->metrics.numTasks);
@@ -341,6 +461,15 @@ TaskEngine::launchAttempt(std::shared_ptr<StageRun> run, int node,
     if (straggler_p > 0.0 && run->rng.uniform() < straggler_p)
         task->slowdown *= cluster_.config().stragglerSlowdown;
 
+    ++run->metrics.faults.taskAttempts;
+    // Injected crash: decided per attempt, the failure point drawn as
+    // a phase boundary (dying just before completion wastes the most
+    // work). No draws happen when the rate is zero.
+    if (injector_ != nullptr && injector_->drawTaskFailure()) {
+        task->failAtPhase = static_cast<std::size_t>(
+            injector_->drawFailurePhase(group->phases.size()));
+    }
+
     StageRun::TaskState &state =
         run->states[static_cast<std::size_t>(index)];
     if (!state.launched) {
@@ -364,6 +493,36 @@ TaskEngine::launchAttempt(std::shared_ptr<StageRun> run, int node,
 void
 TaskEngine::launchOnFreeCore(std::shared_ptr<StageRun> run, int node)
 {
+    if (run->abortLaunches || !cluster_.nodeAlive(node))
+        return;
+    // Failed tasks retry before fresh work, avoiding blacklisted nodes
+    // while an alive alternative exists (with every usable node
+    // blacklisted the task must run somewhere, so the list is waived).
+    for (std::size_t i = 0; i < run->retries.size(); ++i) {
+        const std::size_t index = run->retries[i];
+        StageRun::TaskState &state = run->states[index];
+        const auto blacklisted = [&state](int candidate) {
+            return std::find(state.blacklist.begin(),
+                             state.blacklist.end(),
+                             candidate) != state.blacklist.end();
+        };
+        if (blacklisted(node)) {
+            bool alternative = false;
+            for (int other = 0; other < cluster_.numSlaves(); ++other) {
+                if (cluster_.nodeAlive(other) && !blacklisted(other)) {
+                    alternative = true;
+                    break;
+                }
+            }
+            if (alternative)
+                continue;
+        }
+        run->retries.erase(run->retries.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        state.retryQueued = false;
+        launchAttempt(std::move(run), node, index);
+        return;
+    }
     if (run->nextTask < run->tasks.size()) {
         const std::size_t index = run->nextTask++;
         launchAttempt(std::move(run), node, index);
@@ -371,6 +530,24 @@ TaskEngine::launchOnFreeCore(std::shared_ptr<StageRun> run, int node)
     }
     if (conf_.speculation)
         speculateOnNode(std::move(run), node);
+}
+
+void
+TaskEngine::kickFreeCores(const std::shared_ptr<StageRun> &run)
+{
+    const int cores = effectiveCores();
+    for (int node = 0; node < cluster_.numSlaves(); ++node) {
+        if (!cluster_.nodeAlive(node))
+            continue;
+        while (run->busyCores[static_cast<std::size_t>(node)] < cores) {
+            const int before =
+                run->busyCores[static_cast<std::size_t>(node)];
+            launchOnFreeCore(run, node);
+            if (run->busyCores[static_cast<std::size_t>(node)] ==
+                before)
+                break; // nothing left to launch here
+        }
+    }
 }
 
 /**
@@ -420,6 +597,8 @@ TaskEngine::armSpeculationTimer(std::shared_ptr<StageRun> run)
                 return;
             const int cores = effectiveCores();
             for (int node = 0; node < cluster_.numSlaves(); ++node) {
+                if (!cluster_.nodeAlive(node))
+                    continue;
                 while (run->busyCores[static_cast<std::size_t>(
                            node)] < cores) {
                     const int before = run->busyCores
@@ -449,6 +628,13 @@ TaskEngine::runPhase(std::shared_ptr<StageRun> run,
         const int node = task->node;
         --run->busyCores[static_cast<std::size_t>(node)];
         launchOnFreeCore(std::move(run), node);
+        return;
+    }
+
+    // Injected crash at this phase boundary (skipped when a twin
+    // already finished the task — nothing left to lose).
+    if (!state.done && task->phase >= task->failAtPhase) {
+        failAttempt(run, task);
         return;
     }
 
@@ -559,6 +745,13 @@ TaskEngine::runIoPhase(std::shared_ptr<StageRun> run,
             task->slowdown);
         loop->writeIssued = [run]() { ++run->outstandingWrites; };
         loop->writeDrained = [run]() { --run->outstandingWrites; };
+        if (phase.op == storage::IoOp::ShuffleRead) {
+            loop->sources = run->shuffleSources;
+            loop->injector = injector_;
+            loop->fetchFailed = [this, run, task](int source) {
+                handleFetchFailure(run, task, source);
+            };
+        }
         loop->done = [this, record_phase, run = std::move(run),
                       task = std::move(task)]() mutable {
             record_phase();
@@ -632,6 +825,11 @@ TaskEngine::runIoPhase(std::shared_ptr<StageRun> run,
         fetch->count = count;
         fetch->stream = stream;
         fetch->offset = base_offset;
+        fetch->sources = run->shuffleSources;
+        fetch->injector = injector_;
+        fetch->fetchFailed = [this, run, task](int source) {
+            handleFetchFailure(run, task, source);
+        };
         fetch->done = std::move(after_io);
         fetch->next();
         return;
@@ -640,6 +838,119 @@ TaskEngine::runIoPhase(std::shared_ptr<StageRun> run,
         fatal("TaskEngine: unexpected aggregated read op %s",
               storage::ioOpName(phase.op));
     }
+}
+
+void
+TaskEngine::failAttempt(const std::shared_ptr<StageRun> &run,
+                        const std::shared_ptr<TaskRun> &task)
+{
+    const std::size_t index = static_cast<std::size_t>(task->taskIndex);
+    StageRun::TaskState &state = run->states[index];
+    const Tick now = cluster_.simulator().now();
+
+    ++run->metrics.faults.taskFailures;
+    run->metrics.faults.wastedTaskSeconds +=
+        ticksToSeconds(now - task->start);
+    task->aborted = true;
+    --run->busyCores[static_cast<std::size_t>(task->node)];
+
+    ++state.failures;
+    if (state.failures >= conf_.taskMaxFailures)
+        fatal("TaskEngine: task %d of stage %s failed %d times "
+              "(spark.task.maxFailures), aborting the application",
+              task->taskIndex, run->metrics.name.c_str(),
+              state.failures);
+    // Blacklist the crash site for this task's retries while another
+    // node can take it (single-node clusters must retry in place).
+    if (cluster_.aliveCount() > 1 &&
+        std::find(state.blacklist.begin(), state.blacklist.end(),
+                  task->node) == state.blacklist.end())
+        state.blacklist.push_back(task->node);
+
+    if (!state.done && !state.retryQueued && !state.hasLiveAttempt()) {
+        ++run->metrics.faults.taskRetries;
+        state.retryQueued = true;
+        state.launched = false; // retry re-baselines speculation
+        run->retries.push_back(index);
+    }
+    kickFreeCores(run);
+}
+
+void
+TaskEngine::handleFetchFailure(const std::shared_ptr<StageRun> &run,
+                               const std::shared_ptr<TaskRun> &task,
+                               int source)
+{
+    ++run->metrics.faults.fetchFailures;
+    if (run->fetchFailedSource < 0) {
+        // First FetchFailure aborts the whole stage, as the Spark 1.6
+        // DAGScheduler does: every live attempt is cancelled (those
+        // parked on timers immediately, those inside device chains at
+        // their next phase boundary) and no new work is launched. The
+        // scheduler recomputes the lost map outputs and reruns.
+        run->fetchFailedSource = source;
+        run->abortLaunches = true;
+        for (StageRun::TaskState &state : run->states) {
+            for (const std::weak_ptr<TaskRun> &weak : state.attempts) {
+                const std::shared_ptr<TaskRun> attempt = weak.lock();
+                if (!attempt || attempt->aborted)
+                    continue;
+                attempt->aborted = true;
+                if (attempt->hasPendingEvent) {
+                    cluster_.simulator().cancel(attempt->pendingEvent);
+                    attempt->hasPendingEvent = false;
+                    --run->busyCores[static_cast<std::size_t>(
+                        attempt->node)];
+                }
+            }
+        }
+        if (run->speculationTimerArmed) {
+            cluster_.simulator().cancel(run->speculationTimer);
+            run->speculationTimerArmed = false;
+        }
+    }
+    // The reporting attempt's fetch chain ends here (it never reaches
+    // runPhase again), so its core frees now; it was marked aborted
+    // above or by an earlier failure's sweep.
+    task->aborted = true;
+    --run->busyCores[static_cast<std::size_t>(task->node)];
+}
+
+void
+TaskEngine::onNodeDeath(const std::shared_ptr<StageRun> &run, int node)
+{
+    if (run->completed >= run->metrics.numTasks)
+        return;
+    const Tick now = cluster_.simulator().now();
+    for (std::size_t i = 0; i < run->states.size(); ++i) {
+        StageRun::TaskState &state = run->states[i];
+        if (state.done)
+            continue;
+        for (const std::weak_ptr<TaskRun> &weak : state.attempts) {
+            const std::shared_ptr<TaskRun> attempt = weak.lock();
+            if (!attempt || attempt->aborted || attempt->node != node)
+                continue;
+            attempt->aborted = true;
+            ++run->metrics.faults.lostAttempts;
+            run->metrics.faults.wastedTaskSeconds +=
+                ticksToSeconds(now - attempt->start);
+            if (attempt->hasPendingEvent) {
+                cluster_.simulator().cancel(attempt->pendingEvent);
+                attempt->hasPendingEvent = false;
+                --run->busyCores[static_cast<std::size_t>(node)];
+            }
+            // Attempts inside device chains unwind at their next phase
+            // boundary (launchOnFreeCore on a dead node is a no-op).
+        }
+        // Executor loss re-queues without charging maxFailures.
+        if (!run->abortLaunches && !state.retryQueued &&
+            !state.hasLiveAttempt()) {
+            state.retryQueued = true;
+            state.launched = false;
+            run->retries.push_back(i);
+        }
+    }
+    kickFreeCores(run);
 }
 
 } // namespace doppio::spark

@@ -26,6 +26,10 @@
 #include "spark/stage_spec.h"
 #include "spark/task_trace.h"
 
+namespace doppio::faults {
+class FaultInjector;
+}
+
 namespace doppio::spark {
 
 /** Runs stages to completion on a cluster. */
@@ -50,6 +54,15 @@ class TaskEngine
      */
     void setTrace(TaskTrace *trace) { trace_ = trace; }
 
+    /**
+     * Attach the run's fault injector (or nullptr to detach). Enables
+     * per-attempt crash draws, node-loss handling (a cluster liveness
+     * observer re-queues a dead node's running tasks without charging
+     * spark.task.maxFailures, mirroring executor-loss semantics) and
+     * shuffle-fetch failure detection. Not owned.
+     */
+    void setFaultInjector(faults::FaultInjector *injector);
+
   private:
     struct StageRun;
     struct TaskRun;
@@ -65,11 +78,29 @@ class TaskEngine
                     std::shared_ptr<TaskRun> task,
                     const IoPhaseSpec &phase);
 
+    /** Fill every alive node's free cores from the queues. */
+    void kickFreeCores(const std::shared_ptr<StageRun> &run);
+
+    /** One attempt crashed: account, blacklist, re-queue, refill. */
+    void failAttempt(const std::shared_ptr<StageRun> &run,
+                     const std::shared_ptr<TaskRun> &task);
+
+    /** A shuffle source died / a fetch failed: abort the stage. */
+    void handleFetchFailure(const std::shared_ptr<StageRun> &run,
+                            const std::shared_ptr<TaskRun> &task,
+                            int source);
+
+    void onNodeDeath(const std::shared_ptr<StageRun> &run, int node);
+
     cluster::Cluster &cluster_;
     dfs::Hdfs &hdfs_;
     const SparkConf &conf_;
     Rng rng_;
     TaskTrace *trace_ = nullptr;
+    faults::FaultInjector *injector_ = nullptr;
+    bool observerRegistered_ = false;
+    /// Stage currently inside runStage() (for the liveness observer).
+    std::weak_ptr<StageRun> activeRun_;
 };
 
 } // namespace doppio::spark

@@ -1,6 +1,7 @@
 #include "storage/disk_device.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
@@ -17,6 +18,24 @@ DiskDevice::DiskDevice(sim::Simulator &simulator, DiskParams params,
 }
 
 void
+DiskDevice::setDegradedFactor(double factor)
+{
+    if (factor < 1.0)
+        fatal("DiskDevice %s: degraded factor must be >= 1, got %g",
+              name_.c_str(), factor);
+    degrade_ = factor;
+}
+
+Tick
+DiskDevice::degradedLatency(Tick latency) const
+{
+    if (degrade_ == 1.0)
+        return latency;
+    return static_cast<Tick>(static_cast<double>(latency) * degrade_ +
+                             0.5);
+}
+
+void
 DiskDevice::submit(IoOp op, Bytes size, std::function<void()> done)
 {
     if (size == 0) {
@@ -26,9 +45,16 @@ DiskDevice::submit(IoOp op, Bytes size, std::function<void()> done)
 
     const bool read = isRead(op);
     const double iops = read ? params_.readIops : params_.writeIops;
-    const Tick admit_interval = secondsToTicks(1.0 / iops);
-    const Tick latency =
-        read ? params_.readLatency : params_.writeLatency;
+    const Tick admit_interval = secondsToTicks(degrade_ / iops);
+    const Tick latency = degradedLatency(
+        read ? params_.readLatency : params_.writeLatency);
+    const BytesPerSec bw =
+        read ? params_.readBandwidth : params_.writeBandwidth;
+    // A healthy device does not cap individual flows; the pipe's
+    // shared capacity already enforces the bandwidth limit.
+    const BytesPerSec rate_cap =
+        degrade_ > 1.0 ? bw / degrade_
+                       : std::numeric_limits<double>::infinity();
 
     // Shared admission token bucket: the arm/controller starts one
     // request per 1/IOPS interval, regardless of direction.
@@ -37,14 +63,16 @@ DiskDevice::submit(IoOp op, Bytes size, std::function<void()> done)
 
     sim::FluidPipe &pipe = read ? readPipe_ : writePipe_;
     sim_.scheduleAt(
-        grant + latency, [this, &pipe, op, size,
+        grant + latency, [this, &pipe, op, size, rate_cap,
                           done = std::move(done)]() mutable {
-            pipe.startFlow(size, [this, op, size,
-                                  done = std::move(done)]() mutable {
-                stats_.record(op, size);
-                if (done)
-                    done();
-            });
+            pipe.startFlow(
+                size,
+                [this, op, size, done = std::move(done)]() mutable {
+                    stats_.record(op, size);
+                    if (done)
+                        done();
+                },
+                rate_cap);
         });
 }
 
@@ -63,11 +91,12 @@ DiskDevice::submitBatch(IoOp op, Bytes size, std::uint64_t count,
 
     const bool read = isRead(op);
     const double iops = read ? params_.readIops : params_.writeIops;
-    const Tick admit_interval = secondsToTicks(1.0 / iops);
-    const Tick latency =
-        read ? params_.readLatency : params_.writeLatency;
+    const Tick admit_interval = secondsToTicks(degrade_ / iops);
+    const Tick latency = degradedLatency(
+        read ? params_.readLatency : params_.writeLatency);
     const BytesPerSec bw =
-        read ? params_.readBandwidth : params_.writeBandwidth;
+        (read ? params_.readBandwidth : params_.writeBandwidth) /
+        degrade_;
 
     // Reserve all admission tokens (FIFO, work conserving).
     const Tick grant = std::max(sim_.now(), nextAdmit_);

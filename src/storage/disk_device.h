@@ -65,6 +65,19 @@ class DiskDevice
     void submitBatch(IoOp op, Bytes size, std::uint64_t count,
                      std::function<void()> done);
 
+    /**
+     * Degrade (or restore) the device: service times scale by
+     * @p factor >= 1 — admission slows to IOPS/factor, latency grows
+     * to latency*factor, transfers cap at bandwidth/factor. Factor 1
+     * restores full speed bit-for-bit. Models the fault injector's
+     * failing-controller / thermal-throttle mode; in-flight requests
+     * are unaffected.
+     */
+    void setDegradedFactor(double factor);
+
+    /** @return the current degradation factor (1 = healthy). */
+    double degradedFactor() const { return degrade_; }
+
     /** @return device parameters. */
     const DiskParams &params() const { return params_; }
 
@@ -98,6 +111,10 @@ class DiskDevice
     DiskStats stats_;
     /// Next time the (shared) admission token bucket grants a request.
     Tick nextAdmit_ = 0;
+    /// Service-time multiplier (>= 1); 1 means healthy.
+    double degrade_ = 1.0;
+
+    Tick degradedLatency(Tick latency) const;
 };
 
 } // namespace doppio::storage

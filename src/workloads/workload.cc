@@ -1,6 +1,9 @@
 #include "workloads/workload.h"
 
+#include <memory>
+
 #include "cluster/cluster.h"
+#include "faults/fault_injector.h"
 #include "sim/simulator.h"
 
 namespace doppio::workloads {
@@ -8,7 +11,8 @@ namespace doppio::workloads {
 spark::AppMetrics
 Workload::run(const cluster::ClusterConfig &clusterConfig,
               const spark::SparkConf &sparkConf,
-              spark::TaskTrace *trace) const
+              spark::TaskTrace *trace,
+              const faults::FaultSpec *faultSpec) const
 {
     sim::Simulator simulator;
     cluster::ClusterConfig config = clusterConfig;
@@ -19,12 +23,36 @@ Workload::run(const cluster::ClusterConfig &clusterConfig,
     registerInputs(hdfs);
     spark::SparkContext context(cluster, hdfs, sparkConf);
     context.setTaskTrace(trace);
+
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (faultSpec != nullptr && faultSpec->any()) {
+        injector = std::make_unique<faults::FaultInjector>(
+            *faultSpec, config.seed);
+        context.setFaultInjector(injector.get());
+        injector->arm(cluster);
+    }
+
     execute(context);
+    // Under fault injection stages stop at completion rather than
+    // draining the queue; finish leftover background work (HDFS
+    // re-replication, page-cache writeback, scheduled node events)
+    // so its accounting is complete. No-op on a fault-free run.
+    if (injector != nullptr)
+        simulator.run();
     spark::AppMetrics metrics = context.metrics();
     metrics.name = name();
     if (cluster.pageCacheEnabled()) {
         metrics.pageCachePresent = true;
         metrics.pageCache = cluster.pageCacheTotals();
+    }
+    if (injector != nullptr) {
+        metrics.faultsPresent = true;
+        for (const spark::StageMetrics *stage : metrics.allStages())
+            metrics.faults += stage->faults;
+        metrics.faults.hdfsFailovers += hdfs.readFailovers();
+        metrics.faults.reReplicatedBytes += hdfs.reReplicatedBytes();
+        metrics.faults.recoverySeconds += hdfs.reReplicationSeconds();
+        metrics.faults.lostDirtyBytes += cluster.lostDirtyBytes();
     }
     return metrics;
 }

@@ -22,6 +22,7 @@
 
 #include "cluster/cluster_config.h"
 #include "dfs/hdfs.h"
+#include "faults/fault_spec.h"
 #include "model/profiler.h"
 #include "spark/metrics.h"
 #include "spark/spark_conf.h"
@@ -41,12 +42,20 @@ class Workload
     /**
      * Provision a fresh cluster with @p clusterConfig, run every job,
      * and @return the application metrics ("exp" numbers).
-     * @param trace optional collector receiving every task's
-     *              placement and timing.
+     * @param trace     optional collector receiving every task's
+     *                  placement and timing.
+     * @param faultSpec optional fault description; when it contains
+     *                  any fault source, a FaultInjector seeded from
+     *                  the cluster seed is armed and the metrics gain
+     *                  a fault/recovery block. A null or empty spec
+     *                  leaves the run bit-for-bit identical to a
+     *                  fault-free build.
      */
     spark::AppMetrics run(const cluster::ClusterConfig &clusterConfig,
                           const spark::SparkConf &sparkConf,
-                          spark::TaskTrace *trace = nullptr) const;
+                          spark::TaskTrace *trace = nullptr,
+                          const faults::FaultSpec *faultSpec =
+                              nullptr) const;
 
     /** Adapter for model::Profiler. */
     model::WorkloadRunner runner() const;

@@ -6,10 +6,14 @@
  *       List the bundled workloads.
  *   doppio run <workload> [--nodes N] [--cores P] [--hdfs T]
  *              [--local T] [--local-disks K] [--speculate]
- *              [--trace FILE] [--no-page-cache] [--cache-capacity MIB]
- *              [--cache-dirty-ratio F] [--cache-readahead KIB]
+ *              [--trace FILE] [--json FILE] [--no-page-cache]
+ *              [--cache-capacity MIB] [--cache-dirty-ratio F]
+ *              [--cache-readahead KIB] [--fault-spec SPEC]
+ *              [--task-fail-rate F] [--kill-node ID@T]
  *       Simulate a workload and print per-stage metrics. The OS page
- *       cache is modeled unless --no-page-cache is given.
+ *       cache is modeled unless --no-page-cache is given. Fault flags
+ *       arm the fault injector; without them the run is bit-for-bit
+ *       identical to a build without the fault subsystem.
  *   doppio profile <workload> [--nodes N] [--cores P] [--hdfs T]
  *              [--local T]
  *       Fit the I/O-aware model (extended five-run methodology) and
@@ -20,10 +24,14 @@
  *       Profile GATK4 on simulated cloud workers and print the
  *       cheapest configurations plus the cost/runtime Pareto front.
  *
- * Disk types T: hdd, ssd, nvme.
+ * Disk types T: hdd, ssd, nvme. Unknown flags and out-of-range values
+ * abort with a non-zero exit instead of being silently ignored.
  */
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,8 +41,10 @@
 #include "cloud/advisor.h"
 #include "common/logging.h"
 #include "common/table_printer.h"
+#include "faults/fault_spec.h"
 #include "model/profiler.h"
 #include "model/report.h"
+#include "spark/metrics_json.h"
 #include "spark/task_trace.h"
 #include "storage/fio.h"
 #include "workloads/gatk4.h"
@@ -44,7 +54,12 @@ using namespace doppio;
 
 namespace {
 
-/** Minimal flag parser: --name value and boolean --name. */
+/**
+ * Strict flag parser: --name value and boolean --name. Every token a
+ * command looks at is marked consumed; rejectUnknown() then fails fast
+ * on anything left over (typos, flags of another command), and numeric
+ * values must parse completely and fall inside the caller's range.
+ */
 class Args
 {
   public:
@@ -52,44 +67,96 @@ class Args
     {
         for (int i = first; i < argc; ++i)
             tokens_.emplace_back(argv[i]);
+        consumed_.assign(tokens_.size(), false);
     }
 
+    /** Last occurrence wins; fatal() when the value is missing. */
     std::string
     value(const std::string &flag, const std::string &fallback) const
     {
-        for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
-            if (tokens_[i] == flag)
-                return tokens_[i + 1];
+        std::string result = fallback;
+        for (std::size_t i = 0; i < tokens_.size(); ++i) {
+            if (tokens_[i] != flag)
+                continue;
+            if (i + 1 >= tokens_.size())
+                fatal("flag %s expects a value", flag.c_str());
+            consumed_[i] = consumed_[i + 1] = true;
+            result = tokens_[i + 1];
         }
-        return fallback;
+        return result;
     }
 
     int
-    intValue(const std::string &flag, int fallback) const
+    intValue(const std::string &flag, int fallback, int lo = INT_MIN,
+             int hi = INT_MAX) const
     {
         const std::string v = value(flag, "");
-        return v.empty() ? fallback : std::atoi(v.c_str());
+        if (v.empty())
+            return fallback;
+        char *end = nullptr;
+        errno = 0;
+        const long parsed = std::strtol(v.c_str(), &end, 10);
+        if (errno != 0 || end == v.c_str() || *end != '\0')
+            fatal("flag %s: '%s' is not an integer", flag.c_str(),
+                  v.c_str());
+        if (parsed < lo || parsed > hi)
+            fatal("flag %s: %ld out of range [%d, %d]", flag.c_str(),
+                  parsed, lo, hi);
+        return static_cast<int>(parsed);
     }
 
     double
-    doubleValue(const std::string &flag, double fallback) const
+    doubleValue(const std::string &flag, double fallback, double lo,
+                double hi) const
     {
         const std::string v = value(flag, "");
-        return v.empty() ? fallback : std::atof(v.c_str());
+        if (v.empty())
+            return fallback;
+        char *end = nullptr;
+        errno = 0;
+        const double parsed = std::strtod(v.c_str(), &end);
+        if (errno != 0 || end == v.c_str() || *end != '\0')
+            fatal("flag %s: '%s' is not a number", flag.c_str(),
+                  v.c_str());
+        if (parsed < lo || parsed > hi)
+            fatal("flag %s: %g out of range [%g, %g]", flag.c_str(),
+                  parsed, lo, hi);
+        return parsed;
     }
 
     bool
     has(const std::string &flag) const
     {
-        for (const std::string &token : tokens_) {
-            if (token == flag)
-                return true;
+        bool found = false;
+        for (std::size_t i = 0; i < tokens_.size(); ++i) {
+            if (tokens_[i] == flag) {
+                consumed_[i] = true;
+                found = true;
+            }
         }
-        return false;
+        return found;
+    }
+
+    /** fatal() listing every token no flag query consumed. */
+    void
+    rejectUnknown(const std::string &command) const
+    {
+        std::string unknown;
+        for (std::size_t i = 0; i < tokens_.size(); ++i) {
+            if (consumed_[i])
+                continue;
+            if (!unknown.empty())
+                unknown += ' ';
+            unknown += tokens_[i];
+        }
+        if (!unknown.empty())
+            fatal("%s: unknown argument(s): %s", command.c_str(),
+                  unknown.c_str());
     }
 
   private:
     std::vector<std::string> tokens_;
+    mutable std::vector<bool> consumed_;
 };
 
 storage::DiskParams
@@ -109,32 +176,68 @@ clusterFromArgs(const Args &args)
 {
     cluster::ClusterConfig config =
         cluster::ClusterConfig::evaluationCluster();
-    config.numSlaves = args.intValue("--nodes", config.numSlaves);
+    config.numSlaves =
+        args.intValue("--nodes", config.numSlaves, 1, 100000);
     config.node.hdfsDisk = diskByName(args.value("--hdfs", "ssd"));
     config.node.localDisk = diskByName(args.value("--local", "ssd"));
-    config.node.localDiskCount = args.intValue("--local-disks", 1);
+    config.node.localDiskCount =
+        args.intValue("--local-disks", 1, 1, 64);
     // The CLI models the OS page cache by default (real clusters run
     // with it warm); --no-page-cache reproduces the library default,
     // i.e. the paper's drop_caches profiling conditions.
     config.node.pageCache.enabled = !args.has("--no-page-cache");
     config.node.pageCache.capacity =
-        static_cast<Bytes>(args.intValue("--cache-capacity", 0)) * kMiB;
-    config.node.pageCache.dirtyRatio = args.doubleValue(
-        "--cache-dirty-ratio", config.node.pageCache.dirtyRatio);
+        static_cast<Bytes>(
+            args.intValue("--cache-capacity", 0, 0, INT_MAX)) *
+        kMiB;
+    config.node.pageCache.dirtyRatio =
+        args.doubleValue("--cache-dirty-ratio",
+                         config.node.pageCache.dirtyRatio, 0.01, 1.0);
     config.node.pageCache.dirtyBackgroundRatio =
         std::min(config.node.pageCache.dirtyBackgroundRatio,
                  config.node.pageCache.dirtyRatio / 2.0);
     config.node.pageCache.readAhead =
         static_cast<Bytes>(args.intValue(
             "--cache-readahead",
-            static_cast<int>(config.node.pageCache.readAhead / kKiB))) *
+            static_cast<int>(config.node.pageCache.readAhead / kKiB), 0,
+            INT_MAX)) *
         kKiB;
     return config;
 }
 
-int
-cmdList()
+/**
+ * Assemble the run's FaultSpec from --fault-spec (a file path if one
+ * exists, inline statements otherwise) plus the convenience shorthands
+ * --task-fail-rate and --kill-node ID@T.
+ */
+faults::FaultSpec
+faultsFromArgs(const Args &args)
 {
+    faults::FaultSpec spec;
+    const std::string specArg = args.value("--fault-spec", "");
+    if (!specArg.empty()) {
+        const std::ifstream probe(specArg);
+        spec = probe.good()
+                   ? faults::FaultSpec::parseFile(specArg)
+                   : faults::FaultSpec::parse(specArg, "--fault-spec");
+    }
+    spec.taskFailureRate = args.doubleValue(
+        "--task-fail-rate", spec.taskFailureRate, 0.0, 0.9);
+    const std::string kill = args.value("--kill-node", "");
+    if (!kill.empty()) {
+        const faults::FaultSpec parsed =
+            faults::FaultSpec::parse("kill " + kill, "--kill-node");
+        for (const faults::NodeEvent &event : parsed.schedule.events())
+            spec.schedule.add(event);
+    }
+    spec.validate();
+    return spec;
+}
+
+int
+cmdList(const Args &args)
+{
+    args.rejectUnknown("list");
     for (const std::string &name : workloads::registeredWorkloads())
         std::cout << name << "\n";
     return 0;
@@ -146,13 +249,18 @@ cmdRun(const std::string &name, const Args &args)
     const auto workload = workloads::makeWorkload(name);
     const cluster::ClusterConfig config = clusterFromArgs(args);
     spark::SparkConf conf;
-    conf.executorCores = args.intValue("--cores", 36);
+    conf.executorCores = args.intValue("--cores", 36, 1, 4096);
     conf.speculation = args.has("--speculate");
 
     spark::TaskTrace trace;
     const std::string trace_path = args.value("--trace", "");
-    const spark::AppMetrics metrics = workload->run(
-        config, conf, trace_path.empty() ? nullptr : &trace);
+    const std::string json_path = args.value("--json", "");
+    const faults::FaultSpec faultSpec = faultsFromArgs(args);
+    args.rejectUnknown("run");
+
+    const spark::AppMetrics metrics =
+        workload->run(config, conf, trace_path.empty() ? nullptr : &trace,
+                      &faultSpec);
     if (!trace_path.empty()) {
         std::ofstream out(trace_path);
         if (!out)
@@ -160,6 +268,13 @@ cmdRun(const std::string &name, const Args &args)
         trace.writeCsv(out);
         std::cout << "wrote " << trace.size() << " task records to "
                   << trace_path << "\n";
+    }
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            fatal("cannot open json file '%s'", json_path.c_str());
+        spark::writeMetricsJson(out, metrics);
+        out << "\n";
     }
 
     TablePrinter table(workload->name() + " on " +
@@ -186,6 +301,24 @@ cmdRun(const std::string &name, const Args &args)
         model::writePageCacheReport(std::cout, metrics.pageCache,
                                     capacity);
     }
+    if (metrics.faultsPresent) {
+        const spark::FaultMetrics &f = metrics.faults;
+        std::cout << "\nfaults: " << f.taskFailures
+                  << " task crash(es), " << f.taskRetries
+                  << " retry(ies), " << f.lostAttempts
+                  << " attempt(s) lost to node death, "
+                  << f.fetchFailures << " fetch failure(s), "
+                  << f.stageReattempts << " stage reattempt(s), "
+                  << f.hdfsFailovers << " HDFS failover(s)\n"
+                  << "        wasted "
+                  << formatDuration(secondsToTicks(f.wastedTaskSeconds))
+                  << " of task work, "
+                  << formatDuration(secondsToTicks(f.recoverySeconds))
+                  << " recovering, re-replicated "
+                  << formatBytes(f.reReplicatedBytes) << ", lost "
+                  << formatBytes(f.lostDirtyBytes)
+                  << " of dirty page cache\n";
+    }
     return 0;
 }
 
@@ -198,13 +331,15 @@ cmdProfile(const std::string &name, const Args &args)
     options.fitGc = true;
     options.sampleNodes = config.numSlaves;
     options.gcNodes = config.numSlaves + 1;
+    const int cores = args.intValue("--cores", 36, 1, 4096);
+    args.rejectUnknown("profile");
     model::Profiler profiler(workload->runner(), config,
                              spark::SparkConf{}, options);
     const model::AppModel app = profiler.fit(workload->name());
 
     model::ReportOptions report;
     report.numNodes = config.numSlaves;
-    report.cores = args.intValue("--cores", 36);
+    report.cores = cores;
     model::writeReport(std::cout, app,
                        model::PlatformProfile::fromNode(config.node),
                        report);
@@ -216,6 +351,7 @@ cmdFio(const Args &args)
 {
     const storage::DiskParams params =
         diskByName(args.value("--disk", "hdd"));
+    args.rejectUnknown("fio");
     const storage::FioProfiler profiler(params);
     TablePrinter table("Effective bandwidth, " + params.model);
     table.setHeader({"request size", "read", "write", "read IOPS"});
@@ -234,7 +370,8 @@ int
 cmdOptimize(const Args &args)
 {
     const workloads::Gatk4 gatk4;
-    const int workers = args.intValue("--workers", 10);
+    const int workers = args.intValue("--workers", 10, 1, 100000);
+    args.rejectUnknown("optimize");
     constexpr Bytes kGB = 1000ULL * 1000 * 1000;
 
     cluster::ClusterConfig config;
@@ -291,6 +428,8 @@ usage()
            "  optimize [--workers N]        cloud cost optimization\n"
            "options: --nodes N --cores P --hdfs T --local T\n"
            "         --local-disks K --speculate\n"
+           "         --trace FILE               per-task CSV trace\n"
+           "         --json FILE                metrics as JSON\n"
            "         --no-page-cache            direct I/O "
            "(drop_caches conditions)\n"
            "         --cache-capacity MIB       page cache per node "
@@ -298,7 +437,17 @@ usage()
            "         --cache-dirty-ratio F      writer-throttle "
            "fraction (default 0.2)\n"
            "         --cache-readahead KIB      sequential read-ahead "
-           "window\n";
+           "window\n"
+           "fault injection (run):\n"
+           "         --fault-spec SPEC          fault file, or inline "
+           "statements\n"
+           "                                    (e.g. 'task-fail-rate "
+           "0.02; kill 2@120')\n"
+           "         --task-fail-rate F         per-attempt crash "
+           "probability\n"
+           "         --kill-node ID@T           kill node ID at T "
+           "seconds\n"
+           "unknown flags and out-of-range values exit non-zero\n";
     return 2;
 }
 
@@ -312,7 +461,7 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     try {
         if (command == "list")
-            return cmdList();
+            return cmdList(Args(argc, argv, 2));
         if (command == "fio")
             return cmdFio(Args(argc, argv, 2));
         if (command == "optimize")
