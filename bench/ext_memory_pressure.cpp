@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Extension bench: graceful degradation under memory pressure.
+ *
+ * The paper sizes its clusters so every cached RDD fits; this sweep
+ * asks what happens when it does not. The dataset is held fixed while
+ * executor memory shrinks, sweeping the dataset / aggregate-pool ratio
+ * across 1.0 on two workloads with opposite pressure profiles:
+ *
+ * 1. Logistic Regression (storage pressure): the persisted parsedData
+ *    outgrows the unified pools, so caching evicts blocks to the local
+ *    disks (MEMORY_AND_DISK) and every iteration pays PersistRead for
+ *    the evicted share — runtime and device traffic rise smoothly past
+ *    ratio 1.0 instead of falling off the all-or-nothing cliff the
+ *    legacy placement models.
+ * 2. Terasort (execution pressure): sort buffers outgrow each task's
+ *    fair share of execution memory, so the shuffle external-sorts
+ *    through the disks in multiple merge passes; spilled bytes grow
+ *    with the ratio.
+ *
+ * Run with --smoke for the CI-sized subset (2 points per workload).
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/logistic_regression.h"
+#include "workloads/terasort.h"
+
+using namespace doppio;
+
+namespace {
+
+constexpr int kSlaves = 3;
+constexpr int kCores = 8;
+
+/** Evaluation-style cluster sized so the pool ratio comes out right. */
+cluster::ClusterConfig
+benchCluster(Bytes executorMemory)
+{
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::evaluationCluster();
+    config.numSlaves = kSlaves;
+    config.node.executorMemory = executorMemory;
+    // Constant OS headroom so the page cache does not grow as the
+    // executor shrinks and confound the sweep.
+    config.node.ram = executorMemory + gib(8);
+    return config;
+}
+
+/** Executor memory giving dataset/aggregate-pool == @p ratio. */
+Bytes
+executorMemoryFor(Bytes datasetBytes, double ratio,
+                  double memoryFraction)
+{
+    return static_cast<Bytes>(static_cast<double>(datasetBytes) /
+                              (ratio * kSlaves * memoryFraction));
+}
+
+struct SweepPoint
+{
+    double ratio = 0.0;
+    double seconds = 0.0;
+    Bytes pressureBytes = 0; //!< evicted-to-disk + spilled
+};
+
+void
+printMonotonicityVerdict(const std::vector<SweepPoint> &points)
+{
+    bool runtime_ok = true;
+    bool traffic_ok = true;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (points[i].ratio <= 1.0)
+            continue;
+        // Degradation must be graceful: more pressure, never less
+        // runtime or device traffic (0.1% slack for barrier effects).
+        if (points[i].seconds < points[i - 1].seconds * 0.999)
+            runtime_ok = false;
+        if (points[i].pressureBytes < points[i - 1].pressureBytes)
+            traffic_ok = false;
+    }
+    std::cout << "past ratio 1.0: runtime "
+              << (runtime_ok ? "monotone non-decreasing"
+                             : "NOT monotone")
+              << ", spill+evict traffic "
+              << (traffic_ok ? "monotone non-decreasing"
+                             : "NOT monotone")
+              << "\n\n";
+}
+
+void
+lrStorageSweep(const std::vector<double> &ratios, bool smoke)
+{
+    workloads::LogisticRegression::Options options;
+    options.examplesMillions = smoke ? 30.0 : 110.0;
+    options.iterations = smoke ? 2 : 5;
+    const workloads::LogisticRegression workload(options);
+    const Bytes dataset = options.parsedBytes();
+
+    TablePrinter table(
+        "LR iterations vs parsedData / aggregate pool (" +
+        formatBytes(dataset) + " cached, 3 slaves x 8 cores)");
+    table.setHeader({"ratio", "executor", "runtime (s)", "evicted",
+                     "to disk", "recomputed", "spilled"});
+    std::vector<SweepPoint> points;
+    for (const double ratio : ratios) {
+        spark::SparkConf conf;
+        conf.executorCores = kCores;
+        conf.unifiedMemory = true;
+        const Bytes executor =
+            executorMemoryFor(dataset, ratio, conf.memoryFraction);
+        const spark::AppMetrics metrics =
+            workload.run(benchCluster(executor), conf);
+        const spark::MemoryMetrics &memory = metrics.memory;
+        table.addRow({TablePrinter::num(ratio, 2),
+                      formatBytes(executor),
+                      TablePrinter::num(metrics.seconds(), 1),
+                      std::to_string(memory.evictedBlocks),
+                      formatBytes(memory.evictedToDiskBytes),
+                      std::to_string(memory.recomputedPartitions),
+                      formatBytes(memory.spilledBytes)});
+        points.push_back({ratio, metrics.seconds(),
+                          memory.evictedToDiskBytes +
+                              memory.spilledBytes});
+    }
+    table.print(std::cout);
+    printMonotonicityVerdict(points);
+}
+
+void
+terasortExecutionSweep(const std::vector<double> &ratios, bool smoke)
+{
+    workloads::Terasort::Options options;
+    options.dataBytes = smoke ? gib(8) : gib(24);
+    options.reducers = smoke ? 8 : 24;
+    const workloads::Terasort workload(options);
+
+    TablePrinter table("Terasort vs data / aggregate pool (" +
+                       formatBytes(options.dataBytes) +
+                       " sorted, 3 slaves x 8 cores)");
+    table.setHeader({"ratio", "executor", "runtime (s)", "spills",
+                     "passes", "spilled", "OOM kills"});
+    std::vector<SweepPoint> points;
+    for (const double ratio : ratios) {
+        spark::SparkConf conf;
+        conf.executorCores = kCores;
+        conf.unifiedMemory = true;
+        const Bytes executor = executorMemoryFor(
+            options.dataBytes, ratio, conf.memoryFraction);
+        const spark::AppMetrics metrics =
+            workload.run(benchCluster(executor), conf);
+        const spark::MemoryMetrics &memory = metrics.memory;
+        table.addRow({TablePrinter::num(ratio, 2),
+                      formatBytes(executor),
+                      TablePrinter::num(metrics.seconds(), 1),
+                      std::to_string(memory.spills),
+                      std::to_string(memory.spillPasses),
+                      formatBytes(memory.spilledBytes),
+                      std::to_string(memory.oomKills)});
+        points.push_back({ratio, metrics.seconds(),
+                          memory.evictedToDiskBytes +
+                              memory.spilledBytes});
+    }
+    table.print(std::cout);
+    printMonotonicityVerdict(points);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke =
+        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const std::vector<double> ratios =
+        smoke ? std::vector<double>{0.5, 2.0}
+              : std::vector<double>{0.5, 0.75, 1.0, 1.5, 2.0, 3.0};
+    lrStorageSweep(ratios, smoke);
+    terasortExecutionSweep(ratios, smoke);
+    return 0;
+}

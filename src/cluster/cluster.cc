@@ -98,6 +98,10 @@ Node::reset()
 {
     nextHdfs_ = 0;
     nextLocal_ = 0;
+    // A degraded-device factor is runtime state too: without this a
+    // fault run would leave the next (supposedly clean) run on slow
+    // devices.
+    setDegradedFactor(1.0);
     if (pageCache_)
         pageCache_->reset();
 }
@@ -132,6 +136,8 @@ Cluster::Cluster(sim::Simulator &simulator, ClusterConfig config)
         sim_, config_.numSlaves, config_.networkBandwidth);
     alive_.assign(static_cast<std::size_t>(config_.numSlaves), true);
     aliveCount_ = config_.numSlaves;
+    memoryFractions_.assign(static_cast<std::size_t>(config_.numSlaves),
+                            1.0);
 }
 
 std::vector<int>
@@ -171,6 +177,25 @@ Cluster::addLivenessObserver(LivenessObserver observer)
     observers_.push_back(std::move(observer));
 }
 
+void
+Cluster::setMemoryFraction(int id, double fraction)
+{
+    if (id < 0 || id >= config_.numSlaves)
+        fatal("Cluster: setMemoryFraction on invalid node %d", id);
+    if (fraction <= 0.0 || fraction > 1.0)
+        fatal("Cluster: memory fraction must be in (0, 1], got %g",
+              fraction);
+    memoryFractions_[static_cast<std::size_t>(id)] = fraction;
+    for (const MemoryObserver &observer : memoryObservers_)
+        observer(id, fraction);
+}
+
+void
+Cluster::addMemoryObserver(MemoryObserver observer)
+{
+    memoryObservers_.push_back(std::move(observer));
+}
+
 Bytes
 Cluster::totalStorageMemory() const
 {
@@ -196,6 +221,8 @@ Cluster::reset()
         node->reset();
     alive_.assign(static_cast<std::size_t>(config_.numSlaves), true);
     aliveCount_ = config_.numSlaves;
+    memoryFractions_.assign(static_cast<std::size_t>(config_.numSlaves),
+                            1.0);
     lostDirtyBytes_ = 0;
 }
 

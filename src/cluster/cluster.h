@@ -172,6 +172,30 @@ class Cluster
     /** Register a liveness observer (never unregistered). */
     void addLivenessObserver(LivenessObserver observer);
 
+    /**
+     * Observer of per-node memory-pool changes (the fault DSL's
+     * degrade-mem event). The spark layer's memory manager subscribes;
+     * the cluster itself only records the fraction, keeping the
+     * cluster -> spark layering acyclic.
+     */
+    using MemoryObserver = std::function<void(int node, double fraction)>;
+
+    /**
+     * Scale node @p id's usable executor-memory pool to @p fraction of
+     * its configured size ((0, 1]; 1 restores it). Observers are
+     * notified after the fraction is recorded, in registration order.
+     */
+    void setMemoryFraction(int id, double fraction);
+
+    /** @return node @p id's current memory fraction (1 by default). */
+    double memoryFraction(int id) const
+    {
+        return memoryFractions_[static_cast<std::size_t>(id)];
+    }
+
+    /** Register a memory observer (never unregistered). */
+    void addMemoryObserver(MemoryObserver observer);
+
     /** @return dirty page-cache bytes lost to node kills so far. */
     Bytes lostDirtyBytes() const { return lostDirtyBytes_; }
 
@@ -198,6 +222,8 @@ class Cluster
     std::vector<bool> alive_;
     int aliveCount_ = 0;
     std::vector<LivenessObserver> observers_;
+    std::vector<double> memoryFractions_;
+    std::vector<MemoryObserver> memoryObservers_;
     Bytes lostDirtyBytes_ = 0;
 };
 

@@ -1,7 +1,11 @@
 #include "common/units.h"
 
 #include <array>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
 
 namespace doppio {
 
@@ -36,6 +40,51 @@ std::string
 formatBandwidth(BytesPerSec bw)
 {
     return formatScaled(bw, "B/s");
+}
+
+Bytes
+parseBytes(const std::string &text)
+{
+    if (text.empty())
+        fatal("parseBytes: empty size");
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str())
+        fatal("parseBytes: '%s' is not a size", text.c_str());
+    if (value < 0.0)
+        fatal("parseBytes: negative size '%s'", text.c_str());
+
+    std::string suffix;
+    for (const char *p = end; *p != '\0'; ++p)
+        suffix += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    double scale = 1.0;
+    if (!suffix.empty()) {
+        // Accept "k", "kb", "kib" (and m/g/t alike), or a bare "b".
+        const char unit = suffix[0];
+        const std::string rest = suffix.substr(1);
+        const bool tail_ok = rest.empty() || rest == "b" || rest == "ib";
+        if (unit == 'k' && tail_ok)
+            scale = static_cast<double>(kKiB);
+        else if (unit == 'm' && tail_ok)
+            scale = static_cast<double>(kMiB);
+        else if (unit == 'g' && tail_ok)
+            scale = static_cast<double>(kGiB);
+        else if (unit == 't' && tail_ok)
+            scale = static_cast<double>(kTiB);
+        else if (unit == 'b' && rest.empty())
+            scale = 1.0;
+        else
+            fatal("parseBytes: unknown unit '%s' in '%s' "
+                  "(use k/m/g/t[i][b])",
+                  suffix.c_str(), text.c_str());
+    }
+    const double bytes = value * scale;
+    if (bytes > 9.2e18) // past the uint64 range
+        fatal("parseBytes: '%s' overflows a 64-bit byte count",
+              text.c_str());
+    return static_cast<Bytes>(bytes);
 }
 
 } // namespace doppio

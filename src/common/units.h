@@ -96,6 +96,14 @@ toMiBps(BytesPerSec bw)
  */
 std::string formatBytes(Bytes b);
 
+/**
+ * Parse a byte count with an optional binary-unit suffix: "90g",
+ * "512M", "131072k", "1t", "64kb", "1048576" (plain bytes). Suffixes
+ * are case-insensitive; a trailing 'b'/"ib" is accepted ("90gib").
+ * fatal() on malformed input, a negative value, or overflow.
+ */
+Bytes parseBytes(const std::string &text);
+
 /** Format a bandwidth, e.g. "480.0 MB/s". */
 std::string formatBandwidth(BytesPerSec bw);
 

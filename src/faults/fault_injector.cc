@@ -70,6 +70,10 @@ FaultInjector::arm(cluster::Cluster &cluster)
                     target->node(scheduled.node)
                         .setDegradedFactor(scheduled.factor);
                     break;
+                  case NodeEvent::Kind::DegradeMem:
+                    target->setMemoryFraction(scheduled.node,
+                                              scheduled.factor);
+                    break;
                 }
             });
     }

@@ -19,6 +19,8 @@ nodeEventKindName(NodeEvent::Kind kind)
         return "rejoin";
       case NodeEvent::Kind::Degrade:
         return "degrade";
+      case NodeEvent::Kind::DegradeMem:
+        return "degrade-mem";
     }
     return "?";
 }
@@ -70,6 +72,25 @@ FaultSpec::validate() const
         if (event.kind == NodeEvent::Kind::Degrade && event.factor < 1.0)
             fatal("FaultSpec: degrade factor must be >= 1, got %g",
                   event.factor);
+        if (event.kind == NodeEvent::Kind::DegradeMem &&
+            (event.factor <= 0.0 || event.factor > 1.0))
+            fatal("FaultSpec: degrade-mem fraction must be in (0, 1], "
+                  "got %g",
+                  event.factor);
+    }
+    // Two kills of one node at one time are a spec typo (the second
+    // would be a no-op at best and usually means a wrong node id).
+    const auto &events = schedule.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (events[i].kind != NodeEvent::Kind::Kill)
+            continue;
+        for (std::size_t j = i + 1; j < events.size(); ++j) {
+            if (events[j].kind == NodeEvent::Kind::Kill &&
+                events[j].node == events[i].node &&
+                events[j].atSeconds == events[i].atSeconds)
+                fatal("FaultSpec: duplicate kill of node %d at t=%g",
+                      events[i].node, events[i].atSeconds);
+        }
     }
 }
 
@@ -142,13 +163,15 @@ FaultSpec::parse(const std::string &text, const std::string &source)
         } else if (key == "rejoin") {
             spec.schedule.add(parseNodeAt(arg, NodeEvent::Kind::Rejoin,
                                           source, line_no));
-        } else if (key == "degrade") {
-            NodeEvent event = parseNodeAt(arg, NodeEvent::Kind::Degrade,
-                                          source, line_no);
+        } else if (key == "degrade" || key == "degrade-mem") {
+            const NodeEvent::Kind kind = key == "degrade"
+                                             ? NodeEvent::Kind::Degrade
+                                             : NodeEvent::Kind::DegradeMem;
+            NodeEvent event = parseNodeAt(arg, kind, source, line_no);
             std::string factor;
             if (!(words >> factor))
-                fatal("FaultSpec %s:%d: degrade needs a factor",
-                      source.c_str(), line_no);
+                fatal("FaultSpec %s:%d: %s needs a factor",
+                      source.c_str(), line_no, key.c_str());
             event.factor = parseDouble(factor, source, line_no);
             spec.schedule.add(event);
         } else {

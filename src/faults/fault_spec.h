@@ -16,6 +16,7 @@
  *   kill 2@120               # node 2 dies at t=120 s
  *   rejoin 2@600             # ...and comes back empty at t=600 s
  *   degrade 1@60 4.0         # node 1's devices slow down 4x at t=60 s
+ *   degrade-mem 1@60 0.5     # node 1's memory pool halves at t=60 s
  *
  * '#' starts a comment; ';' separates statements on one line (for
  * inline command-line use).
@@ -32,16 +33,21 @@ namespace doppio::faults {
 /** One scheduled node-scoped fault event. */
 struct NodeEvent
 {
-    enum class Kind { Kill, Rejoin, Degrade };
+    enum class Kind { Kill, Rejoin, Degrade, DegradeMem };
 
     Kind kind = Kind::Kill;
     int node = 0;
     double atSeconds = 0.0;
-    /** Degrade only: device service-time multiplier (>= 1). */
+    /**
+     * Degrade: device service-time multiplier (>= 1).
+     * DegradeMem: remaining fraction of the node's memory pool
+     * ((0, 1]; 1 restores it) — a ballooning neighbour VM or cgroup
+     * clamp shrinking the executor's usable memory.
+     */
     double factor = 1.0;
 };
 
-/** @return "kill" / "rejoin" / "degrade". */
+/** @return "kill" / "rejoin" / "degrade" / "degrade-mem". */
 const char *nodeEventKindName(NodeEvent::Kind kind);
 
 /**

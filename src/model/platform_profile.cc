@@ -72,9 +72,11 @@ PlatformProfile::bandwidthFor(storage::IoOp op, double requestSize) const
         return hdfsWrite.at(requestSize);
       case storage::IoOp::ShuffleRead:
       case storage::IoOp::PersistRead:
+      case storage::IoOp::SpillRead:
         return localRead.at(requestSize);
       case storage::IoOp::ShuffleWrite:
       case storage::IoOp::PersistWrite:
+      case storage::IoOp::SpillWrite:
         return localWrite.at(requestSize);
       case storage::IoOp::RawRead:
       case storage::IoOp::RawWrite:

@@ -1,6 +1,7 @@
 #include "spark/dag_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -35,31 +36,94 @@ DagScheduler::makeIoPhase(storage::IoOp op, Bytes bytes, Bytes preferred,
 DagScheduler::ChainBuild
 DagScheduler::buildChain(const RddRef &rdd, std::vector<StageSpec> &stages)
 {
-    ChainBuild build;
     if (rdd->numPartitions <= 0)
         fatal("DagScheduler: RDD %s has no partitions",
               rdd->name.c_str());
 
-    switch (blockManager_.placementOf(rdd.get())) {
-      case BlockManager::Placement::Memory:
-        // Cached in memory: the stage reads it for free.
+    if (conf_.unifiedMemory) {
+        if (blockManager_.tracked(rdd.get()))
+            return buildUnifiedRead(rdd, stages);
+    } else {
+        switch (blockManager_.placementOf(rdd.get())) {
+          case BlockManager::Placement::Memory: {
+            // Cached in memory: the stage reads it for free.
+            ChainBuild build;
+            build.groups.push_back(TaskGroupSpec{
+                rdd->name + "(cached)", rdd->numPartitions, {},
+                rdd->bytesPerPartition()});
+            return build;
+          }
+          case BlockManager::Placement::Disk: {
+            ChainBuild build;
+            build.groups.push_back(TaskGroupSpec{
+                rdd->name + "(disk)",
+                rdd->numPartitions,
+                {makeIoPhase(storage::IoOp::PersistRead,
+                             rdd->bytesPerPartition(),
+                             conf_.diskStoreRequestSize,
+                             rdd->pipelinedCpuPerByte)},
+                rdd->bytesPerPartition()});
+            return build;
+          }
+          case BlockManager::Placement::Unmaterialized:
+            break;
+        }
+    }
+    return buildCompute(rdd, stages);
+}
+
+DagScheduler::ChainBuild
+DagScheduler::buildUnifiedRead(const RddRef &rdd,
+                               std::vector<StageSpec> &stages)
+{
+    const BlockManager::ReadPlan plan =
+        blockManager_.readPlan(rdd.get());
+    blockManager_.touchRdd(rdd.get());
+    const Bytes per_task = rdd->bytesPerPartition();
+    ChainBuild build;
+    if (plan.cached > 0) {
         build.groups.push_back(TaskGroupSpec{
-            rdd->name + "(cached)", rdd->numPartitions, {},
-            rdd->bytesPerPartition()});
-        return build;
-      case BlockManager::Placement::Disk:
+            rdd->name + "(cached)", plan.cached, {}, per_task});
+    }
+    if (plan.disk > 0) {
         build.groups.push_back(TaskGroupSpec{
             rdd->name + "(disk)",
-            rdd->numPartitions,
-            {makeIoPhase(storage::IoOp::PersistRead,
-                         rdd->bytesPerPartition(),
+            plan.disk,
+            {makeIoPhase(storage::IoOp::PersistRead, per_task,
                          conf_.diskStoreRequestSize,
                          rdd->pipelinedCpuPerByte)},
-            rdd->bytesPerPartition()});
-        return build;
-      case BlockManager::Placement::Unmaterialized:
-        break;
+            per_task});
     }
+    if (plan.missing > 0) {
+        // Dropped blocks: recompute the missing share from lineage
+        // (Spark's fallback when a MEMORY_ONLY block was evicted),
+        // scaling each recompute group to the missing fraction.
+        ChainBuild sub = buildCompute(rdd, stages);
+        const double ratio = static_cast<double>(plan.missing) /
+                             static_cast<double>(std::max(1, plan.total));
+        for (TaskGroupSpec &group : sub.groups) {
+            if (group.count > 0) {
+                group.count = std::max(
+                    1, static_cast<int>(std::lround(
+                           static_cast<double>(group.count) * ratio)));
+            }
+            group.name += "(recompute)";
+            build.groups.push_back(std::move(group));
+        }
+        build.gcSensitivity =
+            std::max(build.gcSensitivity, sub.gcSensitivity);
+        if (build.shuffleSource.empty())
+            build.shuffleSource = sub.shuffleSource;
+        blockManager_.recacheMissing(*rdd);
+    }
+    return build;
+}
+
+DagScheduler::ChainBuild
+DagScheduler::buildCompute(const RddRef &rdd,
+                           std::vector<StageSpec> &stages)
+{
+    ChainBuild build;
 
     if (rdd->isSource()) {
         build.groups.push_back(TaskGroupSpec{
@@ -178,6 +242,30 @@ DagScheduler::maybeMaterialize(const RddRef &rdd, ChainBuild &build)
 {
     if (rdd->storageLevel == StorageLevel::None)
         return;
+    if (conf_.unifiedMemory) {
+        if (blockManager_.tracked(rdd.get()))
+            return;
+        const BlockManager::ReadPlan placed =
+            blockManager_.materializeUnified(*rdd);
+        if (placed.disk <= 0)
+            return;
+        // The disk share's serialized form streams out through the
+        // disk store as part of the producing tasks; the cost spreads
+        // evenly over the group's tasks (task<->partition identity is
+        // below the simulation's granularity).
+        const Bytes per_task = static_cast<Bytes>(
+            static_cast<double>(rdd->bytesPerPartition()) *
+            static_cast<double>(placed.disk) /
+            static_cast<double>(std::max(1, placed.total)));
+        if (per_task == 0)
+            return;
+        for (TaskGroupSpec &group : build.groups) {
+            group.phases.push_back(
+                makeIoPhase(storage::IoOp::PersistWrite, per_task,
+                            conf_.diskStoreRequestSize, 0.0));
+        }
+        return;
+    }
     if (blockManager_.placementOf(rdd.get()) !=
         BlockManager::Placement::Unmaterialized)
         return;

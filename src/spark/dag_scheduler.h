@@ -96,6 +96,23 @@ class DagScheduler
     ChainBuild buildChain(const RddRef &rdd,
                           std::vector<StageSpec> &stages);
 
+    /**
+     * Compute @p rdd from its lineage (source read, shuffle read or
+     * narrow-pipelined parents), ignoring any materialized copy — the
+     * shared tail of buildChain() and the unified-mode recompute path.
+     */
+    ChainBuild buildCompute(const RddRef &rdd,
+                            std::vector<StageSpec> &stages);
+
+    /**
+     * Unified mode: read a per-block materialized RDD. Cached
+     * partitions are free, disk partitions become PersistRead tasks,
+     * and dropped partitions are recomputed from lineage (scaling the
+     * recompute groups to the missing share) and re-cached.
+     */
+    ChainBuild buildUnifiedRead(const RddRef &rdd,
+                                std::vector<StageSpec> &stages);
+
     /** Emit @p rdd's map stage if its shuffle files are absent. */
     void ensureShuffle(const RddRef &rdd, std::vector<StageSpec> &stages);
 

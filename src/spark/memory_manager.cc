@@ -1,0 +1,174 @@
+#include "spark/memory_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace doppio::spark {
+
+MemoryManager::MemoryManager(Bytes poolBytes, double storageFraction)
+    : configuredPool_(poolBytes), storageFraction_(storageFraction),
+      pool_(poolBytes)
+{
+    if (storageFraction_ < 0.0 || storageFraction_ > 1.0)
+        fatal("MemoryManager: storage fraction must be in [0, 1], "
+              "got %g",
+              storageFraction_);
+}
+
+Bytes
+MemoryManager::storageFloor() const
+{
+    return static_cast<Bytes>(static_cast<double>(pool_) *
+                              storageFraction_);
+}
+
+Bytes
+MemoryManager::executionCap() const
+{
+    // A degrade-mem clamp can leave the pool overcommitted until
+    // execution holds drain; the cap never goes negative.
+    const Bytes protected_storage =
+        std::min(storageUsed_, storageFloor());
+    return pool_ > protected_storage ? pool_ - protected_storage : 0;
+}
+
+bool
+MemoryManager::hasBlock(BlockId id) const
+{
+    return blocks_.count(id) != 0;
+}
+
+void
+MemoryManager::touchBlock(BlockId id)
+{
+    auto it = blocks_.find(id);
+    if (it == blocks_.end())
+        return;
+    lru_.erase(it->second.lruPos);
+    lru_.push_back(id);
+    it->second.lruPos = std::prev(lru_.end());
+}
+
+Bytes
+MemoryManager::dropBlock(BlockId id)
+{
+    auto it = blocks_.find(id);
+    if (it == blocks_.end())
+        return 0;
+    const Bytes bytes = it->second.bytes;
+    lru_.erase(it->second.lruPos);
+    blocks_.erase(it);
+    storageUsed_ = bytes <= storageUsed_ ? storageUsed_ - bytes : 0;
+    return bytes;
+}
+
+Bytes
+MemoryManager::evictDownTo(Bytes need, Bytes keepStorage,
+                           std::vector<BlockId> *evicted)
+{
+    Bytes freed = 0;
+    while (free() < need && storageUsed_ > keepStorage &&
+           !lru_.empty()) {
+        const BlockId victim = lru_.front();
+        const Bytes bytes = dropBlock(victim);
+        freed += bytes;
+        if (evicted != nullptr)
+            evicted->push_back(victim);
+    }
+    return freed;
+}
+
+bool
+MemoryManager::putBlock(BlockId id, Bytes bytes,
+                        std::vector<BlockId> *evicted)
+{
+    auto it = blocks_.find(id);
+    if (it != blocks_.end()) {
+        touchBlock(id);
+        return true;
+    }
+    // Storage may claim everything execution does not hold — but
+    // never evict execution, so a block larger than that ceiling can
+    // never be cached.
+    const Bytes ceiling =
+        pool_ > executionUsed_ ? pool_ - executionUsed_ : 0;
+    if (bytes > ceiling)
+        return false;
+    if (free() < bytes)
+        evictDownTo(bytes, /*keepStorage=*/0, evicted);
+    if (free() < bytes)
+        return false; // unreachable: eviction can empty storage
+    Block block;
+    block.bytes = bytes;
+    lru_.push_back(id);
+    block.lruPos = std::prev(lru_.end());
+    blocks_.emplace(id, block);
+    storageUsed_ += bytes;
+    peakStorage_ = std::max(peakStorage_, storageUsed_);
+    return true;
+}
+
+Bytes
+MemoryManager::acquireExecution(Bytes want, int activeTasks,
+                                std::vector<BlockId> *evicted)
+{
+    if (want == 0)
+        return 0;
+    if (activeTasks < 1)
+        activeTasks = 1;
+    const Bytes fair_share =
+        executionCap() / static_cast<Bytes>(activeTasks);
+    Bytes target = std::min(want, fair_share);
+    if (target == 0)
+        return 0;
+    if (free() < target) {
+        // Borrow from storage: evict LRU blocks, stopping at the floor.
+        evictDownTo(target, storageFloor(), evicted);
+    }
+    const Bytes grant = std::min(target, free());
+    executionUsed_ += grant;
+    peakExecution_ = std::max(peakExecution_, executionUsed_);
+    return grant;
+}
+
+void
+MemoryManager::releaseExecution(Bytes bytes)
+{
+    executionUsed_ =
+        bytes <= executionUsed_ ? executionUsed_ - bytes : 0;
+}
+
+void
+MemoryManager::setPoolFraction(double fraction,
+                               std::vector<BlockId> *evicted)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        fatal("MemoryManager: pool fraction must be in (0, 1], got %g",
+              fraction);
+    pool_ = static_cast<Bytes>(static_cast<double>(configuredPool_) *
+                               fraction);
+    // Shed cached blocks that no longer fit. Execution holds are not
+    // revoked (a running task cannot give memory back mid-sort); the
+    // pool stays overcommitted until releases catch up.
+    while (storageUsed_ + executionUsed_ > pool_ && !lru_.empty()) {
+        const BlockId victim = lru_.front();
+        dropBlock(victim);
+        if (evicted != nullptr)
+            evicted->push_back(victim);
+    }
+}
+
+void
+MemoryManager::reset()
+{
+    pool_ = configuredPool_;
+    storageUsed_ = 0;
+    executionUsed_ = 0;
+    peakStorage_ = 0;
+    peakExecution_ = 0;
+    blocks_.clear();
+    lru_.clear();
+}
+
+} // namespace doppio::spark

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Per-node unified memory manager (Spark 1.6 semantics).
+ *
+ * One pool per executor, sized executorMemory x spark.memory.fraction,
+ * shared between storage (cached RDD blocks) and execution (shuffle
+ * sort buffers, aggregation hash maps):
+ *
+ *  - storage may use any memory execution is not using, and caching a
+ *    new block may evict older blocks LRU-first — but storage never
+ *    evicts execution;
+ *  - execution may borrow from storage and evict cached blocks, but
+ *    only down to the storage floor (pool x spark.memory.storageFraction),
+ *    below which cached blocks are protected;
+ *  - an active task's execution share is capped at its fair fraction
+ *    of the execution-capable region (executionCap / activeTasks).
+ *
+ * The manager tracks block residency and LRU order only; what an
+ * eviction *means* (write the block to disk, drop and recompute) is the
+ * BlockManager's business, so evictions are reported back as block-id
+ * lists. All decisions are deterministic: LRU order is the only
+ * ordering used and it derives from the caller's access sequence.
+ */
+
+#ifndef DOPPIO_SPARK_MEMORY_MANAGER_H
+#define DOPPIO_SPARK_MEMORY_MANAGER_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace doppio::spark {
+
+/** Unified storage/execution memory pool of one executor. */
+class MemoryManager
+{
+  public:
+    /** Opaque cached-block identity (assigned by the BlockManager). */
+    using BlockId = std::uint64_t;
+
+    /**
+     * @param poolBytes       unified pool size (executor memory x
+     *                        spark.memory.fraction).
+     * @param storageFraction fraction of the pool protected from
+     *                        execution borrowing ([0, 1]).
+     */
+    MemoryManager(Bytes poolBytes, double storageFraction);
+
+    /**
+     * Cache a block of @p bytes, evicting colder blocks LRU-first when
+     * the free pool is short — storage may claim everything execution
+     * does not hold. @return false (and evict nothing) when the block
+     * cannot fit even after full eviction; true inserts it as the
+     * most-recently-used block. Evicted ids append to @p evicted.
+     * Re-inserting a resident id just touches it.
+     */
+    bool putBlock(BlockId id, Bytes bytes,
+                  std::vector<BlockId> *evicted);
+
+    /** @return true when @p id is resident. */
+    bool hasBlock(BlockId id) const;
+
+    /** Mark @p id most-recently-used (a cached read). No-op if absent. */
+    void touchBlock(BlockId id);
+
+    /** Drop @p id (unpersist). @return its size, 0 if absent. */
+    Bytes dropBlock(BlockId id);
+
+    /**
+     * Reserve execution memory for one task. Execution may evict
+     * cached blocks down to the storage floor; the grant is capped at
+     * the task's fair share, executionCap() / @p activeTasks, and at
+     * what is actually free after eviction. @return the granted bytes
+     * in [0, want] — the caller spills the shortfall or treats a zero
+     * grant as an OOM. Evicted ids append to @p evicted.
+     */
+    Bytes acquireExecution(Bytes want, int activeTasks,
+                           std::vector<BlockId> *evicted);
+
+    /** Return execution memory (clamped at the outstanding total). */
+    void releaseExecution(Bytes bytes);
+
+    /**
+     * Shrink (or restore) the pool to @p fraction of its configured
+     * size — the fault DSL's degrade-mem event (ballooning neighbour
+     * VM, cgroup clamp). Cached blocks beyond the new capacity are
+     * evicted LRU-first immediately; execution holds are never
+     * revoked, so a deep clamp can pin the pool over capacity until
+     * tasks release. Ids append to @p evicted.
+     */
+    void setPoolFraction(double fraction,
+                         std::vector<BlockId> *evicted);
+
+    /** @return current pool size (after any degrade-mem clamp). */
+    Bytes poolSize() const { return pool_; }
+
+    /** @return bytes below which cached blocks cannot be evicted by
+     *          execution (pool x storageFraction). */
+    Bytes storageFloor() const;
+
+    /** @return the region execution may claim: pool minus protected
+     *          storage (cached bytes at or under the floor). */
+    Bytes executionCap() const;
+
+    Bytes storageUsed() const { return storageUsed_; }
+    Bytes executionUsed() const { return executionUsed_; }
+
+    /** High-water marks since construction/reset(). */
+    Bytes peakStorageUsed() const { return peakStorage_; }
+    Bytes peakExecutionUsed() const { return peakExecution_; }
+
+    /** @return number of resident blocks. */
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    /**
+     * Forget everything — blocks, execution holds, peaks, and any
+     * degrade-mem clamp — so back-to-back runs start cold.
+     */
+    void reset();
+
+  private:
+    struct Block
+    {
+        Bytes bytes = 0;
+        /** Position in lru_ (front = coldest). */
+        std::list<BlockId>::iterator lruPos;
+    };
+
+    /**
+     * Evict LRU blocks until free() >= @p need or the protected floor
+     * @p keepStorage is reached. @return bytes freed.
+     */
+    Bytes evictDownTo(Bytes need, Bytes keepStorage,
+                      std::vector<BlockId> *evicted);
+
+    /** Unclaimed pool bytes (0 while overcommitted by degrade-mem). */
+    Bytes
+    free() const
+    {
+        const Bytes used = storageUsed_ + executionUsed_;
+        return used >= pool_ ? 0 : pool_ - used;
+    }
+
+    Bytes configuredPool_;
+    double storageFraction_;
+    Bytes pool_;
+    Bytes storageUsed_ = 0;
+    Bytes executionUsed_ = 0;
+    Bytes peakStorage_ = 0;
+    Bytes peakExecution_ = 0;
+    std::unordered_map<BlockId, Block> blocks_;
+    /** LRU order, coldest first. */
+    std::list<BlockId> lru_;
+};
+
+} // namespace doppio::spark
+
+#endif // DOPPIO_SPARK_MEMORY_MANAGER_H

@@ -72,6 +72,28 @@ struct FaultMetrics
     FaultMetrics &operator+=(const FaultMetrics &other);
 };
 
+/**
+ * Unified-memory accounting (SparkConf::unifiedMemory runs). All
+ * byte counts are cluster-wide sums over the per-node managers. The
+ * JSON writer emits the block only when the run modeled unified
+ * memory, keeping legacy output bit-for-bit identical.
+ */
+struct MemoryMetrics
+{
+    Bytes poolBytes = 0;          //!< configured pool, summed over nodes
+    Bytes peakStorageBytes = 0;   //!< sum of per-node storage peaks
+    Bytes peakExecutionBytes = 0; //!< sum of per-node execution peaks
+    std::uint64_t evictedBlocks = 0; //!< cached blocks evicted
+    Bytes evictedBytes = 0;          //!< in-memory bytes evicted
+    Bytes evictedToDiskBytes = 0; //!< serialized bytes written to disk
+    std::uint64_t droppedBlocks = 0; //!< blocks lost (recompute later)
+    std::uint64_t recomputedPartitions = 0; //!< lineage recomputations
+    std::uint64_t spills = 0;      //!< task phases that spilled
+    std::uint64_t spillPasses = 0; //!< external-sort merge passes
+    Bytes spilledBytes = 0;       //!< reservation shortfall sent to disk
+    std::uint64_t oomKills = 0;   //!< attempts killed by failed minimum
+};
+
 /** Everything measured about one executed stage. */
 struct StageMetrics
 {
@@ -158,6 +180,13 @@ struct AppMetrics
      */
     bool faultsPresent = false;
     FaultMetrics faults;
+    /**
+     * Unified-memory totals, present only when the run modeled the
+     * unified memory manager (SparkConf::unifiedMemory); the JSON
+     * writer omits the block otherwise.
+     */
+    bool memoryPresent = false;
+    MemoryMetrics memory;
 
     /** @return application duration in seconds. */
     double seconds() const;

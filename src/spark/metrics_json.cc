@@ -129,6 +129,21 @@ writeMetricsJson(std::ostream &os, const AppMetrics &metrics)
            << ",\"re_replicated_bytes\":" << f.reReplicatedBytes
            << ",\"lost_dirty_bytes\":" << f.lostDirtyBytes << '}';
     }
+    if (metrics.memoryPresent) {
+        const MemoryMetrics &m = metrics.memory;
+        os << ",\"memory\":{\"pool_bytes\":" << m.poolBytes
+           << ",\"peak_storage_bytes\":" << m.peakStorageBytes
+           << ",\"peak_execution_bytes\":" << m.peakExecutionBytes
+           << ",\"evicted_blocks\":" << m.evictedBlocks
+           << ",\"evicted_bytes\":" << m.evictedBytes
+           << ",\"evicted_to_disk_bytes\":" << m.evictedToDiskBytes
+           << ",\"dropped_blocks\":" << m.droppedBlocks
+           << ",\"recomputed_partitions\":" << m.recomputedPartitions
+           << ",\"spills\":" << m.spills
+           << ",\"spill_passes\":" << m.spillPasses
+           << ",\"spilled_bytes\":" << m.spilledBytes
+           << ",\"oom_kills\":" << m.oomKills << '}';
+    }
     os << '}';
 }
 

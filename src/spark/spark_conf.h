@@ -50,6 +50,30 @@ struct SparkConf
     double memoryExpansionFactor = 3.0;
 
     /**
+     * Spark 1.6 unified memory management: per-node storage/execution
+     * pools with per-partition block granularity, LRU eviction, spill
+     * and recompute-from-lineage (see DESIGN.md §9). Off by default so
+     * the library reproduces the seed's all-or-nothing placement
+     * bit-for-bit; the CLI turns it on unless --legacy-memory is
+     * given.
+     */
+    bool unifiedMemory = false;
+
+    /**
+     * spark.memory.fraction: share of executor memory forming the
+     * unified storage+execution pool (the rest is user data structures
+     * and JVM overhead). Used only with unifiedMemory.
+     */
+    double memoryFraction = 0.75;
+
+    /**
+     * spark.memory.storageFraction: share of the unified pool below
+     * which cached blocks are protected from execution borrowing.
+     * Used only with unifiedMemory.
+     */
+    double memoryStorageFraction = 0.5;
+
+    /**
      * When true (default), per-task chunked I/O loops are simulated as
      * aggregated device batches (see DiskDevice::submitBatch) — O(1)
      * events per (task, source) instead of O(chunks). Exact per-chunk

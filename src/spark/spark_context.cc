@@ -49,13 +49,14 @@ remainderSpec(const StageSpec &stage, std::uint64_t completed)
 SparkContext::SparkContext(cluster::Cluster &clusterRef, dfs::Hdfs &hdfs,
                            SparkConf conf)
     : cluster_(clusterRef), hdfs_(hdfs), conf_(conf),
-      blockManager_(clusterRef.totalStorageMemory(),
-                    conf.memoryExpansionFactor),
+      blockManager_(clusterRef, conf_),
       dag_(conf_, hdfs, blockManager_),
       engine_(clusterRef, hdfs, conf_)
 {
     if (conf_.executorCores <= 0)
         fatal("SparkContext: executorCores must be positive");
+    if (conf_.unifiedMemory)
+        engine_.setMemoryModel(&blockManager_);
 }
 
 RddRef

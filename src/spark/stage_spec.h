@@ -54,6 +54,56 @@ struct IoPhaseSpec
     std::uint64_t cacheStream = 0;
 };
 
+/**
+ * Derive a page-cache stream identity for a phase. Read and write ops
+ * of the same purpose map to the same family, so a write followed by a
+ * read of the same per-task byte count lands on the same stream — that
+ * is exactly the re-read pattern (persist, iterative HDFS input) the
+ * page cache turns into hits. Shared between the task engine and the
+ * block manager so that blocks evicted to disk land on the same
+ * extents the later PersistRead phases fetch. Never returns 0
+ * (oscache::kAnonymousStream).
+ */
+inline std::uint64_t
+cacheStreamFor(const IoPhaseSpec &phase)
+{
+    if (phase.cacheStream != 0)
+        return phase.cacheStream;
+    std::uint64_t family = 0;
+    switch (phase.op) {
+      case storage::IoOp::HdfsRead:
+      case storage::IoOp::HdfsWrite:
+        family = 1;
+        break;
+      case storage::IoOp::ShuffleRead:
+      case storage::IoOp::ShuffleWrite:
+        family = 2;
+        break;
+      case storage::IoOp::PersistRead:
+      case storage::IoOp::PersistWrite:
+        family = 3;
+        break;
+      case storage::IoOp::SpillRead:
+      case storage::IoOp::SpillWrite:
+        family = 5;
+        break;
+      default:
+        family = 4;
+        break;
+    }
+    // FNV-1a over (family, bytesPerTask).
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    auto mix = [&hash](std::uint64_t value) {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (value >> (i * 8)) & 0xffULL;
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    mix(family);
+    mix(phase.bytesPerTask);
+    return hash == 0 ? 1 : hash; // 0 is the anonymous stream
+}
+
 /** A pure-CPU phase (the non-pipelined part of the task's work). */
 struct ComputePhaseSpec
 {

@@ -8,11 +8,23 @@
 #include "common/logging.h"
 #include "faults/fault_injector.h"
 #include "oscache/page_cache.h"
+#include "spark/block_manager.h"
 #include "storage/disk_device.h"
 
 namespace doppio::spark {
 
 namespace {
+
+/**
+ * Grace period before an OOM-killed task's retry becomes runnable: an
+ * immediate relaunch would hit the same saturated pool at the same
+ * tick and burn straight through spark.task.maxFailures; by the
+ * backoff, running tasks have released their reservations.
+ */
+constexpr double kOomRetryDelaySec = 0.5;
+
+/** External-sort merge fan-in (spark.shuffle.sort analogue). */
+constexpr std::uint64_t kMergeFanIn = 10;
 
 /** Number of uniform chunks an I/O phase is split into. */
 std::uint64_t
@@ -22,49 +34,6 @@ chunkCount(const IoPhaseSpec &phase)
         return 0;
     return (phase.bytesPerTask + phase.requestSize - 1) /
            phase.requestSize;
-}
-
-/**
- * Derive a page-cache stream identity for a phase. Read and write ops
- * of the same purpose map to the same family, so a write followed by a
- * read of the same per-task byte count lands on the same stream — that
- * is exactly the re-read pattern (persist, iterative HDFS input) the
- * page cache turns into hits. Never returns kAnonymousStream.
- */
-std::uint64_t
-cacheStreamFor(const IoPhaseSpec &phase)
-{
-    if (phase.cacheStream != 0)
-        return phase.cacheStream;
-    std::uint64_t family = 0;
-    switch (phase.op) {
-      case storage::IoOp::HdfsRead:
-      case storage::IoOp::HdfsWrite:
-        family = 1;
-        break;
-      case storage::IoOp::ShuffleRead:
-      case storage::IoOp::ShuffleWrite:
-        family = 2;
-        break;
-      case storage::IoOp::PersistRead:
-      case storage::IoOp::PersistWrite:
-        family = 3;
-        break;
-      default:
-        family = 4;
-        break;
-    }
-    // FNV-1a over (family, bytesPerTask).
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    auto mix = [&hash](std::uint64_t value) {
-        for (int i = 0; i < 8; ++i) {
-            hash ^= (value >> (i * 8)) & 0xffULL;
-            hash *= 0x100000001b3ULL;
-        }
-    };
-    mix(family);
-    mix(phase.bytesPerTask);
-    return hash == oscache::kAnonymousStream ? 1 : hash;
 }
 
 /**
@@ -313,6 +282,9 @@ struct TaskEngine::TaskRun
     /** Injected crash: the attempt dies when it reaches this phase
      *  boundary (SIZE_MAX = healthy). */
     std::size_t failAtPhase = SIZE_MAX;
+    /** Execution memory this attempt holds (unified mode), returned
+     *  to the node's pool on every exit path. */
+    Bytes executionHeld = 0;
 };
 
 bool
@@ -625,6 +597,7 @@ TaskEngine::runPhase(std::shared_ptr<StageRun> run,
     // (in-flight device requests cannot be recalled).
     if (task->aborted ||
         (state.done && task->phase < task->group->phases.size())) {
+        releaseExecutionHold(task);
         const int node = task->node;
         --run->busyCores[static_cast<std::size_t>(node)];
         launchOnFreeCore(std::move(run), node);
@@ -640,6 +613,7 @@ TaskEngine::runPhase(std::shared_ptr<StageRun> run,
 
     if (task->phase >= task->group->phases.size()) {
         // Attempt complete; the first attempt of a task wins.
+        releaseExecutionHold(task);
         const Tick now = cluster_.simulator().now();
         --run->busyCores[static_cast<std::size_t>(task->node)];
         if (!state.done) {
@@ -668,6 +642,7 @@ TaskEngine::runPhase(std::shared_ptr<StageRun> run,
                 if (other->hasPendingEvent) {
                     cluster_.simulator().cancel(other->pendingEvent);
                     other->hasPendingEvent = false;
+                    releaseExecutionHold(other);
                     --run->busyCores[static_cast<std::size_t>(
                         other->node)];
                     launchOnFreeCore(run, other->node);
@@ -703,6 +678,162 @@ void
 TaskEngine::runIoPhase(std::shared_ptr<StageRun> run,
                        std::shared_ptr<TaskRun> task,
                        const IoPhaseSpec &phase)
+{
+    // Unified memory: shuffle phases back their sort buffers and
+    // aggregation maps with an execution-memory reservation sized to
+    // the phase's data. A short grant spills the shortfall through the
+    // local disks first; a zero grant in a contended pool is the
+    // simulated OOM.
+    if (memory_ != nullptr && phase.bytesPerTask > 0 &&
+        (phase.op == storage::IoOp::ShuffleWrite ||
+         phase.op == storage::IoOp::ShuffleRead)) {
+        const Bytes want = phase.bytesPerTask;
+        const int active = std::max(
+            1, run->busyCores[static_cast<std::size_t>(task->node)]);
+        const Bytes grant =
+            memory_->acquireExecution(task->node, want, active);
+        task->executionHeld += grant;
+        if (grant == 0) {
+            ++memory_->memoryCounters().oomKills;
+            failOnOom(run, task);
+            return;
+        }
+        if (grant < want) {
+            runSpill(std::move(run), std::move(task), phase,
+                     want - grant);
+            return;
+        }
+    }
+    startIoPhase(std::move(run), std::move(task), phase);
+}
+
+void
+TaskEngine::runSpill(std::shared_ptr<StageRun> run,
+                     std::shared_ptr<TaskRun> task,
+                     const IoPhaseSpec &phase, Bytes spillBytes)
+{
+    // The in-memory buffer fills ceil(want / grant) times, producing
+    // that many sorted runs on disk; each merge pass (fan-in
+    // kMergeFanIn) re-reads and re-writes the spilled share.
+    const Bytes want = phase.bytesPerTask;
+    const Bytes grant = want - spillBytes;
+    const std::uint64_t sorted_runs = (want + grant - 1) / grant;
+    std::uint64_t passes = 0;
+    for (std::uint64_t runs = sorted_runs; runs > 1;
+         runs = (runs + kMergeFanIn - 1) / kMergeFanIn)
+        ++passes;
+    passes = std::max<std::uint64_t>(1, passes);
+
+    MemoryMetrics &mem = memory_->memoryCounters();
+    ++mem.spills;
+    mem.spillPasses += passes;
+    mem.spilledBytes += spillBytes;
+
+    const Bytes total = spillBytes * passes;
+    const Bytes preferred = std::min<Bytes>(
+        total, std::max<Bytes>(1, conf_.diskStoreRequestSize));
+    const std::uint64_t count =
+        std::max<std::uint64_t>(1, (total + preferred - 1) / preferred);
+    const Bytes chunk = std::max<Bytes>(1, total / count);
+
+    StageIoStats &write_stats =
+        run->metrics.forOp(storage::IoOp::SpillWrite);
+    write_stats.requests += count;
+    write_stats.bytes += total;
+    write_stats.requestSize.addMany(static_cast<double>(chunk), count);
+    StageIoStats &read_stats =
+        run->metrics.forOp(storage::IoOp::SpillRead);
+    read_stats.requests += count;
+    read_stats.bytes += total;
+    read_stats.requestSize.addMany(static_cast<double>(chunk), count);
+
+    // Spill files are their own cache stream: written and immediately
+    // re-read, so the page cache absorbs what fits of the round trip.
+    IoPhaseSpec shape;
+    shape.op = storage::IoOp::SpillWrite;
+    shape.bytesPerTask = total;
+    const std::uint64_t stream = cacheStreamFor(shape);
+    const Bytes offset = static_cast<Bytes>(task->taskIndex) * total;
+    const int node = task->node;
+    const Tick spill_start = cluster_.simulator().now();
+
+    // The sort blocks on its spills: write the runs out, merge them
+    // back in, then start the gated phase. The IoPhaseSpec lives in
+    // the StageSpec, which outlives the run.
+    const IoPhaseSpec *gated = &phase;
+    cluster_.node(node).writeThrough(
+        oscache::Role::Local, storage::IoOp::SpillWrite, stream, offset,
+        chunk, count,
+        [this, run, task, gated, node, stream, offset, chunk, count,
+         spill_start]() mutable {
+            cluster_.node(node).readThrough(
+                oscache::Role::Local, storage::IoOp::SpillRead, stream,
+                offset, chunk, count,
+                [this, run = std::move(run), task = std::move(task),
+                 gated, spill_start]() mutable {
+                    run->metrics.forOp(storage::IoOp::SpillWrite)
+                        .phaseSeconds.add(ticksToSeconds(
+                            cluster_.simulator().now() - spill_start));
+                    startIoPhase(std::move(run), std::move(task),
+                                 *gated);
+                });
+        });
+}
+
+void
+TaskEngine::releaseExecutionHold(const std::shared_ptr<TaskRun> &task)
+{
+    if (memory_ == nullptr || task->executionHeld == 0)
+        return;
+    memory_->releaseExecution(task->node, task->executionHeld);
+    task->executionHeld = 0;
+}
+
+void
+TaskEngine::failOnOom(const std::shared_ptr<StageRun> &run,
+                      const std::shared_ptr<TaskRun> &task)
+{
+    const std::size_t index = static_cast<std::size_t>(task->taskIndex);
+    StageRun::TaskState &state = run->states[index];
+    const Tick now = cluster_.simulator().now();
+
+    releaseExecutionHold(task);
+    ++run->metrics.faults.taskFailures;
+    run->metrics.faults.wastedTaskSeconds +=
+        ticksToSeconds(now - task->start);
+    task->aborted = true;
+    --run->busyCores[static_cast<std::size_t>(task->node)];
+
+    ++state.failures;
+    if (state.failures >= conf_.taskMaxFailures)
+        fatal("TaskEngine: task %d of stage %s could not reserve "
+              "execution memory %d times (spark.task.maxFailures), "
+              "aborting the application",
+              task->taskIndex, run->metrics.name.c_str(),
+              state.failures);
+    if (cluster_.aliveCount() > 1 &&
+        std::find(state.blacklist.begin(), state.blacklist.end(),
+                  task->node) == state.blacklist.end())
+        state.blacklist.push_back(task->node);
+
+    if (!state.done && !state.retryQueued && !state.hasLiveAttempt()) {
+        ++run->metrics.faults.taskRetries;
+        state.retryQueued = true;
+        state.launched = false;
+        cluster_.simulator().schedule(
+            secondsToTicks(kOomRetryDelaySec),
+            [this, run, index]() {
+                run->retries.push_back(index);
+                kickFreeCores(run);
+            });
+    }
+    kickFreeCores(run);
+}
+
+void
+TaskEngine::startIoPhase(std::shared_ptr<StageRun> run,
+                         std::shared_ptr<TaskRun> task,
+                         const IoPhaseSpec &phase)
 {
     const std::uint64_t count = chunkCount(phase);
     if (count == 0) {
@@ -848,6 +979,7 @@ TaskEngine::failAttempt(const std::shared_ptr<StageRun> &run,
     StageRun::TaskState &state = run->states[index];
     const Tick now = cluster_.simulator().now();
 
+    releaseExecutionHold(task);
     ++run->metrics.faults.taskFailures;
     run->metrics.faults.wastedTaskSeconds +=
         ticksToSeconds(now - task->start);
@@ -896,6 +1028,7 @@ TaskEngine::handleFetchFailure(const std::shared_ptr<StageRun> &run,
                 if (!attempt || attempt->aborted)
                     continue;
                 attempt->aborted = true;
+                releaseExecutionHold(attempt);
                 if (attempt->hasPendingEvent) {
                     cluster_.simulator().cancel(attempt->pendingEvent);
                     attempt->hasPendingEvent = false;
@@ -913,6 +1046,7 @@ TaskEngine::handleFetchFailure(const std::shared_ptr<StageRun> &run,
     // runPhase again), so its core frees now; it was marked aborted
     // above or by an earlier failure's sweep.
     task->aborted = true;
+    releaseExecutionHold(task);
     --run->busyCores[static_cast<std::size_t>(task->node)];
 }
 
@@ -931,6 +1065,7 @@ TaskEngine::onNodeDeath(const std::shared_ptr<StageRun> &run, int node)
             if (!attempt || attempt->aborted || attempt->node != node)
                 continue;
             attempt->aborted = true;
+            releaseExecutionHold(attempt);
             ++run->metrics.faults.lostAttempts;
             run->metrics.faults.wastedTaskSeconds +=
                 ticksToSeconds(now - attempt->start);

@@ -32,6 +32,8 @@ class FaultInjector;
 
 namespace doppio::spark {
 
+class BlockManager;
+
 /** Runs stages to completion on a cluster. */
 class TaskEngine
 {
@@ -63,6 +65,16 @@ class TaskEngine
      */
     void setFaultInjector(faults::FaultInjector *injector);
 
+    /**
+     * Attach the unified memory model (or nullptr to detach): shuffle
+     * phases reserve execution memory per task through the block
+     * manager's per-node pools; a short reservation spills the
+     * shortfall through the local disks (external sort), and a failed
+     * minimum kills the attempt with a simulated OOM that runs through
+     * the retry/blacklist machinery. Not owned.
+     */
+    void setMemoryModel(BlockManager *blocks) { memory_ = blocks; }
+
   private:
     struct StageRun;
     struct TaskRun;
@@ -77,6 +89,31 @@ class TaskEngine
     void runIoPhase(std::shared_ptr<StageRun> run,
                     std::shared_ptr<TaskRun> task,
                     const IoPhaseSpec &phase);
+
+    /** The device/CPU body of an I/O phase (after any memory gate). */
+    void startIoPhase(std::shared_ptr<StageRun> run,
+                      std::shared_ptr<TaskRun> task,
+                      const IoPhaseSpec &phase);
+
+    /**
+     * External-sort spill: stream the reservation shortfall out and
+     * back through the node's local disks (one round per merge pass),
+     * then run the gated phase.
+     */
+    void runSpill(std::shared_ptr<StageRun> run,
+                  std::shared_ptr<TaskRun> task,
+                  const IoPhaseSpec &phase, Bytes spillBytes);
+
+    /** Give a task's execution-memory reservation back to its node. */
+    void releaseExecutionHold(const std::shared_ptr<TaskRun> &task);
+
+    /**
+     * Simulated OOM: the attempt dies, charges maxFailures and
+     * blacklists the node; the retry re-queues after a grace period so
+     * the pool has a chance to drain first.
+     */
+    void failOnOom(const std::shared_ptr<StageRun> &run,
+                   const std::shared_ptr<TaskRun> &task);
 
     /** Fill every alive node's free cores from the queues. */
     void kickFreeCores(const std::shared_ptr<StageRun> &run);
@@ -98,6 +135,7 @@ class TaskEngine
     Rng rng_;
     TaskTrace *trace_ = nullptr;
     faults::FaultInjector *injector_ = nullptr;
+    BlockManager *memory_ = nullptr;
     bool observerRegistered_ = false;
     /// Stage currently inside runStage() (for the liveness observer).
     std::weak_ptr<StageRun> activeRun_;

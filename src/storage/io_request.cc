@@ -22,6 +22,10 @@ ioOpName(IoOp op)
         return "raw_read";
       case IoOp::RawWrite:
         return "raw_write";
+      case IoOp::SpillRead:
+        return "spill_read";
+      case IoOp::SpillWrite:
+        return "spill_write";
     }
     return "unknown";
 }

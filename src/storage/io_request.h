@@ -30,10 +30,12 @@ enum class IoOp {
     PersistWrite,
     RawRead,  //!< microbenchmark (fio) traffic
     RawWrite, //!< microbenchmark (fio) traffic
+    SpillRead,  //!< external-sort merge pass reading spill files
+    SpillWrite, //!< execution-memory overflow spilled to local disk
 };
 
 /** Number of IoOp values, for dense per-op arrays. */
-constexpr std::size_t kNumIoOps = 8;
+constexpr std::size_t kNumIoOps = 10;
 
 /** @return the direction of @p op. */
 constexpr IoKind
@@ -44,6 +46,7 @@ ioKind(IoOp op)
       case IoOp::ShuffleRead:
       case IoOp::PersistRead:
       case IoOp::RawRead:
+      case IoOp::SpillRead:
         return IoKind::Read;
       default:
         return IoKind::Write;
@@ -64,7 +67,8 @@ const char *ioOpName(IoOp op);
 constexpr std::array<IoOp, kNumIoOps> kAllIoOps = {
     IoOp::HdfsRead,    IoOp::HdfsWrite,   IoOp::ShuffleRead,
     IoOp::ShuffleWrite, IoOp::PersistRead, IoOp::PersistWrite,
-    IoOp::RawRead,     IoOp::RawWrite,
+    IoOp::RawRead,     IoOp::RawWrite,    IoOp::SpillRead,
+    IoOp::SpillWrite,
 };
 
 } // namespace doppio::storage

@@ -45,6 +45,10 @@ Workload::run(const cluster::ClusterConfig &clusterConfig,
         metrics.pageCachePresent = true;
         metrics.pageCache = cluster.pageCacheTotals();
     }
+    if (sparkConf.unifiedMemory) {
+        metrics.memoryPresent = true;
+        metrics.memory = context.blockManager().memoryMetrics();
+    }
     if (injector != nullptr) {
         metrics.faultsPresent = true;
         for (const spark::StageMetrics *stage : metrics.allStages())

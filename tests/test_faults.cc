@@ -73,6 +73,68 @@ TEST(FaultSpec, RejectsMalformedInput)
                  FatalError);
 }
 
+TEST(FaultSpec, ParsesDegradeMem)
+{
+    const FaultSpec spec =
+        FaultSpec::parse("degrade-mem 1@60 0.5\n");
+    ASSERT_EQ(spec.schedule.size(), 1u);
+    const NodeEvent &event = spec.schedule.events()[0];
+    EXPECT_EQ(event.kind, NodeEvent::Kind::DegradeMem);
+    EXPECT_EQ(event.node, 1);
+    EXPECT_DOUBLE_EQ(event.atSeconds, 60.0);
+    EXPECT_DOUBLE_EQ(event.factor, 0.5);
+    EXPECT_STREQ(faults::nodeEventKindName(event.kind), "degrade-mem");
+}
+
+TEST(FaultSpec, EveryMalformedDirectiveFormIsRejected)
+{
+    // One case per syntactic failure mode of the DSL.
+    EXPECT_THROW(FaultSpec::parse("kill 2@"), FatalError);        // empty time
+    EXPECT_THROW(FaultSpec::parse("kill 2@abc"), FatalError);     // bad time
+    EXPECT_THROW(FaultSpec::parse("rejoin 3"), FatalError);       // missing @
+    EXPECT_THROW(FaultSpec::parse("degrade 1@60"), FatalError);   // no factor
+    EXPECT_THROW(FaultSpec::parse("degrade-mem 1@60"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("degrade-mem 1@60 x"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("kill 2@120 junk"), FatalError); // trailing
+    EXPECT_THROW(FaultSpec::parse("kill -1@120"), FatalError);     // bad node
+    EXPECT_THROW(FaultSpec::parse("kill 2@-5"), FatalError);       // bad time
+    EXPECT_THROW(FaultSpec::parse("disk-error-rate -0.1"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("fetch-fail-rate 1.0"), FatalError);
+}
+
+TEST(FaultSpec, RejectsOutOfRangeDegradeMemFraction)
+{
+    EXPECT_THROW(FaultSpec::parse("degrade-mem 1@60 0"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("degrade-mem 1@60 1.5"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("degrade-mem 1@60 -0.5"), FatalError);
+    EXPECT_NO_THROW(FaultSpec::parse("degrade-mem 1@60 1"));
+}
+
+TEST(FaultSpec, RejectsDuplicateKillOfOneNodeAtOneTime)
+{
+    EXPECT_THROW(FaultSpec::parse("kill 2@120; kill 2@120"),
+                 FatalError);
+    // Different node or different time is legitimate.
+    EXPECT_NO_THROW(FaultSpec::parse("kill 2@120; kill 1@120"));
+    EXPECT_NO_THROW(
+        FaultSpec::parse("kill 2@120; rejoin 2@300; kill 2@400"));
+}
+
+TEST(FaultInjectorTest, DegradeMemEventClampsTheNodePool)
+{
+    sim::Simulator sim;
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::motivationCluster();
+    config.numSlaves = 2;
+    cluster::Cluster cluster(sim, config);
+    FaultInjector injector(
+        FaultSpec::parse("degrade-mem 1@10 0.25"), 7);
+    injector.arm(cluster);
+    sim.run();
+    EXPECT_DOUBLE_EQ(cluster.memoryFraction(0), 1.0);
+    EXPECT_DOUBLE_EQ(cluster.memoryFraction(1), 0.25);
+}
+
 TEST(FaultInjectorTest, RatesGateRandomness)
 {
     FaultSpec zero;

@@ -41,6 +41,7 @@
 #include "cloud/advisor.h"
 #include "common/logging.h"
 #include "common/table_printer.h"
+#include "common/units.h"
 #include "faults/fault_spec.h"
 #include "model/profiler.h"
 #include "model/report.h"
@@ -202,6 +203,17 @@ clusterFromArgs(const Args &args)
             static_cast<int>(config.node.pageCache.readAhead / kKiB), 0,
             INT_MAX)) *
         kKiB;
+    const std::string executor_memory =
+        args.value("--executor-memory", "");
+    if (!executor_memory.empty()) {
+        config.node.executorMemory = parseBytes(executor_memory);
+        if (config.node.executorMemory == 0)
+            fatal("--executor-memory must be positive");
+        if (config.node.executorMemory > config.node.ram)
+            fatal("--executor-memory (%s) exceeds node RAM (%s)",
+                  formatBytes(config.node.executorMemory).c_str(),
+                  formatBytes(config.node.ram).c_str());
+    }
     return config;
 }
 
@@ -251,6 +263,19 @@ cmdRun(const std::string &name, const Args &args)
     spark::SparkConf conf;
     conf.executorCores = args.intValue("--cores", 36, 1, 4096);
     conf.speculation = args.has("--speculate");
+    // The CLI runs the Spark 1.6 unified memory manager by default;
+    // --legacy-memory reproduces the seed's static all-or-nothing
+    // placement bit-for-bit.
+    conf.unifiedMemory = !args.has("--legacy-memory");
+    conf.memoryFraction = args.doubleValue(
+        "--memory-fraction", conf.memoryFraction, 0.05, 0.95);
+    conf.memoryStorageFraction = args.doubleValue(
+        "--storage-fraction", conf.memoryStorageFraction, 0.0, 1.0);
+    if (!conf.unifiedMemory && (args.has("--memory-fraction") ||
+                                args.has("--storage-fraction")))
+        fatal("--memory-fraction/--storage-fraction configure the "
+              "unified memory manager and conflict with "
+              "--legacy-memory");
 
     spark::TaskTrace trace;
     const std::string trace_path = args.value("--trace", "");
@@ -318,6 +343,24 @@ cmdRun(const std::string &name, const Args &args)
                   << formatBytes(f.reReplicatedBytes) << ", lost "
                   << formatBytes(f.lostDirtyBytes)
                   << " of dirty page cache\n";
+    }
+    if (metrics.memoryPresent) {
+        const spark::MemoryMetrics &m = metrics.memory;
+        std::cout << "\nmemory: pool " << formatBytes(m.poolBytes)
+                  << ", peak storage "
+                  << formatBytes(m.peakStorageBytes)
+                  << ", peak execution "
+                  << formatBytes(m.peakExecutionBytes) << "\n"
+                  << "        " << m.evictedBlocks
+                  << " eviction(s) ("
+                  << formatBytes(m.evictedToDiskBytes) << " to disk), "
+                  << m.droppedBlocks << " block(s) dropped, "
+                  << m.recomputedPartitions
+                  << " partition(s) recomputed\n"
+                  << "        " << m.spills << " spill(s) in "
+                  << m.spillPasses << " merge pass(es), "
+                  << formatBytes(m.spilledBytes) << " spilled, "
+                  << m.oomKills << " OOM kill(s)\n";
     }
     return 0;
 }
@@ -438,11 +481,21 @@ usage()
            "fraction (default 0.2)\n"
            "         --cache-readahead KIB      sequential read-ahead "
            "window\n"
+           "memory (run):\n"
+           "         --executor-memory SIZE     per-node executor "
+           "memory (e.g. 90g)\n"
+           "         --memory-fraction F        unified pool share of "
+           "the executor (default 0.75)\n"
+           "         --storage-fraction F       pool share protected "
+           "from execution (default 0.5)\n"
+           "         --legacy-memory            seed-compatible "
+           "all-or-nothing RDD placement\n"
            "fault injection (run):\n"
            "         --fault-spec SPEC          fault file, or inline "
            "statements\n"
            "                                    (e.g. 'task-fail-rate "
-           "0.02; kill 2@120')\n"
+           "0.02; kill 2@120;\n"
+           "                                    degrade-mem 1@60 0.5')\n"
            "         --task-fail-rate F         per-attempt crash "
            "probability\n"
            "         --kill-node ID@T           kill node ID at T "
