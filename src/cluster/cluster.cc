@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include "common/logging.h"
+#include "trace/trace_collector.h"
 
 namespace doppio::cluster {
 
@@ -106,6 +107,36 @@ Node::reset()
         pageCache_->reset();
 }
 
+void
+Node::setTrace(trace::TraceCollector *trace)
+{
+    const int pid = trace::nodePid(id_);
+    for (std::size_t d = 0; d < hdfsDisks_.size(); ++d) {
+        const int tid = trace::kTidHdfsDiskBase + static_cast<int>(d);
+        hdfsDisks_[d]->setTrace(trace, pid, tid);
+        if (trace)
+            trace->setThreadName(pid, tid,
+                                 "hdfs disk " + std::to_string(d));
+    }
+    for (std::size_t d = 0; d < localDisks_.size(); ++d) {
+        const int tid = trace::kTidLocalDiskBase + static_cast<int>(d);
+        localDisks_[d]->setTrace(trace, pid, tid);
+        if (trace)
+            trace->setThreadName(pid, tid,
+                                 "local disk " + std::to_string(d));
+    }
+    if (pageCache_) {
+        pageCache_->setTrace(trace, pid, trace::kTidPageCache);
+        if (trace)
+            trace->setThreadName(pid, trace::kTidPageCache,
+                                 "page cache");
+    }
+    if (trace) {
+        trace->setProcessName(pid, "node" + std::to_string(id_));
+        trace->setThreadName(pid, trace::kTidNetIn, "nic ingress");
+    }
+}
+
 storage::DiskDevice &
 Node::pickHdfsDisk()
 {
@@ -164,6 +195,10 @@ Cluster::setNodeAlive(int id, bool alive)
               id);
     alive_[static_cast<std::size_t>(id)] = alive;
     aliveCount_ += alive ? 1 : -1;
+    if (trace_)
+        trace_->instant(trace::kDriverPid, trace::kTidFaults, "fault",
+                        alive ? "node_up" : "node_down", sim_.now(),
+                        trace::TraceArgs().add("node", id));
     if (!alive)
         lostDirtyBytes_ += nodes_[static_cast<std::size_t>(id)]
                                ->dropPageCacheForFailure();
@@ -186,6 +221,12 @@ Cluster::setMemoryFraction(int id, double fraction)
         fatal("Cluster: memory fraction must be in (0, 1], got %g",
               fraction);
     memoryFractions_[static_cast<std::size_t>(id)] = fraction;
+    if (trace_)
+        trace_->instant(trace::kDriverPid, trace::kTidFaults, "fault",
+                        "degrade_mem", sim_.now(),
+                        trace::TraceArgs()
+                            .add("node", id)
+                            .add("fraction", fraction));
     for (const MemoryObserver &observer : memoryObservers_)
         observer(id, fraction);
 }
@@ -212,6 +253,24 @@ Cluster::pageCacheTotals() const
             totals += node->pageCache()->stats();
     }
     return totals;
+}
+
+void
+Cluster::setTraceCollector(trace::TraceCollector *trace)
+{
+    trace_ = trace;
+    for (auto &node : nodes_)
+        node->setTrace(trace);
+    network_->setTrace(trace);
+    if (trace) {
+        trace->setProcessName(trace::kDriverPid, "driver");
+        trace->setThreadName(trace::kDriverPid, trace::kTidStages,
+                             "stages");
+        trace->setThreadName(trace::kDriverPid, trace::kTidFaults,
+                             "faults");
+        trace->setThreadName(trace::kDriverPid, trace::kTidHdfs,
+                             "hdfs namenode");
+    }
 }
 
 void

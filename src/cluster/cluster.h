@@ -19,6 +19,10 @@
 #include "sim/simulator.h"
 #include "storage/disk_device.h"
 
+namespace doppio::trace {
+class TraceCollector;
+}
+
 namespace doppio::cluster {
 
 /**
@@ -115,6 +119,13 @@ class Node
      * in one process start from identical state.
      */
     void reset();
+
+    /**
+     * Attach an optional trace collector (non-owning; may be null) to
+     * this node's devices and page cache, and register the node's
+     * track names with it.
+     */
+    void setTrace(trace::TraceCollector *trace);
 
   private:
     NodeConfig config_;
@@ -214,6 +225,17 @@ class Cluster
     /** Reset every node's runtime state (see Node::reset()). */
     void reset();
 
+    /**
+     * Attach an optional trace collector (non-owning; may be null) to
+     * every node's devices and page cache and to the network fabric.
+     * Liveness and memory-fraction transitions then also emit instant
+     * events on the driver's fault track.
+     */
+    void setTraceCollector(trace::TraceCollector *trace);
+
+    /** @return the attached trace collector (null when none). */
+    trace::TraceCollector *traceCollector() { return trace_; }
+
   private:
     sim::Simulator &sim_;
     ClusterConfig config_;
@@ -225,6 +247,8 @@ class Cluster
     std::vector<double> memoryFractions_;
     std::vector<MemoryObserver> memoryObservers_;
     Bytes lostDirtyBytes_ = 0;
+    /// Optional telemetry hook (non-owning).
+    trace::TraceCollector *trace_ = nullptr;
 };
 
 } // namespace doppio::cluster

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "faults/fault_injector.h"
 #include "storage/io_request.h"
+#include "trace/trace_collector.h"
 
 namespace doppio::dfs {
 
@@ -102,6 +103,15 @@ Hdfs::readBatch(int node, std::uint64_t stream, Bytes offset,
         ++readFailovers_;
         const int remote = pickAliveRemote(node);
         const Bytes total = chunk * count;
+        if (auto *collector = cluster_.traceCollector()) {
+            collector->instant(trace::kDriverPid, trace::kTidHdfs,
+                               "recovery", "read_failover",
+                               cluster_.simulator().now(),
+                               trace::TraceArgs()
+                                   .add("node", node)
+                                   .add("remote", remote)
+                                   .add("bytes", total));
+        }
         cluster_.node(remote).readThrough(
             oscache::Role::Hdfs, storage::IoOp::HdfsRead, stream,
             offset, chunk, count,
@@ -279,6 +289,14 @@ Hdfs::reReplicateNext(const std::shared_ptr<ReReplication> &state)
         reReplicatedBytes_ += state->chunk * state->totalChunks;
         reReplicationTicks_ +=
             cluster_.simulator().now() - state->startTick;
+        if (auto *collector = cluster_.traceCollector()) {
+            collector->span(
+                trace::kDriverPid, trace::kTidHdfs, "recovery",
+                "rereplicate node" + std::to_string(state->deadNode),
+                state->startTick, cluster_.simulator().now(),
+                trace::TraceArgs().add("bytes", state->chunk *
+                                                    state->totalChunks));
+        }
     };
     const Bytes chunk = state->chunk;
     // Anonymous traffic: recovery copies stream past the page caches,

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/sim_time.h"
+#include "trace/trace_collector.h"
 
 namespace doppio::faults {
 
@@ -69,6 +70,18 @@ FaultInjector::arm(cluster::Cluster &cluster)
                   case NodeEvent::Kind::Degrade:
                     target->node(scheduled.node)
                         .setDegradedFactor(scheduled.factor);
+                    // Kill/rejoin/degrade-mem instants come from the
+                    // cluster's own transitions; disk degradation
+                    // bypasses the cluster, so report it here.
+                    if (auto *trace = target->traceCollector()) {
+                        trace->instant(
+                            trace::kDriverPid, trace::kTidFaults,
+                            "fault", "degrade_disk",
+                            target->simulator().now(),
+                            trace::TraceArgs()
+                                .add("node", scheduled.node)
+                                .add("factor", scheduled.factor));
+                    }
                     break;
                   case NodeEvent::Kind::DegradeMem:
                     target->setMemoryFraction(scheduled.node,

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include "common/logging.h"
+#include "trace/trace_collector.h"
 
 namespace doppio::net {
 
@@ -34,12 +35,39 @@ Network::transfer(int srcNode, int dstNode, Bytes bytes,
         return;
     }
     remoteBytes_ += bytes;
-    sim_.schedule(latency_, [this, dstNode, bytes,
+    const Tick submitted = sim_.now();
+    sim_.schedule(latency_, [this, srcNode, dstNode, bytes, submitted,
                              done = std::move(done)]() mutable {
+        sim::FluidPipe &pipe =
+            *ingress_[static_cast<std::size_t>(dstNode)];
+        if (trace_) {
+            // The wrapper fires the original callback at the same tick
+            // from the same event, so tracing cannot perturb the run.
+            pipe.startFlow(
+                bytes,
+                [this, srcNode, dstNode, bytes, submitted,
+                 done = std::move(done)]() mutable {
+                    trace_->span(trace::nodePid(dstNode),
+                                 trace::kTidNetIn, "net", "transfer",
+                                 submitted, sim_.now(),
+                                 trace::TraceArgs()
+                                     .add("bytes", bytes)
+                                     .add("src_node", srcNode));
+                    if (done)
+                        done();
+                },
+                nodeBandwidth_);
+            return;
+        }
         // Cap a single flow at the sender's NIC rate as well.
-        ingress_[static_cast<std::size_t>(dstNode)]->startFlow(
-            bytes, std::move(done), nodeBandwidth_);
+        pipe.startFlow(bytes, std::move(done), nodeBandwidth_);
     });
+}
+
+void
+Network::setTrace(trace::TraceCollector *trace)
+{
+    trace_ = trace;
 }
 
 } // namespace doppio::net

@@ -21,6 +21,10 @@
 #include "sim/fluid_pipe.h"
 #include "sim/simulator.h"
 
+namespace doppio::trace {
+class TraceCollector;
+}
+
 namespace doppio::net {
 
 /** Per-node-ingress network fabric. */
@@ -54,12 +58,21 @@ class Network
     /** @return per-node NIC bandwidth. */
     BytesPerSec nodeBandwidth() const { return nodeBandwidth_; }
 
+    /**
+     * Attach an optional trace collector (non-owning; may be null).
+     * Remote transfers then emit spans on the destination node's NIC
+     * ingress track; node pids/tids come from the trace track scheme.
+     */
+    void setTrace(trace::TraceCollector *trace);
+
   private:
     sim::Simulator &sim_;
     BytesPerSec nodeBandwidth_;
     Tick latency_;
     std::vector<std::unique_ptr<sim::FluidPipe>> ingress_;
     Bytes remoteBytes_ = 0;
+    /// Optional telemetry hook (non-owning).
+    trace::TraceCollector *trace_ = nullptr;
 };
 
 } // namespace doppio::net

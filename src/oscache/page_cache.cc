@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "trace/trace_collector.h"
 
 namespace doppio::oscache {
 
@@ -131,6 +132,35 @@ PageCache::reset()
     stats_.reset();
 }
 
+void
+PageCache::setTrace(trace::TraceCollector *trace, int pid, int tid)
+{
+    trace_ = trace;
+    tracePid_ = pid;
+    traceTid_ = tid;
+}
+
+void
+PageCache::traceSample(bool force)
+{
+    // Deterministic delta threshold: the counter series stays readable
+    // and bounded on big runs without changing when samples land.
+    const Bytes threshold =
+        std::max<Bytes>(kMiB, config_.capacity / 512);
+    const auto moved = [threshold](Bytes now, Bytes last) {
+        return (now > last ? now - last : last - now) >= threshold;
+    };
+    if (!force && !moved(dirtyBytes_, traceDirty_) &&
+        !moved(cachedBytes_, traceCached_))
+        return;
+    trace_->counter(tracePid_, "cache", name_ + "/dirty_bytes",
+                    sim_.now(), static_cast<double>(dirtyBytes_));
+    trace_->counter(tracePid_, "cache", name_ + "/cached_bytes",
+                    sim_.now(), static_cast<double>(cachedBytes_));
+    traceDirty_ = dirtyBytes_;
+    traceCached_ = cachedBytes_;
+}
+
 Bytes
 PageCache::dropForFailure()
 {
@@ -146,6 +176,13 @@ PageCache::dropForFailure()
     for (Waiter &waiter : parked) {
         if (waiter.done)
             sim_.schedule(0, std::move(waiter.done));
+    }
+    if (trace_) {
+        trace_->instant(tracePid_, traceTid_, "cache",
+                        "drop_for_failure", sim_.now(),
+                        trace::TraceArgs().add("lost_dirty_bytes",
+                                               lost));
+        traceSample(true);
     }
     return lost;
 }
@@ -359,6 +396,8 @@ PageCache::read(Role role, storage::IoOp op, std::uint64_t stream,
         [this, key, op, offset, total, ahead,
          done = std::move(done)]() mutable {
             insertRange(key, offset, offset + total + ahead, false, op);
+            if (trace_)
+                traceSample(false);
             sim_.schedule(memcpyTicks(total), std::move(done));
         });
 }
@@ -390,6 +429,12 @@ PageCache::write(Role role, storage::IoOp op, std::uint64_t stream,
         // Regime 3: blocked in balance_dirty_pages until the flusher
         // drains enough. FIFO behind earlier blocked writers.
         ++stats_.throttledWrites;
+        if (trace_)
+            trace_->instant(tracePid_, traceTid_, "cache", "throttle",
+                            sim_.now(),
+                            trace::TraceArgs()
+                                .add("bytes", total)
+                                .add("dirty_bytes", dirtyBytes_));
         waiters_.push_back(
             Waiter{role, op, key, offset, total, std::move(done)});
         maybeFlush();
@@ -408,6 +453,8 @@ PageCache::acceptWrite(Role role, storage::IoOp op, StreamKey key,
     // Regimes 1 and 2: the copy into dirty pages completes at memory
     // speed whether or not background writeback is running.
     insertRange(key, offset, offset + bytes, true, op);
+    if (trace_)
+        traceSample(false);
     sim_.schedule(memcpyTicks(bytes), std::move(done));
     maybeFlush();
 }
@@ -469,10 +516,17 @@ PageCache::maybeFlush()
     flushing_ = true;
     ++stats_.flushRequests;
     stats_.flushedBytes += batch;
-    device(role).submit(op, batch, [this, batch]() {
+    const Tick started = sim_.now();
+    device(role).submit(op, batch, [this, batch, started]() {
         flushing_ = false;
         cleanOldest(batch);
         admitWaiters();
+        if (trace_) {
+            trace_->span(tracePid_, traceTid_, "cache", "writeback",
+                         started, sim_.now(),
+                         trace::TraceArgs().add("bytes", batch));
+            traceSample(false);
+        }
         maybeFlush();
     });
 }

@@ -46,6 +46,10 @@
 #include "storage/disk_device.h"
 #include "storage/io_request.h"
 
+namespace doppio::trace {
+class TraceCollector;
+}
+
 namespace doppio::oscache {
 
 /** Which device set behind the node a cached range belongs to. */
@@ -193,6 +197,14 @@ class PageCache
     const std::string &name() const { return name_; }
 
     /**
+     * Attach an optional trace collector (non-owning; may be null).
+     * The cache then emits dirty/cached byte counters on process
+     * @p pid (rate-limited by a deterministic delta threshold),
+     * writeback spans and throttle instants on track (@p pid, @p tid).
+     */
+    void setTrace(trace::TraceCollector *trace, int pid, int tid);
+
+    /**
      * Drop all cached contents, pending state and statistics — the
      * "echo 3 > /proc/sys/vm/drop_caches" the paper's authors run
      * between profiling runs. Must not be called while I/O through the
@@ -286,6 +298,12 @@ class PageCache
     /** Admit parked writers that now fit under the dirty limit. */
     void admitWaiters();
 
+    /**
+     * Emit dirty/cached counter samples when either moved by at least
+     * the delta threshold since the last sample (or on @p force).
+     */
+    void traceSample(bool force);
+
     sim::Simulator &sim_;
     PageCacheConfig config_;
     DevicePicker pickers_[kNumRoles];
@@ -303,6 +321,13 @@ class PageCache
     Bytes dirtyBytes_ = 0;
     bool flushing_ = false;
     PageCacheStats stats_;
+    /// Optional telemetry hook (non-owning) and its track ids.
+    trace::TraceCollector *trace_ = nullptr;
+    int tracePid_ = 0;
+    int traceTid_ = 0;
+    /// Last counter values emitted (rate limiting, tracing only).
+    Bytes traceDirty_ = 0;
+    Bytes traceCached_ = 0;
 };
 
 } // namespace doppio::oscache

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "spark/stage_spec.h"
+#include "trace/trace_collector.h"
 
 namespace doppio::spark {
 
@@ -312,6 +313,8 @@ BlockManager::acquireExecution(int node, Bytes want, int activeTasks)
         pools_[static_cast<std::size_t>(node)].acquireExecution(
             want, activeTasks, &evicted);
     handleEvictions(evicted);
+    if (collector_ != nullptr)
+        tracePoolSample(node);
     return grant;
 }
 
@@ -321,6 +324,8 @@ BlockManager::releaseExecution(int node, Bytes bytes)
     if (!unified_)
         return;
     pools_[static_cast<std::size_t>(node)].releaseExecution(bytes);
+    if (collector_ != nullptr)
+        tracePoolSample(node);
 }
 
 void
@@ -348,6 +353,18 @@ BlockManager::handleEvictions(
             // next access.
             info.state = BlockState::Dropped;
             ++memory_.droppedBlocks;
+        }
+        if (collector_ != nullptr) {
+            collector_->instant(
+                trace::nodePid(info.node), trace::kTidMemory,
+                "memory",
+                info.state == BlockState::Disk ? "evict_to_disk"
+                                               : "drop_block",
+                cluster_->simulator().now(),
+                trace::TraceArgs()
+                    .add("rdd", rdd->name)
+                    .add("partition", partition));
+            tracePoolSample(info.node);
         }
     }
 }
@@ -412,6 +429,28 @@ BlockManager::memoryMetrics() const
         totals.peakExecutionBytes += pool.peakExecutionUsed();
     }
     return totals;
+}
+
+void
+BlockManager::setTraceCollector(trace::TraceCollector *collector)
+{
+    // Legacy mode has no simulator clock to stamp events with.
+    collector_ = unified_ ? collector : nullptr;
+}
+
+void
+BlockManager::tracePoolSample(int node)
+{
+    if (collector_ == nullptr)
+        return;
+    const MemoryManager &pool = pools_[static_cast<std::size_t>(node)];
+    const Tick now = cluster_->simulator().now();
+    collector_->counter(trace::nodePid(node), "memory",
+                        "pool/execution_bytes", now,
+                        static_cast<double>(pool.executionUsed()));
+    collector_->counter(trace::nodePid(node), "memory",
+                        "pool/storage_bytes", now,
+                        static_cast<double>(pool.storageUsed()));
 }
 
 MemoryManager &

@@ -41,6 +41,10 @@
 #include "spark/rdd.h"
 #include "spark/spark_conf.h"
 
+namespace doppio::trace {
+class TraceCollector;
+}
+
 namespace doppio::spark {
 
 /** Tracks materialized RDDs and shuffle outputs. */
@@ -171,6 +175,15 @@ class BlockManager
     MemoryManager &nodeMemory(int node);
 
     /**
+     * Attach a telemetry collector (or nullptr to detach; not owned).
+     * Unified mode then emits eviction/drop instants and per-node
+     * execution/storage pool counters on each pool transition; legacy
+     * mode has no simulator clock to stamp events with, so the
+     * collector is ignored there.
+     */
+    void setTraceCollector(trace::TraceCollector *collector);
+
+    /**
      * Forget all placements, blocks and shuffle availability so
      * back-to-back runs start cold. Pool clamps (degrade-mem) reset
      * too.
@@ -212,9 +225,13 @@ class BlockManager
     /** @return the home node for partition @p partition right now. */
     int homeNode(int partition) const;
 
+    /** Emit @p node's execution/storage pool counters (tracing). */
+    void tracePoolSample(int node);
+
     bool unified_ = false;
     cluster::Cluster *cluster_ = nullptr;
     const SparkConf *conf_ = nullptr;
+    trace::TraceCollector *collector_ = nullptr;
 
     // Legacy state.
     Bytes capacity_ = 0;

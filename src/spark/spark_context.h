@@ -61,6 +61,21 @@ class SparkContext
     void setTaskTrace(TaskTrace *trace) { engine_.setTrace(trace); }
 
     /**
+     * Attach a telemetry collector (nullptr detaches; not owned):
+     * wires the task engine (stage windows, per-core task/phase spans)
+     * and the block manager (eviction instants, pool counters). The
+     * cluster-side hooks (devices, caches, network, faults) are wired
+     * by cluster::Cluster::setTraceCollector — call both to get the
+     * full picture.
+     */
+    void
+    setTraceCollector(trace::TraceCollector *collector)
+    {
+        engine_.setTraceCollector(collector);
+        blockManager_.setTraceCollector(collector);
+    }
+
+    /**
      * Attach the run's fault injector (nullptr detaches): wires the
      * task engine (crash draws, node-loss handling, fetch-failure
      * detection) and HDFS (read failover, re-replication), and enables

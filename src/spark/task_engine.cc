@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "oscache/page_cache.h"
 #include "spark/block_manager.h"
 #include "storage/disk_device.h"
+#include "trace/trace_collector.h"
 
 namespace doppio::spark {
 
@@ -226,6 +228,11 @@ struct TaskEngine::StageRun
         std::vector<int> blacklist;
         /** Live attempts, so the winner can kill the loser. */
         std::vector<std::weak_ptr<TaskRun>> attempts;
+        /** When the task (re-)entered the runnable queue, for the
+         *  scheduler-wait column of the task trace. */
+        Tick readyTick = 0;
+        /** Attempts launched so far (1-based attempt numbers). */
+        int attemptsLaunched = 0;
 
         /** @return true while some attempt may still complete. */
         bool hasLiveAttempt() const;
@@ -285,6 +292,16 @@ struct TaskEngine::TaskRun
     /** Execution memory this attempt holds (unified mode), returned
      *  to the node's pool on every exit path. */
     Bytes executionHeld = 0;
+    /** 1-based attempt number of the logical task. */
+    int attempt = 1;
+    /** Seconds this attempt waited for a core before launching. */
+    double schedWaitSec = 0.0;
+    /** Core-slot track the attempt occupies (tracing only). */
+    int coreSlot = -1;
+    /** Why the attempt was aborted, for its task span / TaskRecord.
+     *  Set at the abort site; attempts inside device chains carry it
+     *  to the phase boundary where they unwind. */
+    const char *abortReason = nullptr;
 };
 
 bool
@@ -303,6 +320,83 @@ TaskEngine::TaskEngine(cluster::Cluster &clusterRef, dfs::Hdfs &hdfs,
     : cluster_(clusterRef), hdfs_(hdfs), conf_(conf),
       rng_(clusterRef.config().seed ^ 0x7461736bULL /* "task" */)
 {}
+
+void
+TaskEngine::setTraceCollector(trace::TraceCollector *collector)
+{
+    collector_ = collector;
+    coreSlots_.assign(static_cast<std::size_t>(cluster_.numSlaves()),
+                      {});
+    if (collector == nullptr)
+        return;
+    const int cores = effectiveCores();
+    for (int node = 0; node < cluster_.numSlaves(); ++node) {
+        const int pid = trace::nodePid(node);
+        for (int c = 0; c < cores; ++c)
+            collector->setThreadName(pid, trace::coreTid(c),
+                                     "core " + std::to_string(c));
+        collector->setThreadName(pid, trace::kTidMemory, "memory");
+    }
+}
+
+int
+TaskEngine::allocateCoreSlot(int node)
+{
+    std::vector<bool> &slots =
+        coreSlots_[static_cast<std::size_t>(node)];
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (!slots[s]) {
+            slots[s] = true;
+            return static_cast<int>(s);
+        }
+    }
+    slots.push_back(true);
+    const int slot = static_cast<int>(slots.size()) - 1;
+    if (slot >= effectiveCores()) {
+        // Overflow track: a zombie attempt from an aborted stage still
+        // holds its slot while the rerun fills every core.
+        collector_->setThreadName(trace::nodePid(node),
+                                  trace::coreTid(slot),
+                                  "core " + std::to_string(slot) +
+                                      " (overflow)");
+    }
+    return slot;
+}
+
+void
+TaskEngine::releaseCoreSlot(int node, int slot)
+{
+    coreSlots_[static_cast<std::size_t>(node)]
+              [static_cast<std::size_t>(slot)] = false;
+}
+
+void
+TaskEngine::finishAttempt(const std::shared_ptr<StageRun> &run,
+                          const std::shared_ptr<TaskRun> &task,
+                          const char *status)
+{
+    const Tick now = cluster_.simulator().now();
+    --run->busyCores[static_cast<std::size_t>(task->node)];
+    if (trace_ != nullptr) {
+        trace_->add(TaskRecord{run->metrics.name, task->group->name,
+                               task->taskIndex, task->node, task->start,
+                               now, task->attempt, status,
+                               task->schedWaitSec});
+    }
+    if (collector_ != nullptr && task->coreSlot >= 0) {
+        const bool ok = std::strcmp(status, "ok") == 0;
+        collector_->span(trace::nodePid(task->node),
+                         trace::coreTid(task->coreSlot),
+                         ok ? "task" : "task-lost",
+                         task->group->name + " #" +
+                             std::to_string(task->taskIndex),
+                         task->start, now,
+                         trace::TraceArgs()
+                             .add("attempt", task->attempt)
+                             .add("status", status));
+        releaseCoreSlot(task->node, task->coreSlot);
+    }
+}
 
 void
 TaskEngine::setFaultInjector(faults::FaultInjector *injector)
@@ -355,9 +449,15 @@ TaskEngine::runStage(const StageSpec &spec)
     // the clock for no work.
     if (run->tasks.empty()) {
         run->metrics.endTick = sim.now();
+        if (collector_ != nullptr)
+            collector_->span(trace::kDriverPid, trace::kTidStages,
+                             "stage", spec.name, run->metrics.startTick,
+                             run->metrics.endTick);
         return run->metrics;
     }
     run->states.resize(run->tasks.size());
+    for (StageRun::TaskState &state : run->states)
+        state.readyTick = run->metrics.startTick;
     run->busyCores.assign(
         static_cast<std::size_t>(cluster_.numSlaves()), 0);
     run->shuffleSources = cluster_.aliveNodes();
@@ -402,6 +502,11 @@ TaskEngine::runStage(const StageSpec &spec)
         // the remainder (see SparkContext::runJob).
         run->metrics.fetchFailedSource = run->fetchFailedSource;
         run->metrics.endTick = sim.now();
+        if (collector_ != nullptr)
+            collector_->span(trace::kDriverPid, trace::kTidStages,
+                             "stage", spec.name, run->metrics.startTick,
+                             run->metrics.endTick,
+                             trace::TraceArgs().add("aborted", 1));
         return run->metrics;
     }
     if (run->completed != run->metrics.numTasks)
@@ -411,6 +516,12 @@ TaskEngine::runStage(const StageSpec &spec)
         panic("TaskEngine: stage %s finished with %d undrained writes",
               spec.name.c_str(), run->outstandingWrites);
     run->metrics.endTick = sim.now();
+    if (collector_ != nullptr)
+        collector_->span(trace::kDriverPid, trace::kTidStages, "stage",
+                         spec.name, run->metrics.startTick,
+                         run->metrics.endTick,
+                         trace::TraceArgs().add(
+                             "tasks", run->metrics.numTasks));
     return run->metrics;
 }
 
@@ -449,6 +560,10 @@ TaskEngine::launchAttempt(std::shared_ptr<StageRun> run, int node,
         state.firstLaunch = task->start;
     }
     state.attempts.push_back(task);
+    task->attempt = ++state.attemptsLaunched;
+    task->schedWaitSec = ticksToSeconds(task->start - state.readyTick);
+    if (collector_ != nullptr)
+        task->coreSlot = allocateCoreSlot(node);
     ++run->busyCores[static_cast<std::size_t>(node)];
 
     // Task dispatch overhead (driver round trip, task deserialization).
@@ -547,6 +662,7 @@ TaskEngine::speculateOnNode(std::shared_ptr<StageRun> run, int node)
             ticksToSeconds(now - state.firstLaunch);
         if (elapsed > conf_.speculationMultiplier * mean) {
             state.speculated = true;
+            state.readyTick = now; // the copy becomes runnable here
             launchAttempt(std::move(run), node, i);
             return;
         }
@@ -599,7 +715,9 @@ TaskEngine::runPhase(std::shared_ptr<StageRun> run,
         (state.done && task->phase < task->group->phases.size())) {
         releaseExecutionHold(task);
         const int node = task->node;
-        --run->busyCores[static_cast<std::size_t>(node)];
+        finishAttempt(run, task,
+                      task->abortReason != nullptr ? task->abortReason
+                                                   : "lost-race");
         launchOnFreeCore(std::move(run), node);
         return;
     }
@@ -615,16 +733,16 @@ TaskEngine::runPhase(std::shared_ptr<StageRun> run,
         // Attempt complete; the first attempt of a task wins.
         releaseExecutionHold(task);
         const Tick now = cluster_.simulator().now();
-        --run->busyCores[static_cast<std::size_t>(task->node)];
+        const bool winner = !state.done;
+        finishAttempt(run, task,
+                      winner ? "ok"
+                             : (task->abortReason != nullptr
+                                    ? task->abortReason
+                                    : "lost-race"));
         if (!state.done) {
             state.done = true;
             run->metrics.taskDuration.add(
                 ticksToSeconds(now - task->start));
-            if (trace_ != nullptr) {
-                trace_->add(TaskRecord{
-                    run->metrics.name, task->group->name,
-                    task->taskIndex, task->node, task->start, now});
-            }
             ++run->completed;
             if (run->completed == run->metrics.numTasks &&
                 run->speculationTimerArmed) {
@@ -639,12 +757,12 @@ TaskEngine::runPhase(std::shared_ptr<StageRun> run,
                     other->aborted)
                     continue;
                 other->aborted = true;
+                other->abortReason = "lost-race";
                 if (other->hasPendingEvent) {
                     cluster_.simulator().cancel(other->pendingEvent);
                     other->hasPendingEvent = false;
                     releaseExecutionHold(other);
-                    --run->busyCores[static_cast<std::size_t>(
-                        other->node)];
+                    finishAttempt(run, other, "lost-race");
                     launchOnFreeCore(run, other->node);
                 }
             }
@@ -660,10 +778,16 @@ TaskEngine::runPhase(std::shared_ptr<StageRun> run,
         // (argument evaluation order is unspecified).
         const Tick delay =
             secondsToTicks(compute->seconds * task->slowdown);
+        const Tick phase_start = cluster_.simulator().now();
         TaskRun *raw_task = task.get();
         const sim::EventId event = cluster_.simulator().schedule(
-            delay, [this, run = std::move(run),
+            delay, [this, phase_start, run = std::move(run),
                     task = std::move(task)]() mutable {
+                if (collector_ != nullptr && task->coreSlot >= 0)
+                    collector_->span(trace::nodePid(task->node),
+                                     trace::coreTid(task->coreSlot),
+                                     "phase", "compute", phase_start,
+                                     cluster_.simulator().now());
                 runPhase(std::move(run), std::move(task));
             });
         raw_task->pendingEvent = event;
@@ -765,15 +889,23 @@ TaskEngine::runSpill(std::shared_ptr<StageRun> run,
         oscache::Role::Local, storage::IoOp::SpillWrite, stream, offset,
         chunk, count,
         [this, run, task, gated, node, stream, offset, chunk, count,
-         spill_start]() mutable {
+         spill_start, spillBytes]() mutable {
             cluster_.node(node).readThrough(
                 oscache::Role::Local, storage::IoOp::SpillRead, stream,
                 offset, chunk, count,
                 [this, run = std::move(run), task = std::move(task),
-                 gated, spill_start]() mutable {
+                 gated, spill_start, spillBytes]() mutable {
                     run->metrics.forOp(storage::IoOp::SpillWrite)
                         .phaseSeconds.add(ticksToSeconds(
                             cluster_.simulator().now() - spill_start));
+                    if (collector_ != nullptr && task->coreSlot >= 0)
+                        collector_->span(
+                            trace::nodePid(task->node),
+                            trace::coreTid(task->coreSlot), "phase",
+                            "spill", spill_start,
+                            cluster_.simulator().now(),
+                            trace::TraceArgs().add("bytes",
+                                                   spillBytes));
                     startIoPhase(std::move(run), std::move(task),
                                  *gated);
                 });
@@ -802,7 +934,14 @@ TaskEngine::failOnOom(const std::shared_ptr<StageRun> &run,
     run->metrics.faults.wastedTaskSeconds +=
         ticksToSeconds(now - task->start);
     task->aborted = true;
-    --run->busyCores[static_cast<std::size_t>(task->node)];
+    if (collector_ != nullptr)
+        collector_->instant(trace::nodePid(task->node),
+                            trace::kTidMemory, "memory", "oom_kill",
+                            now,
+                            trace::TraceArgs()
+                                .add("task", task->taskIndex)
+                                .add("attempt", task->attempt));
+    finishAttempt(run, task, "oom");
 
     ++state.failures;
     if (state.failures >= conf_.taskMaxFailures)
@@ -823,6 +962,8 @@ TaskEngine::failOnOom(const std::shared_ptr<StageRun> &run,
         cluster_.simulator().schedule(
             secondsToTicks(kOomRetryDelaySec),
             [this, run, index]() {
+                run->states[index].readyTick =
+                    cluster_.simulator().now();
                 run->retries.push_back(index);
                 kickFreeCores(run);
             });
@@ -856,9 +997,21 @@ TaskEngine::startIoPhase(std::shared_ptr<StageRun> run,
     const Bytes base_offset =
         static_cast<Bytes>(task->taskIndex) * phase.bytesPerTask;
     const Tick phase_start = cluster_.simulator().now();
-    auto record_phase = [&io_stats, phase_start, this]() {
+    const int trace_pid = trace::nodePid(node);
+    const int trace_tid =
+        task->coreSlot >= 0 ? trace::coreTid(task->coreSlot) : 0;
+    const storage::IoOp trace_op = phase.op;
+    const Bytes trace_bytes = phase.bytesPerTask;
+    auto record_phase = [&io_stats, phase_start, trace_pid, trace_tid,
+                         trace_op, trace_bytes, this]() {
         io_stats.phaseSeconds.add(ticksToSeconds(
             cluster_.simulator().now() - phase_start));
+        if (collector_ != nullptr && trace_tid != 0)
+            collector_->span(trace_pid, trace_tid, "phase",
+                             storage::ioOpName(trace_op), phase_start,
+                             cluster_.simulator().now(),
+                             trace::TraceArgs().add("bytes",
+                                                    trace_bytes));
     };
     if (!conf_.aggregateIo) {
         auto loop = std::make_shared<ChunkLoop>();
@@ -984,7 +1137,7 @@ TaskEngine::failAttempt(const std::shared_ptr<StageRun> &run,
     run->metrics.faults.wastedTaskSeconds +=
         ticksToSeconds(now - task->start);
     task->aborted = true;
-    --run->busyCores[static_cast<std::size_t>(task->node)];
+    finishAttempt(run, task, "crash");
 
     ++state.failures;
     if (state.failures >= conf_.taskMaxFailures)
@@ -1003,6 +1156,7 @@ TaskEngine::failAttempt(const std::shared_ptr<StageRun> &run,
         ++run->metrics.faults.taskRetries;
         state.retryQueued = true;
         state.launched = false; // retry re-baselines speculation
+        state.readyTick = now;
         run->retries.push_back(index);
     }
     kickFreeCores(run);
@@ -1028,12 +1182,12 @@ TaskEngine::handleFetchFailure(const std::shared_ptr<StageRun> &run,
                 if (!attempt || attempt->aborted)
                     continue;
                 attempt->aborted = true;
+                attempt->abortReason = "stage-abort";
                 releaseExecutionHold(attempt);
                 if (attempt->hasPendingEvent) {
                     cluster_.simulator().cancel(attempt->pendingEvent);
                     attempt->hasPendingEvent = false;
-                    --run->busyCores[static_cast<std::size_t>(
-                        attempt->node)];
+                    finishAttempt(run, attempt, "stage-abort");
                 }
             }
         }
@@ -1047,7 +1201,7 @@ TaskEngine::handleFetchFailure(const std::shared_ptr<StageRun> &run,
     // above or by an earlier failure's sweep.
     task->aborted = true;
     releaseExecutionHold(task);
-    --run->busyCores[static_cast<std::size_t>(task->node)];
+    finishAttempt(run, task, "fetch-fail");
 }
 
 void
@@ -1065,6 +1219,7 @@ TaskEngine::onNodeDeath(const std::shared_ptr<StageRun> &run, int node)
             if (!attempt || attempt->aborted || attempt->node != node)
                 continue;
             attempt->aborted = true;
+            attempt->abortReason = "node-loss";
             releaseExecutionHold(attempt);
             ++run->metrics.faults.lostAttempts;
             run->metrics.faults.wastedTaskSeconds +=
@@ -1072,16 +1227,21 @@ TaskEngine::onNodeDeath(const std::shared_ptr<StageRun> &run, int node)
             if (attempt->hasPendingEvent) {
                 cluster_.simulator().cancel(attempt->pendingEvent);
                 attempt->hasPendingEvent = false;
-                --run->busyCores[static_cast<std::size_t>(node)];
+                finishAttempt(run, attempt, "node-loss");
             }
             // Attempts inside device chains unwind at their next phase
             // boundary (launchOnFreeCore on a dead node is a no-op).
         }
-        // Executor loss re-queues without charging maxFailures.
+        // Executor loss re-queues without charging maxFailures. Only
+        // tasks that actually launched need a retry entry: a
+        // never-launched task is still ahead of nextTask and would
+        // otherwise start twice (once as a "retry", once fresh) and
+        // burn a dispatch slot unwinding the zombie at stage end.
         if (!run->abortLaunches && !state.retryQueued &&
-            !state.hasLiveAttempt()) {
+            !state.hasLiveAttempt() && !state.attempts.empty()) {
             state.retryQueued = true;
             state.launched = false;
+            state.readyTick = now;
             run->retries.push_back(i);
         }
     }

@@ -30,6 +30,10 @@ namespace doppio::faults {
 class FaultInjector;
 }
 
+namespace doppio::trace {
+class TraceCollector;
+}
+
 namespace doppio::spark {
 
 class BlockManager;
@@ -55,6 +59,14 @@ class TaskEngine
      * owned; must outlive subsequent runStage() calls.
      */
     void setTrace(TaskTrace *trace) { trace_ = trace; }
+
+    /**
+     * Attach a telemetry collector (or nullptr to detach; not owned).
+     * Stages then emit windows on the driver track, and every attempt
+     * occupies a per-node core-slot track carrying its task span and
+     * nested phase spans (the input of trace::PhaseReport).
+     */
+    void setTraceCollector(trace::TraceCollector *collector);
 
     /**
      * Attach the run's fault injector (or nullptr to detach). Enables
@@ -122,6 +134,23 @@ class TaskEngine
     void failAttempt(const std::shared_ptr<StageRun> &run,
                      const std::shared_ptr<TaskRun> &task);
 
+    /**
+     * Single exit point of every attempt: frees the attempt's core
+     * (the busyCores decrement), appends its TaskRecord and emits its
+     * task span. @p status is "ok" for the winning attempt; everything
+     * else ("crash", "oom", "node-loss", "fetch-fail", "stage-abort",
+     * "lost-race") marks the attempt's work as wasted.
+     */
+    void finishAttempt(const std::shared_ptr<StageRun> &run,
+                       const std::shared_ptr<TaskRun> &task,
+                       const char *status);
+
+    /** Claim the lowest free core-slot track of @p node (tracing). */
+    int allocateCoreSlot(int node);
+
+    /** Return a core-slot track (tracing). */
+    void releaseCoreSlot(int node, int slot);
+
     /** A shuffle source died / a fetch failed: abort the stage. */
     void handleFetchFailure(const std::shared_ptr<StageRun> &run,
                             const std::shared_ptr<TaskRun> &task,
@@ -134,6 +163,15 @@ class TaskEngine
     const SparkConf &conf_;
     Rng rng_;
     TaskTrace *trace_ = nullptr;
+    trace::TraceCollector *collector_ = nullptr;
+    /**
+     * Core-slot track occupancy per node (tracing only). Slots are
+     * engine-wide, not per stage: attempts aborted by a stage abort
+     * unwind during the rerun, so a node can briefly run more
+     * attempts than cores across the boundary — those overflow onto
+     * extra slots instead of overlapping an occupied track.
+     */
+    std::vector<std::vector<bool>> coreSlots_;
     faults::FaultInjector *injector_ = nullptr;
     BlockManager *memory_ = nullptr;
     bool observerRegistered_ = false;

@@ -26,7 +26,7 @@ TaskTrace::tasksPerNode(int numNodes) const
 {
     std::vector<int> counts(static_cast<std::size_t>(numNodes), 0);
     for (const TaskRecord &record : records_) {
-        if (record.node >= 0 && record.node < numNodes)
+        if (record.ok() && record.node >= 0 && record.node < numNodes)
             ++counts[static_cast<std::size_t>(record.node)];
     }
     return counts;
@@ -35,14 +35,18 @@ TaskTrace::tasksPerNode(int numNodes) const
 void
 TaskTrace::writeCsv(std::ostream &os) const
 {
-    os << "stage,group,task,node,start_s,end_s,duration_s\n";
-    char buf[64];
+    os << "stage,group,task,node,start_s,end_s,duration_s,attempt,"
+          "status,sched_wait_s\n";
+    char buf[96];
     for (const TaskRecord &record : records_) {
         os << record.stage << ',' << record.group << ','
            << record.taskIndex << ',' << record.node << ',';
         std::snprintf(buf, sizeof(buf), "%.6f,%.6f,%.6f",
                       ticksToSeconds(record.start),
                       ticksToSeconds(record.end), record.seconds());
+        os << buf << ',' << record.attempt << ',' << record.status
+           << ',';
+        std::snprintf(buf, sizeof(buf), "%.6f", record.schedWaitSec);
         os << buf << '\n';
     }
 }

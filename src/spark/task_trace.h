@@ -20,7 +20,7 @@
 
 namespace doppio::spark {
 
-/** One completed task. */
+/** One terminated task attempt. */
 struct TaskRecord
 {
     std::string stage;
@@ -29,6 +29,16 @@ struct TaskRecord
     int node = 0;
     Tick start = 0;
     Tick end = 0;
+    /** 1-based attempt number of this logical task. */
+    int attempt = 1;
+    /**
+     * How the attempt terminated: "ok" (the winning attempt), or the
+     * failure reason — "crash", "oom", "node-loss", "fetch-fail",
+     * "stage-abort", "lost-race" (lost a speculation race).
+     */
+    std::string status = "ok";
+    /** Seconds between becoming runnable and occupying a core. */
+    double schedWaitSec = 0.0;
 
     /** @return task duration in seconds. */
     double
@@ -36,19 +46,22 @@ struct TaskRecord
     {
         return ticksToSeconds(end - start);
     }
+
+    /** @return true for the attempt that completed its task. */
+    bool ok() const { return status == "ok"; }
 };
 
 /** Accumulates task records across stages. */
 class TaskTrace
 {
   public:
-    /** Record one completed task. */
+    /** Record one terminated attempt. */
     void add(TaskRecord record);
 
-    /** @return all records, in completion order. */
+    /** @return all records, in termination order. */
     const std::vector<TaskRecord> &records() const { return records_; }
 
-    /** @return number of recorded tasks. */
+    /** @return number of recorded attempts. */
     std::size_t size() const { return records_.size(); }
 
     /** Remove all records. */
@@ -58,12 +71,14 @@ class TaskTrace
     std::vector<const TaskRecord *>
     forStage(const std::string &stageName) const;
 
-    /** @return per-node task counts (index == node id). */
+    /** @return per-node completed-task counts (index == node id);
+     *          failed and superseded attempts are not counted. */
     std::vector<int> tasksPerNode(int numNodes) const;
 
     /**
-     * Write a CSV with header
-     * "stage,group,task,node,start_s,end_s,duration_s".
+     * Write a CSV with header "stage,group,task,node,start_s,end_s,
+     * duration_s,attempt,status,sched_wait_s" (the first seven columns
+     * are the pre-attempt-tracking format, new columns are appended).
      */
     void writeCsv(std::ostream &os) const;
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "trace/trace_collector.h"
 
 namespace doppio::storage {
 
@@ -24,6 +25,22 @@ DiskDevice::setDegradedFactor(double factor)
         fatal("DiskDevice %s: degraded factor must be >= 1, got %g",
               name_.c_str(), factor);
     degrade_ = factor;
+}
+
+void
+DiskDevice::setTrace(trace::TraceCollector *trace, int pid, int tid)
+{
+    trace_ = trace;
+    tracePid_ = pid;
+    traceTid_ = tid;
+}
+
+void
+DiskDevice::traceQueueDelta(int delta)
+{
+    traceQueue_ += delta;
+    trace_->counter(tracePid_, "disk", name_ + "/queue", sim_.now(),
+                    static_cast<double>(traceQueue_));
 }
 
 Tick
@@ -61,14 +78,26 @@ DiskDevice::submit(IoOp op, Bytes size, std::function<void()> done)
     const Tick grant = std::max(sim_.now(), nextAdmit_);
     nextAdmit_ = grant + admit_interval;
 
+    const Tick submitted = sim_.now();
+    if (trace_)
+        traceQueueDelta(+1);
+
     sim::FluidPipe &pipe = read ? readPipe_ : writePipe_;
     sim_.scheduleAt(
-        grant + latency, [this, &pipe, op, size, rate_cap,
+        grant + latency, [this, &pipe, op, size, rate_cap, submitted,
                           done = std::move(done)]() mutable {
             pipe.startFlow(
                 size,
-                [this, op, size, done = std::move(done)]() mutable {
+                [this, op, size, submitted,
+                 done = std::move(done)]() mutable {
                     stats_.record(op, size);
+                    if (trace_) {
+                        trace_->span(tracePid_, traceTid_, "disk",
+                                     ioOpName(op), submitted, sim_.now(),
+                                     trace::TraceArgs().add("bytes",
+                                                            size));
+                        traceQueueDelta(-1);
+                    }
                     if (done)
                         done();
                 },
@@ -109,15 +138,28 @@ DiskDevice::submitBatch(IoOp op, Bytes size, std::uint64_t count,
         ticksToSeconds(latency) + static_cast<double>(size) / bw);
     const BytesPerSec solo_rate = static_cast<double>(size) / per_request;
 
+    const Tick submitted = sim_.now();
+    if (trace_)
+        traceQueueDelta(+1);
+
     sim::FluidPipe &pipe = read ? readPipe_ : writePipe_;
     const Bytes total = size * count;
     sim_.scheduleAt(
         grant + latency, [this, &pipe, op, size, count, total, solo_rate,
-                          done = std::move(done)]() mutable {
+                          submitted, done = std::move(done)]() mutable {
             pipe.startFlow(
                 total,
-                [this, op, size, count, done = std::move(done)]() mutable {
+                [this, op, size, count, submitted,
+                 done = std::move(done)]() mutable {
                     stats_.recordMany(op, size, count);
+                    if (trace_) {
+                        trace_->span(tracePid_, traceTid_, "disk",
+                                     ioOpName(op), submitted, sim_.now(),
+                                     trace::TraceArgs()
+                                         .add("bytes", size * count)
+                                         .add("requests", count));
+                        traceQueueDelta(-1);
+                    }
                     if (done)
                         done();
                 },

@@ -25,6 +25,10 @@
 #include "storage/disk_stats.h"
 #include "storage/io_request.h"
 
+namespace doppio::trace {
+class TraceCollector;
+}
+
 namespace doppio::storage {
 
 /**
@@ -102,6 +106,15 @@ class DiskDevice
 
     const std::string &name() const { return name_; }
 
+    /**
+     * Attach an optional trace collector (non-owning; may be null).
+     * Every request then emits a span on track (@p pid, @p tid)
+     * covering submission to last-byte completion, plus a queue-depth
+     * counter. Detached (the default), the hooks are null checks and
+     * the device's behavior is unchanged.
+     */
+    void setTrace(trace::TraceCollector *trace, int pid, int tid);
+
   private:
     sim::Simulator &sim_;
     DiskParams params_;
@@ -113,8 +126,15 @@ class DiskDevice
     Tick nextAdmit_ = 0;
     /// Service-time multiplier (>= 1); 1 means healthy.
     double degrade_ = 1.0;
+    /// Optional telemetry hook (non-owning) and its track ids.
+    trace::TraceCollector *trace_ = nullptr;
+    int tracePid_ = 0;
+    int traceTid_ = 0;
+    /// Requests submitted but not yet completed (tracing only).
+    int traceQueue_ = 0;
 
     Tick degradedLatency(Tick latency) const;
+    void traceQueueDelta(int delta);
 };
 
 } // namespace doppio::storage

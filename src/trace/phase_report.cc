@@ -1,0 +1,200 @@
+#include "trace/phase_report.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+
+namespace doppio::trace {
+
+namespace {
+
+/** Category slot a phase span's name maps to. */
+enum class Category { Compute, Read, Shuffle, Write, Spill, Other };
+
+Category
+categoryOf(const std::string &phase)
+{
+    if (phase == "compute")
+        return Category::Compute;
+    if (phase == "hdfs_read" || phase == "persist_read" ||
+        phase == "raw_read")
+        return Category::Read;
+    if (phase == "shuffle_read" || phase == "shuffle_write")
+        return Category::Shuffle;
+    if (phase == "hdfs_write" || phase == "persist_write" ||
+        phase == "raw_write")
+        return Category::Write;
+    if (phase == "spill" || phase == "spill_read" ||
+        phase == "spill_write")
+        return Category::Spill;
+    return Category::Other;
+}
+
+/** Seconds of overlap between [s, e) and [ws, we). */
+double
+overlapSeconds(Tick s, Tick e, Tick ws, Tick we)
+{
+    const Tick lo = std::max(s, ws);
+    const Tick hi = std::min(e, we);
+    return hi > lo ? ticksToSeconds(hi - lo) : 0.0;
+}
+
+/** One attempt's span on a core track, with its nested phase spans. */
+struct TaskInterval
+{
+    Tick start = 0;
+    Tick end = 0;
+    bool ok = false;
+    /// (category, start, end) of each phase run inside this attempt.
+    std::vector<std::pair<Category, std::pair<Tick, Tick>>> phases;
+};
+
+} // namespace
+
+double
+PhaseBreakdown::busy() const
+{
+    return compute + read + shuffle + write + spill + recovery +
+           overhead;
+}
+
+PhaseReport
+PhaseReport::build(const TraceCollector &collector, int coreTracks)
+{
+    if (coreTracks <= 0)
+        fatal("PhaseReport: coreTracks must be positive, got %d",
+              coreTracks);
+    PhaseReport report;
+    report.coreTracks = coreTracks;
+
+    // Partition the event stream: stage windows on the driver track,
+    // attempt/phase spans per core track. Per track, spans are serial
+    // (a core slot runs one attempt at a time) and phases are emitted
+    // before the attempt span that encloses them, so a simple pending
+    // list matches phases to their attempt.
+    std::map<std::pair<int, int>, std::vector<TaskInterval>> tracks;
+    std::map<std::pair<int, int>,
+             std::vector<std::pair<Category, std::pair<Tick, Tick>>>>
+        pending;
+    for (const TraceEvent &event : collector.events()) {
+        if (event.type != TraceEvent::Type::Span)
+            continue;
+        if (event.pid == kDriverPid) {
+            if (std::strcmp(event.cat, "stage") == 0) {
+                PhaseBreakdown stage;
+                stage.stage = event.name;
+                stage.start = event.start;
+                stage.end = event.end;
+                report.stages.push_back(std::move(stage));
+            }
+            continue;
+        }
+        const std::pair<int, int> track{event.pid, event.tid};
+        if (std::strcmp(event.cat, "phase") == 0) {
+            pending[track].push_back(
+                {categoryOf(event.name), {event.start, event.end}});
+        } else if (std::strcmp(event.cat, "task") == 0 ||
+                   std::strcmp(event.cat, "task-lost") == 0) {
+            TaskInterval interval;
+            interval.start = event.start;
+            interval.end = event.end;
+            interval.ok = std::strcmp(event.cat, "task") == 0;
+            interval.phases = std::move(pending[track]);
+            pending[track].clear();
+            tracks[track].push_back(std::move(interval));
+        }
+    }
+
+    // Clip every attempt to every stage window it overlaps. Wasted
+    // attempts count whole as recovery (their phase time was thrown
+    // away with them); successful attempts split into their phases
+    // plus a scheduling/gating overhead remainder.
+    for (PhaseBreakdown &stage : report.stages) {
+        double total[6] = {};
+        double overhead = 0.0;
+        double recovery = 0.0;
+        for (const auto &[track, intervals] : tracks) {
+            (void)track;
+            for (const TaskInterval &interval : intervals) {
+                const double task_s =
+                    overlapSeconds(interval.start, interval.end,
+                                   stage.start, stage.end);
+                if (task_s <= 0.0)
+                    continue;
+                if (!interval.ok) {
+                    recovery += task_s;
+                    continue;
+                }
+                double phase_s = 0.0;
+                for (const auto &[category, span] : interval.phases) {
+                    const double s =
+                        overlapSeconds(span.first, span.second,
+                                       stage.start, stage.end);
+                    total[static_cast<int>(category)] += s;
+                    phase_s += s;
+                }
+                overhead += std::max(0.0, task_s - phase_s);
+            }
+        }
+        const double cores = static_cast<double>(coreTracks);
+        stage.compute = total[static_cast<int>(Category::Compute)] /
+                        cores;
+        stage.read = total[static_cast<int>(Category::Read)] / cores;
+        stage.shuffle = total[static_cast<int>(Category::Shuffle)] /
+                        cores;
+        stage.write = total[static_cast<int>(Category::Write)] / cores;
+        stage.spill = (total[static_cast<int>(Category::Spill)] +
+                       total[static_cast<int>(Category::Other)]) /
+                      cores;
+        stage.recovery = recovery / cores;
+        stage.overhead = overhead / cores;
+        stage.idle = stage.wall() - stage.busy();
+
+        // Reconciliation assertion: the attributed categories plus
+        // idle must account for the stage window to within 1% — a
+        // negative idle means core tracks were over-covered
+        // (overlapping spans), a large positive residual means spans
+        // went missing. Both are emitter bugs, not report noise.
+        const double wall = stage.wall();
+        const double tolerance = 0.01 * wall + 1e-9;
+        if (stage.idle < -tolerance)
+            panic("PhaseReport: stage %s attribution exceeds its "
+                  "wall-clock by %.6f s (wall %.6f s): overlapping "
+                  "spans on a core track",
+                  stage.stage.c_str(), -stage.idle, wall);
+        const double accounted = stage.busy() + stage.idle;
+        if (accounted < wall - tolerance ||
+            accounted > wall + tolerance)
+            panic("PhaseReport: stage %s attribution (%.6f s) does "
+                  "not reconcile with its wall-clock (%.6f s)",
+                  stage.stage.c_str(), accounted, wall);
+    }
+    return report;
+}
+
+void
+PhaseReport::write(std::ostream &os) const
+{
+    TablePrinter table("Per-stage phase attribution (s, per-core "
+                       "average over " +
+                       std::to_string(coreTracks) + " cores)");
+    table.setHeader({"stage", "wall", "compute", "read", "shuffle",
+                     "write", "spill", "recovery", "overhead", "idle"});
+    for (const PhaseBreakdown &stage : stages) {
+        table.addRow({stage.stage, TablePrinter::num(stage.wall(), 2),
+                      TablePrinter::num(stage.compute, 2),
+                      TablePrinter::num(stage.read, 2),
+                      TablePrinter::num(stage.shuffle, 2),
+                      TablePrinter::num(stage.write, 2),
+                      TablePrinter::num(stage.spill, 2),
+                      TablePrinter::num(stage.recovery, 2),
+                      TablePrinter::num(stage.overhead, 2),
+                      TablePrinter::num(stage.idle, 2)});
+    }
+    table.print(os);
+}
+
+} // namespace doppio::trace

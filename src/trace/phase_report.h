@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-stage phase attribution, computed from the trace itself.
+ *
+ * Reproduces the paper's Fig. 6 decomposition: for each stage window
+ * (a "stage" span on the driver track), the executor core tracks are
+ * partitioned into compute, device-read, shuffle, device-write, spill,
+ * recovery (attempts that crashed, were OOM-killed, lost a speculation
+ * race or died with their node), scheduling overhead (dispatch and
+ * memory-gate time inside successful tasks), and idle — each averaged
+ * over the fleet's core tracks so the categories plus idle reconcile
+ * with the stage's wall-clock by construction. The reconciliation is
+ * asserted (panic) to within 1%, so a broken emitter cannot silently
+ * produce a misleading breakdown.
+ */
+
+#ifndef DOPPIO_TRACE_PHASE_REPORT_H
+#define DOPPIO_TRACE_PHASE_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "trace/trace_collector.h"
+
+namespace doppio::trace {
+
+/** One stage window's attributed seconds (per-core averages). */
+struct PhaseBreakdown
+{
+    std::string stage;
+    Tick start = 0;
+    Tick end = 0;
+    /** Attributed seconds, averaged over the run's core tracks, so
+     *  the categories plus idle sum to wall(). */
+    double compute = 0.0;  //!< pure-CPU phases
+    double read = 0.0;     //!< HDFS/persist/raw device reads
+    double shuffle = 0.0;  //!< shuffle read + write phases
+    double write = 0.0;    //!< HDFS/persist/raw device writes
+    double spill = 0.0;    //!< external-sort spill round trips
+    double recovery = 0.0; //!< wasted attempts (crash/OOM/kill/race)
+    double overhead = 0.0; //!< dispatch + memory gating in ok tasks
+    double idle = 0.0;     //!< no attempt occupied the core
+
+    /** @return the stage window's wall-clock seconds. */
+    double
+    wall() const
+    {
+        return ticksToSeconds(end - start);
+    }
+
+    /** @return the sum of every attributed category except idle. */
+    double busy() const;
+};
+
+/** Phase attribution for every stage window of one traced run. */
+struct PhaseReport
+{
+    std::vector<PhaseBreakdown> stages;
+    /** Core tracks the per-core averages divide by (nodes x P). */
+    int coreTracks = 0;
+
+    /**
+     * Build the report from @p collector's events. @p coreTracks is
+     * the fleet's executor core count (nodes x effective cores); dead
+     * nodes' cores surface as idle time. panic()s when the per-stage
+     * attribution does not reconcile with the stage wall-clock to
+     * within 1% — the reconciliation assertion of the report path.
+     */
+    static PhaseReport build(const TraceCollector &collector,
+                             int coreTracks);
+
+    /** Print as a table ("Per-stage phase attribution"). */
+    void write(std::ostream &os) const;
+};
+
+} // namespace doppio::trace
+
+#endif // DOPPIO_TRACE_PHASE_REPORT_H

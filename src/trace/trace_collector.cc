@@ -1,0 +1,272 @@
+#include "trace/trace_collector.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace doppio::trace {
+
+namespace {
+
+/** Minimal JSON string escaping (names are ASCII identifiers here). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+/**
+ * Ticks (ns) as microseconds with 3 decimals, via integer arithmetic
+ * so the string is identical on every platform and run.
+ */
+std::string
+ticksAsUs(Tick t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", t / 1000,
+                  static_cast<unsigned>(t % 1000));
+    return buf;
+}
+
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// TraceArgs
+
+void
+TraceArgs::key(const char *name)
+{
+    if (!body_.empty())
+        body_ += ',';
+    body_ += '"';
+    body_ += name;
+    body_ += "\":";
+}
+
+TraceArgs &
+TraceArgs::add(const char *k, std::uint64_t value)
+{
+    key(k);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    body_ += buf;
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const char *k, std::int64_t value)
+{
+    key(k);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    body_ += buf;
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const char *k, int value)
+{
+    return add(k, static_cast<std::int64_t>(value));
+}
+
+TraceArgs &
+TraceArgs::add(const char *k, double value)
+{
+    key(k);
+    body_ += num(value);
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const char *k, const std::string &value)
+{
+    key(k);
+    body_ += '"';
+    body_ += escape(value);
+    body_ += '"';
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const char *k, const char *value)
+{
+    return add(k, std::string(value));
+}
+
+// ----------------------------------------------------------------------
+// TraceCollector
+
+void
+TraceCollector::span(int pid, int tid, const char *cat,
+                     std::string name, Tick start, Tick end,
+                     const TraceArgs &args)
+{
+    if (end < start)
+        panic("TraceCollector: span '%s' ends (%llu) before it starts "
+              "(%llu)",
+              name.c_str(), static_cast<unsigned long long>(end),
+              static_cast<unsigned long long>(start));
+    TraceEvent event;
+    event.type = TraceEvent::Type::Span;
+    event.pid = pid;
+    event.tid = tid;
+    event.cat = cat;
+    event.name = std::move(name);
+    event.start = start;
+    event.end = end;
+    event.args = args.str();
+    events_.push_back(std::move(event));
+}
+
+void
+TraceCollector::instant(int pid, int tid, const char *cat,
+                        std::string name, Tick tick,
+                        const TraceArgs &args)
+{
+    TraceEvent event;
+    event.type = TraceEvent::Type::Instant;
+    event.pid = pid;
+    event.tid = tid;
+    event.cat = cat;
+    event.name = std::move(name);
+    event.start = tick;
+    event.end = tick;
+    event.args = args.str();
+    events_.push_back(std::move(event));
+}
+
+void
+TraceCollector::counter(int pid, const char *cat, std::string name,
+                        Tick tick, double value)
+{
+    TraceEvent event;
+    event.type = TraceEvent::Type::Counter;
+    event.pid = pid;
+    event.tid = 0;
+    event.cat = cat;
+    event.name = std::move(name);
+    event.start = tick;
+    event.end = tick;
+    event.value = value;
+    events_.push_back(std::move(event));
+}
+
+void
+TraceCollector::setProcessName(int pid, std::string name)
+{
+    processNames_[pid] = std::move(name);
+}
+
+void
+TraceCollector::setThreadName(int pid, int tid, std::string name)
+{
+    threadNames_[{pid, tid}] = std::move(name);
+}
+
+std::map<std::string, std::uint64_t>
+TraceCollector::countsByCategory() const
+{
+    std::map<std::string, std::uint64_t> counts;
+    for (const TraceEvent &event : events_)
+        ++counts[event.cat];
+    return counts;
+}
+
+std::uint64_t
+TraceCollector::countByType(TraceEvent::Type type) const
+{
+    std::uint64_t count = 0;
+    for (const TraceEvent &event : events_) {
+        if (event.type == type)
+            ++count;
+    }
+    return count;
+}
+
+void
+TraceCollector::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&os, &first]() {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '\n';
+    };
+
+    // Track-naming metadata first (sorted maps: deterministic order).
+    for (const auto &[pid, name] : processNames_) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+           << escape(name) << "\"}}";
+    }
+    for (const auto &[track, name] : threadNames_) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << track.first
+           << ",\"tid\":" << track.second
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << escape(name) << "\"}}";
+    }
+
+    for (const TraceEvent &event : events_) {
+        sep();
+        switch (event.type) {
+          case TraceEvent::Type::Span:
+            os << "{\"ph\":\"X\",\"pid\":" << event.pid
+               << ",\"tid\":" << event.tid << ",\"cat\":\"" << event.cat
+               << "\",\"name\":\"" << escape(event.name)
+               << "\",\"ts\":" << ticksAsUs(event.start)
+               << ",\"dur\":" << ticksAsUs(event.end - event.start);
+            break;
+          case TraceEvent::Type::Instant:
+            os << "{\"ph\":\"i\",\"pid\":" << event.pid
+               << ",\"tid\":" << event.tid << ",\"cat\":\"" << event.cat
+               << "\",\"name\":\"" << escape(event.name)
+               << "\",\"ts\":" << ticksAsUs(event.start)
+               << ",\"s\":\"t\"";
+            break;
+          case TraceEvent::Type::Counter:
+            os << "{\"ph\":\"C\",\"pid\":" << event.pid
+               << ",\"tid\":0,\"cat\":\"" << event.cat
+               << "\",\"name\":\"" << escape(event.name)
+               << "\",\"ts\":" << ticksAsUs(event.start)
+               << ",\"args\":{\"value\":" << num(event.value) << "}}";
+            continue;
+        }
+        if (event.args.empty())
+            os << '}';
+        else
+            os << ",\"args\":{" << event.args << "}}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace doppio::trace

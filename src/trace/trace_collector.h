@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unified tracing/telemetry collector.
+ *
+ * Every subsystem of the simulator (task engine, disk devices, page
+ * caches, network pipes, HDFS, memory manager, fault injector) carries
+ * an optional non-owning TraceCollector hook. When no collector is
+ * attached the hooks are single null-pointer checks and the simulation
+ * output is bit-for-bit identical to a build without the trace
+ * subsystem; when one is attached, the run produces a timeline of
+ * spans, instant events and monotonic counters, all stamped in
+ * simulator Ticks, exportable as Chrome trace-event JSON that loads
+ * directly in Perfetto / chrome://tracing.
+ *
+ * Track model: each simulated node is a trace "process" (pid), and the
+ * node's executor core slots, devices, page cache, NIC ingress and
+ * memory pool are "threads" (tids) within it. The driver (stage
+ * windows, scheduler/fault events) is its own process. Counters are
+ * keyed (pid, name), matching the Chrome counter semantics.
+ */
+
+#ifndef DOPPIO_TRACE_TRACE_COLLECTOR_H
+#define DOPPIO_TRACE_TRACE_COLLECTOR_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace doppio::trace {
+
+// ----------------------------------------------------------------------
+// Track-id scheme, shared by every emitting subsystem.
+
+/** Trace process id of the driver (stages, scheduler, faults). */
+constexpr int kDriverPid = 1;
+
+/** @return the trace process id of slave node @p node. */
+constexpr int
+nodePid(int node)
+{
+    return 10 + node;
+}
+
+// Driver tids.
+constexpr int kTidStages = 1; //!< stage windows
+constexpr int kTidFaults = 2; //!< injected fault events
+constexpr int kTidHdfs = 3;   //!< HDFS failover / re-replication
+
+// Per-node tids.
+constexpr int kTidCoreBase = 1;        //!< +core slot (task spans)
+constexpr int kTidHdfsDiskBase = 100;  //!< +device index
+constexpr int kTidLocalDiskBase = 200; //!< +device index
+constexpr int kTidPageCache = 300;
+constexpr int kTidNetIn = 400;
+constexpr int kTidMemory = 500;
+
+/** @return the tid of core slot @p slot on a node. */
+constexpr int
+coreTid(int slot)
+{
+    return kTidCoreBase + slot;
+}
+
+// ----------------------------------------------------------------------
+
+/**
+ * Incrementally-built "k":v argument list for one event. Values are
+ * serialized immediately with deterministic formatting, so storing an
+ * args string costs one allocation and no later interpretation.
+ */
+class TraceArgs
+{
+  public:
+    TraceArgs &add(const char *key, std::uint64_t value);
+    TraceArgs &add(const char *key, std::int64_t value);
+    TraceArgs &add(const char *key, int value);
+    TraceArgs &add(const char *key, double value);
+    TraceArgs &add(const char *key, const std::string &value);
+    TraceArgs &add(const char *key, const char *value);
+
+    const std::string &str() const { return body_; }
+    bool empty() const { return body_.empty(); }
+
+  private:
+    void key(const char *name);
+    std::string body_;
+};
+
+/** One recorded event. */
+struct TraceEvent
+{
+    enum class Type { Span, Instant, Counter };
+
+    Type type = Type::Instant;
+    int pid = 0;
+    int tid = 0;
+    /** Static category string (never owned): "task", "phase", "disk",
+     *  "cache", "net", "memory", "fault", "recovery", "stage", ... */
+    const char *cat = "";
+    std::string name;
+    Tick start = 0; //!< ts; spans: begin of the span
+    Tick end = 0;   //!< spans: end of the span (dur = end - start)
+    double value = 0.0;  //!< counters only
+    std::string args;    //!< pre-serialized "k":v,... fragment
+};
+
+/**
+ * Accumulates trace events for one run. Events are appended in
+ * simulation order (the moment each one is *emitted* — a span is
+ * emitted at its end tick), which is deterministic, so two identical
+ * runs produce byte-identical exports.
+ */
+class TraceCollector
+{
+  public:
+    /** Record a complete span [start, end] on (pid, tid). */
+    void span(int pid, int tid, const char *cat, std::string name,
+              Tick start, Tick end, const TraceArgs &args = {});
+
+    /** Record an instant event at @p tick on (pid, tid). */
+    void instant(int pid, int tid, const char *cat, std::string name,
+                 Tick tick, const TraceArgs &args = {});
+
+    /**
+     * Record a counter sample: series (@p pid, @p name) has @p value
+     * from @p tick on. Samples of one series must be emitted with
+     * non-decreasing ticks (simulation order guarantees this).
+     */
+    void counter(int pid, const char *cat, std::string name, Tick tick,
+                 double value);
+
+    /** Name the process track @p pid (idempotent; last call wins). */
+    void setProcessName(int pid, std::string name);
+
+    /** Name thread track (@p pid, @p tid). */
+    void setThreadName(int pid, int tid, std::string name);
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+
+    /** @return number of events per category, name-sorted. */
+    std::map<std::string, std::uint64_t> countsByCategory() const;
+
+    /** @return number of events of @p type. */
+    std::uint64_t countByType(TraceEvent::Type type) const;
+
+    /**
+     * Write the whole trace as Chrome trace-event JSON (the format
+     * Perfetto and chrome://tracing open natively). Timestamps are
+     * microseconds with nanosecond (3-decimal) precision, formatted
+     * with integer arithmetic so output is byte-identical across runs
+     * and platforms.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::map<int, std::string> processNames_;
+    std::map<std::pair<int, int>, std::string> threadNames_;
+};
+
+} // namespace doppio::trace
+
+#endif // DOPPIO_TRACE_TRACE_COLLECTOR_H

@@ -12,17 +12,22 @@ spark::AppMetrics
 Workload::run(const cluster::ClusterConfig &clusterConfig,
               const spark::SparkConf &sparkConf,
               spark::TaskTrace *trace,
-              const faults::FaultSpec *faultSpec) const
+              const faults::FaultSpec *faultSpec,
+              trace::TraceCollector *collector) const
 {
     sim::Simulator simulator;
     cluster::ClusterConfig config = clusterConfig;
     if (taskTimeVariability() >= 0.0)
         config.taskJitterSigma = taskTimeVariability();
     cluster::Cluster cluster(simulator, config);
+    if (collector != nullptr)
+        cluster.setTraceCollector(collector);
     dfs::Hdfs hdfs(cluster, hdfsConfig());
     registerInputs(hdfs);
     spark::SparkContext context(cluster, hdfs, sparkConf);
     context.setTaskTrace(trace);
+    if (collector != nullptr)
+        context.setTraceCollector(collector);
 
     std::unique_ptr<faults::FaultInjector> injector;
     if (faultSpec != nullptr && faultSpec->any()) {

@@ -28,6 +28,10 @@
 #include "spark/spark_conf.h"
 #include "spark/spark_context.h"
 
+namespace doppio::trace {
+class TraceCollector;
+}
+
 namespace doppio::workloads {
 
 /** Base class for the paper's applications. */
@@ -50,11 +54,17 @@ class Workload
      *                  a fault/recovery block. A null or empty spec
      *                  leaves the run bit-for-bit identical to a
      *                  fault-free build.
+     * @param collector optional telemetry collector: wired through the
+     *                  cluster (devices, caches, network, faults) and
+     *                  the Spark context (stages, tasks, phases,
+     *                  memory) before any job runs; nullptr keeps the
+     *                  run bit-for-bit identical to an untraced one.
      */
     spark::AppMetrics run(const cluster::ClusterConfig &clusterConfig,
                           const spark::SparkConf &sparkConf,
                           spark::TaskTrace *trace = nullptr,
-                          const faults::FaultSpec *faultSpec =
+                          const faults::FaultSpec *faultSpec = nullptr,
+                          trace::TraceCollector *collector =
                               nullptr) const;
 
     /** Adapter for model::Profiler. */

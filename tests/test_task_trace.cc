@@ -39,6 +39,16 @@ TEST(TaskTrace, TasksPerNode)
     EXPECT_EQ(counts, (std::vector<int>{1, 2, 0}));
 }
 
+TEST(TaskTrace, TasksPerNodeSkipsFailedAttempts)
+{
+    TaskTrace trace;
+    trace.add({"s", "g", 0, 0, 0, 1, 1, "crash"});
+    trace.add({"s", "g", 0, 1, 0, 1, 2, "ok"});
+    trace.add({"s", "g", 1, 0, 0, 1, 1, "lost-race"});
+    const auto counts = trace.tasksPerNode(2);
+    EXPECT_EQ(counts, (std::vector<int>{0, 1}));
+}
+
 TEST(TaskTrace, CsvFormat)
 {
     TaskTrace trace;
@@ -47,10 +57,25 @@ TEST(TaskTrace, CsvFormat)
     std::ostringstream os;
     trace.writeCsv(os);
     const std::string csv = os.str();
+    // The first seven columns are the pre-attempt-tracking format;
+    // attempt/status/sched_wait_s are appended.
     EXPECT_NE(csv.find("stage,group,task,node,start_s,end_s,"
-                       "duration_s"),
+                       "duration_s,attempt,status,sched_wait_s"),
               std::string::npos);
-    EXPECT_NE(csv.find("MD,grp,7,2,1.000000,2.500000,1.500000"),
+    EXPECT_NE(csv.find("MD,grp,7,2,1.000000,2.500000,1.500000,"
+                       "1,ok,0.000000"),
+              std::string::npos);
+}
+
+TEST(TaskTrace, CsvRecordsFailedAttempts)
+{
+    TaskTrace trace;
+    trace.add({"MD", "grp", 3, 1, 0, secondsToTicks(0.5), 2,
+               "node-loss", 0.25});
+    std::ostringstream os;
+    trace.writeCsv(os);
+    EXPECT_NE(os.str().find("MD,grp,3,1,0.000000,0.500000,0.500000,"
+                            "2,node-loss,0.250000"),
               std::string::npos);
 }
 
@@ -86,6 +111,10 @@ TEST(TaskTrace, EngineRecordsEveryTask)
     for (const TaskRecord &record : trace.records()) {
         EXPECT_EQ(record.stage, "count");
         EXPECT_GT(record.end, record.start);
+        // Fault-free run: every attempt is the first and wins.
+        EXPECT_EQ(record.attempt, 1);
+        EXPECT_TRUE(record.ok());
+        EXPECT_GE(record.schedWaitSec, 0.0);
     }
 }
 

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit tests for the tracing/telemetry subsystem: collector and export
+ * semantics, byte-identical output across runs, no-collector
+ * pass-through invariance, and the per-stage phase-attribution report
+ * (including its reconciliation assertion and the Fig. 6 cross-check).
+ */
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "dfs/hdfs.h"
+#include "faults/fault_spec.h"
+#include "sim/simulator.h"
+#include "spark/metrics_json.h"
+#include "spark/spark_context.h"
+#include "spark/task_engine.h"
+#include "trace/phase_report.h"
+#include "trace/trace_collector.h"
+#include "workloads/workload.h"
+
+namespace doppio {
+namespace {
+
+// ----------------------------------------------------------------------
+// Collector semantics.
+
+TEST(TraceArgs, DeterministicFormatting)
+{
+    trace::TraceArgs args;
+    args.add("bytes", std::uint64_t{42})
+        .add("factor", 0.5)
+        .add("status", "ok");
+    EXPECT_EQ(args.str(), "\"bytes\":42,\"factor\":0.5,\"status\":\"ok\"");
+}
+
+TEST(TraceCollector, RecordsInEmissionOrder)
+{
+    trace::TraceCollector collector;
+    // The engine's emission discipline: nested phase spans are emitted
+    // at their end ticks, before the enclosing task span.
+    collector.span(trace::nodePid(0), trace::coreTid(0), "phase",
+                   "compute", 0, 1000);
+    collector.span(trace::nodePid(0), trace::coreTid(0), "phase",
+                   "hdfs_read", 1000, 3000);
+    collector.span(trace::nodePid(0), trace::coreTid(0), "task", "g #0",
+                   0, 3000);
+    collector.instant(trace::kDriverPid, trace::kTidFaults, "fault",
+                      "node_down", 2000);
+    collector.counter(trace::nodePid(0), "cache", "c/dirty_bytes", 2500,
+                      7.0);
+
+    ASSERT_EQ(collector.size(), 5u);
+    EXPECT_EQ(collector.events()[0].name, "compute");
+    EXPECT_EQ(collector.events()[2].name, "g #0");
+    EXPECT_EQ(collector.countByType(trace::TraceEvent::Type::Span), 3u);
+    EXPECT_EQ(collector.countByType(trace::TraceEvent::Type::Instant),
+              1u);
+    EXPECT_EQ(collector.countByType(trace::TraceEvent::Type::Counter),
+              1u);
+    const auto counts = collector.countsByCategory();
+    EXPECT_EQ(counts.at("phase"), 2u);
+    EXPECT_EQ(counts.at("task"), 1u);
+    EXPECT_EQ(counts.at("fault"), 1u);
+    EXPECT_EQ(counts.at("cache"), 1u);
+}
+
+TEST(TraceCollectorDeathTest, SpanEndingBeforeStartPanics)
+{
+    trace::TraceCollector collector;
+    EXPECT_DEATH(collector.span(1, 1, "task", "backwards", 2000, 1000),
+                 "ends");
+}
+
+TEST(TraceCollector, ChromeJsonShape)
+{
+    trace::TraceCollector collector;
+    collector.setProcessName(trace::nodePid(0), "node0");
+    collector.setThreadName(trace::nodePid(0), trace::coreTid(0),
+                            "core 0");
+    collector.span(trace::nodePid(0), trace::coreTid(0), "task", "g #0",
+                   1500, 4500,
+                   trace::TraceArgs().add("attempt", 1));
+    collector.instant(trace::kDriverPid, trace::kTidFaults, "fault",
+                      "node_down", 2000);
+    collector.counter(trace::nodePid(0), "cache", "c/dirty_bytes", 3000,
+                      9.0);
+
+    std::ostringstream os;
+    collector.writeChromeJson(os);
+    const std::string json = os.str();
+    EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+                         0),
+              0u);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    // Ticks are ns; ts/dur are µs with 3-decimal ns precision.
+    EXPECT_NE(json.find("\"ts\":1.500,\"dur\":3.000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"attempt\":1}"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"value\":9}"), std::string::npos);
+    EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+}
+
+// ----------------------------------------------------------------------
+// End-to-end: a small shuffle workload with a node kill, traced
+// through the Workload::run wiring (cluster + context hooks).
+
+class MiniWorkload : public workloads::Workload
+{
+  public:
+    std::string name() const override { return "mini"; }
+
+  protected:
+    void
+    registerInputs(dfs::Hdfs &hdfs) const override
+    {
+        hdfs.addFile("input", gib(1));
+    }
+
+    void
+    execute(spark::SparkContext &context) const override
+    {
+        spark::RddRef input = context.hadoopFile("input");
+        spark::ShuffleSpec spec;
+        spec.bytes = gib(2);
+        spark::RddRef grouped =
+            spark::Rdd::shuffled("grouped", input, 16, gib(2), spec);
+        context.runJob("job", grouped, spark::ActionSpec::count());
+    }
+};
+
+cluster::ClusterConfig
+miniCluster()
+{
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::motivationCluster();
+    config.node.pageCache.enabled = true;
+    return config;
+}
+
+spark::SparkConf
+miniConf()
+{
+    spark::SparkConf conf;
+    conf.unifiedMemory = true;
+    return conf;
+}
+
+TEST(TraceWorkload, EmitsFromEverySubsystem)
+{
+    const MiniWorkload workload;
+    const faults::FaultSpec faults =
+        faults::FaultSpec::parse("kill 1@2", "test");
+    trace::TraceCollector collector;
+    workload.run(miniCluster(), miniConf(), nullptr, &faults,
+                 &collector);
+
+    const auto counts = collector.countsByCategory();
+    for (const char *category :
+         {"stage", "task", "phase", "disk", "cache", "net", "fault"}) {
+        EXPECT_TRUE(counts.count(category) != 0 &&
+                    counts.at(category) > 0)
+            << "no events from category " << category;
+    }
+
+    // Counter series must be sampled with non-decreasing ticks.
+    std::map<std::pair<int, std::string>, Tick> lastTick;
+    for (const trace::TraceEvent &event : collector.events()) {
+        EXPECT_GE(event.end, event.start);
+        if (event.type != trace::TraceEvent::Type::Counter)
+            continue;
+        auto key = std::make_pair(event.pid, event.name);
+        auto it = lastTick.find(key);
+        if (it != lastTick.end()) {
+            EXPECT_GE(event.start, it->second)
+                << "counter " << event.name << " went backwards";
+        }
+        lastTick[key] = event.start;
+    }
+}
+
+TEST(TraceWorkload, ExportIsByteIdenticalAcrossRuns)
+{
+    const MiniWorkload workload;
+    const faults::FaultSpec faults =
+        faults::FaultSpec::parse("kill 1@2", "test");
+    std::string exports[2];
+    for (std::string &json : exports) {
+        trace::TraceCollector collector;
+        workload.run(miniCluster(), miniConf(), nullptr, &faults,
+                     &collector);
+        std::ostringstream os;
+        collector.writeChromeJson(os);
+        json = os.str();
+    }
+    EXPECT_GT(exports[0].size(), 0u);
+    EXPECT_TRUE(exports[0] == exports[1])
+        << "trace export differs between two identical runs";
+}
+
+TEST(TraceWorkload, NoCollectorLeavesOutputsUnchanged)
+{
+    const MiniWorkload workload;
+    const faults::FaultSpec faults =
+        faults::FaultSpec::parse("kill 1@2", "test");
+
+    spark::TaskTrace untracedTasks;
+    const spark::AppMetrics untraced = workload.run(
+        miniCluster(), miniConf(), &untracedTasks, &faults);
+
+    trace::TraceCollector collector;
+    spark::TaskTrace tracedTasks;
+    const spark::AppMetrics traced = workload.run(
+        miniCluster(), miniConf(), &tracedTasks, &faults, &collector);
+    ASSERT_GT(collector.size(), 0u);
+
+    std::ostringstream a;
+    std::ostringstream b;
+    spark::writeMetricsJson(a, untraced);
+    spark::writeMetricsJson(b, traced);
+    EXPECT_TRUE(a.str() == b.str())
+        << "metrics JSON changed when a collector was attached";
+
+    std::ostringstream csvA;
+    std::ostringstream csvB;
+    untracedTasks.writeCsv(csvA);
+    tracedTasks.writeCsv(csvB);
+    EXPECT_TRUE(csvA.str() == csvB.str())
+        << "task CSV changed when a collector was attached";
+}
+
+// ----------------------------------------------------------------------
+// Phase attribution.
+
+TEST(PhaseReport, HandBuiltTrackReconcilesExactly)
+{
+    trace::TraceCollector collector;
+    const Tick wall = secondsToTicks(10.0);
+    collector.span(trace::nodePid(0), trace::coreTid(0), "phase",
+                   "compute", 0, secondsToTicks(4.0));
+    collector.span(trace::nodePid(0), trace::coreTid(0), "phase",
+                   "hdfs_read", secondsToTicks(4.0),
+                   secondsToTicks(7.0));
+    collector.span(trace::nodePid(0), trace::coreTid(0), "task", "g #0",
+                   0, secondsToTicks(8.0));
+    collector.span(trace::kDriverPid, trace::kTidStages, "stage", "s",
+                   0, wall);
+
+    const trace::PhaseReport report =
+        trace::PhaseReport::build(collector, 1);
+    ASSERT_EQ(report.stages.size(), 1u);
+    const trace::PhaseBreakdown &stage = report.stages[0];
+    EXPECT_NEAR(stage.compute, 4.0, 1e-9);
+    EXPECT_NEAR(stage.read, 3.0, 1e-9);
+    EXPECT_NEAR(stage.overhead, 1.0, 1e-9); // task minus its phases
+    EXPECT_NEAR(stage.idle, 2.0, 1e-9);
+    EXPECT_NEAR(stage.busy() + stage.idle, stage.wall(), 1e-9);
+}
+
+TEST(PhaseReportDeathTest, OverAttributionPanics)
+{
+    // Two fully-busy tracks averaged over one core track: attributed
+    // time is twice the stage wall-clock, which cannot reconcile.
+    trace::TraceCollector collector;
+    const Tick wall = secondsToTicks(10.0);
+    for (int slot = 0; slot < 2; ++slot) {
+        collector.span(trace::nodePid(0), trace::coreTid(slot), "phase",
+                       "compute", 0, wall);
+        collector.span(trace::nodePid(0), trace::coreTid(slot), "task",
+                       "g", 0, wall);
+    }
+    collector.span(trace::kDriverPid, trace::kTidStages, "stage", "s",
+                   0, wall);
+    EXPECT_DEATH(trace::PhaseReport::build(collector, 1),
+                 "wall-clock");
+}
+
+/**
+ * The Fig. 6 cross-check: run the bench's synthetic stage (T = 60 MB/s
+ * per core, lambda = 4, BW = 120 MB/s) and require the trace-derived
+ * attribution to match the engine's own phase accounting within 1%.
+ */
+TEST(PhaseReport, MatchesFig06PhaseTotals)
+{
+    storage::DiskParams disk;
+    disk.model = "fig6-disk";
+    disk.type = storage::DiskType::Ssd;
+    disk.readIops = 1.0e6;
+    disk.writeIops = 1.0e6;
+    disk.readLatency = usToTicks(10.0);
+    disk.writeLatency = usToTicks(10.0);
+    disk.readBandwidth = mibps(120.0);
+    disk.writeBandwidth = mibps(120.0);
+
+    sim::Simulator sim;
+    cluster::ClusterConfig config;
+    config.numSlaves = 1;
+    config.node.cores = 12;
+    config.node.hdfsDisk = disk;
+    config.node.localDisk = disk;
+    config.taskJitterSigma = 0.25;
+    cluster::Cluster cluster(sim, config);
+    dfs::Hdfs hdfs(cluster);
+    spark::SparkConf conf;
+    conf.executorCores = 8;
+    conf.taskDispatchOverheadSec = 0.0;
+    conf.aggregateIo = false;
+    spark::TaskEngine engine(cluster, hdfs, conf);
+
+    trace::TraceCollector collector;
+    cluster.setTraceCollector(&collector);
+    engine.setTraceCollector(&collector);
+
+    const Bytes task_bytes = mib(60);
+    const int tasks = 96;
+    spark::StageSpec stage;
+    stage.name = "fig6";
+    spark::IoPhaseSpec io;
+    io.op = storage::IoOp::PersistRead;
+    io.bytesPerTask = task_bytes;
+    io.requestSize = mib(1);
+    io.cpuPerByte = 0.5 / static_cast<double>(task_bytes);
+    stage.groups.push_back(spark::TaskGroupSpec{
+        "g", tasks, {io, spark::ComputePhaseSpec{3.0}}, task_bytes});
+    const spark::StageMetrics metrics = engine.runStage(stage);
+
+    const trace::PhaseReport report =
+        trace::PhaseReport::build(collector, conf.executorCores);
+    ASSERT_EQ(report.stages.size(), 1u);
+    const trace::PhaseBreakdown &breakdown = report.stages[0];
+    EXPECT_EQ(breakdown.stage, "fig6");
+
+    // Ground truth from the engine's own accounting (what the fig06
+    // bench prints): the read-phase seconds and, with dispatch
+    // overhead zero, total task seconds.
+    const double read_truth = metrics.forOp(storage::IoOp::PersistRead)
+                                  .phaseSeconds.sum();
+    const double task_truth = metrics.taskDuration.sum();
+    const double cores = conf.executorCores;
+    EXPECT_NEAR(breakdown.read * cores, read_truth,
+                0.01 * read_truth);
+    EXPECT_NEAR(breakdown.busy() * cores, task_truth,
+                0.01 * task_truth);
+    EXPECT_NEAR(breakdown.compute * cores, task_truth - read_truth,
+                0.01 * (task_truth - read_truth));
+    EXPECT_DOUBLE_EQ(breakdown.shuffle, 0.0);
+    EXPECT_DOUBLE_EQ(breakdown.recovery, 0.0);
+    // The reconciliation identity the report asserts internally.
+    EXPECT_NEAR(breakdown.busy() + breakdown.idle, breakdown.wall(),
+                0.01 * breakdown.wall());
+}
+
+} // namespace
+} // namespace doppio

@@ -6,14 +6,19 @@
  *       List the bundled workloads.
  *   doppio run <workload> [--nodes N] [--cores P] [--hdfs T]
  *              [--local T] [--local-disks K] [--speculate]
- *              [--trace FILE] [--json FILE] [--no-page-cache]
- *              [--cache-capacity MIB] [--cache-dirty-ratio F]
- *              [--cache-readahead KIB] [--fault-spec SPEC]
- *              [--task-fail-rate F] [--kill-node ID@T]
+ *              [--trace FILE] [--perfetto FILE] [--json FILE]
+ *              [--no-page-cache] [--cache-capacity MIB]
+ *              [--cache-dirty-ratio F] [--cache-readahead KIB]
+ *              [--fault-spec SPEC] [--task-fail-rate F]
+ *              [--kill-node ID@T] [--verbose]
  *       Simulate a workload and print per-stage metrics. The OS page
  *       cache is modeled unless --no-page-cache is given. Fault flags
  *       arm the fault injector; without them the run is bit-for-bit
- *       identical to a build without the fault subsystem.
+ *       identical to a build without the fault subsystem. --perfetto
+ *       records a full telemetry timeline (Chrome trace-event JSON,
+ *       opens in Perfetto) and prints the per-stage phase-attribution
+ *       report; an untraced run's outputs are byte-identical to a
+ *       traced run's.
  *   doppio profile <workload> [--nodes N] [--cores P] [--hdfs T]
  *              [--local T]
  *       Fit the I/O-aware model (extended five-run methodology) and
@@ -48,6 +53,8 @@
 #include "spark/metrics_json.h"
 #include "spark/task_trace.h"
 #include "storage/fio.h"
+#include "trace/phase_report.h"
+#include "trace/trace_collector.h"
 #include "workloads/gatk4.h"
 #include "workloads/registry.h"
 
@@ -249,6 +256,7 @@ faultsFromArgs(const Args &args)
 int
 cmdList(const Args &args)
 {
+    setVerbose(args.has("--verbose"));
     args.rejectUnknown("list");
     for (const std::string &name : workloads::registeredWorkloads())
         std::cout << name << "\n";
@@ -258,6 +266,7 @@ cmdList(const Args &args)
 int
 cmdRun(const std::string &name, const Args &args)
 {
+    setVerbose(args.has("--verbose"));
     const auto workload = workloads::makeWorkload(name);
     const cluster::ClusterConfig config = clusterFromArgs(args);
     spark::SparkConf conf;
@@ -278,14 +287,17 @@ cmdRun(const std::string &name, const Args &args)
               "--legacy-memory");
 
     spark::TaskTrace trace;
+    trace::TraceCollector collector;
     const std::string trace_path = args.value("--trace", "");
     const std::string json_path = args.value("--json", "");
+    const std::string perfetto_path = args.value("--perfetto", "");
     const faults::FaultSpec faultSpec = faultsFromArgs(args);
     args.rejectUnknown("run");
 
     const spark::AppMetrics metrics =
         workload->run(config, conf, trace_path.empty() ? nullptr : &trace,
-                      &faultSpec);
+                      &faultSpec,
+                      perfetto_path.empty() ? nullptr : &collector);
     if (!trace_path.empty()) {
         std::ofstream out(trace_path);
         if (!out)
@@ -293,6 +305,16 @@ cmdRun(const std::string &name, const Args &args)
         trace.writeCsv(out);
         std::cout << "wrote " << trace.size() << " task records to "
                   << trace_path << "\n";
+    }
+    if (!perfetto_path.empty()) {
+        std::ofstream out(perfetto_path);
+        if (!out)
+            fatal("cannot open perfetto file '%s'",
+                  perfetto_path.c_str());
+        collector.writeChromeJson(out);
+        std::cout << "wrote " << collector.size()
+                  << " trace events to " << perfetto_path
+                  << " (open at https://ui.perfetto.dev)\n";
     }
     if (!json_path.empty()) {
         std::ofstream out(json_path);
@@ -362,12 +384,31 @@ cmdRun(const std::string &name, const Args &args)
                   << formatBytes(m.spilledBytes) << " spilled, "
                   << m.oomKills << " OOM kill(s)\n";
     }
+    if (!perfetto_path.empty()) {
+        // Console-only summary: the metrics JSON stays byte-identical
+        // with and without tracing.
+        std::cout << "\ntrace: " << collector.size() << " event(s)";
+        const char *sep = " — ";
+        for (const auto &[category, count] :
+             collector.countsByCategory()) {
+            std::cout << sep << category << " " << count;
+            sep = ", ";
+        }
+        std::cout << "\n\n";
+        const int core_tracks =
+            config.numSlaves *
+            std::min(conf.executorCores, config.node.cores);
+        const trace::PhaseReport report =
+            trace::PhaseReport::build(collector, core_tracks);
+        report.write(std::cout);
+    }
     return 0;
 }
 
 int
 cmdProfile(const std::string &name, const Args &args)
 {
+    setVerbose(args.has("--verbose"));
     const auto workload = workloads::makeWorkload(name);
     const cluster::ClusterConfig config = clusterFromArgs(args);
     model::Profiler::Options options;
@@ -392,6 +433,7 @@ cmdProfile(const std::string &name, const Args &args)
 int
 cmdFio(const Args &args)
 {
+    setVerbose(args.has("--verbose"));
     const storage::DiskParams params =
         diskByName(args.value("--disk", "hdd"));
     args.rejectUnknown("fio");
@@ -412,6 +454,7 @@ cmdFio(const Args &args)
 int
 cmdOptimize(const Args &args)
 {
+    setVerbose(args.has("--verbose"));
     const workloads::Gatk4 gatk4;
     const int workers = args.intValue("--workers", 10, 1, 100000);
     args.rejectUnknown("optimize");
@@ -470,8 +513,12 @@ usage()
            "  fio [--disk hdd|ssd|nvme]     bandwidth sweep\n"
            "  optimize [--workers N]        cloud cost optimization\n"
            "options: --nodes N --cores P --hdfs T --local T\n"
-           "         --local-disks K --speculate\n"
+           "         --local-disks K --speculate --verbose\n"
            "         --trace FILE               per-task CSV trace\n"
+           "         --perfetto FILE            Chrome trace-event "
+           "JSON (Perfetto) +\n"
+           "                                    per-stage phase "
+           "attribution\n"
            "         --json FILE                metrics as JSON\n"
            "         --no-page-cache            direct I/O "
            "(drop_caches conditions)\n"
