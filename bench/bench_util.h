@@ -12,17 +12,45 @@
 #ifndef DOPPIO_BENCH_BENCH_UTIL_H
 #define DOPPIO_BENCH_BENCH_UTIL_H
 
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster_config.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "common/table_printer.h"
 #include "model/profiler.h"
 #include "workloads/workload.h"
 
 namespace doppio::bench {
+
+/** @return whether @p flag appears in the bench's argv. */
+inline bool
+benchFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Parse --jobs N for a sweep bench: 0 (the default) = one thread per
+ * hardware core. Sweep results are committed in input order, so the
+ * printed tables are byte-identical for any value.
+ */
+inline int
+benchJobs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            return std::atoi(argv[i + 1]);
+    }
+    return 0;
+}
 
 /** One measurement/prediction point of a figure. */
 struct ExpModelRow

@@ -68,33 +68,42 @@ dollars(double seconds)
 }
 
 void
-crashRateSweep()
+crashRateSweep(int jobs)
 {
+    const std::vector<double> rates = {0.0, 0.01, 0.02, 0.05, 0.10};
+    // Each rate is an independent seeded simulation: fan them out and
+    // commit results in input order so the table is byte-identical
+    // for any --jobs value.
+    const common::SweepRunner runner(jobs);
+    const std::vector<spark::AppMetrics> results =
+        runner.map(rates.size(), [&](std::size_t i) {
+            faults::FaultSpec spec;
+            spec.taskFailureRate = rates[i];
+            // At the 4-crash Spark default, a 5%+ rate over ~100k
+            // attempts makes some task exceed maxFailures and
+            // (correctly) abort the application; chaos sweeps raise
+            // the cap like operators do. The trend, not the abort
+            // path, is measured here.
+            return runWorkload(
+                "lr-small", rates[i] > 0.0 ? &spec : nullptr, 1000);
+        });
+
     TablePrinter table(
         "LR-small vs per-attempt crash probability (3 slaves, P=8)");
     table.setHeader({"fail rate", "runtime", "slowdown", "crashes",
                      "wasted", "cost ($)"});
-    double clean = 0.0;
-    for (const double rate : {0.0, 0.01, 0.02, 0.05, 0.10}) {
-        faults::FaultSpec spec;
-        spec.taskFailureRate = rate;
-        // At the 4-crash Spark default, a 5%+ rate over ~100k attempts
-        // makes some task exceed maxFailures and (correctly) abort
-        // the application; chaos sweeps raise the cap like operators
-        // do. The trend, not the abort path, is measured here.
-        const spark::AppMetrics metrics = runWorkload(
-            "lr-small", rate > 0.0 ? &spec : nullptr, 1000);
-        const double seconds = metrics.seconds();
-        if (rate == 0.0)
-            clean = seconds;
+    const double clean = results.front().seconds();
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const double seconds = results[i].seconds();
         char label[16];
-        std::snprintf(label, sizeof(label), "%.0f%%", rate * 100.0);
+        std::snprintf(label, sizeof(label), "%.0f%%",
+                      rates[i] * 100.0);
         table.addRow(
             {label, formatDuration(secondsToTicks(seconds)),
              TablePrinter::num(seconds / clean, 2) + "x",
-             std::to_string(metrics.faults.taskFailures),
+             std::to_string(results[i].faults.taskFailures),
              formatDuration(
-                 secondsToTicks(metrics.faults.wastedTaskSeconds)),
+                 secondsToTicks(results[i].faults.wastedTaskSeconds)),
              TablePrinter::num(dollars(seconds), 2)});
     }
     table.print(std::cout);
@@ -148,9 +157,9 @@ nodeLossMidShuffle()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    crashRateSweep();
+    crashRateSweep(bench::benchJobs(argc, argv));
     std::cout << "\n";
     nodeLossMidShuffle();
     return 0;

@@ -92,7 +92,7 @@ printMonotonicityVerdict(const std::vector<SweepPoint> &points)
 }
 
 void
-lrStorageSweep(const std::vector<double> &ratios, bool smoke)
+lrStorageSweep(const std::vector<double> &ratios, bool smoke, int jobs)
 {
     workloads::LogisticRegression::Options options;
     options.examplesMillions = smoke ? 30.0 : 110.0;
@@ -100,29 +100,43 @@ lrStorageSweep(const std::vector<double> &ratios, bool smoke)
     const workloads::LogisticRegression workload(options);
     const Bytes dataset = options.parsedBytes();
 
+    // Every ratio provisions its own cluster: fan the independent
+    // simulations out and commit results at their input index so the
+    // table is byte-identical for any --jobs value.
+    struct Row
+    {
+        Bytes executor = 0;
+        spark::AppMetrics metrics;
+    };
+    const common::SweepRunner runner(jobs);
+    const std::vector<Row> rows =
+        runner.map(ratios.size(), [&](std::size_t i) {
+            spark::SparkConf conf;
+            conf.executorCores = kCores;
+            conf.unifiedMemory = true;
+            const Bytes executor = executorMemoryFor(
+                dataset, ratios[i], conf.memoryFraction);
+            return Row{executor,
+                       workload.run(benchCluster(executor), conf)};
+        });
+
     TablePrinter table(
         "LR iterations vs parsedData / aggregate pool (" +
         formatBytes(dataset) + " cached, 3 slaves x 8 cores)");
     table.setHeader({"ratio", "executor", "runtime (s)", "evicted",
                      "to disk", "recomputed", "spilled"});
     std::vector<SweepPoint> points;
-    for (const double ratio : ratios) {
-        spark::SparkConf conf;
-        conf.executorCores = kCores;
-        conf.unifiedMemory = true;
-        const Bytes executor =
-            executorMemoryFor(dataset, ratio, conf.memoryFraction);
-        const spark::AppMetrics metrics =
-            workload.run(benchCluster(executor), conf);
-        const spark::MemoryMetrics &memory = metrics.memory;
-        table.addRow({TablePrinter::num(ratio, 2),
-                      formatBytes(executor),
-                      TablePrinter::num(metrics.seconds(), 1),
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+        const Row &row = rows[i];
+        const spark::MemoryMetrics &memory = row.metrics.memory;
+        table.addRow({TablePrinter::num(ratios[i], 2),
+                      formatBytes(row.executor),
+                      TablePrinter::num(row.metrics.seconds(), 1),
                       std::to_string(memory.evictedBlocks),
                       formatBytes(memory.evictedToDiskBytes),
                       std::to_string(memory.recomputedPartitions),
                       formatBytes(memory.spilledBytes)});
-        points.push_back({ratio, metrics.seconds(),
+        points.push_back({ratios[i], row.metrics.seconds(),
                           memory.evictedToDiskBytes +
                               memory.spilledBytes});
     }
@@ -131,12 +145,30 @@ lrStorageSweep(const std::vector<double> &ratios, bool smoke)
 }
 
 void
-terasortExecutionSweep(const std::vector<double> &ratios, bool smoke)
+terasortExecutionSweep(const std::vector<double> &ratios, bool smoke,
+                       int jobs)
 {
     workloads::Terasort::Options options;
     options.dataBytes = smoke ? gib(8) : gib(24);
     options.reducers = smoke ? 8 : 24;
     const workloads::Terasort workload(options);
+
+    struct Row
+    {
+        Bytes executor = 0;
+        spark::AppMetrics metrics;
+    };
+    const common::SweepRunner runner(jobs);
+    const std::vector<Row> rows =
+        runner.map(ratios.size(), [&](std::size_t i) {
+            spark::SparkConf conf;
+            conf.executorCores = kCores;
+            conf.unifiedMemory = true;
+            const Bytes executor = executorMemoryFor(
+                options.dataBytes, ratios[i], conf.memoryFraction);
+            return Row{executor,
+                       workload.run(benchCluster(executor), conf)};
+        });
 
     TablePrinter table("Terasort vs data / aggregate pool (" +
                        formatBytes(options.dataBytes) +
@@ -144,23 +176,17 @@ terasortExecutionSweep(const std::vector<double> &ratios, bool smoke)
     table.setHeader({"ratio", "executor", "runtime (s)", "spills",
                      "passes", "spilled", "OOM kills"});
     std::vector<SweepPoint> points;
-    for (const double ratio : ratios) {
-        spark::SparkConf conf;
-        conf.executorCores = kCores;
-        conf.unifiedMemory = true;
-        const Bytes executor = executorMemoryFor(
-            options.dataBytes, ratio, conf.memoryFraction);
-        const spark::AppMetrics metrics =
-            workload.run(benchCluster(executor), conf);
-        const spark::MemoryMetrics &memory = metrics.memory;
-        table.addRow({TablePrinter::num(ratio, 2),
-                      formatBytes(executor),
-                      TablePrinter::num(metrics.seconds(), 1),
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+        const Row &row = rows[i];
+        const spark::MemoryMetrics &memory = row.metrics.memory;
+        table.addRow({TablePrinter::num(ratios[i], 2),
+                      formatBytes(row.executor),
+                      TablePrinter::num(row.metrics.seconds(), 1),
                       std::to_string(memory.spills),
                       std::to_string(memory.spillPasses),
                       formatBytes(memory.spilledBytes),
                       std::to_string(memory.oomKills)});
-        points.push_back({ratio, metrics.seconds(),
+        points.push_back({ratios[i], row.metrics.seconds(),
                           memory.evictedToDiskBytes +
                               memory.spilledBytes});
     }
@@ -173,12 +199,12 @@ terasortExecutionSweep(const std::vector<double> &ratios, bool smoke)
 int
 main(int argc, char **argv)
 {
-    const bool smoke =
-        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const bool smoke = bench::benchFlag(argc, argv, "--smoke");
+    const int jobs = bench::benchJobs(argc, argv);
     const std::vector<double> ratios =
         smoke ? std::vector<double>{0.5, 2.0}
               : std::vector<double>{0.5, 0.75, 1.0, 1.5, 2.0, 3.0};
-    lrStorageSweep(ratios, smoke);
-    terasortExecutionSweep(ratios, smoke);
+    lrStorageSweep(ratios, smoke, jobs);
+    terasortExecutionSweep(ratios, smoke, jobs);
     return 0;
 }

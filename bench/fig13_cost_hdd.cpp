@@ -19,7 +19,7 @@ using namespace doppio;
 using bench::kGB;
 
 int
-main()
+main(int argc, char **argv)
 {
     const cloud::GcpPricing pricing;
     TablePrinter tablev("Table V: disk price in Google Cloud");
@@ -37,6 +37,7 @@ main()
     const model::AppModel app = bench::fitCloudGatk4(gatk4);
     cloud::CostOptimizer::Options options;
     options.localTypes = {cloud::CloudDiskType::Standard};
+    options.jobs = bench::benchJobs(argc, argv);
     const cloud::CostOptimizer optimizer(app, pricing, options);
 
     cloud::CloudConfig base;

@@ -17,33 +17,41 @@ using namespace doppio;
 using bench::kGB;
 
 int
-main()
+main(int argc, char **argv)
 {
     const workloads::Gatk4 gatk4;
     const model::AppModel app = bench::fitCloudGatk4(gatk4);
+    cloud::CostOptimizer::Options options;
+    options.jobs = bench::benchJobs(argc, argv);
     const cloud::CostOptimizer optimizer(app, cloud::GcpPricing{},
-                                         cloud::CostOptimizer::Options{});
+                                         options);
 
-    std::vector<bench::ExpModelRow> rows;
-    for (Bytes gb : {200ULL, 400ULL, 800ULL, 1600ULL, 2000ULL,
-                     2400ULL, 3200ULL}) {
-        cluster::ClusterConfig config = bench::cloudCluster();
-        config.node.localDisk = cloud::makeCloudDiskParams(
-            cloud::CloudDiskType::Standard, gb * kGB);
-        spark::SparkConf conf;
-        conf.executorCores = 16;
-        const double exp_s = gatk4.run(config, conf).seconds();
+    const std::vector<Bytes> sizes = {200, 400, 800, 1600, 2000,
+                                      2400, 3200};
+    // Each size point is an independent cluster simulation plus a
+    // model query; fan them out and commit rows at their input index
+    // so the table is byte-identical for any --jobs value.
+    const common::SweepRunner runner(options.jobs);
+    const std::vector<bench::ExpModelRow> rows =
+        runner.map(sizes.size(), [&](std::size_t i) {
+            const Bytes gb = sizes[i];
+            cluster::ClusterConfig config = bench::cloudCluster();
+            config.node.localDisk = cloud::makeCloudDiskParams(
+                cloud::CloudDiskType::Standard, gb * kGB);
+            spark::SparkConf conf;
+            conf.executorCores = 16;
+            const double exp_s = gatk4.run(config, conf).seconds();
 
-        cloud::CloudConfig cc;
-        cc.workers = 10;
-        cc.vcpus = 16;
-        cc.hdfsSize = 1000 * kGB;
-        cc.localSize = gb * kGB;
-        const double model_s = optimizer.evaluate(cc).seconds;
+            cloud::CloudConfig cc;
+            cc.workers = 10;
+            cc.vcpus = 16;
+            cc.hdfsSize = 1000 * kGB;
+            cc.localSize = gb * kGB;
+            const double model_s = optimizer.evaluate(cc).seconds;
 
-        rows.push_back({std::to_string(gb) + " GB local", exp_s,
-                        model_s});
-    }
+            return bench::ExpModelRow{std::to_string(gb) + " GB local",
+                                      exp_s, model_s};
+        });
     bench::printExpModel(
         "Fig. 14: GATK4 on 10x16 vCPU workers, 1 TB HDD HDFS, "
         "varying HDD local size (paper: <4% error, flat beyond 2 TB)",

@@ -15,13 +15,14 @@ using namespace doppio;
 using bench::kGB;
 
 int
-main()
+main(int argc, char **argv)
 {
     const workloads::Gatk4 gatk4;
     const model::AppModel app = bench::fitCloudGatk4(gatk4);
     const cloud::GcpPricing pricing;
-    const cloud::CostOptimizer optimizer(
-        app, pricing, cloud::CostOptimizer::Options{});
+    cloud::CostOptimizer::Options options;
+    options.jobs = bench::benchJobs(argc, argv);
+    const cloud::CostOptimizer optimizer(app, pricing, options);
 
     cloud::CloudConfig base;
     base.workers = 10;
@@ -51,6 +52,7 @@ main()
     const cloud::Evaluation best_any = optimizer.optimize();
     cloud::CostOptimizer::Options hdd_only;
     hdd_only.localTypes = {cloud::CloudDiskType::Standard};
+    hdd_only.jobs = options.jobs;
     const cloud::Evaluation best_hdd =
         cloud::CostOptimizer(app, pricing, hdd_only).optimize();
     const cloud::Evaluation r1 =

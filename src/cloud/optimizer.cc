@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "storage/fio.h"
 
 namespace doppio::cloud {
@@ -16,6 +17,27 @@ CostOptimizer::CostOptimizer(model::AppModel appModel, GcpPricing pricing,
         fatal("CostOptimizer: workers must be positive");
     if (options_.sizeGrid.empty())
         options_.sizeGrid = defaultSizeGrid();
+}
+
+CostOptimizer::CostOptimizer(const CostOptimizer &other)
+    : app_(other.app_), pricing_(other.pricing_),
+      options_(other.options_)
+{
+    const std::lock_guard<std::mutex> lock(*other.tableCacheMutex_);
+    tableCache_ = other.tableCache_;
+}
+
+CostOptimizer &
+CostOptimizer::operator=(const CostOptimizer &other)
+{
+    if (this == &other)
+        return *this;
+    app_ = other.app_;
+    pricing_ = other.pricing_;
+    options_ = other.options_;
+    const std::lock_guard<std::mutex> lock(*other.tableCacheMutex_);
+    tableCache_ = other.tableCache_;
+    return *this;
 }
 
 std::vector<Bytes>
@@ -38,20 +60,21 @@ const std::pair<LookupTable, LookupTable> &
 CostOptimizer::tablesFor(CloudDiskType type, Bytes size) const
 {
     const auto key = std::make_pair(static_cast<int>(type), size);
-    auto it = tableCache_.find(key);
-    if (it == tableCache_.end()) {
-        const storage::FioProfiler profiler(
-            makeCloudDiskParams(type, size));
-        it = tableCache_
-                 .emplace(key,
-                          std::make_pair(
-                              profiler.bandwidthTable(
-                                  storage::IoKind::Read),
-                              profiler.bandwidthTable(
-                                  storage::IoKind::Write)))
-                 .first;
+    {
+        const std::lock_guard<std::mutex> lock(*tableCacheMutex_);
+        const auto it = tableCache_.find(key);
+        if (it != tableCache_.end())
+            return it->second;
     }
-    return it->second;
+    // Fill outside the lock: the fio sweep is the expensive part and
+    // is deterministic, so two threads racing on the same key compute
+    // identical tables and the losing emplace is a no-op.
+    const storage::FioProfiler profiler(makeCloudDiskParams(type, size));
+    auto tables = std::make_pair(
+        profiler.bandwidthTable(storage::IoKind::Read),
+        profiler.bandwidthTable(storage::IoKind::Write));
+    const std::lock_guard<std::mutex> lock(*tableCacheMutex_);
+    return tableCache_.emplace(key, std::move(tables)).first->second;
 }
 
 model::PlatformProfile
@@ -78,11 +101,24 @@ CostOptimizer::evaluate(const CloudConfig &config) const
     return eval;
 }
 
+std::vector<Evaluation>
+CostOptimizer::evaluateAll(const std::vector<CloudConfig> &configs) const
+{
+    const common::SweepRunner runner(options_.jobs);
+    return runner.map(configs.size(), [&](std::size_t i) {
+        return evaluate(configs[i]);
+    });
+}
+
 Evaluation
 CostOptimizer::optimize() const
 {
-    Evaluation best;
-    best.cost = std::numeric_limits<double>::infinity();
+    // Enumerate the grid in the canonical (serial) order, fan the
+    // independent evaluations out, then pick the winner by scanning
+    // the committed results in that same order — strict less-than
+    // keeps the first-cheapest tie-breaking identical to the serial
+    // nested loops for any thread count.
+    std::vector<CloudConfig> candidates;
     for (int vcpus : options_.vcpuChoices) {
         for (CloudDiskType hdfs_type : options_.hdfsTypes) {
             for (CloudDiskType local_type : options_.localTypes) {
@@ -95,13 +131,17 @@ CostOptimizer::optimize() const
                         config.hdfsSize = hdfs_size;
                         config.localType = local_type;
                         config.localSize = local_size;
-                        const Evaluation eval = evaluate(config);
-                        if (eval.cost < best.cost)
-                            best = eval;
+                        candidates.push_back(config);
                     }
                 }
             }
         }
+    }
+    Evaluation best;
+    best.cost = std::numeric_limits<double>::infinity();
+    for (const Evaluation &eval : evaluateAll(candidates)) {
+        if (eval.cost < best.cost)
+            best = eval;
     }
     return best;
 }
@@ -110,26 +150,20 @@ std::vector<Evaluation>
 CostOptimizer::sweepLocalSize(CloudConfig base,
                               const std::vector<Bytes> &sizes) const
 {
-    std::vector<Evaluation> result;
-    result.reserve(sizes.size());
-    for (Bytes size : sizes) {
-        base.localSize = size;
-        result.push_back(evaluate(base));
-    }
-    return result;
+    std::vector<CloudConfig> configs(sizes.size(), base);
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        configs[i].localSize = sizes[i];
+    return evaluateAll(configs);
 }
 
 std::vector<Evaluation>
 CostOptimizer::sweepHdfsSize(CloudConfig base,
                              const std::vector<Bytes> &sizes) const
 {
-    std::vector<Evaluation> result;
-    result.reserve(sizes.size());
-    for (Bytes size : sizes) {
-        base.hdfsSize = size;
-        result.push_back(evaluate(base));
-    }
-    return result;
+    std::vector<CloudConfig> configs(sizes.size(), base);
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        configs[i].hdfsSize = sizes[i];
+    return evaluateAll(configs);
 }
 
 } // namespace doppio::cloud

@@ -17,6 +17,8 @@
 #define DOPPIO_CLOUD_OPTIMIZER_H
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -52,13 +54,37 @@ class CostOptimizer
         /** Candidate provisioned sizes; empty = default geometric grid
          *  100 GB .. 8 TB. */
         std::vector<Bytes> sizeGrid;
+        /**
+         * Worker threads for optimize()/sweep*(). Candidates are
+         * evaluated independently and results committed in input
+         * order, so any value returns byte-identical results; 1 (the
+         * default) evaluates inline on the calling thread, 0 uses one
+         * thread per hardware core.
+         */
+        int jobs = 1;
     };
 
     CostOptimizer(model::AppModel appModel, GcpPricing pricing,
                   Options options);
 
+    // Copies share nothing: the table cache is duplicated and the
+    // copy gets its own mutex (the default ops are deleted by it).
+    CostOptimizer(const CostOptimizer &other);
+    CostOptimizer &operator=(const CostOptimizer &other);
+    CostOptimizer(CostOptimizer &&) = default;
+    CostOptimizer &operator=(CostOptimizer &&) = default;
+    ~CostOptimizer() = default;
+
     /** Predict runtime and cost for one configuration. */
     Evaluation evaluate(const CloudConfig &config) const;
+
+    /**
+     * Evaluate every configuration, fanned across Options::jobs
+     * threads, results committed in input order (byte-identical for
+     * any jobs value).
+     */
+    std::vector<Evaluation>
+    evaluateAll(const std::vector<CloudConfig> &configs) const;
 
     /** Exhaustive search; @return the cheapest configuration. */
     Evaluation optimize() const;
@@ -80,7 +106,13 @@ class CostOptimizer
     const GcpPricing &pricing() const { return pricing_; }
 
   private:
-    /** Cached effective-bandwidth tables per provisioned disk. */
+    /**
+     * Cached effective-bandwidth tables per provisioned disk.
+     * Thread-safe: concurrent fills of the same key race benignly
+     * (the FioProfiler sweep is deterministic, the first insert wins)
+     * and std::map nodes are stable, so the returned reference
+     * outlives later inserts.
+     */
     const std::pair<LookupTable, LookupTable> &
     tablesFor(CloudDiskType type, Bytes size) const;
 
@@ -89,6 +121,10 @@ class CostOptimizer
     model::AppModel app_;
     GcpPricing pricing_;
     Options options_;
+    // Behind a unique_ptr so the optimizer stays movable (Advisor
+    // takes one by value).
+    mutable std::unique_ptr<std::mutex> tableCacheMutex_ =
+        std::make_unique<std::mutex>();
     mutable std::map<std::pair<int, Bytes>,
                      std::pair<LookupTable, LookupTable>>
         tableCache_;

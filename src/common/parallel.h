@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic fork-join sweep executor.
+ *
+ * SweepRunner fans N independent evaluations across a fixed pool of
+ * worker threads and commits every result at its input index, so the
+ * output is byte-identical for ANY thread count — including 1, which
+ * runs inline on the calling thread with no pool at all and therefore
+ * reproduces the serial behaviour exactly (DESIGN.md §11).
+ *
+ * There is deliberately no work stealing and no completion-order
+ * dependence: workers claim indices from a single atomic counter, and
+ * the only thing that varies with the thread count is wall-clock time.
+ * Tasks must be independent (no ordering side effects between them);
+ * shared read-mostly caches behind a mutex are fine as long as a
+ * cache fill is idempotent and value-deterministic.
+ *
+ * Exceptions thrown by a task are captured and the first one (by
+ * input index, so again deterministic) is rethrown on the caller's
+ * thread after the sweep drains.
+ */
+
+#ifndef DOPPIO_COMMON_PARALLEL_H
+#define DOPPIO_COMMON_PARALLEL_H
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace doppio::common {
+
+/** Deterministic parallel map over an index space. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param jobs worker count; 1 = inline serial execution, 0 = one
+     *             per hardware thread (at least 1).
+     */
+    explicit SweepRunner(int jobs = 0) : jobs_(resolveJobs(jobs)) {}
+
+    /** @return the resolved worker count. */
+    int jobs() const { return jobs_; }
+
+    /** @return 0-resolved default: one job per hardware thread. */
+    static int
+    hardwareJobs()
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<int>(hw);
+    }
+
+    /**
+     * Evaluate @p fn(i) for i in [0, n) and return the results in
+     * input order. @p fn must be invocable concurrently from multiple
+     * threads when jobs > 1.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn &&fn) const
+        -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        using R = decltype(fn(std::size_t{0}));
+        std::vector<R> results(n);
+        forEach(n, [&](std::size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+    /**
+     * Run @p fn(i) for i in [0, n). Results must be committed by the
+     * task itself (e.g. into a pre-sized vector at index i).
+     */
+    template <typename Fn>
+    void
+    forEach(std::size_t n, Fn &&fn) const
+    {
+        if (n == 0)
+            return;
+        if (jobs_ == 1 || n == 1) {
+            // Serial reference path: the calling thread, in order.
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        std::atomic<std::size_t> next{0};
+        std::vector<std::exception_ptr> errors(n);
+        auto worker = [&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        };
+        const std::size_t spawn =
+            std::min(static_cast<std::size_t>(jobs_), n) - 1;
+        std::vector<std::thread> pool;
+        pool.reserve(spawn);
+        for (std::size_t t = 0; t < spawn; ++t)
+            pool.emplace_back(worker);
+        worker(); // the calling thread participates
+        for (std::thread &thread : pool)
+            thread.join();
+        for (std::exception_ptr &error : errors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
+    }
+
+  private:
+    static int
+    resolveJobs(int jobs)
+    {
+        if (jobs < 0)
+            jobs = 1;
+        return jobs == 0 ? hardwareJobs() : jobs;
+    }
+
+    int jobs_;
+};
+
+} // namespace doppio::common
+
+#endif // DOPPIO_COMMON_PARALLEL_H

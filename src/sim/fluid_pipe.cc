@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "common/logging.h"
 
@@ -77,41 +76,51 @@ FluidPipe::advance()
 void
 FluidPipe::rebalance()
 {
-    if (completionPending_) {
-        sim_.cancel(completionEvent_);
-        completionPending_ = false;
-    }
-    if (flows_.empty())
+    if (flows_.empty()) {
+        if (completionPending_) {
+            sim_.cancel(completionEvent_);
+            completionPending_ = false;
+        }
         return;
+    }
 
     // Progressive filling: capped flows that cannot absorb the fair
-    // share release bandwidth to the rest.
-    std::vector<Flow *> unallocated;
-    unallocated.reserve(flows_.size());
+    // share release bandwidth to the rest. Allocated flows are marked
+    // by nulling their scratch entry instead of erased from the list,
+    // so a round costs O(n) instead of O(n^2) of vector shifting —
+    // the arithmetic (round-global fair share, flow visit order,
+    // budget subtraction order) is exactly the reference solver's, so
+    // every rate comes out bit-for-bit identical.
+    scratch_.clear();
+    scratch_.reserve(flows_.size());
     for (auto &[id, flow] : flows_)
-        unallocated.push_back(&flow);
+        scratch_.push_back(&flow);
     double budget = capacity_;
+    std::size_t unallocated = scratch_.size();
     bool changed = true;
-    while (!unallocated.empty() && changed) {
+    while (unallocated > 0 && changed) {
         changed = false;
-        const double fair = budget / static_cast<double>(
-            unallocated.size());
-        for (auto it = unallocated.begin(); it != unallocated.end();) {
-            if ((*it)->cap <= fair) {
-                (*it)->rate = (*it)->cap;
-                budget -= (*it)->cap;
-                it = unallocated.erase(it);
+        const double fair =
+            budget / static_cast<double>(unallocated);
+        for (Flow *&entry : scratch_) {
+            if (entry == nullptr)
+                continue;
+            if (entry->cap <= fair) {
+                entry->rate = entry->cap;
+                budget -= entry->cap;
+                entry = nullptr;
+                --unallocated;
                 changed = true;
-            } else {
-                ++it;
             }
         }
     }
-    if (!unallocated.empty()) {
-        const double fair = budget / static_cast<double>(
-            unallocated.size());
-        for (Flow *flow : unallocated)
-            flow->rate = fair;
+    if (unallocated > 0) {
+        const double fair =
+            budget / static_cast<double>(unallocated);
+        for (Flow *entry : scratch_) {
+            if (entry != nullptr)
+                entry->rate = fair;
+        }
     }
 
     // Next membership change: the earliest flow completion.
@@ -125,7 +134,20 @@ FluidPipe::rebalance()
     }
     const Tick delay = static_cast<Tick>(
         std::ceil(min_dt * static_cast<double>(kTicksPerSec)));
+    const Tick when = sim_.now() + delay;
+    if (completionPending_ && when == completionWhen_ &&
+        sim_.scheduledEvents() == completionSeq_) {
+        // The already-scheduled completion lands on the same tick and
+        // is still the newest event in the simulator, so re-scheduling
+        // it could not change the firing order of anything — elide the
+        // cancel/schedule pair (DESIGN.md §11).
+        return;
+    }
+    if (completionPending_)
+        sim_.cancel(completionEvent_);
     completionEvent_ = sim_.schedule(delay, [this] { onCompletion(); });
+    completionWhen_ = when;
+    completionSeq_ = sim_.scheduledEvents();
     completionPending_ = true;
 }
 

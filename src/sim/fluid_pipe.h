@@ -7,6 +7,13 @@
  * when flow membership changes, which keeps large shuffles cheap to
  * simulate while capturing bandwidth contention exactly — the effect the
  * Doppio model's BW/b terms describe.
+ *
+ * Hot-path notes (DESIGN.md §11): progressive filling marks allocated
+ * flows in a reused scratch list instead of erasing them from a
+ * temporary vector (O(rounds * n), not O(n^2), with bit-identical
+ * arithmetic), and the completion event is only re-scheduled when
+ * doing so could change the simulation — same-tick re-schedules of
+ * the newest event are elided.
  */
 
 #ifndef DOPPIO_SIM_FLUID_PIPE_H
@@ -17,6 +24,7 @@
 #include <limits>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/units.h"
 #include "sim/simulator.h"
@@ -93,9 +101,12 @@ class FluidPipe
     BytesPerSec capacity_;
     std::string name_;
     std::unordered_map<FlowId, Flow> flows_;
+    std::vector<Flow *> scratch_; //!< reused progressive-filling list
     FlowId nextFlowId_ = 1;
     Tick lastUpdate_ = 0;
     EventId completionEvent_ = 0;
+    Tick completionWhen_ = 0;          //!< tick of the pending event
+    std::uint64_t completionSeq_ = 0;  //!< scheduledEvents() after it
     bool completionPending_ = false;
     Bytes bytesCompleted_ = 0;
     Tick busyTime_ = 0;

@@ -1,46 +1,97 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace doppio::sim {
 
+std::uint32_t
+Simulator::acquireSlot()
+{
+    if (!free_.empty()) {
+        const std::uint32_t slot = free_.back();
+        free_.pop_back();
+        return slot;
+    }
+    if (pool_.size() > kSlotMask)
+        panic("Simulator: more than %llu concurrent pending events",
+              static_cast<unsigned long long>(kSlotMask));
+    pool_.emplace_back();
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
 EventId
-Simulator::schedule(Tick delay, std::function<void()> fn)
+Simulator::schedule(Tick delay, EventFn fn)
 {
     return scheduleAt(now_ + delay, std::move(fn));
 }
 
 EventId
-Simulator::scheduleAt(Tick when, std::function<void()> fn)
+Simulator::scheduleAt(Tick when, EventFn fn)
 {
     if (when < now_)
         panic("Simulator: scheduling into the past (when=%llu, now=%llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
-    const EventId id = nextId_++;
-    queue_.push(Event{when, id, std::move(fn)});
-    return id;
+    const std::uint32_t slot = acquireSlot();
+    Slot &s = pool_[slot];
+    s.fn = std::move(fn);
+    s.armed = true;
+    const std::uint64_t seq = nextSeq_++;
+    heap_.push_back(HeapItem{when, (seq << kSlotBits) | slot});
+    std::push_heap(heap_.begin(), heap_.end(),
+                   std::greater<HeapItem>{});
+    ++live_;
+    return (s.gen << kSlotBits) | slot;
 }
 
 void
 Simulator::cancel(EventId id)
 {
-    cancelled_.insert(id);
+    const std::uint64_t slot = id & kSlotMask;
+    if (slot >= pool_.size())
+        return; // unknown id: no-op
+    Slot &s = pool_[slot];
+    if (!s.armed || s.gen != (id >> kSlotBits))
+        return; // already fired, already cancelled, or a reused slot
+    // Disarm only; the callback is destroyed when the heap entry pops,
+    // matching the lifetime the heap-owned representation had.
+    s.armed = false;
+    --live_;
+}
+
+EventFn
+Simulator::popTop(bool &fire)
+{
+    const HeapItem top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(),
+                  std::greater<HeapItem>{});
+    heap_.pop_back();
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(top.key & kSlotMask);
+    Slot &s = pool_[slot];
+    fire = s.armed;
+    EventFn fn = std::move(s.fn);
+    s.armed = false;
+    ++s.gen;
+    free_.push_back(slot);
+    return fn;
 }
 
 bool
 Simulator::runOneEvent()
 {
-    while (!queue_.empty()) {
-        Event ev = queue_.top();
-        queue_.pop();
-        if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-            cancelled_.erase(it);
-            continue;
-        }
-        now_ = ev.when;
+    while (!heap_.empty()) {
+        const Tick when = heap_.front().when;
+        bool fire = false;
+        EventFn fn = popTop(fire);
+        if (!fire)
+            continue; // cancelled: slot released, move on
+        now_ = when;
         ++fired_;
-        ev.fn();
+        --live_;
+        fn();
         return true;
     }
     return false;
@@ -57,24 +108,29 @@ Simulator::run()
 Tick
 Simulator::runUntil(Tick deadline)
 {
-    while (!queue_.empty()) {
-        if (queue_.top().when > deadline)
-            break;
+    while (!heap_.empty()) {
+        const HeapItem top = heap_.front();
+        if (!pool_[top.key & kSlotMask].armed) {
+            // Cancelled head entry: release it without letting
+            // runOneEvent() race past the deadline to the next live
+            // event.
+            bool fire = false;
+            popTop(fire);
+            continue;
+        }
+        if (top.when > deadline) {
+            // Events remain beyond the deadline: the interval
+            // [now_, deadline] is fully simulated, so the clock
+            // advances to the deadline.
+            now_ = std::max(now_, deadline);
+            return now_;
+        }
         runOneEvent();
     }
-    if (now_ < deadline && queue_.empty())
-        return now_;
-    now_ = std::max(now_, std::min(deadline, now_));
+    // Queue drained inside the window: the whole interval is
+    // simulated, so the clock still advances to the deadline.
+    now_ = std::max(now_, deadline);
     return now_;
-}
-
-std::size_t
-Simulator::pendingEvents() const
-{
-    // Cancelled events still sit in the heap until popped.
-    return queue_.size() >= cancelled_.size()
-               ? queue_.size() - cancelled_.size()
-               : 0;
 }
 
 } // namespace doppio::sim

@@ -2,19 +2,31 @@
  * @file
  * Discrete-event simulation core.
  *
- * A Simulator owns a tick clock and a priority queue of events. Model
+ * A Simulator owns a tick clock and a binary heap of events. Model
  * components (disks, network pipes, executors, schedulers) schedule
  * callbacks; run() drains the queue in (tick, insertion-order) order so
  * simulations are fully deterministic.
+ *
+ * Hot-path design (DESIGN.md §11): callbacks live in a pooled slot
+ * array recycled through a freelist, so firing an event moves the
+ * callback out of its slot instead of copying it out of the heap, and
+ * the heap itself holds 16-byte plain-old-data entries. Callbacks are
+ * stored as EventFn — a move-only callable with 48 bytes of inline
+ * storage, so typical engine closures (a this-pointer plus a few ids
+ * and byte counts) never touch the allocator. Cancellation is an O(1)
+ * generation-checked disarm — no tombstone set to hash into on every
+ * pop — and cancelling an already-fired or unknown id is a guaranteed
+ * no-op.
  */
 
 #ifndef DOPPIO_SIM_SIMULATOR_H
 #define DOPPIO_SIM_SIMULATOR_H
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -23,6 +35,143 @@ namespace doppio::sim {
 
 /** Handle used to cancel a scheduled event. */
 using EventId = std::uint64_t;
+
+/**
+ * Move-only `void()` callable with inline storage for small closures.
+ *
+ * Closures up to kInlineBytes live inside the object (no allocation
+ * on schedule, no allocation on fire); larger ones fall back to a
+ * single heap cell whose ownership moves with the EventFn. This is
+ * what event callbacks are stored as in the simulator's slot pool —
+ * any callable converts implicitly, so call sites just pass lambdas.
+ */
+class EventFn
+{
+  public:
+    static constexpr std::size_t kInlineBytes = 48;
+
+    EventFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn>>>
+    EventFn(F &&f) // NOLINT: implicit by design, like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &OpsFor<Fn, true>::ops;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) =
+                new Fn(std::forward<F>(f));
+            ops_ = &OpsFor<Fn, false>::ops;
+        }
+    }
+
+    EventFn(EventFn &&other) noexcept { moveFrom(other); }
+
+    EventFn &
+    operator=(EventFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->call(buf_);
+    }
+
+    /** Destroy the held callable (no-op when empty). */
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*call)(void *);
+        void (*destroy)(void *);
+        /** Move-construct dst's representation from src, destroy src. */
+        void (*relocate)(void *dst, void *src);
+    };
+
+    template <typename Fn, bool Inline> struct OpsFor;
+
+    template <typename Fn> struct OpsFor<Fn, true>
+    {
+        static void
+        call(void *p)
+        {
+            (*std::launder(reinterpret_cast<Fn *>(p)))();
+        }
+        static void
+        destroy(void *p)
+        {
+            std::launder(reinterpret_cast<Fn *>(p))->~Fn();
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            Fn *from = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        }
+        static constexpr Ops ops = {&call, &destroy, &relocate};
+    };
+
+    template <typename Fn> struct OpsFor<Fn, false>
+    {
+        static void
+        call(void *p)
+        {
+            (**reinterpret_cast<Fn **>(p))();
+        }
+        static void
+        destroy(void *p)
+        {
+            delete *reinterpret_cast<Fn **>(p);
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        }
+        static constexpr Ops ops = {&call, &destroy, &relocate};
+    };
+
+    void
+    moveFrom(EventFn &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
 
 /**
  * The event loop. Events at equal ticks fire in scheduling order.
@@ -41,12 +190,15 @@ class Simulator
      * Schedule @p fn to run @p delay ticks from now.
      * @return an id usable with cancel().
      */
-    EventId schedule(Tick delay, std::function<void()> fn);
+    EventId schedule(Tick delay, EventFn fn);
 
     /** Schedule @p fn at absolute tick @p when (must be >= now()). */
-    EventId scheduleAt(Tick when, std::function<void()> fn);
+    EventId scheduleAt(Tick when, EventFn fn);
 
-    /** Cancel a pending event; cancelling a fired event is a no-op. */
+    /**
+     * Cancel a pending event. Cancelling an event that already fired,
+     * was already cancelled, or never existed is a no-op.
+     */
     void cancel(EventId id);
 
     /** Run until the event queue is empty. @return final tick. */
@@ -54,7 +206,10 @@ class Simulator
 
     /**
      * Run until the queue is empty or @p deadline is reached (events at
-     * the deadline tick still fire). @return final tick.
+     * the deadline tick still fire). When events remain beyond the
+     * deadline the clock advances to exactly @p deadline; when the
+     * queue drains first the clock stays at the last fired event.
+     * @return final tick.
      */
     Tick runUntil(Tick deadline);
 
@@ -62,34 +217,64 @@ class Simulator
     bool runOneEvent();
 
     /** @return number of pending (non-cancelled) events. */
-    std::size_t pendingEvents() const;
+    std::size_t pendingEvents() const { return live_; }
 
     /** @return total number of events fired since construction. */
     std::uint64_t firedEvents() const { return fired_; }
 
+    /**
+     * @return total number of schedule()/scheduleAt() calls so far.
+     * Components can use this to detect whether an event they just
+     * scheduled is still the newest one (see FluidPipe's reschedule
+     * elision).
+     */
+    std::uint64_t scheduledEvents() const { return nextSeq_ - 1; }
+
   private:
-    struct Event
+    /// EventId layout: [ generation : 40 | slot : 24 ].
+    static constexpr unsigned kSlotBits = 24;
+    static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+
+    /** Pooled callback storage, recycled via free_. */
+    struct Slot
+    {
+        EventFn fn;
+        std::uint64_t gen = 1; //!< bumped on release; validates ids
+        bool armed = false;    //!< false once fired or cancelled
+    };
+
+    /**
+     * Heap entry: 16 bytes, trivially copyable. @c key packs the
+     * scheduling sequence number (high 40 bits) over the slot index
+     * (low 24 bits), so comparing (when, key) yields the exact
+     * (tick, insertion-order) total order.
+     */
+    struct HeapItem
     {
         Tick when;
-        EventId id;
-        std::function<void()> fn;
+        std::uint64_t key;
 
         bool
-        operator>(const Event &other) const
+        operator>(const HeapItem &other) const
         {
-            // Min-heap: earlier tick first, then FIFO by id.
             if (when != other.when)
                 return when > other.when;
-            return id > other.id;
+            return key > other.key;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        queue_;
-    std::unordered_set<EventId> cancelled_;
+    std::uint32_t acquireSlot();
+
+    /** Pop the heap head, release its slot; @p fire = was it live. */
+    EventFn popTop(bool &fire);
+
+    std::vector<HeapItem> heap_;      //!< min-heap via std::*_heap
+    std::vector<Slot> pool_;
+    std::vector<std::uint32_t> free_; //!< recycled slot indices
     Tick now_ = 0;
-    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
     std::uint64_t fired_ = 0;
+    std::size_t live_ = 0;
 };
 
 } // namespace doppio::sim

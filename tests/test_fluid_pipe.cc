@@ -3,6 +3,11 @@
  * Unit tests for the fair-shared fluid pipe.
  */
 
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -194,6 +199,171 @@ TEST_P(FluidPipeFairness, EqualFlowsFinishTogether)
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FluidPipeFairness,
                          ::testing::Values(1, 2, 3, 7, 16, 64));
+
+/**
+ * Reference progressive-filling solver: the pre-§11 algorithm that
+ * copies the flow list into a temporary vector and ERASES each capped
+ * entry (O(n^2)). The production rebalance marks entries instead; the
+ * two must agree bit-for-bit on every rate, because the round-global
+ * fair share, the visit order and the budget subtraction order are
+ * identical — only the container bookkeeping differs.
+ */
+std::vector<double>
+referenceFill(double capacity, const std::vector<double> &caps)
+{
+    struct Entry
+    {
+        double cap;
+        std::size_t index;
+    };
+    std::vector<double> rates(caps.size(), 0.0);
+    std::vector<Entry> pending;
+    for (std::size_t i = 0; i < caps.size(); ++i)
+        pending.push_back({caps[i], i});
+    double budget = capacity;
+    bool changed = true;
+    while (!pending.empty() && changed) {
+        changed = false;
+        const double fair =
+            budget / static_cast<double>(pending.size());
+        for (auto it = pending.begin(); it != pending.end();) {
+            if (it->cap <= fair) {
+                rates[it->index] = it->cap;
+                budget -= it->cap;
+                it = pending.erase(it);
+                changed = true;
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (!pending.empty()) {
+        const double fair =
+            budget / static_cast<double>(pending.size());
+        for (const Entry &entry : pending)
+            rates[entry.index] = fair;
+    }
+    return rates;
+}
+
+/** The production marking algorithm, lifted verbatim over plain data. */
+std::vector<double>
+markingFill(double capacity, const std::vector<double> &caps)
+{
+    std::vector<double> rates(caps.size(), 0.0);
+    std::vector<const double *> scratch;
+    scratch.reserve(caps.size());
+    for (const double &cap : caps)
+        scratch.push_back(&cap);
+    double budget = capacity;
+    std::size_t unallocated = scratch.size();
+    bool changed = true;
+    while (unallocated > 0 && changed) {
+        changed = false;
+        const double fair =
+            budget / static_cast<double>(unallocated);
+        for (const double *&entry : scratch) {
+            if (entry == nullptr)
+                continue;
+            if (*entry <= fair) {
+                rates[static_cast<std::size_t>(entry - caps.data())] =
+                    *entry;
+                budget -= *entry;
+                entry = nullptr;
+                --unallocated;
+                changed = true;
+            }
+        }
+    }
+    if (unallocated > 0) {
+        const double fair =
+            budget / static_cast<double>(unallocated);
+        for (const double *entry : scratch) {
+            if (entry != nullptr)
+                rates[static_cast<std::size_t>(entry - caps.data())] =
+                    fair;
+        }
+    }
+    return rates;
+}
+
+TEST(FluidPipe, MarkingFillMatchesEraseFillBitForBit)
+{
+    std::mt19937_64 rng(0xF10D5u);
+    for (int round = 0; round < 200; ++round) {
+        const std::size_t n = 1 + rng() % 5000;
+        std::vector<double> caps(n);
+        for (double &cap : caps) {
+            // Mix tight caps, loose caps and uncapped flows.
+            const std::uint64_t kind = rng() % 3;
+            if (kind == 0)
+                cap = std::numeric_limits<double>::infinity();
+            else if (kind == 1)
+                cap = 1.0 + static_cast<double>(rng() % 1000);
+            else
+                cap = 1e5 + static_cast<double>(rng() % 100000);
+        }
+        const double capacity =
+            1e5 + static_cast<double>(rng() % 1000000);
+        const std::vector<double> expected =
+            referenceFill(capacity, caps);
+        const std::vector<double> actual = markingFill(capacity, caps);
+        ASSERT_EQ(actual.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            // Bit-for-bit, not approximately: memcmp via ==.
+            ASSERT_EQ(actual[i], expected[i])
+                << "round " << round << " flow " << i;
+        }
+    }
+}
+
+/**
+ * Determinism stress (DESIGN.md §11): 5000 concurrent flows with
+ * random sizes and caps, churned through completions. Two identical
+ * pipes driven by identical schedules must produce identical
+ * completion tick sequences, and conservation must hold.
+ */
+TEST(FluidPipe, FiveThousandFlowStressIsDeterministic)
+{
+    auto run = [](std::vector<std::pair<Tick, Bytes>> *out) {
+        Simulator sim;
+        FluidPipe pipe(sim, 1e9, "stress");
+        std::mt19937_64 rng(0x5EEDu);
+        std::uint64_t started = 0;
+        std::function<void()> completion;
+        Bytes total_bytes = 0;
+        auto launch = [&] {
+            const Bytes bytes = 100 * 1000 + rng() % 2000000;
+            const double cap =
+                (rng() % 4 == 0)
+                    ? 1e6 + static_cast<double>(rng() % 1000000)
+                    : std::numeric_limits<double>::infinity();
+            total_bytes += bytes;
+            ++started;
+            pipe.startFlow(bytes, completion, cap);
+        };
+        completion = [&] {
+            out->emplace_back(sim.now(), pipe.bytesCompleted());
+            if (started < 7000)
+                launch();
+        };
+        for (int i = 0; i < 5000; ++i)
+            launch();
+        sim.run();
+        return total_bytes;
+    };
+    std::vector<std::pair<Tick, Bytes>> first, second;
+    const Bytes bytes_a = run(&first);
+    const Bytes bytes_b = run(&second);
+    EXPECT_EQ(bytes_a, bytes_b);
+    EXPECT_EQ(first.size(), 7000u);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_EQ(first[i].first, second[i].first) << "completion " << i;
+        ASSERT_EQ(first[i].second, second[i].second)
+            << "completion " << i;
+    }
+}
 
 } // namespace
 } // namespace doppio::sim

@@ -184,5 +184,62 @@ TEST(Optimizer, InvalidOptionsFatal)
                  FatalError);
 }
 
+TEST(Optimizer, ParallelJobsAreByteIdenticalToSerial)
+{
+    // The whole search space on a reduced grid, serial vs threaded:
+    // every evaluation and the winner must agree exactly (the sweep
+    // commits results in input order, DESIGN.md §11).
+    auto search = [](int jobs) {
+        CostOptimizer::Options options;
+        options.sizeGrid = {250 * kGB, 1000 * kGB, 4000 * kGB};
+        options.jobs = jobs;
+        return CostOptimizer(syntheticApp(), GcpPricing{}, options);
+    };
+    const CostOptimizer serial = search(1);
+    const Evaluation best_serial = serial.optimize();
+
+    CloudConfig base;
+    base.workers = 10;
+    base.vcpus = 16;
+    base.hdfsSize = 1000 * kGB;
+    base.localSize = 2000 * kGB;
+    const std::vector<Bytes> sizes = {200 * kGB, 800 * kGB,
+                                      3200 * kGB};
+    const auto sweep_serial = serial.sweepLocalSize(base, sizes);
+
+    for (int jobs : {2, 4, 8}) {
+        const CostOptimizer threaded = search(jobs);
+        const Evaluation best = threaded.optimize();
+        EXPECT_EQ(best.config.describe(),
+                  best_serial.config.describe());
+        EXPECT_EQ(best.seconds, best_serial.seconds);
+        EXPECT_EQ(best.cost, best_serial.cost);
+
+        const auto sweep = threaded.sweepLocalSize(base, sizes);
+        ASSERT_EQ(sweep.size(), sweep_serial.size());
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            EXPECT_EQ(sweep[i].seconds, sweep_serial[i].seconds);
+            EXPECT_EQ(sweep[i].cost, sweep_serial[i].cost);
+        }
+    }
+}
+
+TEST(Optimizer, CopiesAreIndependent)
+{
+    // The fio-table cache moved behind a mutex+unique_ptr; copying
+    // must deep-copy the cache and still work standalone.
+    const CostOptimizer original = makeOptimizer();
+    CloudConfig config;
+    config.workers = 10;
+    config.vcpus = 16;
+    config.hdfsSize = 1000 * kGB;
+    config.localSize = 2000 * kGB;
+    const Evaluation before = original.evaluate(config);
+    const CostOptimizer copy = original; // after the cache is warm
+    const Evaluation after = copy.evaluate(config);
+    EXPECT_EQ(before.seconds, after.seconds);
+    EXPECT_EQ(before.cost, after.cost);
+}
+
 } // namespace
 } // namespace doppio::cloud

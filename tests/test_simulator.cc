@@ -3,6 +3,10 @@
  * Unit tests for the discrete-event core.
  */
 
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -130,6 +134,98 @@ TEST(Simulator, FiredEventsCounter)
     EXPECT_EQ(sim.firedEvents(), 5ULL);
 }
 
+TEST(Simulator, CancelAfterFiringIsANoOp)
+{
+    Simulator sim;
+    const EventId id = sim.schedule(5, [] {});
+    sim.schedule(10, [] {});
+    EXPECT_TRUE(sim.runOneEvent());
+    // Regression: cancelling an already-fired event used to enter a
+    // tombstone that never matched a queue entry, so pendingEvents()
+    // under-counted forever after.
+    sim.cancel(id);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run();
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    EXPECT_EQ(sim.firedEvents(), 2ULL);
+}
+
+TEST(Simulator, CancelUnknownIdIsANoOp)
+{
+    Simulator sim;
+    sim.schedule(5, [] {});
+    sim.cancel(0);                  // never a valid id
+    sim.cancel(0xdeadbeefULL << 24); // plausible-looking, never issued
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run();
+    EXPECT_EQ(sim.firedEvents(), 1ULL);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce)
+{
+    Simulator sim;
+    sim.schedule(1, [] {});
+    const EventId id = sim.schedule(2, [] {});
+    sim.cancel(id);
+    sim.cancel(id);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run();
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, CancelledSlotReuseGetsFreshId)
+{
+    Simulator sim;
+    // Exhaust and recycle a slot: the recycled id must not alias the
+    // cancelled one (generation bump).
+    const EventId a = sim.schedule(5, [] {});
+    sim.cancel(a);
+    sim.run(); // releases the cancelled slot
+    bool fired = false;
+    const EventId b = sim.schedule(5, [&] { fired = true; });
+    EXPECT_NE(a, b);
+    sim.cancel(a); // stale id: must not touch the new event
+    sim.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadline)
+{
+    Simulator sim;
+    sim.schedule(100, [] {});
+    // Regression: with events still pending beyond the deadline, the
+    // clock used to stay put instead of advancing to the deadline.
+    EXPECT_EQ(sim.runUntil(40), 40ULL);
+    EXPECT_EQ(sim.now(), 40ULL);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    // A later runUntil with an earlier deadline never rewinds.
+    EXPECT_EQ(sim.runUntil(30), 40ULL);
+    sim.run();
+    EXPECT_EQ(sim.now(), 100ULL);
+}
+
+TEST(Simulator, RunUntilEmptyQueueAdvancesClock)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.runUntil(25), 25ULL);
+    EXPECT_EQ(sim.now(), 25ULL);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHeadAtDeadline)
+{
+    Simulator sim;
+    int count = 0;
+    const EventId id = sim.schedule(10, [&] { ++count; });
+    sim.schedule(50, [&] { ++count; });
+    sim.cancel(id);
+    // The cancelled head is inside the window; the next live event is
+    // beyond it and must NOT fire.
+    EXPECT_EQ(sim.runUntil(20), 20ULL);
+    EXPECT_EQ(count, 0);
+    sim.run();
+    EXPECT_EQ(count, 1);
+}
+
 TEST(Simulator, ManyEventsStressOrdering)
 {
     Simulator sim;
@@ -146,6 +242,71 @@ TEST(Simulator, ManyEventsStressOrdering)
     }
     sim.run();
     EXPECT_TRUE(monotone);
+}
+
+/**
+ * Determinism stress (DESIGN.md §11): 50k random schedule / cancel /
+ * run-one interleavings must fire in exactly the (tick,
+ * insertion-order) sequence a reference model predicts, regardless of
+ * slot reuse, heap layout or cancellation pattern.
+ */
+TEST(Simulator, RandomScheduleCancelStressMatchesReference)
+{
+    Simulator sim;
+    std::mt19937_64 rng(0xD0FF10u);
+
+    struct Ref
+    {
+        Tick when;
+        std::size_t tag; //!< insertion order (the FIFO tie-break)
+    };
+    std::vector<Ref> reference;      // every event ever scheduled
+    std::vector<char> cancelled;     // by tag
+    std::vector<char> fired_flag;    // by tag
+    std::vector<std::size_t> fired;  // observed firing order
+    std::vector<std::pair<EventId, std::size_t>> ids; // id -> tag
+
+    for (int op = 0; op < 50'000; ++op) {
+        const std::uint64_t roll = rng() % 100;
+        if (roll < 70 || ids.empty()) {
+            // Schedule strictly in the future so the reference order
+            // is a pure (when, insertion) sort.
+            const Tick when = sim.now() + 1 + rng() % 1000;
+            const std::size_t tag = reference.size();
+            const EventId id = sim.scheduleAt(when, [&, tag] {
+                fired.push_back(tag);
+                fired_flag[tag] = 1;
+            });
+            reference.push_back({when, tag});
+            cancelled.push_back(0);
+            fired_flag.push_back(0);
+            ids.emplace_back(id, tag);
+        } else if (roll < 90) {
+            // Cancel a random event; cancelling one that already
+            // fired or was already cancelled must be a no-op.
+            const auto &[id, tag] = ids[rng() % ids.size()];
+            sim.cancel(id);
+            if (!fired_flag[tag])
+                cancelled[tag] = 1;
+        } else {
+            sim.runOneEvent();
+        }
+    }
+    sim.run();
+
+    std::vector<Ref> expected;
+    for (const Ref &ref : reference) {
+        if (!cancelled[ref.tag])
+            expected.push_back(ref);
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Ref &a, const Ref &b) {
+                         return a.when < b.when;
+                     });
+    ASSERT_EQ(fired.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        ASSERT_EQ(fired[i], expected[i].tag) << "at position " << i;
+    EXPECT_EQ(sim.pendingEvents(), 0u);
 }
 
 } // namespace

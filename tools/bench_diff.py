@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare two perf_core JSON records (see bench/perf_core.cpp).
+
+Usage:
+  tools/bench_diff.py BASELINE.json CURRENT.json
+      Print a per-scenario comparison table. Throughput units
+      (events/s, flows/s) count higher-is-better; wall-clock units
+      (s) count lower-is-better. The "speedup" column is >1 when
+      CURRENT is faster either way.
+
+  tools/bench_diff.py --merge BASELINE.json CURRENT.json [-o OUT.json]
+      Emit the combined baseline record committed as
+      BENCH_perf_core.json: both raw records plus the speedup map.
+
+Exit status is always 0: the harness tracks performance, it does not
+gate on it (timings on shared CI runners are too noisy to fail a
+build over).
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER = {"events/s", "flows/s"}
+
+
+def load(path):
+    with open(path) as fh:
+        record = json.load(fh)
+    if record.get("bench") != "perf_core":
+        sys.exit(f"{path}: not a perf_core record")
+    return record
+
+
+def by_name(record):
+    return {r["name"]: r for r in record["results"]}
+
+
+def speedups(baseline, current):
+    """name -> how much faster CURRENT is (>1 = faster)."""
+    base, cur = by_name(baseline), by_name(current)
+    out = {}
+    for name in base:
+        if name not in cur:
+            continue
+        b, c = base[name], cur[name]
+        if b["unit"] != c["unit"] or not b["value"] or not c["value"]:
+            continue
+        if b["unit"] in HIGHER_IS_BETTER:
+            out[name] = c["value"] / b["value"]
+        else:
+            out[name] = b["value"] / c["value"]
+    return out
+
+
+def fmt(value, unit):
+    return f"{value:,.3f}" if unit == "s" else f"{value:,.0f}"
+
+
+def print_table(baseline, current):
+    base, cur = by_name(baseline), by_name(current)
+    ratios = speedups(baseline, current)
+    rows = [("scenario", "unit", "baseline", "current", "speedup")]
+    for name, b in base.items():
+        c = cur.get(name)
+        rows.append((
+            name,
+            b["unit"],
+            fmt(b["value"], b["unit"]),
+            fmt(c["value"], c["unit"]) if c else "-",
+            f"{ratios[name]:.2f}x" if name in ratios else "-",
+        ))
+    for name in cur:
+        if name not in base:
+            rows.append((name, cur[name]["unit"], "-",
+                         fmt(cur[name]["value"], cur[name]["unit"]), "-"))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for i, row in enumerate(rows):
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare perf_core JSON records")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--merge", action="store_true",
+                        help="emit the combined baseline record")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write merged record here (default stdout)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if args.merge:
+        merged = {
+            "bench": "perf_core",
+            "mode": current.get("mode"),
+            "baseline": baseline,
+            "current": current,
+            "speedup": {k: round(v, 3)
+                        for k, v in speedups(baseline, current).items()},
+        }
+        text = json.dumps(merged, indent=2) + "\n"
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+        else:
+            sys.stdout.write(text)
+    else:
+        print_table(baseline, current)
+
+
+if __name__ == "__main__":
+    main()

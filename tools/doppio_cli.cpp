@@ -457,6 +457,9 @@ cmdOptimize(const Args &args)
     setVerbose(args.has("--verbose"));
     const workloads::Gatk4 gatk4;
     const int workers = args.intValue("--workers", 10, 1, 100000);
+    // 0 = one thread per hardware core. Any value yields byte-identical
+    // output; --jobs 1 evaluates the grid inline (serial behaviour).
+    const int jobs = args.intValue("--jobs", 0, 0, 1024);
     args.rejectUnknown("optimize");
     constexpr Bytes kGB = 1000ULL * 1000 * 1000;
 
@@ -482,6 +485,7 @@ cmdOptimize(const Args &args)
 
     cloud::CostOptimizer::Options search;
     search.workers = workers;
+    search.jobs = jobs;
     const cloud::CostOptimizer optimizer(app, cloud::GcpPricing{},
                                          search);
     const cloud::Advisor advisor(optimizer);
@@ -511,7 +515,10 @@ usage()
            "  run <workload> [options]      simulate and print stages\n"
            "  profile <workload> [options]  fit and report the model\n"
            "  fio [--disk hdd|ssd|nvme]     bandwidth sweep\n"
-           "  optimize [--workers N]        cloud cost optimization\n"
+           "  optimize [--workers N] [--jobs J]\n"
+           "                                cloud cost optimization\n"
+           "                                (J threads, 0 = all cores;\n"
+           "                                output identical for any J)\n"
            "options: --nodes N --cores P --hdfs T --local T\n"
            "         --local-disks K --speculate --verbose\n"
            "         --trace FILE               per-task CSV trace\n"
