@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Extension bench: multi-tenant scheduling and streaming stability.
+ *
+ * The paper models one job owning the cluster; production clusters run
+ * many. Three experiments measure what sharing costs on a small bench
+ * cluster (3 slaves, P=8), every number taken from the deterministic
+ * simulation so the record reproduces bit-for-bit:
+ *
+ * 1. Arrival-rate sweep: one LR micro-batch stream, arrival rate
+ *    lambda swept across the stability boundary. Reports per-batch
+ *    p50/p99 latency, drops and backlog, and the knee — the largest
+ *    lambda the cluster sustains without backpressure drops. The
+ *    boundary must be monotone: every rate below the knee is stable,
+ *    every rate above it is not.
+ * 2. Tenant-count sweep: N identical streams in one FAIR pool at a
+ *    fixed lambda. Reports the worst tenant's p50/p99 and the
+ *    slowdown against the isolated (N=1) run.
+ * 3. Shared-cluster mix: LR-small (batch) next to one stream, each in
+ *    its own FAIR pool. Reports the batch tenant's slowdown against
+ *    running alone and the stream's p99 against running alone.
+ *
+ * Flags: --smoke shrinks the sweeps to CI size, --jobs N parallelizes
+ * the sweep points (byte-identical output for any N), --json FILE
+ * writes the machine-readable BENCH_multitenant.json record.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sched/jobs_spec.h"
+#include "workloads/multi_tenant.h"
+
+using namespace doppio;
+
+namespace {
+
+/** One reported number (same record shape as perf_core). */
+struct Result
+{
+    std::string name;
+    std::string unit; //!< "batches/s", "s" or "x"
+    double value = 0.0;
+    double seconds = 0.0; //!< simulated makespan of the source run
+};
+
+/** Reference arrival rate present in both smoke and full sweeps. */
+constexpr double kReferenceLambda = 0.2;
+
+cluster::ClusterConfig
+benchCluster()
+{
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::evaluationCluster();
+    config.numSlaves = 3;
+    return config;
+}
+
+spark::SparkConf
+benchConf()
+{
+    spark::SparkConf conf;
+    conf.executorCores = 8;
+    return conf;
+}
+
+sched::PoolConfig
+fairPool(const std::string &name, double weight = 1.0)
+{
+    sched::PoolConfig pool;
+    pool.name = name;
+    pool.fair = true;
+    pool.weight = weight;
+    return pool;
+}
+
+sched::TenantSpec
+streamTenant(double rate, int batches, const std::string &pool)
+{
+    sched::TenantSpec tenant;
+    tenant.kind = sched::TenantSpec::Kind::Stream;
+    tenant.workload = "lr";
+    tenant.pool = pool;
+    tenant.stream.ratePerSec = rate;
+    tenant.stream.batches = batches;
+    tenant.stream.maxBacklog = 4;
+    tenant.stream.sloSeconds = 10.0;
+    return tenant;
+}
+
+workloads::MultiTenantResult
+runSpec(const sched::MultiJobSpec &spec)
+{
+    return workloads::runMultiTenant(spec, benchCluster(),
+                                     benchConf());
+}
+
+std::string
+latency(double seconds)
+{
+    return formatDuration(secondsToTicks(seconds));
+}
+
+void
+lambdaSweep(bool smoke, int jobs, std::vector<Result> &out)
+{
+    const std::vector<double> lambdas =
+        smoke ? std::vector<double>{0.2, 0.8, 3.2}
+              : std::vector<double>{0.1, 0.2, 0.4, 0.8, 1.6, 3.2};
+    const int batches = smoke ? 10 : 40;
+    const common::SweepRunner runner(jobs);
+    const std::vector<workloads::MultiTenantResult> results =
+        runner.map(lambdas.size(), [&](std::size_t i) {
+            sched::MultiJobSpec spec;
+            spec.pools.push_back(fairPool("stream"));
+            spec.tenants.push_back(
+                streamTenant(lambdas[i], batches, "stream"));
+            return runSpec(spec);
+        });
+
+    TablePrinter table(
+        "LR stream vs arrival rate (3 slaves, P=8, backlog 4)");
+    table.setHeader({"lambda (1/s)", "p50", "p99", "dropped",
+                     "peak backlog", "stable"});
+    double knee = 0.0;
+    bool was_unstable = false;
+    bool monotone = true;
+    for (std::size_t i = 0; i < lambdas.size(); ++i) {
+        const spark::StreamingMetrics &s =
+            results[i].tenants.front().streaming;
+        table.addRow({TablePrinter::num(lambdas[i], 2),
+                      latency(s.p50LatencySec),
+                      latency(s.p99LatencySec),
+                      std::to_string(s.dropped),
+                      std::to_string(s.peakBacklog),
+                      s.stable() ? "yes" : "NO"});
+        if (s.stable()) {
+            if (was_unstable)
+                monotone = false;
+            else
+                knee = lambdas[i];
+        } else {
+            was_unstable = true;
+        }
+        if (lambdas[i] == kReferenceLambda) {
+            out.push_back({"stream_p50_solo", "s", s.p50LatencySec,
+                           results[i].seconds});
+            out.push_back({"stream_p99_solo", "s", s.p99LatencySec,
+                           results[i].seconds});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "stability boundary: lambda* = "
+              << TablePrinter::num(knee, 2) << " batches/s"
+              << (monotone ? ""
+                           : "  WARNING: boundary is not monotone")
+              << "\n";
+    out.push_back({"stability_lambda", "batches/s", knee, 0.0});
+}
+
+void
+tenantSweep(bool smoke, int jobs, std::vector<Result> &out)
+{
+    const std::vector<int> counts =
+        smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+    const int batches = smoke ? 10 : 30;
+    const common::SweepRunner runner(jobs);
+    const std::vector<workloads::MultiTenantResult> results =
+        runner.map(counts.size(), [&](std::size_t i) {
+            sched::MultiJobSpec spec;
+            spec.pools.push_back(fairPool("shared"));
+            for (int t = 0; t < counts[i]; ++t)
+                spec.tenants.push_back(streamTenant(
+                    kReferenceLambda, batches, "shared"));
+            return runSpec(spec);
+        });
+
+    // "Worst tenant" keeps the row meaningful as N grows: fairness
+    // bounds the spread, the straggler bounds the SLO.
+    TablePrinter table("N identical LR streams, one FAIR pool, "
+                       "lambda=" +
+                       TablePrinter::num(kReferenceLambda, 2));
+    table.setHeader(
+        {"tenants", "worst p50", "worst p99", "slowdown"});
+    double solo_p50 = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        double p50 = 0.0;
+        double p99 = 0.0;
+        for (const spark::AppMetrics &tenant : results[i].tenants) {
+            p50 = std::max(p50, tenant.streaming.p50LatencySec);
+            p99 = std::max(p99, tenant.streaming.p99LatencySec);
+        }
+        if (counts[i] == 1)
+            solo_p50 = p50;
+        table.addRow(
+            {std::to_string(counts[i]), latency(p50), latency(p99),
+             solo_p50 > 0.0
+                 ? TablePrinter::num(p50 / solo_p50, 2) + "x"
+                 : "-"});
+        if (counts[i] > 1) {
+            out.push_back({"stream_p99_" +
+                               std::to_string(counts[i]) + "tenants",
+                           "s", p99, results[i].seconds});
+        }
+    }
+    table.print(std::cout);
+}
+
+void
+sharedScenario(bool smoke, std::vector<Result> &out)
+{
+    const int batches = smoke ? 8 : 30;
+
+    sched::MultiJobSpec batch_only;
+    batch_only.pools.push_back(fairPool("batch"));
+    sched::TenantSpec batch;
+    batch.workload = "lr-small";
+    batch.pool = "batch";
+    batch_only.tenants.push_back(batch);
+    const workloads::MultiTenantResult iso_batch = runSpec(batch_only);
+
+    sched::MultiJobSpec stream_only;
+    stream_only.pools.push_back(fairPool("stream"));
+    stream_only.tenants.push_back(
+        streamTenant(kReferenceLambda, batches, "stream"));
+    const workloads::MultiTenantResult iso_stream =
+        runSpec(stream_only);
+
+    sched::MultiJobSpec shared;
+    shared.pools.push_back(fairPool("batch"));
+    shared.pools.push_back(fairPool("stream"));
+    shared.tenants.push_back(batch);
+    shared.tenants.push_back(
+        streamTenant(kReferenceLambda, batches, "stream"));
+    const workloads::MultiTenantResult both = runSpec(shared);
+
+    const double iso_done = iso_batch.tenancy.tenants.front().doneSec;
+    const double shared_done = both.tenancy.tenants.front().doneSec;
+    const double slowdown =
+        iso_done > 0.0 ? shared_done / iso_done : 0.0;
+    const double iso_p99 =
+        iso_stream.tenants.front().streaming.p99LatencySec;
+    const double shared_p99 =
+        both.tenants.back().streaming.p99LatencySec;
+
+    TablePrinter table("LR-small next to one LR stream "
+                       "(FAIR pools, equal weight)");
+    table.setHeader({"metric", "isolated", "shared", "ratio"});
+    table.addRow({"batch makespan",
+                  formatDuration(secondsToTicks(iso_done)),
+                  formatDuration(secondsToTicks(shared_done)),
+                  TablePrinter::num(slowdown, 2) + "x"});
+    table.addRow({"stream p99", latency(iso_p99),
+                  latency(shared_p99),
+                  iso_p99 > 0.0
+                      ? TablePrinter::num(shared_p99 / iso_p99, 2) +
+                            "x"
+                      : "-"});
+    table.print(std::cout);
+
+    out.push_back(
+        {"batch_slowdown_shared", "x", slowdown, both.seconds});
+    out.push_back(
+        {"stream_p99_shared", "s", shared_p99, both.seconds});
+}
+
+void
+writeJson(const std::string &path, const std::vector<Result> &results,
+          bool smoke, int jobs)
+{
+    std::ofstream os(path);
+    os.precision(6);
+    os << "{\"bench\":\"multitenant\",\"mode\":\""
+       << (smoke ? "smoke" : "full") << "\",\"jobs\":" << jobs
+       << ",\"results\":[";
+    bool first = true;
+    for (const Result &r : results) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"" << r.name << "\",\"unit\":\"" << r.unit
+           << "\",\"value\":" << r.value
+           << ",\"seconds\":" << r.seconds << "}";
+    }
+    os << "]}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = bench::benchFlag(argc, argv, "--smoke");
+    const int jobs = bench::benchJobs(argc, argv);
+    std::string json_path;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json_path = argv[i + 1];
+    }
+
+    std::vector<Result> results;
+    lambdaSweep(smoke, jobs, results);
+    std::cout << "\n";
+    tenantSweep(smoke, jobs, results);
+    std::cout << "\n";
+    sharedScenario(smoke, results);
+
+    TablePrinter table(std::string("multitenant record (") +
+                       (smoke ? "smoke" : "full") + ")");
+    table.setHeader({"name", "value", "unit"});
+    for (const Result &r : results)
+        table.addRow({r.name, TablePrinter::num(r.value, 3), r.unit});
+    std::cout << "\n";
+    table.print(std::cout);
+
+    if (!json_path.empty()) {
+        writeJson(json_path, results, smoke, jobs);
+        std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+}

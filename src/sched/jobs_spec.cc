@@ -1,0 +1,185 @@
+#include "sched/jobs_spec.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace doppio::sched {
+
+namespace {
+
+/** Split one line into whitespace-separated tokens, dropping the
+ *  `#`-comment tail. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token) {
+        if (token[0] == '#')
+            break;
+        tokens.push_back(token);
+    }
+    return tokens;
+}
+
+/** Split "key=value"; @return true and fills both when '=' present. */
+bool
+keyValue(const std::string &token, std::string &key, std::string &value)
+{
+    const auto eq = token.find('=');
+    if (eq == std::string::npos)
+        return false;
+    key = token.substr(0, eq);
+    value = token.substr(eq + 1);
+    return true;
+}
+
+double
+parseNumber(const std::string &value, int lineNo, const char *what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0' || value.empty())
+        fatal("jobs-spec line %d: %s: not a number: '%s'", lineNo,
+              what, value.c_str());
+    return v;
+}
+
+int
+parseInt(const std::string &value, int lineNo, const char *what)
+{
+    const double v = parseNumber(value, lineNo, what);
+    const int i = static_cast<int>(v);
+    if (static_cast<double>(i) != v)
+        fatal("jobs-spec line %d: %s: not an integer: '%s'", lineNo,
+              what, value.c_str());
+    return i;
+}
+
+} // namespace
+
+MultiJobSpec
+MultiJobSpec::parse(const std::string &text)
+{
+    MultiJobSpec spec;
+    std::istringstream is(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        const std::vector<std::string> tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+        const std::string &directive = tokens[0];
+        if (directive == "pool") {
+            if (tokens.size() < 3)
+                fatal("jobs-spec line %d: pool needs a name and a "
+                      "mode: pool <name> fifo|fair [weight=W] "
+                      "[minshare=N]",
+                      lineNo);
+            PoolConfig pool;
+            pool.name = tokens[1];
+            if (tokens[2] == "fifo")
+                pool.fair = false;
+            else if (tokens[2] == "fair")
+                pool.fair = true;
+            else
+                fatal("jobs-spec line %d: pool mode must be fifo or "
+                      "fair, got '%s'",
+                      lineNo, tokens[2].c_str());
+            for (std::size_t i = 3; i < tokens.size(); ++i) {
+                std::string key, value;
+                if (!keyValue(tokens[i], key, value))
+                    fatal("jobs-spec line %d: unexpected token '%s'",
+                          lineNo, tokens[i].c_str());
+                if (key == "weight")
+                    pool.weight = parseNumber(value, lineNo, "weight");
+                else if (key == "minshare")
+                    pool.minShare = parseInt(value, lineNo, "minshare");
+                else
+                    fatal("jobs-spec line %d: unknown pool option "
+                          "'%s'",
+                          lineNo, key.c_str());
+            }
+            spec.pools.push_back(std::move(pool));
+            continue;
+        }
+        if (directive == "job" || directive == "stream") {
+            if (tokens.size() < 2)
+                fatal("jobs-spec line %d: %s needs a workload name",
+                      lineNo, directive.c_str());
+            TenantSpec tenant;
+            tenant.kind = directive == "job" ? TenantSpec::Kind::Batch
+                                             : TenantSpec::Kind::Stream;
+            tenant.workload = tokens[1];
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                std::string key, value;
+                if (!keyValue(tokens[i], key, value)) {
+                    if (tenant.kind == TenantSpec::Kind::Stream &&
+                        tokens[i] == "poisson") {
+                        tenant.stream.poisson = true;
+                        continue;
+                    }
+                    fatal("jobs-spec line %d: unexpected token '%s'",
+                          lineNo, tokens[i].c_str());
+                }
+                if (key == "pool") {
+                    tenant.pool = value;
+                } else if (key == "start") {
+                    tenant.startSec =
+                        parseNumber(value, lineNo, "start");
+                } else if (tenant.kind == TenantSpec::Kind::Stream &&
+                           key == "rate") {
+                    tenant.stream.ratePerSec =
+                        parseNumber(value, lineNo, "rate");
+                } else if (tenant.kind == TenantSpec::Kind::Stream &&
+                           key == "batches") {
+                    tenant.stream.batches =
+                        parseInt(value, lineNo, "batches");
+                } else if (tenant.kind == TenantSpec::Kind::Stream &&
+                           key == "backlog") {
+                    tenant.stream.maxBacklog =
+                        parseInt(value, lineNo, "backlog");
+                } else if (tenant.kind == TenantSpec::Kind::Stream &&
+                           key == "slo") {
+                    tenant.stream.sloSeconds =
+                        parseNumber(value, lineNo, "slo");
+                } else if (tenant.kind == TenantSpec::Kind::Stream &&
+                           key == "batch-mib") {
+                    tenant.batchBytes = mib(
+                        parseNumber(value, lineNo, "batch-mib"));
+                } else {
+                    fatal("jobs-spec line %d: unknown %s option '%s'",
+                          lineNo, directive.c_str(), key.c_str());
+                }
+            }
+            if (tenant.startSec < 0.0)
+                fatal("jobs-spec line %d: start must be >= 0", lineNo);
+            spec.tenants.push_back(std::move(tenant));
+            continue;
+        }
+        fatal("jobs-spec line %d: unknown directive '%s' (expected "
+              "pool, job or stream)",
+              lineNo, directive.c_str());
+    }
+    if (spec.tenants.empty())
+        fatal("jobs-spec: no job or stream lines");
+    return spec;
+}
+
+MultiJobSpec
+MultiJobSpec::fromFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("jobs-spec: cannot read %s", path.c_str());
+    std::ostringstream text;
+    text << is.rdbuf();
+    return parse(text.str());
+}
+
+} // namespace doppio::sched

@@ -1,0 +1,34 @@
+#include "sched/pool.h"
+
+#include <algorithm>
+
+namespace doppio::sched {
+
+bool
+fairBefore(const ShareState &a, const ShareState &b)
+{
+    const bool a_needy = a.runningTasks < a.minShare;
+    const bool b_needy = b.runningTasks < b.minShare;
+    if (a_needy != b_needy)
+        return a_needy;
+    const double a_min_ratio =
+        static_cast<double>(a.runningTasks) /
+        std::max(1.0, static_cast<double>(a.minShare));
+    const double b_min_ratio =
+        static_cast<double>(b.runningTasks) /
+        std::max(1.0, static_cast<double>(b.minShare));
+    const double a_weight_ratio =
+        static_cast<double>(a.runningTasks) / a.weight;
+    const double b_weight_ratio =
+        static_cast<double>(b.runningTasks) / b.weight;
+    if (a_needy) {
+        if (a_min_ratio != b_min_ratio)
+            return a_min_ratio < b_min_ratio;
+        return a.index < b.index;
+    }
+    if (a_weight_ratio != b_weight_ratio)
+        return a_weight_ratio < b_weight_ratio;
+    return a.index < b.index;
+}
+
+} // namespace doppio::sched

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Spark-1.6-style scheduling pools.
+ *
+ * A pool groups jobs for resource arbitration. Pools themselves are
+ * always ordered by the fair-sharing comparator (Spark's root pool in
+ * FAIR mode); each pool orders the jobs inside it either FIFO
+ * (submission order, Spark's per-pool default) or FAIR (fewest running
+ * tasks first — every job inside a pool has weight 1 and minShare 0,
+ * as Spark's TaskSetManagers do).
+ */
+
+#ifndef DOPPIO_SCHED_POOL_H
+#define DOPPIO_SCHED_POOL_H
+
+#include <string>
+
+namespace doppio::sched {
+
+/** Static description of one pool (fairscheduler.xml entry). */
+struct PoolConfig
+{
+    std::string name = "default";
+    /** Within-pool ordering: FAIR (true) or FIFO (false). */
+    bool fair = false;
+    /** Relative share of free cores against sibling pools. */
+    double weight = 1.0;
+    /** Cores this pool receives before any weighted split. */
+    int minShare = 0;
+};
+
+/** Dynamic share of one schedulable (pool or job), for ordering. */
+struct ShareState
+{
+    int runningTasks = 0;
+    double weight = 1.0;
+    int minShare = 0;
+    /** Definition/submission index, the deterministic tie-breaker
+     *  (Spark breaks ties by name). */
+    int index = 0;
+};
+
+/**
+ * Spark 1.6 FairSchedulingAlgorithm: a schedulable below its minShare
+ * goes first (needy before satisfied, then by minShare ratio); with
+ * both satisfied, the lower runningTasks/weight ratio wins. @return
+ * true when @p a should be offered resources before @p b.
+ */
+bool fairBefore(const ShareState &a, const ShareState &b);
+
+} // namespace doppio::sched
+
+#endif // DOPPIO_SCHED_POOL_H

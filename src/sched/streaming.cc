@@ -1,0 +1,160 @@
+#include "sched/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "sim/simulator.h"
+#include "trace/trace_collector.h"
+
+namespace doppio::sched {
+
+namespace {
+
+/** Nearest-rank percentile of an ascending-sorted sample. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto n = static_cast<double>(sorted.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    if (rank == 0)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+/** Seed-mixing constant for the arrival process stream. */
+constexpr std::uint64_t kArrivalStream = 0x53545245414d32ULL;
+
+} // namespace
+
+StreamingDriver::StreamingDriver(StreamingOptions options)
+    : options_(options)
+{
+    if (options_.ratePerSec <= 0.0)
+        fatal("StreamingDriver: ratePerSec must be positive");
+    if (options_.batches <= 0)
+        fatal("StreamingDriver: batches must be positive");
+    if (options_.maxBacklog <= 0)
+        fatal("StreamingDriver: maxBacklog must be positive");
+}
+
+void
+StreamingDriver::start(JobScheduler &scheduler, JobContext &context,
+                       BatchBuilder builder,
+                       std::function<void()> onAllDone)
+{
+    scheduler_ = &scheduler;
+    context_ = &context;
+    builder_ = std::move(builder);
+    onAllDone_ = std::move(onAllDone);
+    stats_ = spark::StreamingMetrics{};
+    stats_.ratePerSec = options_.ratePerSec;
+    stats_.sloSeconds = options_.sloSeconds;
+    stats_.maxBacklog = options_.maxBacklog;
+
+    // Precompute the whole arrival process so arrivals are independent
+    // of service completions: deterministic spacing 1/λ, or i.i.d.
+    // exponential gaps (a Poisson process) from a seeded stream.
+    sim::Simulator &sim = scheduler.clusterRef().simulator();
+    const double gapSec = 1.0 / options_.ratePerSec;
+    Rng rng(scheduler.clusterRef().config().seed ^ kArrivalStream ^
+            (static_cast<std::uint64_t>(context.id()) << 32));
+    double atSec = 0.0;
+    for (int k = 0; k < options_.batches; ++k) {
+        atSec += options_.poisson
+                     ? -std::log(1.0 - rng.uniform()) * gapSec
+                     : gapSec;
+        sim.scheduleAt(sim.now() + secondsToTicks(atSec),
+                       [this, k]() { arrive(k); });
+    }
+}
+
+void
+StreamingDriver::arrive(int index)
+{
+    sim::Simulator &sim = scheduler_->clusterRef().simulator();
+    ++stats_.arrivals;
+    ++arrived_;
+    trace::TraceCollector *collector = scheduler_->collector();
+    if (pending_ >= options_.maxBacklog) {
+        // Backpressure: the receiver's bounded queue is full, the
+        // batch is lost (counted — the run is unstable by definition).
+        ++stats_.dropped;
+        if (collector != nullptr)
+            collector->instant(
+                trace::kDriverPid, trace::jobTid(context_->id()),
+                "stream", "drop", sim.now(),
+                trace::TraceArgs().add("batch", index));
+        maybeFinish();
+        return;
+    }
+    ++pending_;
+    stats_.peakBacklog = std::max(stats_.peakBacklog, pending_);
+    if (collector != nullptr)
+        collector->instant(trace::kDriverPid,
+                           trace::jobTid(context_->id()), "stream",
+                           "arrive", sim.now(),
+                           trace::TraceArgs()
+                               .add("batch", index)
+                               .add("backlog", pending_));
+    const Tick arrivalTick = sim.now();
+    BatchJob batch = builder_(*context_, index);
+    JobContext::JobRequest request;
+    request.name = std::move(batch.name);
+    request.target = std::move(batch.target);
+    request.action = batch.action;
+    request.onDone = [this, arrivalTick]() {
+        finishBatch(arrivalTick);
+    };
+    context_->submitJob(std::move(request));
+}
+
+void
+StreamingDriver::finishBatch(Tick arrivalTick)
+{
+    sim::Simulator &sim = scheduler_->clusterRef().simulator();
+    --pending_;
+    ++stats_.processed;
+    const double latency = ticksToSeconds(sim.now() - arrivalTick);
+    latencies_.push_back(latency);
+    services_.push_back(context_->appMetrics().jobs.back().seconds());
+    if (options_.sloSeconds > 0.0 && latency > options_.sloSeconds)
+        ++stats_.sloViolations;
+    maybeFinish();
+}
+
+void
+StreamingDriver::maybeFinish()
+{
+    if (arrived_ < options_.batches || pending_ != 0)
+        return;
+    std::vector<double> sorted = latencies_;
+    std::sort(sorted.begin(), sorted.end());
+    double latencySum = 0.0;
+    for (double v : sorted)
+        latencySum += v;
+    double serviceSum = 0.0;
+    for (double v : services_)
+        serviceSum += v;
+    const double n = sorted.empty()
+                         ? 1.0
+                         : static_cast<double>(sorted.size());
+    stats_.meanLatencySec = latencySum / n;
+    stats_.p50LatencySec = percentile(sorted, 0.50);
+    stats_.p99LatencySec = percentile(sorted, 0.99);
+    stats_.maxLatencySec = sorted.empty() ? 0.0 : sorted.back();
+    stats_.meanServiceSec =
+        services_.empty()
+            ? 0.0
+            : serviceSum / static_cast<double>(services_.size());
+    if (onAllDone_)
+        onAllDone_();
+}
+
+} // namespace doppio::sched

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Micro-batch streaming driver over the multi-tenant scheduler.
+ *
+ * Spark Streaming's discretized-stream model: batches of input arrive
+ * at rate λ (deterministic spacing or a seeded Poisson process) and
+ * each becomes one Spark job on a tenant's JobContext. A bounded
+ * backlog provides backpressure — when `maxBacklog` batches are
+ * already waiting, new arrivals are dropped and counted. Per-batch
+ * latency (arrival → job completion, i.e. queueing + service) is
+ * recorded against an SLO, and the run is "stable" when nothing was
+ * dropped and the backlog never saturated; sweeping λ against that
+ * predicate locates the stability boundary λ* where service capacity
+ * is exhausted (Doppio §6's knee, under multi-tenancy).
+ */
+
+#ifndef DOPPIO_SCHED_STREAMING_H
+#define DOPPIO_SCHED_STREAMING_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sched/job_scheduler.h"
+#include "spark/metrics.h"
+
+namespace doppio::sched {
+
+/** Arrival process and stability parameters of one stream. */
+struct StreamingOptions
+{
+    double ratePerSec = 0.1; //!< batch arrival rate λ
+    int batches = 20;        //!< arrivals to generate
+    int maxBacklog = 8;      //!< queued batches before drops
+    double sloSeconds = 0.0; //!< per-batch latency SLO (0 = none)
+    bool poisson = false;    //!< Poisson arrivals instead of uniform
+};
+
+/** One micro-batch expressed as a job on the tenant's lineage. */
+struct BatchJob
+{
+    std::string name;
+    spark::RddRef target;
+    spark::ActionSpec action;
+};
+
+/** Builds batch @p index for a tenant (its lineage, its files). */
+using BatchBuilder = std::function<BatchJob(JobContext &, int)>;
+
+/**
+ * Drives one stream: schedules the arrival process on the shared
+ * simulator, applies backpressure, submits each admitted batch as a
+ * job of @p context and aggregates latency statistics. The driver
+ * must outlive JobScheduler::run() (stack-own it next to the
+ * scheduler).
+ */
+class StreamingDriver
+{
+  public:
+    explicit StreamingDriver(StreamingOptions options);
+
+    /**
+     * Precompute the arrival ticks and schedule them. Call once,
+     * before JobScheduler::run(); @p onAllDone (optional) fires when
+     * every admitted batch completed.
+     */
+    void start(JobScheduler &scheduler, JobContext &context,
+               BatchBuilder builder,
+               std::function<void()> onAllDone = nullptr);
+
+    /** @return the aggregated stats (complete once the run drained). */
+    const spark::StreamingMetrics &stats() const { return stats_; }
+
+  private:
+    void arrive(int index);
+    void finishBatch(Tick arrivalTick);
+    void maybeFinish();
+
+    StreamingOptions options_;
+    JobScheduler *scheduler_ = nullptr;
+    JobContext *context_ = nullptr;
+    BatchBuilder builder_;
+    std::function<void()> onAllDone_;
+    spark::StreamingMetrics stats_;
+    int pending_ = 0; //!< admitted batches not yet completed
+    int arrived_ = 0; //!< arrivals seen so far
+    std::vector<double> latencies_;
+    std::vector<double> services_;
+};
+
+} // namespace doppio::sched
+
+#endif // DOPPIO_SCHED_STREAMING_H

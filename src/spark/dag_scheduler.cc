@@ -126,13 +126,14 @@ DagScheduler::buildCompute(const RddRef &rdd,
     ChainBuild build;
 
     if (rdd->isSource()) {
-        build.groups.push_back(TaskGroupSpec{
-            rdd->name,
-            rdd->numPartitions,
-            {makeIoPhase(storage::IoOp::HdfsRead, rdd->bytesPerPartition(),
-                         hdfs_.config().blockSize,
-                         rdd->pipelinedCpuPerByte)},
-            rdd->bytesPerPartition()});
+        IoPhaseSpec read = makeIoPhase(
+            storage::IoOp::HdfsRead, rdd->bytesPerPartition(),
+            hdfs_.config().blockSize, rdd->pipelinedCpuPerByte);
+        read.cacheStream = rdd->cacheStreamSalt;
+        build.groups.push_back(TaskGroupSpec{rdd->name,
+                                             rdd->numPartitions,
+                                             {read},
+                                             rdd->bytesPerPartition()});
         build.gcSensitivity = rdd->gcSensitivity;
         return build;
     }

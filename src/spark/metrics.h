@@ -94,6 +94,44 @@ struct MemoryMetrics
     std::uint64_t oomKills = 0;   //!< attempts killed by failed minimum
 };
 
+/**
+ * Micro-batch streaming accounting (workloads::Streaming runs driven
+ * through sched::StreamingDriver). Latencies are end-to-end per batch:
+ * arrival (admission into the bounded backlog) to job completion,
+ * against the configured SLO. Present in JSON output only when the
+ * run was a streaming run.
+ */
+struct StreamingMetrics
+{
+    double ratePerSec = 0.0;   //!< configured arrival rate lambda
+    double sloSeconds = 0.0;   //!< per-batch latency objective
+    int maxBacklog = 0;        //!< bounded-queue capacity (batches)
+    std::uint64_t arrivals = 0;  //!< batches that arrived
+    std::uint64_t processed = 0; //!< batches that completed
+    std::uint64_t dropped = 0; //!< arrivals shed by backpressure
+    std::uint64_t sloViolations = 0; //!< processed batches over SLO
+    int peakBacklog = 0;       //!< max batches queued or running
+    double meanLatencySec = 0.0;
+    double p50LatencySec = 0.0;
+    double p99LatencySec = 0.0;
+    double maxLatencySec = 0.0;
+    /** Mean per-batch service time (submission to completion of the
+     *  batch job, excluding queueing), the processing rate's inverse. */
+    double meanServiceSec = 0.0;
+
+    /**
+     * @return true when the arrival process kept up: nothing dropped
+     * and the backlog never pinned at capacity. The stability boundary
+     * reported by bench/ext_multitenant is the largest swept lambda
+     * for which this holds while p99 latency stays bounded.
+     */
+    bool
+    stable() const
+    {
+        return dropped == 0 && peakBacklog < maxBacklog;
+    }
+};
+
 /** Everything measured about one executed stage. */
 struct StageMetrics
 {
@@ -187,6 +225,13 @@ struct AppMetrics
      */
     bool memoryPresent = false;
     MemoryMetrics memory;
+    /**
+     * Micro-batch latency/stability totals, present only for
+     * streaming runs (workloads::Streaming); the JSON writer omits
+     * the block otherwise.
+     */
+    bool streamingPresent = false;
+    StreamingMetrics streaming;
 
     /** @return application duration in seconds. */
     double seconds() const;

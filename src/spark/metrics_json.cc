@@ -98,53 +98,94 @@ writeMetricsJson(std::ostream &os, const AppMetrics &metrics)
     }
     os << "]";
     if (metrics.pageCachePresent) {
-        const oscache::PageCacheStats &pc = metrics.pageCache;
-        os << ",\"page_cache\":{\"reads\":" << pc.reads
-           << ",\"read_full_hits\":" << pc.readFullHits
-           << ",\"writes\":" << pc.writes
-           << ",\"throttled_writes\":" << pc.throttledWrites
-           << ",\"flush_requests\":" << pc.flushRequests
-           << ",\"read_bytes\":" << pc.readBytes
-           << ",\"hit_bytes\":" << pc.hitBytes
-           << ",\"miss_bytes\":" << pc.missBytes
-           << ",\"readahead_bytes\":" << pc.readAheadBytes
-           << ",\"write_bytes\":" << pc.writeBytes
-           << ",\"absorbed_bytes\":" << pc.absorbedBytes
-           << ",\"write_around_bytes\":" << pc.writeAroundBytes
-           << ",\"flushed_bytes\":" << pc.flushedBytes
-           << ",\"evicted_bytes\":" << pc.evictedBytes
-           << ",\"hit_ratio\":" << num(pc.hitRatio()) << '}';
+        os << ',';
+        writePageCacheJson(os, metrics.pageCache);
     }
     if (metrics.faultsPresent) {
-        const FaultMetrics &f = metrics.faults;
-        os << ",\"faults\":{\"task_attempts\":" << f.taskAttempts
-           << ",\"task_failures\":" << f.taskFailures
-           << ",\"task_retries\":" << f.taskRetries
-           << ",\"lost_attempts\":" << f.lostAttempts
-           << ",\"fetch_failures\":" << f.fetchFailures
-           << ",\"stage_reattempts\":" << f.stageReattempts
-           << ",\"hdfs_failovers\":" << f.hdfsFailovers
-           << ",\"wasted_task_seconds\":" << num(f.wastedTaskSeconds)
-           << ",\"recovery_seconds\":" << num(f.recoverySeconds)
-           << ",\"re_replicated_bytes\":" << f.reReplicatedBytes
-           << ",\"lost_dirty_bytes\":" << f.lostDirtyBytes << '}';
+        os << ',';
+        writeAppFaultsJson(os, metrics.faults);
     }
     if (metrics.memoryPresent) {
-        const MemoryMetrics &m = metrics.memory;
-        os << ",\"memory\":{\"pool_bytes\":" << m.poolBytes
-           << ",\"peak_storage_bytes\":" << m.peakStorageBytes
-           << ",\"peak_execution_bytes\":" << m.peakExecutionBytes
-           << ",\"evicted_blocks\":" << m.evictedBlocks
-           << ",\"evicted_bytes\":" << m.evictedBytes
-           << ",\"evicted_to_disk_bytes\":" << m.evictedToDiskBytes
-           << ",\"dropped_blocks\":" << m.droppedBlocks
-           << ",\"recomputed_partitions\":" << m.recomputedPartitions
-           << ",\"spills\":" << m.spills
-           << ",\"spill_passes\":" << m.spillPasses
-           << ",\"spilled_bytes\":" << m.spilledBytes
-           << ",\"oom_kills\":" << m.oomKills << '}';
+        os << ',';
+        writeMemoryJson(os, metrics.memory);
+    }
+    if (metrics.streamingPresent) {
+        os << ',';
+        writeStreamingJson(os, metrics.streaming);
     }
     os << '}';
+}
+
+void
+writePageCacheJson(std::ostream &os, const oscache::PageCacheStats &pc)
+{
+    os << "\"page_cache\":{\"reads\":" << pc.reads
+       << ",\"read_full_hits\":" << pc.readFullHits
+       << ",\"writes\":" << pc.writes
+       << ",\"throttled_writes\":" << pc.throttledWrites
+       << ",\"flush_requests\":" << pc.flushRequests
+       << ",\"read_bytes\":" << pc.readBytes
+       << ",\"hit_bytes\":" << pc.hitBytes
+       << ",\"miss_bytes\":" << pc.missBytes
+       << ",\"readahead_bytes\":" << pc.readAheadBytes
+       << ",\"write_bytes\":" << pc.writeBytes
+       << ",\"absorbed_bytes\":" << pc.absorbedBytes
+       << ",\"write_around_bytes\":" << pc.writeAroundBytes
+       << ",\"flushed_bytes\":" << pc.flushedBytes
+       << ",\"evicted_bytes\":" << pc.evictedBytes
+       << ",\"hit_ratio\":" << num(pc.hitRatio()) << '}';
+}
+
+void
+writeAppFaultsJson(std::ostream &os, const FaultMetrics &f)
+{
+    os << "\"faults\":{\"task_attempts\":" << f.taskAttempts
+       << ",\"task_failures\":" << f.taskFailures
+       << ",\"task_retries\":" << f.taskRetries
+       << ",\"lost_attempts\":" << f.lostAttempts
+       << ",\"fetch_failures\":" << f.fetchFailures
+       << ",\"stage_reattempts\":" << f.stageReattempts
+       << ",\"hdfs_failovers\":" << f.hdfsFailovers
+       << ",\"wasted_task_seconds\":" << num(f.wastedTaskSeconds)
+       << ",\"recovery_seconds\":" << num(f.recoverySeconds)
+       << ",\"re_replicated_bytes\":" << f.reReplicatedBytes
+       << ",\"lost_dirty_bytes\":" << f.lostDirtyBytes << '}';
+}
+
+void
+writeMemoryJson(std::ostream &os, const MemoryMetrics &m)
+{
+    os << "\"memory\":{\"pool_bytes\":" << m.poolBytes
+       << ",\"peak_storage_bytes\":" << m.peakStorageBytes
+       << ",\"peak_execution_bytes\":" << m.peakExecutionBytes
+       << ",\"evicted_blocks\":" << m.evictedBlocks
+       << ",\"evicted_bytes\":" << m.evictedBytes
+       << ",\"evicted_to_disk_bytes\":" << m.evictedToDiskBytes
+       << ",\"dropped_blocks\":" << m.droppedBlocks
+       << ",\"recomputed_partitions\":" << m.recomputedPartitions
+       << ",\"spills\":" << m.spills
+       << ",\"spill_passes\":" << m.spillPasses
+       << ",\"spilled_bytes\":" << m.spilledBytes
+       << ",\"oom_kills\":" << m.oomKills << '}';
+}
+
+void
+writeStreamingJson(std::ostream &os, const StreamingMetrics &s)
+{
+    os << "\"streaming\":{\"rate_per_sec\":" << num(s.ratePerSec)
+       << ",\"slo_seconds\":" << num(s.sloSeconds)
+       << ",\"max_backlog\":" << s.maxBacklog
+       << ",\"arrivals\":" << s.arrivals
+       << ",\"processed\":" << s.processed
+       << ",\"dropped\":" << s.dropped
+       << ",\"slo_violations\":" << s.sloViolations
+       << ",\"peak_backlog\":" << s.peakBacklog
+       << ",\"mean_latency_seconds\":" << num(s.meanLatencySec)
+       << ",\"p50_latency_seconds\":" << num(s.p50LatencySec)
+       << ",\"p99_latency_seconds\":" << num(s.p99LatencySec)
+       << ",\"max_latency_seconds\":" << num(s.maxLatencySec)
+       << ",\"mean_service_seconds\":" << num(s.meanServiceSec)
+       << ",\"stable\":" << (s.stable() ? "true" : "false") << '}';
 }
 
 std::string

@@ -26,6 +26,23 @@ void writeMetricsJson(std::ostream &os, const AppMetrics &metrics);
 /** @return the JSON as a string. */
 std::string metricsJson(const AppMetrics &metrics);
 
+// Block writers shared with the multi-tenant JSON export: each emits
+// one `"key":{...}` member (no surrounding separators) with exactly
+// the formatting writeMetricsJson uses.
+
+/** Emit `"page_cache":{...}`. */
+void writePageCacheJson(std::ostream &os,
+                        const oscache::PageCacheStats &pc);
+
+/** Emit the application-level `"faults":{...}` block. */
+void writeAppFaultsJson(std::ostream &os, const FaultMetrics &f);
+
+/** Emit `"memory":{...}`. */
+void writeMemoryJson(std::ostream &os, const MemoryMetrics &m);
+
+/** Emit `"streaming":{...}`. */
+void writeStreamingJson(std::ostream &os, const StreamingMetrics &s);
+
 } // namespace doppio::spark
 
 #endif // DOPPIO_SPARK_METRICS_JSON_H

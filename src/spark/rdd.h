@@ -87,6 +87,17 @@ class Rdd : public std::enable_shared_from_this<Rdd>
      */
     double pipelinedCpuPerByte = 0.0;
 
+    /**
+     * Non-zero pins the page-cache stream identity of this source
+     * RDD's HDFS reads (see IoPhaseSpec::cacheStream). By default a
+     * stream is derived from the phase shape, which deliberately
+     * aliases equal-shaped re-reads into cache hits; distinct inputs
+     * of identical shape (e.g. a stream's fresh per-batch files) set
+     * distinct salts so they never hit each other's cached pages.
+     * Sources only.
+     */
+    std::uint64_t cacheStreamSalt = 0;
+
     StorageLevel storageLevel = StorageLevel::None;
     std::vector<Dep> deps;
     /** Set for leaf RDDs backed by an HDFS file. */

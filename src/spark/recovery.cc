@@ -1,0 +1,32 @@
+#include "spark/recovery.h"
+
+#include <algorithm>
+
+namespace doppio::spark {
+
+StageSpec
+recoverySpec(const StageSpec &producer, int numSlaves)
+{
+    StageSpec spec = producer;
+    spec.name = producer.name + ".recovery";
+    for (TaskGroupSpec &group : spec.groups) {
+        if (group.count > 0)
+            group.count = std::max(1, group.count / numSlaves);
+    }
+    return spec;
+}
+
+StageSpec
+remainderSpec(const StageSpec &stage, std::uint64_t completed)
+{
+    StageSpec spec = stage;
+    for (TaskGroupSpec &group : spec.groups) {
+        const std::uint64_t take = std::min(
+            completed, static_cast<std::uint64_t>(group.count));
+        group.count -= static_cast<int>(take);
+        completed -= take;
+    }
+    return spec;
+}
+
+} // namespace doppio::spark

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fetch-failure recovery stage algebra, shared by the synchronous
+ * driver (SparkContext::runStageWithRecovery) and the multi-tenant
+ * asynchronous driver (sched::JobContext): how much of a shuffle
+ * producer must be recomputed after a node loss, and which partitions
+ * of the aborted consumer still need to run.
+ */
+
+#ifndef DOPPIO_SPARK_RECOVERY_H
+#define DOPPIO_SPARK_RECOVERY_H
+
+#include <cstdint>
+
+#include "spark/stage_spec.h"
+
+namespace doppio::spark {
+
+/**
+ * Recovery map stage: only the dead node's share of the producer's
+ * map outputs must be recomputed (roughly count / numSlaves tasks per
+ * group; at least one per non-empty group).
+ */
+StageSpec recoverySpec(const StageSpec &producer, int numSlaves);
+
+/**
+ * Rerun of a fetch-failed stage: the tasks that already completed in
+ * earlier attempts are subtracted front-to-back from the flattened
+ * group order (the order the engine launches in).
+ */
+StageSpec remainderSpec(const StageSpec &stage, std::uint64_t completed);
+
+} // namespace doppio::spark
+
+#endif // DOPPIO_SPARK_RECOVERY_H

@@ -1,50 +1,10 @@
 #include "spark/spark_context.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 #include "faults/fault_injector.h"
+#include "spark/recovery.h"
 
 namespace doppio::spark {
-
-namespace {
-
-/**
- * Recovery map stage: only the dead node's share of the producer's
- * map outputs must be recomputed (roughly count / numSlaves tasks per
- * group; at least one per non-empty group).
- */
-StageSpec
-recoverySpec(const StageSpec &producer, int numSlaves)
-{
-    StageSpec spec = producer;
-    spec.name = producer.name + ".recovery";
-    for (TaskGroupSpec &group : spec.groups) {
-        if (group.count > 0)
-            group.count = std::max(1, group.count / numSlaves);
-    }
-    return spec;
-}
-
-/**
- * Rerun of a fetch-failed stage: the tasks that already completed in
- * earlier attempts are subtracted front-to-back from the flattened
- * group order (the order the engine launches in).
- */
-StageSpec
-remainderSpec(const StageSpec &stage, std::uint64_t completed)
-{
-    StageSpec spec = stage;
-    for (TaskGroupSpec &group : spec.groups) {
-        const std::uint64_t take = std::min(
-            completed, static_cast<std::uint64_t>(group.count));
-        group.count -= static_cast<int>(take);
-        completed -= take;
-    }
-    return spec;
-}
-
-} // namespace
 
 SparkContext::SparkContext(cluster::Cluster &clusterRef, dfs::Hdfs &hdfs,
                            SparkConf conf)

@@ -269,6 +269,12 @@ struct TaskEngine::StageRun
     int fetchFailedSource = -1;
     /// Set on stage abort: free cores stop pulling work.
     bool abortLaunches = false;
+    /// Multi-tenant submission (submitStage): completion callback,
+    /// the tag echoed to CoreArbiter::attemptFinished, and the driver
+    /// track the stage span goes to. Unset for runStage() stages.
+    StageCallback onDone;
+    int schedTag = 0;
+    int driverTid = trace::kTidStages;
 };
 
 /** One in-flight task attempt. */
@@ -396,6 +402,11 @@ TaskEngine::finishAttempt(const std::shared_ptr<StageRun> &run,
                              .add("status", status));
         releaseCoreSlot(task->node, task->coreSlot);
     }
+    // Multi-tenant mode: report the core release so the scheduler's
+    // own busy accounting stays exact (finishAttempt is the single
+    // per-attempt exit, 1:1 with launches).
+    if (arbiter_ != nullptr)
+        arbiter_->attemptFinished(task->node, run->schedTag);
 }
 
 void
@@ -406,13 +417,22 @@ TaskEngine::setFaultInjector(faults::FaultInjector *injector)
         return;
     observerRegistered_ = true;
     cluster_.addLivenessObserver([this](int node, bool alive) {
-        const std::shared_ptr<StageRun> run = activeRun_.lock();
-        if (!run || injector_ == nullptr)
+        if (injector_ == nullptr)
             return;
-        if (alive)
-            kickFreeCores(run); // rejoined node starts pulling work
-        else
-            onNodeDeath(run, node);
+        // Snapshot: node-death handling can complete a submitted
+        // stage, which mutates activeRuns_ mid-iteration.
+        std::vector<std::shared_ptr<StageRun>> runs;
+        runs.reserve(activeRuns_.size());
+        for (const std::weak_ptr<StageRun> &weak : activeRuns_) {
+            if (std::shared_ptr<StageRun> run = weak.lock())
+                runs.push_back(std::move(run));
+        }
+        for (const std::shared_ptr<StageRun> &run : runs) {
+            if (alive)
+                kickFreeCores(run); // rejoined node starts pulling work
+            else
+                onNodeDeath(run, node);
+        }
     });
 }
 
@@ -425,6 +445,9 @@ TaskEngine::effectiveCores() const
 StageMetrics
 TaskEngine::runStage(const StageSpec &spec)
 {
+    if (arbiter_ != nullptr)
+        fatal("TaskEngine: runStage is the single-job entry point; "
+              "with a core arbiter attached use submitStage");
     sim::Simulator &sim = cluster_.simulator();
     auto run = std::make_shared<StageRun>();
     run->spec = &spec;
@@ -461,7 +484,7 @@ TaskEngine::runStage(const StageSpec &spec)
     run->busyCores.assign(
         static_cast<std::size_t>(cluster_.numSlaves()), 0);
     run->shuffleSources = cluster_.aliveNodes();
-    activeRun_ = run;
+    activeRuns_.push_back(run);
     if (conf_.speculation)
         armSpeculationTimer(run);
 
@@ -491,7 +514,7 @@ TaskEngine::runStage(const StageSpec &spec)
         }
     }
 
-    activeRun_.reset();
+    deregisterRun(run.get());
     if (run->speculationTimerArmed)
         panic("TaskEngine: stage %s finished with its speculation "
               "timer still armed",
@@ -577,11 +600,10 @@ TaskEngine::launchAttempt(std::shared_ptr<StageRun> run, int node,
     raw_task->hasPendingEvent = true;
 }
 
-void
-TaskEngine::launchOnFreeCore(std::shared_ptr<StageRun> run, int node)
+bool
+TaskEngine::tryLaunchQueued(const std::shared_ptr<StageRun> &run,
+                            int node)
 {
-    if (run->abortLaunches || !cluster_.nodeAlive(node))
-        return;
     // Failed tasks retry before fresh work, avoiding blacklisted nodes
     // while an alive alternative exists (with every usable node
     // blacklisted the task must run somewhere, so the list is waived).
@@ -607,21 +629,58 @@ TaskEngine::launchOnFreeCore(std::shared_ptr<StageRun> run, int node)
         run->retries.erase(run->retries.begin() +
                            static_cast<std::ptrdiff_t>(i));
         state.retryQueued = false;
-        launchAttempt(std::move(run), node, index);
-        return;
+        launchAttempt(run, node, index);
+        return true;
     }
     if (run->nextTask < run->tasks.size()) {
         const std::size_t index = run->nextTask++;
-        launchAttempt(std::move(run), node, index);
+        launchAttempt(run, node, index);
+        return true;
+    }
+    return false;
+}
+
+void
+TaskEngine::launchOnFreeCore(std::shared_ptr<StageRun> run, int node)
+{
+    if (arbiter_ != nullptr) {
+        // Multi-tenant mode: the freed core goes back to the
+        // scheduler, which picks the next stage by pool policy.
+        arbiter_->offerCore(node);
         return;
     }
+    if (run->abortLaunches || !cluster_.nodeAlive(node))
+        return;
+    if (tryLaunchQueued(run, node))
+        return;
     if (conf_.speculation)
         speculateOnNode(std::move(run), node);
+}
+
+bool
+TaskEngine::tryLaunch(const StageRef &run, int node)
+{
+    if (run->abortLaunches || !cluster_.nodeAlive(node))
+        return false;
+    return tryLaunchQueued(run, node);
+}
+
+bool
+TaskEngine::hasRunnableWork(const StageRef &run) const
+{
+    return !run->abortLaunches &&
+           (!run->retries.empty() || run->nextTask < run->tasks.size());
 }
 
 void
 TaskEngine::kickFreeCores(const std::shared_ptr<StageRun> &run)
 {
+    if (arbiter_ != nullptr) {
+        // Capacity or runnable work changed; let the scheduler refill
+        // every free core across all submitted stages.
+        arbiter_->offerCores();
+        return;
+    }
     const int cores = effectiveCores();
     for (int node = 0; node < cluster_.numSlaves(); ++node) {
         if (!cluster_.nodeAlive(node))
@@ -768,6 +827,7 @@ TaskEngine::runPhase(std::shared_ptr<StageRun> run,
             }
         }
         launchOnFreeCore(run, task->node);
+        maybeFinishAsync(run);
         return;
     }
 
@@ -1028,7 +1088,7 @@ TaskEngine::startIoPhase(std::shared_ptr<StageRun> run,
             phase.cpuPerByte * static_cast<double>(chunk) *
             task->slowdown);
         loop->writeIssued = [run]() { ++run->outstandingWrites; };
-        loop->writeDrained = [run]() { --run->outstandingWrites; };
+        loop->writeDrained = [this, run]() { noteWriteDrained(run); };
         if (phase.op == storage::IoOp::ShuffleRead) {
             loop->sources = run->shuffleSources;
             loop->injector = injector_;
@@ -1057,7 +1117,7 @@ TaskEngine::startIoPhase(std::shared_ptr<StageRun> run,
         // whole batch to the device, and move on; the stage barrier
         // waits for the drain.
         ++run->outstandingWrites;
-        auto on_drain = [run]() { --run->outstandingWrites; };
+        auto on_drain = [this, run]() { noteWriteDrained(run); };
         const storage::IoOp op = phase.op;
         cluster_.simulator().schedule(
             secondsToTicks(cpu_seconds),
@@ -1202,6 +1262,9 @@ TaskEngine::handleFetchFailure(const std::shared_ptr<StageRun> &run,
     task->aborted = true;
     releaseExecutionHold(task);
     finishAttempt(run, task, "fetch-fail");
+    // A submitted stage reports the abort through its callback (the
+    // sync path returns out of runStage's event loop instead).
+    maybeFinishAsync(run);
 }
 
 void
@@ -1246,6 +1309,104 @@ TaskEngine::onNodeDeath(const std::shared_ptr<StageRun> &run, int node)
         }
     }
     kickFreeCores(run);
+}
+
+void
+TaskEngine::noteWriteDrained(const std::shared_ptr<StageRun> &run)
+{
+    --run->outstandingWrites;
+    maybeFinishAsync(run);
+}
+
+TaskEngine::StageRef
+TaskEngine::submitStage(const StageSpec &spec, int schedTag,
+                        int driverTid, StageCallback onDone)
+{
+    if (arbiter_ == nullptr)
+        fatal("TaskEngine: submitStage needs a core arbiter "
+              "(setArbiter); single-job callers use runStage");
+    if (conf_.speculation)
+        fatal("TaskEngine: speculative execution is not supported "
+              "under a core arbiter (multi-tenant mode)");
+    sim::Simulator &sim = cluster_.simulator();
+    auto run = std::make_shared<StageRun>();
+    run->spec = &spec;
+    run->metrics.name = spec.name;
+    run->metrics.numTasks = spec.numTasks();
+    run->metrics.startTick = sim.now();
+    run->rng = rng_.fork();
+    run->gcFactor = 1.0 + spec.gcSensitivity *
+                              static_cast<double>(effectiveCores() - 1);
+    run->schedTag = schedTag;
+    run->driverTid = driverTid;
+    run->onDone = std::move(onDone);
+
+    for (const TaskGroupSpec &group : spec.groups) {
+        if (group.count < 0)
+            fatal("TaskEngine: negative task count in group %s",
+                  group.name.c_str());
+        for (int i = 0; i < group.count; ++i)
+            run->tasks.emplace_back(&group, i);
+    }
+    if (run->tasks.empty()) {
+        // Complete on the next event so the callback never fires
+        // before submitStage returns to the caller.
+        sim.schedule(0, [this, run]() { maybeFinishAsync(run); });
+        return run;
+    }
+    run->states.resize(run->tasks.size());
+    for (StageRun::TaskState &state : run->states)
+        state.readyTick = run->metrics.startTick;
+    run->busyCores.assign(
+        static_cast<std::size_t>(cluster_.numSlaves()), 0);
+    run->shuffleSources = cluster_.aliveNodes();
+    activeRuns_.push_back(run);
+    // No initial fill here: the caller offers cores through the
+    // arbiter once the submission is registered.
+    return run;
+}
+
+void
+TaskEngine::maybeFinishAsync(const std::shared_ptr<StageRun> &run)
+{
+    if (!run->onDone)
+        return; // runStage stage, or the callback already fired
+    const bool aborted = run->fetchFailedSource >= 0;
+    if (!aborted && (run->completed != run->metrics.numTasks ||
+                     run->outstandingWrites != 0))
+        return;
+    deregisterRun(run.get());
+    run->metrics.endTick = cluster_.simulator().now();
+    if (aborted)
+        run->metrics.fetchFailedSource = run->fetchFailedSource;
+    if (collector_ != nullptr) {
+        trace::TraceArgs args;
+        if (aborted)
+            args.add("aborted", 1);
+        else
+            args.add("tasks", run->metrics.numTasks);
+        collector_->span(trace::kDriverPid, run->driverTid, "stage",
+                         run->metrics.name, run->metrics.startTick,
+                         run->metrics.endTick, args);
+    }
+    // Null the callback before invoking it: completions re-entering
+    // through zombie unwinds or write drains must not fire it twice.
+    const StageCallback done = std::move(run->onDone);
+    run->onDone = nullptr;
+    done(run->metrics);
+}
+
+void
+TaskEngine::deregisterRun(const StageRun *run)
+{
+    activeRuns_.erase(
+        std::remove_if(activeRuns_.begin(), activeRuns_.end(),
+                       [run](const std::weak_ptr<StageRun> &weak) {
+                           const std::shared_ptr<StageRun> live =
+                               weak.lock();
+                           return !live || live.get() == run;
+                       }),
+        activeRuns_.end());
 }
 
 } // namespace doppio::spark

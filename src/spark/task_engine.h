@@ -16,6 +16,7 @@
 #ifndef DOPPIO_SPARK_TASK_ENGINE_H
 #define DOPPIO_SPARK_TASK_ENGINE_H
 
+#include <functional>
 #include <memory>
 
 #include "cluster/cluster.h"
@@ -38,10 +39,39 @@ namespace doppio::spark {
 
 class BlockManager;
 
+/**
+ * Receives core-scheduling callbacks when stages from several jobs
+ * share one engine (multi-tenant mode; see sched::JobScheduler). The
+ * engine stops pulling work from a single stage's private queue and
+ * instead reports attempt exits and freed cores; the arbiter decides
+ * which submitted stage launches next via TaskEngine::tryLaunch.
+ */
+class CoreArbiter
+{
+  public:
+    virtual ~CoreArbiter() = default;
+
+    /** An attempt of the stage tagged @p tag released a core of
+     *  @p node (the single per-attempt exit point). */
+    virtual void attemptFinished(int node, int tag) = 0;
+
+    /** A core of @p node may be free; offer it around. */
+    virtual void offerCore(int node) = 0;
+
+    /** Capacity or runnable work changed somewhere; offer every free
+     *  core (node rejoin, retry becoming runnable, ...). */
+    virtual void offerCores() = 0;
+};
+
 /** Runs stages to completion on a cluster. */
 class TaskEngine
 {
   public:
+    /** Shared bookkeeping of one executing stage (opaque handle). */
+    struct StageRun;
+    using StageRef = std::shared_ptr<StageRun>;
+    using StageCallback = std::function<void(const StageMetrics &)>;
+
     TaskEngine(cluster::Cluster &clusterRef, dfs::Hdfs &hdfs,
                const SparkConf &conf);
 
@@ -50,6 +80,34 @@ class TaskEngine
      * @return its metrics. Stages must be run one at a time.
      */
     StageMetrics runStage(const StageSpec &spec);
+
+    /**
+     * Attach a core arbiter (or nullptr to detach; not owned).
+     * Redirects every internal "pull the next task onto this free
+     * core" decision to the arbiter, enabling submitStage().
+     */
+    void setArbiter(CoreArbiter *arbiter) { arbiter_ = arbiter; }
+
+    /**
+     * Multi-tenant submission: set up @p spec without driving the
+     * event loop. The stage launches nothing until the arbiter hands
+     * it cores through tryLaunch(); @p onDone fires from within the
+     * event loop once the stage completes or aborts on a fetch
+     * failure (same contract as runStage's return). @p spec must
+     * outlive the run; @p schedTag is echoed verbatim to
+     * CoreArbiter::attemptFinished; stage spans go to the driver-track
+     * thread @p driverTid (per-job lanes). Requires an arbiter;
+     * speculative execution is not supported in this mode.
+     */
+    StageRef submitStage(const StageSpec &spec, int schedTag,
+                         int driverTid, StageCallback onDone);
+
+    /** Launch one queued task of @p run on @p node if possible.
+     *  @return true if an attempt was launched (arbiter mode). */
+    bool tryLaunch(const StageRef &run, int node);
+
+    /** @return true while @p run has queued tasks wanting a core. */
+    bool hasRunnableWork(const StageRef &run) const;
 
     /** @return executor cores per node actually used (min(P, cores)). */
     int effectiveCores() const;
@@ -88,12 +146,17 @@ class TaskEngine
     void setMemoryModel(BlockManager *blocks) { memory_ = blocks; }
 
   private:
-    struct StageRun;
     struct TaskRun;
 
     void launchAttempt(std::shared_ptr<StageRun> run, int node,
                        std::size_t index);
     void launchOnFreeCore(std::shared_ptr<StageRun> run, int node);
+
+    /** Retry-queue-then-fresh launch body shared by the single-job
+     *  free-core path and the arbiter's tryLaunch.
+     *  @return true if an attempt was launched. */
+    bool tryLaunchQueued(const std::shared_ptr<StageRun> &run,
+                         int node);
     void speculateOnNode(std::shared_ptr<StageRun> run, int node);
     void armSpeculationTimer(std::shared_ptr<StageRun> run);
     void runPhase(std::shared_ptr<StageRun> run,
@@ -158,6 +221,19 @@ class TaskEngine
 
     void onNodeDeath(const std::shared_ptr<StageRun> &run, int node);
 
+    /** A device write of @p run drained (stage-barrier accounting). */
+    void noteWriteDrained(const std::shared_ptr<StageRun> &run);
+
+    /**
+     * Fire a submitted stage's completion callback if it is complete
+     * (or aborted on a fetch failure). No-op for runStage() stages
+     * and while work is still outstanding.
+     */
+    void maybeFinishAsync(const std::shared_ptr<StageRun> &run);
+
+    /** Drop @p run (and any expired entries) from activeRuns_. */
+    void deregisterRun(const StageRun *run);
+
     cluster::Cluster &cluster_;
     dfs::Hdfs &hdfs_;
     const SparkConf &conf_;
@@ -174,9 +250,11 @@ class TaskEngine
     std::vector<std::vector<bool>> coreSlots_;
     faults::FaultInjector *injector_ = nullptr;
     BlockManager *memory_ = nullptr;
+    CoreArbiter *arbiter_ = nullptr;
     bool observerRegistered_ = false;
-    /// Stage currently inside runStage() (for the liveness observer).
-    std::weak_ptr<StageRun> activeRun_;
+    /// Stages currently executing (one for runStage(), any number of
+    /// submitted stages in arbiter mode), for the liveness observer.
+    std::vector<std::weak_ptr<StageRun>> activeRuns_;
 };
 
 } // namespace doppio::spark

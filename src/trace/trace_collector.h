@@ -50,6 +50,18 @@ nodePid(int node)
 constexpr int kTidStages = 1; //!< stage windows
 constexpr int kTidFaults = 2; //!< injected fault events
 constexpr int kTidHdfs = 3;   //!< HDFS failover / re-replication
+/** Base of the per-job driver lanes (multi-tenant runs): job j's
+ *  stage windows and batch spans land on tid kTidJobBase + j, so
+ *  Perfetto shows one lane per tenant instead of one interleaved
+ *  "stages" lane. Single-job runs keep using kTidStages. */
+constexpr int kTidJobBase = 10;
+
+/** @return the driver tid of job @p job (multi-tenant lanes). */
+constexpr int
+jobTid(int job)
+{
+    return kTidJobBase + job;
+}
 
 // Per-node tids.
 constexpr int kTidCoreBase = 1;        //!< +core slot (task spans)

@@ -87,66 +87,77 @@ Gatk4::Options::scaled(double readPairsMillions)
     return options;
 }
 
-void
-Gatk4::registerInputs(dfs::Hdfs &hdfs) const
-{
-    hdfs.addFile("genome.bam", options_.inputBytes());
-}
-
-void
-Gatk4::execute(spark::SparkContext &context) const
+TenantProgram
+Gatk4::program(const std::string &prefix) const
 {
     using spark::ActionSpec;
     using spark::Rdd;
     using spark::RddRef;
 
-    const Bytes shuffle_bytes = options_.shuffleBytes();
+    const Options options = options_;
+    const std::string file = prefix + "genome.bam";
 
-    // Fig. 1 lineage.
-    RddRef initial_reads = context.hadoopFile("genome.bam");
-    initial_reads->pipelinedCpuPerByte = kBamParseCpuPerByte;
+    TenantProgram program;
+    program.registerInputs = [options, file](dfs::Hdfs &hdfs) {
+        hdfs.addFile(file, options.inputBytes());
+    };
+    program.buildJobs = [options,
+                         file](const HadoopFileFn &hadoopFile) {
+        std::vector<TenantJob> jobs;
+        const Bytes shuffle_bytes = options.shuffleBytes();
 
-    RddRef keyed_reads =
-        Rdd::narrow("keyedReads", {initial_reads}, shuffle_bytes);
-    keyed_reads->cpuPerInputByte = kKeySortCpuPerByte;
-    keyed_reads->gcSensitivity = kMdGcSensitivity;
+        // Fig. 1 lineage.
+        RddRef initial_reads = hadoopFile(file);
+        initial_reads->pipelinedCpuPerByte = kBamParseCpuPerByte;
 
-    spark::ShuffleSpec shuffle;
-    shuffle.bytes = shuffle_bytes;
-    shuffle.mapCpuPerByte = kSpillCpuPerByte;
-    shuffle.mapStageName = kStageMd;
-    RddRef grouped_reads =
-        Rdd::shuffled("groupedReads", keyed_reads,
-                      options_.numReducers(), shuffle_bytes, shuffle);
-    grouped_reads->pipelinedCpuPerByte = kShuffleDecompressCpuPerByte;
-    grouped_reads->cpuPerInputByte = kMarkDupCpuPerByte;
+        RddRef keyed_reads =
+            Rdd::narrow("keyedReads", {initial_reads}, shuffle_bytes);
+        keyed_reads->cpuPerInputByte = kKeySortCpuPerByte;
+        keyed_reads->gcSensitivity = kMdGcSensitivity;
 
-    RddRef non_primary =
-        Rdd::narrow("nonPrimaryReads", {initial_reads}, gib(2));
-    non_primary->cpuPerInputByte = kFilterCpuPerByte;
+        spark::ShuffleSpec shuffle;
+        shuffle.bytes = shuffle_bytes;
+        shuffle.mapCpuPerByte = kSpillCpuPerByte;
+        shuffle.mapStageName = kStageMd;
+        RddRef grouped_reads =
+            Rdd::shuffled("groupedReads", keyed_reads,
+                          options.numReducers(), shuffle_bytes,
+                          shuffle);
+        grouped_reads->pipelinedCpuPerByte =
+            kShuffleDecompressCpuPerByte;
+        grouped_reads->cpuPerInputByte = kMarkDupCpuPerByte;
 
-    // The union both BR and SF act on; too large to cache (§III-B2).
-    RddRef marked_reads = Rdd::narrow(
-        "markedReads", {grouped_reads, non_primary},
-        shuffle_bytes + gib(2));
-    marked_reads->memoryBytes = static_cast<Bytes>(
-        static_cast<double>(options_.inputBytes()) *
-        kMarkedReadsExpansion);
+        RddRef non_primary =
+            Rdd::narrow("nonPrimaryReads", {initial_reads}, gib(2));
+        non_primary->cpuPerInputByte = kFilterCpuPerByte;
 
-    // Job 1 (BR): builds the recalibration model. Runs the MD map
-    // stage, then the BR result stage.
-    RddRef br_table = Rdd::narrow(kStageBr, {marked_reads}, gib(1));
-    br_table->cpuPerInputByte = kBrCpuPerByte;
-    context.runJob(kStageBr, br_table, ActionSpec::collect());
+        // The union both BR and SF act on; too large to cache
+        // (§III-B2).
+        RddRef marked_reads =
+            Rdd::narrow("markedReads", {grouped_reads, non_primary},
+                        shuffle_bytes + gib(2));
+        marked_reads->memoryBytes = static_cast<Bytes>(
+            static_cast<double>(options.inputBytes()) *
+            kMarkedReadsExpansion);
 
-    // Job 2 (SF): recomputes markedReads from the existing shuffle
-    // files (the map stage is skipped, Table IV) and writes the
-    // analysis-ready BAM.
-    RddRef sf_out =
-        Rdd::narrow(kStageSf, {marked_reads}, options_.outputBytes());
-    sf_out->cpuPerInputByte = kSfCpuPerByte;
-    context.runJob(kStageSf, sf_out,
-                   ActionSpec::saveAsHadoopFile(options_.outputBytes()));
+        // Job 1 (BR): builds the recalibration model. Runs the MD map
+        // stage, then the BR result stage.
+        RddRef br_table = Rdd::narrow(kStageBr, {marked_reads}, gib(1));
+        br_table->cpuPerInputByte = kBrCpuPerByte;
+        jobs.push_back({kStageBr, br_table, ActionSpec::collect(), {}});
+
+        // Job 2 (SF): recomputes markedReads from the existing shuffle
+        // files (the map stage is skipped, Table IV) and writes the
+        // analysis-ready BAM.
+        RddRef sf_out = Rdd::narrow(kStageSf, {marked_reads},
+                                    options.outputBytes());
+        sf_out->cpuPerInputByte = kSfCpuPerByte;
+        jobs.push_back(
+            {kStageSf, sf_out,
+             ActionSpec::saveAsHadoopFile(options.outputBytes()), {}});
+        return jobs;
+    };
+    return program;
 }
 
 } // namespace doppio::workloads

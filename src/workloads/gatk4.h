@@ -76,9 +76,7 @@ class Gatk4 : public Workload
     static constexpr const char *kStageBr = "BR";
     static constexpr const char *kStageSf = "SF";
 
-  protected:
-    void registerInputs(dfs::Hdfs &hdfs) const override;
-    void execute(spark::SparkContext &context) const override;
+    TenantProgram program(const std::string &prefix) const override;
 
   private:
     Options options_;

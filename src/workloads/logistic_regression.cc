@@ -36,35 +36,44 @@ LogisticRegression::Options::inputBytes() const
     return static_cast<Bytes>(static_cast<double>(parsedBytes()) * 1.03);
 }
 
-void
-LogisticRegression::registerInputs(dfs::Hdfs &hdfs) const
-{
-    hdfs.addFile("lr_examples.txt", options_.inputBytes());
-}
-
-void
-LogisticRegression::execute(spark::SparkContext &context) const
+TenantProgram
+LogisticRegression::program(const std::string &prefix) const
 {
     using spark::ActionSpec;
     using spark::Rdd;
     using spark::RddRef;
 
-    RddRef input = context.hadoopFile("lr_examples.txt");
-    input->pipelinedCpuPerByte = kParseCpuPerByte;
+    const Options options = options_;
+    const std::string file = prefix + "lr_examples.txt";
 
-    RddRef parsed =
-        Rdd::narrow("parsedData", {input}, options_.parsedBytes());
-    parsed->memoryBytes = options_.parsedBytes();
-    parsed->pipelinedCpuPerByte = kDeserializeCpuPerByte;
-    parsed->persist(spark::StorageLevel::MemoryAndDisk);
+    TenantProgram program;
+    program.registerInputs = [options, file](dfs::Hdfs &hdfs) {
+        hdfs.addFile(file, options.inputBytes());
+    };
+    program.buildJobs =
+        [options, file](const HadoopFileFn &hadoopFile) {
+            std::vector<TenantJob> jobs;
+            RddRef input = hadoopFile(file);
+            input->pipelinedCpuPerByte = kParseCpuPerByte;
 
-    context.runJob(kStageValidator, parsed, ActionSpec::count());
+            RddRef parsed = Rdd::narrow("parsedData", {input},
+                                        options.parsedBytes());
+            parsed->memoryBytes = options.parsedBytes();
+            parsed->pipelinedCpuPerByte = kDeserializeCpuPerByte;
+            parsed->persist(spark::StorageLevel::MemoryAndDisk);
+            jobs.push_back(
+                {kStageValidator, parsed, ActionSpec::count(), {}});
 
-    for (int i = 0; i < options_.iterations; ++i) {
-        RddRef gradient = Rdd::narrow(kStageIteration, {parsed}, mib(1));
-        gradient->cpuPerInputByte = kGradientCpuPerByte;
-        context.runJob(kStageIteration, gradient, ActionSpec::collect());
-    }
+            for (int i = 0; i < options.iterations; ++i) {
+                RddRef gradient =
+                    Rdd::narrow(kStageIteration, {parsed}, mib(1));
+                gradient->cpuPerInputByte = kGradientCpuPerByte;
+                jobs.push_back({kStageIteration, gradient,
+                                ActionSpec::collect(), {}});
+            }
+            return jobs;
+        };
+    return program;
 }
 
 } // namespace doppio::workloads

@@ -47,9 +47,7 @@ class LogisticRegression : public Workload
     static constexpr const char *kStageValidator = "dataValidator";
     static constexpr const char *kStageIteration = "iteration";
 
-  protected:
-    void registerInputs(dfs::Hdfs &hdfs) const override;
-    void execute(spark::SparkContext &context) const override;
+    TenantProgram program(const std::string &prefix) const override;
 
   private:
     Options options_;

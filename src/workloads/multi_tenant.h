@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Multi-tenant run driver: one shared cluster, many workloads.
+ *
+ * Takes a parsed jobs-spec (pools + tenant lines), provisions one
+ * cluster, registers every tenant's inputs under a per-tenant prefix
+ * ("t0.", "t1.", ...), admits the tenants through a
+ * sched::JobScheduler and runs the shared simulation to completion.
+ * Batch tenants replay their Workload::program(); stream tenants run
+ * a StreamingDriver over a streaming template. The result carries
+ * each tenant's own AppMetrics (with a streaming block for streams)
+ * plus the cluster-wide tenancy/page-cache/memory/fault blocks.
+ */
+
+#ifndef DOPPIO_WORKLOADS_MULTI_TENANT_H
+#define DOPPIO_WORKLOADS_MULTI_TENANT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "faults/fault_spec.h"
+#include "sched/job_scheduler.h"
+#include "sched/jobs_spec.h"
+#include "spark/metrics.h"
+#include "spark/spark_conf.h"
+
+namespace doppio::trace {
+class TraceCollector;
+}
+
+namespace doppio::workloads {
+
+/** Everything a finished multi-tenant run produced. */
+struct MultiTenantResult
+{
+    /** Per-tenant application metrics; AppMetrics::name is the
+     *  tenant name ("<workload>#<i>"). */
+    std::vector<spark::AppMetrics> tenants;
+    /** Per-tenant and per-pool shares. */
+    sched::TenancySummary tenancy;
+    /** Makespan: simulated seconds until the last event drained. */
+    double seconds = 0.0;
+
+    bool pageCachePresent = false;
+    oscache::PageCacheStats pageCache;
+    bool memoryPresent = false;
+    spark::MemoryMetrics memory;
+    bool faultsPresent = false;
+    spark::FaultMetrics faults;
+};
+
+/**
+ * Run @p spec on one shared cluster. @p faultSpec and @p collector
+ * behave like Workload::run's: a fault spec arms an injector whose
+ * node events hit every job in flight; a collector yields per-job
+ * Perfetto lanes next to the shared device/cache/memory tracks.
+ */
+MultiTenantResult
+runMultiTenant(const sched::MultiJobSpec &spec,
+               const cluster::ClusterConfig &clusterConfig,
+               const spark::SparkConf &sparkConf,
+               const faults::FaultSpec *faultSpec = nullptr,
+               trace::TraceCollector *collector = nullptr);
+
+/**
+ * Write @p result as one JSON document:
+ * {"app":"multi-tenant","seconds":...,"tenants":[<AppMetrics>...],
+ *  "tenancy":{...}, "page_cache"?, "memory"?, "faults"?}.
+ */
+void writeMultiTenantJson(std::ostream &os,
+                          const MultiTenantResult &result);
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_MULTI_TENANT_H

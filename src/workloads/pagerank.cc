@@ -22,57 +22,72 @@ constexpr double kRankCpuPerByte = 2.7e-7;
 
 } // namespace
 
-void
-PageRank::registerInputs(dfs::Hdfs &hdfs) const
-{
-    // Edge list sized to 2048 x 128 MiB blocks (256 GiB).
-    hdfs.addFile("pr_edges.txt", 2048ULL * 128 * kMiB);
-}
-
-void
-PageRank::execute(spark::SparkContext &context) const
+TenantProgram
+PageRank::program(const std::string &prefix) const
 {
     using spark::ActionSpec;
     using spark::Rdd;
     using spark::RddRef;
 
-    RddRef edges = context.hadoopFile("pr_edges.txt");
-    edges->pipelinedCpuPerByte = kParseCpuPerByte;
+    const Options options = options_;
+    const std::string file = prefix + "pr_edges.txt";
 
-    spark::ShuffleSpec loader_shuffle;
-    loader_shuffle.bytes = options_.generationBytes;
-    loader_shuffle.mapStageName = std::string(kStageLoader) + ".map";
-    RddRef graph =
-        Rdd::shuffled("graph", edges, options_.partitions,
-                      options_.generationBytes, loader_shuffle);
-    graph->memoryBytes = options_.generationBytes;
-    graph->cpuPerInputByte = kBuildCpuPerByte;
-    graph->pipelinedCpuPerByte = kGenerationDeserCpuPerByte;
-    graph->persist(spark::StorageLevel::MemoryAndDisk);
-    context.runJob(kStageLoader, graph, ActionSpec::count());
+    TenantProgram program;
+    program.registerInputs = [file](dfs::Hdfs &hdfs) {
+        // Edge list sized to 2048 x 128 MiB blocks (256 GiB).
+        hdfs.addFile(file, 2048ULL * 128 * kMiB);
+    };
+    program.buildJobs =
+        [options, file](const HadoopFileFn &hadoopFile) {
+            std::vector<TenantJob> jobs;
+            RddRef edges = hadoopFile(file);
+            edges->pipelinedCpuPerByte = kParseCpuPerByte;
 
-    // Each iteration materializes a new generation and the one before
-    // last is unpersisted (GraphX keeps two generations alive).
-    RddRef previous = graph;
-    RddRef grandparent;
-    for (int i = 0; i < options_.iterations; ++i) {
-        RddRef ranks = Rdd::narrow(kStageIteration, {previous},
-                                   options_.generationBytes);
-        ranks->memoryBytes = options_.generationBytes;
-        ranks->cpuPerInputByte = kRankCpuPerByte;
-        ranks->pipelinedCpuPerByte = kGenerationDeserCpuPerByte;
-        ranks->persist(spark::StorageLevel::MemoryAndDisk);
-        context.runJob(kStageIteration, ranks, ActionSpec::count());
-        if (grandparent)
-            context.unpersist(grandparent);
-        grandparent = previous;
-        previous = ranks;
-    }
+            spark::ShuffleSpec loader_shuffle;
+            loader_shuffle.bytes = options.generationBytes;
+            loader_shuffle.mapStageName =
+                std::string(kStageLoader) + ".map";
+            RddRef graph =
+                Rdd::shuffled("graph", edges, options.partitions,
+                              options.generationBytes, loader_shuffle);
+            graph->memoryBytes = options.generationBytes;
+            graph->cpuPerInputByte = kBuildCpuPerByte;
+            graph->pipelinedCpuPerByte = kGenerationDeserCpuPerByte;
+            graph->persist(spark::StorageLevel::MemoryAndDisk);
+            jobs.push_back(
+                {kStageLoader, graph, ActionSpec::count(), {}});
 
-    RddRef output =
-        Rdd::narrow(kStageSave, {previous}, options_.outputBytes);
-    context.runJob(kStageSave, output,
-                   ActionSpec::saveAsHadoopFile(options_.outputBytes));
+            // Each iteration materializes a new generation and the one
+            // before last is unpersisted (GraphX keeps two generations
+            // alive): iteration i drops generation i-2, where the
+            // loader's graph is generation -1.
+            RddRef previous = graph;
+            RddRef grandparent;
+            for (int i = 0; i < options.iterations; ++i) {
+                RddRef ranks = Rdd::narrow(kStageIteration, {previous},
+                                           options.generationBytes);
+                ranks->memoryBytes = options.generationBytes;
+                ranks->cpuPerInputByte = kRankCpuPerByte;
+                ranks->pipelinedCpuPerByte = kGenerationDeserCpuPerByte;
+                ranks->persist(spark::StorageLevel::MemoryAndDisk);
+                TenantJob job{kStageIteration, ranks,
+                              ActionSpec::count(), {}};
+                if (grandparent)
+                    job.unpersistAfter.push_back(grandparent);
+                jobs.push_back(std::move(job));
+                grandparent = previous;
+                previous = ranks;
+            }
+
+            RddRef output = Rdd::narrow(kStageSave, {previous},
+                                        options.outputBytes);
+            jobs.push_back(
+                {kStageSave, output,
+                 ActionSpec::saveAsHadoopFile(options.outputBytes),
+                 {}});
+            return jobs;
+        };
+    return program;
 }
 
 } // namespace doppio::workloads

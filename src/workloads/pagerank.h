@@ -42,9 +42,7 @@ class PageRank : public Workload
     static constexpr const char *kStageIteration = "iteration";
     static constexpr const char *kStageSave = "saveAsTextFile";
 
-  protected:
-    void registerInputs(dfs::Hdfs &hdfs) const override;
-    void execute(spark::SparkContext &context) const override;
+    TenantProgram program(const std::string &prefix) const override;
 
   private:
     Options options_;

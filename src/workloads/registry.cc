@@ -4,6 +4,7 @@
 #include "workloads/gatk4.h"
 #include "workloads/logistic_regression.h"
 #include "workloads/pagerank.h"
+#include "workloads/streaming.h"
 #include "workloads/svm.h"
 #include "workloads/terasort.h"
 #include "workloads/triangle_count.h"
@@ -13,8 +14,9 @@ namespace doppio::workloads {
 std::vector<std::string>
 registeredWorkloads()
 {
-    return {"gatk4",    "lr-small",       "lr-large", "svm",
-            "pagerank", "triangle-count", "terasort"};
+    return {"gatk4",    "lr-small",       "lr-large",
+            "svm",      "pagerank",       "triangle-count",
+            "terasort", "streaming-lr",   "streaming-agg"};
 }
 
 std::unique_ptr<Workload>
@@ -36,6 +38,16 @@ makeWorkload(const std::string &name)
         return std::make_unique<TriangleCount>();
     if (name == "terasort")
         return std::make_unique<Terasort>();
+    if (name == "streaming-lr") {
+        Streaming::Options options;
+        options.tmpl = "lr";
+        return std::make_unique<Streaming>(options);
+    }
+    if (name == "streaming-agg") {
+        Streaming::Options options;
+        options.tmpl = "agg";
+        return std::make_unique<Streaming>(options);
+    }
     fatal("makeWorkload: unknown workload '%s'", name.c_str());
 }
 

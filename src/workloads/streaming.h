@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Micro-batch streaming workloads (Spark Streaming's DStream model).
+ *
+ * A streaming workload is defined by a template: how one micro-batch
+ * of `batchBytes` of fresh input turns into a Spark job. Two
+ * templates ship:
+ *
+ *  - "lr": a narrow scoring pipeline (parse + model application,
+ *    collect) — pure HDFS-read plus compute, no shuffle. The
+ *    streaming analogue of the LR workloads' iteration structure.
+ *  - "agg": a keyed aggregation (parse, shuffle, count) — every batch
+ *    exercises shuffle write + read, so its service time is
+ *    I/O-coupled to co-tenants on both disks and network.
+ *
+ * Each batch reads its own input file (fresh stream data is never
+ * page-cache resident from a previous batch). The Streaming workload
+ * runs one stream alone on a fresh cluster via Workload::run() —
+ * useful for isolated baselines and λ sweeps — while multi-tenant
+ * runs attach the same templates to a shared cluster through
+ * makeStreamingTemplate().
+ */
+
+#ifndef DOPPIO_WORKLOADS_STREAMING_H
+#define DOPPIO_WORKLOADS_STREAMING_H
+
+#include <functional>
+#include <string>
+
+#include "sched/streaming.h"
+#include "workloads/workload.h"
+
+namespace doppio::workloads {
+
+/** One stream's inputs plus its per-batch job factory. */
+struct StreamingTemplate
+{
+    /** Register every batch's input file (one per arrival). */
+    std::function<void(dfs::Hdfs &)> registerInputs;
+    /** Build batch k's job against the owning tenant context. */
+    sched::BatchBuilder builder;
+};
+
+/**
+ * @return the named template ("lr" or "agg"); fatal() on unknown
+ * names. @p prefix namespaces the batch input files, @p batches and
+ * @p batchBytes size the per-arrival input.
+ */
+StreamingTemplate makeStreamingTemplate(const std::string &name,
+                                        const std::string &prefix,
+                                        int batches, Bytes batchBytes);
+
+/** A micro-batch stream as a standalone workload (isolated runs). */
+class Streaming : public Workload
+{
+  public:
+    struct Options
+    {
+        std::string tmpl = "lr"; //!< template name ("lr" or "agg")
+        sched::StreamingOptions stream;
+        Bytes batchBytes = 64 * kMiB;
+    };
+
+    Streaming() = default;
+    explicit Streaming(Options options)
+        : options_(std::move(options))
+    {
+    }
+
+    std::string name() const override
+    {
+        return "Streaming-" + options_.tmpl;
+    }
+    const Options &options() const { return options_; }
+
+    /** Run the stream alone on a fresh cluster (λ-sweep baseline). */
+    spark::AppMetrics
+    run(const cluster::ClusterConfig &clusterConfig,
+        const spark::SparkConf &sparkConf,
+        spark::TaskTrace *trace = nullptr,
+        const faults::FaultSpec *faultSpec = nullptr,
+        trace::TraceCollector *collector = nullptr) const override;
+
+  private:
+    Options options_;
+};
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_STREAMING_H

@@ -21,47 +21,61 @@ constexpr double kMergeCpuPerByte = 2.0e-9;
 
 } // namespace
 
-void
-Svm::registerInputs(dfs::Hdfs &hdfs) const
-{
-    // Sized so the input splits into exactly `partitions` HDFS blocks.
-    hdfs.addFile("svm_samples.txt",
-                 static_cast<Bytes>(options_.partitions) * 128 * kMiB);
-}
-
-void
-Svm::execute(spark::SparkContext &context) const
+TenantProgram
+Svm::program(const std::string &prefix) const
 {
     using spark::ActionSpec;
     using spark::Rdd;
     using spark::RddRef;
 
-    RddRef input = context.hadoopFile("svm_samples.txt");
-    input->pipelinedCpuPerByte = kParseCpuPerByte;
+    const Options options = options_;
+    const std::string file = prefix + "svm_samples.txt";
 
-    RddRef parsed =
-        Rdd::narrow("parsedData", {input}, options_.cachedBytes);
-    parsed->memoryBytes = options_.cachedBytes;
-    parsed->persist(spark::StorageLevel::MemoryAndDisk);
-    context.runJob(kStageValidator, parsed, ActionSpec::count());
+    TenantProgram program;
+    program.registerInputs = [options, file](dfs::Hdfs &hdfs) {
+        // Sized so the input splits into exactly `partitions` HDFS
+        // blocks.
+        hdfs.addFile(file,
+                     static_cast<Bytes>(options.partitions) * 128 *
+                         kMiB);
+    };
+    program.buildJobs =
+        [options, file](const HadoopFileFn &hadoopFile) {
+            std::vector<TenantJob> jobs;
+            RddRef input = hadoopFile(file);
+            input->pipelinedCpuPerByte = kParseCpuPerByte;
 
-    for (int i = 0; i < options_.iterations; ++i) {
-        RddRef step = Rdd::narrow(kStageIteration, {parsed}, mib(1));
-        step->cpuPerInputByte = kIterationCpuPerByte;
-        context.runJob(kStageIteration, step, ActionSpec::collect());
-    }
+            RddRef parsed =
+                Rdd::narrow("parsedData", {input}, options.cachedBytes);
+            parsed->memoryBytes = options.cachedBytes;
+            parsed->persist(spark::StorageLevel::MemoryAndDisk);
+            jobs.push_back(
+                {kStageValidator, parsed, ActionSpec::count(), {}});
 
-    // Subtract phase: shuffle-heavy difference of prediction and label
-    // RDDs (modelled as one 170 GB shuffle over parsedData).
-    spark::ShuffleSpec shuffle;
-    shuffle.bytes = options_.shuffleBytes;
-    shuffle.mapCpuPerByte = kSpillCpuPerByte;
-    shuffle.mapStageName = std::string(kStageSubtract) + ".map";
-    RddRef subtracted =
-        Rdd::shuffled(kStageSubtract, parsed, options_.partitions,
-                      gib(1), shuffle);
-    subtracted->pipelinedCpuPerByte = kMergeCpuPerByte;
-    context.runJob(kStageSubtract, subtracted, ActionSpec::count());
+            for (int i = 0; i < options.iterations; ++i) {
+                RddRef step =
+                    Rdd::narrow(kStageIteration, {parsed}, mib(1));
+                step->cpuPerInputByte = kIterationCpuPerByte;
+                jobs.push_back({kStageIteration, step,
+                                ActionSpec::collect(), {}});
+            }
+
+            // Subtract phase: shuffle-heavy difference of prediction
+            // and label RDDs (modelled as one 170 GB shuffle over
+            // parsedData).
+            spark::ShuffleSpec shuffle;
+            shuffle.bytes = options.shuffleBytes;
+            shuffle.mapCpuPerByte = kSpillCpuPerByte;
+            shuffle.mapStageName = std::string(kStageSubtract) + ".map";
+            RddRef subtracted =
+                Rdd::shuffled(kStageSubtract, parsed,
+                              options.partitions, gib(1), shuffle);
+            subtracted->pipelinedCpuPerByte = kMergeCpuPerByte;
+            jobs.push_back(
+                {kStageSubtract, subtracted, ActionSpec::count(), {}});
+            return jobs;
+        };
+    return program;
 }
 
 } // namespace doppio::workloads

@@ -39,9 +39,7 @@ class Svm : public Workload
     static constexpr const char *kStageIteration = "iteration";
     static constexpr const char *kStageSubtract = "subtract";
 
-  protected:
-    void registerInputs(dfs::Hdfs &hdfs) const override;
-    void execute(spark::SparkContext &context) const override;
+    TenantProgram program(const std::string &prefix) const override;
 
   private:
     Options options_;

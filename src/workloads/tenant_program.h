@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tenant-ready workload description.
+ *
+ * A TenantProgram is a workload reduced to data: which HDFS files it
+ * needs and which jobs (lineage + action + post-job unpersists) it
+ * runs, in order. The same program drives both execution paths —
+ * Workload::execute() replays it synchronously on a private
+ * SparkContext (the classic single-job run), and the multi-tenant
+ * runner feeds it job-by-job into a sched::JobContext sharing one
+ * cluster with other tenants. The @p prefix parameter namespaces the
+ * HDFS file names so several instances of one workload can coexist in
+ * a shared namespace ("t0.lr_examples.txt", "t1.lr_examples.txt").
+ *
+ * RDD construction is side-effect free (lineage nodes only reference
+ * HDFS metadata; persist() marks the node), so building every job's
+ * lineage up front is equivalent to the classic interleaved
+ * build-run-build sequence — what matters for materialization is that
+ * jobs *compile* in submission order, which both paths preserve.
+ */
+
+#ifndef DOPPIO_WORKLOADS_TENANT_PROGRAM_H
+#define DOPPIO_WORKLOADS_TENANT_PROGRAM_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dfs/hdfs.h"
+#include "spark/dag_scheduler.h"
+#include "spark/rdd.h"
+
+namespace doppio::workloads {
+
+/** Resolves a registered HDFS file name to a source RDD. */
+using HadoopFileFn =
+    std::function<spark::RddRef(const std::string &)>;
+
+/** One action-job of a program, in submission order. */
+struct TenantJob
+{
+    std::string name;
+    spark::RddRef target;
+    spark::ActionSpec action;
+    /** Unpersisted right after this job completes (e.g. PageRank's
+     *  grandparent generation drop). */
+    std::vector<spark::RddRef> unpersistAfter;
+};
+
+/** A workload as pure data: inputs plus an ordered job list. */
+struct TenantProgram
+{
+    /** Register the program's input files (names already prefixed). */
+    std::function<void(dfs::Hdfs &)> registerInputs;
+
+    /** Build the full lineage and job list; @p hadoopFile resolves
+     *  prefixed input names against the owning context. */
+    std::function<std::vector<TenantJob>(const HadoopFileFn &)>
+        buildJobs;
+};
+
+} // namespace doppio::workloads
+
+#endif // DOPPIO_WORKLOADS_TENANT_PROGRAM_H

@@ -19,35 +19,45 @@ constexpr double kMergeCpuPerByte = 1.5e-9;
 
 } // namespace
 
-void
-Terasort::registerInputs(dfs::Hdfs &hdfs) const
-{
-    hdfs.addFile("terasort_input", options_.dataBytes);
-}
-
-void
-Terasort::execute(spark::SparkContext &context) const
+TenantProgram
+Terasort::program(const std::string &prefix) const
 {
     using spark::ActionSpec;
     using spark::Rdd;
     using spark::RddRef;
 
-    RddRef input = context.hadoopFile("terasort_input");
-    input->pipelinedCpuPerByte = kPartitionCpuPerByte;
+    const Options options = options_;
+    const std::string file = prefix + "terasort_input";
 
-    spark::ShuffleSpec shuffle;
-    shuffle.bytes = options_.dataBytes;
-    shuffle.mapCpuPerByte = kSpillCpuPerByte;
-    shuffle.mapStageName = kStageNf;
-    RddRef sorted = Rdd::shuffled("sortedRanges", input,
-                                  options_.reducers, options_.dataBytes,
-                                  shuffle);
-    sorted->pipelinedCpuPerByte = kMergeCpuPerByte;
-    sorted->cpuPerInputByte = kSortCpuPerByte;
+    TenantProgram program;
+    program.registerInputs = [options, file](dfs::Hdfs &hdfs) {
+        hdfs.addFile(file, options.dataBytes);
+    };
+    program.buildJobs =
+        [options, file](const HadoopFileFn &hadoopFile) {
+            std::vector<TenantJob> jobs;
+            RddRef input = hadoopFile(file);
+            input->pipelinedCpuPerByte = kPartitionCpuPerByte;
 
-    RddRef output = Rdd::narrow(kStageSf, {sorted}, options_.dataBytes);
-    context.runJob(kStageSf, output,
-                   ActionSpec::saveAsHadoopFile(options_.dataBytes));
+            spark::ShuffleSpec shuffle;
+            shuffle.bytes = options.dataBytes;
+            shuffle.mapCpuPerByte = kSpillCpuPerByte;
+            shuffle.mapStageName = kStageNf;
+            RddRef sorted =
+                Rdd::shuffled("sortedRanges", input, options.reducers,
+                              options.dataBytes, shuffle);
+            sorted->pipelinedCpuPerByte = kMergeCpuPerByte;
+            sorted->cpuPerInputByte = kSortCpuPerByte;
+
+            RddRef output =
+                Rdd::narrow(kStageSf, {sorted}, options.dataBytes);
+            jobs.push_back(
+                {kStageSf, output,
+                 ActionSpec::saveAsHadoopFile(options.dataBytes),
+                 {}});
+            return jobs;
+        };
+    return program;
 }
 
 } // namespace doppio::workloads

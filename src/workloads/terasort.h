@@ -38,9 +38,7 @@ class Terasort : public Workload
     static constexpr const char *kStageNf = "NF";
     static constexpr const char *kStageSf = "SF";
 
-  protected:
-    void registerInputs(dfs::Hdfs &hdfs) const override;
-    void execute(spark::SparkContext &context) const override;
+    TenantProgram program(const std::string &prefix) const override;
 
   private:
     Options options_;

@@ -20,41 +20,52 @@ constexpr double kMergeCpuPerByte = 2.0e-9;
 
 } // namespace
 
-void
-TriangleCount::registerInputs(dfs::Hdfs &hdfs) const
-{
-    // Input sized to `partitions` HDFS blocks (300 GiB at 2400).
-    hdfs.addFile("tc_edges.txt",
-                 static_cast<Bytes>(options_.partitions) * 128 * kMiB);
-}
-
-void
-TriangleCount::execute(spark::SparkContext &context) const
+TenantProgram
+TriangleCount::program(const std::string &prefix) const
 {
     using spark::ActionSpec;
     using spark::Rdd;
     using spark::RddRef;
 
-    RddRef edges = context.hadoopFile("tc_edges.txt");
-    edges->pipelinedCpuPerByte = kParseCpuPerByte;
+    const Options options = options_;
+    const std::string file = prefix + "tc_edges.txt";
 
-    RddRef graph = Rdd::narrow("graph", {edges}, options_.cachedBytes);
-    graph->memoryBytes = options_.cachedBytes;
-    graph->persist(spark::StorageLevel::MemoryAndDisk);
-    context.runJob(kStageLoader, graph, ActionSpec::count());
+    TenantProgram program;
+    program.registerInputs = [options, file](dfs::Hdfs &hdfs) {
+        // Input sized to `partitions` HDFS blocks (300 GiB at 2400).
+        hdfs.addFile(file,
+                     static_cast<Bytes>(options.partitions) * 128 *
+                         kMiB);
+    };
+    program.buildJobs =
+        [options, file](const HadoopFileFn &hadoopFile) {
+            std::vector<TenantJob> jobs;
+            RddRef edges = hadoopFile(file);
+            edges->pipelinedCpuPerByte = kParseCpuPerByte;
 
-    // Repartition to canonical form, then count (paper §V-B4 citing
-    // the GraphX TriangleCount implementation).
-    spark::ShuffleSpec shuffle;
-    shuffle.bytes = options_.shuffleBytes;
-    shuffle.mapCpuPerByte = kCanonicalizeCpuPerByte;
-    shuffle.mapStageName = std::string(kStageCompute) + ".map";
-    RddRef counted =
-        Rdd::shuffled(kStageCompute, graph, options_.partitions, gib(1),
-                      shuffle);
-    counted->cpuPerInputByte = kCountCpuPerByte;
-    counted->pipelinedCpuPerByte = kMergeCpuPerByte;
-    context.runJob(kStageCompute, counted, ActionSpec::count());
+            RddRef graph =
+                Rdd::narrow("graph", {edges}, options.cachedBytes);
+            graph->memoryBytes = options.cachedBytes;
+            graph->persist(spark::StorageLevel::MemoryAndDisk);
+            jobs.push_back(
+                {kStageLoader, graph, ActionSpec::count(), {}});
+
+            // Repartition to canonical form, then count (paper §V-B4
+            // citing the GraphX TriangleCount implementation).
+            spark::ShuffleSpec shuffle;
+            shuffle.bytes = options.shuffleBytes;
+            shuffle.mapCpuPerByte = kCanonicalizeCpuPerByte;
+            shuffle.mapStageName = std::string(kStageCompute) + ".map";
+            RddRef counted =
+                Rdd::shuffled(kStageCompute, graph, options.partitions,
+                              gib(1), shuffle);
+            counted->cpuPerInputByte = kCountCpuPerByte;
+            counted->pipelinedCpuPerByte = kMergeCpuPerByte;
+            jobs.push_back(
+                {kStageCompute, counted, ActionSpec::count(), {}});
+            return jobs;
+        };
+    return program;
 }
 
 } // namespace doppio::workloads

@@ -37,9 +37,7 @@ class TriangleCount : public Workload
     static constexpr const char *kStageLoader = "graphLoader";
     static constexpr const char *kStageCompute = "computeTriangleCount";
 
-  protected:
-    void registerInputs(dfs::Hdfs &hdfs) const override;
-    void execute(spark::SparkContext &context) const override;
+    TenantProgram program(const std::string &prefix) const override;
 
   private:
     Options options_;

@@ -1,8 +1,10 @@
 #include "workloads/workload.h"
 
 #include <memory>
+#include <vector>
 
 #include "cluster/cluster.h"
+#include "common/logging.h"
 #include "faults/fault_injector.h"
 #include "sim/simulator.h"
 
@@ -64,6 +66,35 @@ Workload::run(const cluster::ClusterConfig &clusterConfig,
         metrics.faults.lostDirtyBytes += cluster.lostDirtyBytes();
     }
     return metrics;
+}
+
+TenantProgram
+Workload::program(const std::string &prefix) const
+{
+    (void)prefix;
+    fatal("workload %s is not multi-tenant capable (no program())",
+          name().c_str());
+}
+
+void
+Workload::registerInputs(dfs::Hdfs &hdfs) const
+{
+    program("").registerInputs(hdfs);
+}
+
+void
+Workload::execute(spark::SparkContext &context) const
+{
+    const TenantProgram prog = program("");
+    const std::vector<TenantJob> jobs =
+        prog.buildJobs([&context](const std::string &fileName) {
+            return context.hadoopFile(fileName);
+        });
+    for (const TenantJob &job : jobs) {
+        context.runJob(job.name, job.target, job.action);
+        for (const spark::RddRef &rdd : job.unpersistAfter)
+            context.unpersist(rdd);
+    }
 }
 
 model::WorkloadRunner

@@ -27,6 +27,7 @@
 #include "spark/metrics.h"
 #include "spark/spark_conf.h"
 #include "spark/spark_context.h"
+#include "workloads/tenant_program.h"
 
 namespace doppio::trace {
 class TraceCollector;
@@ -60,12 +61,12 @@ class Workload
      *                  memory) before any job runs; nullptr keeps the
      *                  run bit-for-bit identical to an untraced one.
      */
-    spark::AppMetrics run(const cluster::ClusterConfig &clusterConfig,
-                          const spark::SparkConf &sparkConf,
-                          spark::TaskTrace *trace = nullptr,
-                          const faults::FaultSpec *faultSpec = nullptr,
-                          trace::TraceCollector *collector =
-                              nullptr) const;
+    virtual spark::AppMetrics
+    run(const cluster::ClusterConfig &clusterConfig,
+        const spark::SparkConf &sparkConf,
+        spark::TaskTrace *trace = nullptr,
+        const faults::FaultSpec *faultSpec = nullptr,
+        trace::TraceCollector *collector = nullptr) const;
 
     /** Adapter for model::Profiler. */
     model::WorkloadRunner runner() const;
@@ -79,15 +80,26 @@ class Workload
      */
     virtual double taskTimeVariability() const { return -1.0; }
 
+    /**
+     * This workload as pure data — inputs plus an ordered job list —
+     * for the multi-tenant runner. @p prefix namespaces the HDFS file
+     * names so instances coexist in one namespace. The default
+     * fatal()s; every registered batch workload overrides it and the
+     * classic single-job path replays program("") via the default
+     * registerInputs()/execute() below, so both paths share one
+     * definition.
+     */
+    virtual TenantProgram program(const std::string &prefix) const;
+
   protected:
     /** HDFS deployment for this workload (Table II defaults). */
     virtual dfs::HdfsConfig hdfsConfig() const { return {}; }
 
-    /** Register input files. */
-    virtual void registerInputs(dfs::Hdfs &hdfs) const = 0;
+    /** Register input files. Default: program("").registerInputs. */
+    virtual void registerInputs(dfs::Hdfs &hdfs) const;
 
-    /** Build lineage and run all jobs. */
-    virtual void execute(spark::SparkContext &context) const = 0;
+    /** Build lineage and run all jobs. Default: replay program(""). */
+    virtual void execute(spark::SparkContext &context) const;
 };
 
 } // namespace doppio::workloads

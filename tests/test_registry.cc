@@ -11,9 +11,10 @@
 namespace doppio::workloads {
 namespace {
 
-TEST(Registry, ListsSevenWorkloads)
+TEST(Registry, ListsNineWorkloads)
 {
-    EXPECT_EQ(registeredWorkloads().size(), 7u);
+    // Seven batch workloads plus the two streaming templates.
+    EXPECT_EQ(registeredWorkloads().size(), 9u);
 }
 
 TEST(Registry, EveryRegisteredNameConstructs)

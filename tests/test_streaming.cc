@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the micro-batch streaming tenant (sched::StreamingDriver
+ * and the streaming workload templates): arrival determinism,
+ * backpressure under overload, SLO accounting, Poisson arrivals, the
+ * monotone stability boundary, and distinct page-cache streams for
+ * distinct batch files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "common/logging.h"
+#include "sched/jobs_spec.h"
+#include "sched/streaming.h"
+#include "workloads/multi_tenant.h"
+#include "workloads/registry.h"
+#include "workloads/streaming.h"
+
+namespace doppio {
+namespace {
+
+cluster::ClusterConfig
+benchCluster()
+{
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::evaluationCluster();
+    config.numSlaves = 2;
+    return config;
+}
+
+/** One stream tenant on a small cluster; returns its metrics. */
+spark::StreamingMetrics
+runStream(const sched::StreamingOptions &options,
+          const cluster::ClusterConfig &config = benchCluster())
+{
+    sched::MultiJobSpec spec;
+    sched::TenantSpec tenant;
+    tenant.kind = sched::TenantSpec::Kind::Stream;
+    tenant.workload = "lr";
+    tenant.stream = options;
+    spec.tenants.push_back(tenant);
+    spark::SparkConf conf;
+    conf.executorCores = 8;
+    const workloads::MultiTenantResult result =
+        workloads::runMultiTenant(spec, config, conf);
+    return result.tenants.front().streaming;
+}
+
+TEST(Streaming, ProcessesEveryBatchWhenStable)
+{
+    sched::StreamingOptions options;
+    options.ratePerSec = 0.2;
+    options.batches = 6;
+    const spark::StreamingMetrics s = runStream(options);
+    EXPECT_EQ(s.arrivals, 6u);
+    EXPECT_EQ(s.processed, 6u);
+    EXPECT_EQ(s.dropped, 0u);
+    EXPECT_TRUE(s.stable());
+    EXPECT_GT(s.p50LatencySec, 0.0);
+    EXPECT_LE(s.p50LatencySec, s.p99LatencySec);
+    EXPECT_LE(s.p99LatencySec, s.maxLatencySec);
+}
+
+TEST(Streaming, RunsAreDeterministic)
+{
+    sched::StreamingOptions options;
+    options.ratePerSec = 0.5;
+    options.batches = 5;
+    options.poisson = true;
+    const spark::StreamingMetrics a = runStream(options);
+    const spark::StreamingMetrics b = runStream(options);
+    EXPECT_DOUBLE_EQ(a.p50LatencySec, b.p50LatencySec);
+    EXPECT_DOUBLE_EQ(a.p99LatencySec, b.p99LatencySec);
+    EXPECT_DOUBLE_EQ(a.meanLatencySec, b.meanLatencySec);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.peakBacklog, b.peakBacklog);
+}
+
+TEST(Streaming, BackpressureBoundsTheBacklog)
+{
+    sched::StreamingOptions options;
+    options.ratePerSec = 5.0; // far beyond the service rate
+    options.batches = 12;
+    options.maxBacklog = 3;
+    const spark::StreamingMetrics s = runStream(options);
+    EXPECT_EQ(s.arrivals, 12u);
+    EXPECT_GT(s.dropped, 0u);
+    EXPECT_EQ(s.processed + s.dropped, s.arrivals);
+    EXPECT_LE(s.peakBacklog, 3);
+    EXPECT_FALSE(s.stable());
+}
+
+TEST(Streaming, SloViolationsAreCounted)
+{
+    sched::StreamingOptions options;
+    options.ratePerSec = 0.2;
+    options.batches = 4;
+    options.sloSeconds = 0.01; // every batch takes longer than this
+    const spark::StreamingMetrics tight = runStream(options);
+    EXPECT_EQ(tight.sloViolations, tight.processed);
+
+    options.sloSeconds = 0.0; // no objective, no violations
+    const spark::StreamingMetrics none = runStream(options);
+    EXPECT_EQ(none.sloViolations, 0u);
+}
+
+TEST(Streaming, PoissonArrivalsDifferFromDeterministic)
+{
+    sched::StreamingOptions options;
+    options.ratePerSec = 0.5;
+    options.batches = 8;
+    const spark::StreamingMetrics fixed = runStream(options);
+    options.poisson = true;
+    const spark::StreamingMetrics poisson = runStream(options);
+    EXPECT_EQ(fixed.arrivals, poisson.arrivals);
+    // Same rate, different gap sequence: the latency distribution
+    // must not coincide.
+    EXPECT_NE(fixed.meanLatencySec, poisson.meanLatencySec);
+}
+
+/**
+ * The stability boundary is monotone in the arrival rate: once a rate
+ * overruns the service rate, every higher rate does too.
+ */
+TEST(Streaming, StabilityBoundaryIsMonotone)
+{
+    const std::vector<double> rates = {0.1, 0.3, 0.9, 2.7};
+    bool was_unstable = false;
+    for (double rate : rates) {
+        sched::StreamingOptions options;
+        options.ratePerSec = rate;
+        options.batches = 8;
+        options.maxBacklog = 3;
+        const spark::StreamingMetrics s = runStream(options);
+        if (was_unstable)
+            EXPECT_FALSE(s.stable())
+                << "rate " << rate << " stable after a lower rate "
+                << "was not";
+        was_unstable = was_unstable || !s.stable();
+    }
+    EXPECT_TRUE(was_unstable) << "sweep never crossed the boundary";
+}
+
+/**
+ * Distinct batch files must not alias in the page cache: every batch
+ * is fresh data, so enabling the cache yields no read hits for a
+ * single pass.
+ */
+TEST(Streaming, FreshBatchesDoNotHitThePageCache)
+{
+    sched::MultiJobSpec spec;
+    sched::TenantSpec tenant;
+    tenant.kind = sched::TenantSpec::Kind::Stream;
+    tenant.workload = "lr";
+    tenant.stream.ratePerSec = 0.5;
+    tenant.stream.batches = 5;
+    spec.tenants.push_back(tenant);
+    cluster::ClusterConfig config = benchCluster();
+    config.node.pageCache.enabled = true;
+    spark::SparkConf conf;
+    conf.executorCores = 8;
+    const workloads::MultiTenantResult result =
+        workloads::runMultiTenant(spec, config, conf);
+    ASSERT_TRUE(result.pageCachePresent);
+    EXPECT_GT(result.pageCache.missBytes, 0u);
+    EXPECT_EQ(result.pageCache.hitBytes, 0u)
+        << "same-shaped batches aliased to one cache stream";
+}
+
+TEST(Streaming, RegistryExposesStreamingWorkloads)
+{
+    const std::vector<std::string> names =
+        workloads::registeredWorkloads();
+    EXPECT_NE(std::find(names.begin(), names.end(), "streaming-lr"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "streaming-agg"),
+              names.end());
+    EXPECT_THROW(workloads::makeStreamingTemplate("nope", "", 4, kMiB),
+                 FatalError);
+}
+
+TEST(Streaming, RejectsInvalidOptions)
+{
+    sched::StreamingOptions bad;
+    bad.ratePerSec = 0.0;
+    EXPECT_THROW(sched::StreamingDriver{bad}, FatalError);
+    bad = sched::StreamingOptions{};
+    bad.batches = 0;
+    EXPECT_THROW(sched::StreamingDriver{bad}, FatalError);
+    bad = sched::StreamingOptions{};
+    bad.maxBacklog = 0;
+    EXPECT_THROW(sched::StreamingDriver{bad}, FatalError);
+}
+
+} // namespace
+} // namespace doppio

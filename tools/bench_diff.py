@@ -1,34 +1,50 @@
 #!/usr/bin/env python3
-"""Compare two perf_core JSON records (see bench/perf_core.cpp).
+"""Compare two bench JSON records (see bench/perf_core.cpp and
+bench/ext_multitenant.cpp).
 
 Usage:
   tools/bench_diff.py BASELINE.json CURRENT.json
       Print a per-scenario comparison table. Throughput units
-      (events/s, flows/s) count higher-is-better; wall-clock units
-      (s) count lower-is-better. The "speedup" column is >1 when
-      CURRENT is faster either way.
+      (events/s, flows/s, batches/s) count higher-is-better; everything
+      else (wall seconds, latencies, slowdown ratios) counts
+      lower-is-better. The "speedup" column is >1 when CURRENT is
+      faster either way.
 
   tools/bench_diff.py --merge BASELINE.json CURRENT.json [-o OUT.json]
-      Emit the combined baseline record committed as
-      BENCH_perf_core.json: both raw records plus the speedup map.
+      Emit the combined baseline record committed as BENCH_<name>.json:
+      both raw records plus the speedup map.
 
-Exit status is always 0: the harness tracks performance, it does not
-gate on it (timings on shared CI runners are too noisy to fail a
-build over).
+  tools/bench_diff.py --selftest
+      Run the built-in unit checks (used by CI) and exit 0 on success.
+
+Both records must come from the same bench (matching "bench" keys) and
+share at least one scenario name; anything else is a usage error and
+exits non-zero with a message. A successful comparison always exits 0:
+the harness tracks performance, it does not gate on it (timings on
+shared CI runners are too noisy to fail a build over).
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
-HIGHER_IS_BETTER = {"events/s", "flows/s"}
+HIGHER_IS_BETTER = {"events/s", "flows/s", "batches/s"}
 
 
-def load(path):
+def load(path, expect_bench=None):
     with open(path) as fh:
         record = json.load(fh)
-    if record.get("bench") != "perf_core":
-        sys.exit(f"{path}: not a perf_core record")
+    bench = record.get("bench")
+    if not bench:
+        sys.exit(f"{path}: not a bench record (no \"bench\" key)")
+    if not isinstance(record.get("results"), list):
+        sys.exit(f"{path}: not a bench record (no \"results\" list)")
+    if expect_bench is not None and bench != expect_bench:
+        sys.exit(f"{path}: bench \"{bench}\" does not match "
+                 f"\"{expect_bench}\" — records from different "
+                 "benches cannot be compared")
     return record
 
 
@@ -53,8 +69,20 @@ def speedups(baseline, current):
     return out
 
 
+def check_common(baseline, current):
+    """Exit non-zero when the records share no scenario names."""
+    common = set(by_name(baseline)) & set(by_name(current))
+    if not common:
+        sys.exit("error: the records share no common benchmark keys "
+                 f"(baseline has {sorted(by_name(baseline))}, "
+                 f"current has {sorted(by_name(current))}) — "
+                 "nothing to compare")
+
+
 def fmt(value, unit):
-    return f"{value:,.3f}" if unit == "s" else f"{value:,.0f}"
+    if unit in HIGHER_IS_BETTER and value >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:,.3f}"
 
 
 def print_table(baseline, current):
@@ -81,22 +109,94 @@ def print_table(baseline, current):
             print("-" * (sum(widths) + 2 * (len(widths) - 1)))
 
 
+def selftest():
+    """Unit checks for the pure helpers plus the two exit paths."""
+    rec = lambda bench, results: {"bench": bench, "results": results}
+    row = lambda name, unit, value: {
+        "name": name, "unit": unit, "value": value}
+
+    # Higher-is-better vs lower-is-better orientation.
+    base = rec("t", [row("tput", "events/s", 100.0),
+                     row("rate", "batches/s", 2.0),
+                     row("wall", "s", 10.0),
+                     row("slow", "x", 2.0)])
+    cur = rec("t", [row("tput", "events/s", 200.0),
+                    row("rate", "batches/s", 1.0),
+                    row("wall", "s", 5.0),
+                    row("slow", "x", 4.0)])
+    got = speedups(base, cur)
+    assert got == {"tput": 2.0, "rate": 0.5, "wall": 2.0,
+                   "slow": 0.5}, got
+
+    # Mismatched units and zero values are skipped, missing names too.
+    base = rec("t", [row("a", "s", 1.0), row("b", "s", 0.0),
+                     row("gone", "s", 1.0)])
+    cur = rec("t", [row("a", "events/s", 1.0), row("b", "s", 1.0)])
+    assert speedups(base, cur) == {}
+
+    # check_common: overlapping names pass, disjoint names exit 2.
+    check_common(rec("t", [row("a", "s", 1.0)]),
+                 rec("t", [row("a", "s", 2.0)]))
+    try:
+        check_common(rec("t", [row("a", "s", 1.0)]),
+                     rec("t", [row("b", "s", 2.0)]))
+    except SystemExit as e:
+        assert "no common benchmark keys" in str(e.code), e.code
+    else:
+        raise AssertionError("disjoint records did not exit")
+
+    # load: bench mismatch and malformed records exit with a message.
+    def write_tmp(obj):
+        fd, path = tempfile.mkstemp(suffix=".json")
+        with os.fdopen(fd, "w") as fh:
+            json.dump(obj, fh)
+        return path
+
+    good = write_tmp(rec("perf_core", []))
+    other = write_tmp(rec("multitenant", []))
+    bad = write_tmp({"results": []})
+    try:
+        loaded = load(good)
+        assert loaded["bench"] == "perf_core"
+        for path, expect in ((other, "perf_core"), (bad, None)):
+            try:
+                load(path, expect_bench=expect)
+            except SystemExit:
+                pass
+            else:
+                raise AssertionError(f"{path}: load did not exit")
+    finally:
+        for path in (good, other, bad):
+            os.unlink(path)
+
+    print("bench_diff selftest: OK")
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="compare perf_core JSON records")
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+        description="compare bench JSON records")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument("--merge", action="store_true",
                         help="emit the combined baseline record")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in unit checks")
     parser.add_argument("-o", "--output", default=None,
                         help="write merged record here (default stdout)")
     args = parser.parse_args()
 
+    if args.selftest:
+        selftest()
+        return
+    if not args.baseline or not args.current:
+        parser.error("baseline and current records are required")
+
     baseline = load(args.baseline)
-    current = load(args.current)
+    current = load(args.current, expect_bench=baseline["bench"])
+    check_common(baseline, current)
     if args.merge:
         merged = {
-            "bench": "perf_core",
+            "bench": baseline["bench"],
             "mode": current.get("mode"),
             "baseline": baseline,
             "current": current,

@@ -10,7 +10,7 @@
  *              [--no-page-cache] [--cache-capacity MIB]
  *              [--cache-dirty-ratio F] [--cache-readahead KIB]
  *              [--fault-spec SPEC] [--task-fail-rate F]
- *              [--kill-node ID@T] [--verbose]
+ *              [--kill-node ID@T] [--pool NAME] [--verbose]
  *       Simulate a workload and print per-stage metrics. The OS page
  *       cache is modeled unless --no-page-cache is given. Fault flags
  *       arm the fault injector; without them the run is bit-for-bit
@@ -18,7 +18,14 @@
  *       records a full telemetry timeline (Chrome trace-event JSON,
  *       opens in Perfetto) and prints the per-stage phase-attribution
  *       report; an untraced run's outputs are byte-identical to a
- *       traced run's.
+ *       traced run's. --pool routes the workload through the
+ *       multi-tenant scheduler as a single tenant of the named pool.
+ *   doppio run --jobs-spec FILE [cluster/memory/fault options]
+ *       Multi-tenant run: FILE declares scheduler pools and tenant
+ *       lines (see src/sched/jobs_spec.h for the grammar). All tenants
+ *       share one cluster, one page cache and one fault schedule;
+ *       --json emits the combined multi-tenant document and --perfetto
+ *       gets one timeline lane per job.
  *   doppio profile <workload> [--nodes N] [--cores P] [--hdfs T]
  *              [--local T]
  *       Fit the I/O-aware model (extended five-run methodology) and
@@ -50,12 +57,14 @@
 #include "faults/fault_spec.h"
 #include "model/profiler.h"
 #include "model/report.h"
+#include "sched/jobs_spec.h"
 #include "spark/metrics_json.h"
 #include "spark/task_trace.h"
 #include "storage/fio.h"
 #include "trace/phase_report.h"
 #include "trace/trace_collector.h"
 #include "workloads/gatk4.h"
+#include "workloads/multi_tenant.h"
 #include "workloads/registry.h"
 
 using namespace doppio;
@@ -263,12 +272,9 @@ cmdList(const Args &args)
     return 0;
 }
 
-int
-cmdRun(const std::string &name, const Args &args)
+spark::SparkConf
+sparkConfFromArgs(const Args &args)
 {
-    setVerbose(args.has("--verbose"));
-    const auto workload = workloads::makeWorkload(name);
-    const cluster::ClusterConfig config = clusterFromArgs(args);
     spark::SparkConf conf;
     conf.executorCores = args.intValue("--cores", 36, 1, 4096);
     conf.speculation = args.has("--speculate");
@@ -285,6 +291,216 @@ cmdRun(const std::string &name, const Args &args)
         fatal("--memory-fraction/--storage-fraction configure the "
               "unified memory manager and conflict with "
               "--legacy-memory");
+    return conf;
+}
+
+void
+printFaultsSummary(const spark::FaultMetrics &f)
+{
+    std::cout << "\nfaults: " << f.taskFailures << " task crash(es), "
+              << f.taskRetries << " retry(ies), " << f.lostAttempts
+              << " attempt(s) lost to node death, " << f.fetchFailures
+              << " fetch failure(s), " << f.stageReattempts
+              << " stage reattempt(s), " << f.hdfsFailovers
+              << " HDFS failover(s)\n"
+              << "        wasted "
+              << formatDuration(secondsToTicks(f.wastedTaskSeconds))
+              << " of task work, "
+              << formatDuration(secondsToTicks(f.recoverySeconds))
+              << " recovering, re-replicated "
+              << formatBytes(f.reReplicatedBytes) << ", lost "
+              << formatBytes(f.lostDirtyBytes)
+              << " of dirty page cache\n";
+}
+
+void
+printMemorySummary(const spark::MemoryMetrics &m)
+{
+    std::cout << "\nmemory: pool " << formatBytes(m.poolBytes)
+              << ", peak storage " << formatBytes(m.peakStorageBytes)
+              << ", peak execution "
+              << formatBytes(m.peakExecutionBytes) << "\n"
+              << "        " << m.evictedBlocks << " eviction(s) ("
+              << formatBytes(m.evictedToDiskBytes) << " to disk), "
+              << m.droppedBlocks << " block(s) dropped, "
+              << m.recomputedPartitions
+              << " partition(s) recomputed\n"
+              << "        " << m.spills << " spill(s) in "
+              << m.spillPasses << " merge pass(es), "
+              << formatBytes(m.spilledBytes) << " spilled, "
+              << m.oomKills << " OOM kill(s)\n";
+}
+
+/** Console summary + optional phase report for a recorded timeline. */
+void
+printTraceSummary(const trace::TraceCollector &collector,
+                  const cluster::ClusterConfig &config,
+                  const spark::SparkConf &conf)
+{
+    // Console-only summary: the metrics JSON stays byte-identical
+    // with and without tracing.
+    std::cout << "\ntrace: " << collector.size() << " event(s)";
+    const char *sep = " — ";
+    for (const auto &[category, count] : collector.countsByCategory()) {
+        std::cout << sep << category << " " << count;
+        sep = ", ";
+    }
+    std::cout << "\n\n";
+    const int core_tracks =
+        config.numSlaves *
+        std::min(conf.executorCores, config.node.cores);
+    const trace::PhaseReport report =
+        trace::PhaseReport::build(collector, core_tracks);
+    report.write(std::cout);
+}
+
+/**
+ * Shared back half of `run --jobs-spec` and `run <workload> --pool`:
+ * run @p spec through the multi-tenant scheduler and print/emit the
+ * combined result.
+ */
+int
+runMultiSpec(const sched::MultiJobSpec &spec, const Args &args)
+{
+    const cluster::ClusterConfig config = clusterFromArgs(args);
+    const spark::SparkConf conf = sparkConfFromArgs(args);
+    if (conf.speculation)
+        fatal("run: --speculate is not supported by the multi-tenant "
+              "scheduler");
+
+    trace::TraceCollector collector;
+    const std::string json_path = args.value("--json", "");
+    const std::string perfetto_path = args.value("--perfetto", "");
+    const faults::FaultSpec faultSpec = faultsFromArgs(args);
+    args.rejectUnknown("run");
+
+    const workloads::MultiTenantResult result =
+        workloads::runMultiTenant(
+            spec, config, conf, &faultSpec,
+            perfetto_path.empty() ? nullptr : &collector);
+
+    if (!perfetto_path.empty()) {
+        std::ofstream out(perfetto_path);
+        if (!out)
+            fatal("cannot open perfetto file '%s'",
+                  perfetto_path.c_str());
+        collector.writeChromeJson(out);
+        std::cout << "wrote " << collector.size()
+                  << " trace events to " << perfetto_path
+                  << " (open at https://ui.perfetto.dev)\n";
+    }
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            fatal("cannot open json file '%s'", json_path.c_str());
+        workloads::writeMultiTenantJson(out, result);
+        out << "\n";
+    }
+
+    TablePrinter table("multi-tenant on " +
+                       std::to_string(config.numSlaves) +
+                       " slaves, P=" +
+                       std::to_string(conf.executorCores));
+    table.setHeader(
+        {"tenant", "pool", "jobs", "submitted", "finished",
+         "core-time"});
+    for (const sched::TenantSummary &tenant : result.tenancy.tenants) {
+        table.addRow(
+            {tenant.name, tenant.pool, std::to_string(tenant.jobs),
+             formatDuration(secondsToTicks(tenant.submitSec)),
+             formatDuration(secondsToTicks(tenant.doneSec)),
+             formatDuration(secondsToTicks(tenant.coreSeconds))});
+    }
+    table.print(std::cout);
+
+    TablePrinter pools("Scheduler pools");
+    pools.setHeader({"pool", "mode", "weight", "min share",
+                     "core-time"});
+    for (const sched::PoolSummary &pool : result.tenancy.pools) {
+        pools.addRow(
+            {pool.name, pool.fair ? "fair" : "fifo",
+             TablePrinter::num(pool.weight, 1),
+             std::to_string(pool.minShare),
+             formatDuration(secondsToTicks(pool.coreSeconds))});
+    }
+    pools.print(std::cout);
+    std::cout << "total: "
+              << formatDuration(secondsToTicks(result.seconds))
+              << "\n";
+
+    for (const spark::AppMetrics &tenant : result.tenants) {
+        if (!tenant.streamingPresent)
+            continue;
+        const spark::StreamingMetrics &s = tenant.streaming;
+        std::cout << "stream " << tenant.name << ": " << s.processed
+                  << "/" << s.arrivals << " batch(es), " << s.dropped
+                  << " dropped, p50 "
+                  << formatDuration(secondsToTicks(s.p50LatencySec))
+                  << ", p99 "
+                  << formatDuration(secondsToTicks(s.p99LatencySec))
+                  << (s.stable() ? ", stable" : ", UNSTABLE") << "\n";
+    }
+
+    if (result.pageCachePresent) {
+        std::cout << "\n";
+        Bytes capacity = config.node.pageCache.capacity;
+        if (capacity == 0 &&
+            config.node.ram > config.node.executorMemory)
+            capacity = config.node.ram - config.node.executorMemory;
+        model::writePageCacheReport(std::cout, result.pageCache,
+                                    capacity);
+    }
+    if (result.faultsPresent)
+        printFaultsSummary(result.faults);
+    if (result.memoryPresent)
+        printMemorySummary(result.memory);
+    if (!perfetto_path.empty())
+        printTraceSummary(collector, config, conf);
+    return 0;
+}
+
+/** `doppio run --jobs-spec FILE ...` (no workload positional). */
+int
+cmdRunMulti(const Args &args)
+{
+    setVerbose(args.has("--verbose"));
+    const std::string spec_path = args.value("--jobs-spec", "");
+    if (spec_path.empty())
+        fatal("run: expected a workload name or --jobs-spec FILE");
+    return runMultiSpec(sched::MultiJobSpec::fromFile(spec_path),
+                        args);
+}
+
+int
+cmdRun(const std::string &name, const Args &args)
+{
+    setVerbose(args.has("--verbose"));
+    const std::string pool = args.value("--pool", "");
+    if (!pool.empty()) {
+        // Single workload through the multi-tenant scheduler: one
+        // tenant in the named pool (fair unless it is the built-in
+        // FIFO default pool).
+        sched::MultiJobSpec spec;
+        if (pool != "default") {
+            sched::PoolConfig poolConfig;
+            poolConfig.name = pool;
+            poolConfig.fair = true;
+            spec.pools.push_back(poolConfig);
+        }
+        sched::TenantSpec tenant;
+        tenant.pool = pool;
+        if (name.rfind("streaming-", 0) == 0) {
+            tenant.kind = sched::TenantSpec::Kind::Stream;
+            tenant.workload = name.substr(std::strlen("streaming-"));
+        } else {
+            tenant.workload = name;
+        }
+        spec.tenants.push_back(tenant);
+        return runMultiSpec(spec, args);
+    }
+    const auto workload = workloads::makeWorkload(name);
+    const cluster::ClusterConfig config = clusterFromArgs(args);
+    const spark::SparkConf conf = sparkConfFromArgs(args);
 
     spark::TaskTrace trace;
     trace::TraceCollector collector;
@@ -348,60 +564,12 @@ cmdRun(const std::string &name, const Args &args)
         model::writePageCacheReport(std::cout, metrics.pageCache,
                                     capacity);
     }
-    if (metrics.faultsPresent) {
-        const spark::FaultMetrics &f = metrics.faults;
-        std::cout << "\nfaults: " << f.taskFailures
-                  << " task crash(es), " << f.taskRetries
-                  << " retry(ies), " << f.lostAttempts
-                  << " attempt(s) lost to node death, "
-                  << f.fetchFailures << " fetch failure(s), "
-                  << f.stageReattempts << " stage reattempt(s), "
-                  << f.hdfsFailovers << " HDFS failover(s)\n"
-                  << "        wasted "
-                  << formatDuration(secondsToTicks(f.wastedTaskSeconds))
-                  << " of task work, "
-                  << formatDuration(secondsToTicks(f.recoverySeconds))
-                  << " recovering, re-replicated "
-                  << formatBytes(f.reReplicatedBytes) << ", lost "
-                  << formatBytes(f.lostDirtyBytes)
-                  << " of dirty page cache\n";
-    }
-    if (metrics.memoryPresent) {
-        const spark::MemoryMetrics &m = metrics.memory;
-        std::cout << "\nmemory: pool " << formatBytes(m.poolBytes)
-                  << ", peak storage "
-                  << formatBytes(m.peakStorageBytes)
-                  << ", peak execution "
-                  << formatBytes(m.peakExecutionBytes) << "\n"
-                  << "        " << m.evictedBlocks
-                  << " eviction(s) ("
-                  << formatBytes(m.evictedToDiskBytes) << " to disk), "
-                  << m.droppedBlocks << " block(s) dropped, "
-                  << m.recomputedPartitions
-                  << " partition(s) recomputed\n"
-                  << "        " << m.spills << " spill(s) in "
-                  << m.spillPasses << " merge pass(es), "
-                  << formatBytes(m.spilledBytes) << " spilled, "
-                  << m.oomKills << " OOM kill(s)\n";
-    }
-    if (!perfetto_path.empty()) {
-        // Console-only summary: the metrics JSON stays byte-identical
-        // with and without tracing.
-        std::cout << "\ntrace: " << collector.size() << " event(s)";
-        const char *sep = " — ";
-        for (const auto &[category, count] :
-             collector.countsByCategory()) {
-            std::cout << sep << category << " " << count;
-            sep = ", ";
-        }
-        std::cout << "\n\n";
-        const int core_tracks =
-            config.numSlaves *
-            std::min(conf.executorCores, config.node.cores);
-        const trace::PhaseReport report =
-            trace::PhaseReport::build(collector, core_tracks);
-        report.write(std::cout);
-    }
+    if (metrics.faultsPresent)
+        printFaultsSummary(metrics.faults);
+    if (metrics.memoryPresent)
+        printMemorySummary(metrics.memory);
+    if (!perfetto_path.empty())
+        printTraceSummary(collector, config, conf);
     return 0;
 }
 
@@ -513,6 +681,10 @@ usage()
         << "usage: doppio <command> [options]\n"
            "  list                          list bundled workloads\n"
            "  run <workload> [options]      simulate and print stages\n"
+           "  run --jobs-spec FILE [options]\n"
+           "                                multi-tenant run (pools +\n"
+           "                                tenant lines; see\n"
+           "                                src/sched/jobs_spec.h)\n"
            "  profile <workload> [options]  fit and report the model\n"
            "  fio [--disk hdd|ssd|nvme]     bandwidth sweep\n"
            "  optimize [--workers N] [--jobs J]\n"
@@ -544,6 +716,11 @@ usage()
            "from execution (default 0.5)\n"
            "         --legacy-memory            seed-compatible "
            "all-or-nothing RDD placement\n"
+           "multi-tenant (run):\n"
+           "         --jobs-spec FILE           pools and tenants on "
+           "one shared cluster\n"
+           "         --pool NAME                run one workload as a "
+           "tenant of pool NAME\n"
            "fault injection (run):\n"
            "         --fault-spec SPEC          fault file, or inline "
            "statements\n"
@@ -573,6 +750,8 @@ main(int argc, char **argv)
             return cmdFio(Args(argc, argv, 2));
         if (command == "optimize")
             return cmdOptimize(Args(argc, argv, 2));
+        if (command == "run" && argc >= 3 && argv[2][0] == '-')
+            return cmdRunMulti(Args(argc, argv, 2));
         if ((command == "run" || command == "profile") && argc >= 3)
             return command == "run"
                        ? cmdRun(argv[2], Args(argc, argv, 3))
