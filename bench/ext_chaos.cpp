@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Extension bench: seeded chaos sweep over random fault schedules.
+ *
+ * Generates hundreds of random-but-legal fault schedules (seeded, so
+ * every failure is reproducible from its printed seed), runs each
+ * through the chaos rig, and checks the four invariants of DESIGN.md
+ * §13: the run completes under the event-budget watchdog, reruns are
+ * byte-identical, transient faults leave the job/stage shape equal to
+ * the fault-free baseline, and task-second attribution reconciles
+ * with cluster capacity within 1%. The table sweeps schedule density
+ * (faults per minute) against completion time and recovery overhead.
+ *
+ * Exit status is non-zero when any invariant fails, so CI can run
+ * this binary (with --smoke) as a gate.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "chaos/harness.h"
+#include "chaos/schedule_generator.h"
+#include "common/stats.h"
+
+using namespace doppio;
+
+namespace {
+
+struct DensityRow
+{
+    double faultsPerMinute = 0.0;
+    std::vector<chaos::ChaosVerdict> verdicts;
+};
+
+std::vector<DensityRow>
+sweep(int seedsPerDensity, int jobs)
+{
+    const std::vector<double> densities = {0.5, 1.0, 2.0, 4.0};
+
+    struct Point
+    {
+        double density = 0.0;
+        std::uint64_t seed = 0;
+    };
+    std::vector<Point> points;
+    for (std::size_t d = 0; d < densities.size(); ++d)
+        for (int s = 0; s < seedsPerDensity; ++s)
+            points.push_back(
+                {densities[d],
+                 static_cast<std::uint64_t>(d * 1000 + s + 1)});
+
+    // Every point is an independent seeded simulation triple
+    // (baseline + faulty + rerun): fan out and commit in input order
+    // so the printed table is byte-identical for any --jobs value.
+    const common::SweepRunner runner(jobs);
+    const std::vector<chaos::ChaosVerdict> verdicts =
+        runner.map(points.size(), [&](std::size_t i) {
+            chaos::ChaosOptions options;
+            options.seed = points[i].seed;
+            options.faultsPerMinute = points[i].density;
+            return chaos::checkInvariants(options);
+        });
+
+    std::vector<DensityRow> rows;
+    for (const double density : densities) {
+        DensityRow row;
+        row.faultsPerMinute = density;
+        for (std::size_t i = 0; i < points.size(); ++i)
+            if (points[i].density == density)
+                row.verdicts.push_back(verdicts[i]);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** @return number of failed schedules, printing each failure. */
+int
+report(const std::vector<DensityRow> &rows)
+{
+    TablePrinter table("Chaos sweep: schedule density vs completion "
+                       "and recovery (4 slaves, P=4)");
+    table.setHeader({"faults/min", "schedules", "passed", "events",
+                     "runtime", "overhead", "worst overhead"});
+
+    int failures = 0;
+    std::size_t total = 0;
+    for (const DensityRow &row : rows) {
+        SummaryStats events, elapsed, overhead;
+        int passed = 0;
+        for (const chaos::ChaosVerdict &v : row.verdicts) {
+            total += 1;
+            if (v.passed()) {
+                ++passed;
+            } else {
+                ++failures;
+                std::printf("FAIL seed=%llu faults/min=%.1f: %s\n",
+                            static_cast<unsigned long long>(v.seed),
+                            row.faultsPerMinute, v.failure.c_str());
+            }
+            events.add(static_cast<double>(v.scheduleEvents));
+            if (v.completedOk) {
+                elapsed.add(v.faultyElapsedSec);
+                overhead.add(
+                    std::max(0.0, v.recoveryOverheadSec()));
+            }
+        }
+        table.addRow(
+            {TablePrinter::num(row.faultsPerMinute, 1),
+             std::to_string(row.verdicts.size()),
+             std::to_string(passed),
+             TablePrinter::num(events.mean(), 1),
+             formatDuration(secondsToTicks(elapsed.mean())),
+             formatDuration(secondsToTicks(overhead.mean())),
+             formatDuration(secondsToTicks(overhead.max()))});
+    }
+    table.print(std::cout);
+    std::printf("\n%zu schedules, %d invariant failure(s)\n", total,
+                failures);
+    return failures;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = bench::benchFlag(argc, argv, "--smoke");
+    const int seedsPerDensity = smoke ? 6 : 60;
+    const std::vector<DensityRow> rows =
+        sweep(seedsPerDensity, bench::benchJobs(argc, argv));
+    return report(rows) == 0 ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Chaos harness: a fixed four-job Spark rig run under a generated
+ * fault schedule, plus the invariant checker that turns one (seed,
+ * density) pair into a pass/fail verdict.
+ *
+ * The rig exercises every recovery path the simulator models: an
+ * HDFS-sourced narrow job persisted MemoryAndDisk (replica failover,
+ * cache loss on kill), a shuffle (fetch failures, stage reattempts,
+ * map-output recomputation), a checkpointed stage (HDFS write-through)
+ * and a read-back job consuming the checkpoint (lineage truncation).
+ *
+ * Invariants checked per schedule (DESIGN.md §13):
+ *   1. completion — the run finishes without tripping the simulator's
+ *      event-budget watchdog (no hung or runaway simulation);
+ *   2. determinism — rerunning the same schedule under the same seed
+ *      yields byte-identical metrics JSON;
+ *   3. equivalence — a transient-fault run executes the same job and
+ *      stage sequence as the fault-free baseline (recovery reruns are
+ *      folded into their logical stage, so the shape must match);
+ *   4. attribution — accounted task-seconds reconcile with cluster
+ *      capacity over the run's wall-clock within 1%, and no task
+ *      outlives its stage window by more than 1%.
+ */
+
+#ifndef DOPPIO_CHAOS_HARNESS_H
+#define DOPPIO_CHAOS_HARNESS_H
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/schedule_generator.h"
+#include "faults/fault_spec.h"
+#include "spark/metrics.h"
+
+namespace doppio::chaos {
+
+/** Outcome of one rig execution (fault-free or under a schedule). */
+struct ChaosRunResult
+{
+    bool completed = false;   //!< ran to completion (no FatalError)
+    std::string error;        //!< FatalError message when !completed
+    double elapsedSec = 0.0;  //!< simulated application seconds
+    std::uint64_t firedEvents = 0; //!< simulator events consumed
+    std::string json;         //!< metricsJson of the finished app
+    spark::AppMetrics metrics; //!< full metrics (valid when completed)
+};
+
+/**
+ * Run the rig on a fresh simulator/cluster sized from @p options.
+ * @p spec may be null for the fault-free baseline. Never throws:
+ * failures (including the event-budget watchdog) are reported through
+ * ChaosRunResult::completed / error.
+ */
+ChaosRunResult runChaosRig(const ChaosOptions &options,
+                           const faults::FaultSpec *spec);
+
+/** Per-invariant verdict for one generated schedule. */
+struct ChaosVerdict
+{
+    std::uint64_t seed = 0;
+    std::size_t scheduleEvents = 0; //!< node events in the schedule
+    bool completedOk = false;
+    bool deterministicOk = false;
+    bool equivalentOk = false;
+    bool attributionOk = false;
+    /** First failure description, empty when all invariants hold. */
+    std::string failure;
+
+    double baselineElapsedSec = 0.0;
+    double faultyElapsedSec = 0.0;
+    /** Extra wall-clock caused by the faults (>= 0 in practice). */
+    double
+    recoveryOverheadSec() const
+    {
+        return faultyElapsedSec - baselineElapsedSec;
+    }
+
+    bool
+    passed() const
+    {
+        return completedOk && deterministicOk && equivalentOk &&
+               attributionOk;
+    }
+};
+
+/**
+ * Generate the schedule for @p options, run baseline + faulty + rerun,
+ * and evaluate all four invariants. The equivalence invariant is only
+ * meaningful (and only enforced) when options.transientOnly is set.
+ */
+ChaosVerdict checkInvariants(const ChaosOptions &options);
+
+} // namespace doppio::chaos
+
+#endif // DOPPIO_CHAOS_HARNESS_H

@@ -1,0 +1,246 @@
+#include "chaos/schedule_generator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace doppio::chaos {
+
+namespace {
+
+/**
+ * splitmix64 — tiny, seedable, and identical on every platform, which
+ * std::uniform_real_distribution is not. Schedule identity must not
+ * depend on the standard library build.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    /** Uniform in [0, n). */
+    std::size_t
+    nextIndex(std::size_t n)
+    {
+        return static_cast<std::size_t>(next() % n);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** A cure scheduled for later; applied to the walk state at its time. */
+struct PendingCure
+{
+    double atSeconds = 0.0;
+    int node = -1; //!< -1 for heal
+    bool revives = false;
+};
+
+} // namespace
+
+faults::FaultSpec
+generateSchedule(const ChaosOptions &options)
+{
+    if (options.numSlaves < 2)
+        fatal("chaos: need at least 2 slaves to generate legal "
+              "schedules, got %d",
+              options.numSlaves);
+    if (options.horizonSec <= 0.0 || options.faultsPerMinute < 0.0)
+        fatal("chaos: horizon must be > 0 and density >= 0 (got "
+              "horizon=%g, faults/min=%g)",
+              options.horizonSec, options.faultsPerMinute);
+
+    Rng rng(options.seed);
+    faults::FaultSpec spec;
+
+    if (options.withRates) {
+        spec.taskFailureRate = rng.uniform(0.0, 0.02);
+        spec.diskReadErrorRate = rng.uniform(0.0, 0.01);
+        spec.hdfsCorruptRate = rng.uniform(0.0, 0.005);
+        spec.shuffleFetchFailureRate = rng.uniform(0.0, 0.002);
+    }
+
+    const int count = std::max(
+        1, static_cast<int>(options.horizonSec / 60.0 *
+                                options.faultsPerMinute +
+                            0.5));
+    std::vector<double> onsets(static_cast<std::size_t>(count));
+    for (double &t : onsets)
+        t = rng.uniform(5.0, options.horizonSec);
+    std::sort(onsets.begin(), onsets.end());
+
+    // Walk onsets in time order, tracking which nodes are alive and
+    // which are mid-fault, so every emitted event is legal where it
+    // lands. Cures are emitted right after their onset, so on a time
+    // tie the stable schedule sort keeps the cure first — matching
+    // this walk, which applies cures at times <= the onset.
+    std::vector<faults::NodeEvent> events;
+    std::vector<PendingCure> pending;
+    std::vector<bool> alive(static_cast<std::size_t>(options.numSlaves),
+                            true);
+    std::vector<bool> busy(static_cast<std::size_t>(options.numSlaves),
+                           false);
+    bool partitioned = false;
+    int aliveCount = options.numSlaves;
+
+    auto applyCuresUpTo = [&](double t) {
+        for (std::size_t i = 0; i < pending.size();) {
+            if (pending[i].atSeconds > t) {
+                ++i;
+                continue;
+            }
+            if (pending[i].node < 0) {
+                partitioned = false;
+            } else {
+                const auto n =
+                    static_cast<std::size_t>(pending[i].node);
+                busy[n] = false;
+                if (pending[i].revives) {
+                    alive[n] = true;
+                    ++aliveCount;
+                }
+            }
+            pending.erase(pending.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        }
+    };
+
+    auto pickIdleAliveNode = [&]() -> int {
+        std::vector<int> candidates;
+        for (int n = 0; n < options.numSlaves; ++n)
+            if (alive[static_cast<std::size_t>(n)] &&
+                !busy[static_cast<std::size_t>(n)])
+                candidates.push_back(n);
+        if (candidates.empty())
+            return -1;
+        return candidates[rng.nextIndex(candidates.size())];
+    };
+
+    using Kind = faults::NodeEvent::Kind;
+    for (const double t : onsets) {
+        applyCuresUpTo(t);
+
+        // Weighted menu of what can legally start at t. Kill and
+        // SlowNode appear twice: whole-node loss and gray compute
+        // degradation are the paths the recovery and speculation
+        // machinery exist for, so they get the most exercise.
+        std::vector<Kind> menu;
+        if (aliveCount >= 3) {
+            menu.push_back(Kind::Kill);
+            menu.push_back(Kind::Kill);
+        }
+        if (!partitioned && options.numSlaves >= 2)
+            menu.push_back(Kind::Partition);
+        menu.push_back(Kind::Degrade);
+        menu.push_back(Kind::SlowNode);
+        menu.push_back(Kind::SlowNode);
+        menu.push_back(Kind::DegradeMem);
+
+        const Kind kind = menu[rng.nextIndex(menu.size())];
+        const bool cure =
+            options.transientOnly || rng.nextDouble() < 0.7;
+
+        if (kind == Kind::Partition) {
+            const int cut =
+                1 + static_cast<int>(
+                        rng.nextIndex(static_cast<std::size_t>(
+                            options.numSlaves - 1)));
+            faults::NodeEvent event;
+            event.kind = Kind::Partition;
+            event.atSeconds = t;
+            for (int n = 0; n < options.numSlaves; ++n)
+                (n < cut ? event.groupA : event.groupB).push_back(n);
+            events.push_back(std::move(event));
+            partitioned = true;
+            if (cure) {
+                faults::NodeEvent heal;
+                heal.kind = Kind::Heal;
+                heal.atSeconds = t + rng.uniform(10.0, 40.0);
+                events.push_back(std::move(heal));
+                pending.push_back({events.back().atSeconds, -1, false});
+            }
+            continue;
+        }
+
+        const int node = pickIdleAliveNode();
+        if (node < 0)
+            continue; // every node is already mid-fault; skip this slot
+
+        faults::NodeEvent event;
+        event.kind = kind;
+        event.node = node;
+        event.atSeconds = t;
+        double cureAt = t;
+        switch (kind) {
+          case Kind::Kill:
+            cureAt = t + rng.uniform(20.0, 60.0);
+            --aliveCount;
+            alive[static_cast<std::size_t>(node)] = false;
+            break;
+          case Kind::Degrade:
+            event.factor = rng.uniform(2.0, 8.0);
+            cureAt = t + rng.uniform(15.0, 45.0);
+            break;
+          case Kind::SlowNode:
+            event.factor = rng.uniform(2.0, 6.0);
+            cureAt = t + rng.uniform(15.0, 45.0);
+            break;
+          case Kind::DegradeMem:
+            event.factor = rng.uniform(0.4, 0.9);
+            cureAt = t + rng.uniform(15.0, 45.0);
+            break;
+          default:
+            break;
+        }
+        events.push_back(event);
+        if (!cure && kind == Kind::Kill) {
+            // Permanent loss: the node never revives and stays busy,
+            // so no later onset or rejoin can touch it.
+            busy[static_cast<std::size_t>(node)] = true;
+            continue;
+        }
+        if (!cure)
+            continue;
+        busy[static_cast<std::size_t>(node)] = true;
+
+        faults::NodeEvent restore;
+        restore.node = node;
+        restore.atSeconds = cureAt;
+        restore.kind = kind == Kind::Kill ? Kind::Rejoin : kind;
+        restore.factor = 1.0;
+        events.push_back(restore);
+        pending.push_back({cureAt, node, kind == Kind::Kill});
+    }
+
+    spec.schedule = faults::FaultSchedule(std::move(events));
+    spec.validate();
+    return spec;
+}
+
+} // namespace doppio::chaos

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Seeded random fault-schedule generator.
+ *
+ * Turns (seed, horizon, density) into a FaultSpec whose node events
+ * are random but *legal*: kills never drop the cluster below two
+ * alive nodes (a surviving replica must exist), at most one network
+ * partition is active at a time, and in transient mode every fault
+ * is paired with its cure — kills rejoin, partitions heal, degraded
+ * devices / memory clamps / gray slowdowns restore — so a run under
+ * the schedule must converge to the fault-free result. The same seed
+ * always yields the same schedule, byte for byte, which is what makes
+ * a chaos failure reproducible from its one-line report.
+ */
+
+#ifndef DOPPIO_CHAOS_SCHEDULE_GENERATOR_H
+#define DOPPIO_CHAOS_SCHEDULE_GENERATOR_H
+
+#include <cstdint>
+
+#include "faults/fault_spec.h"
+
+namespace doppio::chaos {
+
+/** Knobs of one generated chaos schedule. */
+struct ChaosOptions
+{
+    std::uint64_t seed = 1;      //!< schedule identity
+    double horizonSec = 90.0;    //!< window fault onsets land in
+    double faultsPerMinute = 1.0; //!< scheduled-event density
+    int numSlaves = 4;           //!< cluster size the schedule targets
+    /**
+     * Pair every fault with its cure (rejoin/heal/restore) inside the
+     * horizon. The invariant checker requires this: only transient
+     * faults are expected to be result-equivalent to fault-free.
+     */
+    bool transientOnly = true;
+    /** Also draw small probabilistic rates (task crashes, HDFS read
+     *  errors, checksum corruption, fetch failures). */
+    bool withRates = true;
+    /** Watchdog: abort a run after this many simulator events. */
+    std::uint64_t eventBudget = 50'000'000;
+};
+
+/**
+ * @return the schedule for @p options — deterministic in the options,
+ * already validate()d.
+ */
+faults::FaultSpec generateSchedule(const ChaosOptions &options);
+
+} // namespace doppio::chaos
+
+#endif // DOPPIO_CHAOS_SCHEDULE_GENERATOR_H

@@ -169,6 +169,8 @@ Cluster::Cluster(sim::Simulator &simulator, ClusterConfig config)
     aliveCount_ = config_.numSlaves;
     memoryFractions_.assign(static_cast<std::size_t>(config_.numSlaves),
                             1.0);
+    computeSlowdowns_.assign(
+        static_cast<std::size_t>(config_.numSlaves), 1.0);
 }
 
 std::vector<int>
@@ -237,6 +239,22 @@ Cluster::addMemoryObserver(MemoryObserver observer)
     memoryObservers_.push_back(std::move(observer));
 }
 
+void
+Cluster::setComputeSlowdown(int id, double factor)
+{
+    if (id < 0 || id >= config_.numSlaves)
+        fatal("Cluster: setComputeSlowdown on invalid node %d", id);
+    if (factor < 1.0)
+        fatal("Cluster: compute slowdown must be >= 1, got %g", factor);
+    computeSlowdowns_[static_cast<std::size_t>(id)] = factor;
+    if (trace_)
+        trace_->instant(trace::kDriverPid, trace::kTidFaults, "fault",
+                        "slow_node", sim_.now(),
+                        trace::TraceArgs()
+                            .add("node", id)
+                            .add("factor", factor));
+}
+
 Bytes
 Cluster::totalStorageMemory() const
 {
@@ -282,6 +300,9 @@ Cluster::reset()
     aliveCount_ = config_.numSlaves;
     memoryFractions_.assign(static_cast<std::size_t>(config_.numSlaves),
                             1.0);
+    computeSlowdowns_.assign(
+        static_cast<std::size_t>(config_.numSlaves), 1.0);
+    network_->heal();
     lostDirtyBytes_ = 0;
 }
 

@@ -207,6 +207,21 @@ class Cluster
     /** Register a memory observer (never unregistered). */
     void addMemoryObserver(MemoryObserver observer);
 
+    /**
+     * Gray failure: scale the compute speed of tasks on node @p id by
+     * @p factor (>= 1; 1 restores). Unlike setNodeAlive(false) the
+     * node keeps heartbeating and serving I/O, so nothing is retried
+     * or re-replicated — tasks placed there just run slower, which is
+     * exactly the signal the speculation machinery exists to detect.
+     */
+    void setComputeSlowdown(int id, double factor);
+
+    /** @return node @p id's gray compute slowdown (1 by default). */
+    double computeSlowdown(int id) const
+    {
+        return computeSlowdowns_[static_cast<std::size_t>(id)];
+    }
+
     /** @return dirty page-cache bytes lost to node kills so far. */
     Bytes lostDirtyBytes() const { return lostDirtyBytes_; }
 
@@ -246,6 +261,7 @@ class Cluster
     std::vector<LivenessObserver> observers_;
     std::vector<double> memoryFractions_;
     std::vector<MemoryObserver> memoryObservers_;
+    std::vector<double> computeSlowdowns_;
     Bytes lostDirtyBytes_ = 0;
     /// Optional telemetry hook (non-owning).
     trace::TraceCollector *trace_ = nullptr;

@@ -10,6 +10,26 @@
 
 namespace doppio::dfs {
 
+namespace {
+
+/// DFS client connect timeout + retry backoff while a partition
+/// isolates every reachable replica: the delay doubles from the base
+/// up to the cap, and the client re-resolves replica locations each
+/// round (partitions heal, nodes rejoin).
+constexpr double kPartitionRetryBaseSec = 0.5;
+constexpr double kPartitionRetryCapSec = 8.0;
+
+double
+partitionRetryDelaySec(int attempt)
+{
+    const int shift = std::min(attempt, 4);
+    return std::min(kPartitionRetryCapSec,
+                    kPartitionRetryBaseSec *
+                        static_cast<double>(1 << shift));
+}
+
+} // namespace
+
 Hdfs::Hdfs(cluster::Cluster &clusterRef, HdfsConfig config)
     : cluster_(clusterRef), config_(config),
       rng_(clusterRef.config().seed ^ 0x68646673ULL /* "hdfs" */)
@@ -101,23 +121,40 @@ Hdfs::readBatch(int node, std::uint64_t stream, Bytes offset,
         // node): fail over to a surviving replica — remote disk read
         // plus a network hop back to the consumer.
         ++readFailovers_;
-        const int remote = pickAliveRemote(node);
+        remoteRead(node, stream, offset, chunk, count, 0,
+                   "read_failover", std::move(done));
+        return;
+    }
+    if (injector_ != nullptr && cluster_.aliveCount() > 1 &&
+        injector_->drawCorruptRead()) {
+        // Checksum mismatch: the local read completes but its bytes
+        // fail verification. The client re-reads from a surviving
+        // replica, and the bad replica is quarantined — background
+        // repair streams the good bytes back over it.
+        ++corruptReads_;
         const Bytes total = chunk * count;
+        quarantinedBytes_ += total;
         if (auto *collector = cluster_.traceCollector()) {
             collector->instant(trace::kDriverPid, trace::kTidHdfs,
-                               "recovery", "read_failover",
+                               "recovery", "corrupt_block",
                                cluster_.simulator().now(),
                                trace::TraceArgs()
                                    .add("node", node)
-                                   .add("remote", remote)
                                    .add("bytes", total));
         }
-        cluster_.node(remote).readThrough(
+        cluster_.node(node).readThrough(
             oscache::Role::Hdfs, storage::IoOp::HdfsRead, stream,
             offset, chunk, count,
-            [this, remote, node, total, done = std::move(done)]() mutable {
-                cluster_.network().transfer(remote, node, total,
-                                            std::move(done));
+            [this, node, stream, offset, chunk, count, total,
+             done = std::move(done)]() mutable {
+                remoteRead(node, stream, offset, chunk, count, 0,
+                           "corrupt_reread",
+                           [this, node, total,
+                            done = std::move(done)]() mutable {
+                               quarantineRepair(node, total);
+                               if (done)
+                                   done();
+                           });
             });
         return;
     }
@@ -170,13 +207,20 @@ Hdfs::writeBatch(int node, std::uint64_t stream, Bytes offset,
             if (remote >= node)
                 ++remote;
         }
-        // Dead targets are skipped by advancing deterministically to
-        // the next alive node — no extra randomness, so placement is
-        // unchanged while every node is up.
-        if (!cluster_.nodeAlive(remote))
-            remote = pickAliveRemote(remote);
-        if (remote == node)
-            remote = pickAliveRemote(node);
+        // Dead or partitioned-away targets are skipped by advancing
+        // deterministically to the next alive reachable node — no
+        // extra randomness, so placement is unchanged while every
+        // node is up and connected. When a partition isolates every
+        // candidate the pipeline degrades to fewer replicas (the
+        // NameNode catches up after the heal).
+        if (remote == node || !cluster_.nodeAlive(remote) ||
+            !cluster_.network().reachable(node, remote))
+            remote = pickReachableRemote(node, remote);
+        if (remote < 0) {
+            physicalWritten_ -= chunk * count;
+            barrier();
+            continue;
+        }
         cluster_.network().transfer(
             node, remote, chunk * count,
             [this, remote, stream, offset, chunk, count, barrier]() {
@@ -223,6 +267,86 @@ Hdfs::pickAliveRemote(int node) const
             return candidate;
     }
     fatal("Hdfs: no alive remote node besides %d", node);
+}
+
+int
+Hdfs::pickReachableRemote(int origin, int after) const
+{
+    for (int k = 1; k < cluster_.numSlaves(); ++k) {
+        const int candidate = (after + k) % cluster_.numSlaves();
+        if (candidate == origin)
+            continue;
+        if (cluster_.nodeAlive(candidate) &&
+            cluster_.network().reachable(origin, candidate))
+            return candidate;
+    }
+    return -1;
+}
+
+void
+Hdfs::remoteRead(int node, std::uint64_t stream, Bytes offset,
+                 Bytes chunk, std::uint64_t count, int attempt,
+                 const char *reason, std::function<void()> done)
+{
+    const int remote = pickReachableRemote(node);
+    if (remote < 0) {
+        // Every surviving replica sits across the partition: the
+        // connect times out, back off and retry.
+        cluster_.network().notePartitionTimeout();
+        cluster_.simulator().schedule(
+            secondsToTicks(partitionRetryDelaySec(attempt)),
+            [this, node, stream, offset, chunk, count, attempt, reason,
+             done = std::move(done)]() mutable {
+                remoteRead(node, stream, offset, chunk, count,
+                           attempt + 1, reason, std::move(done));
+            });
+        return;
+    }
+    const Bytes total = chunk * count;
+    if (auto *collector = cluster_.traceCollector()) {
+        collector->instant(trace::kDriverPid, trace::kTidHdfs,
+                           "recovery", reason,
+                           cluster_.simulator().now(),
+                           trace::TraceArgs()
+                               .add("node", node)
+                               .add("remote", remote)
+                               .add("bytes", total));
+    }
+    cluster_.node(remote).readThrough(
+        oscache::Role::Hdfs, storage::IoOp::HdfsRead, stream, offset,
+        chunk, count,
+        [this, remote, node, total, done = std::move(done)]() mutable {
+            cluster_.network().transfer(remote, node, total,
+                                        std::move(done));
+        });
+}
+
+void
+Hdfs::quarantineRepair(int node, Bytes bytes)
+{
+    const int remote = pickReachableRemote(node);
+    if (remote < 0) {
+        // Repair waits out the partition like the client does.
+        cluster_.network().notePartitionTimeout();
+        cluster_.simulator().schedule(
+            secondsToTicks(kPartitionRetryCapSec),
+            [this, node, bytes]() { quarantineRepair(node, bytes); });
+        return;
+    }
+    // Anonymous traffic: repair streams block files past the caches,
+    // like the DataNode's scanner does.
+    cluster_.node(remote).readThrough(
+        oscache::Role::Hdfs, storage::IoOp::HdfsRead,
+        oscache::kAnonymousStream, 0, bytes, 1,
+        [this, remote, node, bytes]() {
+            cluster_.network().transfer(
+                remote, node, bytes, [this, node, bytes]() {
+                    cluster_.node(node).writeThrough(
+                        oscache::Role::Hdfs, storage::IoOp::HdfsWrite,
+                        oscache::kAnonymousStream, 0, bytes, 1,
+                        []() {});
+                });
+        });
 }
 
 void

@@ -149,6 +149,14 @@ class Hdfs
     /** @return reads that failed over to a remote replica. */
     std::uint64_t readFailovers() const { return readFailovers_; }
 
+    /** @return reads whose local replica failed checksum
+     *          verification (corrupt-rate draws). */
+    std::uint64_t corruptReads() const { return corruptReads_; }
+
+    /** @return corrupt replica bytes quarantined; each is repaired in
+     *          the background from a surviving replica. */
+    Bytes quarantinedBytes() const { return quarantinedBytes_; }
+
     /** @return bytes copied by background re-replication. */
     Bytes reReplicatedBytes() const { return reReplicatedBytes_; }
 
@@ -179,6 +187,30 @@ class Hdfs
      *  whole cluster is down. */
     int pickAliveRemote(int node) const;
 
+    /** First alive node after @p after in ring order (skipping
+     *  @p origin itself) that the current partition lets @p origin
+     *  reach; -1 when the partition isolates every candidate. */
+    int pickReachableRemote(int origin, int after) const;
+    int pickReachableRemote(int node) const
+    {
+        return pickReachableRemote(node, node);
+    }
+
+    /**
+     * Serve a read on @p node from a surviving remote replica (remote
+     * disk read plus a network hop back). While a partition isolates
+     * every reachable replica the client's connect times out and it
+     * retries with exponential backoff, re-resolving replica locations
+     * each round. @p reason labels the trace instant.
+     */
+    void remoteRead(int node, std::uint64_t stream, Bytes offset,
+                    Bytes chunk, std::uint64_t count, int attempt,
+                    const char *reason, std::function<void()> done);
+
+    /** Background repair of a quarantined replica: stream the good
+     *  bytes from a surviving replica back over the bad one. */
+    void quarantineRepair(int node, Bytes bytes);
+
     void onNodeDeath(int node);
     void startReReplication(int deadNode);
     void reReplicateNext(const std::shared_ptr<ReReplication> &state);
@@ -194,6 +226,8 @@ class Hdfs
     /// Dead nodes whose block share is not fully re-replicated yet.
     std::set<int> underReplicated_;
     std::uint64_t readFailovers_ = 0;
+    std::uint64_t corruptReads_ = 0;
+    Bytes quarantinedBytes_ = 0;
     Bytes reReplicatedBytes_ = 0;
     Tick reReplicationTicks_ = 0;
 };

@@ -44,6 +44,14 @@ FaultInjector::drawFetchFailure()
     return rng_.uniform() < spec_.shuffleFetchFailureRate;
 }
 
+bool
+FaultInjector::drawCorruptRead()
+{
+    if (spec_.hdfsCorruptRate <= 0.0)
+        return false;
+    return rng_.uniform() < spec_.hdfsCorruptRate;
+}
+
 void
 FaultInjector::arm(cluster::Cluster &cluster)
 {
@@ -51,11 +59,28 @@ FaultInjector::arm(cluster::Cluster &cluster)
         fatal("FaultInjector: arm() called twice");
     armed_ = true;
     for (const NodeEvent &event : spec_.schedule.events()) {
-        if (event.node >= cluster.numSlaves())
+        const bool clusterWide =
+            event.kind == NodeEvent::Kind::Partition ||
+            event.kind == NodeEvent::Kind::Heal;
+        if (!clusterWide && event.node >= cluster.numSlaves())
             fatal("FaultInjector: %s event targets node %d but the "
                   "cluster has %d slaves",
                   nodeEventKindName(event.kind), event.node,
                   cluster.numSlaves());
+        if (event.kind == NodeEvent::Kind::Partition) {
+            for (int n : event.groupA) {
+                if (n >= cluster.numSlaves())
+                    fatal("FaultInjector: partition lists node %d but "
+                          "the cluster has %d slaves",
+                          n, cluster.numSlaves());
+            }
+            for (int n : event.groupB) {
+                if (n >= cluster.numSlaves())
+                    fatal("FaultInjector: partition lists node %d but "
+                          "the cluster has %d slaves",
+                          n, cluster.numSlaves());
+            }
+        }
         cluster::Cluster *target = &cluster;
         const NodeEvent scheduled = event;
         cluster.simulator().scheduleAt(
@@ -86,6 +111,34 @@ FaultInjector::arm(cluster::Cluster &cluster)
                   case NodeEvent::Kind::DegradeMem:
                     target->setMemoryFraction(scheduled.node,
                                               scheduled.factor);
+                    break;
+                  case NodeEvent::Kind::SlowNode:
+                    target->setComputeSlowdown(scheduled.node,
+                                               scheduled.factor);
+                    break;
+                  case NodeEvent::Kind::Partition:
+                    target->network().setPartition(scheduled.groupA,
+                                                   scheduled.groupB);
+                    if (auto *trace = target->traceCollector()) {
+                        trace->instant(
+                            trace::kDriverPid, trace::kTidFaults,
+                            "fault", "partition",
+                            target->simulator().now(),
+                            trace::TraceArgs().add(
+                                "side_a",
+                                static_cast<int>(
+                                    scheduled.groupA.size())));
+                    }
+                    break;
+                  case NodeEvent::Kind::Heal:
+                    target->network().heal();
+                    if (auto *trace = target->traceCollector()) {
+                        trace->instant(trace::kDriverPid,
+                                       trace::kTidFaults, "fault",
+                                       "heal",
+                                       target->simulator().now(),
+                                       trace::TraceArgs());
+                    }
                     break;
                 }
             });

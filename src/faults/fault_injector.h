@@ -65,10 +65,19 @@ class FaultInjector
     bool drawFetchFailure();
 
     /**
+     * Draw one HDFS checksum mismatch (silent corruption). Consumes
+     * randomness only when corrupt-rate is positive.
+     */
+    bool drawCorruptRead();
+
+    /**
      * Schedule every FaultSchedule event against @p cluster's
      * simulator: kills and rejoins call Cluster::setNodeAlive (which
      * notifies liveness observers); degrade events scale the node's
-     * device service times. Call exactly once, before the run starts.
+     * device service times; slow-node events set the node's gray
+     * compute slowdown; partition/heal events split and rejoin the
+     * cluster's network fabric. Call exactly once, before the run
+     * starts.
      */
     void arm(cluster::Cluster &cluster);
 

@@ -4,22 +4,29 @@
  *
  * A FaultSpec describes every failure a simulation should experience:
  * seeded per-attempt task crash probability, transient HDFS read
- * errors (forcing replica failover), shuffle-fetch failure, and a
- * FaultSchedule of node-scoped events (whole-node loss, rejoin,
- * degraded-device mode) pinned to simulated times. Specs are plain
- * data and parse from a small text format, so a fault scenario is
- * reproducible across runs and shareable as a file:
+ * errors (forcing replica failover), silent block corruption (checksum
+ * mismatch on read, forcing a remote re-read and quarantining the bad
+ * replica), shuffle-fetch failure, and a FaultSchedule of node-scoped
+ * events (whole-node loss, rejoin, degraded-device mode, gray
+ * slow-node mode, network partition) pinned to simulated times. Specs
+ * are plain data and parse from a small text format, so a fault
+ * scenario is reproducible across runs and shareable as a file:
  *
  *   task-fail-rate 0.02      # per task attempt
  *   disk-error-rate 0.001    # per HDFS read batch (transient)
+ *   corrupt-rate 0.0005      # per HDFS read batch (checksum mismatch)
  *   fetch-fail-rate 0.0005   # per shuffle source batch
  *   kill 2@120               # node 2 dies at t=120 s
  *   rejoin 2@600             # ...and comes back empty at t=600 s
  *   degrade 1@60 4.0         # node 1's devices slow down 4x at t=60 s
  *   degrade-mem 1@60 0.5     # node 1's memory pool halves at t=60 s
+ *   slow-node 1@60 3.0       # node 1 turns gray: compute 3x slower
+ *   partition 0,1|2,3@120    # network splits into {0,1} vs {2,3}
+ *   heal@180                 # ...and heals at t=180 s
  *
  * '#' starts a comment; ';' separates statements on one line (for
- * inline command-line use).
+ * inline command-line use). Error messages carry <source>:<line> so a
+ * typo in a 40-line chaos schedule is findable.
  */
 
 #ifndef DOPPIO_FAULTS_FAULT_SPEC_H
@@ -33,7 +40,15 @@ namespace doppio::faults {
 /** One scheduled node-scoped fault event. */
 struct NodeEvent
 {
-    enum class Kind { Kill, Rejoin, Degrade, DegradeMem };
+    enum class Kind {
+        Kill,
+        Rejoin,
+        Degrade,
+        DegradeMem,
+        SlowNode,
+        Partition,
+        Heal
+    };
 
     Kind kind = Kind::Kill;
     int node = 0;
@@ -43,11 +58,29 @@ struct NodeEvent
      * DegradeMem: remaining fraction of the node's memory pool
      * ((0, 1]; 1 restores it) — a ballooning neighbour VM or cgroup
      * clamp shrinking the executor's usable memory.
+     * SlowNode: compute slowdown multiplier (>= 1; 1 restores) — a
+     * gray failure: the node stays alive and serves I/O, but every
+     * task landed on it runs this much slower, which is what the
+     * speculation machinery exists to route around.
      */
     double factor = 1.0;
+
+    /** Partition only: the two sides of the network split. */
+    std::vector<int> groupA;
+    std::vector<int> groupB;
+
+    /**
+     * Where this event was declared (for validation diagnostics);
+     * line 0 means "built programmatically, no location".
+     */
+    std::string declSource;
+    int declLine = 0;
 };
 
-/** @return "kill" / "rejoin" / "degrade" / "degrade-mem". */
+/**
+ * @return "kill" / "rejoin" / "degrade" / "degrade-mem" /
+ *         "slow-node" / "partition" / "heal".
+ */
 const char *nodeEventKindName(NodeEvent::Kind kind);
 
 /**
@@ -85,19 +118,34 @@ struct FaultSpec
     double diskReadErrorRate = 0.0;
 
     /**
+     * Per-HDFS-read probability of a checksum mismatch (silent data
+     * corruption). The read is re-served from a surviving remote
+     * replica and the corrupt replica is quarantined: its bytes are
+     * re-replicated in the background through the real device and
+     * network pipeline.
+     */
+    double hdfsCorruptRate = 0.0;
+
+    /**
      * Per-source-batch probability that a shuffle fetch fails even
      * though the serving node is alive (socket reset, corrupt block).
      * Triggers the same stage-reattempt path as node loss.
      */
     double shuffleFetchFailureRate = 0.0;
 
-    /** Scheduled node loss / rejoin / degradation. */
+    /** Scheduled node loss / rejoin / degradation / partitions. */
     FaultSchedule schedule;
 
     /** @return true when any fault source is active. */
     bool any() const;
 
-    /** fatal() on out-of-range rates or malformed events. */
+    /**
+     * fatal() on out-of-range rates or malformed events. Event
+     * diagnostics include the declaring <source>:<line> when the
+     * event came from parse(). Cross-event checks run in time order:
+     * a rejoin of a node with no earlier kill and a heal with no
+     * earlier partition are rejected (both used to be silent no-ops).
+     */
     void validate() const;
 
     /**

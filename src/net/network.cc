@@ -65,6 +65,45 @@ Network::transfer(int srcNode, int dstNode, Bytes bytes,
 }
 
 void
+Network::setPartition(const std::vector<int> &groupA,
+                      const std::vector<int> &groupB)
+{
+    partitionSide_.assign(static_cast<std::size_t>(numNodes()), 0);
+    for (int a : groupA) {
+        if (a >= 0 && a < numNodes())
+            partitionSide_[static_cast<std::size_t>(a)] = 1;
+    }
+    for (int b : groupB) {
+        if (b < 0 || b >= numNodes())
+            continue;
+        if (partitionSide_[static_cast<std::size_t>(b)] == 1)
+            fatal("Network: node %d on both sides of a partition", b);
+        partitionSide_[static_cast<std::size_t>(b)] = 2;
+    }
+    partitionActive_ = true;
+}
+
+void
+Network::heal()
+{
+    partitionActive_ = false;
+    partitionSide_.clear();
+}
+
+bool
+Network::reachable(int srcNode, int dstNode) const
+{
+    if (!partitionActive_ || srcNode == dstNode)
+        return true;
+    if (srcNode < 0 || srcNode >= numNodes() || dstNode < 0 ||
+        dstNode >= numNodes())
+        return true;
+    const int a = partitionSide_[static_cast<std::size_t>(srcNode)];
+    const int b = partitionSide_[static_cast<std::size_t>(dstNode)];
+    return a == 0 || b == 0 || a == b;
+}
+
+void
 Network::setTrace(trace::TraceCollector *trace)
 {
     trace_ = trace;

@@ -52,6 +52,32 @@ class Network
     /** @return total bytes delivered over the fabric (remote only). */
     Bytes remoteBytes() const { return remoteBytes_; }
 
+    /**
+     * Install a network partition: nodes listed on side A cannot
+     * exchange bytes with nodes listed on side B (either direction);
+     * nodes on neither side keep full connectivity. Replaces any
+     * partition already in effect. Consumers (shuffle fetches, HDFS
+     * replica reads) poll reachable() and model connection timeouts
+     * with exponential backoff before failing over.
+     */
+    void setPartition(const std::vector<int> &groupA,
+                      const std::vector<int> &groupB);
+
+    /** Remove the partition; all pairs become reachable again. */
+    void heal();
+
+    /** @return true while a partition is in effect. */
+    bool partitioned() const { return partitionActive_; }
+
+    /** @return false iff the current partition separates the pair. */
+    bool reachable(int srcNode, int dstNode) const;
+
+    /** @return timeouts reported by consumers (see notePartitionTimeout). */
+    long partitionTimeouts() const { return partitionTimeouts_; }
+
+    /** Consumers report each backoff round spent against a partition. */
+    void notePartitionTimeout() { ++partitionTimeouts_; }
+
     /** @return number of nodes. */
     int numNodes() const { return static_cast<int>(ingress_.size()); }
 
@@ -71,6 +97,10 @@ class Network
     Tick latency_;
     std::vector<std::unique_ptr<sim::FluidPipe>> ingress_;
     Bytes remoteBytes_ = 0;
+    /// Per-node partition side: 0 = unlisted, 1 = side A, 2 = side B.
+    std::vector<int> partitionSide_;
+    bool partitionActive_ = false;
+    long partitionTimeouts_ = 0;
     /// Optional telemetry hook (non-owning).
     trace::TraceCollector *trace_ = nullptr;
 };

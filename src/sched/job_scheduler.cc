@@ -45,7 +45,7 @@ JobContext::submitJob(JobRequest request)
 void
 JobContext::startNextJob()
 {
-    if (queue_.empty())
+    if (active_ != nullptr || queue_.empty())
         return;
     auto job = std::make_unique<ActiveJob>();
     job->request = std::move(queue_.front());
@@ -86,10 +86,14 @@ JobContext::finishJob()
 {
     JobRequest request = std::move(active_->request);
     metrics_.jobs.push_back(std::move(active_->metrics));
-    active_.reset();
+    retired_.push_back(std::move(active_));
     doneTick_ = scheduler_.cluster_.simulator().now();
     for (const spark::RddRef &rdd : request.unpersistAfter)
         scheduler_.blockManager().unpersist(rdd.get());
+    // onDone may submit (and reentrantly start) follow-up jobs — the
+    // streaming driver queues its next batch, checkpoint or recovery
+    // job from here. Only pull from the queue if that didn't already
+    // make a job active, or the assignment below would clobber it.
     if (request.onDone)
         request.onDone();
     startNextJob();

@@ -163,6 +163,12 @@ class JobContext
     spark::AppMetrics metrics_;
     std::deque<JobRequest> queue_;
     std::unique_ptr<ActiveJob> active_;
+    /// Finished jobs whose StageSpecs must outlive their last task
+    /// event: a stage completes while a losing/aborted attempt is
+    /// still draining async I/O, and that attempt's next phase
+    /// boundary dereferences its TaskGroupSpec (submitStage's "spec
+    /// must outlive the run" contract).
+    std::vector<std::unique_ptr<ActiveJob>> retired_;
     spark::TaskEngine::StageRef activeRun_;
     /// Specs of executed shuffle map stages, for lineage recovery.
     std::unordered_map<std::string, spark::StageSpec> shuffleProducers_;
@@ -183,6 +189,27 @@ struct TenantSummary
     double submitSec = 0.0;   //!< first submission (simulated seconds)
     double doneSec = 0.0;     //!< last job completion
     double coreSeconds = 0.0; //!< integral of occupied cores over time
+    /** Streaming tenants with the recovery path enabled also report
+     *  their checkpoint/recovery record and whether every recovery
+     *  stayed within the checkpoint-interval SLO (filled by
+     *  workloads::runMultiTenant from the driver's stats). */
+    bool streamRecovery = false;
+    double checkpointIntervalSec = -1.0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t recoveries = 0;
+    double maxRecoverySec = 0.0;
+
+    /** Recovery-time SLO: every observed recovery completed within
+     *  one checkpoint interval (vacuously true with none observed;
+     *  interval 0 = unbounded replay, met only if never exercised). */
+    bool
+    recoverySloMet() const
+    {
+        if (recoveries == 0)
+            return true;
+        return checkpointIntervalSec > 0.0 &&
+               maxRecoverySec <= checkpointIntervalSec;
+    }
 };
 
 /** Per-pool slice of a finished multi-tenant run. */

@@ -152,6 +152,14 @@ MultiJobSpec::parse(const std::string &text)
                            key == "batch-mib") {
                     tenant.batchBytes = mib(
                         parseNumber(value, lineNo, "batch-mib"));
+                } else if (tenant.kind == TenantSpec::Kind::Stream &&
+                           key == "checkpoint") {
+                    tenant.stream.checkpointIntervalSec =
+                        parseNumber(value, lineNo, "checkpoint");
+                    if (tenant.stream.checkpointIntervalSec < 0.0)
+                        fatal("jobs-spec line %d: checkpoint must be "
+                              ">= 0 (0 = recover by full replay)",
+                              lineNo);
                 } else {
                     fatal("jobs-spec line %d: unknown %s option '%s'",
                           lineNo, directive.c_str(), key.c_str());

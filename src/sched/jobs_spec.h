@@ -8,6 +8,7 @@
  *     job <workload> [pool=P] [start=T]
  *     stream <template> [rate=R] [batches=N] [backlog=K] [slo=S]
  *            [poisson] [batch-mib=M] [pool=P] [start=T]
+ *            [checkpoint=T]
  *
  * `job` lines run one registered workload (lr-small, terasort, ...)
  * as a batch tenant; `stream` lines run a micro-batch streaming

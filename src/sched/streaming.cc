@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "sim/simulator.h"
+#include "spark/recovery.h"
 #include "trace/trace_collector.h"
 
 namespace doppio::sched {
@@ -44,6 +45,20 @@ StreamingDriver::StreamingDriver(StreamingOptions options)
         fatal("StreamingDriver: maxBacklog must be positive");
 }
 
+StreamingDriver::~StreamingDriver()
+{
+    if (aliveFlag_)
+        *aliveFlag_ = false;
+}
+
+void
+StreamingDriver::enableRecovery(CheckpointBuilder checkpointBuilder,
+                                RecoveryBuilder recoveryBuilder)
+{
+    checkpointBuilder_ = std::move(checkpointBuilder);
+    recoveryBuilder_ = std::move(recoveryBuilder);
+}
+
 void
 StreamingDriver::start(JobScheduler &scheduler, JobContext &context,
                        BatchBuilder builder,
@@ -57,6 +72,26 @@ StreamingDriver::start(JobScheduler &scheduler, JobContext &context,
     stats_.ratePerSec = options_.ratePerSec;
     stats_.sloSeconds = options_.sloSeconds;
     stats_.maxBacklog = options_.maxBacklog;
+    stats_.checkpointIntervalSec = options_.checkpointIntervalSec;
+
+    if (options_.checkpointIntervalSec >= 0.0) {
+        if (!recoveryBuilder_)
+            fatal("StreamingDriver: checkpointIntervalSec set but no "
+                  "recovery builder attached (enableRecovery)");
+        if (options_.checkpointIntervalSec > 0.0 && !checkpointBuilder_)
+            fatal("StreamingDriver: periodic checkpoints need a "
+                  "checkpoint builder (enableRecovery)");
+        lastCheckpointTick_ =
+            scheduler.clusterRef().simulator().now();
+        aliveFlag_ = std::make_shared<bool>(true);
+        std::shared_ptr<bool> alive = aliveFlag_;
+        scheduler.clusterRef().addLivenessObserver(
+            [this, alive](int node, bool up) {
+                if (!*alive || up)
+                    return;
+                onNodeLost(node);
+            });
+    }
 
     // Precompute the whole arrival process so arrivals are independent
     // of service completions: deterministic spacing 1/λ, or i.i.d.
@@ -109,30 +144,106 @@ StreamingDriver::arrive(int index)
     request.name = std::move(batch.name);
     request.target = std::move(batch.target);
     request.action = batch.action;
-    request.onDone = [this, arrivalTick]() {
-        finishBatch(arrivalTick);
+    request.onDone = [this, index, arrivalTick]() {
+        finishBatch(index, arrivalTick);
     };
     context_->submitJob(std::move(request));
 }
 
 void
-StreamingDriver::finishBatch(Tick arrivalTick)
+StreamingDriver::finishBatch(int index, Tick arrivalTick)
 {
     sim::Simulator &sim = scheduler_->clusterRef().simulator();
     --pending_;
     ++stats_.processed;
+    lastCompletedBatch_ = std::max(lastCompletedBatch_, index);
     const double latency = ticksToSeconds(sim.now() - arrivalTick);
     latencies_.push_back(latency);
     services_.push_back(context_->appMetrics().jobs.back().seconds());
     if (options_.sloSeconds > 0.0 && latency > options_.sloSeconds)
         ++stats_.sloViolations;
+    maybeCheckpoint();
     maybeFinish();
+}
+
+void
+StreamingDriver::maybeCheckpoint()
+{
+    if (options_.checkpointIntervalSec <= 0.0 || checkpointInFlight_)
+        return;
+    sim::Simulator &sim = scheduler_->clusterRef().simulator();
+    const double sinceSec =
+        ticksToSeconds(sim.now() - lastCheckpointTick_);
+    if (sinceSec < options_.checkpointIntervalSec)
+        return;
+    if (lastCompletedBatch_ <= lastCheckpointBatch_)
+        return; // nothing new to cover
+    const int covering = lastCompletedBatch_;
+    checkpointInFlight_ = true;
+    lastCheckpointTick_ = sim.now();
+    ++pendingAux_;
+    BatchJob job = checkpointBuilder_(*context_, covering);
+    JobContext::JobRequest request;
+    request.name = std::move(job.name);
+    request.target = std::move(job.target);
+    request.action = job.action;
+    request.onDone = [this, covering]() {
+        checkpointInFlight_ = false;
+        lastCheckpointBatch_ = std::max(lastCheckpointBatch_, covering);
+        ++stats_.checkpoints;
+        --pendingAux_;
+        maybeFinish();
+    };
+    context_->submitJob(std::move(request));
+}
+
+void
+StreamingDriver::onNodeLost(int node)
+{
+    (void)node;
+    if (recoveryInFlight_)
+        return; // the queued recovery rebuilds state past this loss too
+    if (lastCompletedBatch_ < 0 && lastCheckpointBatch_ < 0)
+        return; // no stream state accumulated yet: nothing to rebuild
+    sim::Simulator &sim = scheduler_->clusterRef().simulator();
+    const Tick lostTick = sim.now();
+    const spark::ReplayPlan plan = spark::planReplay(
+        lastCheckpointBatch_, lastCompletedBatch_ + 1);
+    recoveryInFlight_ = true;
+    ++pendingAux_;
+    trace::TraceCollector *collector = scheduler_->collector();
+    if (collector != nullptr)
+        collector->instant(trace::kDriverPid,
+                           trace::jobTid(context_->id()), "stream",
+                           "recovery_start", lostTick,
+                           trace::TraceArgs()
+                               .add("from_checkpoint",
+                                    lastCheckpointBatch_)
+                               .add("replay_batches", plan.count()));
+    BatchJob job = recoveryBuilder_(*context_, lastCheckpointBatch_,
+                                    plan.firstBatch, plan.lastBatch);
+    JobContext::JobRequest request;
+    request.name = std::move(job.name);
+    request.target = std::move(job.target);
+    request.action = job.action;
+    request.onDone = [this, lostTick]() {
+        recoveryInFlight_ = false;
+        ++stats_.recoveries;
+        const double span = ticksToSeconds(
+            scheduler_->clusterRef().simulator().now() - lostTick);
+        stats_.recoverySecondsTotal += span;
+        stats_.maxRecoverySec = std::max(stats_.maxRecoverySec, span);
+        --pendingAux_;
+        maybeFinish();
+    };
+    context_->submitJob(std::move(request));
 }
 
 void
 StreamingDriver::maybeFinish()
 {
-    if (arrived_ < options_.batches || pending_ != 0)
+    if (arrived_ < options_.batches || pending_ != 0 ||
+        pendingAux_ != 0)
         return;
     std::vector<double> sorted = latencies_;
     std::sort(sorted.begin(), sorted.end());
@@ -153,8 +264,14 @@ StreamingDriver::maybeFinish()
         services_.empty()
             ? 0.0
             : serviceSum / static_cast<double>(services_.size());
-    if (onAllDone_)
-        onAllDone_();
+    // A post-drain failure can re-enter here after a late recovery
+    // job completes; the stats recompute is idempotent but the
+    // completion callback must fire exactly once.
+    if (onAllDone_) {
+        auto done = std::move(onAllDone_);
+        onAllDone_ = nullptr;
+        done();
+    }
 }
 
 } // namespace doppio::sched

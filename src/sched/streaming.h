@@ -18,12 +18,14 @@
 #define DOPPIO_SCHED_STREAMING_H
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/sim_time.h"
 #include "sched/job_scheduler.h"
 #include "spark/metrics.h"
+#include "spark/rdd.h"
 
 namespace doppio::sched {
 
@@ -35,6 +37,15 @@ struct StreamingOptions
     int maxBacklog = 8;      //!< queued batches before drops
     double sloSeconds = 0.0; //!< per-batch latency SLO (0 = none)
     bool poisson = false;    //!< Poisson arrivals instead of uniform
+    /**
+     * Checkpoint-bounded recovery: < 0 (default) disables the fault
+     * path entirely (no observers, byte-identical to older builds);
+     * 0 enables node-loss recovery but never checkpoints (replay every
+     * completed batch); > 0 additionally checkpoints the stream state
+     * through HDFS on this period, so a recovery replays at most one
+     * interval's worth of batches.
+     */
+    double checkpointIntervalSec = -1.0;
 };
 
 /** One micro-batch expressed as a job on the tenant's lineage. */
@@ -49,6 +60,22 @@ struct BatchJob
 using BatchBuilder = std::function<BatchJob(JobContext &, int)>;
 
 /**
+ * Builds the checkpoint job covering state up to batch @p lastBatch:
+ * its target must carry Rdd::checkpoint() so the compile writes the
+ * state through HDFS and records the lineage truncation point.
+ */
+using CheckpointBuilder = std::function<BatchJob(JobContext &, int)>;
+
+/**
+ * Builds the post-failure recovery job: reconstruct the stream state
+ * from the checkpoint covering @p checkpointBatch (-1 = none) by
+ * replaying batches [@p firstBatch, @p lastBatch] (an empty span just
+ * reads the checkpoint back).
+ */
+using RecoveryBuilder =
+    std::function<BatchJob(JobContext &, int, int, int)>;
+
+/**
  * Drives one stream: schedules the arrival process on the shared
  * simulator, applies backpressure, submits each admitted batch as a
  * job of @p context and aggregates latency statistics. The driver
@@ -59,6 +86,15 @@ class StreamingDriver
 {
   public:
     explicit StreamingDriver(StreamingOptions options);
+    ~StreamingDriver();
+
+    /**
+     * Attach the checkpoint/recovery job factories. Required before
+     * start() when StreamingOptions::checkpointIntervalSec >= 0; a
+     * no-op (builders unused) when recovery is disabled.
+     */
+    void enableRecovery(CheckpointBuilder checkpointBuilder,
+                        RecoveryBuilder recoveryBuilder);
 
     /**
      * Precompute the arrival ticks and schedule them. Call once,
@@ -74,19 +110,31 @@ class StreamingDriver
 
   private:
     void arrive(int index);
-    void finishBatch(Tick arrivalTick);
+    void finishBatch(int index, Tick arrivalTick);
+    void maybeCheckpoint();
+    void onNodeLost(int node);
     void maybeFinish();
 
     StreamingOptions options_;
     JobScheduler *scheduler_ = nullptr;
     JobContext *context_ = nullptr;
     BatchBuilder builder_;
+    CheckpointBuilder checkpointBuilder_;
+    RecoveryBuilder recoveryBuilder_;
     std::function<void()> onAllDone_;
     spark::StreamingMetrics stats_;
     int pending_ = 0; //!< admitted batches not yet completed
     int arrived_ = 0; //!< arrivals seen so far
+    int pendingAux_ = 0; //!< checkpoint/recovery jobs in flight
+    int lastCompletedBatch_ = -1;  //!< highest batch index finished
+    int lastCheckpointBatch_ = -1; //!< batch the last checkpoint covers
+    bool checkpointInFlight_ = false;
+    bool recoveryInFlight_ = false;
+    Tick lastCheckpointTick_ = 0; //!< when the last checkpoint launched
     std::vector<double> latencies_;
     std::vector<double> services_;
+    /** Liveness guard: the cluster's observer may outlive the driver. */
+    std::shared_ptr<bool> aliveFlag_;
 };
 
 } // namespace doppio::sched

@@ -88,6 +88,11 @@ Simulator::runOneEvent()
         EventFn fn = popTop(fire);
         if (!fire)
             continue; // cancelled: slot released, move on
+        if (budget_ != 0 && fired_ >= budget_)
+            fatal("Simulator: event budget %llu exhausted at tick "
+                  "%llu — runaway or hung simulation",
+                  static_cast<unsigned long long>(budget_),
+                  static_cast<unsigned long long>(when));
         now_ = when;
         ++fired_;
         --live_;

@@ -223,6 +223,17 @@ class Simulator
     std::uint64_t firedEvents() const { return fired_; }
 
     /**
+     * Abort the run (throwing common::FatalError from the event loop)
+     * once @p maxFired total events have fired — a watchdog against
+     * hung or runaway simulations (the chaos harness's no-hang
+     * invariant). 0 (the default) means unlimited.
+     */
+    void setEventBudget(std::uint64_t maxFired) { budget_ = maxFired; }
+
+    /** @return the configured event budget (0 = unlimited). */
+    std::uint64_t eventBudget() const { return budget_; }
+
+    /**
      * @return total number of schedule()/scheduleAt() calls so far.
      * Components can use this to detect whether an event they just
      * scheduled is still the newest one (see FluidPipe's reschedule
@@ -274,6 +285,7 @@ class Simulator
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t fired_ = 0;
+    std::uint64_t budget_ = 0; //!< max events to fire (0 = unlimited)
     std::size_t live_ = 0;
 };
 

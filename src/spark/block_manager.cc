@@ -152,6 +152,18 @@ BlockManager::markShuffleAvailable(const Rdd *rdd)
     shuffles_.insert(rdd);
 }
 
+bool
+BlockManager::checkpointAvailable(const Rdd *rdd) const
+{
+    return checkpointed_.count(rdd) != 0;
+}
+
+void
+BlockManager::markCheckpointed(const Rdd *rdd)
+{
+    checkpointed_.insert(rdd);
+}
+
 Bytes
 BlockManager::memoryUsed() const
 {
@@ -467,6 +479,7 @@ BlockManager::reset()
     memoryUsed_ = 0;
     placements_.clear();
     shuffles_.clear();
+    checkpointed_.clear();
     for (MemoryManager &pool : pools_)
         pool.reset();
     rdds_.clear();

@@ -112,6 +112,12 @@ class BlockManager
     /** Record that @p rdd's map stage has written its shuffle files. */
     void markShuffleAvailable(const Rdd *rdd);
 
+    /** @return true when @p rdd's checkpoint is on HDFS. */
+    bool checkpointAvailable(const Rdd *rdd) const;
+
+    /** Record that @p rdd's partitions were checkpointed to HDFS. */
+    void markCheckpointed(const Rdd *rdd);
+
     /** @return bytes of storage memory currently in use. */
     Bytes memoryUsed() const;
 
@@ -241,6 +247,7 @@ class BlockManager
 
     // Shared state.
     std::unordered_set<const Rdd *> shuffles_;
+    std::unordered_set<const Rdd *> checkpointed_;
 
     // Unified state.
     std::vector<MemoryManager> pools_;

@@ -7,6 +7,27 @@
 
 namespace doppio::spark {
 
+namespace {
+
+/**
+ * Stable FNV-1a page-cache stream identity for an RDD's checkpoint
+ * file, so the read-back neither aliases the source input nor another
+ * checkpoint of identical shape. Non-zero by construction.
+ */
+std::uint64_t
+checkpointCacheSalt(const std::string &rddName)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const std::string key = "ckpt:" + rddName;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h | 1;
+}
+
+} // namespace
+
 DagScheduler::DagScheduler(const SparkConf &conf, const dfs::Hdfs &hdfs,
                            BlockManager &blockManager)
     : conf_(conf), hdfs_(hdfs), blockManager_(blockManager)
@@ -68,6 +89,20 @@ DagScheduler::buildChain(const RddRef &rdd, std::vector<StageSpec> &stages)
           case BlockManager::Placement::Unmaterialized:
             break;
         }
+    }
+    if (blockManager_.checkpointAvailable(rdd.get())) {
+        // Lineage truncation: read the reliable HDFS copy back instead
+        // of recomputing the ancestry (Spark's checkpoint recovery).
+        IoPhaseSpec read = makeIoPhase(
+            storage::IoOp::HdfsRead, rdd->bytesPerPartition(),
+            hdfs_.config().blockSize, rdd->pipelinedCpuPerByte);
+        read.cacheStream = checkpointCacheSalt(rdd->name);
+        ChainBuild build;
+        build.groups.push_back(TaskGroupSpec{
+            rdd->name + "(checkpoint)", rdd->numPartitions, {read},
+            rdd->bytesPerPartition()});
+        build.gcSensitivity = rdd->gcSensitivity;
+        return build;
     }
     return buildCompute(rdd, stages);
 }
@@ -165,6 +200,7 @@ DagScheduler::buildCompute(const RddRef &rdd,
         build.groups.push_back(std::move(group));
         build.gcSensitivity = rdd->gcSensitivity;
         maybeMaterialize(rdd, build);
+        maybeCheckpoint(rdd, build);
         return build;
     }
 
@@ -200,6 +236,7 @@ DagScheduler::buildCompute(const RddRef &rdd,
     build.gcSensitivity =
         std::max(build.gcSensitivity, rdd->gcSensitivity);
     maybeMaterialize(rdd, build);
+    maybeCheckpoint(rdd, build);
     return build;
 }
 
@@ -280,6 +317,26 @@ DagScheduler::maybeMaterialize(const RddRef &rdd, ChainBuild &build)
             makeIoPhase(storage::IoOp::PersistWrite, per_task,
                         conf_.diskStoreRequestSize, 0.0));
     }
+}
+
+void
+DagScheduler::maybeCheckpoint(const RddRef &rdd, ChainBuild &build)
+{
+    if (!rdd->checkpointRequested ||
+        blockManager_.checkpointAvailable(rdd.get()))
+        return;
+    // Eager write-on-first-materialization (Spark's checkpoint() runs
+    // a second job; folding the write into the producing tasks charges
+    // the same bytes without re-running the lineage).
+    const Bytes per_task = std::max<Bytes>(1, rdd->bytesPerPartition());
+    for (TaskGroupSpec &group : build.groups) {
+        IoPhaseSpec write =
+            makeIoPhase(storage::IoOp::HdfsWrite, per_task,
+                        hdfs_.config().blockSize, 0.0);
+        write.cacheStream = checkpointCacheSalt(rdd->name);
+        group.phases.push_back(write);
+    }
+    blockManager_.markCheckpointed(rdd.get());
 }
 
 JobSpec

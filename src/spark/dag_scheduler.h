@@ -122,6 +122,14 @@ class DagScheduler
      */
     void maybeMaterialize(const RddRef &rdd, ChainBuild &build);
 
+    /**
+     * If @p rdd requested checkpointing and none exists yet, append
+     * HdfsWrite phases (the reliable copy, with real device and
+     * replication traffic) and record the checkpoint so later chains
+     * crossing this RDD truncate their lineage here.
+     */
+    void maybeCheckpoint(const RddRef &rdd, ChainBuild &build);
+
     /** Split @p bytes into uniform requests of roughly @p preferred. */
     static IoPhaseSpec makeIoPhase(storage::IoOp op, Bytes bytes,
                                    Bytes preferred, double cpuPerByte,

@@ -7,9 +7,10 @@ FaultMetrics::any() const
 {
     return taskFailures != 0 || taskRetries != 0 || lostAttempts != 0 ||
            fetchFailures != 0 || stageReattempts != 0 ||
-           hdfsFailovers != 0 || wastedTaskSeconds != 0.0 ||
+           hdfsFailovers != 0 || corruptReads != 0 ||
+           partitionTimeouts != 0 || wastedTaskSeconds != 0.0 ||
            recoverySeconds != 0.0 || reReplicatedBytes != 0 ||
-           lostDirtyBytes != 0;
+           quarantinedBytes != 0 || lostDirtyBytes != 0;
 }
 
 FaultMetrics &
@@ -22,9 +23,12 @@ FaultMetrics::operator+=(const FaultMetrics &other)
     fetchFailures += other.fetchFailures;
     stageReattempts += other.stageReattempts;
     hdfsFailovers += other.hdfsFailovers;
+    corruptReads += other.corruptReads;
+    partitionTimeouts += other.partitionTimeouts;
     wastedTaskSeconds += other.wastedTaskSeconds;
     recoverySeconds += other.recoverySeconds;
     reReplicatedBytes += other.reReplicatedBytes;
+    quarantinedBytes += other.quarantinedBytes;
     lostDirtyBytes += other.lostDirtyBytes;
     return *this;
 }

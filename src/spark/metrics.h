@@ -60,9 +60,12 @@ struct FaultMetrics
     std::uint64_t fetchFailures = 0;   //!< shuffle fetches that failed
     std::uint64_t stageReattempts = 0; //!< stages rerun after fetch loss
     std::uint64_t hdfsFailovers = 0;   //!< reads served by a remote replica
+    std::uint64_t corruptReads = 0; //!< reads failing checksum verify
+    std::uint64_t partitionTimeouts = 0; //!< backoff rounds vs. a split
     double wastedTaskSeconds = 0.0; //!< work discarded by crashes/kills
     double recoverySeconds = 0.0;   //!< wall-clock of recovery reruns
     Bytes reReplicatedBytes = 0;    //!< HDFS re-replication traffic
+    Bytes quarantinedBytes = 0;     //!< corrupt replica bytes repaired
     Bytes lostDirtyBytes = 0;       //!< dirty page-cache bytes lost
 
     /** @return true when any failure was observed (taskAttempts alone
@@ -118,6 +121,15 @@ struct StreamingMetrics
     /** Mean per-batch service time (submission to completion of the
      *  batch job, excluding queueing), the processing rate's inverse. */
     double meanServiceSec = 0.0;
+    /** Configured checkpoint cadence: < 0 disables recovery entirely,
+     *  0 recovers by replaying every batch (no periodic checkpoints),
+     *  > 0 checkpoints state through HDFS on this period so replay —
+     *  and hence recovery time for a stable stream — stays bounded. */
+    double checkpointIntervalSec = -1.0;
+    std::uint64_t checkpoints = 0; //!< checkpoint jobs completed
+    std::uint64_t recoveries = 0;  //!< post-failure recovery jobs
+    double recoverySecondsTotal = 0.0; //!< sum of kill->recovered spans
+    double maxRecoverySec = 0.0;       //!< worst single recovery
 
     /**
      * @return true when the arrival process kept up: nothing dropped

@@ -146,9 +146,12 @@ writeAppFaultsJson(std::ostream &os, const FaultMetrics &f)
        << ",\"fetch_failures\":" << f.fetchFailures
        << ",\"stage_reattempts\":" << f.stageReattempts
        << ",\"hdfs_failovers\":" << f.hdfsFailovers
+       << ",\"corrupt_reads\":" << f.corruptReads
+       << ",\"partition_timeouts\":" << f.partitionTimeouts
        << ",\"wasted_task_seconds\":" << num(f.wastedTaskSeconds)
        << ",\"recovery_seconds\":" << num(f.recoverySeconds)
        << ",\"re_replicated_bytes\":" << f.reReplicatedBytes
+       << ",\"quarantined_bytes\":" << f.quarantinedBytes
        << ",\"lost_dirty_bytes\":" << f.lostDirtyBytes << '}';
 }
 
@@ -185,7 +188,19 @@ writeStreamingJson(std::ostream &os, const StreamingMetrics &s)
        << ",\"p99_latency_seconds\":" << num(s.p99LatencySec)
        << ",\"max_latency_seconds\":" << num(s.maxLatencySec)
        << ",\"mean_service_seconds\":" << num(s.meanServiceSec)
-       << ",\"stable\":" << (s.stable() ? "true" : "false") << '}';
+       << ",\"stable\":" << (s.stable() ? "true" : "false");
+    // Recovery block only when the run had the fault path enabled,
+    // keeping older streaming output byte-identical.
+    if (s.checkpointIntervalSec >= 0.0) {
+        os << ",\"checkpoint_interval_seconds\":"
+           << num(s.checkpointIntervalSec)
+           << ",\"checkpoints\":" << s.checkpoints
+           << ",\"recoveries\":" << s.recoveries
+           << ",\"recovery_seconds_total\":"
+           << num(s.recoverySecondsTotal)
+           << ",\"max_recovery_seconds\":" << num(s.maxRecoverySec);
+    }
+    os << '}';
 }
 
 std::string

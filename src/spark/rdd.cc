@@ -83,6 +83,17 @@ Rdd::persist(StorageLevel level)
     return shared_from_this();
 }
 
+RddRef
+Rdd::checkpoint()
+{
+    if (isSource())
+        fatal("Rdd %s: checkpointing a source RDD is pointless (it "
+              "is already on HDFS)",
+              name.c_str());
+    checkpointRequested = true;
+    return shared_from_this();
+}
+
 Bytes
 Rdd::bytesPerPartition() const
 {

@@ -134,6 +134,19 @@ class Rdd : public std::enable_shared_from_this<Rdd>
     /** Set the storage level; @return this (for chaining). */
     RddRef persist(StorageLevel level);
 
+    /**
+     * Request reliable checkpointing: when this RDD is first
+     * materialized its partitions are also written through HDFS (real
+     * device and replication traffic), and later jobs whose lineage
+     * crosses it read the checkpoint back instead of recomputing the
+     * ancestry — Spark's RDD.checkpoint() lineage truncation.
+     * @return this (for chaining).
+     */
+    RddRef checkpoint();
+
+    /** Set by checkpoint(); the DAG scheduler acts on it at compile. */
+    bool checkpointRequested = false;
+
     /** @return true for a leaf HDFS-backed RDD. */
     bool isSource() const { return sourceFile.has_value(); }
 

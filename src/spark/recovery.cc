@@ -29,4 +29,13 @@ remainderSpec(const StageSpec &stage, std::uint64_t completed)
     return spec;
 }
 
+ReplayPlan
+planReplay(int lastCheckpointBatch, int nextBatch)
+{
+    ReplayPlan plan;
+    plan.firstBatch = lastCheckpointBatch + 1;
+    plan.lastBatch = nextBatch - 1;
+    return plan;
+}
+
 } // namespace doppio::spark

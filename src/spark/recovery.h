@@ -30,6 +30,28 @@ StageSpec recoverySpec(const StageSpec &producer, int numSlaves);
  */
 StageSpec remainderSpec(const StageSpec &stage, std::uint64_t completed);
 
+/**
+ * Which micro-batches a streaming driver must replay after a failure:
+ * everything after the last checkpointed batch up to (excluding) the
+ * next batch not yet admitted. With periodic checkpoints the replay
+ * span — and hence recovery time for a stable stream — is bounded by
+ * the checkpoint interval.
+ */
+struct ReplayPlan
+{
+    int firstBatch = 0; //!< first batch index to replay
+    int lastBatch = -1; //!< last batch index to replay (inclusive)
+
+    int
+    count() const
+    {
+        return lastBatch >= firstBatch ? lastBatch - firstBatch + 1 : 0;
+    }
+};
+
+/** @return the replay span (lastCheckpointBatch of -1 = no checkpoint). */
+ReplayPlan planReplay(int lastCheckpointBatch, int nextBatch);
+
 } // namespace doppio::spark
 
 #endif // DOPPIO_SPARK_RECOVERY_H

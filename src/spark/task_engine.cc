@@ -28,6 +28,16 @@ constexpr double kOomRetryDelaySec = 0.5;
 /** External-sort merge fan-in (spark.shuffle.sort analogue). */
 constexpr std::uint64_t kMergeFanIn = 10;
 
+/**
+ * Shuffle-fetch retry policy against a network partition: the split
+ * looks like a hung connection, not a dead executor, so the client
+ * times out and retries with exponential backoff
+ * (spark.shuffle.io.maxRetries / retryWait) before reporting a
+ * FetchFailure and letting the stage abort.
+ */
+constexpr int kFetchRetryMax = 3;
+constexpr double kFetchRetryBaseSec = 1.0;
+
 /** Number of uniform chunks an I/O phase is split into. */
 std::uint64_t
 chunkCount(const IoPhaseSpec &phase)
@@ -61,6 +71,8 @@ struct ShuffleFetch : std::enable_shared_from_this<ShuffleFetch>
     /// Invoked instead of done when a source is unreachable.
     std::function<void(int)> fetchFailed;
     int k = 0;
+    /// Backoff rounds spent against a partition on the current source.
+    int backoff = 0;
 
     void
     next()
@@ -87,6 +99,26 @@ struct ShuffleFetch : std::enable_shared_from_this<ShuffleFetch>
         // convoy on node 0.
         const int src = sources[static_cast<std::size_t>(
             (taskIndex + idx) % nodes)];
+        // A partitioned-away source: back off and retry (the split may
+        // heal); past the retry budget it is indistinguishable from a
+        // dead executor and becomes a FetchFailure.
+        if (cluster->nodeAlive(src) &&
+            !cluster->network().reachable(src, readerNode)) {
+            if (backoff >= kFetchRetryMax) {
+                fetchFailed(src);
+                return;
+            }
+            cluster->network().notePartitionTimeout();
+            const Tick delay = secondsToTicks(
+                kFetchRetryBaseSec * static_cast<double>(1 << backoff));
+            ++backoff;
+            --k; // re-resolve this source after the wait
+            auto self = shared_from_this();
+            cluster->simulator().schedule(delay,
+                                          [self]() { self->next(); });
+            return;
+        }
+        backoff = 0;
         // A dead source lost its map outputs; a spontaneous fetch
         // failure models the timeout/corruption path. Either way the
         // reducer reports a FetchFailure and the stage aborts.
@@ -136,6 +168,8 @@ struct ChunkLoop : std::enable_shared_from_this<ChunkLoop>
     /** For write ops: called per chunk drained by the device. */
     std::function<void()> writeDrained;
     std::uint64_t i = 0;
+    /// Backoff rounds spent against a partition on the current chunk.
+    int backoff = 0;
 
     void
     next()
@@ -163,6 +197,25 @@ struct ChunkLoop : std::enable_shared_from_this<ChunkLoop>
                                               static_cast<std::uint64_t>(
                                                   nodes))) %
                 nodes)];
+            if (cluster->nodeAlive(src) &&
+                !cluster->network().reachable(src, node)) {
+                // Partitioned-away source: exponential backoff before
+                // the FetchFailure (see ShuffleFetch).
+                if (backoff >= kFetchRetryMax) {
+                    fetchFailed(src);
+                    return;
+                }
+                cluster->network().notePartitionTimeout();
+                const Tick delay = secondsToTicks(
+                    kFetchRetryBaseSec *
+                    static_cast<double>(1 << backoff));
+                ++backoff;
+                --i; // retry this chunk after the wait
+                cluster->simulator().schedule(
+                    delay, [self]() { self->next(); });
+                return;
+            }
+            backoff = 0;
             if (!cluster->nodeAlive(src) ||
                 (injector != nullptr && injector->drawFetchFailure())) {
                 fetchFailed(src);
@@ -566,6 +619,11 @@ TaskEngine::launchAttempt(std::shared_ptr<StageRun> run, int node,
     const double straggler_p = cluster_.config().stragglerProbability;
     if (straggler_p > 0.0 && run->rng.uniform() < straggler_p)
         task->slowdown *= cluster_.config().stragglerSlowdown;
+    // Gray failure: a slow node stretches every attempt placed on it
+    // (the factor is 1.0 on healthy nodes, which is exact, so fault-
+    // free runs are unchanged). A speculative copy elsewhere escapes
+    // the slow environment — the signal speculation exists to detect.
+    task->slowdown *= cluster_.computeSlowdown(node);
 
     ++run->metrics.faults.taskAttempts;
     // Injected crash: decided per attempt, the failure point drawn as

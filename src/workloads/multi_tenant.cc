@@ -111,6 +111,8 @@ runMultiTenant(const sched::MultiJobSpec &spec,
         } else {
             drivers[i] = std::make_unique<sched::StreamingDriver>(
                 tenant.stream);
+            drivers[i]->enableRecovery(templates[i].checkpointBuilder,
+                                       templates[i].recoveryBuilder);
             auto start = [&scheduler, &context, driver = drivers[i].get(),
                           builder = templates[i].builder]() {
                 driver->start(scheduler, context, builder);
@@ -134,6 +136,18 @@ runMultiTenant(const sched::MultiJobSpec &spec,
         if (drivers[i] != nullptr) {
             metrics.streamingPresent = true;
             metrics.streaming = drivers[i]->stats();
+            const spark::StreamingMetrics &stream = metrics.streaming;
+            if (stream.checkpointIntervalSec >= 0.0 &&
+                i < result.tenancy.tenants.size()) {
+                sched::TenantSummary &summary =
+                    result.tenancy.tenants[i];
+                summary.streamRecovery = true;
+                summary.checkpointIntervalSec =
+                    stream.checkpointIntervalSec;
+                summary.checkpoints = stream.checkpoints;
+                summary.recoveries = stream.recoveries;
+                summary.maxRecoverySec = stream.maxRecoverySec;
+            }
         }
         if (injector != nullptr) {
             metrics.faultsPresent = true;
@@ -155,6 +169,10 @@ runMultiTenant(const sched::MultiJobSpec &spec,
     if (injector != nullptr) {
         result.faultsPresent = true;
         result.faults.hdfsFailovers += hdfs.readFailovers();
+        result.faults.corruptReads += hdfs.corruptReads();
+        result.faults.quarantinedBytes += hdfs.quarantinedBytes();
+        result.faults.partitionTimeouts += static_cast<std::uint64_t>(
+            cluster.network().partitionTimeouts());
         result.faults.reReplicatedBytes += hdfs.reReplicatedBytes();
         result.faults.recoverySeconds += hdfs.reReplicationSeconds();
         result.faults.lostDirtyBytes += cluster.lostDirtyBytes();
@@ -189,7 +207,18 @@ writeMultiTenantJson(std::ostream &os, const MultiTenantResult &result)
            << tenant.pool << "\",\"jobs\":" << tenant.jobs
            << ",\"submit_seconds\":" << num(tenant.submitSec);
         os << ",\"done_seconds\":" << num(tenant.doneSec);
-        os << ",\"core_seconds\":" << num(tenant.coreSeconds) << '}';
+        os << ",\"core_seconds\":" << num(tenant.coreSeconds);
+        if (tenant.streamRecovery) {
+            os << ",\"checkpoint_interval_seconds\":"
+               << num(tenant.checkpointIntervalSec)
+               << ",\"checkpoints\":" << tenant.checkpoints
+               << ",\"recoveries\":" << tenant.recoveries
+               << ",\"max_recovery_seconds\":"
+               << num(tenant.maxRecoverySec)
+               << ",\"recovery_slo_met\":"
+               << (tenant.recoverySloMet() ? "true" : "false");
+        }
+        os << '}';
     }
     os << "],\"pools\":[";
     first = true;

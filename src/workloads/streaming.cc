@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <unordered_map>
 
 #include "cluster/cluster.h"
 #include "common/logging.h"
@@ -63,6 +64,25 @@ batchInput(sched::JobContext &context, const std::string &prefix,
     return input;
 }
 
+/**
+ * Checkpoints and recoveries of one stream share the chain of
+ * checkpointed state RDDs; keyed by the batch each checkpoint covers
+ * so the driver's notion of "last durable checkpoint" (set when the
+ * checkpoint job *completes*) always resolves to the right lineage
+ * node even with a newer checkpoint still in flight.
+ */
+struct StreamState
+{
+    std::unordered_map<int, spark::RddRef> checkpoints;
+};
+
+/** Serialized size of the stream's accumulated state. */
+Bytes
+streamStateBytes(Bytes batchBytes)
+{
+    return std::max<Bytes>(kMiB, batchBytes / 8);
+}
+
 } // namespace
 
 StreamingTemplate
@@ -79,6 +99,40 @@ makeStreamingTemplate(const std::string &name, const std::string &prefix,
         fatal("makeStreamingTemplate: batchBytes must be positive");
 
     StreamingTemplate tmpl;
+    auto state = std::make_shared<StreamState>();
+    const Bytes stateBytes = streamStateBytes(batchBytes);
+    // State update: fold one batch (or a replay of several) into the
+    // running state — the updateStateByKey analogue, costed like the
+    // model-application pass.
+    tmpl.checkpointBuilder = [prefix, state, stateBytes](
+                                 sched::JobContext &context, int k) {
+        RddRef stateRdd = Rdd::narrow(
+            prefix + "state-" + std::to_string(k),
+            {batchInput(context, prefix, k)}, stateBytes);
+        stateRdd->cpuPerInputByte = kScoreCpuPerByte;
+        stateRdd->checkpoint();
+        state->checkpoints[k] = stateRdd;
+        return sched::BatchJob{"ckpt-" + std::to_string(k), stateRdd,
+                               ActionSpec::count()};
+    };
+    tmpl.recoveryBuilder = [prefix, state, stateBytes](
+                               sched::JobContext &context,
+                               int checkpointBatch, int first,
+                               int last) {
+        std::vector<RddRef> parents;
+        if (checkpointBatch >= 0)
+            parents.push_back(state->checkpoints.at(checkpointBatch));
+        for (int k = first; k <= last; ++k)
+            parents.push_back(batchInput(context, prefix, k));
+        if (parents.empty())
+            fatal("streaming recovery: no checkpoint and no batches "
+                  "to replay");
+        RddRef rebuilt = Rdd::narrow(prefix + "recovered-state",
+                                     parents, stateBytes);
+        rebuilt->cpuPerInputByte = kScoreCpuPerByte;
+        return sched::BatchJob{"recover-" + std::to_string(first),
+                               rebuilt, ActionSpec::collect()};
+    };
     tmpl.registerInputs = [prefix, batches,
                            batchBytes](dfs::Hdfs &hdfs) {
         // One file per arrival: fresh stream data is never page-cache
@@ -160,6 +214,7 @@ Streaming::run(const cluster::ClusterConfig &clusterConfig,
 
     sched::JobContext &context = scheduler.addTenant("stream");
     sched::StreamingDriver driver(options_.stream);
+    driver.enableRecovery(tmpl.checkpointBuilder, tmpl.recoveryBuilder);
     driver.start(scheduler, context, tmpl.builder);
     scheduler.run();
 
@@ -180,6 +235,10 @@ Streaming::run(const cluster::ClusterConfig &clusterConfig,
         for (const spark::StageMetrics *stage : metrics.allStages())
             metrics.faults += stage->faults;
         metrics.faults.hdfsFailovers += hdfs.readFailovers();
+        metrics.faults.corruptReads += hdfs.corruptReads();
+        metrics.faults.quarantinedBytes += hdfs.quarantinedBytes();
+        metrics.faults.partitionTimeouts += static_cast<std::uint64_t>(
+            cluster.network().partitionTimeouts());
         metrics.faults.reReplicatedBytes += hdfs.reReplicatedBytes();
         metrics.faults.recoverySeconds += hdfs.reReplicationSeconds();
         metrics.faults.lostDirtyBytes += cluster.lostDirtyBytes();

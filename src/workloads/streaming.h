@@ -39,6 +39,18 @@ struct StreamingTemplate
     std::function<void(dfs::Hdfs &)> registerInputs;
     /** Build batch k's job against the owning tenant context. */
     sched::BatchBuilder builder;
+    /**
+     * Build the checkpoint job covering state up to batch k: a state
+     * RDD carrying Rdd::checkpoint(), so compiling it writes the
+     * state through HDFS and truncates lineage there.
+     */
+    sched::CheckpointBuilder checkpointBuilder;
+    /**
+     * Build the recovery job: rebuild the state from the checkpoint
+     * covering batch `checkpointBatch` (-1 = from scratch) plus a
+     * replay of batches [first, last].
+     */
+    sched::RecoveryBuilder recoveryBuilder;
 };
 
 /**

@@ -61,6 +61,10 @@ Workload::run(const cluster::ClusterConfig &clusterConfig,
         for (const spark::StageMetrics *stage : metrics.allStages())
             metrics.faults += stage->faults;
         metrics.faults.hdfsFailovers += hdfs.readFailovers();
+        metrics.faults.corruptReads += hdfs.corruptReads();
+        metrics.faults.quarantinedBytes += hdfs.quarantinedBytes();
+        metrics.faults.partitionTimeouts += static_cast<std::uint64_t>(
+            cluster.network().partitionTimeouts());
         metrics.faults.reReplicatedBytes += hdfs.reReplicatedBytes();
         metrics.faults.recoverySeconds += hdfs.reReplicationSeconds();
         metrics.faults.lostDirtyBytes += cluster.lostDirtyBytes();

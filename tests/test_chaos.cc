@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the chaos subsystem: the seeded schedule generator's
+ * determinism and legality, the harness invariants on fixed seeds,
+ * the simulator event-budget watchdog, checkpoint-bounded streaming
+ * recovery, and the kill+rejoin regression under a multi-tenant run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "chaos/harness.h"
+#include "chaos/schedule_generator.h"
+#include "cluster/cluster_config.h"
+#include "common/logging.h"
+#include "faults/fault_spec.h"
+#include "sched/jobs_spec.h"
+#include "spark/spark_conf.h"
+#include "workloads/multi_tenant.h"
+
+namespace doppio {
+namespace {
+
+using chaos::ChaosOptions;
+using faults::NodeEvent;
+
+// ----------------------------------------------------------- generator
+
+bool
+sameEvent(const NodeEvent &a, const NodeEvent &b)
+{
+    return a.kind == b.kind && a.node == b.node &&
+           a.atSeconds == b.atSeconds && a.factor == b.factor &&
+           a.groupA == b.groupA && a.groupB == b.groupB;
+}
+
+TEST(ChaosGenerator, SameSeedYieldsTheSameSchedule)
+{
+    ChaosOptions options;
+    options.seed = 42;
+    options.faultsPerMinute = 4.0;
+    const faults::FaultSpec a = chaos::generateSchedule(options);
+    const faults::FaultSpec b = chaos::generateSchedule(options);
+    EXPECT_DOUBLE_EQ(a.taskFailureRate, b.taskFailureRate);
+    EXPECT_DOUBLE_EQ(a.hdfsCorruptRate, b.hdfsCorruptRate);
+    ASSERT_EQ(a.schedule.size(), b.schedule.size());
+    for (std::size_t i = 0; i < a.schedule.size(); ++i)
+        EXPECT_TRUE(sameEvent(a.schedule.events()[i],
+                              b.schedule.events()[i]))
+            << "event " << i << " differs";
+}
+
+TEST(ChaosGenerator, DifferentSeedsYieldDifferentSchedules)
+{
+    ChaosOptions options;
+    options.faultsPerMinute = 4.0;
+    options.seed = 1;
+    const faults::FaultSpec a = chaos::generateSchedule(options);
+    options.seed = 2;
+    const faults::FaultSpec b = chaos::generateSchedule(options);
+    bool differ = a.schedule.size() != b.schedule.size() ||
+                  a.taskFailureRate != b.taskFailureRate;
+    for (std::size_t i = 0;
+         !differ && i < a.schedule.size(); ++i)
+        differ = !sameEvent(a.schedule.events()[i],
+                            b.schedule.events()[i]);
+    EXPECT_TRUE(differ);
+}
+
+TEST(ChaosGenerator, DensityScalesTheEventCount)
+{
+    ChaosOptions sparse, dense;
+    sparse.seed = dense.seed = 5;
+    sparse.faultsPerMinute = 0.5;
+    dense.faultsPerMinute = 8.0;
+    EXPECT_LT(chaos::generateSchedule(sparse).schedule.size(),
+              chaos::generateSchedule(dense).schedule.size());
+}
+
+/**
+ * Across many seeds, every generated schedule keeps at least two
+ * nodes alive at all times, never stacks partitions, and (in
+ * transient mode) ends with everything cured: all nodes back up, no
+ * split in effect.
+ */
+TEST(ChaosGenerator, SchedulesStayLegalAcrossManySeeds)
+{
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        ChaosOptions options;
+        options.seed = seed;
+        options.faultsPerMinute = 6.0;
+        const faults::FaultSpec spec =
+            chaos::generateSchedule(options); // validate() inside
+        int alive = options.numSlaves;
+        int partitions = 0;
+        for (const NodeEvent &event : spec.schedule.events()) {
+            switch (event.kind) {
+              case NodeEvent::Kind::Kill:
+                --alive;
+                break;
+              case NodeEvent::Kind::Rejoin:
+                ++alive;
+                break;
+              case NodeEvent::Kind::Partition:
+                ++partitions;
+                break;
+              case NodeEvent::Kind::Heal:
+                --partitions;
+                break;
+              default:
+                break;
+            }
+            ASSERT_GE(alive, 2) << "seed " << seed;
+            ASSERT_LE(partitions, 1) << "seed " << seed;
+            ASSERT_GE(partitions, 0) << "seed " << seed;
+        }
+        EXPECT_EQ(alive, options.numSlaves) << "seed " << seed;
+        EXPECT_EQ(partitions, 0) << "seed " << seed;
+    }
+}
+
+TEST(ChaosGenerator, RatesAreOmittedWhenDisabled)
+{
+    ChaosOptions options;
+    options.withRates = false;
+    const faults::FaultSpec spec = chaos::generateSchedule(options);
+    EXPECT_DOUBLE_EQ(spec.taskFailureRate, 0.0);
+    EXPECT_DOUBLE_EQ(spec.diskReadErrorRate, 0.0);
+    EXPECT_DOUBLE_EQ(spec.hdfsCorruptRate, 0.0);
+    EXPECT_DOUBLE_EQ(spec.shuffleFetchFailureRate, 0.0);
+}
+
+TEST(ChaosGenerator, RejectsDegenerateOptions)
+{
+    ChaosOptions one;
+    one.numSlaves = 1;
+    EXPECT_THROW(chaos::generateSchedule(one), FatalError);
+    ChaosOptions flat;
+    flat.horizonSec = 0.0;
+    EXPECT_THROW(chaos::generateSchedule(flat), FatalError);
+}
+
+// ------------------------------------------------------------- harness
+
+TEST(ChaosHarness, FaultFreeRigCompletes)
+{
+    const chaos::ChaosRunResult result =
+        chaos::runChaosRig(ChaosOptions{}, nullptr);
+    ASSERT_TRUE(result.completed) << result.error;
+    EXPECT_GT(result.elapsedSec, 0.0);
+    EXPECT_FALSE(result.json.empty());
+    ASSERT_EQ(result.metrics.jobs.size(), 4u);
+    EXPECT_EQ(result.metrics.jobs[0].name, "warmup");
+    EXPECT_EQ(result.metrics.jobs[1].name, "agg");
+    EXPECT_EQ(result.metrics.jobs[2].name, "snapshot");
+    EXPECT_EQ(result.metrics.jobs[3].name, "readback");
+    // The readback job consumes the checkpoint: its lineage is
+    // truncated at "state", so it is a single narrow stage instead of
+    // a recompute of the shuffle.
+    EXPECT_EQ(result.metrics.jobs[3].stages.size(), 1u);
+}
+
+TEST(ChaosHarness, EventBudgetWatchdogTripsTinyBudgets)
+{
+    ChaosOptions options;
+    options.eventBudget = 1000; // far below a full run
+    const chaos::ChaosRunResult result =
+        chaos::runChaosRig(options, nullptr);
+    EXPECT_FALSE(result.completed);
+    EXPECT_NE(result.error.find("event budget"), std::string::npos)
+        << result.error;
+    EXPECT_LE(result.firedEvents, options.eventBudget);
+}
+
+TEST(ChaosHarness, FaultyRunObservesInjectedFaults)
+{
+    ChaosOptions options;
+    options.seed = 3;
+    options.faultsPerMinute = 4.0;
+    const faults::FaultSpec spec = chaos::generateSchedule(options);
+    const chaos::ChaosRunResult result =
+        chaos::runChaosRig(options, &spec);
+    ASSERT_TRUE(result.completed) << result.error;
+    EXPECT_TRUE(result.metrics.faultsPresent);
+    EXPECT_TRUE(result.metrics.faults.any());
+}
+
+/**
+ * A network split across the rig's shuffle window forces fetches and
+ * HDFS reads to time out with backoff until the heal, and the run
+ * still converges.
+ */
+TEST(ChaosHarness, PartitionCausesTimeoutsThenHeals)
+{
+    const faults::FaultSpec spec =
+        faults::FaultSpec::parse("partition 0,1|2,3@10; heal@30");
+    const chaos::ChaosRunResult result =
+        chaos::runChaosRig(ChaosOptions{}, &spec);
+    ASSERT_TRUE(result.completed) << result.error;
+    EXPECT_GT(result.metrics.faults.partitionTimeouts, 0u);
+}
+
+/**
+ * Silent corruption: checksum mismatches force re-reads from a
+ * surviving replica and quarantine+repair of the corrupt one.
+ */
+TEST(ChaosHarness, CorruptReadsAreReservedAndQuarantined)
+{
+    faults::FaultSpec spec;
+    spec.hdfsCorruptRate = 0.01;
+    const chaos::ChaosRunResult result =
+        chaos::runChaosRig(ChaosOptions{}, &spec);
+    ASSERT_TRUE(result.completed) << result.error;
+    EXPECT_GT(result.metrics.faults.corruptReads, 0u);
+    EXPECT_GT(result.metrics.faults.quarantinedBytes, 0u);
+}
+
+/** A gray slow node stretches the run; factor 1.0 restores it. */
+TEST(ChaosHarness, SlowNodeStretchesTheRun)
+{
+    const chaos::ChaosRunResult clean =
+        chaos::runChaosRig(ChaosOptions{}, nullptr);
+    ASSERT_TRUE(clean.completed) << clean.error;
+    const faults::FaultSpec spec =
+        faults::FaultSpec::parse("slow-node 1@5 6.0");
+    const chaos::ChaosRunResult gray =
+        chaos::runChaosRig(ChaosOptions{}, &spec);
+    ASSERT_TRUE(gray.completed) << gray.error;
+    EXPECT_GT(gray.elapsedSec, clean.elapsedSec);
+}
+
+TEST(ChaosHarness, InvariantsHoldOnFixedSeeds)
+{
+    for (const std::uint64_t seed : {7ULL, 21ULL, 42ULL}) {
+        ChaosOptions options;
+        options.seed = seed;
+        options.faultsPerMinute = 2.0;
+        const chaos::ChaosVerdict verdict =
+            chaos::checkInvariants(options);
+        EXPECT_TRUE(verdict.passed())
+            << "seed " << seed << ": " << verdict.failure;
+        EXPECT_GT(verdict.scheduleEvents, 0u);
+    }
+}
+
+// ------------------------------------- checkpoint-bounded recovery
+
+namespace recovery_helpers {
+
+/**
+ * One streaming tenant on a 3-slave cluster with node 1 killed
+ * mid-stream (and rejoining later); @return its tenant summary.
+ */
+sched::TenantSummary
+runKilledStream(double checkpointIntervalSec)
+{
+    sched::MultiJobSpec spec;
+    sched::TenantSpec tenant;
+    tenant.kind = sched::TenantSpec::Kind::Stream;
+    tenant.workload = "lr";
+    tenant.stream.ratePerSec = 0.5;
+    tenant.stream.batches = 20;
+    tenant.stream.checkpointIntervalSec = checkpointIntervalSec;
+    spec.tenants.push_back(tenant);
+
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::evaluationCluster();
+    config.numSlaves = 3;
+    spark::SparkConf conf;
+    conf.executorCores = 8;
+
+    const faults::FaultSpec faultSpec =
+        faults::FaultSpec::parse("kill 1@25; rejoin 1@60");
+    const workloads::MultiTenantResult result =
+        workloads::runMultiTenant(spec, config, conf, &faultSpec);
+    return result.tenancy.tenants.front();
+}
+
+} // namespace recovery_helpers
+
+/**
+ * The PR's headline acceptance: with periodic checkpointing, a
+ * streaming tenant's post-kill recovery time is bounded by the
+ * checkpoint interval — at most one interval's worth of batches ever
+ * needs replaying, so the recovery-time SLO holds. Without periodic
+ * checkpoints (interval 0 = full replay from the first batch) the
+ * replay is unbounded, so the SLO verdict cannot be met.
+ */
+TEST(CheckpointRecovery, RecoveryTimeIsBoundedByTheInterval)
+{
+    const sched::TenantSummary ckpt =
+        recovery_helpers::runKilledStream(10.0);
+    ASSERT_TRUE(ckpt.streamRecovery);
+    EXPECT_GE(ckpt.checkpoints, 1u);
+    ASSERT_GE(ckpt.recoveries, 1u);
+    EXPECT_GT(ckpt.maxRecoverySec, 0.0);
+    EXPECT_LE(ckpt.maxRecoverySec, ckpt.checkpointIntervalSec);
+    EXPECT_TRUE(ckpt.recoverySloMet());
+
+    const sched::TenantSummary replay =
+        recovery_helpers::runKilledStream(0.0);
+    ASSERT_TRUE(replay.streamRecovery);
+    EXPECT_EQ(replay.checkpoints, 0u);
+    ASSERT_GE(replay.recoveries, 1u);
+    EXPECT_GT(replay.maxRecoverySec, 0.0);
+    EXPECT_FALSE(replay.recoverySloMet());
+}
+
+// ------------------------------------------- kill+rejoin regression
+
+/**
+ * Regression for the kill+rejoin path under a multi-tenant run: a
+ * batch tenant and a streaming tenant share the cluster, node 1 dies
+ * mid-run and rejoins, and every tenant still finishes all its work.
+ */
+TEST(MultiTenantFaults, KillAndRejoinUnderJobsSpecRun)
+{
+    const sched::MultiJobSpec spec = sched::MultiJobSpec::parse(
+        "pool batch fifo\n"
+        "pool stream fair weight=2\n"
+        "job lr-small pool=batch\n"
+        "stream lr pool=stream rate=0.5 batches=10 checkpoint=10\n");
+    cluster::ClusterConfig config =
+        cluster::ClusterConfig::evaluationCluster();
+    config.numSlaves = 3;
+    spark::SparkConf conf;
+    conf.executorCores = 8;
+    conf.taskMaxFailures = 1000;
+
+    const faults::FaultSpec faultSpec =
+        faults::FaultSpec::parse("kill 1@20; rejoin 1@45");
+    const workloads::MultiTenantResult result =
+        workloads::runMultiTenant(spec, config, conf, &faultSpec);
+
+    ASSERT_TRUE(result.faultsPresent);
+    EXPECT_GT(result.seconds, 0.0);
+    ASSERT_EQ(result.tenancy.tenants.size(), 2u);
+    for (const sched::TenantSummary &tenant : result.tenancy.tenants)
+        EXPECT_GT(tenant.jobs, 0) << tenant.name;
+    const spark::StreamingMetrics &stream =
+        result.tenants[1].streaming;
+    EXPECT_EQ(stream.arrivals, 10u);
+    EXPECT_EQ(stream.processed + stream.dropped, stream.arrivals);
+    EXPECT_GE(stream.processed, 1u);
+}
+
+} // namespace
+} // namespace doppio

@@ -466,5 +466,86 @@ TEST(EndToEndFaults, FaultRunsAreDeterministic)
     EXPECT_NE(first.find("\"faults\""), std::string::npos);
 }
 
+// --------------------------------------- gray-failure DSL directives
+
+TEST(FaultSpecGray, ParsesPartitionAndHeal)
+{
+    const FaultSpec spec = FaultSpec::parse(
+        "partition 0,1|2,3@120\n"
+        "heal@180\n");
+    ASSERT_EQ(spec.schedule.size(), 2u);
+    const NodeEvent &split = spec.schedule.events()[0];
+    EXPECT_EQ(split.kind, NodeEvent::Kind::Partition);
+    EXPECT_DOUBLE_EQ(split.atSeconds, 120.0);
+    EXPECT_EQ(split.groupA, (std::vector<int>{0, 1}));
+    EXPECT_EQ(split.groupB, (std::vector<int>{2, 3}));
+    const NodeEvent &heal = spec.schedule.events()[1];
+    EXPECT_EQ(heal.kind, NodeEvent::Kind::Heal);
+    EXPECT_DOUBLE_EQ(heal.atSeconds, 180.0);
+}
+
+TEST(FaultSpecGray, ParsesCorruptRateAndSlowNode)
+{
+    const FaultSpec spec = FaultSpec::parse(
+        "corrupt-rate 0.001; slow-node 1@60 3.0");
+    EXPECT_DOUBLE_EQ(spec.hdfsCorruptRate, 0.001);
+    ASSERT_EQ(spec.schedule.size(), 1u);
+    const NodeEvent &gray = spec.schedule.events()[0];
+    EXPECT_EQ(gray.kind, NodeEvent::Kind::SlowNode);
+    EXPECT_EQ(gray.node, 1);
+    EXPECT_DOUBLE_EQ(gray.factor, 3.0);
+    EXPECT_STREQ(faults::nodeEventKindName(gray.kind), "slow-node");
+}
+
+TEST(FaultSpecGray, RejectsMalformedPartitions)
+{
+    EXPECT_THROW(FaultSpec::parse("partition 0,1@120"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("partition |2,3@120"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("partition 0,1|@120"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("partition 0,1|1,2@120"),
+                 FatalError);
+    EXPECT_THROW(FaultSpec::parse("slow-node 1@60 0.5"), FatalError);
+    EXPECT_THROW(FaultSpec::parse("corrupt-rate 1.0"), FatalError);
+}
+
+/** A rejoin of a never-killed node is a spec typo, not a no-op. */
+TEST(FaultSpecGray, RejectsRejoinWithoutPriorKill)
+{
+    EXPECT_THROW(FaultSpec::parse("rejoin 2@600"), FatalError);
+    // Wrong order in time also counts: the rejoin fires first.
+    EXPECT_THROW(FaultSpec::parse("kill 2@600; rejoin 2@120"),
+                 FatalError);
+    EXPECT_NO_THROW(FaultSpec::parse("kill 2@120; rejoin 2@600"));
+}
+
+TEST(FaultSpecGray, RejectsHealWithoutPriorPartition)
+{
+    EXPECT_THROW(FaultSpec::parse("heal@180"), FatalError);
+    EXPECT_NO_THROW(
+        FaultSpec::parse("partition 0|1,2@120; heal@180"));
+}
+
+/** Parse errors name the input and line of the offending statement. */
+TEST(FaultSpecGray, ErrorsCarrySourceAndLineNumber)
+{
+    try {
+        FaultSpec::parse("task-fail-rate 0.01\nkill x@10\n",
+                         "myspec");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("myspec:2"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        FaultSpec::parse("kill 2@120\nrejoin 3@600\n", "myspec");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("myspec:2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 } // namespace
 } // namespace doppio

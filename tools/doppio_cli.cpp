@@ -310,7 +310,12 @@ printFaultsSummary(const spark::FaultMetrics &f)
               << " recovering, re-replicated "
               << formatBytes(f.reReplicatedBytes) << ", lost "
               << formatBytes(f.lostDirtyBytes)
-              << " of dirty page cache\n";
+              << " of dirty page cache\n"
+              << "        " << f.corruptReads
+              << " corrupt read(s), quarantined "
+              << formatBytes(f.quarantinedBytes) << ", "
+              << f.partitionTimeouts
+              << " partition timeout(s)\n";
 }
 
 void
@@ -731,6 +736,18 @@ usage()
            "probability\n"
            "         --kill-node ID@T           kill node ID at T "
            "seconds\n"
+           "         fault-spec directives: task-fail-rate, "
+           "disk-error-rate,\n"
+           "           corrupt-rate, fetch-fail-rate, kill/rejoin "
+           "N@T,\n"
+           "           degrade N@T F, degrade-mem N@T F, slow-node "
+           "N@T F,\n"
+           "           partition A,..|B,..@T and heal@T\n"
+           "         stream lines in --jobs-spec take checkpoint=T "
+           "(periodic\n"
+           "           state checkpoints; bounds post-failure replay "
+           "and\n"
+           "           recovery time, 0 = recover by full replay)\n"
            "unknown flags and out-of-range values exit non-zero\n";
     return 2;
 }
