@@ -1,0 +1,509 @@
+/**
+ * @file
+ * Extension bench: the what-if planning service under load and faults
+ * (DESIGN.md §14).
+ *
+ * Every number comes from the service's deterministic virtual-time
+ * transport (PlanningService::runScript), so the record reproduces
+ * byte-for-byte. Three seeded traffic mixes plus a determinism check:
+ *
+ * 1. steady: a duplicate-heavy mix over a small key pool. Measures
+ *    served throughput (queries per virtual second), p50/p99 latency
+ *    and the cache hit rate — the common case where the result cache
+ *    and single-flight dedup do most of the work.
+ * 2. overload: a burst of distinct queries against one worker and a
+ *    queue of four, under a chaos schedule containing at least one
+ *    gray slow-node and one network partition. Asserts the acceptance
+ *    invariants: the queue never grows past its bound, load is shed
+ *    rather than queued unboundedly, and every accepted request either
+ *    completes within its deadline budget or is flagged degraded.
+ * 3. grayfail: cold queries forced down the slow path while transient
+ *    evaluation failures (evalFailRate) and the same chaos schedule
+ *    are injected. Measures retry/backoff volume and the degraded /
+ *    model-only rate; asserts retries and degradation actually happen.
+ * 4. determinism: replays the grayfail script on a fresh service and
+ *    requires a byte-identical transcript.
+ *
+ * Flags: --smoke shrinks the mixes to CI size, --json FILE writes the
+ * machine-readable BENCH_service.json record. (--jobs is accepted for
+ * interface parity but the event loop is inherently serial.)
+ *
+ * Exit status is non-zero if any invariant fails, so CI can gate on
+ * the bench directly.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "chaos/schedule_generator.h"
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "service/server.h"
+
+using namespace doppio;
+
+namespace {
+
+/** One reported number (same record shape as perf_core). */
+struct Result
+{
+    std::string name;
+    std::string unit; //!< "queries/s", "ms" or "x"
+    double value = 0.0;
+    double seconds = 0.0; //!< virtual makespan of the source run
+};
+
+/** id -> service deadline budget, for the per-response invariant. */
+using TimeoutMap = std::unordered_map<std::string, double>;
+
+std::string
+planLine(const std::string &id, const std::string &workload,
+         double atMs, double timeoutMs, double deadlineSec = 0.0,
+         double budgetUsd = 0.0, int workers = 0)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << "{\"id\":\"" << id << "\",\"workload\":\"" << workload
+       << "\"";
+    if (workers > 0)
+        os << ",\"workers\":" << workers;
+    if (deadlineSec > 0.0)
+        os << ",\"deadline_s\":" << deadlineSec;
+    if (budgetUsd > 0.0)
+        os << ",\"budget_usd\":" << budgetUsd;
+    os << ",\"timeout_ms\":" << timeoutMs << ",\"at_ms\":" << atMs
+       << "}";
+    return os.str();
+}
+
+/**
+ * The acceptance-fault schedule: the first generator seed whose
+ * transient schedule carries at least one gray slow-node AND one
+ * network partition. The scan order is fixed, so the choice is
+ * deterministic.
+ */
+faults::FaultSpec
+slowNodePlusPartitionSchedule()
+{
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        chaos::ChaosOptions options;
+        options.seed = seed;
+        options.horizonSec = 600.0;
+        options.faultsPerMinute = 2.0;
+        options.numSlaves = 3; // == PlannerConfig::sampleNodes
+        options.transientOnly = true;
+        options.withRates = false; // evalFailRate is injected separately
+        faults::FaultSpec spec = chaos::generateSchedule(options);
+        bool slow = false;
+        bool partition = false;
+        for (const faults::NodeEvent &event : spec.schedule.events()) {
+            slow |= event.kind == faults::NodeEvent::Kind::SlowNode;
+            partition |=
+                event.kind == faults::NodeEvent::Kind::Partition;
+        }
+        if (slow && partition) {
+            std::cout << "chaos schedule: seed " << seed << ", "
+                      << spec.schedule.size() << " events\n";
+            return spec;
+        }
+    }
+    fatal("no generator seed in 1..64 yields slow-node + partition");
+}
+
+/**
+ * The acceptance invariant over every plan response the service
+ * emitted: accepted requests (ok/error) finish within their deadline
+ * budget or are flagged degraded; expired requests are always flagged.
+ * @return violation count (also printed, so CI logs show the victim).
+ */
+int
+checkResponses(const service::PlanningService &svc,
+               const TimeoutMap &timeouts, const char *scenario)
+{
+    int violations = 0;
+    for (const service::Response &r : svc.responseLog()) {
+        const auto it = timeouts.find(r.id);
+        if (it == timeouts.end())
+            continue; // control/parse-error lines carry no budget
+        const double budget = it->second;
+        bool bad = false;
+        if (r.status == "ok" || r.status == "error")
+            bad = !r.degraded && r.latencyMs > budget + 1e-6;
+        else if (r.status == "expired")
+            bad = !r.degraded;
+        if (bad) {
+            ++violations;
+            std::cout << "INVARIANT VIOLATION [" << scenario << "] "
+                      << r.toJson() << " (budget " << budget
+                      << " ms)\n";
+        }
+    }
+    return violations;
+}
+
+double
+makespanSec(const service::PlanningService &svc)
+{
+    if (svc.responseLog().empty())
+        return 0.0;
+    return svc.responseLog().back().tMs / 1000.0;
+}
+
+/** Scenario 1: duplicate-heavy steady mix on the default pipeline. */
+int
+steadyScenario(bool smoke, std::vector<Result> &out)
+{
+    const int queries = smoke ? 40 : 160;
+    service::ServiceConfig config;
+    config.planner.seed = 42;
+
+    // Eight distinct keys: two workloads x four constraints. Every
+    // later occurrence is a cache hit or a single-flight join.
+    const std::string workloads[2] = {"lr-small", "svm"};
+    service::Script script;
+    TimeoutMap timeouts;
+    for (int i = 0; i < queries; ++i) {
+        const std::string id = "s" + std::to_string(i);
+        const std::string &wl = workloads[i % 2];
+        const int variant = (i / 2) % 4;
+        const double atMs = i * 400.0;
+        const double timeoutMs = 30000.0;
+        std::string line;
+        switch (variant) {
+        case 0:
+            line = planLine(id, wl, atMs, timeoutMs);
+            break;
+        case 1:
+            line = planLine(id, wl, atMs, timeoutMs, 90000.0);
+            break;
+        case 2:
+            line = planLine(id, wl, atMs, timeoutMs, 50000.0);
+            break;
+        default:
+            line = planLine(id, wl, atMs, timeoutMs, 0.0, 50.0);
+            break;
+        }
+        script.push_back(line);
+        timeouts.emplace(id, timeoutMs);
+    }
+
+    service::PlanningService svc(config);
+    svc.runScript(script);
+    const service::ServiceStats stats = svc.stats();
+    const double makespan = makespanSec(svc);
+    const double qps =
+        makespan > 0.0 ? static_cast<double>(stats.completed) / makespan
+                       : 0.0;
+    const double hitRate =
+        stats.received > 0
+            ? static_cast<double>(stats.cacheHits + stats.dedupJoins) /
+                  static_cast<double>(queries)
+            : 0.0;
+
+    TablePrinter table("steady: duplicate-heavy mix, 8 distinct keys");
+    table.setHeader({"metric", "value"});
+    table.addRow({"queries", std::to_string(queries)});
+    table.addRow({"completed", std::to_string(stats.completed)});
+    table.addRow({"cache hits", std::to_string(stats.cacheHits)});
+    table.addRow({"dedup joins", std::to_string(stats.dedupJoins)});
+    table.addRow({"p50 latency", TablePrinter::num(stats.p50LatencyMs, 1) + " ms"});
+    table.addRow({"p99 latency", TablePrinter::num(stats.p99LatencyMs, 1) + " ms"});
+    table.addRow({"throughput", TablePrinter::num(qps, 3) + " queries/s"});
+    table.print(std::cout);
+
+    out.push_back({"steady_p50_ms", "ms", stats.p50LatencyMs, makespan});
+    out.push_back({"steady_p99_ms", "ms", stats.p99LatencyMs, makespan});
+    out.push_back({"steady_qps", "queries/s", qps, makespan});
+    out.push_back({"steady_hit_rate", "x", hitRate, makespan});
+
+    int violations = checkResponses(svc, timeouts, "steady");
+    if (stats.shed + stats.rejected + stats.expired > 0) {
+        ++violations;
+        std::cout << "INVARIANT VIOLATION [steady] unexpected shedding "
+                     "in an unloaded mix\n";
+    }
+    return violations;
+}
+
+/**
+ * Scenario 2: the acceptance overload burst — distinct queries
+ * flooding one worker and a queue of four while the slow-node +
+ * partition schedule is live.
+ */
+int
+overloadScenario(bool smoke, const faults::FaultSpec &faults,
+                 std::vector<Result> &out)
+{
+    const int burst = smoke ? 24 : 64;
+    service::ServiceConfig config;
+    config.planner.seed = 42;
+    config.planner.faults = faults;
+    config.workers = 1;
+    config.queueCapacity = 4;
+    config.dropOldest = true;
+
+    service::Script script;
+    TimeoutMap timeouts;
+    // One warmup query fits the Eq. 1 model so the burst exercises the
+    // queue (grid + validation per query), not five cold profilings.
+    script.push_back(planLine("warmup", "lr-small", 0.0, 60000.0));
+    timeouts.emplace("warmup", 60000.0);
+    for (int i = 0; i < burst; ++i) {
+        const std::string id = "b" + std::to_string(i);
+        const double timeoutMs = 30000.0;
+        // Distinct cluster deadlines -> distinct cache keys: no dedup,
+        // every query wants a worker slot at once.
+        script.push_back(planLine(id, "lr-small", 60000.0 + i * 2.0,
+                                  timeoutMs, 50000.0 + i));
+        timeouts.emplace(id, timeoutMs);
+    }
+    script.push_back("{\"cmd\":\"health\",\"at_ms\":120000}");
+
+    service::PlanningService svc(config);
+    svc.runScript(script);
+    const service::ServiceStats stats = svc.stats();
+    const double makespan = makespanSec(svc);
+    const double plans = 1.0 + burst;
+    const double shedRate =
+        static_cast<double>(stats.shed + stats.rejected + stats.expired) /
+        plans;
+    const double degradedRate =
+        static_cast<double>(stats.degraded) / plans;
+
+    TablePrinter table("overload: burst of " + std::to_string(burst) +
+                       " distinct queries, 1 worker, queue 4, "
+                       "slow-node + partition live");
+    table.setHeader({"metric", "value"});
+    table.addRow({"completed", std::to_string(stats.completed)});
+    table.addRow({"shed", std::to_string(stats.shed)});
+    table.addRow({"expired", std::to_string(stats.expired)});
+    table.addRow({"degraded", std::to_string(stats.degraded)});
+    table.addRow({"max queue depth", std::to_string(stats.maxQueueDepth)});
+    table.addRow({"p99 latency", TablePrinter::num(stats.p99LatencyMs, 1) + " ms"});
+    table.addRow({"partition timeouts", std::to_string(stats.partitionTimeouts)});
+    table.print(std::cout);
+
+    out.push_back({"overload_p99_ms", "ms", stats.p99LatencyMs, makespan});
+    out.push_back({"overload_shed_rate", "x", shedRate, makespan});
+    out.push_back(
+        {"overload_degraded_rate", "x", degradedRate, makespan});
+
+    int violations = checkResponses(svc, timeouts, "overload");
+    if (stats.maxQueueDepth > config.queueCapacity) {
+        ++violations;
+        std::cout << "INVARIANT VIOLATION [overload] queue depth "
+                  << stats.maxQueueDepth << " > bound "
+                  << config.queueCapacity << "\n";
+    }
+    if (stats.shed == 0) {
+        ++violations;
+        std::cout << "INVARIANT VIOLATION [overload] burst of " << burst
+                  << " past a queue of " << config.queueCapacity
+                  << " shed nothing\n";
+    }
+    return violations;
+}
+
+/** Builds the grayfail config + script; shared with determinism. */
+service::ServiceConfig
+grayfailConfig(const faults::FaultSpec &faults)
+{
+    service::ServiceConfig config;
+    config.planner.seed = 42;
+    config.planner.faults = faults;
+    config.planner.evalFailRate = 0.25;
+    config.planner.maxRetries = 3;
+    config.workers = 2;
+    return config;
+}
+
+service::Script
+grayfailScript(bool smoke, TimeoutMap &timeouts)
+{
+    const int rounds = smoke ? 1 : 3;
+    const std::string workloads[3] = {"lr-small", "svm", "pagerank"};
+    service::Script script;
+    double atMs = 0.0;
+    int n = 0;
+    for (int round = 0; round < rounds; ++round) {
+        for (const std::string &wl : workloads) {
+            // Distinct worker counts -> distinct model keys: every
+            // query is a cold profile forced down the slow path.
+            const std::string id = "g" + std::to_string(n++);
+            script.push_back(planLine(id, wl, atMs, 60000.0, 0.0, 0.0,
+                                      4 + round));
+            timeouts.emplace(id, 60000.0);
+            atMs += 15000.0;
+        }
+    }
+    // A deliberately starved cold query: its 400 ms budget dies inside
+    // profiling, so the answer must come back degraded, not late.
+    script.push_back(planLine("g-starved", "terasort", atMs, 400.0));
+    timeouts.emplace("g-starved", 400.0);
+    atMs += 1000.0;
+    // A clipped warm query: a fresh constraint on a warm model with
+    // budget for part of the cost grid only -> partial, model-only.
+    script.push_back(planLine("g-clipped", "lr-small", atMs, 150.0,
+                              90000.0, 0.0, 4));
+    timeouts.emplace("g-clipped", 150.0);
+    script.push_back("{\"cmd\":\"stats\",\"at_ms\":" +
+                     service::jsonNum(atMs + 60000.0) + "}");
+    return script;
+}
+
+int
+grayfailScenario(bool smoke, const faults::FaultSpec &faults,
+                 std::vector<Result> &out,
+                 std::vector<std::string> &transcriptOut,
+                 service::Script &scriptOut)
+{
+    TimeoutMap timeouts;
+    scriptOut = grayfailScript(smoke, timeouts);
+    service::PlanningService svc(grayfailConfig(faults));
+    transcriptOut = svc.runScript(scriptOut);
+    const service::ServiceStats stats = svc.stats();
+    const double makespan = makespanSec(svc);
+    const double plans = static_cast<double>(timeouts.size());
+    const double degradedRate =
+        static_cast<double>(stats.degraded + stats.modelOnly) / plans;
+
+    TablePrinter table("grayfail: cold slow-path queries, evalFailRate "
+                       "0.25, slow-node + partition live");
+    table.setHeader({"metric", "value"});
+    table.addRow({"completed", std::to_string(stats.completed)});
+    table.addRow({"retries", std::to_string(stats.retries)});
+    table.addRow({"backoff total", TablePrinter::num(stats.backoffMsTotal, 1) + " ms"});
+    table.addRow({"degraded", std::to_string(stats.degraded)});
+    table.addRow({"model-only", std::to_string(stats.modelOnly)});
+    table.addRow({"slow-path runs", std::to_string(stats.slowPathRuns)});
+    table.addRow({"partition timeouts", std::to_string(stats.partitionTimeouts)});
+    table.addRow({"task retries", std::to_string(stats.slowPathTaskRetries)});
+    table.print(std::cout);
+
+    out.push_back({"grayfail_retries", "x",
+                   static_cast<double>(stats.retries), makespan});
+    out.push_back({"grayfail_backoff_ms", "ms", stats.backoffMsTotal,
+                   makespan});
+    out.push_back(
+        {"grayfail_degraded_rate", "x", degradedRate, makespan});
+
+    int violations = checkResponses(svc, timeouts, "grayfail");
+    if (stats.retries == 0) {
+        ++violations;
+        std::cout << "INVARIANT VIOLATION [grayfail] evalFailRate 0.25 "
+                     "injected but no retry happened\n";
+    }
+    if (stats.degraded + stats.modelOnly == 0) {
+        ++violations;
+        std::cout << "INVARIANT VIOLATION [grayfail] starved budgets "
+                     "produced no degraded/model-only answer\n";
+    }
+    if (stats.slowPathRuns == 0) {
+        ++violations;
+        std::cout << "INVARIANT VIOLATION [grayfail] no slow-path "
+                     "(simulator) run happened\n";
+    }
+    return violations;
+}
+
+/** Scenario 4: same seeded trace, fresh service, identical bytes. */
+int
+determinismCheck(const faults::FaultSpec &faults,
+                 const service::Script &script,
+                 const std::vector<std::string> &firstTranscript)
+{
+    service::PlanningService svc(grayfailConfig(faults));
+    const std::vector<std::string> rerun = svc.runScript(script);
+    if (rerun == firstTranscript) {
+        std::cout << "determinism: rerun transcript byte-identical ("
+                  << rerun.size() << " lines)\n";
+        return 0;
+    }
+    std::cout << "INVARIANT VIOLATION [determinism] rerun transcript "
+                 "differs\n";
+    const std::size_t n =
+        std::min(rerun.size(), firstTranscript.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rerun[i] != firstTranscript[i]) {
+            std::cout << "  first : " << firstTranscript[i] << "\n"
+                      << "  rerun : " << rerun[i] << "\n";
+            break;
+        }
+    }
+    return 1;
+}
+
+void
+writeJson(const std::string &path, const std::vector<Result> &results,
+          bool smoke, int jobs)
+{
+    std::ofstream os(path);
+    os.precision(6);
+    os << "{\"bench\":\"service\",\"mode\":\""
+       << (smoke ? "smoke" : "full") << "\",\"jobs\":" << jobs
+       << ",\"results\":[";
+    bool first = true;
+    for (const Result &r : results) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"" << r.name << "\",\"unit\":\"" << r.unit
+           << "\",\"value\":" << r.value
+           << ",\"seconds\":" << r.seconds << "}";
+    }
+    os << "]}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = bench::benchFlag(argc, argv, "--smoke");
+    const int jobs = bench::benchJobs(argc, argv);
+    std::string json_path;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json_path = argv[i + 1];
+    }
+
+    const faults::FaultSpec faults = slowNodePlusPartitionSchedule();
+
+    std::vector<Result> results;
+    int violations = 0;
+    violations += steadyScenario(smoke, results);
+    std::cout << "\n";
+    violations += overloadScenario(smoke, faults, results);
+    std::cout << "\n";
+    std::vector<std::string> grayTranscript;
+    service::Script grayScript;
+    violations += grayfailScenario(smoke, faults, results,
+                                   grayTranscript, grayScript);
+    std::cout << "\n";
+    violations += determinismCheck(faults, grayScript, grayTranscript);
+
+    TablePrinter table(std::string("service record (") +
+                       (smoke ? "smoke" : "full") + ")");
+    table.setHeader({"name", "value", "unit"});
+    for (const Result &r : results)
+        table.addRow({r.name, TablePrinter::num(r.value, 3), r.unit});
+    std::cout << "\n";
+    table.print(std::cout);
+
+    if (!json_path.empty()) {
+        writeJson(json_path, results, smoke, jobs);
+        std::cout << "wrote " << json_path << "\n";
+    }
+    if (violations > 0) {
+        std::cout << violations << " invariant violation(s)\n";
+        return 1;
+    }
+    return 0;
+}

@@ -110,14 +110,9 @@ CostOptimizer::evaluateAll(const std::vector<CloudConfig> &configs) const
     });
 }
 
-Evaluation
-CostOptimizer::optimize() const
+std::vector<CloudConfig>
+CostOptimizer::candidateGrid() const
 {
-    // Enumerate the grid in the canonical (serial) order, fan the
-    // independent evaluations out, then pick the winner by scanning
-    // the committed results in that same order — strict less-than
-    // keeps the first-cheapest tie-breaking identical to the serial
-    // nested loops for any thread count.
     std::vector<CloudConfig> candidates;
     for (int vcpus : options_.vcpuChoices) {
         for (CloudDiskType hdfs_type : options_.hdfsTypes) {
@@ -137,9 +132,35 @@ CostOptimizer::optimize() const
             }
         }
     }
+    return candidates;
+}
+
+std::vector<Evaluation>
+CostOptimizer::evaluatePrefix(
+    const std::vector<CloudConfig> &configs,
+    const std::function<bool()> &keepGoing) const
+{
+    std::vector<Evaluation> completed;
+    completed.reserve(configs.size());
+    for (const CloudConfig &config : configs) {
+        if (keepGoing && !keepGoing())
+            break;
+        completed.push_back(evaluate(config));
+    }
+    return completed;
+}
+
+Evaluation
+CostOptimizer::optimize() const
+{
+    // Enumerate the grid in the canonical (serial) order, fan the
+    // independent evaluations out, then pick the winner by scanning
+    // the committed results in that same order — strict less-than
+    // keeps the first-cheapest tie-breaking identical to the serial
+    // nested loops for any thread count.
     Evaluation best;
     best.cost = std::numeric_limits<double>::infinity();
-    for (const Evaluation &eval : evaluateAll(candidates)) {
+    for (const Evaluation &eval : evaluateAll(candidateGrid())) {
         if (eval.cost < best.cost)
             best = eval;
     }

@@ -16,6 +16,7 @@
 #ifndef DOPPIO_CLOUD_OPTIMIZER_H
 #define DOPPIO_CLOUD_OPTIMIZER_H
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -88,6 +89,24 @@ class CostOptimizer
 
     /** Exhaustive search; @return the cheapest configuration. */
     Evaluation optimize() const;
+
+    /**
+     * Every configuration in the search space, in the canonical
+     * (serial enumeration) order optimize() scans them.
+     */
+    std::vector<CloudConfig> candidateGrid() const;
+
+    /**
+     * Budgeted evaluation hook for the planning service: evaluate
+     * @p configs in order on the calling thread, asking @p keepGoing
+     * before each cell, and @return the completed prefix. A caller
+     * that charges each cell against a deadline budget gets a
+     * partial-but-valid result set when the budget expires (the
+     * returned evaluations are exact — only coverage shrinks).
+     */
+    std::vector<Evaluation>
+    evaluatePrefix(const std::vector<CloudConfig> &configs,
+                   const std::function<bool()> &keepGoing) const;
 
     /** Cost/runtime curve vs Spark-local size (Fig. 13b / 15). */
     std::vector<Evaluation>

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Token-bucket admission primitive (DESIGN.md §14).
+ *
+ * Time is supplied by the caller, so one implementation serves both
+ * the deterministic virtual-time service loop and a wall-clock TCP
+ * front end. A zero-rate bucket never refills: it grants its initial
+ * burst and then denies forever, which the admission layer uses to
+ * model a fully drained quota.
+ */
+
+#ifndef DOPPIO_COMMON_TOKEN_BUCKET_H
+#define DOPPIO_COMMON_TOKEN_BUCKET_H
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace doppio::common {
+
+/** Rate limiter over caller-supplied (virtual or wall) seconds. */
+class TokenBucket
+{
+  public:
+    /**
+     * @param ratePerSec refill rate in tokens/second (>= 0; 0 never
+     *                   refills).
+     * @param burst      bucket capacity in tokens (> 0); also the
+     *                   initial fill.
+     */
+    TokenBucket(double ratePerSec, double burst)
+        : rate_(ratePerSec), burst_(burst), tokens_(burst)
+    {
+        if (ratePerSec < 0.0)
+            fatal("TokenBucket: rate must be non-negative");
+        if (burst <= 0.0)
+            fatal("TokenBucket: burst must be positive");
+    }
+
+    /**
+     * Take @p tokens at time @p nowSec. @return true when granted.
+     * Time moving backwards is treated as "no time elapsed" so a
+     * misbehaving clock can never mint tokens.
+     */
+    bool
+    tryAcquire(double nowSec, double tokens = 1.0)
+    {
+        refill(nowSec);
+        if (tokens_ + 1e-12 < tokens) {
+            ++denied_;
+            return false;
+        }
+        tokens_ -= tokens;
+        ++granted_;
+        return true;
+    }
+
+    /** @return tokens available at @p nowSec (refills as a side effect). */
+    double
+    available(double nowSec)
+    {
+        refill(nowSec);
+        return tokens_;
+    }
+
+    double ratePerSec() const { return rate_; }
+    double burst() const { return burst_; }
+    std::uint64_t granted() const { return granted_; }
+    std::uint64_t denied() const { return denied_; }
+
+  private:
+    void
+    refill(double nowSec)
+    {
+        if (nowSec > lastSec_)
+            tokens_ = std::min(burst_, tokens_ + (nowSec - lastSec_) * rate_);
+        lastSec_ = std::max(lastSec_, nowSec);
+    }
+
+    double rate_;
+    double burst_;
+    double tokens_;
+    double lastSec_ = 0.0;
+    std::uint64_t granted_ = 0;
+    std::uint64_t denied_ = 0;
+};
+
+} // namespace doppio::common
+
+#endif // DOPPIO_COMMON_TOKEN_BUCKET_H

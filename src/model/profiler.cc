@@ -40,7 +40,10 @@ Profiler::runSample(int cores, const storage::DiskParams &hdfsDisk,
     cluster_config.node.localDisk = localDisk;
     spark::SparkConf conf = baseConf_;
     conf.executorCores = cores;
-    return runner_(cluster_config, conf);
+    spark::AppMetrics metrics = runner_(cluster_config, conf);
+    if (options_.onSample && !options_.onSample(metrics))
+        fatal("Profiler: sample run aborted by onSample hook");
+    return metrics;
 }
 
 namespace {
@@ -150,6 +153,8 @@ Profiler::fit(const std::string &appName)
         spark::SparkConf gc_conf = baseConf_;
         gc_conf.executorCores = options_.midCores;
         run5 = runner_(gc_config, gc_conf);
+        if (options_.onSample && !options_.onSample(run5))
+            fatal("Profiler: sample run aborted by onSample hook");
     }
 
     AppModel app;

@@ -66,6 +66,14 @@ class Profiler
         int hdfsReplication = 2;
         storage::DiskParams ssd;
         storage::DiskParams hdd;
+        /**
+         * Budget/interruption hook: called after every sample run
+         * (including the GC run) with that run's metrics. Returning
+         * false aborts the fit via fatal(), which the planning
+         * service uses to stop profiling when a per-request deadline
+         * budget expires mid-methodology. Null = never interrupts.
+         */
+        std::function<bool(const spark::AppMetrics &)> onSample;
 
         Options();
     };

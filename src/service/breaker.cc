@@ -1,0 +1,102 @@
+#include "service/breaker.h"
+
+#include "common/logging.h"
+
+namespace doppio::service {
+
+CircuitBreaker::CircuitBreaker(Config config) : config_(config)
+{
+    if (config_.latencyThresholdMs <= 0.0)
+        fatal("CircuitBreaker: latencyThresholdMs must be positive");
+    if (config_.emaAlpha <= 0.0 || config_.emaAlpha > 1.0)
+        fatal("CircuitBreaker: emaAlpha must be in (0, 1]");
+    if (config_.cooldownMs < 0.0)
+        fatal("CircuitBreaker: cooldownMs must be non-negative");
+}
+
+const char *
+CircuitBreaker::stateName() const
+{
+    switch (state_) {
+    case State::Closed: return "closed";
+    case State::Open: return "open";
+    case State::HalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+void
+CircuitBreaker::trip(double nowMs)
+{
+    if (state_ == State::Open)
+        return;
+    state_ = State::Open;
+    openedAtMs_ = nowMs;
+    probeInFlight_ = false;
+    ++trips_;
+}
+
+bool
+CircuitBreaker::allowSlowPath(double nowMs)
+{
+    if (state_ == State::Closed)
+        return true;
+    if (state_ == State::Open) {
+        if (nowMs - openedAtMs_ < config_.cooldownMs)
+            return false;
+        state_ = State::HalfOpen;
+        probeInFlight_ = false;
+    }
+    // HalfOpen: one probe at a time.
+    if (probeInFlight_)
+        return false;
+    probeInFlight_ = true;
+    return true;
+}
+
+void
+CircuitBreaker::recordSlowPath(double costMs, double nowMs)
+{
+    emaMs_ = emaSeeded_
+                 ? (1.0 - config_.emaAlpha) * emaMs_ +
+                       config_.emaAlpha * costMs
+                 : costMs;
+    emaSeeded_ = true;
+    if (state_ == State::HalfOpen) {
+        probeInFlight_ = false;
+        if (costMs <= config_.latencyThresholdMs) {
+            state_ = State::Closed;
+            // A healthy probe forgives the pre-trip history.
+            emaMs_ = costMs;
+        } else {
+            trip(nowMs);
+        }
+        return;
+    }
+    if (state_ == State::Closed && emaMs_ > config_.latencyThresholdMs)
+        trip(nowMs);
+}
+
+void
+CircuitBreaker::recordFailure(double nowMs)
+{
+    if (state_ == State::HalfOpen)
+        probeInFlight_ = false;
+    trip(nowMs);
+}
+
+void
+CircuitBreaker::releaseProbe()
+{
+    if (state_ == State::HalfOpen)
+        probeInFlight_ = false;
+}
+
+void
+CircuitBreaker::noteQueueDepth(std::size_t depth, double nowMs)
+{
+    if (state_ == State::Closed && depth >= config_.depthThreshold)
+        trip(nowMs);
+}
+
+} // namespace doppio::service

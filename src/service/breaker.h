@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Circuit breaker guarding the planning service's slow path
+ * (DESIGN.md §14).
+ *
+ * The slow path is every simulator execution a query can trigger:
+ * profiling sample runs for an uncached workload and the validation
+ * run of a winning configuration. The breaker watches an EMA of
+ * per-request slow-path cost plus the admission queue depth, and
+ * trips Closed -> Open when either crosses its threshold. While Open,
+ * the service serves model-only (Eq. 1) answers from cached profiled
+ * constants and sheds queries it cannot answer without simulating.
+ * After a cooldown the breaker goes HalfOpen and admits exactly one
+ * probe; a healthy probe closes the circuit, a failed or
+ * over-threshold probe re-opens it for another cooldown.
+ */
+
+#ifndef DOPPIO_SERVICE_BREAKER_H
+#define DOPPIO_SERVICE_BREAKER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace doppio::service {
+
+/** Slow-path health state machine. */
+class CircuitBreaker
+{
+  public:
+    enum class State { Closed, Open, HalfOpen };
+
+    struct Config
+    {
+        /** Trip when the slow-path cost EMA exceeds this (ms). The
+         *  default sits above a healthy full profiling pass at the
+         *  planner's default msPerSimSecond (~11.5k ms) but below a
+         *  pass inflated by retry storms or gray failure. */
+        double latencyThresholdMs = 15000.0;
+        /** Trip when the admission queue reaches this depth. */
+        std::size_t depthThreshold = 64;
+        /** EMA smoothing factor in (0, 1]; 1 = last sample only. */
+        double emaAlpha = 0.4;
+        /** Open -> HalfOpen after this long (ms). */
+        double cooldownMs = 2000.0;
+    };
+
+    explicit CircuitBreaker(Config config);
+
+    /**
+     * May the caller take the slow path at @p nowMs? Closed: yes.
+     * Open: no, unless the cooldown has elapsed — then the breaker
+     * moves to HalfOpen and this call claims the single probe slot.
+     * HalfOpen: only if the probe slot is free (claims it).
+     */
+    bool allowSlowPath(double nowMs);
+
+    /**
+     * Record one request's total slow-path cost. In HalfOpen this is
+     * the probe's verdict: under-threshold closes the circuit,
+     * over-threshold re-opens it. In Closed the EMA may trip it.
+     */
+    void recordSlowPath(double costMs, double nowMs);
+
+    /** Record a slow-path failure (retries exhausted). */
+    void recordFailure(double nowMs);
+
+    /**
+     * Release a probe slot claimed by allowSlowPath() when the request
+     * ended up not touching the slow path after all (e.g. its budget
+     * expired before validation) — without this the half-open probe
+     * slot would leak and the breaker could never close again.
+     */
+    void releaseProbe();
+
+    /** Observe the admission queue depth (may trip the breaker). */
+    void noteQueueDepth(std::size_t depth, double nowMs);
+
+    State state() const { return state_; }
+    const char *stateName() const;
+    std::uint64_t trips() const { return trips_; }
+    double emaMs() const { return emaMs_; }
+    const Config &config() const { return config_; }
+
+  private:
+    void trip(double nowMs);
+
+    Config config_;
+    State state_ = State::Closed;
+    double emaMs_ = 0.0;
+    bool emaSeeded_ = false;
+    double openedAtMs_ = 0.0;
+    bool probeInFlight_ = false;
+    std::uint64_t trips_ = 0;
+};
+
+} // namespace doppio::service
+
+#endif // DOPPIO_SERVICE_BREAKER_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Result caching for the planning service (DESIGN.md §14).
+ *
+ * ResultCache: a sharded LRU of finished plan responses keyed by the
+ * canonical (workload, mode, constraint, workers) string. Sharding is
+ * by FNV-1a of the key (not std::hash, whose value is
+ * implementation-defined — shard assignment feeds eviction order and
+ * therefore the response transcript, which must be stable across
+ * toolchains). Only full-fidelity answers are cached: degraded or
+ * model-only responses would otherwise keep serving stale partial
+ * data after the incident that caused them has passed.
+ *
+ * SingleFlight: dedup of concurrent identical queries. The first
+ * arrival becomes the leader and computes; later arrivals attach as
+ * followers and are answered from the leader's result at its
+ * completion, occupying no queue slot and doing no evaluation work.
+ */
+
+#ifndef DOPPIO_SERVICE_CACHE_H
+#define DOPPIO_SERVICE_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "service/protocol.h"
+
+namespace doppio::service {
+
+/** Sharded LRU of completed plan responses. */
+class ResultCache
+{
+  public:
+    ResultCache(std::size_t shards, std::size_t capacityPerShard);
+
+    /** @return the cached response (promoted), or nullptr. */
+    const Response *get(const std::string &key);
+
+    void put(const std::string &key, const Response &response);
+
+    std::size_t shards() const { return shards_.size(); }
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t evictions() const;
+    std::size_t size() const;
+
+    /** Toolchain-stable 64-bit FNV-1a (exposed for tests). */
+    static std::uint64_t fnv1a(const std::string &key);
+
+  private:
+    common::LruCache<std::string, Response> &shardFor(const std::string &key);
+
+    std::vector<common::LruCache<std::string, Response>> shards_;
+};
+
+/** Concurrent-identical-query dedup registry. */
+class SingleFlight
+{
+  public:
+    /**
+     * @return true when @p key had no leader (the caller becomes it);
+     * false when already in flight (the caller should attach()).
+     */
+    bool begin(const std::string &key);
+
+    /** Register @p seq as a follower of @p key's leader. */
+    void attach(const std::string &key, std::uint64_t seq);
+
+    bool inFlight(const std::string &key) const;
+
+    /**
+     * The leader finished: @return the followers' sequence numbers
+     * (in attach order) and forget the key.
+     */
+    std::vector<std::uint64_t> finish(const std::string &key);
+
+    std::uint64_t joins() const { return joins_; }
+
+  private:
+    std::unordered_map<std::string, std::vector<std::uint64_t>> inFlight_;
+    std::uint64_t joins_ = 0;
+};
+
+} // namespace doppio::service
+
+#endif // DOPPIO_SERVICE_CACHE_H

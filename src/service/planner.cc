@@ -1,0 +1,301 @@
+#include "service/planner.h"
+
+#include <algorithm>
+
+#include "cloud/gcp_disk.h"
+#include "common/logging.h"
+#include "model/profiler.h"
+#include "workloads/registry.h"
+
+namespace doppio::service {
+
+DeadlineBudget::DeadlineBudget(double totalMs) : totalMs_(totalMs)
+{
+    if (totalMs <= 0.0)
+        fatal("DeadlineBudget: totalMs must be positive (got %g)",
+              totalMs);
+}
+
+double
+DeadlineBudget::charge(double ms)
+{
+    if (ms < 0.0)
+        panic("DeadlineBudget: negative charge %g", ms);
+    const double charged = std::min(ms, remainingMs());
+    spentMs_ += charged;
+    return charged;
+}
+
+Planner::Planner(PlannerConfig config)
+    : config_(std::move(config)), rng_(config_.seed),
+      cache_(config_.modelCacheCapacity)
+{
+    if (config_.sampleNodes < 1)
+        fatal("Planner: sampleNodes must be positive");
+    if (config_.defaultWorkers < 1)
+        fatal("Planner: defaultWorkers must be positive");
+    if (config_.msPerSimSecond <= 0.0)
+        fatal("Planner: msPerSimSecond must be positive");
+    if (config_.cellCostMs <= 0.0)
+        fatal("Planner: cellCostMs must be positive");
+    if (config_.maxRetries < 0)
+        fatal("Planner: maxRetries must be non-negative");
+    if (config_.evalFailRate < 0.0 || config_.evalFailRate >= 1.0)
+        fatal("Planner: evalFailRate must be in [0, 1)");
+    if (config_.backoffBaseMs < 0.0 || config_.backoffMaxMs < 0.0 ||
+        config_.backoffJitter < 0.0)
+        fatal("Planner: backoff parameters must be non-negative");
+    config_.faults.validate();
+}
+
+std::vector<Bytes>
+Planner::coarseSizeGrid()
+{
+    constexpr Bytes kGB = 1000ULL * 1000 * 1000;
+    return {100 * kGB,  250 * kGB,  500 * kGB,
+            1000 * kGB, 2000 * kGB, 4000 * kGB};
+}
+
+int
+Planner::resolveWorkers(const Request &req) const
+{
+    return req.workers > 0 ? req.workers : config_.defaultWorkers;
+}
+
+std::string
+Planner::entryKey(const Request &req) const
+{
+    return req.workload + "|w" + std::to_string(resolveWorkers(req));
+}
+
+bool
+Planner::hasModel(const Request &req) const
+{
+    return cache_.peek(entryKey(req)) != nullptr;
+}
+
+spark::AppMetrics
+Planner::runBudgeted(const workloads::Workload &workload,
+                     const cluster::ClusterConfig &cluster,
+                     const spark::SparkConf &conf,
+                     DeadlineBudget &budget)
+{
+    const faults::FaultSpec *faults =
+        config_.faults.any() ? &config_.faults : nullptr;
+    for (int attempt = 0;; ++attempt) {
+        if (budget.exhausted()) {
+            deadlineHit_ = true;
+            fatal("planner: deadline budget exhausted before "
+                  "slow-path run");
+        }
+        if (config_.evalFailRate > 0.0 &&
+            rng_.uniform() < config_.evalFailRate) {
+            if (attempt >= config_.maxRetries) {
+                slowPathFailed_ = true;
+                fatal("planner: slow path still failing after %d "
+                      "retries",
+                      config_.maxRetries);
+            }
+            ++reqRetries_;
+            ++totals_.retries;
+            double backoff = std::min(
+                config_.backoffMaxMs,
+                config_.backoffBaseMs * static_cast<double>(1 << attempt));
+            backoff *= 1.0 + config_.backoffJitter * rng_.uniform();
+            const double charged = budget.charge(backoff);
+            reqBackoffMs_ += charged;
+            totals_.backoffMsTotal += charged;
+            continue;
+        }
+        const spark::AppMetrics metrics =
+            workload.run(cluster, conf, nullptr, faults);
+        const double costMs =
+            metrics.seconds() * config_.msPerSimSecond;
+        budget.charge(costMs);
+        reqSlowPathMs_ += costMs;
+        ++totals_.slowPathRuns;
+        totals_.slowPathMsTotal += costMs;
+        if (metrics.faultsPresent) {
+            totals_.partitionTimeouts += metrics.faults.partitionTimeouts;
+            totals_.slowPathTaskRetries += metrics.faults.taskRetries;
+        }
+        return metrics;
+    }
+}
+
+Planner::Entry
+Planner::buildEntry(const Request &req, DeadlineBudget &budget)
+{
+    const auto workload = workloads::makeWorkload(req.workload);
+
+    cluster::ClusterConfig sampleCluster;
+    sampleCluster.numSlaves = config_.sampleNodes;
+    sampleCluster.seed = config_.seed;
+
+    model::Profiler::Options options;
+    options.sampleNodes = config_.sampleNodes;
+    options.onSample = [this,
+                        &budget](const spark::AppMetrics &) -> bool {
+        if (!budget.exhausted())
+            return true;
+        deadlineHit_ = true;
+        return false;
+    };
+
+    // The profiler drives this runner through the four-sample
+    // methodology; each sample run is individually budgeted and
+    // retried here.
+    model::WorkloadRunner runner =
+        [this, &workload, &budget](const cluster::ClusterConfig &cluster,
+                                   const spark::SparkConf &conf) {
+            return runBudgeted(*workload, cluster, conf, budget);
+        };
+
+    model::Profiler profiler(std::move(runner), sampleCluster,
+                             spark::SparkConf{}, options);
+    model::AppModel app = profiler.fit(workload->name());
+
+    cloud::CostOptimizer::Options search;
+    search.workers = resolveWorkers(req);
+    search.sizeGrid =
+        config_.sizeGrid.empty() ? coarseSizeGrid() : config_.sizeGrid;
+    search.jobs = 1;
+    cloud::CostOptimizer optimizer(app, cloud::GcpPricing{},
+                                   std::move(search));
+    return Entry{std::move(app), std::move(optimizer)};
+}
+
+PlanResult
+Planner::plan(const Request &req, DeadlineBudget &budget,
+              bool allowSlowPath)
+{
+    deadlineHit_ = false;
+    slowPathFailed_ = false;
+    reqRetries_ = 0;
+    reqBackoffMs_ = 0.0;
+    reqSlowPathMs_ = 0.0;
+
+    PlanResult result;
+    Response &resp = result.response;
+
+    const auto finish = [&](const char *status, const char *reason) {
+        resp.status = status;
+        resp.reason = reason;
+        resp.retries = reqRetries_;
+        resp.backoffMs = reqBackoffMs_;
+        result.slowPathMs = reqSlowPathMs_;
+        result.usedSlowPath = reqSlowPathMs_ > 0.0;
+        result.slowPathFailed = slowPathFailed_;
+        return result;
+    };
+
+    // Model: cached, or profiled now (the slow path).
+    const std::string key = entryKey(req);
+    Entry *entry = cache_.get(key);
+    if (entry == nullptr) {
+        if (!allowSlowPath)
+            // The server sheds this case before calling plan(); keep
+            // the invariant anyway.
+            return finish("shed", "circuit_open");
+        try {
+            Entry built = buildEntry(req, budget);
+            cache_.put(key, std::move(built));
+            entry = cache_.get(key);
+        } catch (const FatalError &error) {
+            if (deadlineHit_) {
+                resp.degraded = true;
+                return finish("error", "deadline");
+            }
+            if (slowPathFailed_)
+                return finish("error", "slow_path_failed");
+            warn("planner: %s", error.what());
+            return finish("error", "internal");
+        }
+    }
+
+    // Grid search under the remaining budget: a partial prefix is a
+    // valid (degraded) answer — coverage shrinks, cells stay exact.
+    const std::vector<cloud::CloudConfig> grid =
+        entry->optimizer.candidateGrid();
+    const std::vector<cloud::Evaluation> evals =
+        entry->optimizer.evaluatePrefix(grid, [&]() -> bool {
+            if (budget.exhausted())
+                return false;
+            budget.charge(config_.cellCostMs);
+            return true;
+        });
+    resp.cellsTotal = static_cast<int>(grid.size());
+    resp.cellsDone = static_cast<int>(evals.size());
+    if (resp.cellsDone < resp.cellsTotal)
+        resp.degraded = true;
+    if (evals.empty()) {
+        resp.degraded = true;
+        return finish("error", "deadline");
+    }
+
+    // Constraint-mode selection over the evaluated cells.
+    const cloud::Evaluation *best = nullptr;
+    for (const cloud::Evaluation &eval : evals) {
+        switch (req.mode) {
+        case Request::Mode::MinCost:
+            if (best == nullptr || eval.cost < best->cost)
+                best = &eval;
+            break;
+        case Request::Mode::CheapestUnderDeadline:
+            if (eval.seconds <= req.deadlineSec &&
+                (best == nullptr || eval.cost < best->cost))
+                best = &eval;
+            break;
+        case Request::Mode::FastestUnderBudget:
+            if (eval.cost <= req.budgetUsd &&
+                (best == nullptr || eval.seconds < best->seconds))
+                best = &eval;
+            break;
+        }
+    }
+    if (best == nullptr)
+        return finish("error", "infeasible");
+
+    resp.haveConfig = true;
+    resp.config = best->config.describe();
+    resp.costUsd = best->cost;
+    resp.runtimeSec = best->seconds;
+
+    // Validation: re-simulate the winner under the service's fault
+    // spec. Skipped (model-only) when disabled, the breaker is open,
+    // or the budget already ran out.
+    if (!config_.validate || !allowSlowPath || budget.exhausted()) {
+        resp.modelOnly = true;
+        if (budget.exhausted())
+            resp.degraded = true;
+        return finish("ok", "");
+    }
+    try {
+        const auto workload = workloads::makeWorkload(req.workload);
+        cluster::ClusterConfig cluster;
+        cluster.numSlaves = best->config.workers;
+        cluster.node.cores = best->config.vcpus;
+        cluster.node.hdfsDisk = cloud::makeCloudDiskParams(
+            best->config.hdfsType, best->config.hdfsSize);
+        cluster.node.localDisk = cloud::makeCloudDiskParams(
+            best->config.localType, best->config.localSize);
+        cluster.seed = config_.seed;
+        spark::SparkConf conf;
+        conf.executorCores = best->config.vcpus;
+        const spark::AppMetrics metrics =
+            runBudgeted(*workload, cluster, conf, budget);
+        resp.runtimeSec = metrics.seconds();
+        resp.costUsd = cloud::jobCost(
+            best->config, entry->optimizer.pricing(), resp.runtimeSec);
+    } catch (const FatalError &error) {
+        // The model answer stands; only its validation is missing.
+        resp.modelOnly = true;
+        resp.degraded = true;
+        if (!deadlineHit_ && !slowPathFailed_)
+            warn("planner: validation failed: %s", error.what());
+        return finish("ok", slowPathFailed_ ? "validation_failed" : "");
+    }
+    return finish("ok", "");
+}
+
+} // namespace doppio::service

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Deadline-budgeted what-if planner (DESIGN.md §14).
+ *
+ * Answers one plan query — "what cluster/disk configuration for
+ * workload W under budget B or deadline D" — by running the paper's
+ * pipeline (profile -> fit Eq. 1 -> grid search -> validate) under a
+ * per-request deadline budget:
+ *
+ *   - Profiling charges each sample run's simulated duration against
+ *     the budget via Profiler::Options::onSample; an expired budget
+ *     aborts the methodology between runs.
+ *   - Grid evaluation charges a fixed virtual cost per cell through
+ *     CostOptimizer::evaluatePrefix; an expired budget yields the
+ *     completed prefix — a partial-but-valid answer flagged degraded.
+ *   - Validation (re-simulating the winning configuration under the
+ *     service's fault spec) is skipped when the budget ran out or the
+ *     circuit breaker is open, flagging the answer model-only.
+ *
+ * Transient slow-path failures (injected via evalFailRate, standing in
+ * for a crashed simulator worker) are retried with capped exponential
+ * backoff plus deterministic jitter; the backoff sleeps are charged
+ * against the same budget, so a flapping slow path degrades into a
+ * deadline miss instead of unbounded retry.
+ *
+ * All costs are virtual milliseconds derived from deterministic
+ * quantities (simulated seconds x msPerSimSecond, fixed cellCostMs),
+ * never wall clock — a replayed query trace yields a byte-identical
+ * response transcript.
+ */
+
+#ifndef DOPPIO_SERVICE_PLANNER_H
+#define DOPPIO_SERVICE_PLANNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/optimizer.h"
+#include "common/lru_cache.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "faults/fault_spec.h"
+#include "service/protocol.h"
+#include "workloads/workload.h"
+
+namespace doppio::service {
+
+/**
+ * One request's service-side deadline budget, in virtual ms. charge()
+ * clamps at the total so a request that exhausts its budget completes
+ * exactly at its deadline, never past it — the admission invariant
+ * "answered within timeout_ms or flagged degraded" is enforced by
+ * construction.
+ */
+class DeadlineBudget
+{
+  public:
+    explicit DeadlineBudget(double totalMs);
+
+    /** Spend up to @p ms; @return the amount actually charged. */
+    double charge(double ms);
+
+    bool exhausted() const { return spentMs_ >= totalMs_; }
+    double spentMs() const { return spentMs_; }
+    double remainingMs() const { return totalMs_ - spentMs_; }
+    double totalMs() const { return totalMs_; }
+
+  private:
+    double totalMs_;
+    double spentMs_ = 0.0;
+};
+
+/** Planner tuning; defaults are the service defaults. */
+struct PlannerConfig
+{
+    /** Slave count of the profiling sample cluster. */
+    int sampleNodes = 3;
+    /** Fleet size when a query does not name one. */
+    int defaultWorkers = 4;
+    /**
+     * Virtual ms charged per simulated second of a slow-path run. The
+     * default makes a full profile-fit-search-validate pass for the
+     * small workloads (~570k simulated seconds-of-slow-path for
+     * lr-small) land near 11.5k virtual ms — comfortably inside the
+     * service's 20s default timeout, with headroom for retries.
+     */
+    double msPerSimSecond = 0.02;
+    /** Virtual ms charged per model grid cell evaluated. */
+    double cellCostMs = 5.0;
+    /** Transient slow-path failure retries before giving up. */
+    int maxRetries = 3;
+    double backoffBaseMs = 50.0;  //!< first retry backoff
+    double backoffMaxMs = 1000.0; //!< exponential backoff cap
+    double backoffJitter = 0.2;   //!< uniform jitter fraction on top
+    /** Injected per-attempt transient slow-path failure probability. */
+    double evalFailRate = 0.0;
+    std::uint64_t seed = 42; //!< failure/jitter draws + sim clusters
+    /** Validate the winning configuration with a simulator run. */
+    bool validate = true;
+    /** Fitted models kept hot (LRU), keyed by workload + fleet size. */
+    std::size_t modelCacheCapacity = 8;
+    /** Faults injected into every slow-path simulator run. */
+    faults::FaultSpec faults;
+    /** Disk-size grid; empty = coarseSizeGrid(). */
+    std::vector<Bytes> sizeGrid;
+};
+
+/** One plan() outcome: the wire response plus breaker-facing facts. */
+struct PlanResult
+{
+    /** id / t_ms / cache / latency_ms left for the server to fill. */
+    Response response;
+    bool usedSlowPath = false;
+    /** This request's total virtual slow-path cost (breaker EMA). */
+    double slowPathMs = 0.0;
+    /** Slow path gave up (retries exhausted) — a breaker failure. */
+    bool slowPathFailed = false;
+};
+
+/** Cumulative planner counters feeding ServiceStats. */
+struct PlannerTotals
+{
+    std::uint64_t retries = 0;
+    double backoffMsTotal = 0.0;
+    std::uint64_t slowPathRuns = 0;
+    double slowPathMsTotal = 0.0;
+    std::uint64_t partitionTimeouts = 0;
+    std::uint64_t slowPathTaskRetries = 0;
+};
+
+/** The deadline-budgeted profile/fit/search/validate pipeline. */
+class Planner
+{
+  public:
+    explicit Planner(PlannerConfig config);
+
+    /**
+     * Would @p req be answerable without profiling (model already
+     * cached)? The server consults this before the circuit breaker:
+     * open breaker + cached model = model-only answer; open breaker +
+     * no model = shed.
+     */
+    bool hasModel(const Request &req) const;
+
+    /**
+     * Answer @p req within @p budget. @p allowSlowPath false skips
+     * simulator validation (the answer is flagged model-only); the
+     * server passes false while the circuit breaker is open.
+     */
+    PlanResult plan(const Request &req, DeadlineBudget &budget,
+                    bool allowSlowPath);
+
+    const PlannerTotals &totals() const { return totals_; }
+    const PlannerConfig &config() const { return config_; }
+
+    /**
+     * Service-default disk-size grid: six half-decade points instead
+     * of optimize()'s thirteen, trading Fig. 13 curve resolution for
+     * interactive-query latency (72 cells with the default type sets).
+     */
+    static std::vector<Bytes> coarseSizeGrid();
+
+  private:
+    struct Entry
+    {
+        model::AppModel app;
+        cloud::CostOptimizer optimizer;
+    };
+
+    int resolveWorkers(const Request &req) const;
+    std::string entryKey(const Request &req) const;
+
+    /**
+     * One budgeted slow-path simulator run with retry/backoff around
+     * injected transient failures. fatal()s with deadlineHit_ or
+     * slowPathFailed_ set when it cannot complete.
+     */
+    spark::AppMetrics runBudgeted(const workloads::Workload &workload,
+                                  const cluster::ClusterConfig &cluster,
+                                  const spark::SparkConf &conf,
+                                  DeadlineBudget &budget);
+
+    /** Profile + fit + build the optimizer for @p req (slow path). */
+    Entry buildEntry(const Request &req, DeadlineBudget &budget);
+
+    PlannerConfig config_;
+    Rng rng_;
+    common::LruCache<std::string, Entry> cache_;
+    PlannerTotals totals_;
+
+    // Abort-cause flags for the current plan() call: everything below
+    // the planner surfaces as FatalError, so plan() discriminates
+    // deadline expiry from a dead slow path with its own flags.
+    bool deadlineHit_ = false;
+    bool slowPathFailed_ = false;
+    int reqRetries_ = 0;
+    double reqBackoffMs_ = 0.0;
+    double reqSlowPathMs_ = 0.0;
+};
+
+} // namespace doppio::service
+
+#endif // DOPPIO_SERVICE_PLANNER_H

@@ -1,0 +1,487 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "workloads/registry.h"
+
+namespace doppio::service {
+
+namespace {
+
+bool
+knownWorkload(const std::string &name)
+{
+    static const std::vector<std::string> names =
+        workloads::registeredWorkloads();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+/** Nearest-rank percentile of @p sorted (non-empty). */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[std::max<std::size_t>(rank, 1) - 1];
+}
+
+} // namespace
+
+PlanningService::PlanningService(ServiceConfig config)
+    : config_(config), planner_(config.planner),
+      breaker_(config.breaker),
+      bucket_(config.ratePerSec,
+              config.ratePerSec > 0.0 ? config.burst : 1.0),
+      cache_(config.cacheShards, config.cacheShardCapacity)
+{
+    if (config_.workers < 1)
+        fatal("PlanningService: workers must be positive");
+    if (config_.queueCapacity < 1)
+        fatal("PlanningService: queueCapacity must be positive");
+    if (config_.defaultTimeoutMs <= 0.0)
+        fatal("PlanningService: defaultTimeoutMs must be positive");
+}
+
+double
+PlanningService::timeoutFor(const Request &req) const
+{
+    return req.timeoutMs > 0.0 ? req.timeoutMs
+                               : config_.defaultTimeoutMs;
+}
+
+void
+PlanningService::countResponse(const Response &response)
+{
+    log_.push_back(response);
+    if (response.status == "ok") {
+        ++counters_.completed;
+        ++counters_.ok;
+        latencies_.push_back(response.latencyMs);
+    } else if (response.status == "error") {
+        ++counters_.completed;
+        ++counters_.errors;
+    } else if (response.status == "shed") {
+        ++counters_.shed;
+    } else if (response.status == "rejected") {
+        ++counters_.rejected;
+    } else if (response.status == "expired") {
+        ++counters_.expired;
+    } else {
+        panic("PlanningService: unknown response status '%s'",
+              response.status.c_str());
+    }
+    if (response.degraded)
+        ++counters_.degraded;
+    if (response.modelOnly)
+        ++counters_.modelOnly;
+}
+
+void
+PlanningService::emit(const Response &response)
+{
+    countResponse(response);
+    transcript_.push_back(response.toJson());
+}
+
+void
+PlanningService::emitLine(const std::string &line)
+{
+    transcript_.push_back(line);
+}
+
+std::string
+PlanningService::healthLine(double nowMs) const
+{
+    const bool healthy = breaker_.state() == CircuitBreaker::State::Closed;
+    std::string out = "{\"status\":\"";
+    out += healthy ? "healthy" : "degraded";
+    out += "\",\"breaker\":\"";
+    out += breaker_.stateName();
+    out += "\",\"queue_depth\":" + std::to_string(queue_.size());
+    out += ",\"busy_workers\":" + std::to_string(busyWorkers_);
+    out += ",\"partition_timeouts\":" +
+           std::to_string(planner_.totals().partitionTimeouts);
+    out += ",\"retries\":" + std::to_string(planner_.totals().retries);
+    out += ",\"t_ms\":" + jsonNum(nowMs);
+    out += "}";
+    return out;
+}
+
+Response
+PlanningService::makeShed(const Pending &pending, double nowMs,
+                          const char *status, const char *reason) const
+{
+    Response response;
+    response.id = pending.req.id;
+    response.tMs = nowMs;
+    response.status = status;
+    response.reason = reason;
+    response.latencyMs = nowMs - pending.arrivalMs;
+    // An expired request got no answer at all — that is the strongest
+    // degradation, and flagging it keeps the admission invariant
+    // "answered in budget or flagged degraded" checkable per response.
+    if (response.status == "expired")
+        response.degraded = true;
+    return response;
+}
+
+void
+PlanningService::shedFlight(std::uint64_t seq, double nowMs,
+                            const char *status, const char *reason)
+{
+    const auto it = pending_.find(seq);
+    if (it == pending_.end())
+        panic("PlanningService: shedding unknown request %llu",
+              static_cast<unsigned long long>(seq));
+    const Pending pending = it->second;
+    pending_.erase(it);
+    emit(makeShed(pending, nowMs, status, reason));
+    if (!pending.leader)
+        return;
+    for (const std::uint64_t fseq :
+         flight_.finish(pending.req.cacheKey())) {
+        const auto fit = pending_.find(fseq);
+        if (fit == pending_.end())
+            continue;
+        const Pending follower = fit->second;
+        pending_.erase(fit);
+        emit(makeShed(follower, nowMs, status, reason));
+    }
+}
+
+void
+PlanningService::onArrival(std::uint64_t seq, double nowMs)
+{
+    const auto it = pending_.find(seq);
+    Pending &pending = it->second;
+    const Request &req = pending.req;
+
+    if (req.kind == Request::Kind::Stats) {
+        emitLine(stats().toJson());
+        pending_.erase(it);
+        return;
+    }
+    if (req.kind == Request::Kind::Health) {
+        emitLine(healthLine(nowMs));
+        pending_.erase(it);
+        return;
+    }
+
+    if (!knownWorkload(req.workload)) {
+        Response response;
+        response.id = req.id;
+        response.tMs = nowMs;
+        response.status = "error";
+        response.reason = "unknown_workload";
+        emit(response);
+        pending_.erase(it);
+        return;
+    }
+
+    const std::string key = req.cacheKey();
+    if (const Response *hit = cache_.get(key)) {
+        Response response = *hit;
+        response.id = req.id;
+        response.tMs = nowMs;
+        response.cacheOutcome = "hit";
+        response.latencyMs = 0.0;
+        response.retries = 0;
+        response.backoffMs = 0.0;
+        emit(response);
+        pending_.erase(it);
+        return;
+    }
+
+    if (flight_.inFlight(key)) {
+        // Park on the in-flight leader; answered at its completion.
+        flight_.attach(key, seq);
+        return;
+    }
+
+    if (config_.ratePerSec > 0.0 &&
+        !bucket_.tryAcquire(nowMs / 1000.0)) {
+        emit(makeShed(pending, nowMs, "rejected", "rate_limit"));
+        pending_.erase(it);
+        return;
+    }
+
+    flight_.begin(key);
+    pending.leader = true;
+
+    if (busyWorkers_ < config_.workers) {
+        startJob(seq, nowMs);
+        return;
+    }
+    if (queue_.size() >= config_.queueCapacity) {
+        if (config_.dropOldest) {
+            const std::uint64_t victim = queue_.front();
+            queue_.pop_front();
+            shedFlight(victim, nowMs, "shed", "queue_full");
+        } else {
+            shedFlight(seq, nowMs, "shed", "queue_full");
+            return;
+        }
+    }
+    queue_.push_back(seq);
+    counters_.maxQueueDepth =
+        std::max<std::uint64_t>(counters_.maxQueueDepth, queue_.size());
+    breaker_.noteQueueDepth(queue_.size(), nowMs);
+}
+
+void
+PlanningService::startJob(std::uint64_t seq, double nowMs)
+{
+    const auto it = pending_.find(seq);
+    Pending &pending = it->second;
+    const double timeout = timeoutFor(pending.req);
+    const double waited = nowMs - pending.arrivalMs;
+    if (waited >= timeout) {
+        shedFlight(seq, nowMs, "expired", "queue_wait");
+        return;
+    }
+
+    const bool needModel = !planner_.hasModel(pending.req);
+    const bool allowSlow = breaker_.allowSlowPath(nowMs);
+    if (needModel && !allowSlow) {
+        shedFlight(seq, nowMs, "shed", "circuit_open");
+        return;
+    }
+
+    DeadlineBudget budget(timeout - waited);
+    Event done;
+    done.result = planner_.plan(pending.req, budget, allowSlow);
+    done.tMs = nowMs + budget.spentMs();
+    done.order = nextOrder_++;
+    done.kind = Event::Kind::Completion;
+    done.seq = seq;
+    done.probeClaimed =
+        allowSlow && breaker_.state() == CircuitBreaker::State::HalfOpen;
+    ++busyWorkers_;
+    events_.push(std::move(done));
+}
+
+void
+PlanningService::drainQueue(double nowMs)
+{
+    while (busyWorkers_ < config_.workers && !queue_.empty()) {
+        const std::uint64_t seq = queue_.front();
+        queue_.pop_front();
+        startJob(seq, nowMs);
+    }
+}
+
+void
+PlanningService::onCompletion(const Event &event)
+{
+    --busyWorkers_;
+    const auto it = pending_.find(event.seq);
+    if (it == pending_.end())
+        panic("PlanningService: completion for unknown request");
+    const Pending pending = it->second;
+    pending_.erase(it);
+
+    if (event.result.slowPathFailed)
+        breaker_.recordFailure(event.tMs);
+    else if (event.result.usedSlowPath)
+        breaker_.recordSlowPath(event.result.slowPathMs, event.tMs);
+    else if (event.probeClaimed)
+        breaker_.releaseProbe();
+
+    Response response = event.result.response;
+    response.id = pending.req.id;
+    response.tMs = event.tMs;
+    response.latencyMs = event.tMs - pending.arrivalMs;
+    response.cacheOutcome = "miss";
+
+    const std::string key = pending.req.cacheKey();
+    if (response.status == "ok" && !response.degraded &&
+        !response.modelOnly)
+        cache_.put(key, response);
+    emit(response);
+
+    for (const std::uint64_t fseq : flight_.finish(key)) {
+        const auto fit = pending_.find(fseq);
+        if (fit == pending_.end())
+            continue;
+        const Pending follower = fit->second;
+        pending_.erase(fit);
+        Response fr = response;
+        fr.id = follower.req.id;
+        fr.latencyMs = event.tMs - follower.arrivalMs;
+        fr.cacheOutcome = "dedup";
+        fr.retries = 0;
+        fr.backoffMs = 0.0;
+        // A follower that waited past its own deadline still gets the
+        // answer, flagged late.
+        if (fr.status == "ok" && fr.latencyMs > timeoutFor(follower.req))
+            fr.degraded = true;
+        emit(fr);
+    }
+
+    drainQueue(event.tMs);
+}
+
+std::vector<std::string>
+PlanningService::runScript(const Script &script)
+{
+    transcript_.clear();
+    for (const std::string &line : script) {
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        ++counters_.received;
+        try {
+            const Request req = Request::parseLine(line);
+            const std::uint64_t seq = nextSeq_++;
+            Pending pending;
+            pending.req = req;
+            pending.arrivalMs = req.atMs;
+            pending_.emplace(seq, std::move(pending));
+            Event arrival;
+            arrival.tMs = req.atMs;
+            arrival.order = nextOrder_++;
+            arrival.kind = Event::Kind::Arrival;
+            arrival.seq = seq;
+            events_.push(std::move(arrival));
+        } catch (const FatalError &error) {
+            // Unparseable lines carry no arrival time; answer them
+            // up front, before virtual time starts.
+            warn("service: %s", error.what());
+            Response response;
+            response.status = "error";
+            response.reason = "bad_request";
+            emit(response);
+        }
+    }
+    while (!events_.empty()) {
+        const Event event = events_.top();
+        events_.pop();
+        if (event.kind == Event::Kind::Arrival)
+            onArrival(event.seq, event.tMs);
+        else
+            onCompletion(event);
+    }
+    if (!pending_.empty())
+        panic("PlanningService: %zu requests left unanswered",
+              pending_.size());
+    return transcript_;
+}
+
+std::string
+PlanningService::handleLineNow(const std::string &line, double nowMs)
+{
+    ++counters_.received;
+    Request req;
+    try {
+        req = Request::parseLine(line);
+    } catch (const FatalError &error) {
+        warn("service: %s", error.what());
+        Response response;
+        response.tMs = nowMs;
+        response.status = "error";
+        response.reason = "bad_request";
+        countResponse(response);
+        return response.toJson();
+    }
+    if (req.kind == Request::Kind::Stats)
+        return stats().toJson();
+    if (req.kind == Request::Kind::Health)
+        return healthLine(nowMs);
+
+    Pending pending;
+    pending.req = req;
+    pending.arrivalMs = nowMs;
+
+    if (!knownWorkload(req.workload)) {
+        Response response;
+        response.id = req.id;
+        response.tMs = nowMs;
+        response.status = "error";
+        response.reason = "unknown_workload";
+        countResponse(response);
+        return response.toJson();
+    }
+    const std::string key = req.cacheKey();
+    if (const Response *hit = cache_.get(key)) {
+        Response response = *hit;
+        response.id = req.id;
+        response.tMs = nowMs;
+        response.cacheOutcome = "hit";
+        response.latencyMs = 0.0;
+        response.retries = 0;
+        response.backoffMs = 0.0;
+        countResponse(response);
+        return response.toJson();
+    }
+    if (config_.ratePerSec > 0.0 &&
+        !bucket_.tryAcquire(nowMs / 1000.0)) {
+        const Response response =
+            makeShed(pending, nowMs, "rejected", "rate_limit");
+        countResponse(response);
+        return response.toJson();
+    }
+
+    const bool needModel = !planner_.hasModel(req);
+    const bool allowSlow = breaker_.allowSlowPath(nowMs);
+    if (needModel && !allowSlow) {
+        const Response response =
+            makeShed(pending, nowMs, "shed", "circuit_open");
+        countResponse(response);
+        return response.toJson();
+    }
+    const bool probeClaimed =
+        allowSlow && breaker_.state() == CircuitBreaker::State::HalfOpen;
+
+    DeadlineBudget budget(timeoutFor(req));
+    const PlanResult result = planner_.plan(req, budget, allowSlow);
+    const double doneMs = nowMs + budget.spentMs();
+
+    if (result.slowPathFailed)
+        breaker_.recordFailure(doneMs);
+    else if (result.usedSlowPath)
+        breaker_.recordSlowPath(result.slowPathMs, doneMs);
+    else if (probeClaimed)
+        breaker_.releaseProbe();
+
+    Response response = result.response;
+    response.id = req.id;
+    response.tMs = doneMs;
+    response.latencyMs = budget.spentMs();
+    response.cacheOutcome = "miss";
+    if (response.status == "ok" && !response.degraded &&
+        !response.modelOnly)
+        cache_.put(key, response);
+    countResponse(response);
+    return response.toJson();
+}
+
+ServiceStats
+PlanningService::stats() const
+{
+    ServiceStats out = counters_;
+    out.cacheHits = cache_.hits();
+    out.cacheMisses = cache_.misses();
+    out.cacheEvictions = cache_.evictions();
+    out.dedupJoins = flight_.joins();
+    const PlannerTotals &totals = planner_.totals();
+    out.retries = totals.retries;
+    out.backoffMsTotal = totals.backoffMsTotal;
+    out.slowPathRuns = totals.slowPathRuns;
+    out.slowPathMsTotal = totals.slowPathMsTotal;
+    out.partitionTimeouts = totals.partitionTimeouts;
+    out.slowPathTaskRetries = totals.slowPathTaskRetries;
+    out.breakerTrips = breaker_.trips();
+    out.breakerState = breaker_.stateName();
+    out.queueDepth = queue_.size();
+    if (!latencies_.empty()) {
+        std::vector<double> sorted = latencies_;
+        std::sort(sorted.begin(), sorted.end());
+        out.p50LatencyMs = percentile(sorted, 0.50);
+        out.p99LatencyMs = percentile(sorted, 0.99);
+    }
+    return out;
+}
+
+} // namespace doppio::service

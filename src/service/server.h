@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The what-if planning service (DESIGN.md §14).
+ *
+ * A PlanningService answers line-delimited JSON plan queries through
+ * two transports sharing one admission pipeline:
+ *
+ *   - runScript(): the deterministic in-process transport. Requests
+ *     carry their own virtual arrival times (at_ms); the service runs
+ *     a single-threaded virtual-time event loop (arrival/completion
+ *     min-heap) where every cost is virtual milliseconds from the
+ *     planner's deterministic accounting. The same seeded script
+ *     always yields a byte-identical response transcript — this is
+ *     what tests, the golden CI transcript and bench/ext_service use.
+ *   - handleLineNow(): the synchronous transport behind the real TCP
+ *     loop (serveTcp). No queue or dedup — each connection's line is
+ *     answered in place — but the same cache, token bucket, circuit
+ *     breaker and budgeted planner.
+ *
+ * Admission pipeline, in order: result cache (hit = free) ->
+ * single-flight dedup (follower parks on the leader) -> token bucket
+ * (reject "rate_limit") -> worker slot or bounded queue (full: shed
+ * oldest or reject newcomer, "queue_full") -> at dispatch, expiry
+ * check ("expired", flagged degraded) and circuit breaker (no cached
+ * model + open breaker = shed "circuit_open") -> budgeted plan.
+ * Accepted requests therefore either complete within their deadline
+ * budget or return flagged-degraded answers; the queue never grows
+ * past its bound.
+ */
+
+#ifndef DOPPIO_SERVICE_SERVER_H
+#define DOPPIO_SERVICE_SERVER_H
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/token_bucket.h"
+#include "service/breaker.h"
+#include "service/cache.h"
+#include "service/planner.h"
+#include "service/protocol.h"
+
+namespace doppio::service {
+
+/** Service-level tuning; planner tuning nests inside. */
+struct ServiceConfig
+{
+    PlannerConfig planner;
+    CircuitBreaker::Config breaker;
+    /** Bounded admission queue (dispatch-waiting plan queries). */
+    std::size_t queueCapacity = 16;
+    /** Queue-full policy: shed the oldest queued query (default) or
+     *  reject the newcomer. */
+    bool dropOldest = true;
+    /** Token-bucket admission rate (queries/sec); 0 = unlimited. */
+    double ratePerSec = 0.0;
+    double burst = 32.0;
+    /** Virtual worker slots evaluating plans concurrently. */
+    int workers = 2;
+    /** Service deadline budget when a query carries no timeout_ms. */
+    double defaultTimeoutMs = 20000.0;
+    std::size_t cacheShards = 4;
+    std::size_t cacheShardCapacity = 64;
+};
+
+/** One scripted request: a raw line plus nothing else — the line's
+ *  own at_ms field is its arrival time. */
+using Script = std::vector<std::string>;
+
+/** The planning server. */
+class PlanningService
+{
+  public:
+    explicit PlanningService(ServiceConfig config);
+
+    /**
+     * Replay @p script (raw request lines; blank lines and lines
+     * starting with '#' are skipped) through the virtual-time event
+     * loop. @return the response transcript, one JSON line per
+     * response, in emission order. Deterministic: same script, same
+     * seed, byte-identical transcript.
+     */
+    std::vector<std::string> runScript(const Script &script);
+
+    /**
+     * Answer one line synchronously at @p nowMs (caller's clock; the
+     * TCP loop feeds a monotonic wall-derived time). No queue and no
+     * dedup — budget, cache, token bucket and breaker still apply.
+     */
+    std::string handleLineNow(const std::string &line, double nowMs);
+
+    /** Operator counters as of now. */
+    ServiceStats stats() const;
+    std::string statsJson() const { return stats().toJson(); }
+
+    /**
+     * Structured log of every plan response emitted so far (both
+     * transports), in emission order — what the bench and tests
+     * assert invariants over without re-parsing JSON.
+     */
+    const std::vector<Response> &responseLog() const { return log_; }
+
+    const ServiceConfig &config() const { return config_; }
+    const CircuitBreaker &breaker() const { return breaker_; }
+
+  private:
+    struct Pending
+    {
+        Request req;
+        double arrivalMs = 0.0;
+        bool leader = false; //!< began single-flight for its key
+    };
+
+    struct Event
+    {
+        double tMs = 0.0;
+        std::uint64_t order = 0; //!< FIFO tiebreak at equal times
+        enum class Kind { Arrival, Completion } kind = Kind::Arrival;
+        std::uint64_t seq = 0;
+        // Completion payload.
+        PlanResult result;
+        bool probeClaimed = false;
+
+        bool operator>(const Event &other) const
+        {
+            if (tMs != other.tMs)
+                return tMs > other.tMs;
+            return order > other.order;
+        }
+    };
+
+    double timeoutFor(const Request &req) const;
+    void emit(const Response &response);
+    void emitLine(const std::string &line);
+    std::string healthLine(double nowMs) const;
+    Response makeShed(const Pending &pending, double nowMs,
+                      const char *status, const char *reason) const;
+
+    /** Shed/expire a leader and its attached followers. */
+    void shedFlight(std::uint64_t seq, double nowMs, const char *status,
+                    const char *reason);
+
+    void onArrival(std::uint64_t seq, double nowMs);
+    /** Dispatch queued queries onto free workers. */
+    void drainQueue(double nowMs);
+    /** Run one query's plan; schedules its completion event. */
+    void startJob(std::uint64_t seq, double nowMs);
+    void onCompletion(const Event &event);
+
+    void countResponse(const Response &response);
+
+    ServiceConfig config_;
+    Planner planner_;
+    CircuitBreaker breaker_;
+    common::TokenBucket bucket_;
+    ResultCache cache_;
+    SingleFlight flight_;
+
+    // Event loop state (runScript).
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    std::uint64_t nextOrder_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    std::deque<std::uint64_t> queue_;
+    int busyWorkers_ = 0;
+    std::vector<std::string> transcript_;
+
+    // Counters / logs shared by both transports.
+    std::vector<Response> log_;
+    std::vector<double> latencies_; //!< terminal plan responses, ms
+    ServiceStats counters_;         //!< event counts (derived fields
+                                    //!< filled by stats())
+};
+
+/**
+ * Serve the line protocol on TCP port @p port until @p maxRequests
+ * lines have been answered (0 = forever). One connection at a time,
+ * one response line per request line. @return requests served.
+ */
+std::uint64_t serveTcp(PlanningService &service, int port,
+                       std::uint64_t maxRequests = 0);
+
+} // namespace doppio::service
+
+#endif // DOPPIO_SERVICE_SERVER_H

@@ -1,0 +1,493 @@
+/**
+ * @file
+ * Tests for the what-if planning service (src/service/): protocol
+ * parsing, the circuit breaker state machine, deadline budgets, and
+ * the deterministic virtual-time service loop's robustness behaviors
+ * (cache/dedup, load shedding, degradation, retries, breaker
+ * fallback, transcript determinism).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "service/breaker.h"
+#include "service/planner.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+using namespace doppio;
+using service::CircuitBreaker;
+using service::PlanningService;
+using service::Request;
+using service::Response;
+using service::ServiceConfig;
+
+namespace {
+
+/** A fast-planning service config: cheap virtual slow path. */
+ServiceConfig
+testConfig()
+{
+    ServiceConfig config;
+    config.planner.seed = 7;
+    return config;
+}
+
+const Response &
+findResponse(const PlanningService &svc, const std::string &id)
+{
+    for (const Response &r : svc.responseLog())
+        if (r.id == id)
+            return r;
+    ADD_FAILURE() << "no response with id " << id;
+    static Response none;
+    return none;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, ParsesPlanRequest)
+{
+    const Request req = Request::parseLine(
+        "{\"id\":\"q1\",\"workload\":\"lr-small\",\"mode\":"
+        "\"cheapest\",\"deadline_s\":600,\"workers\":6,"
+        "\"timeout_ms\":5000,\"at_ms\":42}");
+    EXPECT_EQ(req.kind, Request::Kind::Plan);
+    EXPECT_EQ(req.id, "q1");
+    EXPECT_EQ(req.workload, "lr-small");
+    EXPECT_EQ(req.mode, Request::Mode::CheapestUnderDeadline);
+    EXPECT_DOUBLE_EQ(req.deadlineSec, 600.0);
+    EXPECT_EQ(req.workers, 6);
+    EXPECT_DOUBLE_EQ(req.timeoutMs, 5000.0);
+    EXPECT_DOUBLE_EQ(req.atMs, 42.0);
+}
+
+TEST(Protocol, InfersModeFromConstraint)
+{
+    EXPECT_EQ(Request::parseLine(
+                  "{\"id\":\"a\",\"workload\":\"svm\"}")
+                  .mode,
+              Request::Mode::MinCost);
+    EXPECT_EQ(Request::parseLine("{\"id\":\"a\",\"workload\":\"svm\","
+                                 "\"deadline_s\":60}")
+                  .mode,
+              Request::Mode::CheapestUnderDeadline);
+    EXPECT_EQ(Request::parseLine("{\"id\":\"a\",\"workload\":\"svm\","
+                                 "\"budget_usd\":10}")
+                  .mode,
+              Request::Mode::FastestUnderBudget);
+    // Both constraints without an explicit mode is ambiguous.
+    EXPECT_THROW(
+        Request::parseLine("{\"id\":\"a\",\"workload\":\"svm\","
+                           "\"deadline_s\":60,\"budget_usd\":10}"),
+        FatalError);
+}
+
+TEST(Protocol, RejectsMalformedLines)
+{
+    EXPECT_THROW(Request::parseLine("not json"), FatalError);
+    EXPECT_THROW(Request::parseLine("{\"id\":\"a\"}"), FatalError);
+    EXPECT_THROW(Request::parseLine(
+                     "{\"id\":\"a\",\"workload\":\"x\",\"typo\":1}"),
+                 FatalError);
+    EXPECT_THROW(Request::parseLine("{\"id\":\"a\",\"id\":\"b\"}"),
+                 FatalError);
+    EXPECT_THROW(
+        Request::parseLine("{\"id\":\"a\",\"workload\":\"x\"} junk"),
+        FatalError);
+    EXPECT_THROW(Request::parseLine("{\"cmd\":\"reboot\"}"),
+                 FatalError);
+    // Constraint/mode mismatches.
+    EXPECT_THROW(Request::parseLine("{\"id\":\"a\",\"workload\":"
+                                    "\"x\",\"mode\":\"cheapest\"}"),
+                 FatalError);
+    EXPECT_THROW(Request::parseLine("{\"id\":\"a\",\"workload\":"
+                                    "\"x\",\"mode\":\"fastest\"}"),
+                 FatalError);
+}
+
+TEST(Protocol, CacheKeyIgnoresIdAndTimes)
+{
+    const Request a = Request::parseLine(
+        "{\"id\":\"a\",\"workload\":\"svm\",\"deadline_s\":60,"
+        "\"at_ms\":1}");
+    const Request b = Request::parseLine(
+        "{\"id\":\"b\",\"workload\":\"svm\",\"deadline_s\":60,"
+        "\"at_ms\":999,\"timeout_ms\":5}");
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+    const Request c = Request::parseLine(
+        "{\"id\":\"c\",\"workload\":\"svm\",\"deadline_s\":61}");
+    EXPECT_NE(a.cacheKey(), c.cacheKey());
+}
+
+TEST(Protocol, ControlRequests)
+{
+    EXPECT_EQ(Request::parseLine("{\"cmd\":\"stats\"}").kind,
+              Request::Kind::Stats);
+    EXPECT_EQ(Request::parseLine("{\"cmd\":\"health\"}").kind,
+              Request::Kind::Health);
+}
+
+TEST(Protocol, ResponseJsonShape)
+{
+    Response r;
+    r.id = "q";
+    r.status = "ok";
+    r.haveConfig = true;
+    r.config = "cfg";
+    r.costUsd = 1.5;
+    r.runtimeSec = 10.0;
+    const std::string json = r.toJson();
+    EXPECT_NE(json.find("\"id\":\"q\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(json.find("\"cost_usd\":1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"degraded\":false"), std::string::npos);
+    // Empty optional fields are omitted entirely.
+    EXPECT_EQ(json.find("reason"), std::string::npos);
+    EXPECT_EQ(json.find("cache"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- breaker
+
+TEST(Breaker, TripsOnLatencyEmaAndRecovers)
+{
+    CircuitBreaker::Config config;
+    config.latencyThresholdMs = 100.0;
+    config.emaAlpha = 1.0; // last sample only, for a crisp test
+    config.cooldownMs = 50.0;
+    CircuitBreaker breaker(config);
+
+    EXPECT_TRUE(breaker.allowSlowPath(0.0));
+    breaker.recordSlowPath(80.0, 0.0);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    breaker.recordSlowPath(200.0, 1.0);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    EXPECT_EQ(breaker.trips(), 1u);
+
+    // Open: denied until the cooldown elapses.
+    EXPECT_FALSE(breaker.allowSlowPath(10.0));
+    // Cooldown elapsed: half-open, exactly one probe.
+    EXPECT_TRUE(breaker.allowSlowPath(60.0));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+    EXPECT_FALSE(breaker.allowSlowPath(61.0));
+    // Healthy probe closes the circuit and forgives history.
+    breaker.recordSlowPath(50.0, 62.0);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    EXPECT_DOUBLE_EQ(breaker.emaMs(), 50.0);
+}
+
+TEST(Breaker, FailedProbeReopens)
+{
+    CircuitBreaker::Config config;
+    config.latencyThresholdMs = 100.0;
+    config.emaAlpha = 1.0;
+    config.cooldownMs = 50.0;
+    CircuitBreaker breaker(config);
+    breaker.recordSlowPath(200.0, 0.0);
+    ASSERT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    EXPECT_TRUE(breaker.allowSlowPath(60.0));
+    breaker.recordSlowPath(300.0, 61.0); // probe over threshold
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    EXPECT_EQ(breaker.trips(), 2u);
+    // releaseProbe frees an abandoned half-open probe slot.
+    EXPECT_TRUE(breaker.allowSlowPath(120.0));
+    breaker.releaseProbe();
+    EXPECT_TRUE(breaker.allowSlowPath(121.0));
+}
+
+TEST(Breaker, TripsOnQueueDepthAndFailure)
+{
+    CircuitBreaker::Config config;
+    config.depthThreshold = 4;
+    CircuitBreaker breaker(config);
+    breaker.noteQueueDepth(3, 0.0);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    breaker.noteQueueDepth(4, 1.0);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+
+    CircuitBreaker other(CircuitBreaker::Config{});
+    other.recordFailure(0.0);
+    EXPECT_EQ(other.state(), CircuitBreaker::State::Open);
+}
+
+// ------------------------------------------------------------------ budget
+
+TEST(DeadlineBudget, ChargesClampAtTotal)
+{
+    service::DeadlineBudget budget(100.0);
+    EXPECT_DOUBLE_EQ(budget.charge(60.0), 60.0);
+    EXPECT_FALSE(budget.exhausted());
+    // Overcharge clamps: completion lands exactly at the deadline.
+    EXPECT_DOUBLE_EQ(budget.charge(60.0), 40.0);
+    EXPECT_TRUE(budget.exhausted());
+    EXPECT_DOUBLE_EQ(budget.spentMs(), 100.0);
+    EXPECT_DOUBLE_EQ(budget.charge(10.0), 0.0);
+    EXPECT_THROW(service::DeadlineBudget(0.0), FatalError);
+}
+
+// ----------------------------------------------------------------- service
+
+TEST(Service, ColdQueryThenCacheHitAndDedup)
+{
+    PlanningService svc(testConfig());
+    svc.runScript({
+        "# cold query profiles, fits, searches and validates",
+        "{\"id\":\"cold\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        "{\"id\":\"twin\",\"workload\":\"lr-small\",\"at_ms\":1}",
+        "{\"id\":\"warm\",\"workload\":\"lr-small\",\"at_ms\":50000}",
+    });
+    const Response &cold = findResponse(svc, "cold");
+    EXPECT_EQ(cold.status, "ok");
+    EXPECT_EQ(cold.cacheOutcome, "miss");
+    EXPECT_TRUE(cold.haveConfig);
+    EXPECT_FALSE(cold.degraded);
+    EXPECT_FALSE(cold.modelOnly);
+    EXPECT_EQ(cold.cellsDone, cold.cellsTotal);
+    EXPECT_GT(cold.cellsTotal, 0);
+
+    // Same key in flight: answered from the leader's completion.
+    const Response &twin = findResponse(svc, "twin");
+    EXPECT_EQ(twin.status, "ok");
+    EXPECT_EQ(twin.cacheOutcome, "dedup");
+    EXPECT_DOUBLE_EQ(twin.tMs, cold.tMs);
+
+    // Same key later: served from the result cache for free.
+    const Response &warm = findResponse(svc, "warm");
+    EXPECT_EQ(warm.cacheOutcome, "hit");
+    EXPECT_DOUBLE_EQ(warm.latencyMs, 0.0);
+    EXPECT_EQ(warm.config, cold.config);
+
+    const service::ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.ok, 3u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.dedupJoins, 1u);
+}
+
+TEST(Service, OverloadShedsInsteadOfQueueingUnboundedly)
+{
+    ServiceConfig config = testConfig();
+    config.workers = 1;
+    config.queueCapacity = 2;
+    PlanningService svc(config);
+    // Five concurrent distinct keys onto one worker with queue cap 2:
+    // the overflow must shed, oldest first.
+    svc.runScript({
+        "{\"id\":\"a\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        "{\"id\":\"b\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "90000,\"at_ms\":1}",
+        "{\"id\":\"c\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "91000,\"at_ms\":2}",
+        "{\"id\":\"d\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "92000,\"at_ms\":3}",
+        "{\"id\":\"e\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "93000,\"at_ms\":4}",
+    });
+    const service::ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.shed, 2u);
+    EXPECT_LE(stats.maxQueueDepth, 2u);
+    // Drop-oldest: the queue's heads (b, c) were shed to admit d, e.
+    EXPECT_EQ(findResponse(svc, "b").status, "shed");
+    EXPECT_EQ(findResponse(svc, "b").reason, "queue_full");
+    EXPECT_EQ(findResponse(svc, "c").status, "shed");
+    EXPECT_EQ(findResponse(svc, "d").status, "ok");
+    EXPECT_EQ(findResponse(svc, "e").status, "ok");
+}
+
+TEST(Service, RejectNewPolicyShedsTheNewcomer)
+{
+    ServiceConfig config = testConfig();
+    config.workers = 1;
+    config.queueCapacity = 1;
+    config.dropOldest = false;
+    PlanningService svc(config);
+    svc.runScript({
+        "{\"id\":\"a\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        "{\"id\":\"b\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "90000,\"at_ms\":1}",
+        "{\"id\":\"c\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "91000,\"at_ms\":2}",
+    });
+    EXPECT_EQ(findResponse(svc, "b").status, "ok");
+    EXPECT_EQ(findResponse(svc, "c").status, "shed");
+    EXPECT_EQ(findResponse(svc, "c").reason, "queue_full");
+}
+
+TEST(Service, TokenBucketRejectsBeyondBurst)
+{
+    ServiceConfig config = testConfig();
+    config.ratePerSec = 0.001; // effectively no refill within the test
+    config.burst = 1.0;
+    PlanningService svc(config);
+    svc.runScript({
+        "{\"id\":\"a\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        "{\"id\":\"b\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "90000,\"at_ms\":1}",
+    });
+    EXPECT_EQ(findResponse(svc, "a").status, "ok");
+    const Response &b = findResponse(svc, "b");
+    EXPECT_EQ(b.status, "rejected");
+    EXPECT_EQ(b.reason, "rate_limit");
+    EXPECT_EQ(svc.stats().rejected, 1u);
+}
+
+TEST(Service, ColdQueryWithTinyBudgetDegradesInsteadOfOverrunning)
+{
+    PlanningService svc(testConfig());
+    svc.runScript({
+        "{\"id\":\"rush\",\"workload\":\"lr-small\",\"timeout_ms\":"
+        "100,\"at_ms\":0}",
+    });
+    const Response &rush = findResponse(svc, "rush");
+    // 100 ms cannot even finish profiling: a flagged-degraded error,
+    // emitted exactly at the deadline, never past it.
+    EXPECT_EQ(rush.status, "error");
+    EXPECT_EQ(rush.reason, "deadline");
+    EXPECT_TRUE(rush.degraded);
+    EXPECT_LE(rush.latencyMs, 100.0);
+}
+
+TEST(Service, WarmQueryWithPartialBudgetReturnsPartialGrid)
+{
+    PlanningService svc(testConfig());
+    svc.runScript({
+        "{\"id\":\"prime\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        // Model is warm at 50s; 150 ms buys 30 grid cells (5 ms each)
+        // and no validation.
+        "{\"id\":\"partial\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "90000,\"timeout_ms\":150,\"at_ms\":50000}",
+    });
+    const Response &partial = findResponse(svc, "partial");
+    EXPECT_EQ(partial.status, "ok");
+    EXPECT_TRUE(partial.degraded);
+    EXPECT_TRUE(partial.modelOnly);
+    EXPECT_TRUE(partial.haveConfig);
+    EXPECT_GT(partial.cellsDone, 0);
+    EXPECT_LT(partial.cellsDone, partial.cellsTotal);
+    EXPECT_LE(partial.latencyMs, 150.0);
+}
+
+TEST(Service, OpenBreakerServesModelOnlyAndShedsColdQueries)
+{
+    ServiceConfig config = testConfig();
+    // Any slow path trips the breaker; cooldown far beyond the script.
+    config.breaker.latencyThresholdMs = 1.0;
+    config.breaker.cooldownMs = 1e9;
+    PlanningService svc(config);
+    svc.runScript({
+        "{\"id\":\"prime\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        // Warm model, breaker open: Eq. 1 answer without validation.
+        "{\"id\":\"warmish\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "90000,\"at_ms\":50000}",
+        // Cold workload, breaker open: shed, not queued.
+        "{\"id\":\"cold\",\"workload\":\"svm\",\"at_ms\":50001}",
+    });
+    EXPECT_EQ(svc.breaker().state(), CircuitBreaker::State::Open);
+    const Response &warmish = findResponse(svc, "warmish");
+    EXPECT_EQ(warmish.status, "ok");
+    EXPECT_TRUE(warmish.modelOnly);
+    EXPECT_TRUE(warmish.haveConfig);
+    const Response &cold = findResponse(svc, "cold");
+    EXPECT_EQ(cold.status, "shed");
+    EXPECT_EQ(cold.reason, "circuit_open");
+}
+
+TEST(Service, QueuedRequestPastItsDeadlineExpiresFlaggedDegraded)
+{
+    ServiceConfig config = testConfig();
+    config.workers = 1;
+    PlanningService svc(config);
+    svc.runScript({
+        // Occupies the only worker for ~11.8k virtual ms.
+        "{\"id\":\"long\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        // Queued behind it with a 1s budget: expired at dispatch.
+        "{\"id\":\"late\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "90000,\"timeout_ms\":1000,\"at_ms\":1}",
+    });
+    const Response &late = findResponse(svc, "late");
+    EXPECT_EQ(late.status, "expired");
+    EXPECT_TRUE(late.degraded);
+    EXPECT_EQ(svc.stats().expired, 1u);
+}
+
+TEST(Service, TransientSlowPathFailuresAreRetriedWithBackoff)
+{
+    ServiceConfig config = testConfig();
+    config.planner.evalFailRate = 0.30;
+    config.planner.seed = 11;
+    PlanningService svc(config);
+    svc.runScript({
+        "{\"id\":\"flaky\",\"workload\":\"lr-small\",\"timeout_ms\":"
+        "60000,\"at_ms\":0}",
+    });
+    const Response &flaky = findResponse(svc, "flaky");
+    EXPECT_EQ(flaky.status, "ok");
+    // With a 30% per-attempt failure rate across >= 5 slow-path runs,
+    // this seed sees at least one retry; the backoff is charged to the
+    // request's own budget.
+    EXPECT_GT(flaky.retries, 0);
+    EXPECT_GT(flaky.backoffMs, 0.0);
+    EXPECT_EQ(svc.stats().retries,
+              static_cast<std::uint64_t>(flaky.retries));
+}
+
+TEST(Service, ExhaustedRetriesFailTheSlowPathAndTripTheBreaker)
+{
+    ServiceConfig config = testConfig();
+    config.planner.evalFailRate = 0.999;
+    config.planner.maxRetries = 1;
+    PlanningService svc(config);
+    svc.runScript({
+        "{\"id\":\"doomed\",\"workload\":\"lr-small\",\"at_ms\":0}",
+    });
+    const Response &doomed = findResponse(svc, "doomed");
+    EXPECT_EQ(doomed.status, "error");
+    EXPECT_EQ(doomed.reason, "slow_path_failed");
+    EXPECT_EQ(doomed.retries, 1);
+    EXPECT_EQ(svc.breaker().state(), CircuitBreaker::State::Open);
+}
+
+TEST(Service, InfeasibleConstraintIsAnError)
+{
+    PlanningService svc(testConfig());
+    svc.runScript({
+        "{\"id\":\"prime\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        // No configuration runs lr-small in one second.
+        "{\"id\":\"impossible\",\"workload\":\"lr-small\","
+        "\"deadline_s\":1,\"at_ms\":50000}",
+    });
+    const Response &impossible = findResponse(svc, "impossible");
+    EXPECT_EQ(impossible.status, "error");
+    EXPECT_EQ(impossible.reason, "infeasible");
+}
+
+TEST(Service, UnknownWorkloadAndBadJsonAreErrors)
+{
+    PlanningService svc(testConfig());
+    const std::vector<std::string> transcript = svc.runScript({
+        "{\"id\":\"who\",\"workload\":\"no-such-app\",\"at_ms\":0}",
+        "this is not json",
+    });
+    EXPECT_EQ(findResponse(svc, "who").reason, "unknown_workload");
+    EXPECT_EQ(svc.stats().errors, 2u);
+    ASSERT_EQ(transcript.size(), 2u);
+    EXPECT_NE(transcript[0].find("bad_request"), std::string::npos);
+}
+
+TEST(Service, ScriptReplayIsByteIdentical)
+{
+    const service::Script script = {
+        "{\"id\":\"a\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        "{\"id\":\"b\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "90000,\"at_ms\":5}",
+        "{\"id\":\"c\",\"workload\":\"lr-small\",\"at_ms\":30000}",
+        "{\"cmd\":\"stats\",\"at_ms\":40000}",
+    };
+    PlanningService first(testConfig());
+    PlanningService second(testConfig());
+    EXPECT_EQ(first.runScript(script), second.runScript(script));
+}

@@ -14,14 +14,27 @@ Usage:
       Emit the combined baseline record committed as BENCH_<name>.json:
       both raw records plus the speedup map.
 
+  tools/bench_diff.py --threshold 0.99 BASELINE.json CURRENT.json
+      Gate: exit 3 if any common key's speedup falls below the ratio.
+      --threshold-key KEY=RATIO (repeatable) overrides the floor for
+      one key — the standard use is a looser gate for p99 latencies,
+      which are noisier than medians even in a deterministic bench.
+      --threshold-key without --threshold gates only the named keys.
+
   tools/bench_diff.py --selftest
       Run the built-in unit checks (used by CI) and exit 0 on success.
 
 Both records must come from the same bench (matching "bench" keys) and
 share at least one scenario name; anything else is a usage error and
-exits non-zero with a message. A successful comparison always exits 0:
-the harness tracks performance, it does not gate on it (timings on
-shared CI runners are too noisy to fail a build over).
+exits non-zero with a message. Without --threshold* a successful
+comparison always exits 0: the harness tracks performance, it does not
+gate on it (timings on shared CI runners are too noisy to fail a build
+over). Deterministic benches (virtual-time records like BENCH_service)
+are the exception — their ratios are exact, so CI gates them with
+--threshold.
+
+Exit codes: 0 ok, 2 usage error, 3 threshold regression, 4 baseline
+record missing (so CI can tell "no baseline yet" from "regression").
 """
 
 import argparse
@@ -30,7 +43,10 @@ import os
 import sys
 import tempfile
 
-HIGHER_IS_BETTER = {"events/s", "flows/s", "batches/s"}
+HIGHER_IS_BETTER = {"events/s", "flows/s", "batches/s", "queries/s"}
+
+EXIT_REGRESSION = 3
+EXIT_NO_BASELINE = 4
 
 
 def load(path, expect_bench=None):
@@ -77,6 +93,38 @@ def check_common(baseline, current):
                  f"(baseline has {sorted(by_name(baseline))}, "
                  f"current has {sorted(by_name(current))}) — "
                  "nothing to compare")
+
+
+def parse_threshold_keys(pairs):
+    """["p99=0.9", ...] -> {"p99": 0.9}; exits 2 on malformed pairs."""
+    out = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        try:
+            if not sep or not key:
+                raise ValueError
+            out[key] = float(value)
+        except ValueError:
+            sys.exit(f"error: --threshold-key expects KEY=RATIO, got "
+                     f"\"{pair}\"")
+    return out
+
+
+def gate(ratios, threshold, per_key):
+    """[(name, ratio, floor)] for every key below its floor.
+
+    A key's floor is its --threshold-key override if present, else the
+    global --threshold (None = ungated). Keys in per_key but absent
+    from ratios are ignored: a gate on a key the bench no longer
+    reports should not pass silently forever, but dropping a scenario
+    already changes the committed record, which review catches.
+    """
+    regressions = []
+    for name in sorted(ratios):
+        floor = per_key.get(name, threshold)
+        if floor is not None and ratios[name] < floor:
+            regressions.append((name, ratios[name], floor))
+    return regressions
 
 
 def fmt(value, unit):
@@ -134,6 +182,31 @@ def selftest():
     cur = rec("t", [row("a", "events/s", 1.0), row("b", "s", 1.0)])
     assert speedups(base, cur) == {}
 
+    # queries/s counts higher-is-better like the other rates.
+    base = rec("t", [row("qps", "queries/s", 10.0)])
+    cur = rec("t", [row("qps", "queries/s", 5.0)])
+    assert speedups(base, cur) == {"qps": 0.5}
+
+    # Threshold gate: global floor, per-key override, ungated default.
+    ratios = {"p50": 1.0, "p99": 0.94, "qps": 0.985}
+    assert gate(ratios, None, {}) == []
+    assert gate(ratios, 0.99, {}) == [("p99", 0.94, 0.99),
+                                      ("qps", 0.985, 0.99)]
+    assert gate(ratios, 0.99, {"p99": 0.9, "qps": 0.9}) == []
+    assert gate(ratios, None, {"p99": 0.95}) == [("p99", 0.94, 0.95)]
+    assert gate(ratios, None, {"gone": 0.99}) == []
+
+    # --threshold-key parsing: KEY=RATIO, malformed pairs exit.
+    assert parse_threshold_keys(["a=0.9", "b=1.5"]) == {"a": 0.9,
+                                                        "b": 1.5}
+    for bad_pair in ("a", "=0.9", "a=ratio"):
+        try:
+            parse_threshold_keys([bad_pair])
+        except SystemExit:
+            pass
+        else:
+            raise AssertionError(f"{bad_pair!r} did not exit")
+
     # check_common: overlapping names pass, disjoint names exit 2.
     check_common(rec("t", [row("a", "s", 1.0)]),
                  rec("t", [row("a", "s", 2.0)]))
@@ -183,6 +256,13 @@ def main():
                         help="run the built-in unit checks")
     parser.add_argument("-o", "--output", default=None,
                         help="write merged record here (default stdout)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="exit 3 if any common key's speedup falls "
+                             "below this ratio")
+    parser.add_argument("--threshold-key", action="append", default=[],
+                        metavar="KEY=RATIO",
+                        help="per-key floor overriding --threshold "
+                             "(repeatable)")
     args = parser.parse_args()
 
     if args.selftest:
@@ -190,7 +270,12 @@ def main():
         return
     if not args.baseline or not args.current:
         parser.error("baseline and current records are required")
+    per_key = parse_threshold_keys(args.threshold_key)
 
+    if not os.path.exists(args.baseline):
+        print(f"{args.baseline}: baseline record missing",
+              file=sys.stderr)
+        sys.exit(EXIT_NO_BASELINE)
     baseline = load(args.baseline)
     current = load(args.current, expect_bench=baseline["bench"])
     check_common(baseline, current)
@@ -211,6 +296,16 @@ def main():
             sys.stdout.write(text)
     else:
         print_table(baseline, current)
+
+    if args.threshold is not None or per_key:
+        regressions = gate(speedups(baseline, current),
+                           args.threshold, per_key)
+        for name, ratio, floor in regressions:
+            print(f"REGRESSION: {name} speedup {ratio:.3f} < floor "
+                  f"{floor:.3f}", file=sys.stderr)
+        if regressions:
+            sys.exit(EXIT_REGRESSION)
+        print("threshold gate: OK")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,13 @@
  *   doppio optimize [--workers N]
  *       Profile GATK4 on simulated cloud workers and print the
  *       cheapest configurations plus the cost/runtime Pareto front.
+ *   doppio serve --script FILE | --port N
+ *       What-if planning service (DESIGN.md §14): answer
+ *       line-delimited JSON plan queries either by deterministically
+ *       replaying a script file (one request per line, '#' comments)
+ *       or over TCP on 127.0.0.1:N. --stats-json dumps the operator
+ *       counters (shed/degraded/retry/partition-timeout telemetry)
+ *       after the script or serve loop finishes.
  *
  * Disk types T: hdd, ssd, nvme. Unknown flags and out-of-range values
  * abort with a non-zero exit instead of being silently ignored.
@@ -58,6 +65,7 @@
 #include "model/profiler.h"
 #include "model/report.h"
 #include "sched/jobs_spec.h"
+#include "service/server.h"
 #include "spark/metrics_json.h"
 #include "spark/task_trace.h"
 #include "storage/fio.h"
@@ -680,6 +688,95 @@ cmdOptimize(const Args &args)
 }
 
 int
+cmdServe(const Args &args)
+{
+    setVerbose(args.has("--verbose"));
+
+    service::ServiceConfig config;
+    config.planner.sampleNodes =
+        args.intValue("--sample-nodes", 3, 1, 64);
+    config.planner.defaultWorkers = args.intValue("--workers", 4, 1, 1000);
+    config.planner.msPerSimSecond =
+        args.doubleValue("--ms-per-sim-sec", 0.02, 1e-6, 1e6);
+    config.planner.cellCostMs =
+        args.doubleValue("--cell-cost-ms", 5.0, 1e-6, 1e6);
+    config.planner.maxRetries = args.intValue("--max-retries", 3, 0, 100);
+    config.planner.backoffBaseMs =
+        args.doubleValue("--backoff-ms", 50.0, 0.0, 1e6);
+    config.planner.evalFailRate =
+        args.doubleValue("--eval-fail-rate", 0.0, 0.0, 0.99);
+    config.planner.seed = static_cast<std::uint64_t>(
+        args.intValue("--service-seed", 42, 0, INT_MAX));
+    config.planner.validate = !args.has("--no-validate");
+    config.planner.faults = faultsFromArgs(args);
+    config.breaker.latencyThresholdMs =
+        args.doubleValue("--breaker-ms", 15000.0, 1.0, 1e9);
+    config.breaker.depthThreshold =
+        static_cast<std::size_t>(args.intValue("--breaker-depth", 64, 1,
+                                               100000));
+    config.breaker.cooldownMs =
+        args.doubleValue("--breaker-cooldown-ms", 2000.0, 0.0, 1e9);
+    config.queueCapacity = static_cast<std::size_t>(
+        args.intValue("--queue-cap", 16, 1, 100000));
+    config.dropOldest = !args.has("--reject-new");
+    config.ratePerSec = args.doubleValue("--rate", 0.0, 0.0, 1e9);
+    config.burst = args.doubleValue("--burst", 32.0, 1.0, 1e9);
+    config.workers = args.intValue("--service-workers", 2, 1, 1024);
+    config.defaultTimeoutMs =
+        args.doubleValue("--timeout-ms", 20000.0, 1.0, 1e12);
+    config.cacheShards = static_cast<std::size_t>(
+        args.intValue("--cache-shards", 4, 1, 64));
+    config.cacheShardCapacity = static_cast<std::size_t>(
+        args.intValue("--cache-cap", 64, 1, 100000));
+
+    const std::string scriptPath = args.value("--script", "");
+    const std::string transcriptPath = args.value("--transcript", "");
+    const std::string statsPath = args.value("--stats-json", "");
+    const int port = args.intValue("--port", 0, 0, 65535);
+    const auto maxRequests = static_cast<std::uint64_t>(
+        args.intValue("--max-requests", 0, 0, INT_MAX));
+    args.rejectUnknown("serve");
+
+    if (scriptPath.empty() == (port == 0))
+        fatal("serve: give exactly one of --script FILE (deterministic "
+              "replay) or --port N (TCP loop)");
+
+    service::PlanningService server(config);
+    if (!scriptPath.empty()) {
+        std::ifstream in(scriptPath);
+        if (!in)
+            fatal("serve: cannot read %s", scriptPath.c_str());
+        service::Script script;
+        std::string line;
+        while (std::getline(in, line))
+            script.push_back(line);
+        const std::vector<std::string> transcript =
+            server.runScript(script);
+        if (transcriptPath.empty()) {
+            for (const std::string &response : transcript)
+                std::cout << response << "\n";
+        } else {
+            std::ofstream out(transcriptPath);
+            if (!out)
+                fatal("serve: cannot write %s", transcriptPath.c_str());
+            for (const std::string &response : transcript)
+                out << response << "\n";
+        }
+    } else {
+        std::cerr << "doppio serve: listening on 127.0.0.1:" << port
+                  << "\n";
+        service::serveTcp(server, port, maxRequests);
+    }
+    if (!statsPath.empty()) {
+        std::ofstream out(statsPath);
+        if (!out)
+            fatal("serve: cannot write %s", statsPath.c_str());
+        out << server.statsJson() << "\n";
+    }
+    return 0;
+}
+
+int
 usage()
 {
     std::cerr
@@ -696,6 +793,27 @@ usage()
            "                                cloud cost optimization\n"
            "                                (J threads, 0 = all cores;\n"
            "                                output identical for any J)\n"
+           "  serve --script FILE [--transcript FILE] "
+           "[--stats-json FILE]\n"
+           "  serve --port N [--max-requests M] [--stats-json FILE]\n"
+           "                                what-if planning service:\n"
+           "                                deterministic script "
+           "replay, or a\n"
+           "                                TCP loop on 127.0.0.1:N\n"
+           "        tuning: --workers N --sample-nodes N "
+           "--timeout-ms T\n"
+           "                --queue-cap N --reject-new "
+           "--service-workers N\n"
+           "                --rate R --burst B --cache-cap N "
+           "--cache-shards N\n"
+           "                --ms-per-sim-sec F --cell-cost-ms F "
+           "--no-validate\n"
+           "                --eval-fail-rate F --max-retries N "
+           "--backoff-ms T\n"
+           "                --breaker-ms T --breaker-depth N\n"
+           "                --breaker-cooldown-ms T --service-seed S\n"
+           "                --fault-spec SPEC (slow-path gray "
+           "failures)\n"
            "options: --nodes N --cores P --hdfs T --local T\n"
            "         --local-disks K --speculate --verbose\n"
            "         --trace FILE               per-task CSV trace\n"
@@ -767,6 +885,8 @@ main(int argc, char **argv)
             return cmdFio(Args(argc, argv, 2));
         if (command == "optimize")
             return cmdOptimize(Args(argc, argv, 2));
+        if (command == "serve")
+            return cmdServe(Args(argc, argv, 2));
         if (command == "run" && argc >= 3 && argv[2][0] == '-')
             return cmdRunMulti(Args(argc, argv, 2));
         if ((command == "run" || command == "profile") && argc >= 3)
