@@ -14,6 +14,8 @@
 #include "spark/metrics_json.h"
 #include "spark/rdd.h"
 #include "spark/spark_context.h"
+#include "telemetry/flight_recorder.h"
+#include "trace/trace_collector.h"
 
 namespace doppio::chaos {
 
@@ -35,7 +37,8 @@ constexpr int kExecutorCores = 4;
 } // namespace
 
 ChaosRunResult
-runChaosRig(const ChaosOptions &options, const faults::FaultSpec *spec)
+runChaosRig(const ChaosOptions &options, const faults::FaultSpec *spec,
+            trace::TraceCollector *collector)
 {
     ChaosRunResult result;
 
@@ -61,6 +64,10 @@ runChaosRig(const ChaosOptions &options, const faults::FaultSpec *spec)
         dfs::Hdfs hdfs(cluster);
         hdfs.addFile("input", kInputBytes);
         spark::SparkContext context(cluster, hdfs, conf);
+        if (collector != nullptr) {
+            cluster.setTraceCollector(collector);
+            context.setTraceCollector(collector);
+        }
 
         std::unique_ptr<faults::FaultInjector> injector;
         if (spec != nullptr) {
@@ -195,10 +202,14 @@ checkAttribution(const spark::AppMetrics &metrics, int numSlaves,
     return true;
 }
 
-} // namespace
-
+/**
+ * The invariant evaluation proper. @p collector, when non-null, rides
+ * along on the faulty run only — the run whose history a postmortem
+ * should explain.
+ */
 ChaosVerdict
-checkInvariants(const ChaosOptions &options)
+evaluateInvariants(const ChaosOptions &options,
+                   trace::TraceCollector *collector)
 {
     ChaosVerdict verdict;
     verdict.seed = options.seed;
@@ -213,7 +224,7 @@ checkInvariants(const ChaosOptions &options)
     }
     verdict.baselineElapsedSec = baseline.elapsedSec;
 
-    const ChaosRunResult faulty = runChaosRig(options, &spec);
+    const ChaosRunResult faulty = runChaosRig(options, &spec, collector);
     if (!faulty.completed) {
         verdict.failure = "faulty run failed: " + faulty.error;
         return verdict;
@@ -250,6 +261,33 @@ checkInvariants(const ChaosOptions &options)
     verdict.attributionOk =
         checkAttribution(faulty.metrics, options.numSlaves,
                          kExecutorCores, verdict.failure);
+    return verdict;
+}
+
+} // namespace
+
+ChaosVerdict
+checkInvariants(const ChaosOptions &options)
+{
+    if (options.postmortemPath.empty())
+        return evaluateInvariants(options, nullptr);
+
+    // Fly the faulty run with a bounded recorder behind a record-only
+    // collector: the collector keeps no event vector of its own, so
+    // memory stays O(categories x ring capacity) however long the rig
+    // runs, and attachment cannot perturb the simulation.
+    telemetry::FlightRecorder recorder;
+    trace::TraceCollector collector;
+    collector.setSink(&recorder);
+    collector.setRecordOnly(true);
+
+    const ChaosVerdict verdict = evaluateInvariants(options, &collector);
+    if (!verdict.failure.empty()) {
+        recorder.note("chaos invariant tripped (seed " +
+                      std::to_string(options.seed) +
+                      "): " + verdict.failure);
+        recorder.dumpToFile(options.postmortemPath, verdict.failure);
+    }
     return verdict;
 }
 

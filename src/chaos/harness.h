@@ -33,6 +33,10 @@
 #include "faults/fault_spec.h"
 #include "spark/metrics.h"
 
+namespace doppio::trace {
+class TraceCollector;
+} // namespace doppio::trace
+
 namespace doppio::chaos {
 
 /** Outcome of one rig execution (fault-free or under a schedule). */
@@ -48,12 +52,16 @@ struct ChaosRunResult
 
 /**
  * Run the rig on a fresh simulator/cluster sized from @p options.
- * @p spec may be null for the fault-free baseline. Never throws:
+ * @p spec may be null for the fault-free baseline. @p collector, when
+ * non-null, is attached to the rig's cluster and context for the
+ * duration of the run (typically record-only with a flight-recorder
+ * sink — attachment never changes the simulation). Never throws:
  * failures (including the event-budget watchdog) are reported through
  * ChaosRunResult::completed / error.
  */
 ChaosRunResult runChaosRig(const ChaosOptions &options,
-                           const faults::FaultSpec *spec);
+                           const faults::FaultSpec *spec,
+                           trace::TraceCollector *collector = nullptr);
 
 /** Per-invariant verdict for one generated schedule. */
 struct ChaosVerdict
@@ -88,6 +96,9 @@ struct ChaosVerdict
  * Generate the schedule for @p options, run baseline + faulty + rerun,
  * and evaluate all four invariants. The equivalence invariant is only
  * meaningful (and only enforced) when options.transientOnly is set.
+ * When options.postmortemPath is non-empty, the faulty run flies with
+ * a flight recorder attached; if any invariant trips, the recorder's
+ * rings are dumped to that file (clean verdicts write nothing).
  */
 ChaosVerdict checkInvariants(const ChaosOptions &options);
 

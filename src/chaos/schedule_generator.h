@@ -17,6 +17,7 @@
 #define DOPPIO_CHAOS_SCHEDULE_GENERATOR_H
 
 #include <cstdint>
+#include <string>
 
 #include "faults/fault_spec.h"
 
@@ -40,6 +41,13 @@ struct ChaosOptions
     bool withRates = true;
     /** Watchdog: abort a run after this many simulator events. */
     std::uint64_t eventBudget = 50'000'000;
+    /**
+     * When non-empty, checkInvariants keeps a flight recorder on the
+     * faulty run and dumps its rings to this file if any invariant
+     * trips. Clean runs write nothing. Does not affect the generated
+     * schedule or the simulation itself.
+     */
+    std::string postmortemPath;
 };
 
 /**

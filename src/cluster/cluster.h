@@ -155,6 +155,7 @@ class Cluster
     }
 
     net::Network &network() { return *network_; }
+    const net::Network &network() const { return *network_; }
 
     /** Observer of node liveness transitions (fault injection). */
     using LivenessObserver = std::function<void(int node, bool alive)>;

@@ -11,6 +11,9 @@ namespace {
 
 std::atomic<bool> verboseFlag{false};
 
+std::function<void(const std::string &)> panicHook;
+bool inPanicHook = false;
+
 std::string
 vformat(const char *fmt, va_list args)
 {
@@ -40,6 +43,12 @@ verboseEnabled()
 }
 
 void
+setPanicHook(std::function<void(const std::string &)> hook)
+{
+    panicHook = std::move(hook);
+}
+
+void
 panic(const char *fmt, ...)
 {
     va_list args;
@@ -47,6 +56,10 @@ panic(const char *fmt, ...)
     const std::string msg = vformat(fmt, args);
     va_end(args);
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    if (panicHook && !inPanicHook) {
+        inPanicHook = true;
+        panicHook(msg);
+    }
     std::abort();
 }
 

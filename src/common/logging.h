@@ -13,6 +13,7 @@
 #define DOPPIO_COMMON_LOGGING_H
 
 #include <cstdarg>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -32,6 +33,15 @@ void setVerbose(bool verbose);
 
 /** @return whether inform() output is enabled. */
 bool verboseEnabled();
+
+/**
+ * Install a hook run by panic() after printing the message and before
+ * aborting — the telemetry flight recorder uses it to dump a
+ * postmortem. Recursion-guarded: a panic raised *inside* the hook
+ * aborts immediately instead of re-entering it. Pass nullptr (or an
+ * empty function) to uninstall. The hook receives the panic message.
+ */
+void setPanicHook(std::function<void(const std::string &)> hook);
 
 /** Report an internal invariant violation and abort. */
 [[noreturn]] void panic(const char *fmt, ...)

@@ -75,6 +75,25 @@ SummaryStats::stddev() const
 }
 
 double
+quantile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (std::isnan(q) || q <= 0.0)
+        return sorted.front();
+    if (q >= 1.0)
+        return sorted.back();
+    const auto n = sorted.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return sorted[rank - 1];
+}
+
+double
 relativeError(double predicted, double measured)
 {
     if (measured == 0.0)

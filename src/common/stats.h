@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace doppio {
 
@@ -77,6 +78,21 @@ class SummaryStats
  *         measured is 0.
  */
 double relativeError(double predicted, double measured);
+
+/**
+ * Nearest-rank quantile of an ascending-@p sorted sample vector.
+ *
+ * Edge cases are defined, not accidental:
+ *  - empty input returns 0.0 (no panic, no NaN);
+ *  - a single sample returns that sample for every q;
+ *  - q outside [0, 1] clamps (q <= 0 returns the minimum, q >= 1 the
+ *    maximum);
+ *  - NaN q is treated as 0.
+ * The rank is ceil(q * n) clamped to [1, n], so quantile(v, 0.5) of
+ * two samples returns the first — the classic nearest-rank
+ * definition, matching the streaming/service percentile reporting.
+ */
+double quantile(const std::vector<double> &sorted, double q);
 
 } // namespace doppio
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/stats.h"
 #include "sim/simulator.h"
 #include "spark/recovery.h"
 #include "trace/trace_collector.h"
@@ -13,21 +14,6 @@
 namespace doppio::sched {
 
 namespace {
-
-/** Nearest-rank percentile of an ascending-sorted sample. */
-double
-percentile(const std::vector<double> &sorted, double q)
-{
-    if (sorted.empty())
-        return 0.0;
-    const auto n = static_cast<double>(sorted.size());
-    auto rank = static_cast<std::size_t>(std::ceil(q * n));
-    if (rank == 0)
-        rank = 1;
-    if (rank > sorted.size())
-        rank = sorted.size();
-    return sorted[rank - 1];
-}
 
 /** Seed-mixing constant for the arrival process stream. */
 constexpr std::uint64_t kArrivalStream = 0x53545245414d32ULL;
@@ -257,8 +243,8 @@ StreamingDriver::maybeFinish()
                          ? 1.0
                          : static_cast<double>(sorted.size());
     stats_.meanLatencySec = latencySum / n;
-    stats_.p50LatencySec = percentile(sorted, 0.50);
-    stats_.p99LatencySec = percentile(sorted, 0.99);
+    stats_.p50LatencySec = quantile(sorted, 0.50);
+    stats_.p99LatencySec = quantile(sorted, 0.99);
     stats_.maxLatencySec = sorted.empty() ? 0.0 : sorted.back();
     stats_.meanServiceSec =
         services_.empty()

@@ -26,14 +26,34 @@ CircuitBreaker::stateName() const
 }
 
 void
+CircuitBreaker::transition(State to, double nowMs)
+{
+    inStateMs_[static_cast<int>(state_)] +=
+        nowMs - stateEnteredAtMs_;
+    state_ = to;
+    stateEnteredAtMs_ = nowMs;
+}
+
+double
+CircuitBreaker::timeInStateMs(State state, double nowMs) const
+{
+    double total = inStateMs_[static_cast<int>(state)];
+    if (state == state_)
+        total += nowMs - stateEnteredAtMs_;
+    return total;
+}
+
+void
 CircuitBreaker::trip(double nowMs)
 {
     if (state_ == State::Open)
         return;
-    state_ = State::Open;
+    transition(State::Open, nowMs);
     openedAtMs_ = nowMs;
     probeInFlight_ = false;
     ++trips_;
+    if (openObserver_)
+        openObserver_(nowMs);
 }
 
 bool
@@ -44,7 +64,7 @@ CircuitBreaker::allowSlowPath(double nowMs)
     if (state_ == State::Open) {
         if (nowMs - openedAtMs_ < config_.cooldownMs)
             return false;
-        state_ = State::HalfOpen;
+        transition(State::HalfOpen, nowMs);
         probeInFlight_ = false;
     }
     // HalfOpen: one probe at a time.
@@ -65,7 +85,7 @@ CircuitBreaker::recordSlowPath(double costMs, double nowMs)
     if (state_ == State::HalfOpen) {
         probeInFlight_ = false;
         if (costMs <= config_.latencyThresholdMs) {
-            state_ = State::Closed;
+            transition(State::Closed, nowMs);
             // A healthy probe forgives the pre-trip history.
             emaMs_ = costMs;
         } else {

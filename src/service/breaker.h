@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 namespace doppio::service {
 
@@ -81,8 +82,28 @@ class CircuitBreaker
     double emaMs() const { return emaMs_; }
     const Config &config() const { return config_; }
 
+    /**
+     * Milliseconds spent in @p state up to @p nowMs, including the
+     * currently running stretch. Lets operators distinguish a breaker
+     * that flaps (short open stretches, many trips) from one that is
+     * pinned open (shed-by-failure). Time is measured on the same
+     * clock the mutating calls carry.
+     */
+    double timeInStateMs(State state, double nowMs) const;
+
+    /**
+     * Install an observer invoked on every Closed/HalfOpen -> Open
+     * transition (after the state change). The planning service uses
+     * it to dump the flight recorder. Empty function detaches.
+     */
+    void setOpenObserver(std::function<void(double nowMs)> observer)
+    {
+        openObserver_ = std::move(observer);
+    }
+
   private:
     void trip(double nowMs);
+    void transition(State to, double nowMs);
 
     Config config_;
     State state_ = State::Closed;
@@ -91,6 +112,11 @@ class CircuitBreaker
     double openedAtMs_ = 0.0;
     bool probeInFlight_ = false;
     std::uint64_t trips_ = 0;
+    /// Clock value when state_ was entered (same clock as nowMs).
+    double stateEnteredAtMs_ = 0.0;
+    /// Completed milliseconds per state, indexed by State.
+    double inStateMs_[3] = {0.0, 0.0, 0.0};
+    std::function<void(double)> openObserver_;
 };
 
 } // namespace doppio::service

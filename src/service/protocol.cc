@@ -206,8 +206,11 @@ Request::parseLine(const std::string &line)
             req.kind = Kind::Stats;
         else if (cmd == "health")
             req.kind = Kind::Health;
+        else if (cmd == "metrics")
+            req.kind = Kind::Metrics;
         else
-            fatal("request: unknown cmd \"%s\" (stats|health)",
+            fatal("request: unknown cmd \"%s\" "
+                  "(stats|health|metrics)",
                   cmd.c_str());
         return req;
     }
@@ -310,6 +313,7 @@ ServiceStats::toJson() const
     out += ",\"cache_misses\":" + std::to_string(cacheMisses);
     out += ",\"dedup_joins\":" + std::to_string(dedupJoins);
     out += ",\"cache_evictions\":" + std::to_string(cacheEvictions);
+    out += ",\"cache_hit_ratio\":" + jsonNum(cacheHitRatio);
     out += ",\"retries\":" + std::to_string(retries);
     out += ",\"backoff_ms_total\":" + jsonNum(backoffMsTotal);
     out += ",\"slow_path_runs\":" + std::to_string(slowPathRuns);
@@ -319,6 +323,9 @@ ServiceStats::toJson() const
            std::to_string(slowPathTaskRetries);
     out += ",\"breaker_trips\":" + std::to_string(breakerTrips);
     out += ",\"breaker_state\":\"" + breakerState + "\"";
+    out += ",\"breaker_closed_ms\":" + jsonNum(breakerClosedMs);
+    out += ",\"breaker_open_ms\":" + jsonNum(breakerOpenMs);
+    out += ",\"breaker_half_open_ms\":" + jsonNum(breakerHalfOpenMs);
     out += ",\"queue_depth\":" + std::to_string(queueDepth);
     out += ",\"max_queue_depth\":" + std::to_string(maxQueueDepth);
     out += ",\"p50_latency_ms\":" + jsonNum(p50LatencyMs);

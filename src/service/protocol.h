@@ -28,7 +28,7 @@ namespace doppio::service {
 /** One parsed request line. */
 struct Request
 {
-    enum class Kind { Plan, Stats, Health };
+    enum class Kind { Plan, Stats, Health, Metrics };
     /** Constraint mode of a plan query. */
     enum class Mode { MinCost, CheapestUnderDeadline, FastestUnderBudget };
 
@@ -97,6 +97,9 @@ struct ServiceStats
     std::uint64_t cacheMisses = 0;
     std::uint64_t dedupJoins = 0;   //!< single-flight followers
     std::uint64_t cacheEvictions = 0;
+    /** Result-cache hit fraction of cache lookups (hits + misses);
+     *  0 before any lookup. */
+    double cacheHitRatio = 0.0;
     std::uint64_t retries = 0;      //!< slow-path retry attempts
     double backoffMsTotal = 0.0;    //!< budget spent in retry backoff
     std::uint64_t slowPathRuns = 0; //!< simulator runs (profile+validate)
@@ -111,6 +114,15 @@ struct ServiceStats
     std::uint64_t slowPathTaskRetries = 0;
     std::uint64_t breakerTrips = 0;
     std::string breakerState = "closed";
+    /**
+     * Milliseconds the breaker has spent per state (including the
+     * current stretch), on the transport's clock. Together with
+     * breakerTrips these separate shed-by-policy (closed breaker,
+     * queue pressure) from shed-by-failure (time pinned open).
+     */
+    double breakerClosedMs = 0.0;
+    double breakerOpenMs = 0.0;
+    double breakerHalfOpenMs = 0.0;
     std::uint64_t queueDepth = 0;
     std::uint64_t maxQueueDepth = 0;
     double p50LatencyMs = 0.0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/stats.h"
 #include "workloads/registry.h"
 
 namespace doppio::service {
@@ -16,15 +17,6 @@ knownWorkload(const std::string &name)
     static const std::vector<std::string> names =
         workloads::registeredWorkloads();
     return std::find(names.begin(), names.end(), name) != names.end();
-}
-
-/** Nearest-rank percentile of @p sorted (non-empty). */
-double
-percentile(const std::vector<double> &sorted, double q)
-{
-    const auto rank = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(sorted.size())));
-    return sorted[std::max<std::size_t>(rank, 1) - 1];
 }
 
 } // namespace
@@ -42,6 +34,28 @@ PlanningService::PlanningService(ServiceConfig config)
         fatal("PlanningService: queueCapacity must be positive");
     if (config_.defaultTimeoutMs <= 0.0)
         fatal("PlanningService: defaultTimeoutMs must be positive");
+    breaker_.setOpenObserver(
+        [this](double nowMs) { onBreakerOpen(nowMs); });
+}
+
+void
+PlanningService::setFlightRecorder(telemetry::FlightRecorder *recorder,
+                                   std::string postmortemPath)
+{
+    recorder_ = recorder;
+    postmortemPath_ = std::move(postmortemPath);
+}
+
+void
+PlanningService::onBreakerOpen(double nowMs)
+{
+    if (recorder_ == nullptr)
+        return;
+    recorder_->note("breaker opened (trip " +
+                        std::to_string(breaker_.trips()) + ")",
+                    static_cast<Tick>(nowMs * 1e6));
+    if (!postmortemPath_.empty())
+        recorder_->dumpToFile(postmortemPath_, "breaker-open");
 }
 
 double
@@ -76,6 +90,11 @@ PlanningService::countResponse(const Response &response)
         ++counters_.degraded;
     if (response.modelOnly)
         ++counters_.modelOnly;
+    if (recorder_ != nullptr && response.status != "ok") {
+        recorder_->note(response.status + " " + response.reason +
+                            " id=" + response.id,
+                        static_cast<Tick>(response.tMs * 1e6));
+    }
 }
 
 void
@@ -154,6 +173,7 @@ PlanningService::shedFlight(std::uint64_t seq, double nowMs,
 void
 PlanningService::onArrival(std::uint64_t seq, double nowMs)
 {
+    lastNowMs_ = std::max(lastNowMs_, nowMs);
     const auto it = pending_.find(seq);
     Pending &pending = it->second;
     const Request &req = pending.req;
@@ -165,6 +185,11 @@ PlanningService::onArrival(std::uint64_t seq, double nowMs)
     }
     if (req.kind == Request::Kind::Health) {
         emitLine(healthLine(nowMs));
+        pending_.erase(it);
+        return;
+    }
+    if (req.kind == Request::Kind::Metrics) {
+        emitLine(metricsLine());
         pending_.erase(it);
         return;
     }
@@ -237,6 +262,7 @@ PlanningService::startJob(std::uint64_t seq, double nowMs)
     Pending &pending = it->second;
     const double timeout = timeoutFor(pending.req);
     const double waited = nowMs - pending.arrivalMs;
+    queueWaitMs_.observe(waited);
     if (waited >= timeout) {
         shedFlight(seq, nowMs, "expired", "queue_wait");
         return;
@@ -275,6 +301,7 @@ PlanningService::drainQueue(double nowMs)
 void
 PlanningService::onCompletion(const Event &event)
 {
+    lastNowMs_ = std::max(lastNowMs_, event.tMs);
     --busyWorkers_;
     const auto it = pending_.find(event.seq);
     if (it == pending_.end())
@@ -372,6 +399,7 @@ PlanningService::runScript(const Script &script)
 std::string
 PlanningService::handleLineNow(const std::string &line, double nowMs)
 {
+    lastNowMs_ = std::max(lastNowMs_, nowMs);
     ++counters_.received;
     Request req;
     try {
@@ -389,6 +417,8 @@ PlanningService::handleLineNow(const std::string &line, double nowMs)
         return stats().toJson();
     if (req.kind == Request::Kind::Health)
         return healthLine(nowMs);
+    if (req.kind == Request::Kind::Metrics)
+        return metricsLine();
 
     Pending pending;
     pending.req = req;
@@ -474,13 +504,130 @@ PlanningService::stats() const
     out.slowPathTaskRetries = totals.slowPathTaskRetries;
     out.breakerTrips = breaker_.trips();
     out.breakerState = breaker_.stateName();
+    const std::uint64_t lookups = out.cacheHits + out.cacheMisses;
+    out.cacheHitRatio =
+        lookups ? static_cast<double>(out.cacheHits) /
+                      static_cast<double>(lookups)
+                : 0.0;
+    out.breakerClosedMs =
+        breaker_.timeInStateMs(CircuitBreaker::State::Closed, lastNowMs_);
+    out.breakerOpenMs =
+        breaker_.timeInStateMs(CircuitBreaker::State::Open, lastNowMs_);
+    out.breakerHalfOpenMs = breaker_.timeInStateMs(
+        CircuitBreaker::State::HalfOpen, lastNowMs_);
     out.queueDepth = queue_.size();
     if (!latencies_.empty()) {
         std::vector<double> sorted = latencies_;
         std::sort(sorted.begin(), sorted.end());
-        out.p50LatencyMs = percentile(sorted, 0.50);
-        out.p99LatencyMs = percentile(sorted, 0.99);
+        out.p50LatencyMs = quantile(sorted, 0.50);
+        out.p99LatencyMs = quantile(sorted, 0.99);
     }
+    return out;
+}
+
+void
+PlanningService::publishMetrics(telemetry::Registry &registry) const
+{
+    const ServiceStats s = stats();
+    auto counter = [&registry](const char *name, const char *help,
+                               std::uint64_t value) {
+        registry.counter(name, help).inc(value);
+    };
+    counter("doppio_service_requests_total", "Request lines received",
+            s.received);
+    counter("doppio_service_completed_total",
+            "Plan queries answered (ok or error)", s.completed);
+    counter("doppio_service_ok_total", "Successful plan responses",
+            s.ok);
+    counter("doppio_service_degraded_total",
+            "Responses flagged degraded", s.degraded);
+    counter("doppio_service_model_only_total",
+            "Responses with validation skipped", s.modelOnly);
+    counter("doppio_service_shed_total",
+            "Dropped by queue bound or breaker", s.shed);
+    counter("doppio_service_rejected_total",
+            "Denied by the token bucket", s.rejected);
+    counter("doppio_service_expired_total",
+            "Deadline passed while queued", s.expired);
+    counter("doppio_service_errors_total", "Error responses",
+            s.errors);
+    counter("doppio_service_cache_hits_total", "Result-cache hits",
+            s.cacheHits);
+    counter("doppio_service_cache_misses_total",
+            "Result-cache misses", s.cacheMisses);
+    counter("doppio_service_cache_evictions_total",
+            "Result-cache evictions", s.cacheEvictions);
+    counter("doppio_service_dedup_joins_total",
+            "Single-flight followers", s.dedupJoins);
+    counter("doppio_service_retries_total",
+            "Slow-path retry attempts", s.retries);
+    counter("doppio_service_slow_path_runs_total",
+            "Simulator runs (profile + validate)", s.slowPathRuns);
+    counter("doppio_service_breaker_trips_total",
+            "Closed/half-open to open transitions", s.breakerTrips);
+    registry
+        .gauge("doppio_service_cache_hit_ratio",
+               "Result-cache hit fraction of lookups")
+        .set(s.cacheHitRatio);
+    registry
+        .gauge("doppio_service_queue_depth",
+               "Plan queries waiting for a worker")
+        .set(static_cast<double>(s.queueDepth));
+    registry
+        .gauge("doppio_service_max_queue_depth",
+               "High-water mark of the admission queue")
+        .set(static_cast<double>(s.maxQueueDepth));
+    registry
+        .gauge("doppio_service_breaker_state",
+               "0 = closed, 1 = open, 2 = half-open")
+        .set(static_cast<double>(static_cast<int>(breaker_.state())));
+    const std::pair<const char *, double> states[] = {
+        {"closed", s.breakerClosedMs},
+        {"open", s.breakerOpenMs},
+        {"half_open", s.breakerHalfOpenMs},
+    };
+    for (const auto &[state, ms] : states) {
+        registry
+            .gauge("doppio_service_breaker_time_in_state_ms",
+                   "Milliseconds spent per breaker state",
+                   {{"state", state}})
+            .set(ms);
+    }
+    registry
+        .histogram("doppio_service_queue_wait_ms",
+                   "Queue wait of dispatched plan queries", {}, 1e-3)
+        .merge(queueWaitMs_);
+}
+
+std::string
+PlanningService::metricsText() const
+{
+    telemetry::Registry registry;
+    publishMetrics(registry);
+    return registry.prometheusText();
+}
+
+std::string
+PlanningService::metricsLine() const
+{
+    telemetry::Registry registry;
+    publishMetrics(registry);
+    std::string escaped;
+    const std::string text = registry.prometheusText();
+    escaped.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': escaped += "\\\""; break;
+        case '\\': escaped += "\\\\"; break;
+        case '\n': escaped += "\\n"; break;
+        default: escaped += c;
+        }
+    }
+    std::string out = "{\"families\":" +
+                      std::to_string(registry.familyCount());
+    out += ",\"series\":" + std::to_string(registry.seriesCount());
+    out += ",\"exposition\":\"" + escaped + "\"";
+    out += "}";
     return out;
 }
 

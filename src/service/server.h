@@ -43,6 +43,8 @@
 #include "service/cache.h"
 #include "service/planner.h"
 #include "service/protocol.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
 
 namespace doppio::service {
 
@@ -98,6 +100,30 @@ class PlanningService
     std::string statsJson() const { return stats().toJson(); }
 
     /**
+     * Publish the service's counters, queue-wait histogram and breaker
+     * state into @p registry under doppio_service_* names. Safe to
+     * call on a fresh registry any time; the service never retains a
+     * reference to it.
+     */
+    void publishMetrics(telemetry::Registry &registry) const;
+
+    /**
+     * Prometheus exposition of the service metrics: a fresh registry
+     * filled by publishMetrics(). This is what the {"cmd":"metrics"}
+     * control query wraps in its JSON envelope.
+     */
+    std::string metricsText() const;
+
+    /**
+     * Attach a flight recorder (non-owning; nullptr detaches). The
+     * service notes every shed/rejected/expired/error response into
+     * it, and when the circuit breaker opens it dumps a postmortem to
+     * @p postmortemPath (empty: record but never dump).
+     */
+    void setFlightRecorder(telemetry::FlightRecorder *recorder,
+                           std::string postmortemPath = "");
+
+    /**
      * Structured log of every plan response emitted so far (both
      * transports), in emission order — what the bench and tests
      * assert invariants over without re-parsing JSON.
@@ -137,6 +163,8 @@ class PlanningService
     void emit(const Response &response);
     void emitLine(const std::string &line);
     std::string healthLine(double nowMs) const;
+    std::string metricsLine() const;
+    void onBreakerOpen(double nowMs);
     Response makeShed(const Pending &pending, double nowMs,
                       const char *status, const char *reason) const;
 
@@ -175,6 +203,14 @@ class PlanningService
     std::vector<double> latencies_; //!< terminal plan responses, ms
     ServiceStats counters_;         //!< event counts (derived fields
                                     //!< filled by stats())
+
+    // Telemetry (all optional; absent they cost null checks only).
+    /// Queue-wait milliseconds of every dispatched query.
+    telemetry::Histogram queueWaitMs_{1e-3};
+    /// Latest transport clock value seen, for time-in-state queries.
+    double lastNowMs_ = 0.0;
+    telemetry::FlightRecorder *recorder_ = nullptr;
+    std::string postmortemPath_;
 };
 
 /**

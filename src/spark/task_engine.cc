@@ -291,7 +291,12 @@ struct TaskEngine::StageRun
         bool hasLiveAttempt() const;
     };
 
-    const StageSpec *spec = nullptr;
+    /** Owned copy of the caller's spec. Attempts of an aborted stage
+     *  can unwind (and trace their task spans) from a later stage's
+     *  event loop, after the caller's spec — often a recovery/remainder
+     *  temporary — is gone; every group pointer below targets this
+     *  copy, whose lifetime is the run's. */
+    StageSpec spec;
     StageMetrics metrics;
     /// Flattened (group, index-within-group) task list cursor.
     std::vector<std::pair<const TaskGroupSpec *, int>> tasks;
@@ -503,7 +508,7 @@ TaskEngine::runStage(const StageSpec &spec)
               "with a core arbiter attached use submitStage");
     sim::Simulator &sim = cluster_.simulator();
     auto run = std::make_shared<StageRun>();
-    run->spec = &spec;
+    run->spec = spec;
     run->metrics.name = spec.name;
     run->metrics.numTasks = spec.numTasks();
     run->metrics.startTick = sim.now();
@@ -512,7 +517,7 @@ TaskEngine::runStage(const StageSpec &spec)
     run->gcFactor =
         1.0 + spec.gcSensitivity * static_cast<double>(cores - 1);
 
-    for (const TaskGroupSpec &group : spec.groups) {
+    for (const TaskGroupSpec &group : run->spec.groups) {
         if (group.count < 0)
             fatal("TaskEngine: negative task count in group %s",
                   group.name.c_str());
@@ -1388,7 +1393,7 @@ TaskEngine::submitStage(const StageSpec &spec, int schedTag,
               "under a core arbiter (multi-tenant mode)");
     sim::Simulator &sim = cluster_.simulator();
     auto run = std::make_shared<StageRun>();
-    run->spec = &spec;
+    run->spec = spec;
     run->metrics.name = spec.name;
     run->metrics.numTasks = spec.numTasks();
     run->metrics.startTick = sim.now();
@@ -1399,7 +1404,7 @@ TaskEngine::submitStage(const StageSpec &spec, int schedTag,
     run->driverTid = driverTid;
     run->onDone = std::move(onDone);
 
-    for (const TaskGroupSpec &group : spec.groups) {
+    for (const TaskGroupSpec &group : run->spec.groups) {
         if (group.count < 0)
             fatal("TaskEngine: negative task count in group %s",
                   group.name.c_str());

@@ -93,8 +93,8 @@ class TaskEngine
      * event loop. The stage launches nothing until the arbiter hands
      * it cores through tryLaunch(); @p onDone fires from within the
      * event loop once the stage completes or aborts on a fetch
-     * failure (same contract as runStage's return). @p spec must
-     * outlive the run; @p schedTag is echoed verbatim to
+     * failure (same contract as runStage's return). The run keeps its
+     * own copy of @p spec; @p schedTag is echoed verbatim to
      * CoreArbiter::attemptFinished; stage spans go to the driver-track
      * thread @p driverTid (per-job lanes). Requires an arbiter;
      * speculative execution is not supported in this mode.

@@ -91,6 +91,8 @@ DiskDevice::submit(IoOp op, Bytes size, std::function<void()> done)
                 [this, op, size, submitted,
                  done = std::move(done)]() mutable {
                     stats_.record(op, size);
+                    if (observer_)
+                        observer_(op, size, 1, sim_.now() - submitted);
                     if (trace_) {
                         trace_->span(tracePid_, traceTid_, "disk",
                                      ioOpName(op), submitted, sim_.now(),
@@ -152,6 +154,9 @@ DiskDevice::submitBatch(IoOp op, Bytes size, std::uint64_t count,
                 [this, op, size, count, submitted,
                  done = std::move(done)]() mutable {
                     stats_.recordMany(op, size, count);
+                    if (observer_)
+                        observer_(op, size, count,
+                                  sim_.now() - submitted);
                     if (trace_) {
                         trace_->span(tracePid_, traceTid_, "disk",
                                      ioOpName(op), submitted, sim_.now(),

@@ -115,6 +115,22 @@ class DiskDevice
      */
     void setTrace(trace::TraceCollector *trace, int pid, int tid);
 
+    /**
+     * Observer of completed requests: (op, per-request size, request
+     * count, submission-to-last-byte ticks). Batches report once with
+     * count > 1. The telemetry layer installs this to feed latency
+     * histograms; like the trace hook it is a null check when unset
+     * and never alters device behavior.
+     */
+    using CompletionObserver = std::function<void(
+        IoOp op, Bytes size, std::uint64_t count, Tick duration)>;
+
+    /** Install @p observer (empty function detaches). */
+    void setCompletionObserver(CompletionObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+
   private:
     sim::Simulator &sim_;
     DiskParams params_;
@@ -132,6 +148,8 @@ class DiskDevice
     int traceTid_ = 0;
     /// Requests submitted but not yet completed (tracing only).
     int traceQueue_ = 0;
+    /// Optional telemetry completion hook (empty when detached).
+    CompletionObserver observer_;
 
     Tick degradedLatency(Tick latency) const;
     void traceQueueDelta(int delta);

@@ -1,0 +1,201 @@
+#include "telemetry/bottleneck.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "telemetry/registry.h"
+
+namespace doppio::telemetry {
+
+const char *
+BottleneckAlert::kindName() const
+{
+    switch (kind) {
+    case Kind::ReadDominated: return "read-dominated";
+    case Kind::ShuffleDominated: return "shuffle-dominated";
+    case Kind::WriteDominated: return "write-dominated";
+    case Kind::SpillDominated: return "spill-dominated";
+    case Kind::IdleDominated: return "idle-dominated";
+    case Kind::SloBurn: return "slo-burn";
+    }
+    return "unknown";
+}
+
+std::string
+BottleneckAlert::toString() const
+{
+    char buf[160];
+    if (kind == Kind::SloBurn) {
+        std::snprintf(buf, sizeof(buf),
+                      "[bottleneck] slo-burn: batch SLO miss rate "
+                      "%.1f%% exceeds %.1f%%",
+                      share * 100.0, threshold * 100.0);
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "[bottleneck] %s: stage '%s' spends %.1f%% of "
+                      "wall-clock there (threshold %.1f%%)",
+                      kindName(), stage.c_str(), share * 100.0,
+                      threshold * 100.0);
+    }
+    return buf;
+}
+
+BottleneckDetector::BottleneckDetector()
+    : BottleneckDetector(Config())
+{
+}
+
+BottleneckDetector::BottleneckDetector(Config config)
+    : config_(config)
+{
+    if (!(config_.emaAlpha > 0.0) || config_.emaAlpha > 1.0)
+        fatal("BottleneckDetector: emaAlpha must be in (0, 1] "
+              "(got %g)",
+              config_.emaAlpha);
+}
+
+void
+BottleneckDetector::updateEma(double &ema, double sample,
+                              std::uint64_t observations) const
+{
+    // The first observation seeds the EMA exactly, so a stage seen
+    // once reports precisely what the offline PhaseReport attributes
+    // to it — the reconciliation property the tests assert.
+    if (observations == 0)
+        ema = sample;
+    else
+        ema += config_.emaAlpha * (sample - ema);
+}
+
+std::vector<BottleneckAlert>
+BottleneckDetector::observeStage(const trace::PhaseBreakdown &breakdown)
+{
+    std::vector<BottleneckAlert> raised;
+    const double wall = breakdown.wall();
+    if (!(wall > 0.0))
+        return raised;
+
+    StageShares &s = shares_[breakdown.stage];
+    updateEma(s.compute, breakdown.compute / wall, s.observations);
+    updateEma(s.read, breakdown.read / wall, s.observations);
+    updateEma(s.shuffle, breakdown.shuffle / wall, s.observations);
+    updateEma(s.write, breakdown.write / wall, s.observations);
+    updateEma(s.spill, breakdown.spill / wall, s.observations);
+    updateEma(s.recovery, breakdown.recovery / wall, s.observations);
+    updateEma(s.overhead, breakdown.overhead / wall, s.observations);
+    updateEma(s.idle, breakdown.idle / wall, s.observations);
+    ++s.observations;
+
+    // Dominance check over the I/O (and idle) categories; compute
+    // dominating is the healthy case and never alerts.
+    struct Candidate
+    {
+        BottleneckAlert::Kind kind;
+        double share;
+    };
+    const Candidate candidates[] = {
+        {BottleneckAlert::Kind::ReadDominated, s.read},
+        {BottleneckAlert::Kind::ShuffleDominated, s.shuffle},
+        {BottleneckAlert::Kind::WriteDominated, s.write},
+        {BottleneckAlert::Kind::SpillDominated, s.spill},
+        {BottleneckAlert::Kind::IdleDominated, s.idle},
+    };
+    const Candidate *dominant = nullptr;
+    for (const Candidate &c : candidates) {
+        if (c.share >= config_.dominanceThreshold &&
+            (!dominant || c.share > dominant->share)) {
+            dominant = &c;
+        }
+    }
+
+    const auto last = lastKind_.find(breakdown.stage);
+    if (!dominant) {
+        // Back under threshold: a future re-domination re-alerts.
+        if (last != lastKind_.end())
+            lastKind_.erase(last);
+        return raised;
+    }
+    if (config_.alertOnChangeOnly && last != lastKind_.end() &&
+        last->second == dominant->kind) {
+        return raised;
+    }
+    lastKind_[breakdown.stage] = dominant->kind;
+
+    BottleneckAlert alert;
+    alert.kind = dominant->kind;
+    alert.stage = breakdown.stage;
+    alert.share = dominant->share;
+    alert.threshold = config_.dominanceThreshold;
+    alerts_.push_back(alert);
+    raised.push_back(alert);
+    return raised;
+}
+
+std::vector<BottleneckAlert>
+BottleneckDetector::observeBatch(double latencySec, double sloSec)
+{
+    std::vector<BottleneckAlert> raised;
+    const double miss = latencySec > sloSec ? 1.0 : 0.0;
+    updateEma(burnRate_, miss, batches_);
+    ++batches_;
+
+    if (burnRate_ >= config_.burnThreshold) {
+        if (!burnAlerted_) {
+            burnAlerted_ = true;
+            BottleneckAlert alert;
+            alert.kind = BottleneckAlert::Kind::SloBurn;
+            alert.share = burnRate_;
+            alert.threshold = config_.burnThreshold;
+            alerts_.push_back(alert);
+            raised.push_back(alert);
+        }
+    } else {
+        burnAlerted_ = false; // recovered; next burn re-alerts
+    }
+    return raised;
+}
+
+void
+BottleneckDetector::publish(Registry &registry) const
+{
+    static const char *kindNames[] = {
+        "read-dominated", "shuffle-dominated", "write-dominated",
+        "spill-dominated", "idle-dominated",   "slo-burn",
+    };
+    std::map<std::string, std::uint64_t> byKind;
+    for (const char *name : kindNames)
+        byKind[name] = 0;
+    for (const BottleneckAlert &alert : alerts_)
+        ++byKind[alert.kindName()];
+    for (const auto &[kind, count] : byKind) {
+        registry
+            .counter("doppio_bottleneck_alerts_total",
+                     "Structured bottleneck alerts by kind",
+                     {{"kind", kind}})
+            .inc(count);
+    }
+
+    for (const auto &[stage, s] : shares_) {
+        const std::pair<const char *, double> phases[] = {
+            {"compute", s.compute}, {"read", s.read},
+            {"shuffle", s.shuffle}, {"write", s.write},
+            {"spill", s.spill},     {"recovery", s.recovery},
+            {"overhead", s.overhead}, {"idle", s.idle},
+        };
+        for (const auto &[phase, share] : phases) {
+            registry
+                .gauge("doppio_bottleneck_stage_share",
+                       "Smoothed share of stage wall-clock per phase",
+                       {{"stage", stage}, {"phase", phase}})
+                .set(share);
+        }
+    }
+
+    registry
+        .gauge("doppio_streaming_slo_burn_rate",
+               "Smoothed fraction of streaming batches missing SLO")
+        .set(burnRate_);
+}
+
+} // namespace doppio::telemetry

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Online I/O-bottleneck detector (DESIGN.md §15).
+ *
+ * Streams the per-stage phase attribution (trace::PhaseBreakdown, the
+ * Fig. 6 decomposition) as stages complete and keeps an exponential
+ * moving average of each phase's share of stage wall-clock. When a
+ * single I/O category's smoothed share crosses the dominance
+ * threshold, the detector emits a structured alert — "shuffle
+ * dominated", "read dominated", "spill dominated", ... — which is the
+ * measurement half of the guarded auto-tuner roadmap item: optimize
+ * only what the detector says is actually the bottleneck.
+ *
+ * For streaming tenants it additionally tracks SLO burn rate: the EMA
+ * of the fraction of batches whose latency exceeds the SLO target. A
+ * burn rate above the configured threshold raises an "SLO burn" alert.
+ *
+ * The detector is a pure consumer: it never schedules simulator
+ * events, so attaching it cannot perturb a run.
+ */
+
+#ifndef DOPPIO_TELEMETRY_BOTTLENECK_H
+#define DOPPIO_TELEMETRY_BOTTLENECK_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/phase_report.h"
+
+namespace doppio::telemetry {
+
+class Registry;
+
+/** One structured alert emitted by the detector. */
+struct BottleneckAlert
+{
+    enum class Kind {
+        ReadDominated,    //!< device/HDFS read share over threshold
+        ShuffleDominated, //!< shuffle read+write share over threshold
+        WriteDominated,   //!< device/HDFS write share over threshold
+        SpillDominated,   //!< external-sort spill share over threshold
+        IdleDominated,    //!< cores mostly idle (stragglers/skew)
+        SloBurn,          //!< streaming batches missing their SLO
+    };
+
+    Kind kind = Kind::ReadDominated;
+    std::string stage;  //!< stage that tripped it (empty for SloBurn)
+    double share = 0.0; //!< smoothed share / burn rate at the trip
+    double threshold = 0.0;
+
+    /** @return stable identifier ("shuffle-dominated", "slo-burn"). */
+    const char *kindName() const;
+
+    /** One-line human rendering for logs and the CLI. */
+    std::string toString() const;
+};
+
+/** Per-stage smoothed phase shares (fractions of wall-clock). */
+struct StageShares
+{
+    double compute = 0.0;
+    double read = 0.0;
+    double shuffle = 0.0;
+    double write = 0.0;
+    double spill = 0.0;
+    double recovery = 0.0;
+    double overhead = 0.0;
+    double idle = 0.0;
+    std::uint64_t observations = 0;
+};
+
+/**
+ * Streaming consumer of phase attribution and batch latencies.
+ * Deterministic: alerts depend only on the observation sequence.
+ */
+class BottleneckDetector
+{
+  public:
+    struct Config
+    {
+        /** EMA weight of the newest observation, in (0, 1]. 1.0
+         *  reproduces the last observation exactly; lower values
+         *  smooth across recurrences of the same stage. */
+        double emaAlpha = 0.5;
+        /** Smoothed I/O-category share of wall-clock above which a
+         *  dominance alert fires. */
+        double dominanceThreshold = 0.4;
+        /** Smoothed SLO-miss fraction above which SloBurn fires. */
+        double burnThreshold = 0.25;
+        /** Re-alert only when a stage's dominant category changes
+         *  (true) or on every dominated observation (false). */
+        bool alertOnChangeOnly = true;
+    };
+
+    BottleneckDetector();
+    explicit BottleneckDetector(Config config);
+
+    /**
+     * Feed one completed stage window's attribution (stages of the
+     * same name — recurring streaming stages — fold into one EMA
+     * keyed by stage name). @return alerts raised by this
+     * observation, possibly empty.
+     */
+    std::vector<BottleneckAlert>
+    observeStage(const trace::PhaseBreakdown &breakdown);
+
+    /**
+     * Feed one streaming batch: latency @p latencySec against target
+     * @p sloSec. @return alerts (at most one SloBurn).
+     */
+    std::vector<BottleneckAlert> observeBatch(double latencySec,
+                                              double sloSec);
+
+    /** @return smoothed shares per stage name (name-sorted). */
+    const std::map<std::string, StageShares> &stageShares() const
+    {
+        return shares_;
+    }
+
+    /** @return smoothed SLO-miss fraction (0 before any batch). */
+    double burnRate() const { return burnRate_; }
+
+    /** @return every alert raised so far, in emission order. */
+    const std::vector<BottleneckAlert> &alerts() const
+    {
+        return alerts_;
+    }
+
+    /**
+     * Publish detector state into @p registry:
+     * doppio_bottleneck_alerts_total{kind=...},
+     * doppio_bottleneck_stage_share{stage=...,phase=...} and
+     * doppio_streaming_slo_burn_rate.
+     */
+    void publish(Registry &registry) const;
+
+  private:
+    void updateEma(double &ema, double sample,
+                   std::uint64_t observations) const;
+
+    Config config_;
+    std::map<std::string, StageShares> shares_;
+    /// Last alerted dominant kind per stage (alertOnChangeOnly).
+    std::map<std::string, BottleneckAlert::Kind> lastKind_;
+    double burnRate_ = 0.0;
+    std::uint64_t batches_ = 0;
+    bool burnAlerted_ = false;
+    std::vector<BottleneckAlert> alerts_;
+};
+
+} // namespace doppio::telemetry
+
+#endif // DOPPIO_TELEMETRY_BOTTLENECK_H

@@ -1,0 +1,120 @@
+#include "telemetry/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace doppio::telemetry {
+
+namespace {
+
+/** Ticks (ns) as microseconds with 3 decimals, integer arithmetic. */
+std::string
+ticksAsUs(Tick t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", t / 1000,
+                  static_cast<unsigned>(t % 1000));
+    return buf;
+}
+
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+void
+FlightRecorder::record(const trace::TraceEvent &event)
+{
+    auto &ring = rings_[event.cat];
+    if (ring.size() == capacity_) {
+        ring.pop_front();
+        ++dropped_;
+    }
+    ring.push_back(event);
+    ++recorded_;
+}
+
+void
+FlightRecorder::note(std::string text, Tick tick)
+{
+    trace::TraceEvent event;
+    event.type = trace::TraceEvent::Type::Instant;
+    event.cat = "note";
+    event.name = std::move(text);
+    event.start = tick;
+    event.end = tick;
+    record(event);
+}
+
+std::size_t
+FlightRecorder::size() const
+{
+    std::size_t total = 0;
+    for (const auto &[cat, ring] : rings_)
+        total += ring.size();
+    return total;
+}
+
+void
+FlightRecorder::clear()
+{
+    rings_.clear();
+    dropped_ = 0;
+    recorded_ = 0;
+}
+
+void
+FlightRecorder::dump(std::ostream &os, const std::string &reason) const
+{
+    os << "# doppio flight recorder\n";
+    os << "# reason: " << reason << '\n';
+    os << "# recorded: " << recorded_ << " dropped: " << dropped_
+       << " retained: " << size() << '\n';
+    for (const auto &[cat, ring] : rings_) {
+        os << "## " << cat << " (" << ring.size() << " events)\n";
+        for (const trace::TraceEvent &event : ring) {
+            os << ticksAsUs(event.start) << "us ";
+            switch (event.type) {
+            case trace::TraceEvent::Type::Span:
+                os << "span " << event.name << " dur="
+                   << ticksAsUs(event.end - event.start) << "us";
+                break;
+            case trace::TraceEvent::Type::Instant:
+                os << "instant " << event.name;
+                break;
+            case trace::TraceEvent::Type::Counter:
+                os << "counter " << event.name << " value="
+                   << num(event.value);
+                break;
+            }
+            os << " pid=" << event.pid << " tid=" << event.tid;
+            if (!event.args.empty())
+                os << " args={" << event.args << '}';
+            os << '\n';
+        }
+    }
+}
+
+bool
+FlightRecorder::dumpToFile(const std::string &path,
+                           const std::string &reason) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    dump(os, reason);
+    return os.good();
+}
+
+} // namespace doppio::telemetry

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Flight recorder: bounded rings of recent trace events, dumped as a
+ * postmortem when something goes wrong (DESIGN.md §15).
+ *
+ * The recorder sits behind the existing trace hooks: a TraceCollector
+ * with a recorder attached forwards every event it is handed into a
+ * per-category ring buffer (category = the event's static "cat"
+ * string: "disk", "cache", "net", "task", "fault", ...), keeping only
+ * the most recent N per subsystem. Unlike the collector's unbounded
+ * event vector, memory is O(categories x capacity) regardless of run
+ * length, so the recorder can stay attached to long runs — including
+ * the chaos harness — for the whole flight.
+ *
+ * Dump triggers (the callers wire these):
+ *   - the chaos harness trips an invariant (chaos::checkInvariants);
+ *   - the planning service's circuit breaker opens;
+ *   - the run panic()s (via doppio::setPanicHook).
+ * A clean run dumps nothing and writes no file.
+ */
+
+#ifndef DOPPIO_TELEMETRY_FLIGHT_RECORDER_H
+#define DOPPIO_TELEMETRY_FLIGHT_RECORDER_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "trace/trace_collector.h"
+
+namespace doppio::telemetry {
+
+/** Bounded per-subsystem ring buffer of trace events. */
+class FlightRecorder : public trace::TraceEventSink
+{
+  public:
+    /** @param capacity most-recent events kept per category (>= 1). */
+    explicit FlightRecorder(std::size_t capacity = 256);
+
+    /** Append @p event to its category's ring (oldest drops first). */
+    void record(const trace::TraceEvent &event);
+
+    /** TraceEventSink: forward the collector's stream into record(). */
+    void
+    onTraceEvent(const trace::TraceEvent &event) override
+    {
+        record(event);
+    }
+
+    /** Record a free-form annotation (ring category "note"). */
+    void note(std::string text, Tick tick = 0);
+
+    /** @return events currently held across all rings. */
+    std::size_t size() const;
+
+    /** @return events dropped from full rings so far. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** @return total events ever recorded. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Clear all rings and counters. */
+    void clear();
+
+    /**
+     * Write the postmortem: a `# doppio flight recorder` header with
+     * @p reason, then each category's ring (category-name order,
+     * oldest first) as one line per event. Deterministic for
+     * identical recorded streams.
+     */
+    void dump(std::ostream &os, const std::string &reason) const;
+
+    /**
+     * dump() to @p path (overwrites). @return false when the file
+     * cannot be opened (the caller is already on a failure path, so
+     * this never throws).
+     */
+    bool dumpToFile(const std::string &path,
+                    const std::string &reason) const;
+
+  private:
+    std::size_t capacity_;
+    /// Category -> ring, oldest first. Keys are the static category
+    /// strings interned by the emitters, copied on first use.
+    std::map<std::string, std::deque<trace::TraceEvent>> rings_;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace doppio::telemetry
+
+#endif // DOPPIO_TELEMETRY_FLIGHT_RECORDER_H

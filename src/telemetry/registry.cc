@@ -1,0 +1,354 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace doppio::telemetry {
+
+namespace {
+
+/** Prometheus metric / label name: [a-zA-Z_:][a-zA-Z0-9_:]*. */
+bool
+validName(const std::string &name, bool allowColon)
+{
+    if (name.empty())
+        return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        const bool alpha = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') || c == '_' ||
+                           (allowColon && c == ':');
+        const bool digit = c >= '0' && c <= '9';
+        if (!(alpha || (i > 0 && digit)))
+            return false;
+    }
+    return true;
+}
+
+/** Escape a label value per the exposition format. */
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Deterministic double formatting shared by every exposition line. */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+serializeLabels(const Labels &labels)
+{
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string out;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (!validName(sorted[i].first, false))
+            fatal("telemetry: invalid label name '%s'",
+                  sorted[i].first.c_str());
+        if (i > 0 && sorted[i].first == sorted[i - 1].first)
+            fatal("telemetry: duplicate label '%s'",
+                  sorted[i].first.c_str());
+        if (!out.empty())
+            out += ',';
+        out += sorted[i].first;
+        out += "=\"";
+        out += escapeLabelValue(sorted[i].second);
+        out += '"';
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(double least, int subBuckets)
+    : least_(least), subBuckets_(subBuckets)
+{
+    if (!(least > 0.0))
+        panic("Histogram: least must be positive (got %g)", least);
+    if (subBuckets < 1)
+        panic("Histogram: subBuckets must be >= 1 (got %d)",
+              subBuckets);
+}
+
+int
+Histogram::bucketIndex(double value) const
+{
+    if (!(value > least_))
+        return 0;
+    // frexp: value/least = m * 2^e with m in [0.5, 1).
+    int exp2 = 0;
+    const double mantissa = std::frexp(value / least_, &exp2);
+    // Rewrite as r * 2^(e-1) with r = 2*m in [1, 2).
+    const int e = exp2 - 1;
+    const double ratio = mantissa * 2.0;
+    int sub = static_cast<int>((ratio - 1.0) *
+                               static_cast<double>(subBuckets_));
+    sub = std::min(sub, subBuckets_ - 1);
+    return 1 + e * subBuckets_ + sub;
+}
+
+double
+Histogram::bucketUpperBound(int index) const
+{
+    if (index <= 0)
+        return least_;
+    const int e = (index - 1) / subBuckets_;
+    const int sub = (index - 1) % subBuckets_;
+    return least_ * std::ldexp(1.0, e) *
+           (1.0 + static_cast<double>(sub + 1) /
+                      static_cast<double>(subBuckets_));
+}
+
+void
+Histogram::observe(double value)
+{
+    observeMany(value, 1);
+}
+
+void
+Histogram::observeMany(double value, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    if (value < 0.0)
+        value = 0.0;
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    count_ += n;
+    sum_ += value * static_cast<double>(n);
+    counts_[bucketIndex(value)] += n;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.least_ != least_ || other.subBuckets_ != subBuckets_)
+        panic("Histogram::merge: incompatible layouts "
+              "(least %g/%g, subBuckets %d/%d)",
+              least_, other.least_, subBuckets_, other.subBuckets_);
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (const auto &[index, bucketCount] : other.counts_)
+        counts_[index] += bucketCount;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t cumulative = 0;
+    for (const auto &[index, bucketCount] : counts_) {
+        cumulative += bucketCount;
+        if (cumulative >= rank) {
+            const double bound = bucketUpperBound(index);
+            return std::min(max_, std::max(min_, bound));
+        }
+    }
+    return max_; // unreachable: rank <= count_
+}
+
+std::vector<Histogram::Bucket>
+Histogram::buckets() const
+{
+    std::vector<Bucket> out;
+    out.reserve(counts_.size());
+    for (const auto &[index, bucketCount] : counts_)
+        out.push_back(Bucket{bucketUpperBound(index), bucketCount});
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Registry
+
+Registry::Series &
+Registry::lookup(const std::string &name, const std::string &help,
+                 const Labels &labels, Type type)
+{
+    if (!validName(name, true))
+        fatal("telemetry: invalid metric name '%s'", name.c_str());
+    const auto fit = families_.find(name);
+    if (fit == families_.end()) {
+        families_.emplace(name, Family{type, help});
+    } else if (fit->second.type != type) {
+        fatal("telemetry: metric '%s' re-registered with a different "
+              "type",
+              name.c_str());
+    }
+    return series_[{name, serializeLabels(labels)}];
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help,
+                  const Labels &labels)
+{
+    Series &series = lookup(name, help, labels, Type::Counter);
+    if (!series.counter)
+        series.counter = std::make_unique<Counter>();
+    return *series.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                const Labels &labels)
+{
+    Series &series = lookup(name, help, labels, Type::Gauge);
+    if (!series.gauge)
+        series.gauge = std::make_unique<Gauge>();
+    return *series.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    const Labels &labels, double least, int subBuckets)
+{
+    Series &series = lookup(name, help, labels, Type::Histogram);
+    if (!series.histogram)
+        series.histogram =
+            std::make_unique<Histogram>(least, subBuckets);
+    return *series.histogram;
+}
+
+const Registry::Series *
+Registry::find(const std::string &name, const Labels &labels,
+               Type type) const
+{
+    const auto fit = families_.find(name);
+    if (fit == families_.end() || fit->second.type != type)
+        return nullptr;
+    const auto sit = series_.find({name, serializeLabels(labels)});
+    return sit == series_.end() ? nullptr : &sit->second;
+}
+
+const Counter *
+Registry::findCounter(const std::string &name,
+                      const Labels &labels) const
+{
+    const Series *series = find(name, labels, Type::Counter);
+    return series ? series->counter.get() : nullptr;
+}
+
+const Gauge *
+Registry::findGauge(const std::string &name, const Labels &labels) const
+{
+    const Series *series = find(name, labels, Type::Gauge);
+    return series ? series->gauge.get() : nullptr;
+}
+
+const Histogram *
+Registry::findHistogram(const std::string &name,
+                        const Labels &labels) const
+{
+    const Series *series = find(name, labels, Type::Histogram);
+    return series ? series->histogram.get() : nullptr;
+}
+
+void
+Registry::writePrometheus(std::ostream &os) const
+{
+    // series_ iterates in (name, labels) order; families_ is a
+    // name-ordered map, so walking series_ visits whole families
+    // contiguously and the HELP/TYPE header can be emitted on the
+    // first series of each family.
+    std::string current;
+    for (const auto &[key, series] : series_) {
+        const auto &[name, labels] = key;
+        const Family &family = families_.at(name);
+        if (name != current) {
+            current = name;
+            os << "# HELP " << name << ' ' << family.help << '\n';
+            os << "# TYPE " << name << ' ';
+            switch (family.type) {
+            case Type::Counter: os << "counter"; break;
+            case Type::Gauge: os << "gauge"; break;
+            case Type::Histogram: os << "histogram"; break;
+            }
+            os << '\n';
+        }
+        const std::string brace =
+            labels.empty() ? "" : "{" + labels + "}";
+        switch (family.type) {
+        case Type::Counter:
+            os << name << brace << ' ' << series.counter->value()
+               << '\n';
+            break;
+        case Type::Gauge:
+            os << name << brace << ' ' << num(series.gauge->value())
+               << '\n';
+            break;
+        case Type::Histogram: {
+            const Histogram &h = *series.histogram;
+            // Cumulative buckets; 'le' joins the user labels.
+            std::uint64_t cumulative = 0;
+            for (const Histogram::Bucket &bucket : h.buckets()) {
+                cumulative += bucket.count;
+                os << name << "_bucket{";
+                if (!labels.empty())
+                    os << labels << ',';
+                os << "le=\"" << num(bucket.upperBound) << "\"} "
+                   << cumulative << '\n';
+            }
+            os << name << "_bucket{";
+            if (!labels.empty())
+                os << labels << ',';
+            os << "le=\"+Inf\"} " << h.count() << '\n';
+            os << name << "_sum" << brace << ' ' << num(h.sum())
+               << '\n';
+            os << name << "_count" << brace << ' ' << h.count()
+               << '\n';
+            break;
+        }
+        }
+    }
+}
+
+std::string
+Registry::prometheusText() const
+{
+    std::ostringstream os;
+    writePrometheus(os);
+    return os.str();
+}
+
+} // namespace doppio::telemetry

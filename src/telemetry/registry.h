@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unified telemetry registry (DESIGN.md §15).
+ *
+ * One process-wide measurement plane for the simulator and the
+ * planning service: named counters, gauges and log-linear histograms,
+ * each series identified by a metric name plus a sorted label set.
+ * Instruments are created on first use and returned by reference, so
+ * hot paths pay one pointer write per sample; a subsystem that was
+ * never attached to a registry pays a single null-pointer check, the
+ * same zero-cost-when-detached discipline as the src/trace/ hooks.
+ *
+ * Everything is deterministic: series iterate in (name, labels) order,
+ * histogram buckets are pure functions of the sample value, and all
+ * numbers are formatted with fixed printf formats — two identical runs
+ * produce byte-identical Prometheus expositions.
+ */
+
+#ifndef DOPPIO_TELEMETRY_REGISTRY_H
+#define DOPPIO_TELEMETRY_REGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace doppio::telemetry {
+
+/** Label set of one series: key/value pairs, sorted by key. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Point-in-time measurement (queue depth, pool bytes, state). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    void add(double delta) { value_ += delta; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Log-linear histogram: each power-of-two range of the value axis is
+ * split into @p subBuckets linear sub-buckets (HdrHistogram's scheme),
+ * so bucket boundaries grow geometrically while relative resolution
+ * stays constant. Memory is O(occupied buckets), independent of the
+ * sample count, and quantile() extraction is deterministic with
+ * relative error bounded by 1/subBuckets (3.125% at the default 32):
+ * the reported quantile is the containing bucket's upper bound clamped
+ * into [min, max], so single-sample and constant-valued histograms
+ * report their exact value.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param least      smallest distinguishable value; anything in
+     *                   [0, least] lands in bucket 0.
+     * @param subBuckets linear sub-buckets per power of two (>= 1).
+     */
+    explicit Histogram(double least = 1e-9, int subBuckets = 32);
+
+    /** Record one sample (negative values clamp to 0). */
+    void observe(double value);
+
+    /** Record @p n identical samples in O(1). */
+    void observeMany(double value, std::uint64_t n);
+
+    /**
+     * Fold @p other's samples into this histogram at bucket
+     * resolution. Both must share least/subBuckets (panic otherwise).
+     */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    /** @return smallest sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** @return largest sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /**
+     * Nearest-rank quantile at bucket resolution. Defined on every
+     * input: empty histograms return 0, a single sample returns that
+     * sample exactly for any q, and q outside [0, 1] clamps. The
+     * result always lies in [min(), max()] and overestimates the true
+     * quantile by at most a factor of (1 + 1/subBuckets).
+     */
+    double quantile(double q) const;
+
+    /** One occupied bucket, for exposition. */
+    struct Bucket
+    {
+        double upperBound = 0.0;
+        std::uint64_t count = 0; //!< samples in this bucket alone
+    };
+
+    /** @return occupied buckets in ascending bound order. */
+    std::vector<Bucket> buckets() const;
+
+  private:
+    int bucketIndex(double value) const;
+    double bucketUpperBound(int index) const;
+
+    double least_;
+    int subBuckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    /// Sparse bucket index -> sample count (deterministic iteration).
+    std::map<int, std::uint64_t> counts_;
+};
+
+/**
+ * The metric registry. Families (one metric name) have a fixed type
+ * and help string; series (name + labels) hold one instrument each.
+ * Lookups are idempotent: asking for an existing series returns the
+ * same instrument, asking with a conflicting type fatal()s.
+ */
+class Registry
+{
+  public:
+    /** Get or create a counter series. */
+    Counter &counter(const std::string &name, const std::string &help,
+                     const Labels &labels = {});
+
+    /** Get or create a gauge series. */
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const Labels &labels = {});
+
+    /** Get or create a histogram series. */
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         const Labels &labels = {},
+                         double least = 1e-9, int subBuckets = 32);
+
+    /** @return number of registered series across all families. */
+    std::size_t seriesCount() const { return series_.size(); }
+
+    /** @return number of metric families. */
+    std::size_t familyCount() const { return families_.size(); }
+
+    /**
+     * Find an existing series; @return nullptr when absent (or a
+     * different type). For tests and registry-backed JSON views.
+     */
+    const Counter *findCounter(const std::string &name,
+                               const Labels &labels = {}) const;
+    const Gauge *findGauge(const std::string &name,
+                           const Labels &labels = {}) const;
+    const Histogram *findHistogram(const std::string &name,
+                                   const Labels &labels = {}) const;
+
+    /**
+     * Write the whole registry in Prometheus text exposition format
+     * 0.0.4: families in name order, series in label order, one
+     * # HELP / # TYPE pair per family, histograms as cumulative
+     * _bucket{le=...} series plus _sum and _count. Byte-identical
+     * across runs for identical samples.
+     */
+    void writePrometheus(std::ostream &os) const;
+
+    /** @return writePrometheus() as a string. */
+    std::string prometheusText() const;
+
+  private:
+    enum class Type { Counter, Gauge, Histogram };
+
+    struct Series
+    {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    struct Family
+    {
+        Type type = Type::Counter;
+        std::string help;
+    };
+
+    Series &lookup(const std::string &name, const std::string &help,
+                   const Labels &labels, Type type);
+
+    const Series *find(const std::string &name, const Labels &labels,
+                       Type type) const;
+
+    /// Family name -> type/help.
+    std::map<std::string, Family> families_;
+    /// (family name, serialized labels) -> instrument.
+    std::map<std::pair<std::string, std::string>, Series> series_;
+};
+
+/**
+ * Serialize @p labels as a canonical `key="value",...` fragment
+ * (sorted by key, values escaped). fatal()s on invalid label names or
+ * duplicate keys.
+ */
+std::string serializeLabels(const Labels &labels);
+
+} // namespace doppio::telemetry
+
+#endif // DOPPIO_TELEMETRY_REGISTRY_H

@@ -1,0 +1,392 @@
+#include "telemetry/views.h"
+
+#include "common/sim_time.h"
+#include "oscache/page_cache.h"
+#include "storage/disk_stats.h"
+#include "storage/io_request.h"
+
+namespace doppio::telemetry {
+
+namespace {
+
+constexpr const char *kRoleHdfs = "hdfs";
+constexpr const char *kRoleLocal = "local";
+
+/** Install the completion observer on one device. */
+void
+hookDevice(Registry &registry, storage::DiskDevice &device,
+           const char *role)
+{
+    device.setCompletionObserver(
+        [&registry, role](storage::IoOp op, Bytes size,
+                          std::uint64_t count, Tick duration) {
+            const Labels labels = {{"role", role},
+                                   {"op", storage::ioOpName(op)}};
+            // A batch is one synchronous client's back-to-back loop:
+            // attribute the mean per-request duration to each request
+            // so the histogram keeps per-request semantics.
+            const double perRequest =
+                ticksToSeconds(duration) /
+                static_cast<double>(count);
+            registry
+                .histogram("doppio_disk_request_duration_seconds",
+                           "Disk request submission-to-completion "
+                           "latency",
+                           labels, 1e-6)
+                .observeMany(perRequest, count);
+            registry
+                .histogram("doppio_disk_request_bytes",
+                           "Disk request size", labels, 1.0)
+                .observeMany(static_cast<double>(size), count);
+        });
+}
+
+} // namespace
+
+void
+attachCluster(Registry &registry, cluster::Cluster &cluster)
+{
+    for (int n = 0; n < cluster.numSlaves(); ++n) {
+        cluster::Node &node = cluster.node(n);
+        for (int d = 0; d < node.hdfsDiskCount(); ++d)
+            hookDevice(registry, node.hdfsDisk(d), kRoleHdfs);
+        for (int d = 0; d < node.localDiskCount(); ++d)
+            hookDevice(registry, node.localDisk(d), kRoleLocal);
+    }
+}
+
+void
+publishCluster(Registry &registry, const cluster::Cluster &cluster)
+{
+    // Per-op request/byte totals and busy time, summed over the
+    // fleet's devices by role.
+    struct RoleTotals
+    {
+        std::uint64_t requests[storage::kNumIoOps] = {};
+        Bytes bytes[storage::kNumIoOps] = {};
+        double readBusySec = 0.0;
+        double writeBusySec = 0.0;
+    };
+    RoleTotals totals[2];
+
+    auto fold = [](RoleTotals &t, const storage::DiskDevice &device) {
+        for (std::size_t i = 0; i < storage::kNumIoOps; ++i) {
+            const storage::OpStats &op =
+                device.stats().forOp(storage::kAllIoOps[i]);
+            t.requests[i] += op.requests;
+            t.bytes[i] += op.bytes;
+        }
+        t.readBusySec += ticksToSeconds(device.readBusyTime());
+        t.writeBusySec += ticksToSeconds(device.writeBusyTime());
+    };
+    for (int n = 0; n < cluster.numSlaves(); ++n) {
+        const cluster::Node &node = cluster.node(n);
+        for (int d = 0; d < node.hdfsDiskCount(); ++d)
+            fold(totals[0], node.hdfsDisk(d));
+        for (int d = 0; d < node.localDiskCount(); ++d)
+            fold(totals[1], node.localDisk(d));
+    }
+
+    const char *roles[2] = {kRoleHdfs, kRoleLocal};
+    for (int r = 0; r < 2; ++r) {
+        for (std::size_t i = 0; i < storage::kNumIoOps; ++i) {
+            if (totals[r].requests[i] == 0)
+                continue;
+            const Labels labels = {
+                {"role", roles[r]},
+                {"op", storage::ioOpName(storage::kAllIoOps[i])}};
+            registry
+                .counter("doppio_disk_requests_total",
+                         "Completed device requests", labels)
+                .inc(totals[r].requests[i]);
+            registry
+                .counter("doppio_disk_bytes_total",
+                         "Bytes moved at the device", labels)
+                .inc(totals[r].bytes[i]);
+        }
+        const Labels roleLabel = {{"role", roles[r]}};
+        registry
+            .gauge("doppio_disk_read_busy_seconds",
+                   "Ticks a read transfer was active, fleet sum",
+                   roleLabel)
+            .set(totals[r].readBusySec);
+        registry
+            .gauge("doppio_disk_write_busy_seconds",
+                   "Ticks a write transfer was active, fleet sum",
+                   roleLabel)
+            .set(totals[r].writeBusySec);
+    }
+
+    // Page cache (zero series when the model is off).
+    if (cluster.pageCacheEnabled()) {
+        const oscache::PageCacheStats pc = cluster.pageCacheTotals();
+        auto pcCounter = [&registry](const char *name,
+                                     const char *help,
+                                     std::uint64_t value) {
+            registry.counter(name, help).inc(value);
+        };
+        pcCounter("doppio_pagecache_reads_total", "read() calls",
+                  pc.reads);
+        pcCounter("doppio_pagecache_read_full_hits_total",
+                  "Reads served entirely from memory",
+                  pc.readFullHits);
+        pcCounter("doppio_pagecache_writes_total", "write() calls",
+                  pc.writes);
+        pcCounter("doppio_pagecache_throttled_writes_total",
+                  "Writes that blocked on the dirty limit",
+                  pc.throttledWrites);
+        pcCounter("doppio_pagecache_flush_requests_total",
+                  "Device requests issued by the flusher",
+                  pc.flushRequests);
+        pcCounter("doppio_pagecache_hit_bytes_total",
+                  "Read bytes served from cache", pc.hitBytes);
+        pcCounter("doppio_pagecache_miss_bytes_total",
+                  "Read bytes fetched from the device", pc.missBytes);
+        pcCounter("doppio_pagecache_absorbed_bytes_total",
+                  "Write bytes accepted at memory speed",
+                  pc.absorbedBytes);
+        pcCounter("doppio_pagecache_flushed_bytes_total",
+                  "Dirty bytes drained to the device",
+                  pc.flushedBytes);
+        pcCounter("doppio_pagecache_evicted_bytes_total",
+                  "Clean bytes dropped by LRU eviction",
+                  pc.evictedBytes);
+        registry
+            .gauge("doppio_pagecache_hit_ratio",
+                   "Hit fraction of logical read bytes")
+            .set(pc.hitRatio());
+    }
+
+    // Network fabric.
+    registry
+        .counter("doppio_network_remote_bytes_total",
+                 "Bytes delivered over the fabric (remote only)")
+        .inc(cluster.network().remoteBytes());
+    registry
+        .counter("doppio_network_partition_timeouts_total",
+                 "Backoff rounds spent against a partition")
+        .inc(static_cast<std::uint64_t>(
+            cluster.network().partitionTimeouts()));
+    registry
+        .gauge("doppio_cluster_nodes_alive",
+               "Nodes currently up")
+        .set(static_cast<double>(cluster.aliveCount()));
+}
+
+void
+publishHdfs(Registry &registry, const dfs::Hdfs &hdfs)
+{
+    registry
+        .counter("doppio_hdfs_physical_bytes_written_total",
+                 "Replica bytes written through the pipeline")
+        .inc(hdfs.physicalBytesWritten());
+    registry
+        .counter("doppio_hdfs_read_failovers_total",
+                 "Reads served by a remote replica after a failure")
+        .inc(hdfs.readFailovers());
+    registry
+        .counter("doppio_hdfs_corrupt_reads_total",
+                 "Reads failing checksum verification")
+        .inc(hdfs.corruptReads());
+    registry
+        .counter("doppio_hdfs_quarantined_bytes_total",
+                 "Corrupt replica bytes repaired")
+        .inc(hdfs.quarantinedBytes());
+    registry
+        .counter("doppio_hdfs_rereplicated_bytes_total",
+                 "Re-replication traffic after node loss")
+        .inc(hdfs.reReplicatedBytes());
+    registry
+        .gauge("doppio_hdfs_rereplication_seconds",
+               "Wall-clock spent re-replicating")
+        .set(hdfs.reReplicationSeconds());
+}
+
+void
+publishAppMetrics(Registry &registry, const spark::AppMetrics &metrics)
+{
+    registry
+        .gauge("doppio_app_duration_seconds",
+               "Application wall-clock (sum of job durations)")
+        .set(metrics.seconds());
+    registry
+        .counter("doppio_app_jobs_total", "Jobs (actions) executed")
+        .inc(metrics.jobs.size());
+
+    std::uint64_t stages = 0;
+    std::uint64_t tasks = 0;
+    std::uint64_t requests[storage::kNumIoOps] = {};
+    Bytes bytes[storage::kNumIoOps] = {};
+    double phaseSeconds[storage::kNumIoOps] = {};
+    for (const spark::StageMetrics *stage : metrics.allStages()) {
+        ++stages;
+        tasks += static_cast<std::uint64_t>(stage->numTasks);
+        for (std::size_t i = 0; i < storage::kNumIoOps; ++i) {
+            const spark::StageIoStats &io =
+                stage->forOp(storage::kAllIoOps[i]);
+            requests[i] += io.requests;
+            bytes[i] += io.bytes;
+            phaseSeconds[i] += io.phaseSeconds.sum();
+        }
+    }
+    registry
+        .counter("doppio_app_stages_total", "Stages executed")
+        .inc(stages);
+    registry
+        .counter("doppio_app_tasks_total", "Tasks executed")
+        .inc(tasks);
+    for (std::size_t i = 0; i < storage::kNumIoOps; ++i) {
+        if (requests[i] == 0)
+            continue;
+        const Labels labels = {
+            {"op", storage::ioOpName(storage::kAllIoOps[i])}};
+        registry
+            .counter("doppio_app_io_requests_total",
+                     "Logical I/O requests issued by tasks", labels)
+            .inc(requests[i]);
+        registry
+            .counter("doppio_app_io_bytes_total",
+                     "Logical bytes issued by tasks", labels)
+            .inc(bytes[i]);
+        registry
+            .gauge("doppio_app_io_phase_seconds",
+                   "Summed task phase wall-clock per op", labels)
+            .set(phaseSeconds[i]);
+    }
+
+    if (metrics.faultsPresent) {
+        const spark::FaultMetrics &f = metrics.faults;
+        auto c = [&registry](const char *name, const char *help,
+                             std::uint64_t value) {
+            registry.counter(name, help).inc(value);
+        };
+        c("doppio_faults_task_attempts_total",
+          "Task attempts launched (incl. clean)", f.taskAttempts);
+        c("doppio_faults_task_failures_total",
+          "Task attempts that crashed", f.taskFailures);
+        c("doppio_faults_task_retries_total",
+          "Failed tasks re-queued", f.taskRetries);
+        c("doppio_faults_lost_attempts_total",
+          "Attempts killed by node loss", f.lostAttempts);
+        c("doppio_faults_fetch_failures_total",
+          "Shuffle fetches that failed", f.fetchFailures);
+        c("doppio_faults_stage_reattempts_total",
+          "Stages rerun after fetch loss", f.stageReattempts);
+        c("doppio_faults_hdfs_failovers_total",
+          "Reads served by a remote replica", f.hdfsFailovers);
+        c("doppio_faults_corrupt_reads_total",
+          "Reads failing checksum verify", f.corruptReads);
+        c("doppio_faults_partition_timeouts_total",
+          "Backoff rounds against a partition", f.partitionTimeouts);
+        registry
+            .gauge("doppio_faults_wasted_task_seconds",
+                   "Work discarded by crashes/kills")
+            .set(f.wastedTaskSeconds);
+        registry
+            .gauge("doppio_faults_recovery_seconds",
+                   "Wall-clock of recovery reruns")
+            .set(f.recoverySeconds);
+    }
+
+    if (metrics.memoryPresent) {
+        const spark::MemoryMetrics &m = metrics.memory;
+        registry
+            .gauge("doppio_memory_pool_bytes",
+                   "Configured unified pool, summed over nodes")
+            .set(static_cast<double>(m.poolBytes));
+        registry
+            .gauge("doppio_memory_peak_storage_bytes",
+                   "Sum of per-node storage peaks")
+            .set(static_cast<double>(m.peakStorageBytes));
+        registry
+            .gauge("doppio_memory_peak_execution_bytes",
+                   "Sum of per-node execution peaks")
+            .set(static_cast<double>(m.peakExecutionBytes));
+        registry
+            .counter("doppio_memory_evicted_blocks_total",
+                     "Cached blocks evicted")
+            .inc(m.evictedBlocks);
+        registry
+            .counter("doppio_memory_spills_total",
+                     "Task phases that spilled")
+            .inc(m.spills);
+        registry
+            .counter("doppio_memory_spilled_bytes_total",
+                     "Reservation shortfall sent to disk")
+            .inc(m.spilledBytes);
+        registry
+            .counter("doppio_memory_oom_kills_total",
+                     "Attempts killed by a failed minimum reservation")
+            .inc(m.oomKills);
+        registry
+            .counter("doppio_memory_recomputed_partitions_total",
+                     "Lineage recomputations after block drops")
+            .inc(m.recomputedPartitions);
+    }
+
+    if (metrics.streamingPresent) {
+        const spark::StreamingMetrics &s = metrics.streaming;
+        registry
+            .counter("doppio_streaming_arrivals_total",
+                     "Batches that arrived")
+            .inc(s.arrivals);
+        registry
+            .counter("doppio_streaming_processed_total",
+                     "Batches that completed")
+            .inc(s.processed);
+        registry
+            .counter("doppio_streaming_dropped_total",
+                     "Arrivals shed by backpressure")
+            .inc(s.dropped);
+        registry
+            .counter("doppio_streaming_slo_violations_total",
+                     "Processed batches over SLO")
+            .inc(s.sloViolations);
+        registry
+            .gauge("doppio_streaming_p99_latency_seconds",
+                   "p99 end-to-end batch latency")
+            .set(s.p99LatencySec);
+        registry
+            .gauge("doppio_streaming_peak_backlog",
+                   "Max batches queued or running")
+            .set(static_cast<double>(s.peakBacklog));
+        registry
+            .counter("doppio_streaming_checkpoints_total",
+                     "Checkpoint jobs completed")
+            .inc(s.checkpoints);
+        registry
+            .counter("doppio_streaming_recoveries_total",
+                     "Post-failure recovery jobs")
+            .inc(s.recoveries);
+    }
+}
+
+void
+publishTenancy(Registry &registry,
+               const sched::TenancySummary &tenancy)
+{
+    for (const sched::PoolSummary &pool : tenancy.pools) {
+        registry
+            .gauge("doppio_sched_pool_core_seconds",
+                   "Integral of occupied cores over time per pool",
+                   {{"pool", pool.name}})
+            .set(pool.coreSeconds);
+    }
+    for (const sched::TenantSummary &tenant : tenancy.tenants) {
+        const Labels labels = {{"tenant", tenant.name}};
+        registry
+            .counter("doppio_sched_tenant_jobs_total",
+                     "Completed jobs per tenant", labels)
+            .inc(static_cast<std::uint64_t>(tenant.jobs));
+        registry
+            .gauge("doppio_sched_tenant_core_seconds",
+                   "Occupied core-seconds per tenant", labels)
+            .set(tenant.coreSeconds);
+        registry
+            .gauge("doppio_sched_tenant_makespan_seconds",
+                   "First submission to last completion", labels)
+            .set(tenant.doneSec - tenant.submitSec);
+    }
+}
+
+} // namespace doppio::telemetry

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Registry-backed views of the existing subsystem statistics.
+ *
+ * The simulator's JSON output is produced from per-subsystem stats
+ * structs (DiskStats, PageCacheStats, FaultMetrics, MemoryMetrics,
+ * StreamingMetrics, TenancySummary, ...). These functions publish the
+ * *same* structs into a telemetry Registry, so the Prometheus
+ * exposition and the JSON blocks are two views of one source of truth
+ * — byte-identity of the JSON goldens holds trivially with telemetry
+ * on or off.
+ *
+ * attachCluster() is the exception: it installs real push hooks
+ * (device completion observers) because per-request latency
+ * distributions do not exist in any stats struct. The hooks observe
+ * only — they never schedule events — so an attached registry cannot
+ * perturb the simulation.
+ */
+
+#ifndef DOPPIO_TELEMETRY_VIEWS_H
+#define DOPPIO_TELEMETRY_VIEWS_H
+
+#include "cluster/cluster.h"
+#include "dfs/hdfs.h"
+#include "sched/job_scheduler.h"
+#include "spark/metrics.h"
+#include "telemetry/registry.h"
+
+namespace doppio::telemetry {
+
+/**
+ * Install per-request latency/size histogram hooks on every disk of
+ * every node of @p cluster:
+ * doppio_disk_request_duration_seconds{role,op} and
+ * doppio_disk_request_bytes{role,op}, aggregated over nodes and
+ * devices. @p registry must outlive the cluster's I/O activity.
+ */
+void attachCluster(Registry &registry, cluster::Cluster &cluster);
+
+/**
+ * Publish end-of-run cluster state: per-op device request/byte
+ * totals, device busy seconds, page-cache counters (when modeled)
+ * and network fabric totals.
+ */
+void publishCluster(Registry &registry,
+                    const cluster::Cluster &cluster);
+
+/** Publish HDFS durability/recovery counters. */
+void publishHdfs(Registry &registry, const dfs::Hdfs &hdfs);
+
+/**
+ * Publish application metrics: per-op logical I/O totals over all
+ * stages, stage/job counts and duration, and — when the run carried
+ * them — the fault, unified-memory and streaming blocks.
+ */
+void publishAppMetrics(Registry &registry,
+                       const spark::AppMetrics &metrics);
+
+/** Publish the multi-tenant scheduler's pool/tenant summary. */
+void publishTenancy(Registry &registry,
+                    const sched::TenancySummary &tenancy);
+
+} // namespace doppio::telemetry
+
+#endif // DOPPIO_TELEMETRY_VIEWS_H

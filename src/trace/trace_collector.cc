@@ -123,6 +123,15 @@ TraceArgs::add(const char *k, const char *value)
 // TraceCollector
 
 void
+TraceCollector::emit(TraceEvent &&event)
+{
+    if (sink_)
+        sink_->onTraceEvent(event);
+    if (!recordOnly_)
+        events_.push_back(std::move(event));
+}
+
+void
 TraceCollector::span(int pid, int tid, const char *cat,
                      std::string name, Tick start, Tick end,
                      const TraceArgs &args)
@@ -141,7 +150,7 @@ TraceCollector::span(int pid, int tid, const char *cat,
     event.start = start;
     event.end = end;
     event.args = args.str();
-    events_.push_back(std::move(event));
+    emit(std::move(event));
 }
 
 void
@@ -158,7 +167,7 @@ TraceCollector::instant(int pid, int tid, const char *cat,
     event.start = tick;
     event.end = tick;
     event.args = args.str();
-    events_.push_back(std::move(event));
+    emit(std::move(event));
 }
 
 void
@@ -174,7 +183,7 @@ TraceCollector::counter(int pid, const char *cat, std::string name,
     event.start = tick;
     event.end = tick;
     event.value = value;
-    events_.push_back(std::move(event));
+    emit(std::move(event));
 }
 
 void

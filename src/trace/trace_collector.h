@@ -122,6 +122,18 @@ struct TraceEvent
 };
 
 /**
+ * Receives every event a TraceCollector is handed, in emission order.
+ * Lets bounded observers (the telemetry flight recorder) tap the event
+ * stream without the trace library depending on them.
+ */
+class TraceEventSink
+{
+  public:
+    virtual ~TraceEventSink() = default;
+    virtual void onTraceEvent(const TraceEvent &event) = 0;
+};
+
+/**
  * Accumulates trace events for one run. Events are appended in
  * simulation order (the moment each one is *emitted* — a span is
  * emitted at its end tick), which is deterministic, so two identical
@@ -145,6 +157,21 @@ class TraceCollector
      */
     void counter(int pid, const char *cat, std::string name, Tick tick,
                  double value);
+
+    /**
+     * Forward every subsequent event to @p sink as well (non-owning;
+     * nullptr detaches). The sink sees events in emission order,
+     * before they are stored.
+     */
+    void setSink(TraceEventSink *sink) { sink_ = sink; }
+
+    /**
+     * When true, events are forwarded to the sink but NOT stored in
+     * the collector's event vector — bounded memory for long flights
+     * where only the sink (a flight-recorder ring) matters. Track
+     * names are still kept.
+     */
+    void setRecordOnly(bool recordOnly) { recordOnly_ = recordOnly; }
 
     /** Name the process track @p pid (idempotent; last call wins). */
     void setProcessName(int pid, std::string name);
@@ -171,9 +198,13 @@ class TraceCollector
     void writeChromeJson(std::ostream &os) const;
 
   private:
+    void emit(TraceEvent &&event);
+
     std::vector<TraceEvent> events_;
     std::map<int, std::string> processNames_;
     std::map<std::pair<int, int>, std::string> threadNames_;
+    TraceEventSink *sink_ = nullptr;
+    bool recordOnly_ = false;
 };
 
 } // namespace doppio::trace

@@ -10,6 +10,7 @@
 #include "sched/streaming.h"
 #include "sim/simulator.h"
 #include "spark/metrics_json.h"
+#include "telemetry/views.h"
 #include "workloads/registry.h"
 #include "workloads/streaming.h"
 #include "workloads/workload.h"
@@ -31,12 +32,15 @@ runMultiTenant(const sched::MultiJobSpec &spec,
                const cluster::ClusterConfig &clusterConfig,
                const spark::SparkConf &sparkConf,
                const faults::FaultSpec *faultSpec,
-               trace::TraceCollector *collector)
+               trace::TraceCollector *collector,
+               telemetry::Registry *registry)
 {
     sim::Simulator simulator;
     cluster::Cluster cluster(simulator, clusterConfig);
     if (collector != nullptr)
         cluster.setTraceCollector(collector);
+    if (registry != nullptr)
+        telemetry::attachCluster(*registry, cluster);
     dfs::Hdfs hdfs(cluster, dfs::HdfsConfig{});
 
     // Register every tenant's inputs up front (HDFS placement is part
@@ -176,6 +180,14 @@ runMultiTenant(const sched::MultiJobSpec &spec,
         result.faults.reReplicatedBytes += hdfs.reReplicatedBytes();
         result.faults.recoverySeconds += hdfs.reReplicationSeconds();
         result.faults.lostDirtyBytes += cluster.lostDirtyBytes();
+    }
+    if (registry != nullptr) {
+        // Per-tenant application metrics stay out: publishAppMetrics
+        // uses app-scoped (unlabeled) series, and the tenancy summary
+        // already carries the per-tenant shares.
+        telemetry::publishTenancy(*registry, result.tenancy);
+        telemetry::publishCluster(*registry, cluster);
+        telemetry::publishHdfs(*registry, hdfs);
     }
     return result;
 }

@@ -30,6 +30,10 @@ namespace doppio::trace {
 class TraceCollector;
 }
 
+namespace doppio::telemetry {
+class Registry;
+}
+
 namespace doppio::workloads {
 
 /** Everything a finished multi-tenant run produced. */
@@ -56,13 +60,16 @@ struct MultiTenantResult
  * behave like Workload::run's: a fault spec arms an injector whose
  * node events hit every job in flight; a collector yields per-job
  * Perfetto lanes next to the shared device/cache/memory tracks.
+ * @p registry behaves like Workload::run's too, and additionally
+ * publishes the pool/tenant tenancy summary.
  */
 MultiTenantResult
 runMultiTenant(const sched::MultiJobSpec &spec,
                const cluster::ClusterConfig &clusterConfig,
                const spark::SparkConf &sparkConf,
                const faults::FaultSpec *faultSpec = nullptr,
-               trace::TraceCollector *collector = nullptr);
+               trace::TraceCollector *collector = nullptr,
+               telemetry::Registry *registry = nullptr);
 
 /**
  * Write @p result as one JSON document:

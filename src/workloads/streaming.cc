@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "faults/fault_injector.h"
 #include "sim/simulator.h"
+#include "telemetry/views.h"
 
 namespace doppio::workloads {
 
@@ -184,7 +185,8 @@ Streaming::run(const cluster::ClusterConfig &clusterConfig,
                const spark::SparkConf &sparkConf,
                spark::TaskTrace *trace,
                const faults::FaultSpec *faultSpec,
-               trace::TraceCollector *collector) const
+               trace::TraceCollector *collector,
+               telemetry::Registry *registry) const
 {
     sim::Simulator simulator;
     cluster::ClusterConfig config = clusterConfig;
@@ -193,6 +195,8 @@ Streaming::run(const cluster::ClusterConfig &clusterConfig,
     cluster::Cluster cluster(simulator, config);
     if (collector != nullptr)
         cluster.setTraceCollector(collector);
+    if (registry != nullptr)
+        telemetry::attachCluster(*registry, cluster);
     dfs::Hdfs hdfs(cluster, hdfsConfig());
     const StreamingTemplate tmpl = makeStreamingTemplate(
         options_.tmpl, "", options_.stream.batches,
@@ -242,6 +246,11 @@ Streaming::run(const cluster::ClusterConfig &clusterConfig,
         metrics.faults.reReplicatedBytes += hdfs.reReplicatedBytes();
         metrics.faults.recoverySeconds += hdfs.reReplicationSeconds();
         metrics.faults.lostDirtyBytes += cluster.lostDirtyBytes();
+    }
+    if (registry != nullptr) {
+        telemetry::publishAppMetrics(*registry, metrics);
+        telemetry::publishCluster(*registry, cluster);
+        telemetry::publishHdfs(*registry, hdfs);
     }
     return metrics;
 }

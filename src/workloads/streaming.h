@@ -91,7 +91,8 @@ class Streaming : public Workload
         const spark::SparkConf &sparkConf,
         spark::TaskTrace *trace = nullptr,
         const faults::FaultSpec *faultSpec = nullptr,
-        trace::TraceCollector *collector = nullptr) const override;
+        trace::TraceCollector *collector = nullptr,
+        telemetry::Registry *registry = nullptr) const override;
 
   private:
     Options options_;

@@ -33,6 +33,10 @@ namespace doppio::trace {
 class TraceCollector;
 }
 
+namespace doppio::telemetry {
+class Registry;
+}
+
 namespace doppio::workloads {
 
 /** Base class for the paper's applications. */
@@ -60,13 +64,21 @@ class Workload
      *                  the Spark context (stages, tasks, phases,
      *                  memory) before any job runs; nullptr keeps the
      *                  run bit-for-bit identical to an untraced one.
+     * @param registry  optional metrics registry: device latency/size
+     *                  histograms attach before any job runs, and the
+     *                  end-of-run cluster/HDFS/application stats are
+     *                  published into it after the metrics are folded.
+     *                  Observation only — the returned metrics (and
+     *                  the JSON derived from them) are byte-identical
+     *                  with or without a registry.
      */
     virtual spark::AppMetrics
     run(const cluster::ClusterConfig &clusterConfig,
         const spark::SparkConf &sparkConf,
         spark::TaskTrace *trace = nullptr,
         const faults::FaultSpec *faultSpec = nullptr,
-        trace::TraceCollector *collector = nullptr) const;
+        trace::TraceCollector *collector = nullptr,
+        telemetry::Registry *registry = nullptr) const;
 
     /** Adapter for model::Profiler. */
     model::WorkloadRunner runner() const;

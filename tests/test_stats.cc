@@ -4,6 +4,8 @@
  */
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -116,6 +118,43 @@ TEST(RelativeError, Basics)
     EXPECT_DOUBLE_EQ(relativeError(90.0, 100.0), 0.1);
     EXPECT_DOUBLE_EQ(relativeError(0.0, 0.0), 0.0);
     EXPECT_TRUE(std::isinf(relativeError(1.0, 0.0)));
+}
+
+TEST(Quantile, EmptyReturnsZero)
+{
+    EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(quantile({}, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile({}, 1.0), 0.0);
+}
+
+TEST(Quantile, SingleSampleAnyQ)
+{
+    const std::vector<double> one = {7.0};
+    EXPECT_DOUBLE_EQ(quantile(one, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(quantile(one, 0.5), 7.0);
+    EXPECT_DOUBLE_EQ(quantile(one, 0.99), 7.0);
+    EXPECT_DOUBLE_EQ(quantile(one, 1.0), 7.0);
+}
+
+TEST(Quantile, NearestRank)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    // rank = ceil(q * 4): 0.5 -> 2nd, 0.51 -> 3rd, 0.75 -> 3rd.
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.51), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.75), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.76), 4.0);
+}
+
+TEST(Quantile, OutOfRangeQClamps)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 2.0), 3.0);
+    EXPECT_DOUBLE_EQ(
+        quantile(v, std::numeric_limits<double>::quiet_NaN()), 1.0);
 }
 
 } // namespace

@@ -1,0 +1,679 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: log-linear histogram semantics
+ * and error bounds, registry/exposition determinism, the flight
+ * recorder's bounded rings and postmortem dumps (including the chaos
+ * harness wiring), the online I/O-bottleneck detector and its
+ * reconciliation with the offline phase report, and the planning
+ * service's metrics surface.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/harness.h"
+#include "chaos/schedule_generator.h"
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "dfs/hdfs.h"
+#include "service/server.h"
+#include "sim/simulator.h"
+#include "spark/task_engine.h"
+#include "telemetry/bottleneck.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+#include "trace/phase_report.h"
+#include "trace/trace_collector.h"
+
+namespace doppio {
+namespace {
+
+using telemetry::BottleneckAlert;
+using telemetry::BottleneckDetector;
+using telemetry::FlightRecorder;
+using telemetry::Histogram;
+using telemetry::Labels;
+using telemetry::Registry;
+
+// ----------------------------------------------------------- histogram
+
+TEST(Histogram, EmptyState)
+{
+    const Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(q), 0.0);
+    EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(Histogram, SingleSampleExactForAnyQ)
+{
+    Histogram h;
+    h.observe(123.456);
+    for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(q), 123.456);
+    EXPECT_DOUBLE_EQ(h.min(), 123.456);
+    EXPECT_DOUBLE_EQ(h.max(), 123.456);
+}
+
+TEST(Histogram, ConstantSamplesViaObserveManyAreExact)
+{
+    Histogram h;
+    h.observeMany(7.5, 10'000);
+    EXPECT_EQ(h.count(), 10'000u);
+    EXPECT_DOUBLE_EQ(h.sum(), 75'000.0);
+    // All samples share one bucket; the clamp to [min, max] makes
+    // every quantile exact.
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(q), 7.5);
+}
+
+TEST(Histogram, QuantileErrorBoundedBySubBucketWidth)
+{
+    Histogram h; // default 32 sub-buckets => 1/32 relative bound
+    std::vector<double> samples;
+    for (int i = 1; i <= 1000; ++i) {
+        samples.push_back(static_cast<double>(i));
+        h.observe(static_cast<double>(i));
+    }
+    for (double q : {0.50, 0.95, 0.99}) {
+        // Nearest-rank ground truth on the sorted samples.
+        const std::size_t rank = static_cast<std::size_t>(
+            std::max(1.0, std::ceil(q * 1000.0)));
+        const double truth = samples[rank - 1];
+        const double estimate = h.quantile(q);
+        EXPECT_GE(estimate, truth) << "q=" << q;
+        EXPECT_LE(estimate, truth * (1.0 + 1.0 / 32.0)) << "q=" << q;
+    }
+}
+
+TEST(Histogram, NegativeSamplesClampToZero)
+{
+    Histogram h;
+    h.observe(-5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, MergeMatchesDirectObservation)
+{
+    Histogram direct, a, b;
+    for (int i = 1; i <= 100; ++i) {
+        const double x = static_cast<double>(i) * 0.37;
+        direct.observe(x);
+        (i % 2 ? a : b).observe(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), direct.count());
+    EXPECT_DOUBLE_EQ(a.sum(), direct.sum());
+    EXPECT_DOUBLE_EQ(a.min(), direct.min());
+    EXPECT_DOUBLE_EQ(a.max(), direct.max());
+    for (double q : {0.5, 0.95, 0.99})
+        EXPECT_DOUBLE_EQ(a.quantile(q), direct.quantile(q));
+
+    // Merging an empty histogram is a no-op.
+    const Histogram empty;
+    const std::uint64_t before = a.count();
+    a.merge(empty);
+    EXPECT_EQ(a.count(), before);
+}
+
+TEST(Histogram, MergeWithIncompatibleLayoutPanics)
+{
+    Histogram coarse(1e-9, 16), fine(1e-9, 32);
+    coarse.observe(1.0);
+    EXPECT_DEATH(fine.merge(coarse), "incompatible layouts");
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(Registry, ExpositionIsInsertionOrderIndependent)
+{
+    auto feed = [](Registry &r, bool reversed) {
+        const Labels ssd = {{"role", "hdfs"}, {"type", "ssd"}};
+        const Labels hdd = {{"role", "local"}, {"type", "hdd"}};
+        if (reversed) {
+            r.gauge("doppio_test_depth", "Queue depth").set(3.0);
+            r.counter("doppio_test_reads_total", "Reads", hdd).inc(2);
+            r.counter("doppio_test_reads_total", "Reads", ssd).inc(5);
+        } else {
+            r.counter("doppio_test_reads_total", "Reads", ssd).inc(5);
+            r.counter("doppio_test_reads_total", "Reads", hdd).inc(2);
+            r.gauge("doppio_test_depth", "Queue depth").set(3.0);
+        }
+        r.histogram("doppio_test_latency_seconds", "Latency")
+            .observe(0.125);
+    };
+    Registry forward, backward;
+    feed(forward, false);
+    feed(backward, true);
+    EXPECT_EQ(forward.prometheusText(), backward.prometheusText());
+}
+
+TEST(Registry, LookupsAreIdempotentAndTyped)
+{
+    Registry r;
+    telemetry::Counter &c =
+        r.counter("doppio_test_events_total", "Events");
+    c.inc(4);
+    // Second lookup returns the same instrument.
+    r.counter("doppio_test_events_total", "Events").inc(1);
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_EQ(r.seriesCount(), 1u);
+    // Same name, different type: configuration error.
+    EXPECT_THROW(r.gauge("doppio_test_events_total", "Events"),
+                 FatalError);
+    // Invalid metric name: configuration error.
+    EXPECT_THROW(r.counter("0bad name", "Bad"), FatalError);
+}
+
+TEST(Registry, FindReturnsNullWhenAbsentOrMistyped)
+{
+    Registry r;
+    r.counter("doppio_test_events_total", "Events").inc(1);
+    EXPECT_EQ(r.findCounter("doppio_test_missing_total"), nullptr);
+    EXPECT_EQ(r.findGauge("doppio_test_events_total"), nullptr);
+    ASSERT_NE(r.findCounter("doppio_test_events_total"), nullptr);
+    EXPECT_EQ(r.findCounter("doppio_test_events_total")->value(), 1u);
+}
+
+TEST(Registry, SerializeLabelsSortsAndEscapes)
+{
+    const std::string tricky = "he\"llo\\\n";
+    EXPECT_EQ(telemetry::serializeLabels({{"b", "x"}, {"a", tricky}}),
+              "a=\"he\\\"llo\\\\\\n\",b=\"x\"");
+    EXPECT_THROW(telemetry::serializeLabels({{"a", "1"}, {"a", "2"}}),
+                 FatalError);
+    EXPECT_THROW(telemetry::serializeLabels({{"bad name", "v"}}),
+                 FatalError);
+}
+
+TEST(Registry, HistogramExpositionIsCumulative)
+{
+    Registry r;
+    Histogram &h =
+        r.histogram("doppio_test_latency_seconds", "Latency");
+    h.observe(0.001);
+    h.observe(0.002);
+    h.observe(4.0);
+    std::ostringstream os;
+    r.writePrometheus(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("# TYPE doppio_test_latency_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("doppio_test_latency_seconds_bucket{le=\""),
+              std::string::npos);
+    EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("doppio_test_latency_seconds_count 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("doppio_test_latency_seconds_sum"),
+              std::string::npos);
+
+    // Bucket counts are cumulative: non-decreasing in le order.
+    std::istringstream lines(text);
+    std::string line;
+    std::uint64_t last = 0;
+    while (std::getline(lines, line)) {
+        const std::string marker = "_bucket{le=\"";
+        if (line.find(marker) == std::string::npos)
+            continue;
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos);
+        const std::uint64_t count =
+            std::stoull(line.substr(space + 1));
+        EXPECT_GE(count, last) << line;
+        last = count;
+    }
+    EXPECT_EQ(last, 3u);
+}
+
+// ----------------------------------------------------- flight recorder
+
+trace::TraceEvent
+diskEvent(int n)
+{
+    trace::TraceEvent event;
+    event.type = trace::TraceEvent::Type::Instant;
+    event.cat = "disk";
+    event.name = "req" + std::to_string(n);
+    event.start = static_cast<Tick>(n) * 1000;
+    event.end = event.start;
+    return event;
+}
+
+TEST(FlightRecorder, RingKeepsMostRecentPerCategory)
+{
+    FlightRecorder recorder(4);
+    for (int i = 0; i < 10; ++i)
+        recorder.record(diskEvent(i));
+    EXPECT_EQ(recorder.size(), 4u);
+    EXPECT_EQ(recorder.dropped(), 6u);
+    EXPECT_EQ(recorder.recorded(), 10u);
+
+    std::ostringstream os;
+    recorder.dump(os, "test");
+    const std::string text = os.str();
+    // Oldest entries fell out of the ring; the newest four remain.
+    EXPECT_EQ(text.find("req5"), std::string::npos);
+    EXPECT_NE(text.find("req6"), std::string::npos);
+    EXPECT_NE(text.find("req9"), std::string::npos);
+
+    recorder.clear();
+    EXPECT_EQ(recorder.size(), 0u);
+    EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+TEST(FlightRecorder, DumpHasHeaderReasonAndCategorySections)
+{
+    FlightRecorder recorder;
+    recorder.record(diskEvent(1));
+    recorder.note("something went sideways", 2000);
+    std::ostringstream os;
+    recorder.dump(os, "unit-test-reason");
+    const std::string text = os.str();
+    EXPECT_EQ(text.rfind("# doppio flight recorder\n", 0), 0u);
+    EXPECT_NE(text.find("# reason: unit-test-reason"),
+              std::string::npos);
+    EXPECT_NE(text.find("## disk (1 events)"), std::string::npos);
+    EXPECT_NE(text.find("## note (1 events)"), std::string::npos);
+    EXPECT_NE(text.find("something went sideways"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpToFileFailsGracefully)
+{
+    const FlightRecorder recorder;
+    EXPECT_FALSE(recorder.dumpToFile(
+        "/nonexistent-dir/definitely/missing/pm.txt", "r"));
+}
+
+TEST(FlightRecorder, TapsRecordOnlyCollectorWithoutStoring)
+{
+    FlightRecorder recorder;
+    trace::TraceCollector collector;
+    collector.setSink(&recorder);
+    collector.setRecordOnly(true);
+    collector.instant(1, 1, "net", "fetch", 10);
+    collector.span(1, 1, "disk", "read", 10, 20);
+    collector.counter(1, "cache", "dirty", 30, 42.0);
+    // Record-only: the collector stores nothing, the sink sees all.
+    EXPECT_EQ(collector.size(), 0u);
+    EXPECT_EQ(recorder.recorded(), 3u);
+}
+
+TEST(FlightRecorderDeathTest, PanicHookDumpsPostmortem)
+{
+    EXPECT_DEATH(
+        {
+            FlightRecorder recorder;
+            recorder.record(diskEvent(7));
+            setPanicHook([&recorder](const std::string &message) {
+                recorder.note("panic: " + message);
+                recorder.dump(std::cerr, message);
+            });
+            panic("boom %d", 7);
+        },
+        "doppio flight recorder");
+}
+
+// ----------------------------------------------- chaos postmortem
+
+TEST(ChaosPostmortem, CleanRunWritesNothing)
+{
+    chaos::ChaosOptions options;
+    options.seed = 7; // known-good seed (InvariantsHoldOnFixedSeeds)
+    options.faultsPerMinute = 2.0;
+    options.postmortemPath =
+        ::testing::TempDir() + "doppio_chaos_clean_pm.txt";
+    std::remove(options.postmortemPath.c_str());
+    const chaos::ChaosVerdict verdict =
+        chaos::checkInvariants(options);
+    EXPECT_TRUE(verdict.passed()) << verdict.failure;
+    EXPECT_FALSE(std::ifstream(options.postmortemPath).good())
+        << "clean verdict must not write a postmortem";
+}
+
+TEST(ChaosPostmortem, TrippedInvariantDumpsFlightRecorder)
+{
+    chaos::ChaosOptions options;
+    options.seed = 3;
+    options.faultsPerMinute = 4.0;
+
+    // Size an event budget between the baseline and the faulty run:
+    // the baseline completes, the faulty run (more events, it pays
+    // for recovery) trips the watchdog — a deterministic invariant
+    // failure.
+    const chaos::ChaosRunResult baseline =
+        chaos::runChaosRig(options, nullptr);
+    ASSERT_TRUE(baseline.completed) << baseline.error;
+    const faults::FaultSpec spec = chaos::generateSchedule(options);
+    const chaos::ChaosRunResult faulty =
+        chaos::runChaosRig(options, &spec);
+    ASSERT_TRUE(faulty.completed) << faulty.error;
+    ASSERT_LT(baseline.firedEvents, faulty.firedEvents);
+    options.eventBudget =
+        (baseline.firedEvents + faulty.firedEvents) / 2;
+
+    options.postmortemPath =
+        ::testing::TempDir() + "doppio_chaos_trip_pm.txt";
+    std::remove(options.postmortemPath.c_str());
+    const chaos::ChaosVerdict verdict =
+        chaos::checkInvariants(options);
+    EXPECT_FALSE(verdict.passed());
+    EXPECT_NE(verdict.failure.find("faulty run failed"),
+              std::string::npos)
+        << verdict.failure;
+
+    std::ifstream in(options.postmortemPath);
+    ASSERT_TRUE(in.good()) << "invariant trip must dump a postmortem";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    EXPECT_EQ(text.rfind("# doppio flight recorder\n", 0), 0u);
+    EXPECT_NE(text.find("# reason: faulty run failed"),
+              std::string::npos);
+    EXPECT_NE(text.find("chaos invariant tripped (seed 3)"),
+              std::string::npos);
+    std::remove(options.postmortemPath.c_str());
+}
+
+// -------------------------------------------------------- bottleneck
+
+trace::PhaseBreakdown
+madeBreakdown(const std::string &stage, double wallSec, double compute,
+              double read, double shuffle, double spill)
+{
+    trace::PhaseBreakdown b;
+    b.stage = stage;
+    b.start = 0;
+    b.end = secondsToTicks(wallSec);
+    b.compute = compute;
+    b.read = read;
+    b.shuffle = shuffle;
+    b.spill = spill;
+    b.idle = wallSec - compute - read - shuffle - spill;
+    return b;
+}
+
+TEST(Bottleneck, FirstObservationSeedsEmaExactly)
+{
+    BottleneckDetector detector;
+    const auto alerts = detector.observeStage(
+        madeBreakdown("s", 10.0, 3.0, 6.0, 0.5, 0.0));
+    const telemetry::StageShares &s = detector.stageShares().at("s");
+    EXPECT_DOUBLE_EQ(s.read, 0.6);
+    EXPECT_DOUBLE_EQ(s.compute, 0.3);
+    EXPECT_DOUBLE_EQ(s.shuffle, 0.05);
+    EXPECT_EQ(s.observations, 1u);
+    // read share 0.6 >= 0.4 threshold: one ReadDominated alert.
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].kind, BottleneckAlert::Kind::ReadDominated);
+    EXPECT_EQ(alerts[0].stage, "s");
+    EXPECT_DOUBLE_EQ(alerts[0].share, 0.6);
+    EXPECT_STREQ(alerts[0].kindName(), "read-dominated");
+}
+
+TEST(Bottleneck, ReAlertsOnlyWhenDominantCategoryChanges)
+{
+    BottleneckDetector detector;
+    const trace::PhaseBreakdown readHeavy =
+        madeBreakdown("s", 10.0, 2.0, 7.0, 0.0, 0.0);
+    EXPECT_EQ(detector.observeStage(readHeavy).size(), 1u);
+    // Same dominance again: suppressed by alertOnChangeOnly.
+    EXPECT_EQ(detector.observeStage(readHeavy).size(), 0u);
+    // Dominance flips to shuffle (EMA needs a couple of windows to
+    // cross): re-alerts exactly once.
+    const trace::PhaseBreakdown shuffleHeavy =
+        madeBreakdown("s", 10.0, 1.0, 0.0, 9.0, 0.0);
+    std::vector<BottleneckAlert> flipped;
+    for (int i = 0; i < 4 && flipped.empty(); ++i)
+        flipped = detector.observeStage(shuffleHeavy);
+    ASSERT_EQ(flipped.size(), 1u);
+    EXPECT_EQ(flipped[0].kind,
+              BottleneckAlert::Kind::ShuffleDominated);
+    EXPECT_EQ(detector.alerts().size(), 2u);
+}
+
+TEST(Bottleneck, SloBurnAlertsOnceUntilRecovery)
+{
+    BottleneckDetector detector;
+    std::size_t burnAlerts = 0;
+    // Every batch misses a 1s SLO: the burn EMA rises to 1 and the
+    // alert fires exactly once.
+    for (int i = 0; i < 6; ++i)
+        burnAlerts += detector.observeBatch(2.0, 1.0).size();
+    EXPECT_EQ(burnAlerts, 1u);
+    EXPECT_GT(detector.burnRate(), 0.25);
+    // Healthy batches bring the EMA back under threshold...
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(detector.observeBatch(0.1, 1.0).empty());
+    EXPECT_LT(detector.burnRate(), 0.25);
+    // ...after which a new burn re-alerts.
+    burnAlerts = 0;
+    for (int i = 0; i < 6; ++i)
+        burnAlerts += detector.observeBatch(2.0, 1.0).size();
+    EXPECT_EQ(burnAlerts, 1u);
+}
+
+TEST(Bottleneck, PublishWritesDetectorSeries)
+{
+    BottleneckDetector detector;
+    detector.observeStage(madeBreakdown("s", 10.0, 2.0, 7.0, 0.0, 0.0));
+    detector.observeBatch(2.0, 1.0);
+    detector.observeBatch(2.0, 1.0);
+    Registry registry;
+    detector.publish(registry);
+    const telemetry::Counter *reads = registry.findCounter(
+        "doppio_bottleneck_alerts_total", {{"kind", "read-dominated"}});
+    ASSERT_NE(reads, nullptr);
+    EXPECT_EQ(reads->value(), 1u);
+    // Kinds without alerts are published zero-filled.
+    const telemetry::Counter *spills = registry.findCounter(
+        "doppio_bottleneck_alerts_total",
+        {{"kind", "spill-dominated"}});
+    ASSERT_NE(spills, nullptr);
+    EXPECT_EQ(spills->value(), 0u);
+    const telemetry::Gauge *share = registry.findGauge(
+        "doppio_bottleneck_stage_share",
+        {{"stage", "s"}, {"phase", "read"}});
+    ASSERT_NE(share, nullptr);
+    EXPECT_DOUBLE_EQ(share->value(), 0.7);
+    ASSERT_NE(registry.findGauge("doppio_streaming_slo_burn_rate"),
+              nullptr);
+}
+
+/**
+ * The acceptance cross-check: on the fig06 synthetic stage the online
+ * detector's streamed shares must reconcile with the offline
+ * PhaseReport within 1%. With EMA seeding the first observation is
+ * exact, so the two agree bit-for-bit here; the 1% tolerance guards
+ * the contract, not the arithmetic.
+ */
+TEST(Bottleneck, ReconcilesWithOfflinePhaseReportOnFig06)
+{
+    storage::DiskParams disk;
+    disk.model = "fig6-disk";
+    disk.type = storage::DiskType::Ssd;
+    disk.readIops = 1.0e6;
+    disk.writeIops = 1.0e6;
+    disk.readLatency = usToTicks(10.0);
+    disk.writeLatency = usToTicks(10.0);
+    disk.readBandwidth = mibps(120.0);
+    disk.writeBandwidth = mibps(120.0);
+
+    sim::Simulator sim;
+    cluster::ClusterConfig config;
+    config.numSlaves = 1;
+    config.node.cores = 12;
+    config.node.hdfsDisk = disk;
+    config.node.localDisk = disk;
+    config.taskJitterSigma = 0.25;
+    cluster::Cluster cluster(sim, config);
+    dfs::Hdfs hdfs(cluster);
+    spark::SparkConf conf;
+    conf.executorCores = 8;
+    conf.taskDispatchOverheadSec = 0.0;
+    conf.aggregateIo = false;
+    spark::TaskEngine engine(cluster, hdfs, conf);
+
+    trace::TraceCollector collector;
+    cluster.setTraceCollector(&collector);
+    engine.setTraceCollector(&collector);
+
+    const Bytes task_bytes = mib(60);
+    spark::StageSpec stage;
+    stage.name = "fig6";
+    spark::IoPhaseSpec io;
+    io.op = storage::IoOp::PersistRead;
+    io.bytesPerTask = task_bytes;
+    io.requestSize = mib(1);
+    io.cpuPerByte = 0.5 / static_cast<double>(task_bytes);
+    stage.groups.push_back(spark::TaskGroupSpec{
+        "g", 96, {io, spark::ComputePhaseSpec{3.0}}, task_bytes});
+    engine.runStage(stage);
+
+    const trace::PhaseReport report =
+        trace::PhaseReport::build(collector, conf.executorCores);
+    ASSERT_EQ(report.stages.size(), 1u);
+    const trace::PhaseBreakdown &offline = report.stages[0];
+    const double wall = offline.wall();
+    ASSERT_GT(wall, 0.0);
+
+    BottleneckDetector detector;
+    for (const trace::PhaseBreakdown &b : report.stages)
+        detector.observeStage(b);
+    const telemetry::StageShares &online =
+        detector.stageShares().at("fig6");
+    EXPECT_NEAR(online.read, offline.read / wall, 0.01);
+    EXPECT_NEAR(online.compute, offline.compute / wall, 0.01);
+    EXPECT_NEAR(online.idle, offline.idle / wall, 0.01);
+    EXPECT_NEAR(online.shuffle, offline.shuffle / wall, 0.01);
+}
+
+// ----------------------------------------------------------- service
+
+service::ServiceConfig
+serviceConfig()
+{
+    service::ServiceConfig config;
+    config.planner.seed = 7;
+    return config;
+}
+
+TEST(ServiceMetrics, CmdMetricsReturnsExpositionEnvelope)
+{
+    service::PlanningService svc(serviceConfig());
+    const std::vector<std::string> transcript = svc.runScript({
+        "{\"id\":\"q\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        "{\"cmd\":\"metrics\",\"at_ms\":50000}",
+    });
+    const std::string *metrics = nullptr;
+    for (const std::string &line : transcript)
+        if (line.rfind("{\"families\":", 0) == 0)
+            metrics = &line;
+    ASSERT_NE(metrics, nullptr) << "no metrics envelope in transcript";
+    EXPECT_NE(metrics->find("\"series\":"), std::string::npos);
+    EXPECT_NE(metrics->find("\"exposition\":\""), std::string::npos);
+    EXPECT_NE(metrics->find("doppio_service_requests_total"),
+              std::string::npos);
+}
+
+TEST(ServiceMetrics, PublishMetricsMirrorsStats)
+{
+    service::PlanningService svc(serviceConfig());
+    svc.runScript({
+        "{\"id\":\"cold\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        "{\"id\":\"warm\",\"workload\":\"lr-small\",\"at_ms\":50000}",
+    });
+    const service::ServiceStats stats = svc.stats();
+    Registry registry;
+    svc.publishMetrics(registry);
+    const telemetry::Counter *requests =
+        registry.findCounter("doppio_service_requests_total");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_EQ(requests->value(), stats.received);
+    const telemetry::Counter *hits =
+        registry.findCounter("doppio_service_cache_hits_total");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_EQ(hits->value(), stats.cacheHits);
+    const telemetry::Gauge *ratio =
+        registry.findGauge("doppio_service_cache_hit_ratio");
+    ASSERT_NE(ratio, nullptr);
+    EXPECT_DOUBLE_EQ(ratio->value(), stats.cacheHitRatio);
+}
+
+TEST(ServiceMetrics, StatsCarryCacheRatioAndBreakerResidency)
+{
+    service::PlanningService svc(serviceConfig());
+    svc.runScript({
+        "{\"id\":\"cold\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        "{\"id\":\"warm\",\"workload\":\"lr-small\",\"at_ms\":50000}",
+    });
+    const service::ServiceStats stats = svc.stats();
+    // One cold miss, one identical warm hit.
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_DOUBLE_EQ(stats.cacheHitRatio, 0.5);
+    // The breaker never opened: all residency is Closed.
+    EXPECT_GT(stats.breakerClosedMs, 0.0);
+    EXPECT_DOUBLE_EQ(stats.breakerOpenMs, 0.0);
+    EXPECT_DOUBLE_EQ(stats.breakerHalfOpenMs, 0.0);
+    // The JSON view carries the new fields.
+    const std::string json = svc.statsJson();
+    EXPECT_NE(json.find("\"cache_hit_ratio\":"), std::string::npos);
+    EXPECT_NE(json.find("\"breaker_closed_ms\":"), std::string::npos);
+}
+
+TEST(ServiceFlightRecorder, BreakerOpenDumpsPostmortem)
+{
+    const std::string path =
+        ::testing::TempDir() + "doppio_service_pm.txt";
+    std::remove(path.c_str());
+
+    // A 1ms latency threshold guarantees the first slow path trips
+    // the breaker (an lr-small profile costs ~11.8k virtual ms).
+    service::ServiceConfig config = serviceConfig();
+    config.breaker.latencyThresholdMs = 1.0;
+    service::PlanningService svc(config);
+    FlightRecorder recorder;
+    svc.setFlightRecorder(&recorder, path);
+    svc.runScript(
+        {"{\"id\":\"q\",\"workload\":\"lr-small\",\"at_ms\":0}"});
+    EXPECT_GT(svc.breaker().trips(), 0u);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "breaker open must dump a postmortem";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("# reason: breaker-open"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ServiceFlightRecorder, HealthyRunWritesNothing)
+{
+    const std::string path =
+        ::testing::TempDir() + "doppio_service_healthy_pm.txt";
+    std::remove(path.c_str());
+    service::PlanningService svc(serviceConfig());
+    FlightRecorder recorder;
+    svc.setFlightRecorder(&recorder, path);
+    svc.runScript(
+        {"{\"id\":\"q\",\"workload\":\"lr-small\",\"at_ms\":0}"});
+    EXPECT_EQ(svc.breaker().trips(), 0u);
+    EXPECT_FALSE(std::ifstream(path).good())
+        << "healthy run must not write a postmortem";
+}
+
+} // namespace
+} // namespace doppio

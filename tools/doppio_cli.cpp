@@ -41,7 +41,16 @@
  *       replaying a script file (one request per line, '#' comments)
  *       or over TCP on 127.0.0.1:N. --stats-json dumps the operator
  *       counters (shed/degraded/retry/partition-timeout telemetry)
- *       after the script or serve loop finishes.
+ *       after the script or serve loop finishes; --metrics-out writes
+ *       the doppio_service_* Prometheus exposition (the same text the
+ *       {"cmd":"metrics"} control query returns inline), and
+ *       --postmortem FILE attaches a flight recorder that dumps the
+ *       recent event rings to FILE when the circuit breaker opens.
+ *
+ * Any run variant accepts --metrics-out FILE: the run's counters,
+ * gauges and latency histograms in Prometheus text exposition format
+ * (DESIGN.md §15). Metrics observe only — a run with --metrics-out is
+ * byte-identical (tables, --json, exit code) to one without.
  *
  * Disk types T: hdd, ssd, nvme. Unknown flags and out-of-range values
  * abort with a non-zero exit instead of being silently ignored.
@@ -69,6 +78,9 @@
 #include "spark/metrics_json.h"
 #include "spark/task_trace.h"
 #include "storage/fio.h"
+#include "telemetry/bottleneck.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
 #include "trace/phase_report.h"
 #include "trace/trace_collector.h"
 #include "workloads/gatk4.h"
@@ -344,6 +356,45 @@ printMemorySummary(const spark::MemoryMetrics &m)
               << m.oomKills << " OOM kill(s)\n";
 }
 
+/** Write @p registry's Prometheus exposition to @p path. */
+void
+writeMetricsFile(const telemetry::Registry &registry,
+                 const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open metrics file '%s'", path.c_str());
+    registry.writePrometheus(out);
+    std::cout << "wrote " << registry.seriesCount()
+              << " metric series (" << registry.familyCount()
+              << " families) to " << path << "\n";
+}
+
+/**
+ * Stream the traced run's per-stage phase attribution through the
+ * online bottleneck detector: alerts print to the console, and the
+ * detector's stage-share/alert series land in @p registry next to the
+ * run's other metrics.
+ */
+void
+publishBottlenecks(telemetry::Registry &registry,
+                   const trace::TraceCollector &collector,
+                   const cluster::ClusterConfig &config,
+                   const spark::SparkConf &conf)
+{
+    const int core_tracks =
+        config.numSlaves *
+        std::min(conf.executorCores, config.node.cores);
+    const trace::PhaseReport report =
+        trace::PhaseReport::build(collector, core_tracks);
+    telemetry::BottleneckDetector detector;
+    for (const trace::PhaseBreakdown &stage : report.stages)
+        for (const telemetry::BottleneckAlert &alert :
+             detector.observeStage(stage))
+            std::cout << "bottleneck: " << alert.toString() << "\n";
+    detector.publish(registry);
+}
+
 /** Console summary + optional phase report for a recorded timeline. */
 void
 printTraceSummary(const trace::TraceCollector &collector,
@@ -382,15 +433,18 @@ runMultiSpec(const sched::MultiJobSpec &spec, const Args &args)
               "scheduler");
 
     trace::TraceCollector collector;
+    telemetry::Registry registry;
     const std::string json_path = args.value("--json", "");
     const std::string perfetto_path = args.value("--perfetto", "");
+    const std::string metrics_path = args.value("--metrics-out", "");
     const faults::FaultSpec faultSpec = faultsFromArgs(args);
     args.rejectUnknown("run");
 
     const workloads::MultiTenantResult result =
         workloads::runMultiTenant(
             spec, config, conf, &faultSpec,
-            perfetto_path.empty() ? nullptr : &collector);
+            perfetto_path.empty() ? nullptr : &collector,
+            metrics_path.empty() ? nullptr : &registry);
 
     if (!perfetto_path.empty()) {
         std::ofstream out(perfetto_path);
@@ -469,6 +523,11 @@ runMultiSpec(const sched::MultiJobSpec &spec, const Args &args)
         printMemorySummary(result.memory);
     if (!perfetto_path.empty())
         printTraceSummary(collector, config, conf);
+    if (!metrics_path.empty()) {
+        if (!perfetto_path.empty())
+            publishBottlenecks(registry, collector, config, conf);
+        writeMetricsFile(registry, metrics_path);
+    }
     return 0;
 }
 
@@ -517,16 +576,19 @@ cmdRun(const std::string &name, const Args &args)
 
     spark::TaskTrace trace;
     trace::TraceCollector collector;
+    telemetry::Registry registry;
     const std::string trace_path = args.value("--trace", "");
     const std::string json_path = args.value("--json", "");
     const std::string perfetto_path = args.value("--perfetto", "");
+    const std::string metrics_path = args.value("--metrics-out", "");
     const faults::FaultSpec faultSpec = faultsFromArgs(args);
     args.rejectUnknown("run");
 
     const spark::AppMetrics metrics =
         workload->run(config, conf, trace_path.empty() ? nullptr : &trace,
                       &faultSpec,
-                      perfetto_path.empty() ? nullptr : &collector);
+                      perfetto_path.empty() ? nullptr : &collector,
+                      metrics_path.empty() ? nullptr : &registry);
     if (!trace_path.empty()) {
         std::ofstream out(trace_path);
         if (!out)
@@ -583,6 +645,11 @@ cmdRun(const std::string &name, const Args &args)
         printMemorySummary(metrics.memory);
     if (!perfetto_path.empty())
         printTraceSummary(collector, config, conf);
+    if (!metrics_path.empty()) {
+        if (!perfetto_path.empty())
+            publishBottlenecks(registry, collector, config, conf);
+        writeMetricsFile(registry, metrics_path);
+    }
     return 0;
 }
 
@@ -732,6 +799,8 @@ cmdServe(const Args &args)
     const std::string scriptPath = args.value("--script", "");
     const std::string transcriptPath = args.value("--transcript", "");
     const std::string statsPath = args.value("--stats-json", "");
+    const std::string metricsPath = args.value("--metrics-out", "");
+    const std::string postmortemPath = args.value("--postmortem", "");
     const int port = args.intValue("--port", 0, 0, 65535);
     const auto maxRequests = static_cast<std::uint64_t>(
         args.intValue("--max-requests", 0, 0, INT_MAX));
@@ -742,6 +811,9 @@ cmdServe(const Args &args)
               "replay) or --port N (TCP loop)");
 
     service::PlanningService server(config);
+    telemetry::FlightRecorder recorder;
+    if (!postmortemPath.empty())
+        server.setFlightRecorder(&recorder, postmortemPath);
     if (!scriptPath.empty()) {
         std::ifstream in(scriptPath);
         if (!in)
@@ -772,6 +844,12 @@ cmdServe(const Args &args)
         if (!out)
             fatal("serve: cannot write %s", statsPath.c_str());
         out << server.statsJson() << "\n";
+    }
+    if (!metricsPath.empty()) {
+        std::ofstream out(metricsPath);
+        if (!out)
+            fatal("serve: cannot write %s", metricsPath.c_str());
+        out << server.metricsText();
     }
     return 0;
 }
@@ -814,6 +892,11 @@ usage()
            "                --breaker-cooldown-ms T --service-seed S\n"
            "                --fault-spec SPEC (slow-path gray "
            "failures)\n"
+           "                --metrics-out FILE (service Prometheus "
+           "text)\n"
+           "                --postmortem FILE (flight-recorder dump "
+           "on\n"
+           "                breaker open)\n"
            "options: --nodes N --cores P --hdfs T --local T\n"
            "         --local-disks K --speculate --verbose\n"
            "         --trace FILE               per-task CSV trace\n"
@@ -822,6 +905,12 @@ usage()
            "                                    per-stage phase "
            "attribution\n"
            "         --json FILE                metrics as JSON\n"
+           "         --metrics-out FILE         Prometheus text "
+           "exposition (with\n"
+           "                                    --perfetto: adds "
+           "bottleneck-detector\n"
+           "                                    series + console "
+           "alerts)\n"
            "         --no-page-cache            direct I/O "
            "(drop_caches conditions)\n"
            "         --cache-capacity MIB       page cache per node "

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (0.0.4) file.
+
+Checks the invariants the telemetry registry promises (DESIGN.md §15):
+
+  - every line is a comment, blank, or `name{labels} value`;
+  - every sample's family is announced by a # HELP and # TYPE pair
+    before its first sample, and families are contiguous;
+  - family names appear in sorted order and series within a family in
+    sorted label order (the registry's deterministic iteration);
+  - no (name, labels) series appears twice;
+  - histogram families expose cumulative _bucket{le=...} counts ending
+    in le="+Inf", plus _sum and _count, with _bucket{le="+Inf"} equal
+    to _count.
+
+Usage: promlint.py FILE [FILE...]; exits non-zero on the first
+malformed file.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def fail(path, lineno, message):
+    print(f"{path}:{lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def base_family(name, typ_by_family):
+    """Map a histogram sample name back to its declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        family = name[: -len(suffix)] if name.endswith(suffix) else None
+        if family and typ_by_family.get(family) == "histogram":
+            return family
+    return name
+
+
+def lint(path):
+    helped, typed = set(), {}
+    seen_series = set()
+    family_order = []
+    histograms = {}  # family -> {"buckets": [(le, count)], ...}
+
+    with open(path) as f:
+        lines = f.read().splitlines()
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.fullmatch(parts[2]):
+                fail(path, lineno, f"malformed HELP line: {line!r}")
+            helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+            ):
+                fail(path, lineno, f"malformed TYPE line: {line!r}")
+            if parts[2] in typed:
+                fail(path, lineno, f"family {parts[2]} typed twice")
+            typed[parts[2]] = parts[3]
+            family_order.append(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(path, lineno, f"malformed sample line: {line!r}")
+        name, labels = m.group("name"), m.group("labels") or ""
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            fail(path, lineno, f"non-numeric value: {line!r}")
+        consumed = "".join(
+            LABEL_RE.sub("", labels).split(",")
+        ).strip()
+        if consumed:
+            fail(path, lineno, f"malformed labels: {labels!r}")
+
+        family = base_family(name, typed)
+        if family not in typed or family not in helped:
+            fail(path, lineno, f"sample {name} before HELP/TYPE")
+        if family != family_order[-1]:
+            fail(path, lineno, f"family {family} not contiguous")
+        if (name, labels) in seen_series:
+            fail(path, lineno, f"duplicate series {name}{{{labels}}}")
+        seen_series.add((name, labels))
+
+        if typed[family] == "histogram":
+            pairs = LABEL_RE.findall(labels)
+            le = dict(pairs).get("le")
+            series_key = (
+                family,
+                ",".join(f'{k}="{v}"' for k, v in pairs if k != "le"),
+            )
+            h = histograms.setdefault(
+                series_key, {"buckets": [], "sum": None, "count": None}
+            )
+            if name.endswith("_bucket"):
+                if le is None:
+                    fail(path, lineno, f"bucket without le: {line!r}")
+                h["buckets"].append((le, value))
+            elif name.endswith("_sum"):
+                h["sum"] = value
+            elif name.endswith("_count"):
+                h["count"] = value
+
+    if family_order != sorted(family_order):
+        fail(path, 0, "families not in sorted order")
+
+    for (family, lbls), h in histograms.items():
+        where = f"{family}{{{lbls}}}"
+        if h["sum"] is None or h["count"] is None:
+            fail(path, 0, f"histogram {where} missing _sum/_count")
+        if not h["buckets"] or h["buckets"][-1][0] != "+Inf":
+            fail(path, 0, f"histogram {where} missing le=\"+Inf\"")
+        counts = [c for _, c in h["buckets"]]
+        if counts != sorted(counts):
+            fail(path, 0, f"histogram {where} buckets not cumulative")
+        if counts[-1] != h["count"]:
+            fail(path, 0, f"histogram {where} +Inf != _count")
+
+    print(
+        f"{path}: OK ({len(seen_series)} series, "
+        f"{len(family_order)} families)"
+    )
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        lint(path)
+
+
+if __name__ == "__main__":
+    main()
