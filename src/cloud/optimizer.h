@@ -5,25 +5,49 @@
  * Converts configuration selection into minimizing the discrete
  * multivariate function Cost = f(P, DiskTypes, DiskSize_HDFS,
  * DiskSize_SparkLocal, Time), where Time comes from the fitted Doppio
- * model evaluated against each candidate's disk profile. The search
- * space is small and each evaluation is a closed-form model query, so
- * we search it exhaustively over a geometric size grid (the paper uses
- * gradient descent; both find the same optimum on this convex-ish
- * surface, and the exhaustive sweep also yields the Fig. 13/15 cost
- * curves).
+ * model evaluated against each candidate's disk profile. Three search
+ * modes share one grid:
+ *
+ *   - optimize(): unconstrained cheapest configuration (Fig. 13/15).
+ *   - optimizeConstrained(): "cheapest under completion deadline D"
+ *     and the dual "fastest under dollar budget B" (the OptEx
+ *     formulation), answered by branch-and-bound over the size grid.
+ *   - optimizeExhaustive(): the same constrained answer by full
+ *     enumeration — the fallback and the CI-diffed reference.
+ *
+ * Branch-and-bound exploits monotonicity of the modeled surface along
+ * the two size axes: a bigger provisioned disk is never slower (the
+ * effective-bandwidth tables grow with provisioned size) and is
+ * always pricier (GCP bills per GB-month, linearly). Evaluating the
+ * two extreme corners of a sub-grid therefore bounds runtime below by
+ * the large corner and fleet-$/hour below by the small corner, so
+ * whole boxes whose bound cannot beat the incumbent are skipped. The
+ * tie-break tracks the canonical enumeration index, which makes the
+ * pruned argmin byte-identical to the exhaustive scan's
+ * first-cheapest rule. When the surface violates monotonicity between
+ * two corners (guarded within a small tolerance) the search abandons
+ * pruning and falls back to the exhaustive sweep, counting the
+ * fallback, instead of risking a wrong answer.
+ *
+ * Every evaluation funnels through an LRU memo keyed on the full
+ * CloudConfig, so repeated cells across optimize(), the Fig. 13/15
+ * sweeps and planning-service queries are never re-modeled.
  */
 
 #ifndef DOPPIO_CLOUD_OPTIMIZER_H
 #define DOPPIO_CLOUD_OPTIMIZER_H
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "cloud/pricing.h"
+#include "common/lru_cache.h"
 #include "model/stage_model.h"
 
 namespace doppio::cloud {
@@ -35,6 +59,60 @@ struct Evaluation
     double seconds = 0.0; //!< model-predicted runtime
     double cost = 0.0;    //!< dollars for the job
 };
+
+/** A provisioning constraint (OptEx-style, DESIGN.md §16). */
+struct Constraint
+{
+    enum class Kind
+    {
+        MinCost,               //!< unconstrained cheapest
+        CheapestUnderDeadline, //!< min $ s.t. runtime <= deadlineSec
+        FastestUnderBudget,    //!< min runtime s.t. $ <= budgetUsd
+    };
+
+    Kind kind = Kind::MinCost;
+    double deadlineSec = 0.0; //!< CheapestUnderDeadline only
+    double budgetUsd = 0.0;   //!< FastestUnderBudget only
+
+    static Constraint minCost();
+    static Constraint cheapestUnderDeadline(double deadlineSec);
+    static Constraint fastestUnderBudget(double budgetUsd);
+};
+
+/**
+ * Search accounting. Cumulative on the optimizer (searchStats()) and
+ * reported per call in ConstrainedResult::stats as the delta the call
+ * produced. cellsEvaluated counts real model evaluations (memo
+ * misses); memoHits counts cells served from the memo; cellsPruned
+ * counts grid cells branch-and-bound never touched.
+ */
+struct SearchStats
+{
+    std::uint64_t cellsTotal = 0;
+    std::uint64_t cellsEvaluated = 0;
+    std::uint64_t memoHits = 0;
+    std::uint64_t cellsPruned = 0;
+    std::uint64_t exhaustiveFallbacks = 0;
+};
+
+/** Outcome of one constrained search. */
+struct ConstrainedResult
+{
+    /** False when no grid cell satisfies the constraint. */
+    bool feasible = false;
+    Evaluation best; //!< valid only when feasible
+    SearchStats stats;
+};
+
+/**
+ * Scan @p evals in order and @return the constraint's winner, or
+ * nullptr when nothing is feasible. Strict improvement keeps the
+ * first-best tie-break of the canonical enumeration order; this is
+ * the selection rule both the exhaustive sweep and the planning
+ * service use.
+ */
+const Evaluation *selectBest(const std::vector<Evaluation> &evals,
+                             const Constraint &constraint);
 
 /** Searches cloud configurations using a fitted application model. */
 class CostOptimizer
@@ -63,20 +141,34 @@ class CostOptimizer
          * thread per hardware core.
          */
         int jobs = 1;
+        /** Evaluation-memo entries kept hot (LRU); 0 disables. */
+        std::size_t memoCapacity = 4096;
+        /**
+         * Test seam: deterministic adjustment of the modeled runtime,
+         * applied before cost is derived (so cost stays price x time
+         * consistent). Lets tests manufacture monotonicity violations;
+         * both search modes and the memo see the same surface.
+         */
+        std::function<double(const CloudConfig &, double)> secondsHook;
     };
 
     CostOptimizer(model::AppModel appModel, GcpPricing pricing,
                   Options options);
 
-    // Copies share nothing: the table cache is duplicated and the
-    // copy gets its own mutex (the default ops are deleted by it).
+    // Copies share nothing: the table cache and cumulative search
+    // stats are duplicated, the evaluation memo starts cold (it is
+    // only a cache) and the copy gets its own mutexes.
     CostOptimizer(const CostOptimizer &other);
     CostOptimizer &operator=(const CostOptimizer &other);
     CostOptimizer(CostOptimizer &&) = default;
     CostOptimizer &operator=(CostOptimizer &&) = default;
     ~CostOptimizer() = default;
 
-    /** Predict runtime and cost for one configuration. */
+    /**
+     * Predict runtime and cost for one configuration, through the
+     * evaluation memo. Thread-safe; a memo hit is byte-identical to a
+     * fresh evaluation (the model is deterministic).
+     */
     Evaluation evaluate(const CloudConfig &config) const;
 
     /**
@@ -87,12 +179,25 @@ class CostOptimizer
     std::vector<Evaluation>
     evaluateAll(const std::vector<CloudConfig> &configs) const;
 
-    /** Exhaustive search; @return the cheapest configuration. */
+    /** Cheapest configuration (exhaustive reference sweep). */
     Evaluation optimize() const;
 
     /**
+     * Constrained search by branch-and-bound with corner bounds and
+     * canonical-index tie-breaks; argmin, cost and runtime are
+     * byte-identical to optimizeExhaustive() on the same constraint.
+     * Falls back to the exhaustive sweep (counted in
+     * stats.exhaustiveFallbacks) when the size grid is not strictly
+     * ascending or the surface violates monotonicity.
+     */
+    ConstrainedResult optimizeConstrained(const Constraint &c) const;
+
+    /** Constrained search by full enumeration (the reference). */
+    ConstrainedResult optimizeExhaustive(const Constraint &c) const;
+
+    /**
      * Every configuration in the search space, in the canonical
-     * (serial enumeration) order optimize() scans them.
+     * (serial enumeration) order the exhaustive scan uses.
      */
     std::vector<CloudConfig> candidateGrid() const;
 
@@ -121,32 +226,63 @@ class CostOptimizer
     /** The default geometric size grid. */
     static std::vector<Bytes> defaultSizeGrid();
 
+    /** Cumulative search counters since construction (or copy). */
+    SearchStats searchStats() const;
+
     const Options &options() const { return options_; }
     const GcpPricing &pricing() const { return pricing_; }
 
   private:
     /**
      * Cached effective-bandwidth tables per provisioned disk.
-     * Thread-safe: concurrent fills of the same key race benignly
-     * (the FioProfiler sweep is deterministic, the first insert wins)
-     * and std::map nodes are stable, so the returned reference
-     * outlives later inserts.
+     * Thread-safe: concurrent fills of the same key race benignly —
+     * the FioProfiler sweep is deterministic, so both threads compute
+     * bit-identical tables and the losing emplace is discarded
+     * ("first insert wins" only picks which identical copy survives;
+     * see DeterministicAcrossJobCounts in test_optimizer) — and
+     * std::map nodes are stable, so the returned reference outlives
+     * later inserts. The evaluation memo below relies on the same
+     * determinism: a racing fill stores the same bytes.
      */
     const std::pair<LookupTable, LookupTable> &
     tablesFor(CloudDiskType type, Bytes size) const;
 
     model::PlatformProfile profileFor(const CloudConfig &config) const;
 
+    /** One model evaluation, bypassing the memo. */
+    Evaluation evaluateUncached(const CloudConfig &config) const;
+
+    /** Packed numeric memo key (describe() rounds sizes; this
+     *  doesn't). */
+    static std::string memoKey(const CloudConfig &config);
+
+    /** Constrained search by enumeration; no per-call stat framing. */
+    ConstrainedResult runExhaustive(const Constraint &c) const;
+
+    /**
+     * Branch-and-bound body. @return false on a monotonicity
+     * violation (caller falls back); on success fills @p out and
+     * accounts pruned cells.
+     */
+    bool runBranchAndBound(const Constraint &c,
+                           ConstrainedResult *out) const;
+
     model::AppModel app_;
     GcpPricing pricing_;
     Options options_;
-    // Behind a unique_ptr so the optimizer stays movable (Advisor
+    // Behind unique_ptrs so the optimizer stays movable (Advisor
     // takes one by value).
     mutable std::unique_ptr<std::mutex> tableCacheMutex_ =
         std::make_unique<std::mutex>();
     mutable std::map<std::pair<int, Bytes>,
                      std::pair<LookupTable, LookupTable>>
         tableCache_;
+    mutable std::unique_ptr<std::mutex> memoMutex_ =
+        std::make_unique<std::mutex>();
+    /** Null when Options::memoCapacity == 0. */
+    mutable std::unique_ptr<common::LruCache<std::string, Evaluation>>
+        memo_;
+    mutable SearchStats stats_;
 };
 
 } // namespace doppio::cloud

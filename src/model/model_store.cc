@@ -1,0 +1,291 @@
+#include "model/model_store.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace doppio::model {
+
+namespace {
+
+constexpr const char *kMagic = "doppio-model-store";
+constexpr const char *kVersion = "v1";
+
+/** %.17g — enough digits to round-trip any double exactly. */
+std::string
+fmtDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+/** Tokenizer that tracks line numbers for strict error reporting. */
+class Lexer
+{
+  public:
+    Lexer(std::istream &in, const std::string &context)
+        : in_(in), context_(context)
+    {
+    }
+
+    /** Next whitespace-delimited token; fatal() at end of input. */
+    std::string
+    next(const char *what)
+    {
+        std::string token;
+        if (!fetch(&token))
+            fatal("model store %s: unexpected end of input, expected "
+                  "%s (line %d)",
+                  context_.c_str(), what, line_);
+        return token;
+    }
+
+    /** True when a token is available (skips comments/whitespace). */
+    bool
+    more()
+    {
+        if (!pending_.empty())
+            return true;
+        std::string token;
+        if (!fetch(&token))
+            return false;
+        pending_ = token;
+        return true;
+    }
+
+    int
+    intToken(const char *what, long lo, long hi)
+    {
+        const std::string token = next(what);
+        char *end = nullptr;
+        errno = 0;
+        const long value = std::strtol(token.c_str(), &end, 10);
+        if (errno != 0 || end == token.c_str() || *end != '\0' ||
+            value < lo || value > hi)
+            fatal("model store %s: bad %s '%s' (line %d)",
+                  context_.c_str(), what, token.c_str(), line_);
+        return static_cast<int>(value);
+    }
+
+    std::uint64_t
+    u64Token(const char *what)
+    {
+        const std::string token = next(what);
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long value =
+            std::strtoull(token.c_str(), &end, 10);
+        if (errno != 0 || end == token.c_str() || *end != '\0' ||
+            token[0] == '-')
+            fatal("model store %s: bad %s '%s' (line %d)",
+                  context_.c_str(), what, token.c_str(), line_);
+        return value;
+    }
+
+    double
+    doubleToken(const char *what)
+    {
+        const std::string token = next(what);
+        char *end = nullptr;
+        errno = 0;
+        const double value = std::strtod(token.c_str(), &end);
+        if (errno != 0 || end == token.c_str() || *end != '\0')
+            fatal("model store %s: bad %s '%s' (line %d)",
+                  context_.c_str(), what, token.c_str(), line_);
+        return value;
+    }
+
+    [[noreturn]] void
+    fail(const char *what, const std::string &token)
+    {
+        fatal("model store %s: %s '%s' (line %d)", context_.c_str(),
+              what, token.c_str(), line_);
+    }
+
+    int line() const { return line_; }
+
+  private:
+    bool
+    fetch(std::string *out)
+    {
+        if (!pending_.empty()) {
+            *out = std::move(pending_);
+            pending_.clear();
+            return true;
+        }
+        for (;;) {
+            int c = in_.get();
+            while (c != EOF &&
+                   std::isspace(static_cast<unsigned char>(c))) {
+                if (c == '\n')
+                    ++line_;
+                c = in_.get();
+            }
+            if (c == EOF)
+                return false;
+            if (c == '#') {
+                while (c != EOF && c != '\n')
+                    c = in_.get();
+                if (c == '\n')
+                    ++line_;
+                continue;
+            }
+            std::string token;
+            while (c != EOF &&
+                   !std::isspace(static_cast<unsigned char>(c))) {
+                token.push_back(static_cast<char>(c));
+                c = in_.get();
+            }
+            if (c == '\n')
+                ++line_;
+            *out = std::move(token);
+            return true;
+        }
+    }
+
+    std::istream &in_;
+    std::string context_;
+    std::string pending_;
+    int line_ = 1;
+};
+
+storage::IoOp
+opByName(Lexer &lex, const std::string &name)
+{
+    for (const storage::IoOp op : storage::kAllIoOps) {
+        if (name == storage::ioOpName(op))
+            return op;
+    }
+    lex.fail("unknown io op", name);
+}
+
+void
+checkToken(const std::string &token, const char *what)
+{
+    if (token.empty())
+        fatal("model store: empty %s", what);
+    for (const char c : token) {
+        if (std::isspace(static_cast<unsigned char>(c)))
+            fatal("model store: %s '%s' contains whitespace", what,
+                  token.c_str());
+    }
+}
+
+} // namespace
+
+void
+ModelStore::write(std::ostream &out,
+                  const std::map<std::string, AppModel> &models)
+{
+    out << kMagic << ' ' << kVersion << '\n';
+    for (const auto &[key, app] : models) {
+        checkToken(key, "key");
+        checkToken(app.name, "app name");
+        out << "model " << key << ' ' << app.name << ' '
+            << app.stages.size() << '\n';
+        for (const StageModel &stage : app.stages) {
+            checkToken(stage.name, "stage name");
+            out << "stage " << stage.name << ' ' << stage.tasks << ' '
+                << fmtDouble(stage.tAvg) << ' '
+                << fmtDouble(stage.deltaScale) << ' '
+                << fmtDouble(stage.gcSensitivity) << ' '
+                << stage.io.size() << '\n';
+            for (const IoComponent &io : stage.io) {
+                out << "io " << storage::ioOpName(io.op) << ' '
+                    << io.bytes << ' ' << fmtDouble(io.requestSize)
+                    << ' ' << fmtDouble(io.physicalFactor) << ' '
+                    << fmtDouble(io.delta) << ' '
+                    << fmtDouble(io.soloPhaseSecondsPerTask) << '\n';
+            }
+        }
+        out << "end\n";
+    }
+}
+
+std::map<std::string, AppModel>
+ModelStore::read(std::istream &in, const std::string &context)
+{
+    Lexer lex(in, context);
+    const std::string magic = lex.next("magic");
+    if (magic != kMagic)
+        lex.fail("bad magic", magic);
+    const std::string version = lex.next("version");
+    if (version != kVersion)
+        lex.fail("unsupported version", version);
+
+    std::map<std::string, AppModel> models;
+    while (lex.more()) {
+        const std::string record = lex.next("record kind");
+        if (record != "model")
+            lex.fail("expected 'model', got", record);
+        const std::string key = lex.next("model key");
+        if (models.count(key))
+            lex.fail("duplicate model key", key);
+        AppModel app;
+        app.name = lex.next("app name");
+        const int numStages = lex.intToken("stage count", 0, 100000);
+        app.stages.reserve(static_cast<std::size_t>(numStages));
+        for (int s = 0; s < numStages; ++s) {
+            const std::string kind = lex.next("record kind");
+            if (kind != "stage")
+                lex.fail("expected 'stage', got", kind);
+            StageModel stage;
+            stage.name = lex.next("stage name");
+            stage.tasks = lex.intToken("task count", 0, 1000000000L);
+            stage.tAvg = lex.doubleToken("tAvg");
+            stage.deltaScale = lex.doubleToken("deltaScale");
+            stage.gcSensitivity = lex.doubleToken("gcSensitivity");
+            const int numIo = lex.intToken("io count", 0, 1000);
+            stage.io.reserve(static_cast<std::size_t>(numIo));
+            for (int k = 0; k < numIo; ++k) {
+                const std::string ioKind = lex.next("record kind");
+                if (ioKind != "io")
+                    lex.fail("expected 'io', got", ioKind);
+                IoComponent io;
+                io.op = opByName(lex, lex.next("io op"));
+                io.bytes = lex.u64Token("bytes");
+                io.requestSize = lex.doubleToken("requestSize");
+                io.physicalFactor = lex.doubleToken("physicalFactor");
+                io.delta = lex.doubleToken("delta");
+                io.soloPhaseSecondsPerTask =
+                    lex.doubleToken("soloPhaseSecondsPerTask");
+                stage.io.push_back(std::move(io));
+            }
+            app.stages.push_back(std::move(stage));
+        }
+        const std::string endTok = lex.next("'end'");
+        if (endTok != "end")
+            lex.fail("expected 'end', got", endTok);
+        models.emplace(key, std::move(app));
+    }
+    return models;
+}
+
+std::map<std::string, AppModel>
+ModelStore::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    return read(in, path);
+}
+
+void
+ModelStore::saveFile(const std::string &path,
+                     const std::map<std::string, AppModel> &models)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("model store: cannot write '%s'", path.c_str());
+    write(out, models);
+    if (!out.flush())
+        fatal("model store: write to '%s' failed", path.c_str());
+}
+
+} // namespace doppio::model

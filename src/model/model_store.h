@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Persistent store for fitted Eq. 1 model constants (DESIGN.md §16).
+ *
+ * The planning service profiles a workload with four sample simulator
+ * runs before it can answer the first query — the dominant cold-start
+ * cost. The store serializes every fitted AppModel to a versioned
+ * line-oriented text file so a restarted `doppio serve --model-store
+ * FILE` skips profiling for workloads it has seen before.
+ *
+ * Format (one token stream, whitespace-separated fields, '#' comment
+ * lines allowed between records):
+ *
+ *   doppio-model-store v1
+ *   model <key> <appName> <numStages>
+ *   stage <name> <tasks> <tAvg> <deltaScale> <gcSensitivity> <numIo>
+ *   io <opName> <bytes> <requestSize> <physicalFactor> <delta>
+ *      <soloPhaseSecondsPerTask>
+ *   end
+ *
+ * Doubles round-trip via %.17g, so a model loaded from the store
+ * predicts byte-identically to the freshly fitted one. The parser is
+ * strict: a wrong magic/version, unknown record kind, malformed
+ * number, truncated record or duplicate key fatal()s with the line
+ * number — a stale or hand-mangled store fails loudly instead of
+ * serving silently wrong constants.
+ */
+
+#ifndef DOPPIO_MODEL_MODEL_STORE_H
+#define DOPPIO_MODEL_MODEL_STORE_H
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "model/stage_model.h"
+
+namespace doppio::model {
+
+/** Keyed collection of fitted models with text (de)serialization. */
+class ModelStore
+{
+  public:
+    /** Serialize @p models (sorted by key, so output is canonical). */
+    static void write(std::ostream &out,
+                      const std::map<std::string, AppModel> &models);
+
+    /**
+     * Parse a store. @p context names the source (file path) for
+     * error messages. fatal() on any format violation.
+     */
+    static std::map<std::string, AppModel>
+    read(std::istream &in, const std::string &context);
+
+    /** Load @p path; a missing file is an empty store (first boot). */
+    static std::map<std::string, AppModel>
+    loadFile(const std::string &path);
+
+    /** Rewrite @p path with @p models; fatal() on I/O failure. */
+    static void saveFile(const std::string &path,
+                         const std::map<std::string, AppModel> &models);
+};
+
+} // namespace doppio::model
+
+#endif // DOPPIO_MODEL_MODEL_STORE_H

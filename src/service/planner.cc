@@ -4,10 +4,30 @@
 
 #include "cloud/gcp_disk.h"
 #include "common/logging.h"
+#include "model/model_store.h"
 #include "model/profiler.h"
 #include "workloads/registry.h"
 
 namespace doppio::service {
+
+namespace {
+
+/** Map a plan query's mode onto the optimizer's constraint. */
+cloud::Constraint
+constraintFor(const Request &req)
+{
+    switch (req.mode) {
+    case Request::Mode::MinCost:
+        return cloud::Constraint::minCost();
+    case Request::Mode::CheapestUnderDeadline:
+        return cloud::Constraint::cheapestUnderDeadline(req.deadlineSec);
+    case Request::Mode::FastestUnderBudget:
+        return cloud::Constraint::fastestUnderBudget(req.budgetUsd);
+    }
+    return cloud::Constraint::minCost();
+}
+
+} // namespace
 
 DeadlineBudget::DeadlineBudget(double totalMs) : totalMs_(totalMs)
 {
@@ -45,7 +65,11 @@ Planner::Planner(PlannerConfig config)
     if (config_.backoffBaseMs < 0.0 || config_.backoffMaxMs < 0.0 ||
         config_.backoffJitter < 0.0)
         fatal("Planner: backoff parameters must be non-negative");
+    if (config_.sweepJobs < 0)
+        fatal("Planner: sweepJobs must be non-negative");
     config_.faults.validate();
+    if (!config_.modelStorePath.empty())
+        store_ = model::ModelStore::loadFile(config_.modelStorePath);
 }
 
 std::vector<Bytes>
@@ -128,38 +152,57 @@ Planner::buildEntry(const Request &req, DeadlineBudget &budget)
 {
     const auto workload = workloads::makeWorkload(req.workload);
 
-    cluster::ClusterConfig sampleCluster;
-    sampleCluster.numSlaves = config_.sampleNodes;
-    sampleCluster.seed = config_.seed;
+    // The store key pins what profiling depends on: the workload and
+    // the sample-cluster size. The fleet size being optimized for is
+    // not part of it — one stored model serves any workers value.
+    const std::string storeKey =
+        req.workload + "|n" + std::to_string(config_.sampleNodes);
+    model::AppModel app;
+    const auto stored = store_.find(storeKey);
+    if (stored != store_.end()) {
+        // Restart fast path: constants survived in the model store,
+        // the four-sample profiling methodology is skipped entirely.
+        app = stored->second;
+        ++totals_.modelStoreHits;
+    } else {
+        cluster::ClusterConfig sampleCluster;
+        sampleCluster.numSlaves = config_.sampleNodes;
+        sampleCluster.seed = config_.seed;
 
-    model::Profiler::Options options;
-    options.sampleNodes = config_.sampleNodes;
-    options.onSample = [this,
-                        &budget](const spark::AppMetrics &) -> bool {
-        if (!budget.exhausted())
-            return true;
-        deadlineHit_ = true;
-        return false;
-    };
-
-    // The profiler drives this runner through the four-sample
-    // methodology; each sample run is individually budgeted and
-    // retried here.
-    model::WorkloadRunner runner =
-        [this, &workload, &budget](const cluster::ClusterConfig &cluster,
-                                   const spark::SparkConf &conf) {
-            return runBudgeted(*workload, cluster, conf, budget);
+        model::Profiler::Options options;
+        options.sampleNodes = config_.sampleNodes;
+        options.onSample = [this,
+                            &budget](const spark::AppMetrics &) -> bool {
+            if (!budget.exhausted())
+                return true;
+            deadlineHit_ = true;
+            return false;
         };
 
-    model::Profiler profiler(std::move(runner), sampleCluster,
-                             spark::SparkConf{}, options);
-    model::AppModel app = profiler.fit(workload->name());
+        // The profiler drives this runner through the four-sample
+        // methodology; each sample run is individually budgeted and
+        // retried here.
+        model::WorkloadRunner runner =
+            [this, &workload,
+             &budget](const cluster::ClusterConfig &cluster,
+                      const spark::SparkConf &conf) {
+                return runBudgeted(*workload, cluster, conf, budget);
+            };
+
+        model::Profiler profiler(std::move(runner), sampleCluster,
+                                 spark::SparkConf{}, options);
+        app = profiler.fit(workload->name());
+        if (!config_.modelStorePath.empty()) {
+            store_[storeKey] = app;
+            model::ModelStore::saveFile(config_.modelStorePath, store_);
+        }
+    }
 
     cloud::CostOptimizer::Options search;
     search.workers = resolveWorkers(req);
     search.sizeGrid =
         config_.sizeGrid.empty() ? coarseSizeGrid() : config_.sizeGrid;
-    search.jobs = 1;
+    search.jobs = config_.sweepJobs;
     cloud::CostOptimizer optimizer(app, cloud::GcpPricing{},
                                    std::move(search));
     return Entry{std::move(app), std::move(optimizer)};
@@ -178,7 +221,17 @@ Planner::plan(const Request &req, DeadlineBudget &budget,
     PlanResult result;
     Response &resp = result.response;
 
+    Entry *entry = nullptr;
+    cloud::SearchStats searchBefore;
+
     const auto finish = [&](const char *status, const char *reason) {
+        if (entry != nullptr) {
+            const cloud::SearchStats after =
+                entry->optimizer.searchStats();
+            totals_.cellsMemoHit += after.memoHits - searchBefore.memoHits;
+            totals_.cellsPruned +=
+                after.cellsPruned - searchBefore.cellsPruned;
+        }
         resp.status = status;
         resp.reason = reason;
         resp.retries = reqRetries_;
@@ -191,7 +244,7 @@ Planner::plan(const Request &req, DeadlineBudget &budget,
 
     // Model: cached, or profiled now (the slow path).
     const std::string key = entryKey(req);
-    Entry *entry = cache_.get(key);
+    entry = cache_.get(key);
     if (entry == nullptr) {
         if (!allowSlowPath)
             // The server sheds this case before calling plan(); keep
@@ -212,6 +265,7 @@ Planner::plan(const Request &req, DeadlineBudget &budget,
             return finish("error", "internal");
         }
     }
+    searchBefore = entry->optimizer.searchStats();
 
     // Grid search under the remaining budget: a partial prefix is a
     // valid (degraded) answer — coverage shrinks, cells stay exact.
@@ -234,25 +288,8 @@ Planner::plan(const Request &req, DeadlineBudget &budget,
     }
 
     // Constraint-mode selection over the evaluated cells.
-    const cloud::Evaluation *best = nullptr;
-    for (const cloud::Evaluation &eval : evals) {
-        switch (req.mode) {
-        case Request::Mode::MinCost:
-            if (best == nullptr || eval.cost < best->cost)
-                best = &eval;
-            break;
-        case Request::Mode::CheapestUnderDeadline:
-            if (eval.seconds <= req.deadlineSec &&
-                (best == nullptr || eval.cost < best->cost))
-                best = &eval;
-            break;
-        case Request::Mode::FastestUnderBudget:
-            if (eval.cost <= req.budgetUsd &&
-                (best == nullptr || eval.seconds < best->seconds))
-                best = &eval;
-            break;
-        }
-    }
+    const cloud::Evaluation *best =
+        cloud::selectBest(evals, constraintFor(req));
     if (best == nullptr)
         return finish("error", "infeasible");
 
@@ -296,6 +333,250 @@ Planner::plan(const Request &req, DeadlineBudget &budget,
         return finish("ok", slowPathFailed_ ? "validation_failed" : "");
     }
     return finish("ok", "");
+}
+
+Planner::BatchOutcome
+Planner::planBatch(const std::vector<Request> &reqs,
+                   std::vector<DeadlineBudget> &budgets,
+                   bool allowSlowPath)
+{
+    const std::size_t n = reqs.size();
+    if (n == 0 || budgets.size() != n)
+        panic("planBatch: requests and budgets must align");
+    for (std::size_t i = 1; i < n; ++i) {
+        if (profileKey(reqs[i]) != profileKey(reqs[0]))
+            panic("planBatch: mixed profiles in one batch");
+    }
+
+    BatchOutcome out;
+    out.results.resize(n);
+    std::vector<char> done(n, 0);
+    std::vector<int> memberRetries(n, 0);
+    std::vector<double> memberBackoff(n, 0.0);
+
+    const auto finishMember = [&](std::size_t i, const char *status,
+                                  const char *reason) {
+        out.results[i].response.status = status;
+        out.results[i].response.reason = reason;
+        done[i] = 1;
+    };
+    const auto finalize = [&]() -> BatchOutcome & {
+        for (std::size_t i = 0; i < n; ++i) {
+            out.results[i].response.retries = memberRetries[i];
+            out.results[i].response.backoffMs = memberBackoff[i];
+        }
+        out.usedSlowPath = out.slowPathMs > 0.0;
+        return out;
+    };
+
+    // --- Model phase: at most one build for the whole batch. ---
+    deadlineHit_ = false;
+    slowPathFailed_ = false;
+    reqRetries_ = 0;
+    reqBackoffMs_ = 0.0;
+    reqSlowPathMs_ = 0.0;
+
+    const std::string key = entryKey(reqs[0]);
+    Entry *entry = cache_.get(key);
+    if (entry == nullptr) {
+        if (!allowSlowPath) {
+            for (std::size_t i = 0; i < n; ++i)
+                finishMember(i, "shed", "circuit_open");
+            return finalize();
+        }
+        double maxRemaining = 0.0;
+        for (const DeadlineBudget &budget : budgets)
+            maxRemaining = std::max(maxRemaining, budget.remainingMs());
+        if (maxRemaining <= 0.0) {
+            for (std::size_t i = 0; i < n; ++i) {
+                out.results[i].response.degraded = true;
+                finishMember(i, "error", "deadline");
+            }
+            return finalize();
+        }
+        // Build once under the richest member's remaining budget,
+        // then mirror the (clamped) charge into every member — each
+        // waiter pays at most what a solo build would have cost it.
+        DeadlineBudget shared(maxRemaining);
+        bool built = true;
+        const char *failReason = "internal";
+        try {
+            Entry fresh = buildEntry(reqs[0], shared);
+            cache_.put(key, std::move(fresh));
+            entry = cache_.get(key);
+        } catch (const FatalError &error) {
+            built = false;
+            if (deadlineHit_)
+                failReason = "deadline";
+            else if (slowPathFailed_)
+                failReason = "slow_path_failed";
+            else
+                warn("planner: %s", error.what());
+        }
+        out.occupancyMs += shared.spentMs();
+        out.slowPathMs += reqSlowPathMs_;
+        out.slowPathFailed = out.slowPathFailed || slowPathFailed_;
+        memberRetries[0] += reqRetries_;
+        memberBackoff[0] += reqBackoffMs_;
+        for (DeadlineBudget &budget : budgets)
+            budget.charge(shared.spentMs());
+        if (!built) {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (deadlineHit_)
+                    out.results[i].response.degraded = true;
+                finishMember(i, "error", failReason);
+            }
+            return finalize();
+        }
+    }
+    const cloud::SearchStats searchBefore =
+        entry->optimizer.searchStats();
+
+    // --- Union sweep: one evaluation pass serves every waiter. ---
+    // Walk cells in canonical order charging every still-solvent
+    // member exactly as its solo keepGoing loop would; the union
+    // prefix is evaluated once (fanned across sweepJobs threads).
+    const std::vector<cloud::CloudConfig> grid =
+        entry->optimizer.candidateGrid();
+    std::vector<int> cellsDone(n, 0);
+    std::vector<char> active(n);
+    for (std::size_t i = 0; i < n; ++i)
+        active[i] = done[i] ? 0 : 1;
+    std::size_t sweepLen = 0;
+    for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+        bool any = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!active[i])
+                continue;
+            if (budgets[i].exhausted()) {
+                active[i] = 0;
+                continue;
+            }
+            budgets[i].charge(config_.cellCostMs);
+            ++cellsDone[i];
+            any = true;
+        }
+        if (!any)
+            break;
+        sweepLen = cell + 1;
+    }
+    const std::vector<cloud::Evaluation> evals = entry->optimizer.evaluateAll(
+        std::vector<cloud::CloudConfig>(grid.begin(),
+                                        grid.begin() + sweepLen));
+    out.occupancyMs += static_cast<double>(sweepLen) * config_.cellCostMs;
+
+    // --- Per-member selection over each member's own prefix. ---
+    std::vector<cloud::Evaluation> bestOf(n);
+    std::vector<char> haveBest(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (done[i])
+            continue;
+        Response &resp = out.results[i].response;
+        resp.cellsTotal = static_cast<int>(grid.size());
+        resp.cellsDone = cellsDone[i];
+        if (resp.cellsDone < resp.cellsTotal)
+            resp.degraded = true;
+        if (cellsDone[i] == 0) {
+            resp.degraded = true;
+            finishMember(i, "error", "deadline");
+            continue;
+        }
+        const std::vector<cloud::Evaluation> prefix(
+            evals.begin(),
+            evals.begin() + static_cast<std::ptrdiff_t>(cellsDone[i]));
+        const cloud::Evaluation *best =
+            cloud::selectBest(prefix, constraintFor(reqs[i]));
+        if (best == nullptr) {
+            finishMember(i, "error", "infeasible");
+            continue;
+        }
+        bestOf[i] = *best;
+        haveBest[i] = 1;
+        resp.haveConfig = true;
+        resp.config = best->config.describe();
+        resp.costUsd = best->cost;
+        resp.runtimeSec = best->seconds;
+    }
+
+    // --- Validation, deduped by winning configuration. ---
+    std::vector<char> wantsValidation(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        wantsValidation[i] = !done[i] && haveBest[i] && config_.validate &&
+                             allowSlowPath && !budgets[i].exhausted();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (done[i])
+            continue;
+        if (!wantsValidation[i]) {
+            Response &resp = out.results[i].response;
+            resp.modelOnly = true;
+            if (budgets[i].exhausted())
+                resp.degraded = true;
+            finishMember(i, "ok", "");
+            continue;
+        }
+        // Validate this winner once; every member that picked the
+        // same configuration shares the run and its budget charge.
+        std::vector<std::size_t> group;
+        for (std::size_t j = i; j < n; ++j) {
+            if (!done[j] && wantsValidation[j] &&
+                bestOf[j].config.describe() == bestOf[i].config.describe())
+                group.push_back(j);
+        }
+        double maxRemaining = 0.0;
+        for (const std::size_t j : group)
+            maxRemaining =
+                std::max(maxRemaining, budgets[j].remainingMs());
+        deadlineHit_ = false;
+        slowPathFailed_ = false;
+        reqRetries_ = 0;
+        reqBackoffMs_ = 0.0;
+        reqSlowPathMs_ = 0.0;
+        DeadlineBudget shared(maxRemaining);
+        try {
+            const auto workload = workloads::makeWorkload(reqs[i].workload);
+            cluster::ClusterConfig cluster;
+            cluster.numSlaves = bestOf[i].config.workers;
+            cluster.node.cores = bestOf[i].config.vcpus;
+            cluster.node.hdfsDisk = cloud::makeCloudDiskParams(
+                bestOf[i].config.hdfsType, bestOf[i].config.hdfsSize);
+            cluster.node.localDisk = cloud::makeCloudDiskParams(
+                bestOf[i].config.localType, bestOf[i].config.localSize);
+            cluster.seed = config_.seed;
+            spark::SparkConf conf;
+            conf.executorCores = bestOf[i].config.vcpus;
+            const spark::AppMetrics metrics =
+                runBudgeted(*workload, cluster, conf, shared);
+            const double runtime = metrics.seconds();
+            const double cost = cloud::jobCost(
+                bestOf[i].config, entry->optimizer.pricing(), runtime);
+            for (const std::size_t j : group) {
+                out.results[j].response.runtimeSec = runtime;
+                out.results[j].response.costUsd = cost;
+                finishMember(j, "ok", "");
+            }
+        } catch (const FatalError &error) {
+            if (!deadlineHit_ && !slowPathFailed_)
+                warn("planner: validation failed: %s", error.what());
+            for (const std::size_t j : group) {
+                out.results[j].response.modelOnly = true;
+                out.results[j].response.degraded = true;
+                finishMember(j, "ok",
+                             slowPathFailed_ ? "validation_failed" : "");
+            }
+        }
+        out.occupancyMs += shared.spentMs();
+        out.slowPathMs += reqSlowPathMs_;
+        out.slowPathFailed = out.slowPathFailed || slowPathFailed_;
+        memberRetries[group.front()] += reqRetries_;
+        memberBackoff[group.front()] += reqBackoffMs_;
+        for (const std::size_t j : group)
+            budgets[j].charge(shared.spentMs());
+    }
+
+    const cloud::SearchStats after = entry->optimizer.searchStats();
+    totals_.cellsMemoHit += after.memoHits - searchBefore.memoHits;
+    totals_.cellsPruned += after.cellsPruned - searchBefore.cellsPruned;
+    return finalize();
 }
 
 } // namespace doppio::service

@@ -33,6 +33,7 @@
 #define DOPPIO_SERVICE_PLANNER_H
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,19 @@ struct PlannerConfig
     faults::FaultSpec faults;
     /** Disk-size grid; empty = coarseSizeGrid(). */
     std::vector<Bytes> sizeGrid;
+    /**
+     * Persistent model store (DESIGN.md §16): fitted Eq. 1 constants
+     * are loaded from this file at construction and saved after every
+     * fresh profile, so a restarted service skips the four-sample
+     * profiling runs for workloads it has seen. Empty = off.
+     */
+    std::string modelStorePath;
+    /**
+     * Threads for the batched grid sweep (real CPU only — virtual
+     * cell accounting is unchanged, so transcripts stay byte-identical
+     * for any value). 1 = inline, 0 = one per hardware core.
+     */
+    int sweepJobs = 1;
 };
 
 /** One plan() outcome: the wire response plus breaker-facing facts. */
@@ -127,6 +141,12 @@ struct PlannerTotals
     double slowPathMsTotal = 0.0;
     std::uint64_t partitionTimeouts = 0;
     std::uint64_t slowPathTaskRetries = 0;
+    /** Optimizer evaluation-memo hits across all cached models. */
+    std::uint64_t cellsMemoHit = 0;
+    /** Cells branch-and-bound pruned (CLI/advisor paths via entries). */
+    std::uint64_t cellsPruned = 0;
+    /** Profiling runs skipped via the persistent model store. */
+    std::uint64_t modelStoreHits = 0;
 };
 
 /** The deadline-budgeted profile/fit/search/validate pipeline. */
@@ -150,6 +170,47 @@ class Planner
      */
     PlanResult plan(const Request &req, DeadlineBudget &budget,
                     bool allowSlowPath);
+
+    /** Aggregate outcome of one coalesced batch (DESIGN.md §16). */
+    struct BatchOutcome
+    {
+        /** One result per request, aligned with the input order. */
+        std::vector<PlanResult> results;
+        /**
+         * Virtual ms the worker slot is occupied: the shared work
+         * done once (model build + union sweep + deduped
+         * validations), not the sum of per-member budget charges —
+         * this is where coalescing wins.
+         */
+        double occupancyMs = 0.0;
+        // Breaker-facing aggregates for the whole batch.
+        bool usedSlowPath = false;
+        double slowPathMs = 0.0;
+        bool slowPathFailed = false;
+    };
+
+    /**
+     * Answer several queries sharing one profile (same profileKey())
+     * with a single model build and a single union grid sweep. Each
+     * waiter's DeadlineBudget is still charged and clamped
+     * individually — per-member cell coverage, degraded flags and
+     * constraint selection are identical to what a solo plan() with
+     * the same remaining budget would produce; only the worker
+     * occupancy is shared.
+     */
+    BatchOutcome planBatch(const std::vector<Request> &reqs,
+                           std::vector<DeadlineBudget> &budgets,
+                           bool allowSlowPath);
+
+    /**
+     * The key two queries must share to ride one batched sweep: same
+     * workload, same fleet size — i.e. the same fitted model and the
+     * same candidate grid; only the constraint may differ.
+     */
+    std::string profileKey(const Request &req) const
+    {
+        return entryKey(req);
+    }
 
     const PlannerTotals &totals() const { return totals_; }
     const PlannerConfig &config() const { return config_; }
@@ -188,6 +249,8 @@ class Planner
     Rng rng_;
     common::LruCache<std::string, Entry> cache_;
     PlannerTotals totals_;
+    /** Persistent fitted models (loaded/saved via modelStorePath). */
+    std::map<std::string, model::AppModel> store_;
 
     // Abort-cause flags for the current plan() call: everything below
     // the planner surfaces as FatalError, so plan() discriminates

@@ -321,6 +321,11 @@ ServiceStats::toJson() const
     out += ",\"partition_timeouts\":" + std::to_string(partitionTimeouts);
     out += ",\"slow_path_task_retries\":" +
            std::to_string(slowPathTaskRetries);
+    out += ",\"batches\":" + std::to_string(batches);
+    out += ",\"batched_queries\":" + std::to_string(batchedQueries);
+    out += ",\"cells_memo_hit\":" + std::to_string(cellsMemoHit);
+    out += ",\"cells_pruned\":" + std::to_string(cellsPruned);
+    out += ",\"model_store_hits\":" + std::to_string(modelStoreHits);
     out += ",\"breaker_trips\":" + std::to_string(breakerTrips);
     out += ",\"breaker_state\":\"" + breakerState + "\"";
     out += ",\"breaker_closed_ms\":" + jsonNum(breakerClosedMs);

@@ -112,6 +112,16 @@ struct ServiceStats
      */
     std::uint64_t partitionTimeouts = 0;
     std::uint64_t slowPathTaskRetries = 0;
+    /** Coalesced cold-sweep dispatches (width >= 2) and the queries
+     *  they served (DESIGN.md §16). */
+    std::uint64_t batches = 0;
+    std::uint64_t batchedQueries = 0;
+    /** Optimizer evaluation-memo hits across all cached models. */
+    std::uint64_t cellsMemoHit = 0;
+    /** Grid cells branch-and-bound proved it never had to model. */
+    std::uint64_t cellsPruned = 0;
+    /** Profiling runs skipped because --model-store had the model. */
+    std::uint64_t modelStoreHits = 0;
     std::uint64_t breakerTrips = 0;
     std::string breakerState = "closed";
     /**

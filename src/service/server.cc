@@ -34,6 +34,8 @@ PlanningService::PlanningService(ServiceConfig config)
         fatal("PlanningService: queueCapacity must be positive");
     if (config_.defaultTimeoutMs <= 0.0)
         fatal("PlanningService: defaultTimeoutMs must be positive");
+    if (config_.batchMax < 1)
+        fatal("PlanningService: batchMax must be positive");
     breaker_.setOpenObserver(
         [this](double nowMs) { onBreakerOpen(nowMs); });
 }
@@ -294,13 +296,107 @@ PlanningService::drainQueue(double nowMs)
     while (busyWorkers_ < config_.workers && !queue_.empty()) {
         const std::uint64_t seq = queue_.front();
         queue_.pop_front();
-        startJob(seq, nowMs);
+        if (config_.batchMax <= 1) {
+            startJob(seq, nowMs);
+            continue;
+        }
+        // Coalesce queued queries sharing this query's profile (same
+        // fitted model, same candidate grid) onto one dispatch. Order
+        // within the queue is preserved for everyone else.
+        std::vector<std::uint64_t> batch{seq};
+        const std::string profile =
+            planner_.profileKey(pending_.at(seq).req);
+        for (auto it = queue_.begin();
+             it != queue_.end() &&
+             batch.size() < static_cast<std::size_t>(config_.batchMax);) {
+            const auto pit = pending_.find(*it);
+            if (pit != pending_.end() &&
+                planner_.profileKey(pit->second.req) == profile) {
+                batch.push_back(*it);
+                it = queue_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        batchWidth_.observe(static_cast<double>(batch.size()));
+        if (batch.size() == 1)
+            startJob(seq, nowMs);
+        else
+            startBatch(batch, nowMs);
     }
+}
+
+void
+PlanningService::startBatch(const std::vector<std::uint64_t> &seqs,
+                            double nowMs)
+{
+    // Per-member expiry screening; survivors ride the shared sweep.
+    std::vector<std::uint64_t> live;
+    for (const std::uint64_t seq : seqs) {
+        const Pending &pending = pending_.at(seq);
+        const double timeout = timeoutFor(pending.req);
+        const double waited = nowMs - pending.arrivalMs;
+        queueWaitMs_.observe(waited);
+        if (waited >= timeout) {
+            shedFlight(seq, nowMs, "expired", "queue_wait");
+            continue;
+        }
+        live.push_back(seq);
+    }
+    if (live.empty())
+        return;
+
+    // One profile, so one needModel/breaker verdict covers everyone.
+    const bool needModel = !planner_.hasModel(pending_.at(live[0]).req);
+    const bool allowSlow = breaker_.allowSlowPath(nowMs);
+    if (needModel && !allowSlow) {
+        for (const std::uint64_t seq : live)
+            shedFlight(seq, nowMs, "shed", "circuit_open");
+        return;
+    }
+
+    std::vector<Request> reqs;
+    std::vector<DeadlineBudget> budgets;
+    reqs.reserve(live.size());
+    budgets.reserve(live.size());
+    for (const std::uint64_t seq : live) {
+        const Pending &pending = pending_.at(seq);
+        reqs.push_back(pending.req);
+        budgets.emplace_back(timeoutFor(pending.req) -
+                             (nowMs - pending.arrivalMs));
+    }
+
+    Planner::BatchOutcome outcome =
+        planner_.planBatch(reqs, budgets, allowSlow);
+
+    Event done;
+    done.tMs = nowMs + outcome.occupancyMs;
+    done.order = nextOrder_++;
+    done.kind = Event::Kind::Completion;
+    done.seq = live[0];
+    done.result.usedSlowPath = outcome.usedSlowPath;
+    done.result.slowPathMs = outcome.slowPathMs;
+    done.result.slowPathFailed = outcome.slowPathFailed;
+    done.items.reserve(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i)
+        done.items.emplace_back(live[i], std::move(outcome.results[i]));
+    done.probeClaimed =
+        allowSlow && breaker_.state() == CircuitBreaker::State::HalfOpen;
+    ++busyWorkers_;
+    if (live.size() >= 2) {
+        ++counters_.batches;
+        counters_.batchedQueries += live.size();
+    }
+    events_.push(std::move(done));
 }
 
 void
 PlanningService::onCompletion(const Event &event)
 {
+    if (!event.items.empty()) {
+        onBatchCompletion(event);
+        return;
+    }
     lastNowMs_ = std::max(lastNowMs_, event.tMs);
     --busyWorkers_;
     const auto it = pending_.find(event.seq);
@@ -345,6 +441,69 @@ PlanningService::onCompletion(const Event &event)
         if (fr.status == "ok" && fr.latencyMs > timeoutFor(follower.req))
             fr.degraded = true;
         emit(fr);
+    }
+
+    drainQueue(event.tMs);
+}
+
+void
+PlanningService::onBatchCompletion(const Event &event)
+{
+    lastNowMs_ = std::max(lastNowMs_, event.tMs);
+    --busyWorkers_;
+
+    // One worker slot, one breaker verdict for the whole batch.
+    if (event.result.slowPathFailed)
+        breaker_.recordFailure(event.tMs);
+    else if (event.result.usedSlowPath)
+        breaker_.recordSlowPath(event.result.slowPathMs, event.tMs);
+    else if (event.probeClaimed)
+        breaker_.releaseProbe();
+
+    for (const auto &[seq, result] : event.items) {
+        const auto it = pending_.find(seq);
+        if (it == pending_.end())
+            panic("PlanningService: batch completion for unknown "
+                  "request");
+        const Pending pending = it->second;
+        pending_.erase(it);
+
+        Response response = result.response;
+        response.id = pending.req.id;
+        response.tMs = event.tMs;
+        response.latencyMs = event.tMs - pending.arrivalMs;
+        response.cacheOutcome = "miss";
+        // The shared sweep answers everyone when the *batch* finishes;
+        // a member whose own deadline passed first still gets its
+        // answer, flagged late (degraded), and never poisons the
+        // result cache.
+        if (response.status == "ok" &&
+            response.latencyMs > timeoutFor(pending.req))
+            response.degraded = true;
+
+        const std::string key = pending.req.cacheKey();
+        if (response.status == "ok" && !response.degraded &&
+            !response.modelOnly)
+            cache_.put(key, response);
+        emit(response);
+
+        for (const std::uint64_t fseq : flight_.finish(key)) {
+            const auto fit = pending_.find(fseq);
+            if (fit == pending_.end())
+                continue;
+            const Pending follower = fit->second;
+            pending_.erase(fit);
+            Response fr = response;
+            fr.id = follower.req.id;
+            fr.latencyMs = event.tMs - follower.arrivalMs;
+            fr.cacheOutcome = "dedup";
+            fr.retries = 0;
+            fr.backoffMs = 0.0;
+            if (fr.status == "ok" &&
+                fr.latencyMs > timeoutFor(follower.req))
+                fr.degraded = true;
+            emit(fr);
+        }
     }
 
     drainQueue(event.tMs);
@@ -502,6 +661,9 @@ PlanningService::stats() const
     out.slowPathMsTotal = totals.slowPathMsTotal;
     out.partitionTimeouts = totals.partitionTimeouts;
     out.slowPathTaskRetries = totals.slowPathTaskRetries;
+    out.cellsMemoHit = totals.cellsMemoHit;
+    out.cellsPruned = totals.cellsPruned;
+    out.modelStoreHits = totals.modelStoreHits;
     out.breakerTrips = breaker_.trips();
     out.breakerState = breaker_.stateName();
     const std::uint64_t lookups = out.cacheHits + out.cacheMisses;
@@ -565,6 +727,20 @@ PlanningService::publishMetrics(telemetry::Registry &registry) const
             "Simulator runs (profile + validate)", s.slowPathRuns);
     counter("doppio_service_breaker_trips_total",
             "Closed/half-open to open transitions", s.breakerTrips);
+    counter("doppio_service_batches_total",
+            "Coalesced sweep dispatches (width >= 2)", s.batches);
+    counter("doppio_service_batched_queries_total",
+            "Plan queries served by coalesced sweeps",
+            s.batchedQueries);
+    counter("doppio_service_cells_memo_hit_total",
+            "Grid cells served from the evaluation memo",
+            s.cellsMemoHit);
+    counter("doppio_service_cells_pruned_total",
+            "Grid cells branch-and-bound never modeled",
+            s.cellsPruned);
+    counter("doppio_service_model_store_hits_total",
+            "Profiling runs skipped via the model store",
+            s.modelStoreHits);
     registry
         .gauge("doppio_service_cache_hit_ratio",
                "Result-cache hit fraction of lookups")
@@ -597,6 +773,11 @@ PlanningService::publishMetrics(telemetry::Registry &registry) const
         .histogram("doppio_service_queue_wait_ms",
                    "Queue wait of dispatched plan queries", {}, 1e-3)
         .merge(queueWaitMs_);
+    registry
+        .histogram("doppio_service_batch_width",
+                   "Width of queue-drain dispatches (batching on)", {},
+                   1.0)
+        .merge(batchWidth_);
 }
 
 std::string

@@ -67,6 +67,14 @@ struct ServiceConfig
     double defaultTimeoutMs = 20000.0;
     std::size_t cacheShards = 4;
     std::size_t cacheShardCapacity = 64;
+    /**
+     * Cold-query coalescing (DESIGN.md §16): when a worker frees up,
+     * up to this many queued queries sharing one profile (same
+     * workload + fleet size) ride a single batched sweep. 1 disables
+     * batching; queries that arrive straight onto a free worker never
+     * coalesce — batching only engages under queue pressure.
+     */
+    int batchMax = 8;
 };
 
 /** One scripted request: a raw line plus nothing else — the line's
@@ -147,8 +155,11 @@ class PlanningService
         std::uint64_t order = 0; //!< FIFO tiebreak at equal times
         enum class Kind { Arrival, Completion } kind = Kind::Arrival;
         std::uint64_t seq = 0;
-        // Completion payload.
+        // Completion payload. For a batched completion, items carries
+        // one (seq, result) per member in dispatch order and result
+        // only holds the breaker-facing aggregates.
         PlanResult result;
+        std::vector<std::pair<std::uint64_t, PlanResult>> items;
         bool probeClaimed = false;
 
         bool operator>(const Event &other) const
@@ -173,11 +184,16 @@ class PlanningService
                     const char *reason);
 
     void onArrival(std::uint64_t seq, double nowMs);
-    /** Dispatch queued queries onto free workers. */
+    /** Dispatch queued queries onto free workers, coalescing
+     *  same-profile neighbours when batchMax allows. */
     void drainQueue(double nowMs);
     /** Run one query's plan; schedules its completion event. */
     void startJob(std::uint64_t seq, double nowMs);
+    /** Run several same-profile queries as one batched sweep. */
+    void startBatch(const std::vector<std::uint64_t> &seqs,
+                    double nowMs);
     void onCompletion(const Event &event);
+    void onBatchCompletion(const Event &event);
 
     void countResponse(const Response &response);
 
@@ -207,6 +223,9 @@ class PlanningService
     // Telemetry (all optional; absent they cost null checks only).
     /// Queue-wait milliseconds of every dispatched query.
     telemetry::Histogram queueWaitMs_{1e-3};
+    /// Width of every queue-drain dispatch while batching is enabled
+    /// (width 1 included — the distribution shows coalescing odds).
+    telemetry::Histogram batchWidth_{1.0};
     /// Latest transport clock value seen, for time-in-state queries.
     double lastNowMs_ = 0.0;
     telemetry::FlightRecorder *recorder_ = nullptr;

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the persistent model store (DESIGN.md §16).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "model/model_store.h"
+
+namespace doppio::model {
+namespace {
+
+constexpr Bytes kGB = 1000ULL * 1000 * 1000;
+
+AppModel
+sampleModel(const std::string &name)
+{
+    AppModel app;
+    app.name = name;
+
+    StageModel map;
+    map.name = "mapStage";
+    map.tasks = 976;
+    map.tAvg = 30.25;
+    map.deltaScale = 1.5;
+    map.gcSensitivity = 0.125;
+    IoComponent write;
+    write.op = storage::IoOp::ShuffleWrite;
+    write.bytes = 334 * kGB;
+    write.requestSize = 350e6;
+    write.physicalFactor = 1.0 / 3.0; // forces full %.17g round-trip
+    write.delta = 0.1234567890123456789;
+    write.soloPhaseSecondsPerTask = 2.5;
+    map.io.push_back(write);
+    app.stages.push_back(map);
+
+    StageModel reduce;
+    reduce.name = "reduce";
+    reduce.tasks = 12000;
+    reduce.tAvg = 9.0;
+    IoComponent read;
+    read.op = storage::IoOp::ShuffleRead;
+    read.bytes = 334 * kGB;
+    read.requestSize = 30000.0;
+    reduce.io.push_back(read);
+    app.stages.push_back(reduce);
+    return app;
+}
+
+void
+expectSameModel(const AppModel &a, const AppModel &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.stages.size(), b.stages.size());
+    for (std::size_t s = 0; s < a.stages.size(); ++s) {
+        const StageModel &x = a.stages[s];
+        const StageModel &y = b.stages[s];
+        EXPECT_EQ(x.name, y.name);
+        EXPECT_EQ(x.tasks, y.tasks);
+        EXPECT_EQ(x.tAvg, y.tAvg);
+        EXPECT_EQ(x.deltaScale, y.deltaScale);
+        EXPECT_EQ(x.gcSensitivity, y.gcSensitivity);
+        ASSERT_EQ(x.io.size(), y.io.size());
+        for (std::size_t k = 0; k < x.io.size(); ++k) {
+            EXPECT_EQ(x.io[k].op, y.io[k].op);
+            EXPECT_EQ(x.io[k].bytes, y.io[k].bytes);
+            EXPECT_EQ(x.io[k].requestSize, y.io[k].requestSize);
+            EXPECT_EQ(x.io[k].physicalFactor, y.io[k].physicalFactor);
+            EXPECT_EQ(x.io[k].delta, y.io[k].delta);
+            EXPECT_EQ(x.io[k].soloPhaseSecondsPerTask,
+                      y.io[k].soloPhaseSecondsPerTask);
+        }
+    }
+}
+
+TEST(ModelStore, RoundTripsBitExactDoubles)
+{
+    std::map<std::string, AppModel> models;
+    models["gatk4|n3"] = sampleModel("GATK4");
+    models["lr-small|n3"] = sampleModel("lr-small");
+
+    std::ostringstream out;
+    ModelStore::write(out, models);
+    std::istringstream in(out.str());
+    const auto loaded = ModelStore::read(in, "test");
+
+    ASSERT_EQ(loaded.size(), 2u);
+    for (const auto &[key, model] : models) {
+        ASSERT_TRUE(loaded.count(key)) << key;
+        expectSameModel(model, loaded.at(key));
+    }
+}
+
+TEST(ModelStore, WriteIsCanonical)
+{
+    // Same map, same bytes — the store can be diffed across restarts.
+    std::map<std::string, AppModel> models;
+    models["b"] = sampleModel("B");
+    models["a"] = sampleModel("A");
+    std::ostringstream first, second;
+    ModelStore::write(first, models);
+    ModelStore::write(second, models);
+    EXPECT_EQ(first.str(), second.str());
+    // Sorted by key regardless of insertion history.
+    EXPECT_LT(first.str().find("model a "), first.str().find("model b "));
+}
+
+TEST(ModelStore, CommentsAndBlankLinesAreSkipped)
+{
+    std::map<std::string, AppModel> models;
+    models["k"] = sampleModel("K");
+    std::ostringstream out;
+    ModelStore::write(out, models);
+    const std::string text = "# a comment\n\n" + out.str() +
+                             "\n# trailing comment\n";
+    std::istringstream in(text);
+    const auto loaded = ModelStore::read(in, "test");
+    ASSERT_EQ(loaded.size(), 1u);
+    expectSameModel(models.at("k"), loaded.at("k"));
+}
+
+TEST(ModelStore, StrictParserRejectsMangledStores)
+{
+    std::map<std::string, AppModel> models;
+    models["k"] = sampleModel("K");
+    std::ostringstream out;
+    ModelStore::write(out, models);
+    const std::string good = out.str();
+
+    const auto expectReject = [](const std::string &text) {
+        std::istringstream in(text);
+        EXPECT_THROW(ModelStore::read(in, "test"), FatalError) << text;
+    };
+    // Wrong magic, wrong version, unknown record kind, bad number,
+    // truncation, duplicate keys: all fatal, none half-parse.
+    expectReject("not-a-store v1\n");
+    expectReject("doppio-model-store v999\n");
+    std::string unknown = good;
+    unknown.replace(unknown.find("stage "), 6, "stag3 ");
+    expectReject(unknown);
+    std::string badNumber = good;
+    badNumber.replace(badNumber.find("976"), 3, "abc");
+    expectReject(badNumber);
+    expectReject(good.substr(0, good.size() / 2));
+    expectReject(good + good.substr(good.find("model ")));
+    std::string badOp = good;
+    badOp.replace(badOp.find("shuffle_write"),
+                  std::string("shuffle_write").size(), "bogus_op");
+    expectReject(badOp);
+}
+
+TEST(ModelStore, MissingFileLoadsEmptyAndSaveRoundTrips)
+{
+    const std::string path =
+        testing::TempDir() + "model_store_test.txt";
+    std::remove(path.c_str());
+    EXPECT_TRUE(ModelStore::loadFile(path).empty());
+
+    std::map<std::string, AppModel> models;
+    models["gatk4|n3"] = sampleModel("GATK4");
+    ModelStore::saveFile(path, models);
+    const auto loaded = ModelStore::loadFile(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    expectSameModel(models.at("gatk4|n3"), loaded.at("gatk4|n3"));
+    std::remove(path.c_str());
+}
+
+TEST(ModelStore, RejectsUnserializableNames)
+{
+    // Keys and names embed in a whitespace-separated format; ones that
+    // would not round-trip are rejected at write time.
+    std::map<std::string, AppModel> models;
+    models["bad key"] = sampleModel("K");
+    std::ostringstream out;
+    EXPECT_THROW(ModelStore::write(out, models), FatalError);
+}
+
+} // namespace
+} // namespace doppio::model

@@ -7,6 +7,8 @@
  * fallback, transcript determinism).
  */
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -490,4 +492,191 @@ TEST(Service, ScriptReplayIsByteIdentical)
     PlanningService first(testConfig());
     PlanningService second(testConfig());
     EXPECT_EQ(first.runScript(script), second.runScript(script));
+}
+
+// ------------------------------------------------- cold-query coalescing
+
+namespace {
+
+/** One cold leader occupying the single worker, then three queued
+ *  same-profile queries with distinct constraints (distinct cache
+ *  keys, so none dedups). */
+const service::Script kBurstScript = {
+    "{\"id\":\"lead\",\"workload\":\"lr-small\",\"at_ms\":0}",
+    "{\"id\":\"b\",\"workload\":\"lr-small\",\"deadline_s\":90000,"
+    "\"at_ms\":1}",
+    "{\"id\":\"c\",\"workload\":\"lr-small\",\"deadline_s\":91000,"
+    "\"at_ms\":2}",
+    "{\"id\":\"d\",\"workload\":\"lr-small\",\"deadline_s\":92000,"
+    "\"at_ms\":3}",
+};
+
+} // namespace
+
+TEST(Batching, QueuedSameProfileQueriesRideOneSweep)
+{
+    ServiceConfig config = testConfig();
+    config.workers = 1;
+    PlanningService svc(config);
+    svc.runScript(kBurstScript);
+
+    for (const char *id : {"lead", "b", "c", "d"}) {
+        const Response &r = findResponse(svc, id);
+        EXPECT_EQ(r.status, "ok") << id;
+        EXPECT_TRUE(r.haveConfig) << id;
+        EXPECT_EQ(r.cellsDone, r.cellsTotal) << id;
+    }
+    // b, c, d drained together as one width-3 batch; the batch
+    // answers at one completion instant.
+    const service::ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.batchedQueries, 3u);
+    EXPECT_DOUBLE_EQ(findResponse(svc, "b").tMs,
+                     findResponse(svc, "c").tMs);
+    EXPECT_DOUBLE_EQ(findResponse(svc, "c").tMs,
+                     findResponse(svc, "d").tMs);
+    // The shared sweep reuses the leader's 72 evaluated cells via the
+    // optimizer memo instead of re-modeling them for every member.
+    EXPECT_GT(stats.cellsMemoHit, 0u);
+    // Three members, 72 cells each would be 216 solo sweep charges but
+    // only 72 cells of worker occupancy; the batch completion must
+    // land well before three sequential sweeps would.
+    const std::string json = svc.statsJson();
+    EXPECT_NE(json.find("\"batches\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"batched_queries\":3"), std::string::npos);
+}
+
+TEST(Batching, BatchMaxOneDisablesCoalescing)
+{
+    ServiceConfig config = testConfig();
+    config.workers = 1;
+    config.batchMax = 1;
+    PlanningService svc(config);
+    svc.runScript(kBurstScript);
+    const service::ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.batches, 0u);
+    EXPECT_EQ(stats.batchedQueries, 0u);
+    for (const char *id : {"lead", "b", "c", "d"})
+        EXPECT_EQ(findResponse(svc, id).status, "ok") << id;
+    // Sequential sweeps answer at three distinct instants.
+    EXPECT_LT(findResponse(svc, "b").tMs, findResponse(svc, "c").tMs);
+    EXPECT_LT(findResponse(svc, "c").tMs, findResponse(svc, "d").tMs);
+}
+
+TEST(Batching, BatchedAnswersMatchSequentialAnswers)
+{
+    // Coalescing is a latency optimization, not a different planner:
+    // each member's chosen configuration, cost and runtime must equal
+    // what the unbatched service computes for the same query.
+    ServiceConfig batched = testConfig();
+    batched.workers = 1;
+    ServiceConfig solo = batched;
+    solo.batchMax = 1;
+    PlanningService a(batched);
+    PlanningService b(solo);
+    a.runScript(kBurstScript);
+    b.runScript(kBurstScript);
+    for (const char *id : {"lead", "b", "c", "d"}) {
+        const Response &x = findResponse(a, id);
+        const Response &y = findResponse(b, id);
+        EXPECT_EQ(x.config, y.config) << id;
+        EXPECT_EQ(x.costUsd, y.costUsd) << id;
+        EXPECT_EQ(x.runtimeSec, y.runtimeSec) << id;
+        EXPECT_EQ(x.cellsDone, y.cellsDone) << id;
+    }
+}
+
+TEST(Batching, ReplayIsByteIdentical)
+{
+    ServiceConfig config = testConfig();
+    config.workers = 1;
+    PlanningService first(config);
+    PlanningService second(config);
+    EXPECT_EQ(first.runScript(kBurstScript),
+              second.runScript(kBurstScript));
+}
+
+TEST(Batching, MemberBudgetsAreEnforcedIndividually)
+{
+    ServiceConfig config = testConfig();
+    config.workers = 1;
+    PlanningService svc(config);
+    svc.runScript({
+        // Cold leader holds the worker ~11.8k virtual ms.
+        "{\"id\":\"lead\",\"workload\":\"lr-small\",\"at_ms\":0}",
+        // Queued pair shares the batch; "poor" has only ~200 ms of
+        // budget left at dispatch, "rich" is unconstrained.
+        "{\"id\":\"poor\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "90000,\"timeout_ms\":12000,\"at_ms\":1}",
+        "{\"id\":\"rich\",\"workload\":\"lr-small\",\"deadline_s\":"
+        "91000,\"at_ms\":2}",
+    });
+    EXPECT_EQ(svc.stats().batches, 1u);
+    const Response &poor = findResponse(svc, "poor");
+    const Response &rich = findResponse(svc, "rich");
+    // The rich member got the full grid and validation.
+    EXPECT_EQ(rich.status, "ok");
+    EXPECT_FALSE(rich.degraded);
+    EXPECT_FALSE(rich.modelOnly);
+    EXPECT_EQ(rich.cellsDone, rich.cellsTotal);
+    // The poor member was charged only its own remaining budget: a
+    // partial prefix, no validation, flagged degraded — riding the
+    // batch never let it spend the rich member's budget.
+    EXPECT_EQ(poor.status, "ok");
+    EXPECT_TRUE(poor.degraded);
+    EXPECT_TRUE(poor.modelOnly);
+    EXPECT_GT(poor.cellsDone, 0);
+    EXPECT_LT(poor.cellsDone, poor.cellsTotal);
+    EXPECT_LT(poor.cellsDone, rich.cellsDone);
+}
+
+// ----------------------------------------------------------- model store
+
+TEST(ModelStoreService, RestartSkipsProfilingAndAnswersIdentically)
+{
+    const std::string path =
+        testing::TempDir() + "service_model_store.txt";
+    std::remove(path.c_str());
+    const service::Script script = {
+        "{\"id\":\"q\",\"workload\":\"lr-small\",\"at_ms\":0}",
+    };
+
+    ServiceConfig config = testConfig();
+    config.planner.modelStorePath = path;
+    PlanningService first(config);
+    first.runScript(script);
+    EXPECT_EQ(first.stats().modelStoreHits, 0u);
+    const Response &cold = findResponse(first, "q");
+    ASSERT_EQ(cold.status, "ok");
+
+    // A "restarted" service: fresh instance, same store file. The
+    // four-sample profiling phase is skipped, and the stored constants
+    // reproduce the cold answer bit for bit.
+    PlanningService second(config);
+    second.runScript(script);
+    EXPECT_EQ(second.stats().modelStoreHits, 1u);
+    const Response &warm = findResponse(second, "q");
+    EXPECT_EQ(warm.status, "ok");
+    EXPECT_EQ(warm.config, cold.config);
+    EXPECT_EQ(warm.costUsd, cold.costUsd);
+    EXPECT_EQ(warm.runtimeSec, cold.runtimeSec);
+    EXPECT_EQ(warm.cellsDone, cold.cellsDone);
+    // Skipped profiling = less budget spent = a faster answer.
+    EXPECT_LT(warm.latencyMs, cold.latencyMs);
+    EXPECT_EQ(second.stats().slowPathRuns, 1u); // validation only
+    std::remove(path.c_str());
+}
+
+TEST(ModelStoreService, MangledStoreFailsLoudlyAtStartup)
+{
+    const std::string path =
+        testing::TempDir() + "service_model_store_bad.txt";
+    {
+        std::ofstream out(path);
+        out << "doppio-model-store v1\nmodel oops\n";
+    }
+    ServiceConfig config = testConfig();
+    config.planner.modelStorePath = path;
+    EXPECT_THROW(PlanningService svc(config), doppio::FatalError);
+    std::remove(path.c_str());
 }

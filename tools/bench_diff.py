@@ -85,6 +85,21 @@ def speedups(baseline, current):
     return out
 
 
+def geomean(ratios):
+    """Geometric mean of a speedup map; None when it is empty.
+
+    The arithmetic mean of ratios over-weights blowups (one 10x key
+    drowns nine 0.5x regressions); the geometric mean is symmetric in
+    log space, so "half as fast" and "twice as fast" cancel exactly.
+    """
+    if not ratios:
+        return None
+    product = 1.0
+    for value in ratios.values():
+        product *= value
+    return product ** (1.0 / len(ratios))
+
+
 def check_common(baseline, current):
     """Exit non-zero when the records share no scenario names."""
     common = set(by_name(baseline)) & set(by_name(current))
@@ -155,6 +170,10 @@ def print_table(baseline, current):
         print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
         if i == 0:
             print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    mean = geomean(ratios)
+    if mean is not None:
+        print(f"geomean speedup over {len(ratios)} compared "
+              f"key(s): {mean:.3f}x")
 
 
 def selftest():
@@ -186,6 +205,16 @@ def selftest():
     base = rec("t", [row("qps", "queries/s", 10.0)])
     cur = rec("t", [row("qps", "queries/s", 5.0)])
     assert speedups(base, cur) == {"qps": 0.5}
+
+    # Geometric mean: symmetric in log space, empty map is None.
+    assert geomean({}) is None
+    assert geomean({"a": 4.0}) == 4.0
+    assert abs(geomean({"a": 2.0, "b": 0.5}) - 1.0) < 1e-12
+    assert abs(geomean({"a": 2.0, "b": 2.0, "c": 2.0}) - 2.0) < 1e-12
+    # 10x blowup + two halvings: arithmetic mean would say 3.67x
+    # faster; the geomean correctly reports ~1.36x.
+    assert abs(geomean({"a": 10.0, "b": 0.5, "c": 0.5})
+               - (10.0 * 0.5 * 0.5) ** (1.0 / 3.0)) < 1e-12
 
     # Threshold gate: global floor, per-key override, ungated default.
     ratios = {"p50": 1.0, "p99": 0.94, "qps": 0.985}

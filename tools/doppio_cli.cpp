@@ -708,7 +708,14 @@ cmdOptimize(const Args &args)
     // 0 = one thread per hardware core. Any value yields byte-identical
     // output; --jobs 1 evaluates the grid inline (serial behaviour).
     const int jobs = args.intValue("--jobs", 0, 0, 1024);
+    // Constrained modes (DESIGN.md §16): cheapest under a completion
+    // deadline, or fastest under a dollar budget. At most one.
+    const double deadlineMin =
+        args.doubleValue("--deadline", 0.0, 0.0, 1e9);
+    const double budgetUsd = args.doubleValue("--budget", 0.0, 0.0, 1e9);
     args.rejectUnknown("optimize");
+    if (deadlineMin > 0.0 && budgetUsd > 0.0)
+        fatal("optimize: give at most one of --deadline / --budget");
     constexpr Bytes kGB = 1000ULL * 1000 * 1000;
 
     cluster::ClusterConfig config;
@@ -737,6 +744,37 @@ cmdOptimize(const Args &args)
     const cloud::CostOptimizer optimizer(app, cloud::GcpPricing{},
                                          search);
     const cloud::Advisor advisor(optimizer);
+
+    if (deadlineMin > 0.0 || budgetUsd > 0.0) {
+        const cloud::Constraint constraint =
+            deadlineMin > 0.0
+                ? cloud::Constraint::cheapestUnderDeadline(deadlineMin *
+                                                           60.0)
+                : cloud::Constraint::fastestUnderBudget(budgetUsd);
+        const cloud::ConstrainedResult result =
+            optimizer.optimizeConstrained(constraint);
+        if (deadlineMin > 0.0)
+            std::cout << "constraint: runtime <= "
+                      << TablePrinter::num(deadlineMin, 1) << " min\n";
+        else
+            std::cout << "constraint: cost <= $"
+                      << TablePrinter::num(budgetUsd, 2) << "\n";
+        if (!result.feasible) {
+            std::cout << "no feasible configuration in the grid\n";
+        } else {
+            std::cout << (deadlineMin > 0.0 ? "cheapest" : "fastest")
+                      << ": " << result.best.config.describe() << "  $"
+                      << TablePrinter::num(result.best.cost, 2) << " in "
+                      << TablePrinter::num(result.best.seconds / 60.0, 1)
+                      << " min\n";
+        }
+        const cloud::SearchStats &s = result.stats;
+        std::cout << "search: " << s.cellsTotal << " cells, "
+                  << s.cellsEvaluated << " evaluated, " << s.cellsPruned
+                  << " pruned, " << s.memoHits << " memo hits, "
+                  << s.exhaustiveFallbacks << " fallbacks\n";
+        return result.feasible ? 0 : 1;
+    }
 
     const cloud::Evaluation best = optimizer.optimize();
     std::cout << "cheapest: " << best.config.describe() << "  $"
@@ -776,6 +814,9 @@ cmdServe(const Args &args)
         args.intValue("--service-seed", 42, 0, INT_MAX));
     config.planner.validate = !args.has("--no-validate");
     config.planner.faults = faultsFromArgs(args);
+    config.planner.modelStorePath = args.value("--model-store", "");
+    config.planner.sweepJobs = args.intValue("--sweep-jobs", 1, 0, 1024);
+    config.batchMax = args.intValue("--batch-max", 8, 1, 1024);
     config.breaker.latencyThresholdMs =
         args.doubleValue("--breaker-ms", 15000.0, 1.0, 1e9);
     config.breaker.depthThreshold =
@@ -868,9 +909,18 @@ usage()
            "  profile <workload> [options]  fit and report the model\n"
            "  fio [--disk hdd|ssd|nvme]     bandwidth sweep\n"
            "  optimize [--workers N] [--jobs J]\n"
+           "           [--deadline MIN | --budget USD]\n"
            "                                cloud cost optimization\n"
            "                                (J threads, 0 = all cores;\n"
-           "                                output identical for any J)\n"
+           "                                output identical for any J).\n"
+           "                                --deadline: cheapest config\n"
+           "                                finishing within MIN "
+           "minutes;\n"
+           "                                --budget: fastest config "
+           "under\n"
+           "                                USD; both answered by "
+           "pruned\n"
+           "                                branch-and-bound\n"
            "  serve --script FILE [--transcript FILE] "
            "[--stats-json FILE]\n"
            "  serve --port N [--max-requests M] [--stats-json FILE]\n"
@@ -892,6 +942,14 @@ usage()
            "                --breaker-cooldown-ms T --service-seed S\n"
            "                --fault-spec SPEC (slow-path gray "
            "failures)\n"
+           "                --model-store FILE (persist fitted "
+           "models\n"
+           "                across restarts) --batch-max N (coalesce "
+           "up\n"
+           "                to N queued same-profile queries; 1 "
+           "off)\n"
+           "                --sweep-jobs J (threads for batched "
+           "sweeps)\n"
            "                --metrics-out FILE (service Prometheus "
            "text)\n"
            "                --postmortem FILE (flight-recorder dump "
